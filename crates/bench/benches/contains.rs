@@ -1,0 +1,41 @@
+//! Figure 7 (micro-benchmark form): per-operation `contains` latency on a
+//! pre-filled tree, for every implementation.
+//!
+//! The paper's Figure 7 reports multi-threaded throughput of a read-heavy
+//! workload (reproduced by `figures -- fig7`); this bench captures the
+//! single-operation cost that drives it — in particular the overhead the
+//! wait-free tree pays for routing reads through descriptor queues compared
+//! with the snapshot read of the persistent tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+use wft_workload::{TreeImpl, WorkloadSpec};
+
+const PREFILL_RANGE: i64 = 100_000;
+
+fn bench_contains(c: &mut Criterion) {
+    let spec = WorkloadSpec::contains_benchmark().scaled_down(PREFILL_RANGE);
+    let prefill = spec.prefill_keys(42);
+    let mut group = c.benchmark_group("fig7_contains");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for imp in TreeImpl::ALL {
+        let set = imp.build(&prefill, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(imp.name()), &set, |b, set| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                let key = rng.gen_range(1..=PREFILL_RANGE);
+                std::hint::black_box(set.contains(key))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contains);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Experiment E4: the headline asymptotic claim.
+//!
+//! `count(min, max)` implemented as an aggregate range query must scale with
+//! the tree height, while the prior-work implementation
+//! `collect(min, max).len()` scales with the number of keys in the range.
+//! The two bench groups sweep the range width on the same pre-filled tree;
+//! the aggregate query's latency should stay essentially flat while the
+//! collect-based one grows linearly — the gap is the paper's motivation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+use wft_core::WaitFreeTree;
+use wft_seq::SeqRangeTree;
+use std::sync::Arc;
+
+const KEYS: i64 = 200_000;
+
+fn prefilled_concurrent() -> Arc<WaitFreeTree<i64>> {
+    Arc::new(WaitFreeTree::from_entries((0..KEYS).map(|k| (k, ()))))
+}
+
+fn prefilled_sequential() -> SeqRangeTree<i64> {
+    SeqRangeTree::from_entries((0..KEYS).map(|k| (k, ())))
+}
+
+fn bench_count_vs_collect(c: &mut Criterion) {
+    let tree = prefilled_concurrent();
+    let mut group = c.benchmark_group("e4_count_vs_collect");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for width in [100i64, 1_000, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(width as u64));
+        group.bench_with_input(
+            BenchmarkId::new("count_aggregate", width),
+            &width,
+            |b, &width| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| {
+                    let lo = rng.gen_range(0..KEYS - width);
+                    std::hint::black_box(tree.count(lo, lo + width))
+                });
+            },
+        );
+        // The collect-based count is capped at 10^4 keys: it already takes
+        // hundreds of milliseconds per query there (≈30 µs per reported key
+        // through the descriptor framework plus the epoch-reclamation
+        // pressure of one retired queue node per visited tree node), so the
+        // widest setting would dominate the whole benchmark suite without
+        // adding information — the asymptotic gap is unambiguous well before
+        // that point. See EXPERIMENTS.md §E4 / "Known overheads".
+        if width <= 10_000 {
+            group.bench_with_input(
+                BenchmarkId::new("collect_len", width),
+                &width,
+                |b, &width| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    b.iter(|| {
+                        let lo = rng.gen_range(0..KEYS - width);
+                        std::hint::black_box(tree.collect_range(lo, lo + width).len())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sequential_reference(c: &mut Criterion) {
+    // The sequential augmented tree gives the no-synchronization lower bound
+    // for the same aggregate query.
+    let tree = prefilled_sequential();
+    let mut group = c.benchmark_group("e4_sequential_count");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for width in [100i64, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let lo = rng.gen_range(0..KEYS - width);
+                std::hint::black_box(tree.count(lo, lo + width))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_count_vs_collect, bench_sequential_reference);
+criterion_main!(benches);

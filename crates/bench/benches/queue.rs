@@ -1,0 +1,91 @@
+//! Experiment E6: the descriptor-queue substrate.
+//!
+//! Measures the building blocks of §II-D/§II-F in isolation:
+//!
+//! * `enqueue_assign` on the lock-free root queue vs `enqueue` on the
+//!   wait-free (announce-array) root queue — the `O(P log P)` helping cost of
+//!   Lemma 1 shows up as a constant-factor overhead per enqueue;
+//! * `push_if` + `pop_if` round-trips on a per-node queue;
+//! * presence-index resolution, the per-update cost added by the decision
+//!   substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use wft_queue::{PresenceIndex, Timestamp, TsQueue, UpdateKind, WaitFreeRootQueue};
+
+fn bench_root_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_root_queue_enqueue");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function("lock_free_enqueue_pop", |b| {
+        let queue: TsQueue<u64> = TsQueue::new(Timestamp::ZERO);
+        b.iter(|| {
+            let guard = crossbeam_epoch::pin();
+            let ts = queue.enqueue_assign(1, &guard);
+            std::hint::black_box(queue.pop_if(ts, &guard));
+        });
+    });
+
+    group.bench_function("wait_free_enqueue_pop", |b| {
+        let queue: WaitFreeRootQueue<u64> = WaitFreeRootQueue::new(8);
+        let slot = queue.register().expect("slot available");
+        b.iter(|| {
+            let guard = crossbeam_epoch::pin();
+            let ts = queue.enqueue(&slot, 1, &guard);
+            std::hint::black_box(queue.pop_if(ts, &guard));
+        });
+    });
+    group.finish();
+}
+
+fn bench_node_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_node_queue_push_if_pop_if");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("push_if_pop_if_roundtrip", |b| {
+        let queue: TsQueue<u64> = TsQueue::new(Timestamp::ZERO);
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 1;
+            let guard = crossbeam_epoch::pin();
+            queue.push_if(Timestamp(ts), ts, &guard);
+            std::hint::black_box(queue.pop_if(Timestamp(ts), &guard));
+        });
+    });
+    group.finish();
+}
+
+fn bench_presence_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_presence_index_resolution");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("alternating_insert_remove", |b| {
+        let index: PresenceIndex<i64, ()> = PresenceIndex::with_buckets(1 << 14);
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 1;
+            let key = (ts % 10_000) as i64;
+            let kind = if ts % 2 == 0 {
+                UpdateKind::Insert(())
+            } else {
+                UpdateKind::Remove
+            };
+            let cell = OnceLock::new();
+            let guard = crossbeam_epoch::pin();
+            std::hint::black_box(index.resolve(&key, Timestamp(ts), &kind, &cell, &guard))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_root_queues, bench_node_queue, bench_presence_index);
+criterion_main!(benches);

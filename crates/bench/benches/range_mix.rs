@@ -1,0 +1,61 @@
+//! Experiment E7: mixed workloads with aggregate range queries.
+//!
+//! The motivating scenario of the paper's introduction — an index answering
+//! "how many requests arrived in this time range?" while updates stream in —
+//! corresponds to a mix of point updates and `count` queries. This bench
+//! measures the per-operation latency of such mixes on the wait-free tree and
+//! on the persistent baseline, at several range-query shares.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+use wft_workload::{TreeImpl, WorkloadSpec};
+
+const PREFILL_RANGE: i64 = 100_000;
+
+fn bench_range_mix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_range_mix");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for count_percent in [1.0f64, 5.0, 20.0] {
+        let spec = WorkloadSpec::range_mix(count_percent, 0.01).scaled_down(PREFILL_RANGE);
+        let prefill = spec.prefill_keys(21);
+        for imp in [TreeImpl::WaitFree, TreeImpl::Persistent] {
+            let set = imp.build(&prefill, 1);
+            group.bench_with_input(
+                BenchmarkId::new(imp.name(), format!("{count_percent}% counts")),
+                &set,
+                |b, set| {
+                    let mut rng = StdRng::seed_from_u64(5);
+                    b.iter(|| {
+                        match spec.next_op(&mut rng) {
+                            wft_workload::spec::Op::Contains(k) => {
+                                std::hint::black_box(set.contains(k));
+                            }
+                            wft_workload::spec::Op::Insert(k) => {
+                                std::hint::black_box(set.insert(k));
+                            }
+                            wft_workload::spec::Op::Remove(k) => {
+                                std::hint::black_box(set.remove(k));
+                            }
+                            wft_workload::spec::Op::Count(lo, hi) => {
+                                std::hint::black_box(set.count(lo, hi));
+                            }
+                            wft_workload::spec::Op::Collect(lo, hi) => {
+                                std::hint::black_box(set.count_via_collect(lo, hi));
+                            }
+                        };
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_mix);
+criterion_main!(benches);

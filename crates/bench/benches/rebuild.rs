@@ -1,0 +1,72 @@
+//! Experiment E5: rebuild-factor ablation (§II-E).
+//!
+//! The constant `K` trades rebuild frequency (and therefore balance quality)
+//! against rebuild cost: a small `K` rebuilds aggressively and keeps the tree
+//! near-perfect; a large `K` rebuilds rarely but lets search paths grow. The
+//! bench measures per-update latency under sorted insertions — the worst
+//! case for an unbalanced external BST — for several values of `K`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use wft_core::{TreeConfig, WaitFreeTree};
+
+fn bench_rebuild_factor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_rebuild_factor");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for factor in [0.5f64, 1.0, 2.0, 8.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(factor),
+            &factor,
+            |b, &factor| {
+                // iter_batched: each batch gets a fresh tree so the sorted
+                // insertion sequence (the adversarial case) starts over.
+                b.iter_batched(
+                    || {
+                        WaitFreeTree::<i64>::with_config(TreeConfig {
+                            rebuild_factor: factor,
+                            ..TreeConfig::default()
+                        })
+                    },
+                    |tree| {
+                        for k in 0..2_000i64 {
+                            std::hint::black_box(tree.insert(k, ()));
+                        }
+                        tree
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rebuild_overhead_report(c: &mut Criterion) {
+    // Not a timing bench per se: measures the amortized cost of an insert on
+    // a tree that has already absorbed many rebuilds, confirming the O(1)
+    // amortized rebuilding claim.
+    let mut group = c.benchmark_group("e5_amortized_insert_after_rebuilds");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let tree = WaitFreeTree::<i64>::new();
+    for k in 0..100_000i64 {
+        tree.insert(k, ());
+    }
+    let mut next = 100_000i64;
+    group.bench_function("insert_after_100k_sorted", |b| {
+        b.iter(|| {
+            next += 1;
+            std::hint::black_box(tree.insert(next, ()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rebuild_factor, bench_rebuild_overhead_report);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Experiment E8: the trie instantiation of the helping scheme.
+//!
+//! The paper's conclusion proposes applying the technique to other tree
+//! shapes (tries, quad trees). These benches compare the wait-free binary
+//! trie against the wait-free BST on the same single-threaded workloads:
+//!
+//! * aggregate `count` versus range width (both must stay flat; the trie's
+//!   depth is bounded by the key width, the BST's by `log N`),
+//! * scalar update cost on dense versus sparse key spaces (dense keys force
+//!   the trie's deepest divergence chains),
+//! * the linear-time baseline (`collect().len()` on the lock-free BST) as
+//!   the reference the aggregate queries beat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+use wft_core::WaitFreeTree;
+use wft_lockfree::LockFreeBst;
+use wft_trie::WaitFreeTrie;
+
+const KEYS: i64 = 100_000;
+
+fn bench_count_by_width(c: &mut Criterion) {
+    let tree: WaitFreeTree<i64> = WaitFreeTree::from_entries((0..KEYS).map(|k| (k, ())));
+    let trie: WaitFreeTrie<i64> = WaitFreeTrie::from_entries((0..KEYS).map(|k| (k, ())));
+    let linear: LockFreeBst<i64> = LockFreeBst::from_entries((0..KEYS).map(|k| (k, ())));
+    let mut group = c.benchmark_group("e8_trie_count_vs_bst");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for width in [100i64, 1_000, 10_000, 50_000] {
+        group.throughput(Throughput::Elements(width as u64));
+        group.bench_with_input(BenchmarkId::new("bst_count", width), &width, |b, &width| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let lo = rng.gen_range(0..KEYS - width);
+                std::hint::black_box(tree.count(lo, lo + width))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("trie_count", width), &width, |b, &width| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let lo = rng.gen_range(0..KEYS - width);
+                std::hint::black_box(trie.count(lo, lo + width))
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("lockfree_collect_len", width),
+            &width,
+            |b, &width| {
+                let mut rng = StdRng::seed_from_u64(3);
+                b.iter(|| {
+                    let lo = rng.gen_range(0..KEYS - width);
+                    std::hint::black_box(linear.count(lo, lo + width))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_updates_dense_vs_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_trie_update_cost");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    // Dense keys: adjacent integers share long index prefixes, so the trie
+    // pays its worst-case divergence chains; the BST pays rebuilds instead.
+    group.bench_function("trie_insert_remove_dense", |b| {
+        let trie: WaitFreeTrie<i64> = WaitFreeTrie::from_entries((0..10_000).map(|k| (k, ())));
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            let k = rng.gen_range(0..20_000);
+            if rng.gen_bool(0.5) {
+                std::hint::black_box(trie.insert(k, ()));
+            } else {
+                std::hint::black_box(trie.remove(&k));
+            }
+        });
+    });
+    group.bench_function("bst_insert_remove_dense", |b| {
+        let tree: WaitFreeTree<i64> = WaitFreeTree::from_entries((0..10_000).map(|k| (k, ())));
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            let k = rng.gen_range(0..20_000);
+            if rng.gen_bool(0.5) {
+                std::hint::black_box(tree.insert(k, ()));
+            } else {
+                std::hint::black_box(tree.remove(&k));
+            }
+        });
+    });
+    // Sparse keys: uniformly random 64-bit keys diverge near the root, the
+    // trie's favourable regime.
+    group.bench_function("trie_insert_remove_sparse", |b| {
+        let trie: WaitFreeTrie<i64> = WaitFreeTrie::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            let k: i64 = rng.gen();
+            if rng.gen_bool(0.5) {
+                std::hint::black_box(trie.insert(k, ()));
+            } else {
+                std::hint::black_box(trie.remove(&k));
+            }
+        });
+    });
+    group.bench_function("bst_insert_remove_sparse", |b| {
+        let tree: WaitFreeTree<i64> = WaitFreeTree::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            let k: i64 = rng.gen();
+            if rng.gen_bool(0.5) {
+                std::hint::black_box(tree.insert(k, ()));
+            } else {
+                std::hint::black_box(tree.remove(&k));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_count_by_width, bench_updates_dense_vs_sparse);
+criterion_main!(benches);

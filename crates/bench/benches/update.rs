@@ -1,0 +1,69 @@
+//! Figures 8 and 9 (micro-benchmark form): per-operation update latency.
+//!
+//! * `fig8_insert_delete`: alternating insert/remove over a pre-filled key
+//!   range, so roughly half the updates succeed — the paper's insert-delete
+//!   workload.
+//! * `fig9_successful_insert`: inserts of essentially-unique 64-bit keys, so
+//!   every update succeeds and every implementation pays its full write
+//!   path — where the persistent tree's whole-path copying is most visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+use wft_workload::{TreeImpl, WorkloadSpec};
+
+const PREFILL_RANGE: i64 = 100_000;
+
+fn bench_insert_delete(c: &mut Criterion) {
+    let spec = WorkloadSpec::insert_delete().scaled_down(PREFILL_RANGE);
+    let prefill = spec.prefill_keys(42);
+    let mut group = c.benchmark_group("fig8_insert_delete");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for imp in TreeImpl::ALL {
+        let set = imp.build(&prefill, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(imp.name()), &set, |b, set| {
+            let mut rng = StdRng::seed_from_u64(11);
+            b.iter(|| {
+                let key = rng.gen_range(1..=PREFILL_RANGE);
+                if rng.gen_bool(0.5) {
+                    std::hint::black_box(set.insert(key))
+                } else {
+                    std::hint::black_box(set.remove(key))
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_successful_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_successful_insert");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let prefill: Vec<i64> = {
+        let mut rng = StdRng::seed_from_u64(3);
+        (0..50_000).map(|_| rng.gen::<i64>()).collect()
+    };
+    for imp in TreeImpl::ALL {
+        let set = imp.build(&prefill, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(imp.name()), &set, |b, set| {
+            let mut rng = StdRng::seed_from_u64(13);
+            b.iter(|| {
+                // Full-range keys: collisions are vanishingly rare, so each
+                // insert succeeds and grows the tree.
+                std::hint::black_box(set.insert(rng.gen::<i64>()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_delete, bench_successful_insert);
+criterion_main!(benches);

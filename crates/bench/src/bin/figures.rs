@@ -1,0 +1,124 @@
+//! Reproduces every figure of the paper's evaluation (plus the additional
+//! experiments of DESIGN.md §4) as throughput tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p wft-bench --release --bin figures -- [experiment] [--paper] [--csv]
+//!
+//! experiments:
+//!   fig7              Contains benchmark          (paper Figure 7)
+//!   fig8              Insert-delete benchmark     (paper Figure 8)
+//!   fig9              Successful-insert benchmark (paper Figure 9)
+//!   count-scaling     count vs collect().len()    (experiment E4)
+//!   rebuild-ablation  rebuild factor sweep        (experiment E5)
+//!   root-queue        lock-free vs wait-free root (experiment E6)
+//!   range-mix         mixed workloads with counts (experiment E7)
+//!   all               everything above
+//!
+//! flags:
+//!   --paper   use the paper's workload sizes and intervals (long!)
+//!   --csv     additionally print CSV after each table
+//! ```
+
+use wft_bench::{
+    count_scaling_rows, figure_rows, range_mix_rows, rebuild_ablation_rows, root_queue_rows,
+    ExperimentScale,
+};
+use wft_workload::{render_csv, render_table, FigureRow, TreeImpl, WorkloadSpec};
+
+fn emit(title: &str, rows: &[FigureRow], csv: bool) {
+    println!("{}", render_table(title, rows));
+    if csv {
+        println!("{}", render_csv(rows));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let csv = args.iter().any(|a| a == "--csv");
+    let scale = if paper {
+        ExperimentScale::Paper
+    } else {
+        ExperimentScale::Quick
+    };
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let run_fig7 = || {
+        emit(
+            "Figure 7: Contains benchmark (throughput, ops/s)",
+            &figure_rows(WorkloadSpec::contains_benchmark(), &TreeImpl::ALL, scale),
+            csv,
+        )
+    };
+    let run_fig8 = || {
+        emit(
+            "Figure 8: Insert-Delete benchmark (throughput, ops/s)",
+            &figure_rows(WorkloadSpec::insert_delete(), &TreeImpl::ALL, scale),
+            csv,
+        )
+    };
+    let run_fig9 = || {
+        emit(
+            "Figure 9: Successful-Insert benchmark (throughput, ops/s)",
+            &figure_rows(WorkloadSpec::successful_insert(), &TreeImpl::ALL, scale),
+            csv,
+        )
+    };
+    let run_count = || {
+        emit(
+            "E4: aggregate count vs collect().len() (single thread)",
+            &count_scaling_rows(scale),
+            csv,
+        )
+    };
+    let run_rebuild = || {
+        emit(
+            "E5: rebuild factor ablation (insert-delete workload)",
+            &rebuild_ablation_rows(scale),
+            csv,
+        )
+    };
+    let run_root = || {
+        emit(
+            "E6: lock-free vs wait-free root queue (successful-insert workload)",
+            &root_queue_rows(scale),
+            csv,
+        )
+    };
+    let run_mix = || {
+        emit(
+            "E7: mixed workloads with aggregate range queries",
+            &range_mix_rows(scale),
+            csv,
+        )
+    };
+
+    match which.as_str() {
+        "fig7" => run_fig7(),
+        "fig8" => run_fig8(),
+        "fig9" => run_fig9(),
+        "count-scaling" => run_count(),
+        "rebuild-ablation" => run_rebuild(),
+        "root-queue" => run_root(),
+        "range-mix" => run_mix(),
+        "all" => {
+            run_fig7();
+            run_fig8();
+            run_fig9();
+            run_count();
+            run_rebuild();
+            run_root();
+            run_mix();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; see the module docs for the list");
+            std::process::exit(2);
+        }
+    }
+}

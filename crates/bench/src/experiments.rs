@@ -1,0 +1,241 @@
+//! Shared experiment definitions (used by the `figures` binary and tests).
+//!
+//! Each function returns the rows of one table/figure from DESIGN.md §4. The
+//! scale parameter selects between a quick smoke configuration (seconds, used
+//! in CI and by default) and a "paper" configuration that matches the
+//! original experimental setup as closely as this hardware allows (full 2·10⁶
+//! key range, longer intervals, more repetitions).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wft_core::{TreeConfig, WaitFreeTree};
+use wft_workload::{
+    run_experiment, timed_run, ExperimentConfig, FigureRow, TreeImpl, WorkloadSpec,
+};
+
+/// How big an experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Small key ranges and very short intervals: finishes in a couple of
+    /// minutes on a single-core machine; good for CI and for validating the
+    /// qualitative shape of the results.
+    Quick,
+    /// The paper's workload sizes (2·10⁶ keys, 10⁶-key prefill) with longer
+    /// measurement intervals. Use on a many-core machine to approach the
+    /// published setup.
+    Paper,
+}
+
+impl ExperimentScale {
+    /// The thread counts to sweep.
+    pub fn threads(&self) -> Vec<usize> {
+        match self {
+            ExperimentScale::Quick => vec![1, 2, 4],
+            ExperimentScale::Paper => vec![1, 2, 4, 8, 12, 16, 20, 24],
+        }
+    }
+
+    fn config(&self) -> ExperimentConfig {
+        match self {
+            ExperimentScale::Quick => ExperimentConfig {
+                threads: self.threads(),
+                duration: Duration::from_millis(200),
+                runs: 2,
+                seed: 0xC0FFEE,
+            },
+            ExperimentScale::Paper => ExperimentConfig {
+                threads: self.threads(),
+                duration: Duration::from_secs(10),
+                runs: 5,
+                seed: 0xC0FFEE,
+            },
+        }
+    }
+
+    fn scale_spec(&self, spec: WorkloadSpec) -> WorkloadSpec {
+        match self {
+            ExperimentScale::Quick => spec.scaled_down(50_000),
+            ExperimentScale::Paper => spec,
+        }
+    }
+}
+
+/// Rows of one of the paper's figures (7, 8 or 9): a sweep over thread
+/// counts for the given workload and the given implementations.
+pub fn figure_rows(
+    spec: WorkloadSpec,
+    impls: &[TreeImpl],
+    scale: ExperimentScale,
+) -> Vec<FigureRow> {
+    let spec = scale.scale_spec(spec);
+    let config = scale.config();
+    let mut rows = Vec::new();
+    for &threads in &config.threads {
+        for &imp in impls {
+            let summary = run_experiment(imp, &spec, threads, &config);
+            rows.push(FigureRow {
+                workload: spec.name.to_string(),
+                implementation: imp.name().to_string(),
+                threads,
+                ops_per_sec: summary.mean_ops_per_sec,
+                min_ops_per_sec: summary.min_ops_per_sec,
+                max_ops_per_sec: summary.max_ops_per_sec,
+                runs: summary.runs,
+            });
+        }
+    }
+    rows
+}
+
+/// Experiment E4: `count` (aggregate query) versus `collect().len()` (the
+/// prior-work implementation) as the queried range widens. Single-threaded,
+/// so the difference is purely algorithmic. Three series are reported: the
+/// wait-free tree's aggregate `count`, the same tree answering through
+/// `collect`, and the lock-free external BST baseline whose *only* option is
+/// `collect` (the "linear-time solutions" class).
+pub fn count_scaling_rows(scale: ExperimentScale) -> Vec<FigureRow> {
+    let (key_range, duration) = match scale {
+        ExperimentScale::Quick => (100_000i64, Duration::from_millis(200)),
+        ExperimentScale::Paper => (2_000_000i64, Duration::from_secs(3)),
+    };
+    let series: [(TreeImpl, bool, &str); 4] = [
+        (TreeImpl::WaitFree, false, "count (aggregate)"),
+        (TreeImpl::WaitFree, true, "collect().len()"),
+        (TreeImpl::Trie, false, "trie count (aggregate)"),
+        (TreeImpl::LockFreeLinear, true, "lock-free-bst collect().len()"),
+    ];
+    let mut rows = Vec::new();
+    for &fraction in &[0.0001, 0.001, 0.01, 0.1, 0.5] {
+        for &(imp, via_collect, label) in &series {
+            let spec = WorkloadSpec::count_only(key_range, fraction, via_collect);
+            let config = ExperimentConfig {
+                threads: vec![1],
+                duration,
+                runs: 2,
+                seed: 7,
+            };
+            let summary = run_experiment(imp, &spec, 1, &config);
+            rows.push(FigureRow {
+                workload: format!("range×{fraction}"),
+                implementation: label.to_string(),
+                threads: 1,
+                ops_per_sec: summary.mean_ops_per_sec,
+                min_ops_per_sec: summary.min_ops_per_sec,
+                max_ops_per_sec: summary.max_ops_per_sec,
+                runs: summary.runs,
+            });
+        }
+    }
+    rows
+}
+
+/// Experiment E5: rebuild-factor ablation. Sweeps the §II-E constant `K`
+/// under the insert-delete workload and reports throughput; the rebuild
+/// counters are printed alongside by the `figures` binary.
+pub fn rebuild_ablation_rows(scale: ExperimentScale) -> Vec<FigureRow> {
+    let spec = scale.scale_spec(WorkloadSpec::insert_delete());
+    let (duration, runs, threads) = match scale {
+        ExperimentScale::Quick => (Duration::from_millis(200), 2, 2),
+        ExperimentScale::Paper => (Duration::from_secs(5), 3, 8),
+    };
+    let mut rows = Vec::new();
+    for &factor in &[0.5f64, 1.0, 2.0, 4.0, 8.0] {
+        let mut throughputs = Vec::new();
+        for run in 0..runs {
+            let prefill = spec.prefill_keys(100 + run as u64);
+            let tree = WaitFreeTree::<i64>::from_entries_with_config(
+                prefill.iter().map(|&k| (k, ())),
+                TreeConfig {
+                    rebuild_factor: factor,
+                    ..TreeConfig::default()
+                },
+            );
+            let set: Arc<dyn wft_workload::ConcurrentSet> = Arc::new(tree);
+            let result = timed_run(set, &spec, threads, duration, 100 + run as u64);
+            throughputs.push(result.ops_per_sec);
+        }
+        let mean = throughputs.iter().sum::<f64>() / throughputs.len() as f64;
+        rows.push(FigureRow {
+            workload: spec.name.to_string(),
+            implementation: format!("wait-free-tree(K={factor})"),
+            threads,
+            ops_per_sec: mean,
+            min_ops_per_sec: throughputs.iter().copied().fold(f64::INFINITY, f64::min),
+            max_ops_per_sec: throughputs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            runs,
+        });
+    }
+    rows
+}
+
+/// Experiment E6: lock-free vs wait-free root queue under update-heavy
+/// contention (Lemma 1's construction costs `O(P log P)` per enqueue).
+pub fn root_queue_rows(scale: ExperimentScale) -> Vec<FigureRow> {
+    figure_rows(
+        WorkloadSpec::successful_insert(),
+        &[TreeImpl::WaitFree, TreeImpl::WaitFreeWfRoot],
+        scale,
+    )
+}
+
+/// Experiment E7: mixed workloads with a growing share of aggregate range
+/// queries, across every implementation.
+pub fn range_mix_rows(scale: ExperimentScale) -> Vec<FigureRow> {
+    let config = scale.config();
+    let mut rows = Vec::new();
+    for &count_percent in &[1.0f64, 5.0, 20.0] {
+        let spec = scale.scale_spec(WorkloadSpec::range_mix(count_percent, 0.01));
+        for &threads in config.threads.iter().take(2) {
+            for imp in TreeImpl::ALL {
+                let summary = run_experiment(imp, &spec, threads, &config);
+                rows.push(FigureRow {
+                    workload: format!("range-mix({count_percent}%)"),
+                    implementation: imp.name().to_string(),
+                    threads,
+                    ops_per_sec: summary.mean_ops_per_sec,
+                    min_ops_per_sec: summary.min_ops_per_sec,
+                    max_ops_per_sec: summary.max_ops_per_sec,
+                    runs: summary.runs,
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_sweeps_are_well_formed() {
+        // A tiny sanity run of the figure-7 sweep restricted to one thread
+        // count and the two paper implementations.
+        let spec = WorkloadSpec::contains_benchmark().scaled_down(5_000);
+        let rows = {
+            let config = ExperimentConfig {
+                threads: vec![2],
+                duration: Duration::from_millis(30),
+                runs: 1,
+                seed: 1,
+            };
+            let mut rows = Vec::new();
+            for imp in TreeImpl::PAPER {
+                let summary = run_experiment(imp, &spec, 2, &config);
+                rows.push((imp.name(), summary.mean_ops_per_sec));
+            }
+            rows
+        };
+        assert_eq!(rows.len(), 2);
+        for (name, ops) in rows {
+            assert!(ops > 0.0, "{name} reported zero throughput");
+        }
+    }
+
+    #[test]
+    fn scale_configuration_is_consistent() {
+        assert!(ExperimentScale::Quick.threads().len() < ExperimentScale::Paper.threads().len());
+        assert!(ExperimentScale::Quick.config().duration < ExperimentScale::Paper.config().duration);
+    }
+}

@@ -1,0 +1,26 @@
+//! Experiment drivers for the paper's evaluation.
+//!
+//! Two kinds of benchmarks live in this crate:
+//!
+//! * the **`figures` binary** (`cargo run -p wft-bench --release --bin
+//!   figures -- <experiment>`) — reproduces every figure of the paper's
+//!   evaluation (and the additional experiments listed in DESIGN.md §4) as
+//!   throughput tables, using the multi-threaded timed harness from
+//!   `wft-workload`;
+//! * the **criterion benches** in `benches/` — per-operation latency
+//!   micro-benchmarks (one per experiment family) that run under
+//!   `cargo bench` and capture the asymptotic claims (e.g. `count` vs
+//!   `collect().len()` as the range grows).
+//!
+//! The library part of the crate hosts the experiment definitions shared by
+//! both so the binary and the benches cannot drift apart.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+
+pub use experiments::{
+    count_scaling_rows, figure_rows, range_mix_rows, rebuild_ablation_rows, root_queue_rows,
+    ExperimentScale,
+};

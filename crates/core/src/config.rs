@@ -1,0 +1,151 @@
+//! Tree configuration and operational statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which root-queue implementation allocates timestamps (§II-D / §II-F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootQueueKind {
+    /// Michael–Scott based queue whose enqueue assigns `tail.ts + 1` in a
+    /// CAS loop. Lock-free; this is the paper's baseline implementation.
+    LockFree,
+    /// Announce-array + fetch-and-add + helping queue (Lemma 1). Wait-free;
+    /// bounded by the configured number of announce slots.
+    WaitFree {
+        /// Maximum number of concurrent enqueuers (the paper's `|P|`).
+        slots: usize,
+    },
+}
+
+/// Construction-time parameters of a [`crate::WaitFreeTree`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Rebuild factor `K` (§II-E): a subtree is rebuilt when its modification
+    /// counter exceeds `K` times its size at creation.
+    pub rebuild_factor: f64,
+    /// Number of hash buckets of the presence index.
+    pub presence_buckets: usize,
+    /// Root queue implementation.
+    pub root_queue: RootQueueKind,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            rebuild_factor: 1.0,
+            presence_buckets: 1 << 16,
+            root_queue: RootQueueKind::LockFree,
+        }
+    }
+}
+
+impl TreeConfig {
+    /// Validates the configuration, panicking on nonsensical values.
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.rebuild_factor.is_finite() && self.rebuild_factor > 0.0,
+            "rebuild factor must be positive and finite"
+        );
+        if let RootQueueKind::WaitFree { slots } = self.root_queue {
+            assert!(slots >= 1, "wait-free root queue needs at least one slot");
+        }
+    }
+}
+
+/// Live operational counters of a tree (all relaxed atomics; approximate
+/// under concurrency but exact once the tree is quiescent).
+#[derive(Debug, Default)]
+pub struct TreeCounters {
+    /// Successful inserts applied.
+    pub inserts: AtomicU64,
+    /// Successful removes applied.
+    pub removes: AtomicU64,
+    /// Update operations whose decision was "no effect".
+    pub failed_updates: AtomicU64,
+    /// Descriptors executed in nodes on behalf of *other* operations
+    /// (hand-over-hand helping events).
+    pub helped_executions: AtomicU64,
+    /// Subtree rebuilds performed.
+    pub rebuilds: AtomicU64,
+    /// Data items copied into rebuilt subtrees.
+    pub rebuilt_items: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`TreeCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Successful inserts applied.
+    pub inserts: u64,
+    /// Successful removes applied.
+    pub removes: u64,
+    /// Updates that had no effect.
+    pub failed_updates: u64,
+    /// Helping events (descriptor executed by a non-initiator).
+    pub helped_executions: u64,
+    /// Subtree rebuilds performed.
+    pub rebuilds: u64,
+    /// Items copied during rebuilds.
+    pub rebuilt_items: u64,
+}
+
+impl TreeCounters {
+    pub(crate) fn snapshot(&self) -> TreeStats {
+        TreeStats {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+            failed_updates: self.failed_updates.load(Ordering::Relaxed),
+            helped_executions: self.helped_executions.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            rebuilt_items: self.rebuilt_items.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        TreeConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "rebuild factor")]
+    fn zero_rebuild_factor_rejected() {
+        TreeConfig {
+            rebuild_factor: 0.0,
+            ..TreeConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slot_wait_free_queue_rejected() {
+        TreeConfig {
+            root_queue: RootQueueKind::WaitFree { slots: 0 },
+            ..TreeConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn counters_snapshot_reflects_bumps() {
+        let counters = TreeCounters::default();
+        TreeCounters::bump(&counters.inserts);
+        TreeCounters::bump(&counters.inserts);
+        TreeCounters::add(&counters.rebuilt_items, 40);
+        let snap = counters.snapshot();
+        assert_eq!(snap.inserts, 2);
+        assert_eq!(snap.rebuilt_items, 40);
+        assert_eq!(snap.removes, 0);
+    }
+}

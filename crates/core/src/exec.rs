@@ -1,0 +1,740 @@
+//! The hand-over-hand helping execution engine (§II-B, §II-C, §II-E).
+//!
+//! Every public tree operation goes through [`WaitFreeTree::run_operation`]:
+//!
+//! 1. the descriptor is enqueued at the (fictive) root and receives its
+//!    timestamp — this is the linearization point;
+//! 2. the initiator *helps* execute every descriptor ahead of it in the root
+//!    queue, then its own, exactly as `execute_until_timestamp` (Listing 1)
+//!    prescribes;
+//! 3. it then walks the descriptor's `Traverse` queue (Listing 2), helping at
+//!    every node on the operation's path until the queue drains;
+//! 4. finally the result is assembled from the `Processed` map / the resolved
+//!    decision.
+//!
+//! The single function [`WaitFreeTree::execute_op_at`] implements "executing
+//! an operation in a node" (Listing 3) for both the fictive root and regular
+//! inner nodes; it is idempotent and may be invoked by any number of helpers
+//! concurrently:
+//!
+//! * update effects are fixed exactly once through the presence index
+//!   (fictive root only),
+//! * child state changes are guarded by `Ts_Mod`,
+//! * descriptor insertion/removal uses the exactly-once `push_if` / `pop_if`,
+//! * per-node partial results go through the first-write-wins `Processed`
+//!   map,
+//! * structural changes (leaf split / leaf removal / subtree replacement) are
+//!   plain pointer CASes whose expected value makes them exactly-once.
+
+use crossbeam_epoch::{Guard, Owned, Shared};
+use std::sync::atomic::Ordering::{AcqRel, Acquire};
+
+use wft_queue::{Timestamp, UpdateKind};
+use wft_seq::{Augmentation, Key, Value};
+
+use crate::config::TreeCounters;
+use crate::descriptor::{Descriptor, OpKind, OpRef, Partial, RangeMode};
+use crate::node::{
+    build_subtree, collect_subtree, free_subtree_now, retire_subtree, InnerNode, LeafNode, Node,
+    NodePtr, NodeState, FICTIVE_ROOT_ID,
+};
+use crate::tree::WaitFreeTree;
+
+/// The node an operation is currently being executed *in*: either the
+/// fictive root (which owns the root queue and the real-root child slot) or a
+/// regular inner node.
+pub(crate) enum ParentRef<'g, K: Key, V: Value, A: Augmentation<K, V>> {
+    /// The fictive root (§II-B): no state of its own, one child — the real
+    /// root.
+    Fictive,
+    /// A regular inner node.
+    Inner(&'g InnerNode<K, V, A>),
+}
+
+// Manual Clone/Copy: the derived impls would demand `K: Copy, V: Copy`
+// bounds, but the enum only holds a shared reference.
+impl<K: Key, V: Value, A: Augmentation<K, V>> Clone for ParentRef<'_, K, V, A> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K: Key, V: Value, A: Augmentation<K, V>> Copy for ParentRef<'_, K, V, A> {}
+
+impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
+    /// Runs one operation end to end and returns its descriptor (with every
+    /// partial result recorded) plus its timestamp.
+    pub(crate) fn run_operation(&self, kind: OpKind<K, V>) -> (OpRef<K, V, A>, Timestamp) {
+        // The guard is pinned before the descriptor becomes visible and held
+        // until the operation completes; every node pointer the operation
+        // touches (including entries of its traverse queue) stays valid under
+        // this single guard (see `NodePtr`).
+        let guard = crossbeam_epoch::pin();
+        let op = Descriptor::new_ref(kind);
+        let ts = self.root_queue.enqueue(op.clone(), &guard);
+
+        // Phase 1: the fictive root. Helping everything older than us also
+        // resolves our own decision / pushes us towards the real root.
+        self.help_until(ParentRef::Fictive, ts, &guard);
+
+        // Phase 2: walk the traverse queue (Listing 2). Only the initiator
+        // pops; helpers merely append.
+        loop {
+            match op.traverse.peek() {
+                None => break,
+                Some(node_ptr) => {
+                    // Safety: initiator + guard pinned since before enqueue.
+                    let node = unsafe { node_ptr.deref(&guard) };
+                    if let Node::Inner(inner) = node {
+                        self.help_until(ParentRef::Inner(inner), ts, &guard);
+                    }
+                    op.traverse.pop();
+                }
+            }
+        }
+        (op, ts)
+    }
+
+    /// `execute_until_timestamp` (Listing 1): execute every descriptor at the
+    /// head of `parent`'s queue whose timestamp does not exceed `ts`.
+    pub(crate) fn help_until(
+        &self,
+        parent: ParentRef<'_, K, V, A>,
+        ts: Timestamp,
+        guard: &Guard,
+    ) {
+        loop {
+            let head = match parent {
+                ParentRef::Fictive => self.root_queue.peek(guard),
+                ParentRef::Inner(inner) => inner.queue.peek(guard),
+            };
+            match head {
+                None => return,
+                Some((head_ts, head_op)) => {
+                    if head_ts > ts {
+                        return;
+                    }
+                    if head_ts != ts {
+                        TreeCounters::bump(&self.counters.helped_executions);
+                    }
+                    self.execute_op_at(&head_op, head_ts, parent, guard);
+                }
+            }
+        }
+    }
+
+    /// `execute_in_node` (Listing 3): executes `op` (with timestamp `ts`) in
+    /// `parent`. Idempotent; safe to call from any number of helpers.
+    pub(crate) fn execute_op_at(
+        &self,
+        op: &OpRef<K, V, A>,
+        ts: Timestamp,
+        parent: ParentRef<'_, K, V, A>,
+        guard: &Guard,
+    ) {
+        // --- Step 0: resolve update effects at the linearization point. ----
+        if op.kind.is_update() {
+            if matches!(parent, ParentRef::Fictive) {
+                self.resolve_update(op, ts, guard);
+            }
+            // Below the fictive root the decision is always already resolved
+            // (the descriptor only enters child queues afterwards).
+        }
+
+        let parent_id = match parent {
+            ParentRef::Fictive => FICTIVE_ROOT_ID,
+            ParentRef::Inner(inner) => inner.id,
+        };
+
+        // --- Step 1: work out where the operation continues and what this
+        //     node contributes to the result. -------------------------------
+        let mut partial: Partial<K, V, A::Agg> = match &op.kind {
+            OpKind::Insert { .. } | OpKind::Remove { .. } => Partial::Unit,
+            OpKind::Lookup { .. } => Partial::Lookup(None),
+            OpKind::RangeAgg { .. } => Partial::Agg(A::identity()),
+            OpKind::Collect { .. } => Partial::Entries(Vec::new()),
+        };
+
+        match parent {
+            ParentRef::Fictive => {
+                let descend = match &op.kind {
+                    OpKind::Insert { .. } | OpKind::Remove { .. } => {
+                        op.resolved_decision().success
+                    }
+                    _ => true,
+                };
+                if descend {
+                    let mode = match &op.kind {
+                        OpKind::RangeAgg { min, max } | OpKind::Collect { min, max } => {
+                            Some(RangeMode::Both {
+                                min: *min,
+                                max: *max,
+                            })
+                        }
+                        _ => None,
+                    };
+                    self.continue_into_child(op, ts, &self.root_child, mode, &mut partial, guard);
+                }
+            }
+            ParentRef::Inner(inner) => match &op.kind {
+                OpKind::Insert { key, .. } | OpKind::Remove { key } | OpKind::Lookup { key } => {
+                    let slot = if key < &inner.rsm {
+                        &inner.left
+                    } else {
+                        &inner.right
+                    };
+                    self.continue_into_child(op, ts, slot, None, &mut partial, guard);
+                }
+                OpKind::RangeAgg { .. } => {
+                    let mode = op
+                        .modes
+                        .get(&inner.id)
+                        .expect("range mode recorded before the descriptor entered this queue");
+                    self.continue_range_agg(op, ts, inner, mode, &mut partial, guard);
+                }
+                OpKind::Collect { min, max } => {
+                    let mode = RangeMode::Both {
+                        min: *min,
+                        max: *max,
+                    };
+                    if min < &inner.rsm {
+                        self.continue_into_child(
+                            op,
+                            ts,
+                            &inner.left,
+                            Some(mode),
+                            &mut partial,
+                            guard,
+                        );
+                    }
+                    if max >= &inner.rsm {
+                        self.continue_into_child(
+                            op,
+                            ts,
+                            &inner.right,
+                            Some(mode),
+                            &mut partial,
+                            guard,
+                        );
+                    }
+                }
+            },
+        }
+
+        // --- Step 2: record this node's partial result (unconditionally, to
+        //     claim the node id against stalled helpers — §II-B). -----------
+        op.processed.try_insert(parent_id, partial);
+
+        // --- Step 3: remove the descriptor from this node's queue. ---------
+        match parent {
+            ParentRef::Fictive => {
+                self.root_queue.pop_if(ts, guard);
+            }
+            ParentRef::Inner(inner) => {
+                inner.queue.pop_if(ts, guard);
+            }
+        }
+    }
+
+    /// Resolves the effect of an update descriptor through the presence
+    /// index, exactly once, and maintains the tree's size and counters.
+    fn resolve_update(&self, op: &OpRef<K, V, A>, ts: Timestamp, guard: &Guard) {
+        let (key, update) = match &op.kind {
+            OpKind::Insert { key, value } => (key, UpdateKind::Insert(value.clone())),
+            OpKind::Remove { key } => (key, UpdateKind::Remove),
+            _ => unreachable!("resolve_update called for a read-only operation"),
+        };
+        let (decision, first_application) =
+            self.presence
+                .resolve(key, ts, &update, &op.decision, guard);
+        if first_application {
+            // Exactly one process per descriptor reaches this branch, so the
+            // size counter stays exact.
+            if decision.success {
+                match &op.kind {
+                    OpKind::Insert { .. } => {
+                        self.len.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        TreeCounters::bump(&self.counters.inserts);
+                    }
+                    OpKind::Remove { .. } => {
+                        self.len.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+                        TreeCounters::bump(&self.counters.removes);
+                    }
+                    _ => unreachable!(),
+                }
+            } else {
+                TreeCounters::bump(&self.counters.failed_updates);
+            }
+        }
+    }
+
+    /// Range-aggregate continuation at an inner node: implements the
+    /// three-mode scheme of the appendix, adding the aggregates of fully
+    /// covered subtrees to the node's partial result instead of descending
+    /// into them.
+    fn continue_range_agg(
+        &self,
+        op: &OpRef<K, V, A>,
+        ts: Timestamp,
+        inner: &InnerNode<K, V, A>,
+        mode: RangeMode<K>,
+        partial: &mut Partial<K, V, A::Agg>,
+        guard: &Guard,
+    ) {
+        match mode {
+            RangeMode::Both { min, max } => {
+                if min >= inner.rsm {
+                    self.continue_into_child(
+                        op,
+                        ts,
+                        &inner.right,
+                        Some(RangeMode::Both { min, max }),
+                        partial,
+                        guard,
+                    );
+                } else if max < inner.rsm {
+                    self.continue_into_child(
+                        op,
+                        ts,
+                        &inner.left,
+                        Some(RangeMode::Both { min, max }),
+                        partial,
+                        guard,
+                    );
+                } else {
+                    // Fork node: left side keeps only the lower border, right
+                    // side only the upper border.
+                    self.continue_into_child(
+                        op,
+                        ts,
+                        &inner.left,
+                        Some(RangeMode::LeftBorder { min }),
+                        partial,
+                        guard,
+                    );
+                    self.continue_into_child(
+                        op,
+                        ts,
+                        &inner.right,
+                        Some(RangeMode::RightBorder { max }),
+                        partial,
+                        guard,
+                    );
+                }
+            }
+            RangeMode::LeftBorder { min } => {
+                if min >= inner.rsm {
+                    self.continue_into_child(
+                        op,
+                        ts,
+                        &inner.right,
+                        Some(RangeMode::LeftBorder { min }),
+                        partial,
+                        guard,
+                    );
+                } else {
+                    // The whole right subtree is inside the range: take its
+                    // aggregate from the child state, do not descend.
+                    let right = inner.right.load(Acquire, guard);
+                    let contribution = unsafe { right.deref() }.current_agg(guard);
+                    merge_agg::<K, V, A>(partial, &contribution);
+                    self.continue_into_child(
+                        op,
+                        ts,
+                        &inner.left,
+                        Some(RangeMode::LeftBorder { min }),
+                        partial,
+                        guard,
+                    );
+                }
+            }
+            RangeMode::RightBorder { max } => {
+                if max < inner.rsm {
+                    self.continue_into_child(
+                        op,
+                        ts,
+                        &inner.left,
+                        Some(RangeMode::RightBorder { max }),
+                        partial,
+                        guard,
+                    );
+                } else {
+                    let left = inner.left.load(Acquire, guard);
+                    let contribution = unsafe { left.deref() }.current_agg(guard);
+                    merge_agg::<K, V, A>(partial, &contribution);
+                    self.continue_into_child(
+                        op,
+                        ts,
+                        &inner.right,
+                        Some(RangeMode::RightBorder { max }),
+                        partial,
+                        guard,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Continues the execution of `op` into the child stored in `slot`
+    /// (paper Listing 3, steps 2.1–2.2 plus the §II-E rebuild hook):
+    ///
+    /// * inner child — possibly rebuild it, register it in the traverse
+    ///   queue, record its range mode, apply the update's state delta
+    ///   (guarded by `Ts_Mod`) and `push_if` the descriptor into its queue;
+    /// * leaf / empty child — the operation bottoms out here: apply the
+    ///   structural change (insert/remove) or fold the leaf's contribution
+    ///   into the node's partial result (lookups and range queries).
+    fn continue_into_child(
+        &self,
+        op: &OpRef<K, V, A>,
+        ts: Timestamp,
+        slot: &crossbeam_epoch::Atomic<Node<K, V, A>>,
+        mode: Option<RangeMode<K>>,
+        partial: &mut Partial<K, V, A::Agg>,
+        guard: &Guard,
+    ) {
+        // The rebuild threshold is evaluated at most once per continuation:
+        // after a rebuild the slot is re-read and execution simply continues
+        // in the fresh subtree (§II-E). Re-checking would loop forever for
+        // rebuild factors below 1, where a freshly built single-entry subtree
+        // immediately satisfies `mod_cnt + 1 > K · init_sz` again.
+        let mut rebuild_checked = false;
+        loop {
+            let child = slot.load(Acquire, guard);
+            match unsafe { child.deref() } {
+                Node::Inner(c) => {
+                    if op.kind.is_update() && !rebuild_checked {
+                        rebuild_checked = true;
+                        debug_assert!(op.resolved_decision().success);
+                        let state = c.load_state(guard);
+                        if state.ts_mod < ts && self.needs_rebuild(state.mod_cnt + 1, c.init_sz) {
+                            self.rebuild_subtree(slot, child, ts, guard);
+                            // Re-read the slot: it now holds the rebuilt
+                            // subtree (built by us or by another helper).
+                            continue;
+                        }
+                    }
+                    // Make the child reachable for the initiator *before* the
+                    // descriptor can be executed (and popped) there.
+                    op.traverse.push(NodePtr::from_shared(child));
+                    if let Some(mode) = mode {
+                        op.modes.try_insert(c.id, mode);
+                    }
+                    if op.kind.is_update() {
+                        self.apply_state_delta(op, ts, c, guard);
+                    }
+                    c.queue.push_if(ts, op.clone(), guard);
+                    return;
+                }
+                Node::Leaf(leaf) => {
+                    self.execute_at_leaf(op, ts, slot, child, leaf, mode, partial, guard);
+                    return;
+                }
+                Node::Empty(empty) => {
+                    self.execute_at_empty(op, ts, slot, child, empty, mode, partial, guard);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Applies the augmentation delta of a successful update to an inner
+    /// child's state, exactly once (the `Ts_Mod` CAS guard of §II-C).
+    fn apply_state_delta(
+        &self,
+        op: &OpRef<K, V, A>,
+        ts: Timestamp,
+        child: &InnerNode<K, V, A>,
+        guard: &Guard,
+    ) {
+        let decision = op.resolved_decision();
+        if !decision.success {
+            return;
+        }
+        let state_shared = child.load_state_shared(guard);
+        let state = unsafe { state_shared.deref() };
+        if state.ts_mod >= ts {
+            // Already applied by another helper.
+            return;
+        }
+        let new_agg = match &op.kind {
+            OpKind::Insert { key, value } => A::insert_delta(&state.agg, key, value),
+            OpKind::Remove { key } => {
+                let prior = decision
+                    .prior_value
+                    .as_ref()
+                    .expect("a successful remove always knows the removed value");
+                A::remove_delta(&state.agg, key, prior)
+            }
+            _ => unreachable!("state deltas only exist for updates"),
+        };
+        let new_state = Owned::new(NodeState {
+            agg: new_agg,
+            mod_cnt: state.mod_cnt + 1,
+            ts_mod: ts,
+        });
+        // Whatever the outcome, the state is now updated exactly once: either
+        // by us (success) or by the helper that beat us (failure).
+        if child
+            .state
+            .compare_exchange(state_shared, new_state, AcqRel, Acquire, guard)
+            .is_ok()
+        {
+            unsafe { guard.defer_destroy(state_shared) };
+        }
+    }
+
+    /// Bottom-of-path handling when the continuation child is a leaf.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_at_leaf(
+        &self,
+        op: &OpRef<K, V, A>,
+        ts: Timestamp,
+        slot: &crossbeam_epoch::Atomic<Node<K, V, A>>,
+        child: Shared<'_, Node<K, V, A>>,
+        leaf: &LeafNode<K, V>,
+        mode: Option<RangeMode<K>>,
+        partial: &mut Partial<K, V, A::Agg>,
+        guard: &Guard,
+    ) {
+        match &op.kind {
+            OpKind::Insert { key, value } => {
+                if leaf.created_ts >= ts || &leaf.key == key {
+                    // Either the leaf already carries the key (the structural
+                    // change was applied through a (re)built subtree), or the
+                    // leaf was created by a *later* operation — in which case
+                    // our change has already been applied by a faster helper
+                    // and the slot has since been reused; touching it now
+                    // would corrupt later operations' work.
+                    return;
+                }
+                // Split the leaf: a fresh routing node over the old and the
+                // new key. Its state already includes the new key, so its
+                // `ts_mod` / queue watermark are set to `ts` — stalled
+                // helpers of this very operation must not apply the delta or
+                // enqueue the descriptor again.
+                let (lo, hi) = if key < &leaf.key {
+                    ((*key, value.clone()), (leaf.key, leaf.value.clone()))
+                } else {
+                    ((leaf.key, leaf.value.clone()), (*key, value.clone()))
+                };
+                let agg = A::combine(&A::of_entry(&lo.0, &lo.1), &A::of_entry(&hi.0, &hi.1));
+                let split = Node::Inner(InnerNode {
+                    id: self.ids.fresh(),
+                    rsm: hi.0,
+                    init_sz: 2,
+                    left: crossbeam_epoch::Atomic::new(Node::Leaf(LeafNode {
+                        key: lo.0,
+                        value: lo.1,
+                        created_ts: ts,
+                    })),
+                    right: crossbeam_epoch::Atomic::new(Node::Leaf(LeafNode {
+                        key: hi.0,
+                        value: hi.1,
+                        created_ts: ts,
+                    })),
+                    state: crossbeam_epoch::Atomic::new(NodeState {
+                        agg,
+                        mod_cnt: 0,
+                        ts_mod: ts,
+                    }),
+                    queue: wft_queue::TsQueue::new(ts),
+                });
+                match slot.compare_exchange(child, Owned::new(split), AcqRel, Acquire, guard) {
+                    Ok(_) => {
+                        // The old leaf was replaced (its data was copied into
+                        // the new subtree); retire it.
+                        unsafe { guard.defer_destroy(child) };
+                    }
+                    Err(e) => {
+                        // Another helper already applied the change; discard
+                        // our speculative subtree (never published).
+                        free_subtree_now(e.new.into_shared(unsafe {
+                            crossbeam_epoch::unprotected()
+                        }));
+                    }
+                }
+            }
+            OpKind::Remove { key } => {
+                if leaf.created_ts >= ts || &leaf.key != key {
+                    // Either the leaf was already replaced through a rebuild
+                    // that accounted for this removal, or it belongs to a
+                    // later operation that reused the slot after our removal
+                    // was applied; nothing to do (and the second case must
+                    // not be touched).
+                    return;
+                }
+                match slot.compare_exchange(
+                    child,
+                    Owned::new(Node::empty(ts)),
+                    AcqRel,
+                    Acquire,
+                    guard,
+                ) {
+                    Ok(_) => unsafe { guard.defer_destroy(child) },
+                    Err(e) => {
+                        free_subtree_now(e.new.into_shared(unsafe {
+                            crossbeam_epoch::unprotected()
+                        }));
+                    }
+                }
+            }
+            OpKind::Lookup { key } => {
+                let found = if &leaf.key == key {
+                    Some(leaf.value.clone())
+                } else {
+                    None
+                };
+                *partial = Partial::Lookup(Some(found));
+            }
+            OpKind::RangeAgg { .. } => {
+                let mode = mode.expect("range queries always carry a mode");
+                if mode.admits(&leaf.key) {
+                    let contribution = A::of_entry(&leaf.key, &leaf.value);
+                    merge_agg::<K, V, A>(partial, &contribution);
+                }
+            }
+            OpKind::Collect { .. } => {
+                let mode = mode.expect("collect always carries its bounds");
+                if mode.admits(&leaf.key) {
+                    if let Partial::Entries(entries) = partial {
+                        entries.push((leaf.key, leaf.value.clone()));
+                    }
+                }
+            }
+        }
+        let _ = ts; // timestamps are not needed at leaves beyond the CAS guards above
+    }
+
+    /// Bottom-of-path handling when the continuation child is an `Empty`
+    /// placeholder.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_at_empty(
+        &self,
+        op: &OpRef<K, V, A>,
+        ts: Timestamp,
+        slot: &crossbeam_epoch::Atomic<Node<K, V, A>>,
+        child: Shared<'_, Node<K, V, A>>,
+        empty: &crate::node::EmptyNode,
+        _mode: Option<RangeMode<K>>,
+        partial: &mut Partial<K, V, A::Agg>,
+        guard: &Guard,
+    ) {
+        match &op.kind {
+            OpKind::Insert { key, value } => {
+                if empty.created_ts >= ts {
+                    // The placeholder was created by a later removal: our
+                    // insertion has already been applied (and possibly undone
+                    // again) by later-linearized operations.
+                    return;
+                }
+                let leaf = Node::Leaf(LeafNode {
+                    key: *key,
+                    value: value.clone(),
+                    created_ts: ts,
+                });
+                match slot.compare_exchange(child, Owned::new(leaf), AcqRel, Acquire, guard) {
+                    Ok(_) => unsafe { guard.defer_destroy(child) },
+                    Err(e) => {
+                        free_subtree_now(e.new.into_shared(unsafe {
+                            crossbeam_epoch::unprotected()
+                        }));
+                    }
+                }
+            }
+            OpKind::Remove { .. } => {
+                // A successful remove never bottoms out at Empty (the key was
+                // present at the linearization point and nothing else can
+                // remove it before us); a stalled helper may get here after
+                // the fact, in which case there is nothing to do.
+            }
+            OpKind::Lookup { .. } => {
+                *partial = Partial::Lookup(Some(None));
+            }
+            OpKind::RangeAgg { .. } | OpKind::Collect { .. } => {
+                // An empty position contributes nothing.
+            }
+        }
+    }
+
+    /// `Mod_Cnt > K · Init_Sz` check (§II-E).
+    fn needs_rebuild(&self, prospective_mod_cnt: u64, init_sz: u64) -> bool {
+        (prospective_mod_cnt as f64) > self.config.rebuild_factor * (init_sz.max(1) as f64)
+    }
+
+    /// Rebuilds the subtree stored in `slot` (currently `old_child`) into a
+    /// perfectly balanced one, as part of executing the operation with
+    /// timestamp `op_ts` in the slot's owner (§II-E):
+    ///
+    /// 1. finish every operation still pending inside the subtree,
+    /// 2. collect its entries,
+    /// 3. build a balanced replacement whose queues/states carry the
+    ///    watermark `op_ts - 1`,
+    /// 4. CAS the slot; on failure another helper already installed an
+    ///    equivalent replacement.
+    pub(crate) fn rebuild_subtree(
+        &self,
+        slot: &crossbeam_epoch::Atomic<Node<K, V, A>>,
+        old_child: Shared<'_, Node<K, V, A>>,
+        op_ts: Timestamp,
+        guard: &Guard,
+    ) {
+        // 1. Finish pending work. Only operations older than `op_ts` can be
+        // inside (later ones cannot pass us in the parent's queue).
+        self.drain_subtree(old_child, guard);
+
+        // 2. Collect the (now physically settled) entries.
+        let mut entries = Vec::new();
+        collect_subtree(old_child, &mut entries, guard);
+
+        // 3. Build the balanced replacement.
+        let watermark = op_ts.prev_saturating();
+        let (new_node, _agg) = build_subtree::<K, V, A>(&entries, watermark, &self.ids);
+
+        // 4. Swap it in.
+        match slot.compare_exchange(old_child, Owned::new(new_node), AcqRel, Acquire, guard) {
+            Ok(_) => {
+                retire_subtree(old_child, guard);
+                TreeCounters::bump(&self.counters.rebuilds);
+                TreeCounters::add(&self.counters.rebuilt_items, entries.len() as u64);
+            }
+            Err(e) => {
+                // Another helper replaced the subtree first; ours was never
+                // published and can be freed immediately.
+                free_subtree_now(e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }));
+            }
+        }
+    }
+
+    /// Executes every descriptor still queued anywhere in the subtree rooted
+    /// at `node` (pre-order: a node's queue is drained before its children
+    /// are visited, so descriptors pushed downwards by the drain are picked
+    /// up later in the same pass).
+    fn drain_subtree(&self, node: Shared<'_, Node<K, V, A>>, guard: &Guard) {
+        if node.is_null() {
+            return;
+        }
+        if let Node::Inner(inner) = unsafe { node.deref() } {
+            loop {
+                match inner.queue.peek(guard) {
+                    None => break,
+                    Some((head_ts, head_op)) => {
+                        TreeCounters::bump(&self.counters.helped_executions);
+                        self.execute_op_at(&head_op, head_ts, ParentRef::Inner(inner), guard);
+                    }
+                }
+            }
+            self.drain_subtree(inner.left.load(Acquire, guard), guard);
+            self.drain_subtree(inner.right.load(Acquire, guard), guard);
+        }
+    }
+}
+
+/// Folds an aggregate contribution into a `Partial::Agg` accumulator.
+fn merge_agg<K: Key, V: Value, A: Augmentation<K, V>>(
+    partial: &mut Partial<K, V, A::Agg>,
+    contribution: &A::Agg,
+) {
+    if let Partial::Agg(acc) = partial {
+        *acc = A::combine(acc, contribution);
+    }
+}

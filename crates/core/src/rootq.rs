@@ -1,0 +1,100 @@
+//! Root queue wrapper: lock-free or wait-free timestamp allocation behind a
+//! single interface (§II-D, §II-F).
+
+use crossbeam_epoch::Guard;
+
+use wft_queue::{Timestamp, TsQueue, WaitFreeRootQueue};
+
+/// The root queue of the fictive root: enqueues descriptors while allocating
+/// their timestamps, and supports the same `peek`/`pop_if` interface as every
+/// per-node queue so the fictive root can be executed like any other node.
+pub(crate) enum RootQueue<T: Clone + Send + Sync> {
+    /// Lock-free variant (Michael–Scott + `tail.ts + 1`).
+    LockFree(TsQueue<T>),
+    /// Wait-free variant (announce array + FAA + helping, Lemma 1).
+    WaitFree(WaitFreeRootQueue<T>),
+}
+
+impl<T: Clone + Send + Sync> RootQueue<T> {
+    pub(crate) fn lock_free() -> Self {
+        RootQueue::LockFree(TsQueue::new(Timestamp::ZERO))
+    }
+
+    pub(crate) fn wait_free(slots: usize) -> Self {
+        RootQueue::WaitFree(WaitFreeRootQueue::new(slots))
+    }
+
+    /// Enqueues a descriptor and returns its freshly allocated timestamp.
+    ///
+    /// For the wait-free variant an announce slot is claimed for the duration
+    /// of the call; if every slot is momentarily taken (more concurrent
+    /// enqueuers than the queue was sized for) the call falls back to
+    /// retrying the registration, which is the documented degradation mode.
+    pub(crate) fn enqueue(&self, item: T, guard: &Guard) -> Timestamp {
+        match self {
+            RootQueue::LockFree(q) => q.enqueue_assign(item, guard),
+            RootQueue::WaitFree(q) => loop {
+                if let Some(slot) = q.register() {
+                    let ts = q.enqueue(&slot, item, guard);
+                    q.unregister(slot);
+                    return ts;
+                }
+                std::hint::spin_loop();
+            },
+        }
+    }
+
+    pub(crate) fn peek(&self, guard: &Guard) -> Option<(Timestamp, T)> {
+        match self {
+            RootQueue::LockFree(q) => q.peek(guard),
+            RootQueue::WaitFree(q) => q.peek(guard),
+        }
+    }
+
+    pub(crate) fn pop_if(&self, ts: Timestamp, guard: &Guard) -> bool {
+        match self {
+            RootQueue::LockFree(q) => q.pop_if(ts, guard),
+            RootQueue::WaitFree(q) => q.pop_if(ts, guard),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self, guard: &Guard) -> bool {
+        match self {
+            RootQueue::LockFree(q) => q.is_empty(guard),
+            RootQueue::WaitFree(q) => q.is_empty(guard),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_epoch as epoch;
+
+    #[test]
+    fn lock_free_round_trip() {
+        let q: RootQueue<u32> = RootQueue::lock_free();
+        let guard = epoch::pin();
+        let t1 = q.enqueue(1, &guard);
+        let t2 = q.enqueue(2, &guard);
+        assert!(t1 < t2);
+        assert_eq!(q.peek(&guard), Some((t1, 1)));
+        assert!(q.pop_if(t1, &guard));
+        assert!(q.pop_if(t2, &guard));
+        assert!(q.is_empty(&guard));
+    }
+
+    #[test]
+    fn wait_free_round_trip() {
+        let q: RootQueue<u32> = RootQueue::wait_free(4);
+        let guard = epoch::pin();
+        let t1 = q.enqueue(1, &guard);
+        let t2 = q.enqueue(2, &guard);
+        assert!(t1 < t2);
+        assert_eq!(q.peek(&guard), Some((t1, 1)));
+        assert!(q.pop_if(t1, &guard));
+        assert!(q.pop_if(t2, &guard));
+        assert!(q.is_empty(&guard));
+    }
+}

@@ -1,0 +1,351 @@
+//! The linearizability decision procedure.
+//!
+//! Given a recorded [`History`] and a [`SequentialSpec`], the checker searches
+//! for a *linearization*: a total order of the completed operations that (a)
+//! respects the real-time precedence of the history (if operation A responded
+//! before operation B was invoked, A must come first) and (b) is a legal
+//! sequential execution of the specification producing exactly the observed
+//! results. Operations that never responded may be placed anywhere consistent
+//! with their invocation or omitted entirely.
+//!
+//! The search is the classic Wing & Gong depth-first enumeration of minimal
+//! operations, with Lowe's memoisation of visited (linearized-set, state)
+//! configurations so equivalent interleavings are explored once. Histories
+//! are limited to 128 operations — the intended use is many short adversarial
+//! histories, not one long trace.
+
+use std::collections::HashSet;
+
+use crate::history::History;
+use crate::spec::SequentialSpec;
+
+/// Outcome of a linearizability check.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// A linearization exists; the witness lists indices into
+    /// `history.completed` (and, after them, any pending operations that had
+    /// to be assumed to have taken effect) in linearization order.
+    Linearizable {
+        /// Indices of completed operations in the order they linearize.
+        witness: Vec<usize>,
+    },
+    /// No linearization exists.
+    NotLinearizable {
+        /// Human-readable explanation of the first conflict found on the
+        /// deepest path the search reached.
+        explanation: String,
+    },
+}
+
+impl Verdict {
+    /// `true` when the history is linearizable.
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, Verdict::Linearizable { .. })
+    }
+}
+
+/// Internal uniform view of completed and pending operations.
+struct Entry<Op, Ret> {
+    op: Op,
+    ret: Option<Ret>,
+    invoked_at: u64,
+    responded_at: u64,
+    /// Index into `history.completed` (pending operations get `usize::MAX`).
+    completed_index: usize,
+}
+
+/// Checks `history` against specification `S`, starting from `S::initial()`.
+pub fn check_history<S: SequentialSpec>(history: &History<S::Op, S::Ret>) -> Verdict {
+    check_history_with_initial::<S>(history, S::initial())
+}
+
+/// Checks `history` against specification `S`, starting from an explicit
+/// initial abstract state (e.g. the pre-fill of the concurrent structure).
+pub fn check_history_with_initial<S: SequentialSpec>(
+    history: &History<S::Op, S::Ret>,
+    initial: S::State,
+) -> Verdict {
+    let mut entries: Vec<Entry<S::Op, S::Ret>> = Vec::with_capacity(history.len());
+    for (i, op) in history.completed.iter().enumerate() {
+        entries.push(Entry {
+            op: op.op.clone(),
+            ret: Some(op.ret.clone()),
+            invoked_at: op.invoked_at,
+            responded_at: op.responded_at,
+            completed_index: i,
+        });
+    }
+    for op in &history.pending {
+        entries.push(Entry {
+            op: op.op.clone(),
+            ret: None,
+            invoked_at: op.invoked_at,
+            responded_at: u64::MAX,
+            completed_index: usize::MAX,
+        });
+    }
+    assert!(
+        entries.len() <= 128,
+        "the checker handles at most 128 operations per history ({} recorded); \
+         split the execution into smaller histories",
+        entries.len()
+    );
+
+    let all_completed: u128 = history
+        .completed
+        .iter()
+        .enumerate()
+        .fold(0u128, |mask, (i, _)| mask | (1u128 << i));
+
+    let mut seen: HashSet<(u128, S::State)> = HashSet::new();
+    let mut witness = Vec::new();
+    let mut deepest_failure = String::new();
+    let mut deepest_done = 0usize;
+
+    let linearizable = dfs::<S>(
+        &entries,
+        0u128,
+        &initial,
+        all_completed,
+        &mut seen,
+        &mut witness,
+        &mut deepest_failure,
+        &mut deepest_done,
+    );
+    if linearizable {
+        Verdict::Linearizable { witness }
+    } else {
+        Verdict::NotLinearizable {
+            explanation: if deepest_failure.is_empty() {
+                "no linearization order satisfies the real-time constraints".to_string()
+            } else {
+                deepest_failure
+            },
+        }
+    }
+}
+
+/// Recursive search. `done` is the bitmask of already-linearized entries.
+/// Returns `true` on success, filling `witness` (in reverse construction
+/// order, already correct because entries are pushed on the way down).
+#[allow(clippy::too_many_arguments)]
+fn dfs<S: SequentialSpec>(
+    entries: &[Entry<S::Op, S::Ret>],
+    done: u128,
+    state: &S::State,
+    all_completed: u128,
+    seen: &mut HashSet<(u128, S::State)>,
+    witness: &mut Vec<usize>,
+    deepest_failure: &mut String,
+    deepest_done: &mut usize,
+) -> bool {
+    // Success when every completed operation has been linearized; pending
+    // operations may simply never have taken effect.
+    let completed_done = done & all_completed;
+    if completed_done == all_completed {
+        return true;
+    }
+    if !seen.insert((done, state.clone())) {
+        return false;
+    }
+    // The earliest response among operations not yet linearized bounds which
+    // operations may linearize next: only those invoked before it.
+    let mut earliest_response = u64::MAX;
+    for (i, entry) in entries.iter().enumerate() {
+        if done & (1u128 << i) == 0 {
+            earliest_response = earliest_response.min(entry.responded_at);
+        }
+    }
+    for (i, entry) in entries.iter().enumerate() {
+        if done & (1u128 << i) != 0 || entry.invoked_at > earliest_response {
+            continue;
+        }
+        let (next_state, ret) = S::apply(state, &entry.op);
+        if let Some(observed) = &entry.ret {
+            if observed != &ret {
+                let depth = done.count_ones() as usize;
+                if depth >= *deepest_done {
+                    *deepest_done = depth;
+                    *deepest_failure = format!(
+                        "operation {:?} observed {:?} but the specification requires {:?} \
+                         at this point of the candidate linearization",
+                        entry.op, observed, ret
+                    );
+                }
+                continue;
+            }
+        }
+        witness.push(entry.completed_index);
+        if dfs::<S>(
+            entries,
+            done | (1u128 << i),
+            &next_state,
+            all_completed,
+            seen,
+            witness,
+            deepest_failure,
+            deepest_done,
+        ) {
+            return true;
+        }
+        witness.pop();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::History;
+    use crate::spec::{RangeSetOp, RangeSetRet, RangeSetSpec};
+
+    type H = History<RangeSetOp, RangeSetRet>;
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let history: H = History::record(1, |_| {});
+        assert!(check_history::<RangeSetSpec>(&history).is_linearizable());
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let history: H = History::record(1, |recorders| {
+            let r = &recorders[0];
+            r.run(RangeSetOp::Insert(1), || RangeSetRet::Bool(true));
+            r.run(RangeSetOp::Insert(1), || RangeSetRet::Bool(false));
+            r.run(RangeSetOp::Count(0, 10), || RangeSetRet::Count(1));
+            r.run(RangeSetOp::Remove(1), || RangeSetRet::Bool(true));
+            r.run(RangeSetOp::Contains(1), || RangeSetRet::Bool(false));
+        });
+        assert!(check_history::<RangeSetSpec>(&history).is_linearizable());
+    }
+
+    #[test]
+    fn stale_read_is_not_linearizable() {
+        // Insert(7) completes strictly before Contains(7) starts, yet the
+        // read misses the key: impossible in any linearization.
+        let history: H = History::record(2, |recorders| {
+            let a = &recorders[0];
+            let b = &recorders[1];
+            let t = a.invoke(RangeSetOp::Insert(7));
+            a.respond(t, RangeSetRet::Bool(true));
+            let t = b.invoke(RangeSetOp::Contains(7));
+            b.respond(t, RangeSetRet::Bool(false));
+        });
+        let verdict = check_history::<RangeSetSpec>(&history);
+        assert!(!verdict.is_linearizable());
+        if let Verdict::NotLinearizable { explanation } = verdict {
+            assert!(explanation.contains("Contains"), "explanation: {explanation}");
+        }
+    }
+
+    #[test]
+    fn overlapping_operations_may_reorder() {
+        // The same results as above are fine when the two operations overlap:
+        // the read may linearize before the insert.
+        let history: H = History::record(2, |recorders| {
+            let a = &recorders[0];
+            let b = &recorders[1];
+            let ta = a.invoke(RangeSetOp::Insert(7));
+            let tb = b.invoke(RangeSetOp::Contains(7));
+            a.respond(ta, RangeSetRet::Bool(true));
+            b.respond(tb, RangeSetRet::Bool(false));
+        });
+        assert!(check_history::<RangeSetSpec>(&history).is_linearizable());
+    }
+
+    #[test]
+    fn double_successful_insert_of_same_key_is_not_linearizable() {
+        let history: H = History::record(2, |recorders| {
+            let a = &recorders[0];
+            let b = &recorders[1];
+            let t = a.invoke(RangeSetOp::Insert(3));
+            a.respond(t, RangeSetRet::Bool(true));
+            let t = b.invoke(RangeSetOp::Insert(3));
+            b.respond(t, RangeSetRet::Bool(true));
+        });
+        assert!(!check_history::<RangeSetSpec>(&history).is_linearizable());
+    }
+
+    #[test]
+    fn count_must_reflect_completed_updates() {
+        // Two inserts complete, then a count of 1 is reported: not
+        // linearizable (it must be 2).
+        let history: H = History::record(2, |recorders| {
+            let a = &recorders[0];
+            let b = &recorders[1];
+            a.run(RangeSetOp::Insert(1), || RangeSetRet::Bool(true));
+            b.run(RangeSetOp::Insert(2), || RangeSetRet::Bool(true));
+            a.run(RangeSetOp::Count(0, 10), || RangeSetRet::Count(1));
+        });
+        assert!(!check_history::<RangeSetSpec>(&history).is_linearizable());
+    }
+
+    #[test]
+    fn count_may_miss_concurrent_updates() {
+        // The count overlaps the second insert, so both 1 and 2 are legal.
+        let history: H = History::record(2, |recorders| {
+            let a = &recorders[0];
+            let b = &recorders[1];
+            a.run(RangeSetOp::Insert(1), || RangeSetRet::Bool(true));
+            let tb = b.invoke(RangeSetOp::Insert(2));
+            let ta = a.invoke(RangeSetOp::Count(0, 10));
+            a.respond(ta, RangeSetRet::Count(1));
+            b.respond(tb, RangeSetRet::Bool(true));
+        });
+        assert!(check_history::<RangeSetSpec>(&history).is_linearizable());
+    }
+
+    #[test]
+    fn pending_operations_may_or_may_not_take_effect() {
+        // A pending insert explains the read observing the key...
+        let observed: H = History::record(2, |recorders| {
+            let a = &recorders[0];
+            let b = &recorders[1];
+            let _pending = a.invoke(RangeSetOp::Insert(9));
+            b.run(RangeSetOp::Contains(9), || RangeSetRet::Bool(true));
+        });
+        assert!(check_history::<RangeSetSpec>(&observed).is_linearizable());
+
+        // ...and its absence explains the read missing it.
+        let missed: H = History::record(2, |recorders| {
+            let a = &recorders[0];
+            let b = &recorders[1];
+            let _pending = a.invoke(RangeSetOp::Insert(9));
+            b.run(RangeSetOp::Contains(9), || RangeSetRet::Bool(false));
+        });
+        assert!(check_history::<RangeSetSpec>(&missed).is_linearizable());
+    }
+
+    #[test]
+    fn witness_order_respects_real_time() {
+        let history: H = History::record(2, |recorders| {
+            let a = &recorders[0];
+            let b = &recorders[1];
+            a.run(RangeSetOp::Insert(1), || RangeSetRet::Bool(true));
+            b.run(RangeSetOp::Insert(2), || RangeSetRet::Bool(true));
+            a.run(RangeSetOp::Count(0, 10), || RangeSetRet::Count(2));
+        });
+        let verdict = check_history::<RangeSetSpec>(&history);
+        let Verdict::Linearizable { witness } = verdict else {
+            panic!("history must be linearizable");
+        };
+        assert_eq!(witness.len(), 3);
+        // The count is the last operation in every legal linearization.
+        assert_eq!(*witness.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn prefilled_initial_state_is_honoured() {
+        let history: H = History::record(1, |recorders| {
+            let r = &recorders[0];
+            r.run(RangeSetOp::Contains(42), || RangeSetRet::Bool(true));
+            r.run(RangeSetOp::Count(0, 100), || RangeSetRet::Count(2));
+        });
+        let initial = RangeSetSpec::prefilled([42, 77]);
+        let verdict = check_history_with_initial::<RangeSetSpec>(&history, initial);
+        assert!(verdict.is_linearizable());
+        // The same history fails from an empty initial state.
+        assert!(!check_history::<RangeSetSpec>(&history).is_linearizable());
+    }
+}

@@ -1,0 +1,261 @@
+//! Concurrent history recording.
+//!
+//! A *history* is the observable trace of a concurrent execution: for every
+//! operation, which thread ran it, when it was invoked, when it responded and
+//! with what result. Linearizability is a property of histories, so the
+//! recorder is deliberately minimal and imposes as little synchronisation as
+//! possible on the execution being observed: one global atomic counter
+//! provides the happened-before stamps, and each thread appends to its own
+//! buffer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A completed operation of a recorded history.
+#[derive(Debug, Clone)]
+pub struct CompleteOp<Op, Ret> {
+    /// Index of the recording thread.
+    pub thread: usize,
+    /// The operation.
+    pub op: Op,
+    /// The observed result.
+    pub ret: Ret,
+    /// Global stamp taken at invocation.
+    pub invoked_at: u64,
+    /// Global stamp taken at response.
+    pub responded_at: u64,
+}
+
+/// An operation that was invoked but never responded (the thread crashed or
+/// the test stopped it); it may or may not have taken effect.
+#[derive(Debug, Clone)]
+pub struct PendingOp<Op> {
+    /// Index of the recording thread.
+    pub thread: usize,
+    /// The operation.
+    pub op: Op,
+    /// Global stamp taken at invocation.
+    pub invoked_at: u64,
+}
+
+/// Internal per-thread event record.
+#[derive(Debug, Clone)]
+struct Record<Op, Ret> {
+    op: Op,
+    invoked_at: u64,
+    response: Option<(Ret, u64)>,
+}
+
+/// Token returned by [`ThreadRecorder::invoke`]; pass it back to
+/// [`ThreadRecorder::respond`] when the operation returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpToken(usize);
+
+/// Handle through which one worker thread records its operations.
+///
+/// Clones share the same underlying buffer, so a recorder can be cloned into
+/// a spawned thread and the events still end up in the history.
+#[derive(Debug, Clone)]
+pub struct ThreadRecorder<Op, Ret> {
+    thread: usize,
+    clock: Arc<AtomicU64>,
+    records: Arc<Mutex<Vec<Record<Op, Ret>>>>,
+}
+
+impl<Op: Clone, Ret: Clone> ThreadRecorder<Op, Ret> {
+    /// Records the invocation of `op` and returns the token to use when it
+    /// responds.
+    pub fn invoke(&self, op: Op) -> OpToken {
+        let stamp = self.clock.fetch_add(1, Ordering::AcqRel);
+        let mut records = self.records.lock().expect("recorder mutex poisoned");
+        records.push(Record {
+            op,
+            invoked_at: stamp,
+            response: None,
+        });
+        OpToken(records.len() - 1)
+    }
+
+    /// Records the response of the operation identified by `token`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token does not belong to this recorder or the operation
+    /// already responded.
+    pub fn respond(&self, token: OpToken, ret: Ret) {
+        let stamp = self.clock.fetch_add(1, Ordering::AcqRel);
+        let mut records = self.records.lock().expect("recorder mutex poisoned");
+        let record = records
+            .get_mut(token.0)
+            .expect("respond() with a token from a different recorder");
+        assert!(
+            record.response.is_none(),
+            "operation already responded (token reused)"
+        );
+        record.response = Some((ret, stamp));
+    }
+
+    /// Convenience wrapper: records the invocation, runs `f`, records the
+    /// response it returns, and passes the result through.
+    pub fn run<F: FnOnce() -> Ret>(&self, op: Op, f: F) -> Ret {
+        let token = self.invoke(op);
+        let ret = f();
+        self.respond(token, ret.clone());
+        ret
+    }
+
+    /// The index of the thread this recorder belongs to.
+    pub fn thread(&self) -> usize {
+        self.thread
+    }
+}
+
+/// A recorded concurrent history.
+#[derive(Debug, Clone)]
+pub struct History<Op, Ret> {
+    /// Operations that completed (invocation and response observed).
+    pub completed: Vec<CompleteOp<Op, Ret>>,
+    /// Operations that were invoked but never responded.
+    pub pending: Vec<PendingOp<Op>>,
+}
+
+impl<Op: Clone, Ret: Clone> History<Op, Ret> {
+    /// Creates `threads` recorders sharing one clock, runs `scenario` with
+    /// them, and assembles the resulting history.
+    ///
+    /// The scenario is free to clone the recorders into spawned threads; it
+    /// must join them before returning so every response is captured.
+    pub fn record<F>(threads: usize, scenario: F) -> Self
+    where
+        F: FnOnce(&[ThreadRecorder<Op, Ret>]),
+    {
+        let clock = Arc::new(AtomicU64::new(0));
+        let recorders: Vec<ThreadRecorder<Op, Ret>> = (0..threads)
+            .map(|thread| ThreadRecorder {
+                thread,
+                clock: Arc::clone(&clock),
+                records: Arc::new(Mutex::new(Vec::new())),
+            })
+            .collect();
+        scenario(&recorders);
+        Self::from_recorders(&recorders)
+    }
+
+    /// Assembles a history from recorders (after all worker threads joined).
+    pub fn from_recorders(recorders: &[ThreadRecorder<Op, Ret>]) -> Self {
+        let mut completed = Vec::new();
+        let mut pending = Vec::new();
+        for recorder in recorders {
+            let records = recorder.records.lock().expect("recorder mutex poisoned");
+            for record in records.iter() {
+                match &record.response {
+                    Some((ret, responded_at)) => completed.push(CompleteOp {
+                        thread: recorder.thread,
+                        op: record.op.clone(),
+                        ret: ret.clone(),
+                        invoked_at: record.invoked_at,
+                        responded_at: *responded_at,
+                    }),
+                    None => pending.push(PendingOp {
+                        thread: recorder.thread,
+                        op: record.op.clone(),
+                        invoked_at: record.invoked_at,
+                    }),
+                }
+            }
+        }
+        completed.sort_by_key(|op| op.invoked_at);
+        pending.sort_by_key(|op| op.invoked_at);
+        History { completed, pending }
+    }
+
+    /// Total number of recorded operations (completed + pending).
+    pub fn len(&self) -> usize {
+        self.completed.len() + self.pending.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_produces_ordered_stamps() {
+        let history: History<&'static str, i32> = History::record(2, |recorders| {
+            let a = &recorders[0];
+            let b = &recorders[1];
+            let t1 = a.invoke("x");
+            let t2 = b.invoke("y");
+            b.respond(t2, 2);
+            a.respond(t1, 1);
+        });
+        assert_eq!(history.completed.len(), 2);
+        assert!(history.pending.is_empty());
+        for op in &history.completed {
+            assert!(op.invoked_at < op.responded_at);
+        }
+        // The two invocations happened before either response.
+        let x = &history.completed[0];
+        let y = &history.completed[1];
+        assert!(x.invoked_at < y.responded_at && y.invoked_at < x.responded_at);
+    }
+
+    #[test]
+    fn pending_operations_are_separated() {
+        let history: History<&'static str, i32> = History::record(1, |recorders| {
+            let a = &recorders[0];
+            let _never_responded = a.invoke("dangling");
+            a.run("ok", || 7);
+        });
+        assert_eq!(history.completed.len(), 1);
+        assert_eq!(history.pending.len(), 1);
+        assert_eq!(history.pending[0].op, "dangling");
+        assert_eq!(history.completed[0].ret, 7);
+    }
+
+    #[test]
+    fn recorders_can_be_cloned_into_threads() {
+        let history: History<u64, u64> = History::record(4, |recorders| {
+            let handles: Vec<_> = recorders
+                .iter()
+                .map(|r| {
+                    let r = r.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..50 {
+                            r.run(i, || i * 2);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(history.completed.len(), 200);
+        // Stamps are unique.
+        let mut stamps: Vec<u64> = history
+            .completed
+            .iter()
+            .flat_map(|op| [op.invoked_at, op.responded_at])
+            .collect();
+        stamps.sort_unstable();
+        stamps.dedup();
+        assert_eq!(stamps.len(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "already responded")]
+    fn double_response_panics() {
+        let _ = History::<&'static str, i32>::record(1, |recorders| {
+            let a = &recorders[0];
+            let t = a.invoke("x");
+            a.respond(t, 1);
+            a.respond(t, 2);
+        });
+    }
+}

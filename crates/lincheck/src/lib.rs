@@ -1,0 +1,57 @@
+//! Linearizability checking for the concurrent trees in this workspace.
+//!
+//! The paper's correctness claim is that every operation of the wait-free
+//! tree is linearizable: it appears to take effect atomically at some point
+//! between its invocation and its response, in an order consistent with a
+//! sequential execution (the order defined by the root-queue timestamps).
+//! This crate provides the test machinery to check that claim empirically on
+//! real concurrent executions, in the spirit of tools such as Lin-Check and
+//! Knossos:
+//!
+//! * [`history`] — a low-overhead recorder. Every worker thread owns a
+//!   [`ThreadRecorder`]; invocations and responses are stamped with a global
+//!   sequence number so the real-time precedence relation of the execution is
+//!   preserved exactly.
+//! * [`spec`] — sequential specifications. [`RangeSetSpec`] models the API of
+//!   the trees in this repository (`insert`, `remove`, `contains`, `count`,
+//!   `collect`) on top of a sorted set.
+//! * [`checker`] — the decision procedure: a Wing & Gong style depth-first
+//!   search over all linearization orders, pruned by memoising visited
+//!   (linearized-set, abstract-state) pairs.
+//!
+//! Checking linearizability is NP-hard in general, so the intended use is
+//! *many small histories* (a handful of threads, tens of operations each)
+//! rather than one long run. The integration tests in the workspace root
+//! generate hundreds of short adversarial histories per tree implementation
+//! and reject the run if any of them fails to linearize.
+//!
+//! # Example
+//!
+//! ```
+//! use wft_lincheck::{check_history, History, RangeSetOp, RangeSetRet, RangeSetSpec, ThreadRecorder};
+//!
+//! // Two threads, recorded by hand for the sake of the example.
+//! let history = History::record(2, |recorders| {
+//!     let mut a = recorders[0].clone();
+//!     let mut b = recorders[1].clone();
+//!     // Thread A inserts 7 and sees it.
+//!     let t = a.invoke(RangeSetOp::Insert(7));
+//!     a.respond(t, RangeSetRet::Bool(true));
+//!     // Thread B, strictly later, counts one key in [0, 10].
+//!     let t = b.invoke(RangeSetOp::Count(0, 10));
+//!     b.respond(t, RangeSetRet::Count(1));
+//! });
+//! let verdict = check_history::<RangeSetSpec>(&history);
+//! assert!(verdict.is_linearizable());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod checker;
+pub mod history;
+pub mod spec;
+
+pub use checker::{check_history, check_history_with_initial, Verdict};
+pub use history::{CompleteOp, History, ThreadRecorder};
+pub use spec::{RangeSetOp, RangeSetRet, RangeSetSpec, SequentialSpec};

@@ -1,0 +1,158 @@
+//! Sequential specifications.
+//!
+//! The checker needs an abstract, purely sequential model of the data
+//! structure under test: a state type, an initial state, and a transition
+//! function that says what each operation returns and how it changes the
+//! state. [`RangeSetSpec`] models the API shared by every tree in this
+//! workspace — an ordered set of `i64` keys with aggregate and listing range
+//! queries.
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A sequential specification usable by the checker.
+pub trait SequentialSpec {
+    /// The operations of the data structure.
+    type Op: Clone + Debug;
+    /// The results operations return.
+    type Ret: Clone + Debug + PartialEq;
+    /// The abstract state. It must be hashable so the checker can memoise
+    /// visited configurations.
+    type State: Clone + Debug + Hash + Eq;
+
+    /// The abstract state of a freshly created structure.
+    fn initial() -> Self::State;
+
+    /// Applies `op` to `state`, returning the successor state and the result
+    /// a sequential execution would observe.
+    fn apply(state: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret);
+}
+
+/// Operations of the range-set interface evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeSetOp {
+    /// `insert(key)`.
+    Insert(i64),
+    /// `remove(key)`.
+    Remove(i64),
+    /// `contains(key)`.
+    Contains(i64),
+    /// `count(min, max)` — the aggregate range query.
+    Count(i64, i64),
+    /// `collect(min, max)` — the listing range query.
+    Collect(i64, i64),
+}
+
+/// Results of [`RangeSetOp`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RangeSetRet {
+    /// Result of `insert`, `remove` and `contains`.
+    Bool(bool),
+    /// Result of `count`.
+    Count(u64),
+    /// Result of `collect`.
+    Keys(Vec<i64>),
+}
+
+/// The sequential specification of the range-set interface: a sorted set of
+/// keys with the paper's `insert`/`remove`/`contains`/`count`/`collect`
+/// semantics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RangeSetSpec;
+
+impl SequentialSpec for RangeSetSpec {
+    type Op = RangeSetOp;
+    type Ret = RangeSetRet;
+    type State = BTreeSet<i64>;
+
+    fn initial() -> Self::State {
+        BTreeSet::new()
+    }
+
+    fn apply(state: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret) {
+        match *op {
+            RangeSetOp::Insert(key) => {
+                let mut next = state.clone();
+                let inserted = next.insert(key);
+                (next, RangeSetRet::Bool(inserted))
+            }
+            RangeSetOp::Remove(key) => {
+                let mut next = state.clone();
+                let removed = next.remove(&key);
+                (next, RangeSetRet::Bool(removed))
+            }
+            RangeSetOp::Contains(key) => {
+                (state.clone(), RangeSetRet::Bool(state.contains(&key)))
+            }
+            RangeSetOp::Count(min, max) => {
+                let count = if min > max {
+                    0
+                } else {
+                    state.range(min..=max).count() as u64
+                };
+                (state.clone(), RangeSetRet::Count(count))
+            }
+            RangeSetOp::Collect(min, max) => {
+                let keys: Vec<i64> = if min > max {
+                    Vec::new()
+                } else {
+                    state.range(min..=max).copied().collect()
+                };
+                (state.clone(), RangeSetRet::Keys(keys))
+            }
+        }
+    }
+}
+
+impl RangeSetSpec {
+    /// An abstract state pre-filled with `keys` — handy when the concurrent
+    /// execution starts from a pre-populated tree.
+    pub fn prefilled<I: IntoIterator<Item = i64>>(keys: I) -> BTreeSet<i64> {
+        keys.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_follow_set_semantics() {
+        let s0 = RangeSetSpec::initial();
+        let (s1, r1) = RangeSetSpec::apply(&s0, &RangeSetOp::Insert(5));
+        assert_eq!(r1, RangeSetRet::Bool(true));
+        let (s2, r2) = RangeSetSpec::apply(&s1, &RangeSetOp::Insert(5));
+        assert_eq!(r2, RangeSetRet::Bool(false));
+        let (_, r3) = RangeSetSpec::apply(&s2, &RangeSetOp::Contains(5));
+        assert_eq!(r3, RangeSetRet::Bool(true));
+        let (s4, r4) = RangeSetSpec::apply(&s2, &RangeSetOp::Remove(5));
+        assert_eq!(r4, RangeSetRet::Bool(true));
+        let (_, r5) = RangeSetSpec::apply(&s4, &RangeSetOp::Remove(5));
+        assert_eq!(r5, RangeSetRet::Bool(false));
+    }
+
+    #[test]
+    fn count_and_collect_respect_ranges() {
+        let state = RangeSetSpec::prefilled([1, 3, 5, 7, 9]);
+        let (_, count) = RangeSetSpec::apply(&state, &RangeSetOp::Count(3, 7));
+        assert_eq!(count, RangeSetRet::Count(3));
+        let (_, keys) = RangeSetSpec::apply(&state, &RangeSetOp::Collect(4, 100));
+        assert_eq!(keys, RangeSetRet::Keys(vec![5, 7, 9]));
+        let (_, empty) = RangeSetSpec::apply(&state, &RangeSetOp::Count(7, 3));
+        assert_eq!(empty, RangeSetRet::Count(0));
+    }
+
+    #[test]
+    fn queries_do_not_change_the_state() {
+        let state = RangeSetSpec::prefilled([1, 2, 3]);
+        for op in [
+            RangeSetOp::Contains(2),
+            RangeSetOp::Count(0, 10),
+            RangeSetOp::Collect(0, 10),
+        ] {
+            let (next, _) = RangeSetSpec::apply(&state, &op);
+            assert_eq!(next, state);
+        }
+    }
+}

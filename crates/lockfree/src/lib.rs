@@ -1,0 +1,62 @@
+//! Lock-free external binary search tree — the "linear-time range queries"
+//! baseline.
+//!
+//! The paper's related work (§I-A, "Linear-time solutions") describes a whole
+//! family of non-blocking search trees that *can* answer range queries, but
+//! only through `collect(min, max)`: the query walks the range and returns
+//! every key in it, so an aggregate such as `count` degenerates to
+//! `collect(min, max).len()` and costs time proportional to the number of
+//! keys in the range. This crate implements a representative member of that
+//! family so the benchmark harness can put the paper's asymptotic claim —
+//! aggregate queries in `O(log N)` versus `O(range)` — against a real
+//! lock-free competitor rather than only against this repository's own trees.
+//!
+//! The scalar algorithm is the classic external (leaf-oriented) non-blocking
+//! BST of Ellen, Fatourou, Ruppert and van Breugel (PODC 2010): every update
+//! *flags* or *marks* the internal nodes it is about to change by installing
+//! an operation record in their `update` word, and any thread that encounters
+//! a flagged node helps the pending operation to completion before retrying
+//! its own. `contains` is wait-free (a single root-to-leaf traversal);
+//! `insert` and `remove` are lock-free. Unlinked nodes and superseded
+//! operation records are reclaimed through `crossbeam-epoch`.
+//!
+//! Range queries are provided exactly the way the prior-work family provides
+//! them:
+//!
+//! * [`LockFreeBst::collect_range`] — an epoch-protected in-order traversal
+//!   of the range (the `collect` query);
+//! * [`LockFreeBst::count`] — implemented as `collect_range(..).len()`,
+//!   i.e. **deliberately linear** in the range width. This is the behaviour
+//!   the paper improves upon.
+//!
+//! The traversal is a best-effort snapshot: it observes every key that was
+//! present for the whole duration of the query and may or may not observe
+//! keys inserted or removed concurrently (the same guarantee as a simple
+//! traversal over the structures in [8, 12] before the extra
+//! linearization machinery of those papers is added). The benchmark harness
+//! only uses it on quiescent trees or for throughput measurements, where this
+//! is exactly what the baseline class would do.
+//!
+//! # Example
+//!
+//! ```
+//! use wft_lockfree::LockFreeBst;
+//!
+//! let tree: LockFreeBst<i64> = LockFreeBst::new();
+//! assert!(tree.insert(10, ()));
+//! assert!(tree.insert(20, ()));
+//! assert!(!tree.insert(10, ()));
+//! assert!(tree.contains(&10));
+//! assert_eq!(tree.count(0, 15), 1);
+//! assert!(tree.remove(&10));
+//! assert_eq!(tree.count(0, 15), 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod node;
+mod tree;
+
+pub use node::RoutingKey;
+pub use tree::LockFreeBst;

@@ -1,0 +1,284 @@
+//! Node and operation-record layout of the lock-free external BST.
+//!
+//! The tree is *external*: data keys live only in leaves, internal nodes
+//! carry a routing key and two child pointers. Following Ellen et al., the
+//! initial tree consists of one internal node whose routing key is the
+//! largest sentinel and two sentinel leaves, so `search` never has to handle
+//! an empty tree or a missing grandparent specially.
+
+use std::sync::atomic::Ordering;
+
+use crossbeam_epoch::{Atomic, Owned, Shared};
+use wft_seq::{Key, Value};
+
+/// A routing key: either a real key or one of the two sentinels that are
+/// larger than every real key (`Inf1 < Inf2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RoutingKey<K> {
+    /// An ordinary key.
+    Finite(K),
+    /// First sentinel: larger than every finite key.
+    Inf1,
+    /// Second sentinel: larger than `Inf1`.
+    Inf2,
+}
+
+impl<K: Key> RoutingKey<K> {
+    /// `true` if this routing key is strictly smaller than `other`.
+    pub fn lt(&self, other: &Self) -> bool {
+        self < other
+    }
+
+    /// The finite key, if this is not a sentinel.
+    pub fn finite(&self) -> Option<&K> {
+        match self {
+            RoutingKey::Finite(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+/// State of an internal node's `update` word, stored in the low tag bits of
+/// the epoch pointer.
+pub mod state {
+    /// No operation pending at this node.
+    pub const CLEAN: usize = 0;
+    /// An insertion has flagged this node (tag points to an [`super::Info::Insert`]).
+    pub const IFLAG: usize = 1;
+    /// A deletion has flagged this node as the grandparent.
+    pub const DFLAG: usize = 2;
+    /// A deletion has marked this node (the parent about to be unlinked).
+    pub const MARK: usize = 3;
+}
+
+/// An operation record installed in the `update` word of flagged/marked
+/// internal nodes. Helpers use it to finish the pending update.
+pub enum Info<K: Key, V: Value> {
+    /// Pending insertion: replace leaf `leaf` under `parent` with `subtree`.
+    Insert {
+        /// The internal node that was IFLAG-ed.
+        parent: Atomic<Node<K, V>>,
+        /// The leaf to be replaced.
+        leaf: Atomic<Node<K, V>>,
+        /// The new internal node (with two leaf children) to splice in.
+        subtree: Atomic<Node<K, V>>,
+    },
+    /// Pending deletion: unlink `parent` (and the leaf under it) from
+    /// `grandparent`.
+    Delete {
+        /// The internal node that was DFLAG-ed.
+        grandparent: Atomic<Node<K, V>>,
+        /// The internal node to be marked and unlinked.
+        parent: Atomic<Node<K, V>>,
+        /// The leaf being deleted.
+        leaf: Atomic<Node<K, V>>,
+        /// The value (pointer + state tag) of `parent.update` observed by the
+        /// deleter during its search; the mark CAS uses it as expected value.
+        expected_parent_update: Atomic<Info<K, V>>,
+    },
+}
+
+/// A tree node: routing internal node or data leaf.
+pub enum Node<K: Key, V: Value> {
+    /// Routing node. Keys `< key` are in the left subtree, keys `>= key` in
+    /// the right subtree.
+    Internal {
+        /// Routing key (possibly a sentinel).
+        key: RoutingKey<K>,
+        /// Pending-operation word: pointer to an [`Info`] record, tagged with
+        /// one of the [`state`] constants.
+        update: Atomic<Info<K, V>>,
+        /// Left child (keys `< key`).
+        left: Atomic<Node<K, V>>,
+        /// Right child (keys `>= key`).
+        right: Atomic<Node<K, V>>,
+    },
+    /// Data leaf (or sentinel leaf when `key` is not finite).
+    Leaf {
+        /// The stored key (or a sentinel).
+        key: RoutingKey<K>,
+        /// The stored value; `None` only for sentinel leaves.
+        value: Option<V>,
+    },
+}
+
+impl<K: Key, V: Value> Node<K, V> {
+    /// Creates a data leaf.
+    pub fn leaf(key: K, value: V) -> Self {
+        Node::Leaf {
+            key: RoutingKey::Finite(key),
+            value: Some(value),
+        }
+    }
+
+    /// Creates a sentinel leaf.
+    pub fn sentinel_leaf(key: RoutingKey<K>) -> Self {
+        Node::Leaf { key, value: None }
+    }
+
+    /// Creates an internal node with the given routing key and children.
+    pub fn internal(key: RoutingKey<K>, left: Owned<Node<K, V>>, right: Owned<Node<K, V>>) -> Self {
+        Node::Internal {
+            key,
+            update: Atomic::null(),
+            left: Atomic::from(left),
+            right: Atomic::from(right),
+        }
+    }
+
+    /// The routing key of this node.
+    pub fn routing_key(&self) -> &RoutingKey<K> {
+        match self {
+            Node::Internal { key, .. } | Node::Leaf { key, .. } => key,
+        }
+    }
+
+    /// `true` if this is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// The `update` word of an internal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a leaf.
+    pub fn update(&self) -> &Atomic<Info<K, V>> {
+        match self {
+            Node::Internal { update, .. } => update,
+            Node::Leaf { .. } => panic!("leaf nodes have no update word"),
+        }
+    }
+
+    /// The child pointer a search for `key` follows from this internal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a leaf.
+    pub fn child_for(&self, key: &RoutingKey<K>) -> &Atomic<Node<K, V>> {
+        match self {
+            Node::Internal {
+                key: routing,
+                left,
+                right,
+                ..
+            } => {
+                if key.lt(routing) {
+                    left
+                } else {
+                    right
+                }
+            }
+            Node::Leaf { .. } => panic!("leaf nodes have no children"),
+        }
+    }
+
+    /// Both child pointers of an internal node (`left`, `right`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a leaf.
+    pub fn children(&self) -> (&Atomic<Node<K, V>>, &Atomic<Node<K, V>>) {
+        match self {
+            Node::Internal { left, right, .. } => (left, right),
+            Node::Leaf { .. } => panic!("leaf nodes have no children"),
+        }
+    }
+}
+
+/// Frees an entire subtree immediately. Only safe with exclusive access
+/// (`Drop` of the tree).
+pub(crate) fn free_subtree_now<K: Key, V: Value>(node: Shared<'_, Node<K, V>>) {
+    if node.is_null() {
+        return;
+    }
+    unsafe {
+        let owned = node.into_owned();
+        if let Node::Internal {
+            left,
+            right,
+            update,
+            ..
+        } = &*owned
+        {
+            let u = crossbeam_epoch::unprotected();
+            free_subtree_now(left.load(Ordering::Relaxed, u));
+            free_subtree_now(right.load(Ordering::Relaxed, u));
+            // Among nodes still reachable from the root, each completed
+            // operation record is referenced by exactly one `update` word
+            // (its primary node, see `tree.rs`), so freeing it here is safe.
+            let info = update.load(Ordering::Relaxed, u);
+            if !info.is_null() {
+                drop(info.into_owned());
+            }
+        }
+        drop(owned);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_key_ordering() {
+        let a: RoutingKey<i64> = RoutingKey::Finite(-5);
+        let b: RoutingKey<i64> = RoutingKey::Finite(1_000_000);
+        let inf1: RoutingKey<i64> = RoutingKey::Inf1;
+        let inf2: RoutingKey<i64> = RoutingKey::Inf2;
+        assert!(a.lt(&b));
+        assert!(b.lt(&inf1));
+        assert!(inf1.lt(&inf2));
+        assert!(!inf2.lt(&inf1));
+        assert!(!b.lt(&a));
+        assert_eq!(a.finite(), Some(&-5));
+        assert_eq!(inf1.finite(), None);
+    }
+
+    #[test]
+    fn node_accessors() {
+        let leaf: Node<i64, ()> = Node::leaf(7, ());
+        assert!(leaf.is_leaf());
+        assert_eq!(leaf.routing_key(), &RoutingKey::Finite(7));
+
+        let internal: Node<i64, ()> = Node::internal(
+            RoutingKey::Finite(10),
+            Owned::new(Node::leaf(5, ())),
+            Owned::new(Node::leaf(10, ())),
+        );
+        assert!(!internal.is_leaf());
+        let guard = crossbeam_epoch::pin();
+        let left_child = internal
+            .child_for(&RoutingKey::Finite(3))
+            .load(Ordering::Acquire, &guard);
+        assert_eq!(
+            unsafe { left_child.deref() }.routing_key(),
+            &RoutingKey::Finite(5)
+        );
+        let right_child = internal
+            .child_for(&RoutingKey::Finite(10))
+            .load(Ordering::Acquire, &guard);
+        assert_eq!(
+            unsafe { right_child.deref() }.routing_key(),
+            &RoutingKey::Finite(10)
+        );
+        // Dropping `internal` directly would leak its children; free it the
+        // way the tree does.
+        let owned = Owned::new(internal);
+        free_subtree_now(owned.into_shared(unsafe { crossbeam_epoch::unprotected() }));
+    }
+
+    #[test]
+    #[should_panic(expected = "no children")]
+    fn leaf_children_panics() {
+        let leaf: Node<i64, ()> = Node::leaf(7, ());
+        let _ = leaf.children();
+    }
+
+    #[test]
+    #[should_panic(expected = "no update word")]
+    fn leaf_update_panics() {
+        let leaf: Node<i64, ()> = Node::leaf(7, ());
+        let _ = leaf.update();
+    }
+}

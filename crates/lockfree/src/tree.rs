@@ -1,0 +1,805 @@
+//! The lock-free external BST algorithm (Ellen–Fatourou–Ruppert–van Breugel).
+//!
+//! Updates synchronise through the `update` word of internal nodes: before an
+//! insertion changes a child pointer of `p` it *IFLAG*s `p`, and before a
+//! deletion unlinks `p` from `gp` it *DFLAG*s `gp` and *MARK*s `p`. The flag
+//! stores a pointer to an operation record with everything a helper needs to
+//! finish the update, so any thread that runs into a flagged node completes
+//! the pending operation before retrying its own — updates are lock-free,
+//! searches are wait-free.
+//!
+//! ## Memory reclamation
+//!
+//! * Nodes unlinked by a completed deletion (`p` and the removed leaf) are
+//!   retired through `crossbeam-epoch` by the thread whose child-CAS unlinked
+//!   them.
+//! * Operation records are retired when a later successful flag CAS replaces
+//!   them in the `update` word of their *primary* node (the parent for
+//!   insertions, the grandparent for deletions). A record with the `CLEAN`
+//!   tag only ever remains referenced from that primary node, so the retire
+//!   happens at most once; records still referenced at drop time are freed by
+//!   the tree's `Drop`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_epoch::{pin, Atomic, Guard, Owned, Shared};
+use wft_seq::{Key, Value};
+
+use crate::node::{free_subtree_now, state, Info, Node, RoutingKey};
+
+/// A lock-free external binary search tree with linear-time range queries.
+///
+/// See the [crate-level documentation](crate) for the role this structure
+/// plays in the evaluation; the public interface mirrors the other trees in
+/// the workspace so the benchmark harness can swap it in.
+pub struct LockFreeBst<K: Key, V: Value = ()> {
+    /// The root internal node (routing key `Inf2`); never replaced.
+    root: Atomic<Node<K, V>>,
+    /// Number of finite keys, maintained by initiating threads on success.
+    len: AtomicU64,
+}
+
+unsafe impl<K: Key, V: Value> Send for LockFreeBst<K, V> {}
+unsafe impl<K: Key, V: Value> Sync for LockFreeBst<K, V> {}
+
+/// Result of the internal `search` routine: the last two internal nodes on
+/// the search path, the leaf it ended at, and the `update` words observed on
+/// the way down (pointer + state tag), exactly as the EFRB pseudocode needs
+/// them.
+struct SearchResult<'g, K: Key, V: Value> {
+    grandparent: Shared<'g, Node<K, V>>,
+    grandparent_update: Shared<'g, Info<K, V>>,
+    parent: Shared<'g, Node<K, V>>,
+    parent_update: Shared<'g, Info<K, V>>,
+    leaf: Shared<'g, Node<K, V>>,
+}
+
+impl<K: Key, V: Value> Default for LockFreeBst<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Key, V: Value> LockFreeBst<K, V> {
+    /// Creates an empty tree (one sentinel internal node, two sentinel
+    /// leaves).
+    pub fn new() -> Self {
+        let root = Node::internal(
+            RoutingKey::Inf2,
+            Owned::new(Node::sentinel_leaf(RoutingKey::Inf1)),
+            Owned::new(Node::sentinel_leaf(RoutingKey::Inf2)),
+        );
+        LockFreeBst {
+            root: Atomic::new(root),
+            len: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds a tree containing `entries` (duplicates keep the first value).
+    ///
+    /// The tree has no rebalancing, so entries are inserted in median-first
+    /// order: the resulting tree is perfectly balanced regardless of the
+    /// order of `entries` (the benchmark harness pre-fills with sorted key
+    /// ranges, which would otherwise degenerate this baseline into a list).
+    pub fn from_entries<I: IntoIterator<Item = (K, V)>>(entries: I) -> Self {
+        let mut sorted: Vec<(K, V)> = entries.into_iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        sorted.dedup_by(|a, b| a.0 == b.0);
+        let tree = Self::new();
+        // Iterative median-first traversal of the sorted slice.
+        let mut stack = vec![(0usize, sorted.len())];
+        while let Some((lo, hi)) = stack.pop() {
+            if lo >= hi {
+                continue;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (key, value) = sorted[mid].clone();
+            tree.insert(key, value);
+            stack.push((lo, mid));
+            stack.push((mid + 1, hi));
+        }
+        tree
+    }
+
+    /// Number of keys stored (exact when quiescent).
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// `true` when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Root-to-leaf search for `key`; wait-free.
+    fn search<'g>(&self, key: &RoutingKey<K>, guard: &'g Guard) -> SearchResult<'g, K, V> {
+        let mut grandparent = Shared::null();
+        let mut grandparent_update = Shared::null();
+        let mut parent = self.root.load(Ordering::Acquire, guard);
+        let mut parent_update = unsafe { parent.deref() }
+            .update()
+            .load(Ordering::Acquire, guard);
+        let mut leaf = unsafe { parent.deref() }
+            .child_for(key)
+            .load(Ordering::Acquire, guard);
+        while !unsafe { leaf.deref() }.is_leaf() {
+            grandparent = parent;
+            grandparent_update = parent_update;
+            parent = leaf;
+            parent_update = unsafe { parent.deref() }
+                .update()
+                .load(Ordering::Acquire, guard);
+            leaf = unsafe { parent.deref() }
+                .child_for(key)
+                .load(Ordering::Acquire, guard);
+        }
+        SearchResult {
+            grandparent,
+            grandparent_update,
+            parent,
+            parent_update,
+            leaf,
+        }
+    }
+
+    /// Returns `true` if `key` is stored in the tree. Wait-free.
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Returns the value stored under `key`, if any. Wait-free.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let guard = pin();
+        let target = RoutingKey::Finite(*key);
+        let res = self.search(&target, &guard);
+        match unsafe { res.leaf.deref() } {
+            Node::Leaf {
+                key: RoutingKey::Finite(found),
+                value,
+            } if found == key => value.clone(),
+            _ => None,
+        }
+    }
+
+    /// Inserts `key → value`; returns `true` if the key was absent.
+    /// Lock-free.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        let guard = pin();
+        let target = RoutingKey::Finite(key);
+        loop {
+            let res = self.search(&target, &guard);
+            let leaf_node = unsafe { res.leaf.deref() };
+            if leaf_node.routing_key() == &target {
+                return false;
+            }
+            if res.parent_update.tag() != state::CLEAN {
+                self.help(res.parent_update, &guard);
+                continue;
+            }
+            // Build the replacement subtree: an internal node whose routing
+            // key is the larger of the two leaf keys, with the existing leaf
+            // and the new leaf as children in key order.
+            let existing_key = *leaf_node.routing_key();
+            let new_leaf = Owned::new(Node::leaf(key, value.clone()));
+            let existing_leaf_atomic: Atomic<Node<K, V>> = Atomic::null();
+            existing_leaf_atomic.store(res.leaf, Ordering::Relaxed);
+            let (routing, left, right) = if target.lt(&existing_key) {
+                (
+                    existing_key,
+                    Atomic::from(new_leaf),
+                    existing_leaf_atomic,
+                )
+            } else {
+                (
+                    target,
+                    existing_leaf_atomic,
+                    Atomic::from(new_leaf),
+                )
+            };
+            let subtree = Owned::new(Node::Internal {
+                key: routing,
+                update: Atomic::null(),
+                left,
+                right,
+            });
+            let subtree_atomic: Atomic<Node<K, V>> = Atomic::from(subtree);
+            let parent_atomic: Atomic<Node<K, V>> = Atomic::null();
+            parent_atomic.store(res.parent, Ordering::Relaxed);
+            let leaf_atomic: Atomic<Node<K, V>> = Atomic::null();
+            leaf_atomic.store(res.leaf, Ordering::Relaxed);
+            let info = Owned::new(Info::Insert {
+                parent: parent_atomic,
+                leaf: leaf_atomic,
+                subtree: subtree_atomic,
+            });
+            let parent_node = unsafe { res.parent.deref() };
+            match parent_node.update().compare_exchange(
+                res.parent_update,
+                info.with_tag(state::IFLAG),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(new_info) => {
+                    // The previous (completed) record is no longer reachable
+                    // from its primary node: retire it.
+                    self.retire_info(res.parent_update, &guard);
+                    self.help_insert(new_info.with_tag(state::CLEAN), &guard);
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(err) => {
+                    // Our record was never published: free it and the
+                    // speculative subtree (but not the existing leaf it
+                    // points to).
+                    let owned_info = err.new;
+                    unsafe {
+                        if let Info::Insert { subtree, .. } = &*owned_info {
+                            let sub = subtree.load(Ordering::Relaxed, &guard);
+                            let sub_owned = sub.into_owned();
+                            if let Node::Internal { left, right, .. } = &*sub_owned {
+                                // Exactly one of the children is the new
+                                // leaf we allocated; the other is the
+                                // pre-existing leaf which must stay alive.
+                                for child in [left, right] {
+                                    let c = child.load(Ordering::Relaxed, &guard);
+                                    if c != res.leaf {
+                                        drop(c.into_owned());
+                                    }
+                                }
+                            }
+                            drop(sub_owned);
+                        }
+                        drop(owned_info);
+                    }
+                    self.help(err.current, &guard);
+                }
+            }
+        }
+    }
+
+    /// Removes `key`; returns `true` if it was present. Lock-free.
+    pub fn remove(&self, key: &K) -> bool {
+        self.remove_entry(key).is_some()
+    }
+
+    /// Removes `key` and returns the value it mapped to, if any. Lock-free.
+    pub fn remove_entry(&self, key: &K) -> Option<V> {
+        let guard = pin();
+        let target = RoutingKey::Finite(*key);
+        loop {
+            let res = self.search(&target, &guard);
+            let leaf_node = unsafe { res.leaf.deref() };
+            let prior = match leaf_node {
+                Node::Leaf {
+                    key: RoutingKey::Finite(found),
+                    value,
+                } if found == key => value
+                    .clone()
+                    .expect("finite leaves always carry a value"),
+                _ => return None,
+            };
+            if res.grandparent_update.tag() != state::CLEAN {
+                self.help(res.grandparent_update, &guard);
+                continue;
+            }
+            if res.parent_update.tag() != state::CLEAN {
+                self.help(res.parent_update, &guard);
+                continue;
+            }
+            let grandparent_atomic: Atomic<Node<K, V>> = Atomic::null();
+            grandparent_atomic.store(res.grandparent, Ordering::Relaxed);
+            let parent_atomic: Atomic<Node<K, V>> = Atomic::null();
+            parent_atomic.store(res.parent, Ordering::Relaxed);
+            let leaf_atomic: Atomic<Node<K, V>> = Atomic::null();
+            leaf_atomic.store(res.leaf, Ordering::Relaxed);
+            let expected_parent_update: Atomic<Info<K, V>> = Atomic::null();
+            expected_parent_update.store(res.parent_update, Ordering::Relaxed);
+            let info = Owned::new(Info::Delete {
+                grandparent: grandparent_atomic,
+                parent: parent_atomic,
+                leaf: leaf_atomic,
+                expected_parent_update,
+            });
+            let grandparent_node = unsafe { res.grandparent.deref() };
+            match grandparent_node.update().compare_exchange(
+                res.grandparent_update,
+                info.with_tag(state::DFLAG),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(new_info) => {
+                    self.retire_info(res.grandparent_update, &guard);
+                    if self.help_delete(new_info.with_tag(state::CLEAN), &guard) {
+                        self.len.fetch_sub(1, Ordering::Relaxed);
+                        return Some(prior);
+                    }
+                    // The mark failed (someone changed the parent first):
+                    // retry from scratch. The record stays installed in the
+                    // grandparent with the CLEAN tag and is reclaimed by a
+                    // later flag CAS or by `Drop`.
+                }
+                Err(err) => {
+                    drop(err.new);
+                    self.help(err.current, &guard);
+                }
+            }
+        }
+    }
+
+    /// Helps whatever operation the tagged `update` word points to.
+    fn help(&self, update: Shared<'_, Info<K, V>>, guard: &Guard) {
+        match update.tag() {
+            state::IFLAG => self.help_insert(update.with_tag(state::CLEAN), guard),
+            state::DFLAG => {
+                self.help_delete(update.with_tag(state::CLEAN), guard);
+            }
+            state::MARK => self.help_marked(update.with_tag(state::CLEAN), guard),
+            _ => {}
+        }
+    }
+
+    /// Finishes a pending insertion: splices the new subtree in place of the
+    /// old leaf and unflags the parent.
+    fn help_insert(&self, info: Shared<'_, Info<K, V>>, guard: &Guard) {
+        let Info::Insert {
+            parent,
+            leaf,
+            subtree,
+        } = (unsafe { info.deref() })
+        else {
+            return;
+        };
+        let parent_ptr = parent.load(Ordering::Acquire, guard);
+        let leaf_ptr = leaf.load(Ordering::Acquire, guard);
+        let subtree_ptr = subtree.load(Ordering::Acquire, guard);
+        let parent_node = unsafe { parent_ptr.deref() };
+        // Replace the leaf with the new subtree (only one helper succeeds);
+        // the slot is the one the leaf currently occupies.
+        let slot = parent_node.child_for(unsafe { leaf_ptr.deref() }.routing_key());
+        let _ = slot.compare_exchange(
+            leaf_ptr,
+            subtree_ptr,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+            guard,
+        );
+        // Unflag: IFLAG(info) -> CLEAN(info).
+        let _ = parent_node.update().compare_exchange(
+            info.with_tag(state::IFLAG),
+            info.with_tag(state::CLEAN),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+            guard,
+        );
+    }
+
+    /// Tries to finish a pending deletion: marks the parent, then unlinks it.
+    /// Returns `false` if the mark could not be applied (the deletion must be
+    /// retried by its initiator).
+    fn help_delete(&self, info: Shared<'_, Info<K, V>>, guard: &Guard) -> bool {
+        let Info::Delete {
+            grandparent,
+            parent,
+            expected_parent_update,
+            ..
+        } = (unsafe { info.deref() })
+        else {
+            return false;
+        };
+        let parent_ptr = parent.load(Ordering::Acquire, guard);
+        let parent_node = unsafe { parent_ptr.deref() };
+        let expected = expected_parent_update.load(Ordering::Acquire, guard);
+        let result = parent_node.update().compare_exchange(
+            expected,
+            info.with_tag(state::MARK),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+            guard,
+        );
+        let marked = match result {
+            Ok(_) => true,
+            // Someone (possibly ourselves on a previous attempt) already
+            // installed this very mark: proceed as if we had.
+            Err(err) => err.current == info.with_tag(state::MARK),
+        };
+        if marked {
+            self.help_marked(info, guard);
+            true
+        } else {
+            // Help whoever beat us to the parent, then roll the DFLAG back so
+            // the grandparent becomes available again.
+            let current = parent_node.update().load(Ordering::Acquire, guard);
+            self.help(current, guard);
+            let grandparent_ptr = grandparent.load(Ordering::Acquire, guard);
+            let grandparent_node = unsafe { grandparent_ptr.deref() };
+            let _ = grandparent_node.update().compare_exchange(
+                info.with_tag(state::DFLAG),
+                info.with_tag(state::CLEAN),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                guard,
+            );
+            false
+        }
+    }
+
+    /// Finishes a marked deletion: swings the grandparent's child pointer to
+    /// the sibling of the deleted leaf, retires the unlinked nodes and
+    /// unflags the grandparent.
+    fn help_marked(&self, info: Shared<'_, Info<K, V>>, guard: &Guard) {
+        let Info::Delete {
+            grandparent,
+            parent,
+            leaf,
+            ..
+        } = (unsafe { info.deref() })
+        else {
+            return;
+        };
+        let grandparent_ptr = grandparent.load(Ordering::Acquire, guard);
+        let parent_ptr = parent.load(Ordering::Acquire, guard);
+        let leaf_ptr = leaf.load(Ordering::Acquire, guard);
+        let parent_node = unsafe { parent_ptr.deref() };
+        // The sibling of the deleted leaf: the parent is marked, so its
+        // children can no longer change and this read is stable.
+        let (left, right) = parent_node.children();
+        let left_ptr = left.load(Ordering::Acquire, guard);
+        let right_ptr = right.load(Ordering::Acquire, guard);
+        let sibling = if left_ptr == leaf_ptr { right_ptr } else { left_ptr };
+        let grandparent_node = unsafe { grandparent_ptr.deref() };
+        let slot = grandparent_node.child_for(unsafe { parent_ptr.deref() }.routing_key());
+        if slot
+            .compare_exchange(
+                parent_ptr,
+                sibling,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                guard,
+            )
+            .is_ok()
+        {
+            // We unlinked the parent and the deleted leaf: retire both. The
+            // node destructor does not touch children, so the surviving
+            // sibling is unaffected.
+            unsafe {
+                guard.defer_destroy(parent_ptr);
+                guard.defer_destroy(leaf_ptr);
+            }
+        }
+        // Unflag: DFLAG(info) -> CLEAN(info).
+        let _ = grandparent_node.update().compare_exchange(
+            info.with_tag(state::DFLAG),
+            info.with_tag(state::CLEAN),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+            guard,
+        );
+    }
+
+    /// Retires a completed operation record that has just been replaced in
+    /// the `update` word of its primary node.
+    fn retire_info(&self, info: Shared<'_, Info<K, V>>, guard: &Guard) {
+        if !info.is_null() {
+            unsafe {
+                guard.defer_destroy(info);
+            }
+        }
+    }
+
+    /// Every `(key, value)` with key in `[min, max]`, in key order — the
+    /// `collect` range query of the linear-time baseline class.
+    ///
+    /// The traversal is epoch-protected and prunes subtrees by routing key;
+    /// concurrent updates may or may not be observed (see the crate
+    /// documentation for the exact guarantee).
+    pub fn collect_range(&self, min: K, max: K) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        if min > max {
+            return out;
+        }
+        let guard = pin();
+        let root = self.root.load(Ordering::Acquire, &guard);
+        collect_in_range(root, &min, &max, &mut out, &guard);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Number of keys in `[min, max]`, computed the way the linear-time
+    /// baseline class computes it: `collect_range(min, max).len()`.
+    ///
+    /// This is **intentionally linear** in the width of the range — it is the
+    /// behaviour the paper's aggregate range queries improve upon.
+    pub fn count(&self, min: K, max: K) -> u64 {
+        self.collect_range(min, max).len() as u64
+    }
+
+    /// All finite entries in key order (quiescent use only).
+    pub fn entries_quiescent(&self) -> Vec<(K, V)> {
+        let guard = pin();
+        let mut out = Vec::new();
+        let root = self.root.load(Ordering::Acquire, &guard);
+        collect_all(root, &mut out, &guard);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Validates the external-BST routing invariant and the absence of
+    /// pending flags. **Quiescent only**; panics on violation.
+    pub fn check_invariants(&self) {
+        let guard = pin();
+        let root = self.root.load(Ordering::Acquire, &guard);
+        let keys = check_node(root, None, None, &guard);
+        assert_eq!(
+            keys,
+            self.len(),
+            "cached length diverged from the number of finite leaves"
+        );
+    }
+}
+
+impl<K: Key, V: Value> Drop for LockFreeBst<K, V> {
+    fn drop(&mut self) {
+        let root = self
+            .root
+            .load(Ordering::Relaxed, unsafe { crossbeam_epoch::unprotected() });
+        free_subtree_now(root);
+    }
+}
+
+/// Collects all finite leaves with keys in `[min, max]`, pruning by routing
+/// keys.
+fn collect_in_range<K: Key, V: Value>(
+    node: Shared<'_, Node<K, V>>,
+    min: &K,
+    max: &K,
+    out: &mut Vec<(K, V)>,
+    guard: &Guard,
+) {
+    if node.is_null() {
+        return;
+    }
+    match unsafe { node.deref() } {
+        Node::Leaf {
+            key: RoutingKey::Finite(k),
+            value,
+        } => {
+            if min <= k && k <= max {
+                out.push((*k, value.clone().expect("finite leaves always carry a value")));
+            }
+        }
+        Node::Leaf { .. } => {}
+        Node::Internal {
+            key, left, right, ..
+        } => {
+            // Left subtree holds keys < routing key, right subtree keys >=.
+            let descend_left = match key {
+                RoutingKey::Finite(routing) => min < routing,
+                _ => true,
+            };
+            let descend_right = match key {
+                RoutingKey::Finite(routing) => max >= routing,
+                _ => true,
+            };
+            if descend_left {
+                collect_in_range(left.load(Ordering::Acquire, guard), min, max, out, guard);
+            }
+            if descend_right {
+                collect_in_range(right.load(Ordering::Acquire, guard), min, max, out, guard);
+            }
+        }
+    }
+}
+
+/// Collects every finite leaf in the subtree.
+fn collect_all<K: Key, V: Value>(
+    node: Shared<'_, Node<K, V>>,
+    out: &mut Vec<(K, V)>,
+    guard: &Guard,
+) {
+    if node.is_null() {
+        return;
+    }
+    match unsafe { node.deref() } {
+        Node::Leaf {
+            key: RoutingKey::Finite(k),
+            value,
+        } => out.push((*k, value.clone().expect("finite leaves always carry a value"))),
+        Node::Leaf { .. } => {}
+        Node::Internal { left, right, .. } => {
+            collect_all(left.load(Ordering::Acquire, guard), out, guard);
+            collect_all(right.load(Ordering::Acquire, guard), out, guard);
+        }
+    }
+}
+
+/// Quiescent invariant check; returns the number of finite leaves.
+fn check_node<K: Key, V: Value>(
+    node: Shared<'_, Node<K, V>>,
+    lo: Option<&RoutingKey<K>>,
+    hi: Option<&RoutingKey<K>>,
+    guard: &Guard,
+) -> u64 {
+    if node.is_null() {
+        return 0;
+    }
+    match unsafe { node.deref() } {
+        Node::Leaf { key, .. } => {
+            if let Some(lo) = lo {
+                assert!(key >= lo, "leaf key below its routing interval");
+            }
+            if let Some(hi) = hi {
+                assert!(key < hi, "leaf key above its routing interval");
+            }
+            u64::from(key.finite().is_some())
+        }
+        Node::Internal {
+            key,
+            update,
+            left,
+            right,
+        } => {
+            let pending = update.load(Ordering::Acquire, guard);
+            assert_eq!(
+                pending.tag(),
+                state::CLEAN,
+                "pending flag left behind in a quiescent tree"
+            );
+            let nl = check_node(left.load(Ordering::Acquire, guard), lo, Some(key), guard);
+            let nr = check_node(right.load(Ordering::Acquire, guard), Some(key), hi, guard);
+            nl + nr
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_tree() {
+        let tree: LockFreeBst<i64> = LockFreeBst::new();
+        assert!(tree.is_empty());
+        assert!(!tree.contains(&1));
+        assert!(!tree.remove(&1));
+        assert_eq!(tree.count(i64::MIN, i64::MAX), 0);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn insert_remove_contains_roundtrip() {
+        let tree: LockFreeBst<i64, i64> = LockFreeBst::new();
+        assert!(tree.insert(5, 50));
+        assert!(!tree.insert(5, 51));
+        assert!(tree.insert(1, 10));
+        assert!(tree.insert(9, 90));
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree.get(&5), Some(50));
+        assert!(tree.contains(&1));
+        assert!(!tree.contains(&2));
+        assert_eq!(tree.remove_entry(&5), Some(50));
+        assert_eq!(tree.remove_entry(&5), None);
+        assert_eq!(tree.len(), 2);
+        assert_eq!(
+            tree.entries_quiescent(),
+            vec![(1, 10), (9, 90)]
+        );
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn collect_and_count_are_range_correct() {
+        let tree: LockFreeBst<i64> = LockFreeBst::new();
+        for k in (0..100).step_by(2) {
+            assert!(tree.insert(k, ()));
+        }
+        assert_eq!(tree.count(0, 99), 50);
+        assert_eq!(tree.count(10, 20), 6);
+        assert_eq!(tree.count(11, 11), 0);
+        assert_eq!(tree.count(-50, -1), 0);
+        assert_eq!(tree.count(90, 200), 5);
+        assert_eq!(tree.count(20, 10), 0);
+        let entries = tree.collect_range(10, 20);
+        assert_eq!(
+            entries.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![10, 12, 14, 16, 18, 20]
+        );
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn removing_reuses_structure_correctly() {
+        let tree: LockFreeBst<i64> = LockFreeBst::new();
+        for k in 0..200 {
+            assert!(tree.insert(k, ()));
+        }
+        for k in (0..200).step_by(2) {
+            assert!(tree.remove(&k));
+        }
+        assert_eq!(tree.len(), 100);
+        for k in 0..200 {
+            assert_eq!(tree.contains(&k), k % 2 == 1, "key {k}");
+        }
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn from_entries_dedups() {
+        let tree: LockFreeBst<i64, i64> =
+            LockFreeBst::from_entries(vec![(1, 10), (2, 20), (1, 99)]);
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree.get(&1), Some(10));
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        const THREADS: i64 = 4;
+        const PER_THREAD: i64 = 2_000;
+        let tree: Arc<LockFreeBst<i64>> = Arc::new(LockFreeBst::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let tree = Arc::clone(&tree);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        assert!(tree.insert(t * PER_THREAD + i, ()));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(tree.len(), (THREADS * PER_THREAD) as u64);
+        assert_eq!(
+            tree.count(i64::MIN, i64::MAX),
+            (THREADS * PER_THREAD) as u64
+        );
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_contended_mix() {
+        const THREADS: usize = 4;
+        const OPS: usize = 4_000;
+        const RANGE: i64 = 256;
+        let tree: Arc<LockFreeBst<i64>> = Arc::new(LockFreeBst::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let tree = Arc::clone(&tree);
+                std::thread::spawn(move || {
+                    let mut state = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let mut next = || {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state
+                    };
+                    for _ in 0..OPS {
+                        let key = (next() % RANGE as u64) as i64;
+                        match next() % 3 {
+                            0 => {
+                                tree.insert(key, ());
+                            }
+                            1 => {
+                                tree.remove(&key);
+                            }
+                            _ => {
+                                tree.contains(&key);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Quiescent: length must equal the number of keys physically present.
+        tree.check_invariants();
+        let entries = tree.entries_quiescent();
+        assert_eq!(entries.len() as u64, tree.len());
+        assert_eq!(tree.count(i64::MIN, i64::MAX), tree.len());
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the lock-free external BST baseline: arbitrary
+//! operation sequences are replayed against `std::collections::BTreeMap`, and
+//! the tree must agree on every observable result.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use wft_lockfree::LockFreeBst;
+
+/// A single operation of the randomized workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    Remove(i64),
+    Contains(i64),
+    Get(i64),
+    Count(i64, i64),
+    Collect(i64, i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = -64i64..64;
+    prop_oneof![
+        (key.clone(), any::<i64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        key.clone().prop_map(Op::Remove),
+        key.clone().prop_map(Op::Contains),
+        key.clone().prop_map(Op::Get),
+        (key.clone(), key.clone()).prop_map(|(a, b)| Op::Count(a.min(b), a.max(b))),
+        (key.clone(), key).prop_map(|(a, b)| Op::Collect(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sequential_equivalence_with_btreemap(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let tree: LockFreeBst<i64, i64> = LockFreeBst::new();
+        let mut oracle: BTreeMap<i64, i64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    let expected = !oracle.contains_key(&k);
+                    if expected {
+                        oracle.insert(k, v);
+                    }
+                    prop_assert_eq!(tree.insert(k, v), expected, "insert({})", k);
+                }
+                Op::Remove(k) => {
+                    let expected = oracle.remove(&k);
+                    prop_assert_eq!(tree.remove_entry(&k), expected, "remove({})", k);
+                }
+                Op::Contains(k) => {
+                    prop_assert_eq!(tree.contains(&k), oracle.contains_key(&k), "contains({})", k);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(&k), oracle.get(&k).copied(), "get({})", k);
+                }
+                Op::Count(min, max) => {
+                    let expected = oracle.range(min..=max).count() as u64;
+                    prop_assert_eq!(tree.count(min, max), expected, "count({}, {})", min, max);
+                }
+                Op::Collect(min, max) => {
+                    let expected: Vec<(i64, i64)> =
+                        oracle.range(min..=max).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(tree.collect_range(min, max), expected, "collect({}, {})", min, max);
+                }
+            }
+            prop_assert_eq!(tree.len(), oracle.len() as u64);
+        }
+        tree.check_invariants();
+        let entries: Vec<(i64, i64)> = oracle.into_iter().collect();
+        prop_assert_eq!(tree.entries_quiescent(), entries);
+    }
+
+    #[test]
+    fn from_entries_matches_individual_inserts(keys in prop::collection::vec(-100i64..100, 0..150)) {
+        let bulk: LockFreeBst<i64> = LockFreeBst::from_entries(keys.iter().map(|&k| (k, ())));
+        let incremental: LockFreeBst<i64> = LockFreeBst::new();
+        for &k in &keys {
+            incremental.insert(k, ());
+        }
+        prop_assert_eq!(bulk.entries_quiescent(), incremental.entries_quiescent());
+        prop_assert_eq!(bulk.len(), incremental.len());
+        bulk.check_invariants();
+        incremental.check_invariants();
+    }
+
+    #[test]
+    fn count_equals_collect_len(keys in prop::collection::vec(-200i64..200, 0..200),
+                                ranges in prop::collection::vec((-250i64..250, -250i64..250), 1..20)) {
+        let tree: LockFreeBst<i64> = LockFreeBst::from_entries(keys.iter().map(|&k| (k, ())));
+        for &(a, b) in &ranges {
+            let (min, max) = (a.min(b), a.max(b));
+            prop_assert_eq!(tree.count(min, max), tree.collect_range(min, max).len() as u64);
+        }
+    }
+}
+
+/// A deterministic concurrent smoke test kept out of the proptest macro so it
+/// runs exactly once: threads hammer a small key range, then the quiescent
+/// tree must be internally consistent.
+#[test]
+fn concurrent_mixed_workload_leaves_consistent_tree() {
+    use std::sync::Arc;
+
+    const THREADS: usize = 3;
+    const OPS: usize = 3_000;
+    const RANGE: u64 = 128;
+
+    let tree: Arc<LockFreeBst<i64>> = Arc::new(LockFreeBst::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            std::thread::spawn(move || {
+                let mut state = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                let mut next = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                for _ in 0..OPS {
+                    let key = (next() % RANGE) as i64;
+                    match next() % 4 {
+                        0 | 1 => {
+                            tree.insert(key, ());
+                        }
+                        2 => {
+                            tree.remove(&key);
+                        }
+                        _ => {
+                            // Range queries run concurrently with updates and
+                            // must never panic or return out-of-range keys.
+                            let width = (next() % 32) as i64;
+                            for (k, _) in tree.collect_range(key, key + width) {
+                                assert!(k >= key && k <= key + width);
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    tree.check_invariants();
+    assert_eq!(tree.entries_quiescent().len() as u64, tree.len());
+}

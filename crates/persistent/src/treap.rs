@@ -1,0 +1,495 @@
+//! The purely functional (persistent) augmented treap.
+//!
+//! This is the data structure underneath the paper's baseline competitor
+//! ("persistent data structures" / path-copying trees, §I related work and
+//! the evaluation's orange lines): a balanced search tree in which every
+//! update produces a new version that shares all unmodified subtrees with the
+//! old one. Reads run on an immutable snapshot; the concurrent wrapper in
+//! [`crate::tree`] installs new versions with a CAS-retry loop (the lock-free
+//! universal construction).
+//!
+//! Balance comes from treap priorities derived deterministically from the key
+//! (a splitmix64 hash), so the expected height is `O(log N)` without any
+//! random-number state. Every node also caches its subtree size and the
+//! augmentation value of its subtree, which yields the same `O(log N)`
+//! aggregate range queries as the augmented external BST.
+
+use std::sync::Arc;
+
+use wft_seq::{Augmentation, Key, Value};
+
+/// A node of the persistent treap. Nodes are immutable; updates copy the path
+/// from the root to the modified position.
+#[derive(Debug)]
+pub struct PNode<K: Key, V: Value, A: Augmentation<K, V>> {
+    /// The node's key.
+    pub key: K,
+    /// The associated value.
+    pub value: V,
+    /// Heap priority (max-heap): deterministic hash of the key.
+    pub priority: u64,
+    /// Number of keys in this subtree.
+    pub size: u64,
+    /// Augmentation value of this subtree.
+    pub agg: A::Agg,
+    /// Left child.
+    pub left: Link<K, V, A>,
+    /// Right child.
+    pub right: Link<K, V, A>,
+}
+
+/// An optional shared subtree.
+pub type Link<K, V, A> = Option<Arc<PNode<K, V, A>>>;
+
+/// splitmix64: cheap, well-distributed deterministic priority for a key hash.
+fn priority_of<K: std::hash::Hash>(key: &K) -> u64 {
+    use std::hash::Hasher;
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    let mut z = hasher.finish().wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Size of an optional subtree.
+pub fn size<K: Key, V: Value, A: Augmentation<K, V>>(link: &Link<K, V, A>) -> u64 {
+    link.as_ref().map_or(0, |n| n.size)
+}
+
+/// Augmentation value of an optional subtree.
+pub fn agg<K: Key, V: Value, A: Augmentation<K, V>>(link: &Link<K, V, A>) -> A::Agg {
+    link.as_ref().map_or_else(A::identity, |n| n.agg.clone())
+}
+
+/// Creates a node from a key/value pair and two subtrees, recomputing the
+/// cached size and aggregate.
+fn mk<K: Key, V: Value, A: Augmentation<K, V>>(
+    key: K,
+    value: V,
+    priority: u64,
+    left: Link<K, V, A>,
+    right: Link<K, V, A>,
+) -> Arc<PNode<K, V, A>> {
+    let entry_agg = A::of_entry(&key, &value);
+    let with_left = A::combine(&agg::<K, V, A>(&left), &entry_agg);
+    let total = A::combine(&with_left, &agg::<K, V, A>(&right));
+    Arc::new(PNode {
+        size: 1 + size::<K, V, A>(&left) + size::<K, V, A>(&right),
+        agg: total,
+        key,
+        value,
+        priority,
+        left,
+        right,
+    })
+}
+
+/// Splits `root` into `(< key, >= key)`.
+fn split<K: Key, V: Value, A: Augmentation<K, V>>(
+    root: &Link<K, V, A>,
+    key: &K,
+) -> (Link<K, V, A>, Link<K, V, A>) {
+    match root {
+        None => (None, None),
+        Some(node) => {
+            if &node.key < key {
+                let (lo, hi) = split::<K, V, A>(&node.right, key);
+                (
+                    Some(mk::<K, V, A>(
+                        node.key,
+                        node.value.clone(),
+                        node.priority,
+                        node.left.clone(),
+                        lo,
+                    )),
+                    hi,
+                )
+            } else {
+                let (lo, hi) = split::<K, V, A>(&node.left, key);
+                (
+                    lo,
+                    Some(mk::<K, V, A>(
+                        node.key,
+                        node.value.clone(),
+                        node.priority,
+                        hi,
+                        node.right.clone(),
+                    )),
+                )
+            }
+        }
+    }
+}
+
+/// Merges two treaps where every key of `lo` is smaller than every key of
+/// `hi`.
+fn merge<K: Key, V: Value, A: Augmentation<K, V>>(
+    lo: &Link<K, V, A>,
+    hi: &Link<K, V, A>,
+) -> Link<K, V, A> {
+    match (lo, hi) {
+        (None, _) => hi.clone(),
+        (_, None) => lo.clone(),
+        (Some(l), Some(r)) => {
+            if l.priority >= r.priority {
+                Some(mk::<K, V, A>(
+                    l.key,
+                    l.value.clone(),
+                    l.priority,
+                    l.left.clone(),
+                    merge::<K, V, A>(&l.right, hi),
+                ))
+            } else {
+                Some(mk::<K, V, A>(
+                    r.key,
+                    r.value.clone(),
+                    r.priority,
+                    merge::<K, V, A>(lo, &r.left),
+                    r.right.clone(),
+                ))
+            }
+        }
+    }
+}
+
+/// Returns the value stored under `key`, if any.
+pub fn get<'a, K: Key, V: Value, A: Augmentation<K, V>>(
+    mut root: &'a Link<K, V, A>,
+    key: &K,
+) -> Option<&'a V> {
+    while let Some(node) = root {
+        if key < &node.key {
+            root = &node.left;
+        } else if key > &node.key {
+            root = &node.right;
+        } else {
+            return Some(&node.value);
+        }
+    }
+    None
+}
+
+/// Inserts `key → value` if absent. Returns the new root and whether the key
+/// was inserted (`false` leaves the version unchanged, mirroring the paper's
+/// `insert` semantics).
+pub fn insert<K: Key, V: Value, A: Augmentation<K, V>>(
+    root: &Link<K, V, A>,
+    key: K,
+    value: V,
+) -> (Link<K, V, A>, bool) {
+    if get::<K, V, A>(root, &key).is_some() {
+        return (root.clone(), false);
+    }
+    let (lo, hi) = split::<K, V, A>(root, &key);
+    let node = Some(mk::<K, V, A>(key, value, priority_of(&key), None, None));
+    (merge::<K, V, A>(&merge::<K, V, A>(&lo, &node), &hi), true)
+}
+
+/// Removes `key` if present. Returns the new root and the removed value.
+pub fn remove<K: Key, V: Value, A: Augmentation<K, V>>(
+    root: &Link<K, V, A>,
+    key: &K,
+) -> (Link<K, V, A>, Option<V>) {
+    match root {
+        None => (None, None),
+        Some(node) => {
+            if key < &node.key {
+                let (new_left, removed) = remove::<K, V, A>(&node.left, key);
+                if removed.is_none() {
+                    (root.clone(), None)
+                } else {
+                    (
+                        Some(mk::<K, V, A>(
+                            node.key,
+                            node.value.clone(),
+                            node.priority,
+                            new_left,
+                            node.right.clone(),
+                        )),
+                        removed,
+                    )
+                }
+            } else if key > &node.key {
+                let (new_right, removed) = remove::<K, V, A>(&node.right, key);
+                if removed.is_none() {
+                    (root.clone(), None)
+                } else {
+                    (
+                        Some(mk::<K, V, A>(
+                            node.key,
+                            node.value.clone(),
+                            node.priority,
+                            node.left.clone(),
+                            new_right,
+                        )),
+                        removed,
+                    )
+                }
+            } else {
+                (
+                    merge::<K, V, A>(&node.left, &node.right),
+                    Some(node.value.clone()),
+                )
+            }
+        }
+    }
+}
+
+/// Aggregate of every entry with key `>= min` in the subtree (`O(height)`).
+fn agg_ge<K: Key, V: Value, A: Augmentation<K, V>>(root: &Link<K, V, A>, min: &K) -> A::Agg {
+    match root {
+        None => A::identity(),
+        Some(node) => {
+            if &node.key < min {
+                agg_ge::<K, V, A>(&node.right, min)
+            } else {
+                let here = A::of_entry(&node.key, &node.value);
+                let left_part = agg_ge::<K, V, A>(&node.left, min);
+                let right_part = agg::<K, V, A>(&node.right);
+                A::combine(&A::combine(&left_part, &here), &right_part)
+            }
+        }
+    }
+}
+
+/// Aggregate of every entry with key `<= max` in the subtree (`O(height)`).
+fn agg_le<K: Key, V: Value, A: Augmentation<K, V>>(root: &Link<K, V, A>, max: &K) -> A::Agg {
+    match root {
+        None => A::identity(),
+        Some(node) => {
+            if &node.key > max {
+                agg_le::<K, V, A>(&node.left, max)
+            } else {
+                let here = A::of_entry(&node.key, &node.value);
+                let left_part = agg::<K, V, A>(&node.left);
+                let right_part = agg_le::<K, V, A>(&node.right, max);
+                A::combine(&A::combine(&left_part, &here), &right_part)
+            }
+        }
+    }
+}
+
+/// Aggregate of every entry with key in `[min, max]` (`O(height)`).
+pub fn range_agg<K: Key, V: Value, A: Augmentation<K, V>>(
+    root: &Link<K, V, A>,
+    min: &K,
+    max: &K,
+) -> A::Agg {
+    if min > max {
+        return A::identity();
+    }
+    match root {
+        None => A::identity(),
+        Some(node) => {
+            if &node.key < min {
+                range_agg::<K, V, A>(&node.right, min, max)
+            } else if &node.key > max {
+                range_agg::<K, V, A>(&node.left, min, max)
+            } else {
+                let here = A::of_entry(&node.key, &node.value);
+                let left_part = agg_ge::<K, V, A>(&node.left, min);
+                let right_part = agg_le::<K, V, A>(&node.right, max);
+                A::combine(&A::combine(&left_part, &here), &right_part)
+            }
+        }
+    }
+}
+
+/// Collects every `(key, value)` with key in `[min, max]`, in key order.
+pub fn collect_range<K: Key, V: Value, A: Augmentation<K, V>>(
+    root: &Link<K, V, A>,
+    min: &K,
+    max: &K,
+    out: &mut Vec<(K, V)>,
+) {
+    if min > max {
+        return;
+    }
+    if let Some(node) = root {
+        if &node.key > min {
+            collect_range::<K, V, A>(&node.left, min, max, out);
+        }
+        if min <= &node.key && &node.key <= max {
+            out.push((node.key, node.value.clone()));
+        }
+        if &node.key < max {
+            collect_range::<K, V, A>(&node.right, min, max, out);
+        }
+    }
+}
+
+/// All entries in key order.
+pub fn entries<K: Key, V: Value, A: Augmentation<K, V>>(
+    root: &Link<K, V, A>,
+    out: &mut Vec<(K, V)>,
+) {
+    if let Some(node) = root {
+        entries::<K, V, A>(&node.left, out);
+        out.push((node.key, node.value.clone()));
+        entries::<K, V, A>(&node.right, out);
+    }
+}
+
+/// Builds a treap from sorted, de-duplicated entries in `O(n log n)`.
+pub fn from_sorted<K: Key, V: Value, A: Augmentation<K, V>>(entries: &[(K, V)]) -> Link<K, V, A> {
+    let mut root: Link<K, V, A> = None;
+    for (k, v) in entries {
+        let (new_root, _) = insert::<K, V, A>(&root, *k, v.clone());
+        root = new_root;
+    }
+    root
+}
+
+/// Height of the treap (tests and diagnostics).
+pub fn height<K: Key, V: Value, A: Augmentation<K, V>>(root: &Link<K, V, A>) -> usize {
+    root.as_ref().map_or(0, |n| {
+        1 + height::<K, V, A>(&n.left).max(height::<K, V, A>(&n.right))
+    })
+}
+
+/// Validates the BST ordering, the heap property and the cached size/agg of
+/// every node. Panics on violation; tests only.
+pub fn check_invariants<K: Key, V: Value, A: Augmentation<K, V>>(root: &Link<K, V, A>) -> u64 {
+    fn walk<K: Key, V: Value, A: Augmentation<K, V>>(
+        link: &Link<K, V, A>,
+        lo: Option<&K>,
+        hi: Option<&K>,
+        max_priority: Option<u64>,
+    ) -> u64 {
+        match link {
+            None => 0,
+            Some(node) => {
+                if let Some(lo) = lo {
+                    assert!(&node.key > lo, "BST order violated (left bound)");
+                }
+                if let Some(hi) = hi {
+                    assert!(&node.key < hi, "BST order violated (right bound)");
+                }
+                if let Some(p) = max_priority {
+                    assert!(node.priority <= p, "heap property violated");
+                }
+                let nl = walk::<K, V, A>(&node.left, lo, Some(&node.key), Some(node.priority));
+                let nr = walk::<K, V, A>(&node.right, Some(&node.key), hi, Some(node.priority));
+                assert_eq!(node.size, nl + nr + 1, "cached size is stale");
+                let mut collected = Vec::new();
+                entries::<K, V, A>(link, &mut collected);
+                let expect = collected
+                    .iter()
+                    .fold(A::identity(), |acc, (k, v)| A::insert_delta(&acc, k, v));
+                assert_eq!(&node.agg, &expect, "cached aggregate is stale");
+                nl + nr + 1
+            }
+        }
+    }
+    walk::<K, V, A>(root, None, None, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wft_seq::{ReferenceMap, Size, Sum};
+
+    type L = Link<i64, i64, Size>;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut root: L = None;
+        let (r, ok) = insert::<i64, i64, Size>(&root, 5, 50);
+        assert!(ok);
+        root = r;
+        let (r, ok) = insert::<i64, i64, Size>(&root, 5, 51);
+        assert!(!ok, "duplicate insert must fail");
+        root = r;
+        assert_eq!(get::<i64, i64, Size>(&root, &5), Some(&50));
+        let (r, removed) = remove::<i64, i64, Size>(&root, &5);
+        assert_eq!(removed, Some(50));
+        root = r;
+        assert_eq!(get::<i64, i64, Size>(&root, &5), None);
+        let (_, removed) = remove::<i64, i64, Size>(&root, &5);
+        assert_eq!(removed, None);
+    }
+
+    #[test]
+    fn versions_are_persistent() {
+        let mut versions: Vec<L> = vec![None];
+        for k in 0..100 {
+            let (next, ok) = insert::<i64, i64, Size>(versions.last().unwrap(), k, k);
+            assert!(ok);
+            versions.push(next);
+        }
+        // Every historical version still answers queries for its own era.
+        for (i, version) in versions.iter().enumerate() {
+            assert_eq!(size::<i64, i64, Size>(version) as usize, i);
+            assert_eq!(range_agg::<i64, i64, Size>(version, &0, &1000), i as u64);
+        }
+    }
+
+    #[test]
+    fn expected_logarithmic_height() {
+        let entries_vec: Vec<(i64, i64)> = (0..10_000).map(|k| (k, k)).collect();
+        let root = from_sorted::<i64, i64, Size>(&entries_vec);
+        let h = height::<i64, i64, Size>(&root);
+        assert!(h < 60, "height {h} too large for 10k deterministic-priority keys");
+        check_invariants::<i64, i64, Size>(&root);
+    }
+
+    #[test]
+    fn range_agg_matches_reference() {
+        let mut root: Link<i64, i64, Sum> = None;
+        let mut oracle: ReferenceMap<i64, i64> = ReferenceMap::new();
+        for k in (0..500).step_by(3) {
+            let (r, _) = insert::<i64, i64, Sum>(&root, k, k * 2);
+            root = r;
+            oracle.insert(k, k * 2);
+        }
+        for (min, max) in [(0, 499), (10, 20), (-5, 2), (498, 1000), (50, 10)] {
+            assert_eq!(
+                range_agg::<i64, i64, Sum>(&root, &min, &max),
+                oracle.range_agg::<Sum>(min, max),
+                "range [{min}, {max}]"
+            );
+        }
+    }
+
+    #[test]
+    fn collect_range_is_sorted_and_complete() {
+        let entries_vec: Vec<(i64, i64)> = (0..200).map(|k| (k, k)).collect();
+        let root = from_sorted::<i64, i64, Size>(&entries_vec);
+        let mut out = Vec::new();
+        collect_range::<i64, i64, Size>(&root, &37, &142, &mut out);
+        let expect: Vec<(i64, i64)> = (37..=142).map(|k| (k, k)).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn randomized_against_oracle() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut root: L = None;
+        let mut oracle: ReferenceMap<i64, i64> = ReferenceMap::new();
+        for _ in 0..5_000 {
+            let k = rng.gen_range(0..300);
+            match rng.gen_range(0..4) {
+                0 | 1 => {
+                    let (r, ok) = insert::<i64, i64, Size>(&root, k, k);
+                    root = r;
+                    assert_eq!(ok, oracle.insert(k, k));
+                }
+                2 => {
+                    let (r, removed) = remove::<i64, i64, Size>(&root, &k);
+                    root = r;
+                    assert_eq!(removed, oracle.remove_entry(&k));
+                }
+                _ => {
+                    let hi = k + rng.gen_range(0..50);
+                    assert_eq!(range_agg::<i64, i64, Size>(&root, &k, &hi), oracle.count(k, hi));
+                }
+            }
+        }
+        check_invariants::<i64, i64, Size>(&root);
+        let mut got = Vec::new();
+        entries::<i64, i64, Size>(&root, &mut got);
+        assert_eq!(got, oracle.entries());
+    }
+}

@@ -1,0 +1,276 @@
+//! The per-operation traverse queue (`Op.Traverse`, §II-B).
+//!
+//! While an operation descends the tree, every process executing it in a
+//! node appends the children in which execution must continue; only the
+//! *initiator* process removes nodes from the head and visits them. The
+//! queue therefore is multi-producer / single-consumer, FIFO, and tolerates
+//! duplicate entries (a node may be appended several times when several
+//! helpers execute the same operation in its parent — the per-node
+//! timestamp checks make the extra visits no-ops).
+//!
+//! Because the queue lives inside a single operation descriptor and holds at
+//! most `O(height + |P|)` small entries, nodes are never unlinked during the
+//! descriptor's lifetime: the consumer advances a cursor and everything is
+//! freed when the descriptor (and with it the queue) is dropped. This keeps
+//! the structure trivially safe without epoch protection.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// One link of the traverse queue.
+struct TNode<T> {
+    item: Option<T>,
+    next: AtomicPtr<TNode<T>>,
+}
+
+/// Multi-producer single-consumer FIFO queue used for `Op.Traverse`.
+///
+/// `push` may be called from any thread; `peek` / `pop` must only be called
+/// by the operation's initiator (single consumer), which is exactly how the
+/// traversal algorithm of Listing 2 uses it.
+pub struct TraverseQueue<T> {
+    /// Consumer cursor: points at the node *before* the next item (a dummy
+    /// or an already consumed node).
+    head: AtomicPtr<TNode<T>>,
+    /// Producer end.
+    tail: AtomicPtr<TNode<T>>,
+    /// First node ever allocated; `Drop` walks the full chain from here.
+    first: *mut TNode<T>,
+}
+
+unsafe impl<T: Send> Send for TraverseQueue<T> {}
+unsafe impl<T: Send + Sync> Sync for TraverseQueue<T> {}
+
+impl<T> Default for TraverseQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TraverseQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        let dummy = Box::into_raw(Box::new(TNode {
+            item: None,
+            next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        TraverseQueue {
+            head: AtomicPtr::new(dummy),
+            tail: AtomicPtr::new(dummy),
+            first: dummy,
+        }
+    }
+
+    /// Appends `item` to the tail. Callable from any thread.
+    pub fn push(&self, item: T) {
+        let node = Box::into_raw(Box::new(TNode {
+            item: Some(item),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        loop {
+            let tail = self.tail.load(Ordering::Acquire);
+            // Safety: nodes are only freed in `Drop`, which requires
+            // exclusive access, so `tail` is always valid here.
+            let next = unsafe { (*tail).next.load(Ordering::Acquire) };
+            if !next.is_null() {
+                // Help the lagging tail.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                );
+                continue;
+            }
+            if unsafe { &(*tail).next }
+                .compare_exchange(ptr::null_mut(), node, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    node,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                );
+                return;
+            }
+        }
+    }
+
+    /// Returns a clone of the item at the head without removing it.
+    /// Single-consumer: must only be called by the initiator.
+    pub fn peek(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        let head = self.head.load(Ordering::Acquire);
+        let next = unsafe { (*head).next.load(Ordering::Acquire) };
+        if next.is_null() {
+            return None;
+        }
+        unsafe { (*next).item.clone() }
+    }
+
+    /// Removes and returns the item at the head. Single-consumer.
+    pub fn pop(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        let head = self.head.load(Ordering::Acquire);
+        let next = unsafe { (*head).next.load(Ordering::Acquire) };
+        if next.is_null() {
+            return None;
+        }
+        // Single consumer: a plain store is sufficient, nobody else advances
+        // the head. The consumed node stays linked (it is freed in Drop).
+        self.head.store(next, Ordering::Release);
+        unsafe { (*next).item.clone() }
+    }
+
+    /// `true` if no unconsumed item remains.
+    pub fn is_empty(&self) -> bool {
+        let head = self.head.load(Ordering::Acquire);
+        unsafe { (*head).next.load(Ordering::Acquire).is_null() }
+    }
+
+    /// Number of unconsumed items (linear walk; debugging/tests only).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self.head.load(Ordering::Acquire);
+        loop {
+            let next = unsafe { (*cur).next.load(Ordering::Acquire) };
+            if next.is_null() {
+                return n;
+            }
+            n += 1;
+            cur = next;
+        }
+    }
+}
+
+impl<T> Drop for TraverseQueue<T> {
+    fn drop(&mut self) {
+        // Exclusive access: free the whole chain starting from the very
+        // first dummy, including consumed nodes.
+        let mut cur = self.first;
+        while !cur.is_null() {
+            let node = unsafe { Box::from_raw(cur) };
+            cur = node.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q: TraverseQueue<u32> = TraverseQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        for i in 0..10 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 10);
+        assert_eq!(q.peek(), Some(0));
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let q: TraverseQueue<&str> = TraverseQueue::new();
+        q.push("a");
+        assert_eq!(q.peek(), Some("a"));
+        assert_eq!(q.peek(), Some("a"));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn duplicates_are_preserved() {
+        let q: TraverseQueue<u32> = TraverseQueue::new();
+        q.push(7);
+        q.push(7);
+        q.push(7);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn multi_producer_single_consumer() {
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: usize = 1_000;
+        let q: Arc<TraverseQueue<usize>> = Arc::new(TraverseQueue::new());
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.push(p * PER_PRODUCER + i);
+                    }
+                })
+            })
+            .collect();
+        // Consumer runs concurrently with the producers.
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while seen.len() < PRODUCERS * PER_PRODUCER {
+                    if let Some(v) = q.pop() {
+                        seen.push(v);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                seen
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut seen = consumer.join().unwrap();
+        // Per-producer FIFO: each producer's items must appear in order.
+        for p in 0..PRODUCERS {
+            let per: Vec<usize> = seen
+                .iter()
+                .copied()
+                .filter(|v| v / PER_PRODUCER == p)
+                .collect();
+            let expect: Vec<usize> = (0..PER_PRODUCER).map(|i| p * PER_PRODUCER + i).collect();
+            assert_eq!(per, expect, "producer {p} items out of order");
+        }
+        seen.sort_unstable();
+        let expect: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn drop_frees_unconsumed_items() {
+        struct CountDrop(Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for CountDrop {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        {
+            let q: TraverseQueue<Arc<CountDrop>> = TraverseQueue::new();
+            for _ in 0..5 {
+                q.push(Arc::new(CountDrop(Arc::clone(&drops))));
+            }
+            let _ = q.pop();
+            // 4 unconsumed + 1 consumed-but-still-linked: all must be freed.
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Operation timestamps.
+//!
+//! Every operation receives a timestamp when its descriptor enters the root
+//! queue (§II-A). Timestamps define the linearization order: if descriptor A
+//! entered the root queue before descriptor B then `timestamp(A) <
+//! timestamp(B)`. Inside every per-node queue, timestamps form a strictly
+//! increasing sequence (Theorem 1), which is what lets a process decide
+//! whether its operation has already been executed at a node by a single
+//! `peek`.
+
+use std::fmt;
+
+/// A strictly positive operation timestamp.
+///
+/// The value `0` is reserved as the *watermark* carried by the dummy node of
+/// a freshly created queue (see [`crate::TsQueue::new`]): descriptors always
+/// have timestamps `>= 1`, so a rebuilt node initialised with watermark `t`
+/// rejects every descriptor with timestamp `<= t` — exactly the "operations
+/// preceding the rebuild must not touch the new subtree" rule of §II-E.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The zero timestamp, used only as the initial queue watermark.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// The largest representable timestamp.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// The numeric value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The next timestamp (`self + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow; `u64` timestamps cannot realistically overflow
+    /// (more than 10^19 operations), so an overflow indicates memory
+    /// corruption and must not wrap silently.
+    #[inline]
+    pub fn next(self) -> Timestamp {
+        Timestamp(
+            self.0
+                .checked_add(1)
+                .expect("timestamp overflow: more than u64::MAX operations"),
+        )
+    }
+
+    /// The previous timestamp (`self - 1`), saturating at zero. Used when a
+    /// rebuilt subtree is initialised with `Ts_Mod = Op.Timestamp - 1`
+    /// (§II-E) so the triggering operation can still modify it.
+    #[inline]
+    pub fn prev_saturating(self) -> Timestamp {
+        Timestamp(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts#{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(v: u64) -> Self {
+        Timestamp(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_next() {
+        assert!(Timestamp(1) < Timestamp(2));
+        assert_eq!(Timestamp(1).next(), Timestamp(2));
+        assert_eq!(Timestamp::ZERO.next(), Timestamp(1));
+        assert_eq!(Timestamp(5).prev_saturating(), Timestamp(4));
+        assert_eq!(Timestamp::ZERO.prev_saturating(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", Timestamp(42)), "42");
+        assert_eq!(format!("{:?}", Timestamp(42)), "ts#42");
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamp overflow")]
+    fn next_overflow_panics() {
+        let _ = Timestamp::MAX.next();
+    }
+}

@@ -1,0 +1,63 @@
+//! Key and value trait bounds shared by every tree implementation in the
+//! workspace.
+//!
+//! The paper's trees store totally ordered keys (it evaluates on 64-bit
+//! integers) and, for the key-value flavours of aggregate range queries
+//! (`range_sum`, `range_add`), an associated value per key. We capture the
+//! minimal bounds once so that the sequential oracle, the wait-free tree, the
+//! persistent baseline and the lock-based baseline all accept exactly the same
+//! type parameters.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Bound for tree keys.
+///
+/// Keys must be:
+///
+/// * totally ordered (`Ord`) — routing in an external BST compares keys with
+///   the `Right_Subtree_Min` of inner nodes;
+/// * `Copy` — keys are replicated into routing nodes, descriptors, the
+///   presence index and rebuilt subtrees; restricting to `Copy` keeps every
+///   hot path allocation-free and mirrors the integer keys used throughout
+///   the paper's evaluation;
+/// * `Hash` — descriptors index per-node metadata and the presence index by
+///   key;
+/// * `Send + Sync + 'static` — descriptors are shared across helping threads.
+pub trait Key: Ord + Copy + Hash + Debug + Send + Sync + 'static {}
+
+impl<T> Key for T where T: Ord + Copy + Hash + Debug + Send + Sync + 'static {}
+
+/// Bound for values associated with keys.
+///
+/// Values ride along with their key in leaves, descriptors and the presence
+/// index; they only need to be cloneable and shareable. Use `()` for plain
+/// sets (the paper's `insert`/`remove`/`contains`/`count` interface).
+pub trait Value: Clone + Debug + Send + Sync + 'static {}
+
+impl<T> Value for T where T: Clone + Debug + Send + Sync + 'static {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_key<K: Key>() {}
+    fn assert_value<V: Value>() {}
+
+    #[test]
+    fn primitive_integers_are_keys() {
+        assert_key::<i64>();
+        assert_key::<u64>();
+        assert_key::<i32>();
+        assert_key::<u128>();
+        assert_key::<(i64, u32)>();
+    }
+
+    #[test]
+    fn common_types_are_values() {
+        assert_value::<()>();
+        assert_value::<i64>();
+        assert_value::<String>();
+        assert_value::<Vec<u8>>();
+    }
+}

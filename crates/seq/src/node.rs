@@ -1,0 +1,258 @@
+//! Node representation of the sequential external binary search tree.
+//!
+//! The tree is *external* (leaf-oriented, paper Appendix A, Definition 3):
+//! data items live only in leaves, inner nodes carry the routing key
+//! `Right_Subtree_Min` (`rsm`) plus the augmentation value of their subtree.
+//! A removed leaf position is replaced by [`SeqNode::Empty`] and physically
+//! reclaimed by the next subtree rebuild, exactly mirroring the concurrent
+//! tree in `wft-core` so that the two structures can be compared node for
+//! node in tests.
+
+use crate::augment::Augmentation;
+use crate::key::{Key, Value};
+
+/// A node of the sequential external BST.
+#[derive(Debug, Clone)]
+pub enum SeqNode<K: Key, V: Value, A: Augmentation<K, V>> {
+    /// A subtree containing no data items (either the empty tree or a
+    /// removed leaf position awaiting the next rebuild).
+    Empty,
+    /// A leaf holding one data item.
+    Leaf {
+        /// The key of the data item.
+        key: K,
+        /// The value associated with the key.
+        value: V,
+    },
+    /// An internal routing node.
+    Inner {
+        /// `Right_Subtree_Min`: the smallest key that may appear in the right
+        /// subtree. Keys `< rsm` are routed left, keys `>= rsm` right.
+        rsm: K,
+        /// Augmentation value of the whole subtree rooted here.
+        agg: A::Agg,
+        /// Number of modifications (successful inserts/removes) applied to
+        /// this subtree since the node was created (`Mod_Cnt`, §II-E).
+        mod_cnt: u64,
+        /// Number of data items in the subtree when the node was created
+        /// (`Init_Sz`, §II-E). Immutable.
+        init_sz: u64,
+        /// Left child.
+        left: Box<SeqNode<K, V, A>>,
+        /// Right child.
+        right: Box<SeqNode<K, V, A>>,
+    },
+}
+
+impl<K: Key, V: Value, A: Augmentation<K, V>> Default for SeqNode<K, V, A> {
+    fn default() -> Self {
+        SeqNode::Empty
+    }
+}
+
+impl<K: Key, V: Value, A: Augmentation<K, V>> SeqNode<K, V, A> {
+    /// Augmentation value of this subtree (identity for `Empty`, the entry's
+    /// contribution for a leaf, the stored value for inner nodes). This is
+    /// the paper's `get_size` generalised to arbitrary augmentations.
+    pub fn agg(&self) -> A::Agg {
+        match self {
+            SeqNode::Empty => A::identity(),
+            SeqNode::Leaf { key, value } => A::of_entry(key, value),
+            SeqNode::Inner { agg, .. } => agg.clone(),
+        }
+    }
+
+    /// Number of data items stored in this subtree (linear walk; used only by
+    /// tests and invariant checks, not by queries).
+    pub fn recount(&self) -> u64 {
+        match self {
+            SeqNode::Empty => 0,
+            SeqNode::Leaf { .. } => 1,
+            SeqNode::Inner { left, right, .. } => left.recount() + right.recount(),
+        }
+    }
+
+    /// Height of the subtree (`Empty` and leaves have height 0).
+    pub fn height(&self) -> usize {
+        match self {
+            SeqNode::Empty | SeqNode::Leaf { .. } => 0,
+            SeqNode::Inner { left, right, .. } => 1 + left.height().max(right.height()),
+        }
+    }
+
+    /// Number of inner (routing) nodes in the subtree.
+    pub fn inner_nodes(&self) -> usize {
+        match self {
+            SeqNode::Empty | SeqNode::Leaf { .. } => 0,
+            SeqNode::Inner { left, right, .. } => 1 + left.inner_nodes() + right.inner_nodes(),
+        }
+    }
+
+    /// Appends all `(key, value)` pairs of the subtree to `out` in key order.
+    pub fn collect_into(&self, out: &mut Vec<(K, V)>) {
+        match self {
+            SeqNode::Empty => {}
+            SeqNode::Leaf { key, value } => out.push((*key, value.clone())),
+            SeqNode::Inner { left, right, .. } => {
+                left.collect_into(out);
+                right.collect_into(out);
+            }
+        }
+    }
+
+    /// Builds a perfectly balanced external subtree from `entries`, which
+    /// must be sorted by key and free of duplicates. Augmentation values are
+    /// recomputed bottom-up, `mod_cnt` is reset to zero and `init_sz` records
+    /// the subtree size, exactly as the rebuilding procedure of §II-E
+    /// prescribes.
+    pub fn build_balanced(entries: &[(K, V)]) -> SeqNode<K, V, A> {
+        match entries {
+            [] => SeqNode::Empty,
+            [(key, value)] => SeqNode::Leaf {
+                key: *key,
+                value: value.clone(),
+            },
+            _ => {
+                let mid = entries.len() / 2;
+                // `mid >= 1` because len >= 2: the right part is non-empty
+                // and starts at `entries[mid]`, which becomes the routing key.
+                let left = Self::build_balanced(&entries[..mid]);
+                let right = Self::build_balanced(&entries[mid..]);
+                let agg = A::combine(&left.agg(), &right.agg());
+                SeqNode::Inner {
+                    rsm: entries[mid].0,
+                    agg,
+                    mod_cnt: 0,
+                    init_sz: entries.len() as u64,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }
+            }
+        }
+    }
+
+    /// Verifies the structural invariants of the subtree given an optional
+    /// enclosing key interval `(lo, hi)` (keys must satisfy `lo <= key < hi`
+    /// where the bounds are present). Returns the number of data items.
+    ///
+    /// Checked invariants:
+    /// * leaves respect the routing interval;
+    /// * inner nodes have `rsm` within the interval, every left-subtree key
+    ///   `< rsm` and every right-subtree key `>= rsm`;
+    /// * the stored augmentation equals the recomputed aggregate of the
+    ///   leaves below.
+    ///
+    /// Panics with a descriptive message on violation; used by tests only.
+    pub fn check_invariants(&self, lo: Option<&K>, hi: Option<&K>) -> u64 {
+        match self {
+            SeqNode::Empty => 0,
+            SeqNode::Leaf { key, .. } => {
+                if let Some(lo) = lo {
+                    assert!(key >= lo, "leaf key below routing interval");
+                }
+                if let Some(hi) = hi {
+                    assert!(key < hi, "leaf key above routing interval");
+                }
+                1
+            }
+            SeqNode::Inner {
+                rsm,
+                agg,
+                left,
+                right,
+                ..
+            } => {
+                if let Some(lo) = lo {
+                    assert!(rsm >= lo, "rsm below routing interval");
+                }
+                if let Some(hi) = hi {
+                    assert!(rsm < hi || rsm == hi, "rsm above routing interval");
+                }
+                let nl = left.check_invariants(lo, Some(rsm));
+                let nr = right.check_invariants(Some(rsm), hi);
+                let mut entries = Vec::new();
+                self.collect_into(&mut entries);
+                let expect = entries
+                    .iter()
+                    .fold(A::identity(), |acc, (k, v)| A::insert_delta(&acc, k, v));
+                assert_eq!(agg, &expect, "stored augmentation is stale");
+                nl + nr
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::augment::{Size, Sum};
+
+    type N = SeqNode<i64, i64, Size>;
+
+    fn entries(keys: &[i64]) -> Vec<(i64, i64)> {
+        keys.iter().map(|&k| (k, k * 10)).collect()
+    }
+
+    #[test]
+    fn build_balanced_empty_and_singleton() {
+        let n = N::build_balanced(&[]);
+        assert!(matches!(n, SeqNode::Empty));
+        assert_eq!(n.agg(), 0);
+
+        let n = N::build_balanced(&entries(&[5]));
+        assert!(matches!(n, SeqNode::Leaf { key: 5, .. }));
+        assert_eq!(n.agg(), 1);
+    }
+
+    #[test]
+    fn build_balanced_is_balanced_and_ordered() {
+        let keys: Vec<i64> = (0..1024).collect();
+        let n = N::build_balanced(&entries(&keys));
+        assert_eq!(n.recount(), 1024);
+        assert_eq!(n.agg(), 1024);
+        // A perfect external tree over 2^k leaves has height k.
+        assert_eq!(n.height(), 10);
+        n.check_invariants(None, None);
+    }
+
+    #[test]
+    fn build_balanced_odd_sizes() {
+        for n_keys in [2usize, 3, 5, 7, 13, 100, 257] {
+            let keys: Vec<i64> = (0..n_keys as i64).map(|i| i * 3 + 1).collect();
+            let n = N::build_balanced(&entries(&keys));
+            assert_eq!(n.recount() as usize, n_keys);
+            n.check_invariants(None, None);
+            let ceil_log = (n_keys as f64).log2().ceil() as usize;
+            assert!(
+                n.height() <= ceil_log,
+                "height {} exceeds ceil(log2({})) = {}",
+                n.height(),
+                n_keys,
+                ceil_log
+            );
+        }
+    }
+
+    #[test]
+    fn collect_into_returns_sorted_entries() {
+        let keys: Vec<i64> = vec![3, 7, 11, 19, 23];
+        let n = N::build_balanced(&entries(&keys));
+        let mut out = Vec::new();
+        n.collect_into(&mut out);
+        assert_eq!(out, entries(&keys));
+    }
+
+    #[test]
+    fn sum_augmentation_is_recomputed_bottom_up() {
+        let n: SeqNode<i64, i64, Sum> = SeqNode::build_balanced(&entries(&[1, 2, 3, 4]));
+        assert_eq!(n.agg(), (1 + 2 + 3 + 4) * 10);
+    }
+
+    #[test]
+    fn inner_node_count_for_perfect_tree() {
+        let keys: Vec<i64> = (0..64).collect();
+        let n = N::build_balanced(&entries(&keys));
+        // A full external tree with L leaves has L-1 inner nodes.
+        assert_eq!(n.inner_nodes(), 63);
+    }
+}

@@ -1,0 +1,164 @@
+//! A trivially correct reference implementation of the paper's interface.
+//!
+//! [`ReferenceMap`] wraps `std::collections::BTreeMap` and exposes exactly
+//! the operations of the augmented trees (`insert`, `remove`, `contains`,
+//! `count`, `range_agg`, `collect_range`). All range queries are computed by
+//! scanning, i.e. in time linear in the range, so the oracle is slow but
+//! obviously correct — that is the point: every other tree in the workspace
+//! is validated against it, both sequentially and by replaying concurrent
+//! histories in linearization order.
+
+use std::collections::BTreeMap;
+use std::ops::RangeInclusive;
+
+use crate::augment::Augmentation;
+use crate::key::{Key, Value};
+
+/// BTreeMap-backed oracle with the common tree interface.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceMap<K: Key, V: Value> {
+    inner: BTreeMap<K, V>,
+}
+
+impl<K: Key, V: Value> ReferenceMap<K, V> {
+    /// Creates an empty oracle.
+    pub fn new() -> Self {
+        ReferenceMap {
+            inner: BTreeMap::new(),
+        }
+    }
+
+    /// Builds an oracle from entries (later duplicates win).
+    pub fn from_entries<I: IntoIterator<Item = (K, V)>>(entries: I) -> Self {
+        ReferenceMap {
+            inner: entries.into_iter().collect(),
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> u64 {
+        self.inner.len() as u64
+    }
+
+    /// `true` when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Inserts `key → value` if absent; returns `true` on success (paper
+    /// semantics: an existing key leaves the map unmodified).
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        use std::collections::btree_map::Entry;
+        match self.inner.entry(key) {
+            Entry::Vacant(e) => {
+                e.insert(value);
+                true
+            }
+            Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.inner.remove(key).is_some()
+    }
+
+    /// Removes `key` and returns its value if present.
+    pub fn remove_entry(&mut self, key: &K) -> Option<V> {
+        self.inner.remove(key)
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.inner.contains_key(key)
+    }
+
+    /// Value stored under `key`, if any.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.inner.get(key)
+    }
+
+    /// Number of keys in `[min, max]`, by linear scan of the range.
+    pub fn count(&self, min: K, max: K) -> u64 {
+        if min > max {
+            return 0;
+        }
+        self.inner.range(range(min, max)).count() as u64
+    }
+
+    /// Aggregate of the entries in `[min, max]` under augmentation `A`, by
+    /// linear scan of the range.
+    pub fn range_agg<A: Augmentation<K, V>>(&self, min: K, max: K) -> A::Agg {
+        if min > max {
+            return A::identity();
+        }
+        self.inner
+            .range(range(min, max))
+            .fold(A::identity(), |acc, (k, v)| A::insert_delta(&acc, k, v))
+    }
+
+    /// All `(key, value)` pairs in `[min, max]`, in key order.
+    pub fn collect_range(&self, min: K, max: K) -> Vec<(K, V)> {
+        if min > max {
+            return Vec::new();
+        }
+        self.inner
+            .range(range(min, max))
+            .map(|(k, v)| (*k, v.clone()))
+            .collect()
+    }
+
+    /// All entries in key order.
+    pub fn entries(&self) -> Vec<(K, V)> {
+        self.inner.iter().map(|(k, v)| (*k, v.clone())).collect()
+    }
+
+    /// All keys in key order.
+    pub fn keys(&self) -> Vec<K> {
+        self.inner.keys().copied().collect()
+    }
+}
+
+fn range<K: Key>(min: K, max: K) -> RangeInclusive<K> {
+    min..=max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::augment::{Size, Sum};
+
+    #[test]
+    fn insert_semantics_match_the_paper() {
+        let mut m: ReferenceMap<i64, &'static str> = ReferenceMap::new();
+        assert!(m.insert(1, "a"));
+        assert!(!m.insert(1, "b"));
+        assert_eq!(m.get(&1), Some(&"a"));
+        assert!(m.remove(&1));
+        assert!(!m.remove(&1));
+    }
+
+    #[test]
+    fn count_and_collect_agree() {
+        let m: ReferenceMap<i64, ()> =
+            ReferenceMap::from_entries((0..100).filter(|k| k % 3 == 0).map(|k| (k, ())));
+        for (min, max) in [(0, 99), (10, 20), (-5, 2), (98, 1000), (50, 10)] {
+            assert_eq!(m.count(min, max), m.collect_range(min, max).len() as u64);
+        }
+    }
+
+    #[test]
+    fn range_agg_generalises_count() {
+        let m: ReferenceMap<i64, i64> = ReferenceMap::from_entries((1..=10).map(|k| (k, k)));
+        assert_eq!(m.range_agg::<Size>(3, 7), 5);
+        assert_eq!(m.range_agg::<Sum>(3, 7), (3 + 4 + 5 + 6 + 7) as i128);
+    }
+
+    #[test]
+    fn inverted_ranges_are_empty() {
+        let m: ReferenceMap<i64, ()> = ReferenceMap::from_entries([(1, ()), (2, ())]);
+        assert_eq!(m.count(5, 1), 0);
+        assert!(m.collect_range(5, 1).is_empty());
+        assert_eq!(m.range_agg::<Size>(5, 1), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the sequential augmented tree.
+//!
+//! These properties are the sequential half of the paper's correctness
+//! argument: the tree must behave exactly like a set/map under arbitrary
+//! operation sequences, aggregate range queries must agree with a linear
+//! scan, and the rebuilding rule must preserve both the key set and balance.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use wft_seq::{Augmentation, Pair, ReferenceMap, SeqNode, SeqRangeTree, Size, Sum};
+
+/// A small operation language over a bounded key universe so that inserts,
+/// removes and range queries collide often.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    Remove(i64),
+    Contains(i64),
+    Count(i64, i64),
+    SumRange(i64, i64),
+    Collect(i64, i64),
+}
+
+fn op_strategy(universe: i64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..universe, any::<i64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0..universe).prop_map(Op::Remove),
+        (0..universe).prop_map(Op::Contains),
+        (0..universe, 0..universe).prop_map(|(a, b)| Op::Count(a, b)),
+        (0..universe, 0..universe).prop_map(|(a, b)| Op::SumRange(a, b)),
+        (0..universe, 0..universe).prop_map(|(a, b)| Op::Collect(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tree agrees with the BTreeMap oracle on every operation of every
+    /// generated sequence, and its invariants hold at the end.
+    #[test]
+    fn tree_matches_oracle(ops in vec(op_strategy(128), 1..400)) {
+        let mut tree: SeqRangeTree<i64, i64, Pair<Size, Sum>> = SeqRangeTree::new();
+        let mut oracle: ReferenceMap<i64, i64> = ReferenceMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => prop_assert_eq!(tree.insert(k, v), oracle.insert(k, v)),
+                Op::Remove(k) => prop_assert_eq!(tree.remove(&k), oracle.remove(&k)),
+                Op::Contains(k) => prop_assert_eq!(tree.contains(&k), oracle.contains(&k)),
+                Op::Count(a, b) => {
+                    let (count, _) = tree.range_agg(a, b);
+                    prop_assert_eq!(count, oracle.count(a, b));
+                }
+                Op::SumRange(a, b) => {
+                    let (_, sum) = tree.range_agg(a, b);
+                    prop_assert_eq!(sum, oracle.range_agg::<Sum>(a, b));
+                }
+                Op::Collect(a, b) => {
+                    prop_assert_eq!(tree.collect_range(a, b), oracle.collect_range(a, b));
+                }
+            }
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.entries(), oracle.entries());
+    }
+
+    /// `count` equals `collect().len()` — the identity the paper uses to
+    /// define the semantics of the aggregate query.
+    #[test]
+    fn count_equals_collect_len(
+        keys in vec(0i64..1000, 0..300),
+        min in 0i64..1000,
+        width in 0i64..1000,
+    ) {
+        let mut tree: SeqRangeTree<i64> = SeqRangeTree::new();
+        for k in keys {
+            tree.insert(k, ());
+        }
+        let max = min.saturating_add(width);
+        prop_assert_eq!(tree.count(min, max), tree.collect_range(min, max).len() as u64);
+    }
+
+    /// Rebuilding preserves the key set, produces logarithmic height and a
+    /// fresh modification counter.
+    #[test]
+    fn build_balanced_preserves_entries(keys in vec(any::<i64>(), 0..500)) {
+        let mut sorted: Vec<(i64, ())> = keys.iter().map(|&k| (k, ())).collect();
+        sorted.sort();
+        sorted.dedup();
+        let node: SeqNode<i64, (), Size> = SeqNode::build_balanced(&sorted);
+        let mut out = Vec::new();
+        node.collect_into(&mut out);
+        prop_assert_eq!(&out, &sorted);
+        if !sorted.is_empty() {
+            let log = (sorted.len() as f64).log2().ceil() as usize;
+            prop_assert!(node.height() <= log.max(1));
+        }
+        node.check_invariants(None, None);
+    }
+
+    /// The balancing rule keeps the height logarithmic under arbitrary
+    /// (including adversarially sorted) insertion orders.
+    #[test]
+    fn height_stays_logarithmic(mut keys in vec(0i64..100_000, 64..2000)) {
+        let mut tree: SeqRangeTree<i64> = SeqRangeTree::new();
+        // Half sorted, half as-generated: mixes the adversarial and random cases.
+        let half = keys.len() / 2;
+        keys[..half].sort_unstable();
+        for k in &keys {
+            tree.insert(*k, ());
+        }
+        tree.check_invariants();
+        let n = tree.len().max(2) as f64;
+        prop_assert!(
+            tree.height() as f64 <= 4.0 * n.log2() + 2.0,
+            "height {} for n {}",
+            tree.height(),
+            tree.len()
+        );
+    }
+
+    /// Augmentation group laws: removal undoes insertion for the `Sum`
+    /// augmentation used by the key-value experiments.
+    #[test]
+    fn sum_insert_remove_inverse(entries in vec((any::<i64>(), -1000i64..1000), 1..100)) {
+        let base = <Sum as Augmentation<i64, i64>>::identity();
+        let mut acc = base;
+        for (k, v) in &entries {
+            acc = <Sum as Augmentation<i64, i64>>::insert_delta(&acc, k, v);
+        }
+        for (k, v) in entries.iter().rev() {
+            acc = <Sum as Augmentation<i64, i64>>::remove_delta(&acc, k, v);
+        }
+        prop_assert_eq!(acc, base);
+    }
+}

@@ -1,0 +1,242 @@
+//! Operation descriptors for the trie (§II-B of the paper, instantiated for
+//! bit-routing).
+//!
+//! The descriptor plays exactly the same role as in the main tree: it is the
+//! shared record through which helpers cooperate. Because a trie node's
+//! subtree covers a *known* key-index interval, range queries do not need the
+//! per-node border-mode map the BST uses — every helper can re-derive the
+//! node's relationship to the query range from the node's coverage alone.
+
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use wft_queue::{Decision, FirstWriteMap, TraverseQueue};
+use wft_seq::{Augmentation, Value};
+
+use crate::key::TrieKey;
+use crate::node::{NodeId, NodePtr};
+
+/// Shared handle to a descriptor.
+pub type OpRef<K, V, A> = Arc<Descriptor<K, V, A>>;
+
+/// The operation a descriptor performs.
+#[derive(Debug, Clone)]
+pub enum OpKind<K, V> {
+    /// `insert(key, value)`: add the key if absent.
+    Insert {
+        /// Key to insert.
+        key: K,
+        /// Value to associate.
+        value: V,
+    },
+    /// `remove(key)`: delete the key if present.
+    Remove {
+        /// Key to remove.
+        key: K,
+    },
+    /// `contains(key)` / `get(key)`.
+    Lookup {
+        /// Key to look up.
+        key: K,
+    },
+    /// Aggregate range query over `[min, max]`.
+    RangeAgg {
+        /// Lower bound (inclusive).
+        min: K,
+        /// Upper bound (inclusive).
+        max: K,
+    },
+    /// `collect(min, max)`: list every entry in `[min, max]`.
+    Collect {
+        /// Lower bound (inclusive).
+        min: K,
+        /// Upper bound (inclusive).
+        max: K,
+    },
+}
+
+impl<K: TrieKey, V: Value> OpKind<K, V> {
+    /// `true` for operations that may modify the trie.
+    pub fn is_update(&self) -> bool {
+        matches!(self, OpKind::Insert { .. } | OpKind::Remove { .. })
+    }
+
+    /// The single routing key of a scalar operation.
+    pub fn scalar_key(&self) -> Option<K> {
+        match self {
+            OpKind::Insert { key, .. } | OpKind::Remove { key } | OpKind::Lookup { key } => {
+                Some(*key)
+            }
+            _ => None,
+        }
+    }
+
+    /// The query range in index space (scalar operations return the
+    /// degenerate range of their key).
+    pub fn index_range(&self) -> (u64, u64) {
+        match self {
+            OpKind::Insert { key, .. } | OpKind::Remove { key } | OpKind::Lookup { key } => {
+                let i = key.to_index();
+                (i, i)
+            }
+            OpKind::RangeAgg { min, max } | OpKind::Collect { min, max } => {
+                (min.to_index(), max.to_index())
+            }
+        }
+    }
+}
+
+/// The per-node partial result recorded in the `Processed` map.
+///
+/// Recorded unconditionally for every node the operation executes in, to
+/// claim the node id against stalled helpers (§II-B).
+#[derive(Debug, Clone)]
+pub enum Partial<K, V, Agg> {
+    /// Contribution of a node to an aggregate range query.
+    Agg(Agg),
+    /// Result of a lookup resolved at this node.
+    Lookup(Option<Option<V>>),
+    /// Entries contributed by this node to a `collect`.
+    Entries(Vec<(K, V)>),
+    /// Updates record no data; the entry only claims the node id.
+    Unit,
+}
+
+/// The shared operation descriptor.
+pub struct Descriptor<K: TrieKey, V: Value, A: Augmentation<K, V>> {
+    /// The operation to perform.
+    pub kind: OpKind<K, V>,
+    /// Effect of an update, resolved exactly once at the linearization point.
+    pub decision: OnceLock<Decision<V>>,
+    /// `Op.Processed`: per-node partial results, first write wins.
+    pub processed: FirstWriteMap<NodeId, Partial<K, V, A::Agg>>,
+    /// `Op.Traverse`: nodes the initiator still has to visit.
+    pub traverse: TraverseQueue<NodePtr<K, V, A>>,
+}
+
+impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Descriptor<K, V, A> {
+    /// Creates a reference-counted descriptor for `kind`.
+    pub fn new_ref(kind: OpKind<K, V>) -> OpRef<K, V, A> {
+        // A `collect` records one partial per visited node (`O(range)`), so
+        // its map is bucketed; every other operation records `O(W + |P|)`
+        // partials, where a single bucket is smaller and faster.
+        let processed = match &kind {
+            OpKind::Collect { .. } => FirstWriteMap::with_buckets(256),
+            _ => FirstWriteMap::new(),
+        };
+        Arc::new(Descriptor {
+            kind,
+            decision: OnceLock::new(),
+            processed,
+            traverse: TraverseQueue::new(),
+        })
+    }
+
+    /// The resolved decision of an update descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the descriptor was executed at the fictive
+    /// root.
+    pub fn resolved_decision(&self) -> &Decision<V> {
+        self.decision
+            .get()
+            .expect("update descriptor executed below the root before being resolved")
+    }
+
+    /// Assembles the final aggregate of a range query from the recorded
+    /// per-node partials. Only valid after the traverse queue has drained.
+    pub fn assemble_agg(&self) -> A::Agg {
+        self.processed.fold(A::identity(), |acc, _, partial| {
+            if let Partial::Agg(agg) = partial {
+                A::combine(&acc, agg)
+            } else {
+                acc
+            }
+        })
+    }
+
+    /// Assembles the result of a lookup.
+    pub fn assemble_lookup(&self) -> Option<V> {
+        self.processed.fold(None, |acc, _, partial| {
+            if acc.is_some() {
+                return acc;
+            }
+            match partial {
+                Partial::Lookup(Some(found)) => found.clone(),
+                _ => acc,
+            }
+        })
+    }
+
+    /// Assembles a `collect` result, sorted by key.
+    pub fn assemble_entries(&self) -> Vec<(K, V)> {
+        let mut out = self.processed.fold(Vec::new(), |mut acc, _, partial| {
+            if let Partial::Entries(entries) = partial {
+                acc.extend(entries.iter().cloned());
+            }
+            acc
+        });
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wft_seq::Size;
+
+    type D = Descriptor<u64, (), Size>;
+
+    #[test]
+    fn op_kind_classification_and_ranges() {
+        let ins: OpKind<u64, ()> = OpKind::Insert { key: 1, value: () };
+        let agg: OpKind<u64, ()> = OpKind::RangeAgg { min: 10, max: 20 };
+        assert!(ins.is_update());
+        assert!(!agg.is_update());
+        assert_eq!(ins.scalar_key(), Some(1));
+        assert_eq!(agg.scalar_key(), None);
+        assert_eq!(ins.index_range(), (1u64.to_index(), 1u64.to_index()));
+        assert_eq!(agg.index_range(), (10u64.to_index(), 20u64.to_index()));
+    }
+
+    #[test]
+    fn assemble_agg_and_lookup() {
+        let d = D::new_ref(OpKind::RangeAgg { min: 0, max: 100 });
+        d.processed.try_insert(1, Partial::Agg(3));
+        d.processed.try_insert(2, Partial::Agg(4));
+        d.processed.try_insert(3, Partial::Unit);
+        assert_eq!(d.assemble_agg(), 7);
+
+        let l: Descriptor<u64, u32, Size> = Descriptor {
+            kind: OpKind::Lookup { key: 5 },
+            decision: OnceLock::new(),
+            processed: FirstWriteMap::new(),
+            traverse: TraverseQueue::new(),
+        };
+        l.processed.try_insert(1, Partial::Lookup(None));
+        l.processed.try_insert(2, Partial::Lookup(Some(Some(50))));
+        assert_eq!(l.assemble_lookup(), Some(50));
+    }
+
+    #[test]
+    fn assemble_entries_sorts() {
+        let d: Descriptor<u64, u64, Size> = Descriptor {
+            kind: OpKind::Collect { min: 0, max: 100 },
+            decision: OnceLock::new(),
+            processed: FirstWriteMap::new(),
+            traverse: TraverseQueue::new(),
+        };
+        d.processed.try_insert(1, Partial::Entries(vec![(9, 90), (1, 10)]));
+        d.processed.try_insert(2, Partial::Entries(vec![(4, 40)]));
+        assert_eq!(d.assemble_entries(), vec![(1, 10), (4, 40), (9, 90)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolved")]
+    fn unresolved_decision_panics() {
+        let d = D::new_ref(OpKind::Insert { key: 1, value: () });
+        let _ = d.resolved_decision();
+    }
+}

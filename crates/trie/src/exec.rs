@@ -1,0 +1,442 @@
+//! The hand-over-hand helping engine, instantiated for bit-routing.
+//!
+//! The control flow is identical to the BST engine in `wft-core` (paper
+//! Listings 1–3): enqueue at the fictive root to obtain a timestamp, help
+//! every older descriptor, then walk the descriptor's traverse queue helping
+//! at every node on the operation's path. Differences specific to the trie:
+//!
+//! * routing and range pruning use the node's fixed [`Coverage`] instead of a
+//!   stored routing key and per-node range modes;
+//! * the structural change of an insertion that lands on an occupied leaf is
+//!   a *divergence chain* (single-child nodes down to the first differing
+//!   bit) rather than a one-level split;
+//! * there is no rebuilding — the depth is bounded by the key width, so the
+//!   wait-freedom argument of §II-F needs no amortisation;
+//! * structural CASes on leaf/empty slots are additionally guarded by the
+//!   slot content's `created_ts`, so a stalled helper whose operation already
+//!   took effect can never undo the work of a later operation that reused the
+//!   slot.
+
+use crossbeam_epoch::{Guard, Owned, Shared};
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
+
+use wft_queue::{Timestamp, UpdateKind};
+use wft_seq::{Augmentation, Value};
+
+use crate::descriptor::{Descriptor, OpKind, OpRef, Partial};
+use crate::key::TrieKey;
+use crate::node::{
+    build_divergence_chain, free_subtrie_now, Coverage, EmptyNode, InnerNode, LeafNode, Node,
+    NodePtr, NodeState, Overlap, FICTIVE_ROOT_ID,
+};
+use crate::tree::WaitFreeTrie;
+
+/// The node an operation is currently executed *in*.
+pub(crate) enum ParentRef<'g, K: TrieKey, V: Value, A: Augmentation<K, V>> {
+    /// The fictive root: owns the root queue and the real-root child slot.
+    Fictive,
+    /// A regular inner node.
+    Inner(&'g InnerNode<K, V, A>),
+}
+
+impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Clone for ParentRef<'_, K, V, A> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Copy for ParentRef<'_, K, V, A> {}
+
+impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
+    /// Runs one operation end to end; returns its descriptor and timestamp.
+    pub(crate) fn run_operation(&self, kind: OpKind<K, V>) -> (OpRef<K, V, A>, Timestamp) {
+        let guard = crossbeam_epoch::pin();
+        let op = Descriptor::new_ref(kind);
+        let ts = self.root_queue.enqueue_assign(op.clone(), &guard);
+
+        self.help_until(ParentRef::Fictive, ts, &guard);
+
+        loop {
+            match op.traverse.peek() {
+                None => break,
+                Some(node_ptr) => {
+                    // Safety: initiator, guard pinned since before enqueue.
+                    let node = unsafe { node_ptr.deref(&guard) };
+                    if let Node::Inner(inner) = node {
+                        self.help_until(ParentRef::Inner(inner), ts, &guard);
+                    }
+                    op.traverse.pop();
+                }
+            }
+        }
+        (op, ts)
+    }
+
+    /// `execute_until_timestamp` (Listing 1).
+    pub(crate) fn help_until(
+        &self,
+        parent: ParentRef<'_, K, V, A>,
+        ts: Timestamp,
+        guard: &Guard,
+    ) {
+        loop {
+            let head = match parent {
+                ParentRef::Fictive => self.root_queue.peek(guard),
+                ParentRef::Inner(inner) => inner.queue.peek(guard),
+            };
+            match head {
+                None => return,
+                Some((head_ts, head_op)) => {
+                    if head_ts > ts {
+                        return;
+                    }
+                    if head_ts != ts {
+                        self.counters.helped_executions.fetch_add(1, Relaxed);
+                    }
+                    self.execute_op_at(&head_op, head_ts, parent, guard);
+                }
+            }
+        }
+    }
+
+    /// `execute_in_node` (Listing 3). Idempotent.
+    pub(crate) fn execute_op_at(
+        &self,
+        op: &OpRef<K, V, A>,
+        ts: Timestamp,
+        parent: ParentRef<'_, K, V, A>,
+        guard: &Guard,
+    ) {
+        if op.kind.is_update() && matches!(parent, ParentRef::Fictive) {
+            self.resolve_update(op, ts, guard);
+        }
+
+        let parent_id = match parent {
+            ParentRef::Fictive => FICTIVE_ROOT_ID,
+            ParentRef::Inner(inner) => inner.id,
+        };
+
+        let mut partial: Partial<K, V, A::Agg> = match &op.kind {
+            OpKind::Insert { .. } | OpKind::Remove { .. } => Partial::Unit,
+            OpKind::Lookup { .. } => Partial::Lookup(None),
+            OpKind::RangeAgg { .. } => Partial::Agg(A::identity()),
+            OpKind::Collect { .. } => Partial::Entries(Vec::new()),
+        };
+
+        match parent {
+            ParentRef::Fictive => {
+                let descend = match &op.kind {
+                    OpKind::Insert { .. } | OpKind::Remove { .. } => {
+                        op.resolved_decision().success
+                    }
+                    _ => true,
+                };
+                if descend {
+                    self.continue_into_child(
+                        op,
+                        ts,
+                        &self.root_child,
+                        Coverage::ROOT,
+                        &mut partial,
+                        guard,
+                    );
+                }
+            }
+            ParentRef::Inner(inner) => match &op.kind {
+                OpKind::Insert { key, .. } | OpKind::Remove { key } | OpKind::Lookup { key } => {
+                    let (slot, coverage) = inner.child_slot(key.to_index());
+                    self.continue_into_child(op, ts, slot, coverage, &mut partial, guard);
+                }
+                OpKind::RangeAgg { .. } => {
+                    let (min, max) = op.kind.index_range();
+                    for (slot, coverage) in [
+                        (&inner.left, inner.coverage.left()),
+                        (&inner.right, inner.coverage.right()),
+                    ] {
+                        match coverage.classify(min, max) {
+                            Overlap::Disjoint => {}
+                            Overlap::Contained => {
+                                // The whole child subtree is inside the range:
+                                // take its aggregate from the child, do not
+                                // descend (this is what makes the query
+                                // logarithmic in the key width).
+                                let child = slot.load(Acquire, guard);
+                                let contribution = unsafe { child.deref() }.current_agg(guard);
+                                merge_agg::<K, V, A>(&mut partial, &contribution);
+                            }
+                            Overlap::Partial => {
+                                self.continue_into_child(
+                                    op,
+                                    ts,
+                                    slot,
+                                    coverage,
+                                    &mut partial,
+                                    guard,
+                                );
+                            }
+                        }
+                    }
+                }
+                OpKind::Collect { .. } => {
+                    let (min, max) = op.kind.index_range();
+                    for (slot, coverage) in [
+                        (&inner.left, inner.coverage.left()),
+                        (&inner.right, inner.coverage.right()),
+                    ] {
+                        if coverage.classify(min, max) != Overlap::Disjoint {
+                            self.continue_into_child(op, ts, slot, coverage, &mut partial, guard);
+                        }
+                    }
+                }
+            },
+        }
+
+        op.processed.try_insert(parent_id, partial);
+
+        match parent {
+            ParentRef::Fictive => {
+                self.root_queue.pop_if(ts, guard);
+            }
+            ParentRef::Inner(inner) => {
+                inner.queue.pop_if(ts, guard);
+            }
+        }
+    }
+
+    /// Resolves the effect of an update at its linearization point through
+    /// the presence index, exactly once.
+    fn resolve_update(&self, op: &OpRef<K, V, A>, ts: Timestamp, guard: &Guard) {
+        let (key, update) = match &op.kind {
+            OpKind::Insert { key, value } => (key, UpdateKind::Insert(value.clone())),
+            OpKind::Remove { key } => (key, UpdateKind::Remove),
+            _ => unreachable!("resolve_update called for a read-only operation"),
+        };
+        let (decision, first_application) =
+            self.presence.resolve(key, ts, &update, &op.decision, guard);
+        if first_application {
+            if decision.success {
+                match &op.kind {
+                    OpKind::Insert { .. } => {
+                        self.len.fetch_add(1, Relaxed);
+                        self.counters.inserts.fetch_add(1, Relaxed);
+                    }
+                    OpKind::Remove { .. } => {
+                        self.len.fetch_sub(1, Relaxed);
+                        self.counters.removes.fetch_add(1, Relaxed);
+                    }
+                    _ => unreachable!(),
+                }
+            } else {
+                self.counters.failed_updates.fetch_add(1, Relaxed);
+            }
+        }
+    }
+
+    /// Continues the execution of `op` into the child stored in `slot`
+    /// (which covers `coverage`).
+    fn continue_into_child(
+        &self,
+        op: &OpRef<K, V, A>,
+        ts: Timestamp,
+        slot: &crossbeam_epoch::Atomic<Node<K, V, A>>,
+        coverage: Coverage,
+        partial: &mut Partial<K, V, A::Agg>,
+        guard: &Guard,
+    ) {
+        let child = slot.load(Acquire, guard);
+        match unsafe { child.deref() } {
+            Node::Inner(c) => {
+                // Make the child reachable for the initiator before the
+                // descriptor can be executed (and popped) there.
+                op.traverse.push(NodePtr::from_shared(child));
+                if op.kind.is_update() {
+                    self.apply_state_delta(op, ts, c, guard);
+                }
+                c.queue.push_if(ts, op.clone(), guard);
+            }
+            Node::Leaf(leaf) => {
+                self.execute_at_leaf(op, ts, slot, child, leaf, coverage, partial, guard);
+            }
+            Node::Empty(empty) => {
+                self.execute_at_empty(op, ts, slot, child, empty, partial, guard);
+            }
+        }
+    }
+
+    /// Applies the augmentation delta of a successful update to an inner
+    /// child's state, exactly once (`Ts_Mod` guard, §II-C).
+    fn apply_state_delta(
+        &self,
+        op: &OpRef<K, V, A>,
+        ts: Timestamp,
+        child: &InnerNode<K, V, A>,
+        guard: &Guard,
+    ) {
+        let decision = op.resolved_decision();
+        if !decision.success {
+            return;
+        }
+        let state_shared = child.load_state_shared(guard);
+        let state = unsafe { state_shared.deref() };
+        if state.ts_mod >= ts {
+            return;
+        }
+        let new_agg = match &op.kind {
+            OpKind::Insert { key, value } => A::insert_delta(&state.agg, key, value),
+            OpKind::Remove { key } => {
+                let prior = decision
+                    .prior_value
+                    .as_ref()
+                    .expect("a successful remove always knows the removed value");
+                A::remove_delta(&state.agg, key, prior)
+            }
+            _ => unreachable!("state deltas only exist for updates"),
+        };
+        let new_state = Owned::new(NodeState {
+            agg: new_agg,
+            ts_mod: ts,
+        });
+        if child
+            .state
+            .compare_exchange(state_shared, new_state, AcqRel, Acquire, guard)
+            .is_ok()
+        {
+            unsafe { guard.defer_destroy(state_shared) };
+        }
+    }
+
+    /// Bottom-of-path handling when the continuation child is a leaf.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_at_leaf(
+        &self,
+        op: &OpRef<K, V, A>,
+        ts: Timestamp,
+        slot: &crossbeam_epoch::Atomic<Node<K, V, A>>,
+        child: Shared<'_, Node<K, V, A>>,
+        leaf: &LeafNode<K, V>,
+        coverage: Coverage,
+        partial: &mut Partial<K, V, A::Agg>,
+        guard: &Guard,
+    ) {
+        match &op.kind {
+            OpKind::Insert { key, value } => {
+                // A leaf created by a later operation means our structural
+                // change already happened and the slot was since reused:
+                // leave it alone.
+                if leaf.created_ts >= ts || &leaf.key == key {
+                    return;
+                }
+                let chain = build_divergence_chain::<K, V, A>(
+                    (leaf.key, leaf.value.clone()),
+                    (*key, value.clone()),
+                    coverage,
+                    ts,
+                    &self.ids,
+                );
+                match slot.compare_exchange(child, Owned::new(chain), AcqRel, Acquire, guard) {
+                    Ok(_) => unsafe { guard.defer_destroy(child) },
+                    Err(e) => {
+                        free_subtrie_now(e.new.into_shared(unsafe {
+                            crossbeam_epoch::unprotected()
+                        }));
+                    }
+                }
+            }
+            OpKind::Remove { key } => {
+                if leaf.created_ts >= ts || &leaf.key != key {
+                    return;
+                }
+                match slot.compare_exchange(
+                    child,
+                    Owned::new(Node::empty(ts)),
+                    AcqRel,
+                    Acquire,
+                    guard,
+                ) {
+                    Ok(_) => unsafe { guard.defer_destroy(child) },
+                    Err(e) => {
+                        free_subtrie_now(e.new.into_shared(unsafe {
+                            crossbeam_epoch::unprotected()
+                        }));
+                    }
+                }
+            }
+            OpKind::Lookup { key } => {
+                let found = if &leaf.key == key {
+                    Some(leaf.value.clone())
+                } else {
+                    None
+                };
+                *partial = Partial::Lookup(Some(found));
+            }
+            OpKind::RangeAgg { min, max } => {
+                if min <= &leaf.key && &leaf.key <= max {
+                    let contribution = A::of_entry(&leaf.key, &leaf.value);
+                    merge_agg::<K, V, A>(partial, &contribution);
+                }
+            }
+            OpKind::Collect { min, max } => {
+                if min <= &leaf.key && &leaf.key <= max {
+                    if let Partial::Entries(entries) = partial {
+                        entries.push((leaf.key, leaf.value.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bottom-of-path handling when the continuation child is an empty
+    /// placeholder.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_at_empty(
+        &self,
+        op: &OpRef<K, V, A>,
+        ts: Timestamp,
+        slot: &crossbeam_epoch::Atomic<Node<K, V, A>>,
+        child: Shared<'_, Node<K, V, A>>,
+        empty: &EmptyNode,
+        partial: &mut Partial<K, V, A::Agg>,
+        guard: &Guard,
+    ) {
+        match &op.kind {
+            OpKind::Insert { key, value } => {
+                if empty.created_ts >= ts {
+                    // The placeholder was created by a later removal: our
+                    // insertion has already been applied and undone by
+                    // later linearized operations.
+                    return;
+                }
+                let leaf = Node::Leaf(LeafNode {
+                    key: *key,
+                    value: value.clone(),
+                    created_ts: ts,
+                });
+                match slot.compare_exchange(child, Owned::new(leaf), AcqRel, Acquire, guard) {
+                    Ok(_) => unsafe { guard.defer_destroy(child) },
+                    Err(e) => {
+                        free_subtrie_now(e.new.into_shared(unsafe {
+                            crossbeam_epoch::unprotected()
+                        }));
+                    }
+                }
+            }
+            OpKind::Remove { .. } => {
+                // A successful remove only bottoms out at Empty if a stalled
+                // helper arrives after the fact; nothing to do.
+            }
+            OpKind::Lookup { .. } => {
+                *partial = Partial::Lookup(Some(None));
+            }
+            OpKind::RangeAgg { .. } | OpKind::Collect { .. } => {}
+        }
+    }
+}
+
+/// Folds an aggregate contribution into a `Partial::Agg` accumulator.
+fn merge_agg<K: TrieKey, V: Value, A: Augmentation<K, V>>(
+    partial: &mut Partial<K, V, A::Agg>,
+    contribution: &A::Agg,
+) {
+    if let Partial::Agg(acc) = partial {
+        *acc = A::combine(acc, contribution);
+    }
+}

@@ -1,0 +1,68 @@
+//! # Wait-free binary trie with aggregate range queries
+//!
+//! A second instantiation of the hand-over-hand-helping scheme of
+//! *"Wait-free Trees with Asymptotically-Efficient Range Queries"*
+//! (Kokorin, Alistarh, Aksenov — IPPS 2024). The paper's conclusion names
+//! tries and quad trees as the natural next targets for the technique; this
+//! crate carries the scheme over to a **binary trie over fixed-width integer
+//! keys** and shows that the concurrent machinery — per-node descriptor
+//! queues with monotone timestamps, helping, exactly-once CAS-guarded state
+//! updates, first-write-wins result assembly — is genuinely generic: it is
+//! reused verbatim from the [`wft_queue`] substrates, and only the routing
+//! and the structural updates are trie-specific.
+//!
+//! Compared to the BST of `wft-core`:
+//!
+//! | aspect | BST (`wft-core`) | trie (this crate) |
+//! |--------|------------------|-------------------|
+//! | routing | stored `Right_Subtree_Min` keys | bits of an order-preserving 64-bit key index |
+//! | balance | subtree rebuilding (§II-E), amortized bounds | none needed — depth ≤ key width, worst-case bounds |
+//! | range queries | three border modes recorded per node | fixed per-node coverage intervals |
+//! | key types | any `Ord + Copy + Hash` | fixed-width integers ([`TrieKey`]) |
+//!
+//! The public interface mirrors [`wft_core::WaitFreeTree`]: `insert`,
+//! `remove`, `contains`, `get`, `count`, `range_agg`, `collect_range`, all
+//! linearizable, with aggregate range queries in time proportional to the key
+//! width rather than to the number of keys in the range.
+//!
+//! [`wft_core::WaitFreeTree`]: https://docs.rs/wft-core
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wft_trie::WaitFreeTrie;
+//!
+//! let trie: Arc<WaitFreeTrie<u64>> = Arc::new(WaitFreeTrie::new());
+//! let writers: Vec<_> = (0..4u64)
+//!     .map(|t| {
+//!         let trie = Arc::clone(&trie);
+//!         std::thread::spawn(move || {
+//!             for k in 0..100u64 {
+//!                 trie.insert(t * 100 + k, ());
+//!             }
+//!         })
+//!     })
+//!     .collect();
+//! for w in writers {
+//!     w.join().unwrap();
+//! }
+//! assert_eq!(trie.len(), 400);
+//! assert_eq!(trie.count(0, 399), 400);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod descriptor;
+pub mod exec;
+pub mod key;
+pub mod node;
+pub mod tree;
+
+pub use descriptor::OpKind;
+pub use key::TrieKey;
+pub use tree::{TrieStats, WaitFreeTrie};
+
+// Re-export the augmentation vocabulary for convenience.
+pub use wft_seq::{Augmentation, Pair, Size, Sum, Value};

@@ -1,0 +1,432 @@
+//! The public concurrent trie type.
+
+use crossbeam_epoch::Atomic;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use wft_queue::{PresenceIndex, Timestamp, TsQueue};
+use wft_seq::{Augmentation, Size, Value};
+
+use crate::descriptor::{OpKind, OpRef};
+use crate::key::TrieKey;
+use crate::node::{build_subtrie, collect_subtrie, free_subtrie_now, Coverage, IdAllocator, Node};
+
+/// Operational counters of a [`WaitFreeTrie`] (diagnostics and tests).
+#[derive(Debug, Default)]
+pub(crate) struct TrieCounters {
+    pub(crate) inserts: AtomicU64,
+    pub(crate) removes: AtomicU64,
+    pub(crate) failed_updates: AtomicU64,
+    pub(crate) helped_executions: AtomicU64,
+}
+
+/// A snapshot of the operational counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrieStats {
+    /// Successful insertions.
+    pub inserts: u64,
+    /// Successful removals.
+    pub removes: u64,
+    /// Updates that did not change the set (key already present / absent).
+    pub failed_updates: u64,
+    /// Descriptor executions performed on behalf of *other* operations.
+    pub helped_executions: u64,
+}
+
+/// A linearizable concurrent ordered map over fixed-width integer keys with
+/// wait-free operations and aggregate range queries in `O(W + |P|)` time
+/// (where `W` is the key width in bits).
+///
+/// This is the paper's hand-over-hand-helping scheme (§II) instantiated for a
+/// **binary trie**: the paper's conclusion lists tries (and quad trees) as
+/// the natural next data structures for the technique, and this type shows
+/// that the scheme indeed carries over — the descriptor queues, timestamps,
+/// helping and exactly-once state updates are shared with the BST through the
+/// `wft-queue` substrates, only the routing and the structural changes
+/// differ:
+///
+/// * routing follows the bits of an order-preserving 64-bit key index
+///   ([`crate::TrieKey`]), so a node's subtree is always a fixed key
+///   interval and aggregate range queries prune/absorb whole subtrees;
+/// * there is no rebalancing and therefore no rebuilding — the depth is
+///   bounded by the key width, so every bound is worst-case rather than
+///   amortized.
+///
+/// # Example
+///
+/// ```
+/// use wft_trie::WaitFreeTrie;
+///
+/// let trie: WaitFreeTrie<u64> = WaitFreeTrie::new();
+/// trie.insert(10, ());
+/// trie.insert(500, ());
+/// trie.insert(2_000, ());
+/// assert!(trie.contains(&500));
+/// assert_eq!(trie.count(0, 1_000), 2);
+/// trie.remove(&10);
+/// assert_eq!(trie.count(0, 1_000), 1);
+/// ```
+pub struct WaitFreeTrie<K: TrieKey, V: Value = (), A: Augmentation<K, V> = Size> {
+    pub(crate) root_queue: TsQueue<OpRef<K, V, A>>,
+    pub(crate) root_child: Atomic<Node<K, V, A>>,
+    pub(crate) presence: PresenceIndex<K, V>,
+    pub(crate) ids: IdAllocator,
+    pub(crate) counters: TrieCounters,
+    pub(crate) len: AtomicU64,
+}
+
+unsafe impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Send for WaitFreeTrie<K, V, A> {}
+unsafe impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Sync for WaitFreeTrie<K, V, A> {}
+
+impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Default for WaitFreeTrie<K, V, A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        WaitFreeTrie {
+            root_queue: TsQueue::new(Timestamp::ZERO),
+            root_child: Atomic::new(Node::empty(Timestamp::ZERO)),
+            presence: PresenceIndex::new(),
+            ids: IdAllocator::new(),
+            counters: TrieCounters::default(),
+            len: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds a trie containing `entries` (duplicates keep the first value)
+    /// without paying one queue round-trip per key.
+    pub fn from_entries<I: IntoIterator<Item = (K, V)>>(entries: I) -> Self {
+        let trie = Self::new();
+        let mut sorted: Vec<(K, V)> = entries.into_iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        sorted.dedup_by(|a, b| a.0 == b.0);
+        let guard = crossbeam_epoch::pin();
+        for (key, value) in &sorted {
+            trie.presence.prefill(*key, value.clone(), &guard);
+        }
+        let (root, _agg) = build_subtrie::<K, V, A>(&sorted, Coverage::ROOT, &trie.ids);
+        let old = trie.root_child.swap(
+            crossbeam_epoch::Owned::new(root),
+            Ordering::AcqRel,
+            &guard,
+        );
+        free_subtrie_now(old);
+        trie.len.store(sorted.len() as u64, Ordering::Relaxed);
+        trie
+    }
+
+    /// Inserts `key → value`. Returns `true` if the key was absent.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        let (op, _ts) = self.run_operation(OpKind::Insert { key, value });
+        op.resolved_decision().success
+    }
+
+    /// Removes `key`. Returns `true` if it was present.
+    pub fn remove(&self, key: &K) -> bool {
+        let (op, _ts) = self.run_operation(OpKind::Remove { key: *key });
+        op.resolved_decision().success
+    }
+
+    /// Removes `key` and returns the value it was mapped to, if any.
+    pub fn remove_entry(&self, key: &K) -> Option<V> {
+        let (op, _ts) = self.run_operation(OpKind::Remove { key: *key });
+        let decision = op.resolved_decision();
+        if decision.success {
+            decision.prior_value.clone()
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if `key` is in the trie.
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Returns the value associated with `key`, if any.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let (op, _ts) = self.run_operation(OpKind::Lookup { key: *key });
+        op.assemble_lookup()
+    }
+
+    /// Aggregate of every entry with key in `[min, max]` under the trie's
+    /// augmentation.
+    pub fn range_agg(&self, min: K, max: K) -> A::Agg {
+        if min > max {
+            return A::identity();
+        }
+        let (op, _ts) = self.run_operation(OpKind::RangeAgg { min, max });
+        op.assemble_agg()
+    }
+
+    /// Every `(key, value)` with key in `[min, max]`, in key order.
+    pub fn collect_range(&self, min: K, max: K) -> Vec<(K, V)> {
+        if min > max {
+            return Vec::new();
+        }
+        let (op, _ts) = self.run_operation(OpKind::Collect { min, max });
+        op.assemble_entries()
+    }
+
+    /// Number of keys currently stored (maintained at update linearization
+    /// points).
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// `true` when the trie stores no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the operational counters.
+    pub fn stats(&self) -> TrieStats {
+        TrieStats {
+            inserts: self.counters.inserts.load(Ordering::Relaxed),
+            removes: self.counters.removes.load(Ordering::Relaxed),
+            failed_updates: self.counters.failed_updates.load(Ordering::Relaxed),
+            helped_executions: self.counters.helped_executions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// All entries in key order. **Quiescent only.**
+    pub fn entries_quiescent(&self) -> Vec<(K, V)> {
+        let guard = crossbeam_epoch::pin();
+        let mut out = Vec::new();
+        collect_subtrie(
+            self.root_child.load(Ordering::Acquire, &guard),
+            &mut out,
+            &guard,
+        );
+        out
+    }
+
+    /// Validates the structural invariants: coverage of every node contains
+    /// all leaf indices beneath it, every stored aggregate equals the
+    /// aggregate recomputed from the leaves, every descriptor queue is empty,
+    /// and the cached length matches the leaf count. **Quiescent only**;
+    /// panics on violation.
+    pub fn check_invariants(&self) {
+        let guard = crossbeam_epoch::pin();
+        let root = self.root_child.load(Ordering::Acquire, &guard);
+        let n = check_node::<K, V, A>(root, Coverage::ROOT, &guard);
+        assert_eq!(
+            n,
+            self.len(),
+            "cached length diverged from the physical leaf count"
+        );
+    }
+}
+
+impl<K: TrieKey, V: Value> WaitFreeTrie<K, V, Size> {
+    /// Number of keys in `[min, max]` — the aggregate `count` query.
+    pub fn count(&self, min: K, max: K) -> u64 {
+        self.range_agg(min, max)
+    }
+}
+
+impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Drop for WaitFreeTrie<K, V, A> {
+    fn drop(&mut self) {
+        let root = self
+            .root_child
+            .load(Ordering::Relaxed, unsafe { crossbeam_epoch::unprotected() });
+        free_subtrie_now(root);
+    }
+}
+
+/// Recursive quiescent invariant checker; returns the number of leaves.
+fn check_node<K: TrieKey, V: Value, A: Augmentation<K, V>>(
+    node: crossbeam_epoch::Shared<'_, Node<K, V, A>>,
+    coverage: Coverage,
+    guard: &crossbeam_epoch::Guard,
+) -> u64 {
+    if node.is_null() {
+        return 0;
+    }
+    match unsafe { node.deref() } {
+        Node::Empty(_) => 0,
+        Node::Leaf(leaf) => {
+            assert!(
+                coverage.contains(leaf.key.to_index()),
+                "leaf key {:?} outside its coverage {:?}",
+                leaf.key,
+                coverage
+            );
+            1
+        }
+        Node::Inner(inner) => {
+            assert_eq!(
+                inner.coverage, coverage,
+                "inner node coverage disagrees with its position"
+            );
+            assert!(
+                inner.queue.is_empty(guard),
+                "descriptor queue not empty in a quiescent trie"
+            );
+            let nl = check_node::<K, V, A>(
+                inner.left.load(Ordering::Acquire, guard),
+                coverage.left(),
+                guard,
+            );
+            let nr = check_node::<K, V, A>(
+                inner.right.load(Ordering::Acquire, guard),
+                coverage.right(),
+                guard,
+            );
+            let mut entries = Vec::new();
+            collect_subtrie(node, &mut entries, guard);
+            let expect = entries
+                .iter()
+                .fold(A::identity(), |acc, (k, v)| A::insert_delta(&acc, k, v));
+            assert_eq!(
+                &inner.load_state(guard).agg,
+                &expect,
+                "stored augmentation value is stale"
+            );
+            nl + nr
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trie_properties() {
+        let trie: WaitFreeTrie<u64> = WaitFreeTrie::new();
+        assert!(trie.is_empty());
+        assert_eq!(trie.len(), 0);
+        assert!(!trie.contains(&1));
+        assert_eq!(trie.count(0, u64::MAX), 0);
+        assert!(trie.collect_range(0, u64::MAX).is_empty());
+        assert!(!trie.remove(&1));
+        trie.check_invariants();
+    }
+
+    #[test]
+    fn single_thread_roundtrip() {
+        let trie: WaitFreeTrie<u64> = WaitFreeTrie::new();
+        assert!(trie.insert(5, ()));
+        assert!(!trie.insert(5, ()));
+        assert!(trie.insert(1, ()));
+        assert!(trie.insert(1_000_000, ()));
+        assert_eq!(trie.len(), 3);
+        assert!(trie.contains(&5));
+        assert!(trie.contains(&1));
+        assert!(trie.contains(&1_000_000));
+        assert!(!trie.contains(&2));
+        assert!(trie.remove(&5));
+        assert!(!trie.remove(&5));
+        assert_eq!(trie.len(), 2);
+        trie.check_invariants();
+    }
+
+    #[test]
+    fn signed_keys_work_end_to_end() {
+        let trie: WaitFreeTrie<i64> = WaitFreeTrie::new();
+        for k in [-100i64, -1, 0, 1, 100, i64::MIN, i64::MAX] {
+            assert!(trie.insert(k, ()));
+        }
+        assert_eq!(trie.count(i64::MIN, i64::MAX), 7);
+        assert_eq!(trie.count(-100, 100), 5);
+        assert_eq!(trie.count(-1, 0), 2);
+        assert_eq!(
+            trie.collect_range(-100, 1)
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect::<Vec<_>>(),
+            vec![-100, -1, 0, 1]
+        );
+        trie.check_invariants();
+    }
+
+    #[test]
+    fn count_and_collect_agree() {
+        let trie: WaitFreeTrie<u64> = WaitFreeTrie::new();
+        for k in (0..300u64).step_by(3) {
+            trie.insert(k, ());
+        }
+        for (min, max) in [(0, 299), (10, 50), (0, 5), (150, 400), (60, 60), (7, 3)] {
+            assert_eq!(
+                trie.count(min, max),
+                trie.collect_range(min, max).len() as u64,
+                "range [{min}, {max}]"
+            );
+        }
+        trie.check_invariants();
+    }
+
+    #[test]
+    fn values_are_returned() {
+        let trie: WaitFreeTrie<u64, String> = WaitFreeTrie::new();
+        assert!(trie.insert(1, "one".into()));
+        assert!(!trie.insert(1, "uno".into()));
+        assert_eq!(trie.get(&1), Some("one".to_string()));
+        assert_eq!(trie.remove_entry(&1), Some("one".to_string()));
+        assert_eq!(trie.remove_entry(&1), None);
+    }
+
+    #[test]
+    fn from_entries_builds_working_trie() {
+        let trie: WaitFreeTrie<u64, u64> =
+            WaitFreeTrie::from_entries((0..1000u64).map(|k| (k, k * 2)));
+        assert_eq!(trie.len(), 1000);
+        assert_eq!(trie.get(&500), Some(1000));
+        assert!(!trie.insert(500, 0));
+        assert!(trie.remove(&500));
+        assert_eq!(trie.len(), 999);
+        assert_eq!(trie.count(0, 999), 999);
+        trie.check_invariants();
+    }
+
+    #[test]
+    fn range_sum_augmentation() {
+        use wft_seq::Sum;
+        let trie: WaitFreeTrie<u64, u64, Sum> = WaitFreeTrie::new();
+        for k in 1..=10u64 {
+            trie.insert(k, k * 10);
+        }
+        assert_eq!(trie.range_agg(1, 10), 550);
+        assert_eq!(trie.range_agg(3, 5), 120);
+        trie.remove(&4);
+        assert_eq!(trie.range_agg(3, 5), 80);
+        trie.check_invariants();
+    }
+
+    #[test]
+    fn stats_track_updates_and_len() {
+        let trie: WaitFreeTrie<u64> = WaitFreeTrie::new();
+        trie.insert(1, ());
+        trie.insert(1, ());
+        trie.insert(2, ());
+        trie.remove(&1);
+        trie.remove(&3);
+        let stats = trie.stats();
+        assert_eq!(stats.inserts, 2);
+        assert_eq!(stats.removes, 1);
+        assert_eq!(stats.failed_updates, 2);
+        assert_eq!(trie.len(), 1);
+    }
+
+    #[test]
+    fn adjacent_keys_build_long_chains_correctly() {
+        let trie: WaitFreeTrie<u64> = WaitFreeTrie::new();
+        // Keys differing only in the lowest bits force the deepest chains.
+        for k in 0..64u64 {
+            assert!(trie.insert(k, ()));
+        }
+        assert_eq!(trie.count(0, 63), 64);
+        for k in 0..64u64 {
+            assert!(trie.contains(&k), "key {k}");
+        }
+        for k in (0..64u64).step_by(2) {
+            assert!(trie.remove(&k));
+        }
+        assert_eq!(trie.count(0, 63), 32);
+        trie.check_invariants();
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the wait-free trie: arbitrary operation sequences are
+//! replayed against `BTreeMap`, and every observable result must agree.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use wft_trie::WaitFreeTrie;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    Remove(i64),
+    Contains(i64),
+    Get(i64),
+    Count(i64, i64),
+    Collect(i64, i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A mix of a narrow hot range (forcing long divergence chains and constant
+    // collisions) and the full key range (exercising sign handling).
+    let key = prop_oneof![3 => -32i64..32, 1 => any::<i64>()];
+    prop_oneof![
+        (key.clone(), any::<i64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        key.clone().prop_map(Op::Remove),
+        key.clone().prop_map(Op::Contains),
+        key.clone().prop_map(Op::Get),
+        (key.clone(), key.clone()).prop_map(|(a, b)| Op::Count(a.min(b), a.max(b))),
+        (key.clone(), key).prop_map(|(a, b)| Op::Collect(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn sequential_equivalence_with_btreemap(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let trie: WaitFreeTrie<i64, i64> = WaitFreeTrie::new();
+        let mut oracle: BTreeMap<i64, i64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    let expected = !oracle.contains_key(&k);
+                    if expected {
+                        oracle.insert(k, v);
+                    }
+                    prop_assert_eq!(trie.insert(k, v), expected, "insert({})", k);
+                }
+                Op::Remove(k) => {
+                    let expected = oracle.remove(&k);
+                    prop_assert_eq!(trie.remove_entry(&k), expected, "remove({})", k);
+                }
+                Op::Contains(k) => {
+                    prop_assert_eq!(trie.contains(&k), oracle.contains_key(&k), "contains({})", k);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(trie.get(&k), oracle.get(&k).copied(), "get({})", k);
+                }
+                Op::Count(min, max) => {
+                    let expected = oracle.range(min..=max).count() as u64;
+                    prop_assert_eq!(trie.count(min, max), expected, "count({}, {})", min, max);
+                }
+                Op::Collect(min, max) => {
+                    let expected: Vec<(i64, i64)> =
+                        oracle.range(min..=max).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(trie.collect_range(min, max), expected, "collect({}, {})", min, max);
+                }
+            }
+            prop_assert_eq!(trie.len(), oracle.len() as u64);
+        }
+        trie.check_invariants();
+        let entries: Vec<(i64, i64)> = oracle.into_iter().collect();
+        prop_assert_eq!(trie.entries_quiescent(), entries);
+    }
+
+    #[test]
+    fn from_entries_matches_individual_inserts(keys in prop::collection::vec(-80i64..80, 0..120)) {
+        let bulk: WaitFreeTrie<i64> = WaitFreeTrie::from_entries(keys.iter().map(|&k| (k, ())));
+        let incremental: WaitFreeTrie<i64> = WaitFreeTrie::new();
+        for &k in &keys {
+            incremental.insert(k, ());
+        }
+        prop_assert_eq!(bulk.entries_quiescent(), incremental.entries_quiescent());
+        prop_assert_eq!(bulk.len(), incremental.len());
+        bulk.check_invariants();
+        incremental.check_invariants();
+    }
+
+    #[test]
+    fn range_sum_matches_oracle(entries in prop::collection::vec((-50i64..50, 0i64..1000), 0..80),
+                                ranges in prop::collection::vec((-60i64..60, -60i64..60), 1..12)) {
+        use wft_trie::Sum;
+        let trie: WaitFreeTrie<i64, i64, Sum> = WaitFreeTrie::new();
+        let mut oracle: BTreeMap<i64, i64> = BTreeMap::new();
+        for &(k, v) in &entries {
+            if !oracle.contains_key(&k) {
+                oracle.insert(k, v);
+            }
+            trie.insert(k, v);
+        }
+        for &(a, b) in &ranges {
+            let (min, max) = (a.min(b), a.max(b));
+            let expected: i128 = oracle.range(min..=max).map(|(_, v)| *v as i128).sum();
+            prop_assert_eq!(trie.range_agg(min, max), expected);
+        }
+        trie.check_invariants();
+    }
+}

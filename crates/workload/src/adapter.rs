@@ -1,0 +1,255 @@
+//! A uniform interface over every tree implementation in the workspace.
+//!
+//! The benchmark harness measures five structures under identical workloads:
+//!
+//! * the paper's wait-free tree (lock-free root queue),
+//! * the same tree with the wait-free root queue of Lemma 1,
+//! * the persistent path-copying baseline (the paper's competitor),
+//! * the coarse-grained lock baseline,
+//! * the lock-free external BST whose range queries are linear in the range
+//!   width (the "linear-time solutions" class of prior work),
+//! * the wait-free binary trie (the same helping scheme with bit-routing).
+//!
+//! All of them are driven through [`ConcurrentSet`], instantiated for the
+//! paper's benchmark domain: 64-bit integer keys, unit values, subtree-size
+//! augmentation.
+
+use std::sync::Arc;
+
+use wft_core::{RootQueueKind, TreeConfig, WaitFreeTree};
+use wft_lockbased::LockedRangeTree;
+use wft_lockfree::LockFreeBst;
+use wft_persistent::PersistentRangeTree;
+use wft_trie::WaitFreeTrie;
+
+/// The common operation surface used by every experiment.
+pub trait ConcurrentSet: Send + Sync + 'static {
+    /// Inserts `key`; returns `true` if it was absent.
+    fn insert(&self, key: i64) -> bool;
+    /// Removes `key`; returns `true` if it was present.
+    fn remove(&self, key: i64) -> bool;
+    /// Returns `true` if `key` is present.
+    fn contains(&self, key: i64) -> bool;
+    /// Number of keys in `[min, max]` via the aggregate range query.
+    fn count(&self, min: i64, max: i64) -> u64;
+    /// Number of keys in `[min, max]` computed the pre-existing way:
+    /// `collect(min, max).len()` — linear in the range size.
+    fn count_via_collect(&self, min: i64, max: i64) -> u64;
+    /// Number of keys currently stored.
+    fn len(&self) -> u64;
+    /// `true` when empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ConcurrentSet for WaitFreeTree<i64> {
+    fn insert(&self, key: i64) -> bool {
+        WaitFreeTree::insert(self, key, ())
+    }
+    fn remove(&self, key: i64) -> bool {
+        WaitFreeTree::remove(self, &key)
+    }
+    fn contains(&self, key: i64) -> bool {
+        WaitFreeTree::contains(self, &key)
+    }
+    fn count(&self, min: i64, max: i64) -> u64 {
+        WaitFreeTree::count(self, min, max)
+    }
+    fn count_via_collect(&self, min: i64, max: i64) -> u64 {
+        WaitFreeTree::collect_range(self, min, max).len() as u64
+    }
+    fn len(&self) -> u64 {
+        WaitFreeTree::len(self)
+    }
+}
+
+impl ConcurrentSet for PersistentRangeTree<i64> {
+    fn insert(&self, key: i64) -> bool {
+        PersistentRangeTree::insert(self, key, ())
+    }
+    fn remove(&self, key: i64) -> bool {
+        PersistentRangeTree::remove(self, &key)
+    }
+    fn contains(&self, key: i64) -> bool {
+        PersistentRangeTree::contains(self, &key)
+    }
+    fn count(&self, min: i64, max: i64) -> u64 {
+        PersistentRangeTree::count(self, min, max)
+    }
+    fn count_via_collect(&self, min: i64, max: i64) -> u64 {
+        PersistentRangeTree::collect_range(self, min, max).len() as u64
+    }
+    fn len(&self) -> u64 {
+        PersistentRangeTree::len(self)
+    }
+}
+
+impl ConcurrentSet for WaitFreeTrie<i64> {
+    fn insert(&self, key: i64) -> bool {
+        WaitFreeTrie::insert(self, key, ())
+    }
+    fn remove(&self, key: i64) -> bool {
+        WaitFreeTrie::remove(self, &key)
+    }
+    fn contains(&self, key: i64) -> bool {
+        WaitFreeTrie::contains(self, &key)
+    }
+    fn count(&self, min: i64, max: i64) -> u64 {
+        WaitFreeTrie::count(self, min, max)
+    }
+    fn count_via_collect(&self, min: i64, max: i64) -> u64 {
+        WaitFreeTrie::collect_range(self, min, max).len() as u64
+    }
+    fn len(&self) -> u64 {
+        WaitFreeTrie::len(self)
+    }
+}
+
+impl ConcurrentSet for LockFreeBst<i64> {
+    fn insert(&self, key: i64) -> bool {
+        LockFreeBst::insert(self, key, ())
+    }
+    fn remove(&self, key: i64) -> bool {
+        LockFreeBst::remove(self, &key)
+    }
+    fn contains(&self, key: i64) -> bool {
+        LockFreeBst::contains(self, &key)
+    }
+    fn count(&self, min: i64, max: i64) -> u64 {
+        // This baseline has no augmentation: its *only* way to count is to
+        // collect the range, which is exactly the asymptotic gap the paper
+        // closes.
+        LockFreeBst::count(self, min, max)
+    }
+    fn count_via_collect(&self, min: i64, max: i64) -> u64 {
+        LockFreeBst::collect_range(self, min, max).len() as u64
+    }
+    fn len(&self) -> u64 {
+        LockFreeBst::len(self)
+    }
+}
+
+impl ConcurrentSet for LockedRangeTree<i64> {
+    fn insert(&self, key: i64) -> bool {
+        LockedRangeTree::insert(self, key, ())
+    }
+    fn remove(&self, key: i64) -> bool {
+        LockedRangeTree::remove(self, &key)
+    }
+    fn contains(&self, key: i64) -> bool {
+        LockedRangeTree::contains(self, &key)
+    }
+    fn count(&self, min: i64, max: i64) -> u64 {
+        LockedRangeTree::count(self, min, max)
+    }
+    fn count_via_collect(&self, min: i64, max: i64) -> u64 {
+        LockedRangeTree::collect_range(self, min, max).len() as u64
+    }
+    fn len(&self) -> u64 {
+        LockedRangeTree::len(self)
+    }
+}
+
+/// Selects one of the tree implementations under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TreeImpl {
+    /// The paper's wait-free tree with the lock-free root queue.
+    WaitFree,
+    /// The wait-free tree with the wait-free root queue (Lemma 1).
+    WaitFreeWfRoot,
+    /// The persistent path-copying baseline (the paper's competitor).
+    Persistent,
+    /// The global-lock baseline.
+    Locked,
+    /// The lock-free external BST whose only range query is `collect`
+    /// (linear-time counts — the prior-work class of §I-A).
+    LockFreeLinear,
+    /// The wait-free binary trie: the same helping scheme with bit-routing
+    /// (the paper's §IV future-work item).
+    Trie,
+}
+
+impl TreeImpl {
+    /// All implementations, in the order tables are printed.
+    pub const ALL: [TreeImpl; 6] = [
+        TreeImpl::WaitFree,
+        TreeImpl::WaitFreeWfRoot,
+        TreeImpl::Persistent,
+        TreeImpl::Locked,
+        TreeImpl::LockFreeLinear,
+        TreeImpl::Trie,
+    ];
+
+    /// The implementations the paper itself evaluates (Figures 7–9).
+    pub const PAPER: [TreeImpl; 2] = [TreeImpl::WaitFree, TreeImpl::Persistent];
+
+    /// Short, stable display name used in tables and CSV.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TreeImpl::WaitFree => "wait-free-tree",
+            TreeImpl::WaitFreeWfRoot => "wait-free-tree(wf-root)",
+            TreeImpl::Persistent => "persistent-tree",
+            TreeImpl::Locked => "locked-tree",
+            TreeImpl::LockFreeLinear => "lock-free-bst(linear)",
+            TreeImpl::Trie => "wait-free-trie",
+        }
+    }
+
+    /// Instantiates the implementation pre-filled with `entries`.
+    pub fn build(&self, entries: &[i64], max_threads: usize) -> Arc<dyn ConcurrentSet> {
+        let pairs = entries.iter().map(|&k| (k, ()));
+        match self {
+            TreeImpl::WaitFree => Arc::new(WaitFreeTree::<i64>::from_entries_with_config(
+                pairs,
+                TreeConfig::default(),
+            )),
+            TreeImpl::WaitFreeWfRoot => {
+                let config = TreeConfig {
+                    root_queue: RootQueueKind::WaitFree {
+                        slots: max_threads.max(1) * 2,
+                    },
+                    ..TreeConfig::default()
+                };
+                Arc::new(WaitFreeTree::<i64>::from_entries_with_config(pairs, config))
+            }
+            TreeImpl::Persistent => Arc::new(PersistentRangeTree::<i64>::from_entries(pairs)),
+            TreeImpl::Locked => Arc::new(LockedRangeTree::<i64>::from_entries(pairs)),
+            TreeImpl::LockFreeLinear => Arc::new(LockFreeBst::<i64>::from_entries(pairs)),
+            TreeImpl::Trie => Arc::new(WaitFreeTrie::<i64>::from_entries(pairs)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(set: &dyn ConcurrentSet) {
+        assert!(set.insert(1_000_001));
+        assert!(!set.insert(1_000_001));
+        assert!(set.contains(1_000_001));
+        assert!(set.remove(1_000_001));
+        assert!(!set.remove(1_000_001));
+        assert_eq!(set.count(0, 9), 10);
+        assert_eq!(set.count_via_collect(0, 9), 10);
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn all_implementations_expose_identical_behaviour() {
+        let prefill: Vec<i64> = (0..100).collect();
+        for imp in TreeImpl::ALL {
+            let set = imp.build(&prefill, 4);
+            exercise(set.as_ref());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = TreeImpl::ALL.iter().map(|i| i.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TreeImpl::ALL.len());
+    }
+}

@@ -1,0 +1,226 @@
+//! The timed throughput harness.
+//!
+//! Mirrors the paper's methodology (§III): build a pre-filled tree, start `T`
+//! worker threads behind a barrier, let them issue operations drawn from the
+//! workload for a fixed wall-clock interval, stop, and report the total
+//! number of completed operations. Each configuration is repeated several
+//! times and the runs are averaged.
+//!
+//! The intervals and repetition counts are parameters: the paper uses 10 s ×
+//! 5 runs on a 24-core machine; the defaults here are much shorter so the
+//! full figure suite completes in minutes on a laptop or CI runner (the
+//! *relative* comparison between implementations is what the reproduction
+//! targets — see EXPERIMENTS.md).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::adapter::{ConcurrentSet, TreeImpl};
+use crate::spec::{Op, WorkloadSpec};
+
+/// Parameters of one experiment (a full sweep over thread counts and
+/// implementations for one workload).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Thread counts to sweep (the paper sweeps 1..24).
+    pub threads: Vec<usize>,
+    /// Measurement interval per run.
+    pub duration: Duration,
+    /// Number of runs averaged per point (the paper uses 5).
+    pub runs: usize,
+    /// Base RNG seed (varied per run for independence).
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            threads: vec![1, 2, 4],
+            duration: Duration::from_millis(300),
+            runs: 3,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The outcome of a single timed run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Total operations completed across all threads.
+    pub total_ops: u64,
+    /// Elapsed wall-clock time.
+    pub elapsed: Duration,
+    /// Throughput in operations per second.
+    pub ops_per_sec: f64,
+}
+
+/// Aggregated results of the repeated runs of one configuration point.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Summary {
+    /// Mean throughput (ops/s) across runs.
+    pub mean_ops_per_sec: f64,
+    /// Minimum observed throughput.
+    pub min_ops_per_sec: f64,
+    /// Maximum observed throughput.
+    pub max_ops_per_sec: f64,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+/// Executes one timed run of `spec` with `threads` workers against a freshly
+/// built instance of `imp`.
+pub fn run_once(
+    imp: TreeImpl,
+    spec: &WorkloadSpec,
+    threads: usize,
+    duration: Duration,
+    seed: u64,
+) -> RunResult {
+    let prefill = spec.prefill_keys(seed);
+    let set = imp.build(&prefill, threads);
+    timed_run(set, spec, threads, duration, seed)
+}
+
+/// Executes one timed run against an already-built structure (used by tests
+/// and by experiments that reuse one tree across phases).
+pub fn timed_run(
+    set: Arc<dyn ConcurrentSet>,
+    spec: &WorkloadSpec,
+    threads: usize,
+    duration: Duration,
+    seed: u64,
+) -> RunResult {
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let set = Arc::clone(&set);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let spec = *spec;
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)));
+            barrier.wait();
+            let mut ops = 0u64;
+            // Check the stop flag every few operations to keep the overhead
+            // of the flag itself negligible.
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..32 {
+                    match spec.next_op(&mut rng) {
+                        Op::Contains(k) => {
+                            std::hint::black_box(set.contains(k));
+                        }
+                        Op::Insert(k) => {
+                            std::hint::black_box(set.insert(k));
+                        }
+                        Op::Remove(k) => {
+                            std::hint::black_box(set.remove(k));
+                        }
+                        Op::Count(lo, hi) => {
+                            std::hint::black_box(set.count(lo, hi));
+                        }
+                        Op::Collect(lo, hi) => {
+                            std::hint::black_box(set.count_via_collect(lo, hi));
+                        }
+                    }
+                    ops += 1;
+                }
+            }
+            ops
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let total_ops: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let elapsed = start.elapsed();
+    RunResult {
+        total_ops,
+        elapsed,
+        ops_per_sec: total_ops as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+/// Repeats [`run_once`] `config.runs` times and aggregates the throughput.
+pub fn run_experiment(
+    imp: TreeImpl,
+    spec: &WorkloadSpec,
+    threads: usize,
+    config: &ExperimentConfig,
+) -> Summary {
+    let mut results = Vec::with_capacity(config.runs);
+    for run in 0..config.runs {
+        results.push(run_once(
+            imp,
+            spec,
+            threads,
+            config.duration,
+            config.seed.wrapping_add(run as u64),
+        ));
+    }
+    let mean = results.iter().map(|r| r.ops_per_sec).sum::<f64>() / results.len() as f64;
+    let min = results
+        .iter()
+        .map(|r| r.ops_per_sec)
+        .fold(f64::INFINITY, f64::min);
+    let max = results
+        .iter()
+        .map(|r| r.ops_per_sec)
+        .fold(f64::NEG_INFINITY, f64::max);
+    Summary {
+        mean_ops_per_sec: mean,
+        min_ops_per_sec: min,
+        max_ops_per_sec: max,
+        runs: results.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_once_reports_progress_for_every_implementation() {
+        let spec = WorkloadSpec::insert_delete().scaled_down(2_000);
+        for imp in TreeImpl::ALL {
+            let result = run_once(imp, &spec, 2, Duration::from_millis(50), 1);
+            assert!(
+                result.total_ops > 0,
+                "{}: no operations completed",
+                imp.name()
+            );
+            assert!(result.ops_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn read_heavy_workload_leaves_the_tree_unchanged() {
+        let spec = WorkloadSpec::contains_benchmark().scaled_down(2_000);
+        let prefill = spec.prefill_keys(3);
+        let set = TreeImpl::WaitFree.build(&prefill, 2);
+        let before = set.len();
+        let _ = timed_run(Arc::clone(&set), &spec, 2, Duration::from_millis(50), 3);
+        assert_eq!(set.len(), before, "contains-only workload must not modify the tree");
+    }
+
+    #[test]
+    fn experiment_aggregates_runs() {
+        let spec = WorkloadSpec::contains_benchmark().scaled_down(1_000);
+        let config = ExperimentConfig {
+            threads: vec![1],
+            duration: Duration::from_millis(20),
+            runs: 3,
+            seed: 9,
+        };
+        let summary = run_experiment(TreeImpl::Locked, &spec, 1, &config);
+        assert_eq!(summary.runs, 3);
+        assert!(summary.min_ops_per_sec <= summary.mean_ops_per_sec);
+        assert!(summary.mean_ops_per_sec <= summary.max_ops_per_sec);
+    }
+}

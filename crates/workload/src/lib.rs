@@ -1,0 +1,30 @@
+//! Workload generation and measurement harness for the paper's evaluation.
+//!
+//! The paper's experiments (§III) are throughput measurements: `T` threads
+//! hammer a pre-filled tree with a fixed operation mix for a fixed wall-clock
+//! interval, and each plotted point is the average of several runs. This
+//! crate reproduces that methodology:
+//!
+//! * [`adapter`] — a single [`adapter::ConcurrentSet`] interface implemented
+//!   by every tree in the workspace (wait-free, persistent baseline,
+//!   global-lock baseline), so experiments swap implementations freely;
+//! * [`spec`] — declarative workload descriptions matching the paper's three
+//!   benchmarks (read-heavy `contains`, insert-delete, successful-insert)
+//!   plus the range-query mixes used by the additional experiments;
+//! * [`harness`] — the timed multi-threaded throughput runner with prefill,
+//!   warm-up, repetition and aggregation;
+//! * [`report`] — plain-text and CSV table emitters used by the `figures`
+//!   binary to print one table per figure of the paper.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adapter;
+pub mod harness;
+pub mod report;
+pub mod spec;
+
+pub use adapter::{ConcurrentSet, TreeImpl};
+pub use harness::{run_experiment, run_once, timed_run, ExperimentConfig, RunResult, Summary};
+pub use report::{render_csv, render_table, FigureRow};
+pub use spec::{KeyDistribution, OperationMix, Prefill, WorkloadSpec};

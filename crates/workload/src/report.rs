@@ -1,0 +1,123 @@
+//! Table and CSV emitters for experiment results.
+//!
+//! The paper presents its evaluation as throughput-vs-threads plots
+//! (Figures 7–9). The `figures` binary reproduces each plot as a table with
+//! one row per (thread count, implementation) point — the same data the
+//! figure encodes — plus a machine-readable CSV/JSON dump for external
+//! plotting.
+
+use serde::{Deserialize, Serialize};
+
+/// One data point of a figure: a (workload, implementation, threads) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureRow {
+    /// Workload name (e.g. `contains`, `insert-delete`).
+    pub workload: String,
+    /// Implementation name (e.g. `wait-free-tree`).
+    pub implementation: String,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Mean throughput in operations per second.
+    pub ops_per_sec: f64,
+    /// Minimum observed throughput across runs.
+    pub min_ops_per_sec: f64,
+    /// Maximum observed throughput across runs.
+    pub max_ops_per_sec: f64,
+    /// Number of averaged runs.
+    pub runs: usize,
+}
+
+/// Renders rows as an aligned plain-text table (one line per row).
+pub fn render_table(title: &str, rows: &[FigureRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<18} {:<26} {:>8} {:>16} {:>14} {:>14}\n",
+        "workload", "implementation", "threads", "ops/s (mean)", "min", "max"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<18} {:<26} {:>8} {:>16.0} {:>14.0} {:>14.0}\n",
+            row.workload,
+            row.implementation,
+            row.threads,
+            row.ops_per_sec,
+            row.min_ops_per_sec,
+            row.max_ops_per_sec
+        ));
+    }
+    out
+}
+
+/// Renders rows as CSV with a header line.
+pub fn render_csv(rows: &[FigureRow]) -> String {
+    let mut out =
+        String::from("workload,implementation,threads,ops_per_sec,min_ops_per_sec,max_ops_per_sec,runs\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.2},{:.2},{:.2},{}\n",
+            row.workload,
+            row.implementation,
+            row.threads,
+            row.ops_per_sec,
+            row.min_ops_per_sec,
+            row.max_ops_per_sec,
+            row.runs
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<FigureRow> {
+        vec![
+            FigureRow {
+                workload: "contains".into(),
+                implementation: "wait-free-tree".into(),
+                threads: 1,
+                ops_per_sec: 123456.0,
+                min_ops_per_sec: 120000.0,
+                max_ops_per_sec: 130000.0,
+                runs: 5,
+            },
+            FigureRow {
+                workload: "contains".into(),
+                implementation: "persistent-tree".into(),
+                threads: 1,
+                ops_per_sec: 150000.0,
+                min_ops_per_sec: 149000.0,
+                max_ops_per_sec: 151000.0,
+                runs: 5,
+            },
+        ]
+    }
+
+    #[test]
+    fn table_contains_all_rows_and_title() {
+        let text = render_table("Figure 7", &sample_rows());
+        assert!(text.contains("== Figure 7 =="));
+        assert!(text.contains("wait-free-tree"));
+        assert!(text.contains("persistent-tree"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_line_per_row() {
+        let csv = render_csv(&sample_rows());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("workload,implementation"));
+        assert!(lines[1].contains("123456.00"));
+    }
+
+    #[test]
+    fn rows_serialize_to_json() {
+        let json = serde_json::to_string(&sample_rows()).unwrap();
+        let back: Vec<FigureRow> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].implementation, "wait-free-tree");
+    }
+}

@@ -1,0 +1,57 @@
+//! A miniature version of the paper's evaluation, runnable in seconds.
+//!
+//! Run with `cargo run --release --example baseline_comparison`.
+//!
+//! Uses the same workload generators and timed harness as the full `figures`
+//! binary, but with small key ranges and very short intervals, to print a
+//! side-by-side throughput comparison of
+//!
+//! * the wait-free tree (this paper),
+//! * the persistent path-copying tree (the paper's competitor),
+//! * the global-lock baseline,
+//!
+//! on the three workloads of §III. For the full experiment suite (thread
+//! sweeps, paper-scale key ranges, CSV output) use
+//! `cargo run -p wft-bench --release --bin figures -- all`.
+
+use std::time::Duration;
+
+use wait_free_range_trees::workload::{
+    render_table, run_experiment, ExperimentConfig, FigureRow, TreeImpl, WorkloadSpec,
+};
+
+fn main() {
+    let config = ExperimentConfig {
+        threads: vec![2],
+        duration: Duration::from_millis(150),
+        runs: 2,
+        seed: 42,
+    };
+    let workloads = [
+        WorkloadSpec::contains_benchmark().scaled_down(20_000),
+        WorkloadSpec::insert_delete().scaled_down(20_000),
+        WorkloadSpec::successful_insert().scaled_down(20_000),
+    ];
+    let impls = [TreeImpl::WaitFree, TreeImpl::Persistent, TreeImpl::Locked];
+
+    let mut rows = Vec::new();
+    for spec in workloads {
+        for imp in impls {
+            let summary = run_experiment(imp, &spec, 2, &config);
+            rows.push(FigureRow {
+                workload: spec.name.to_string(),
+                implementation: imp.name().to_string(),
+                threads: 2,
+                ops_per_sec: summary.mean_ops_per_sec,
+                min_ops_per_sec: summary.min_ops_per_sec,
+                max_ops_per_sec: summary.max_ops_per_sec,
+                runs: summary.runs,
+            });
+        }
+    }
+    println!(
+        "{}",
+        render_table("Mini evaluation (2 threads, scaled-down workloads)", &rows)
+    );
+    println!("baseline_comparison finished successfully");
+}

@@ -1,0 +1,113 @@
+//! Network-style scenario for the trie instantiation: counting active hosts
+//! per IP prefix while the address set churns.
+//!
+//! Run with `cargo run --release --example ip_prefix_monitor`.
+//!
+//! The paper's conclusion proposes applying the hand-over-hand-helping scheme
+//! to tries; `wft_trie::WaitFreeTrie` does exactly that. IPv4 addresses are
+//! 32-bit integers, and a CIDR prefix (`10.1.0.0/16`, say) is precisely a
+//! contiguous key range, so "how many active hosts are in this subnet?" is an
+//! aggregate range query answered in at most 32 routing steps — no matter
+//! whether the subnet holds ten hosts or ten million.
+//!
+//! Several scanner threads add and expire host addresses concurrently while a
+//! monitor thread asks per-prefix counts; at the end the per-/16 counts are
+//! cross-checked against an exact recount.
+
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wait_free_range_trees::WaitFreeTrie;
+
+/// Active hosts, keyed by the numeric form of their IPv4 address.
+type HostSet = WaitFreeTrie<u32>;
+
+const SCANNERS: u64 = 3;
+const EVENTS_PER_SCANNER: u64 = 40_000;
+/// The monitored networks: 10.0.0.0/16 .. 10.7.0.0/16.
+const MONITORED_NETS: u32 = 8;
+
+/// The inclusive address range of `10.<net>.0.0/16`.
+fn net_range(net: u32) -> (u32, u32) {
+    let base = u32::from(Ipv4Addr::new(10, net as u8, 0, 0));
+    (base, base | 0xFFFF)
+}
+
+fn main() {
+    let hosts: Arc<HostSet> = Arc::new(WaitFreeTrie::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Scanners: observe hosts appearing (insert) and going silent (remove)
+    // across the monitored /16 networks.
+    let scanners: Vec<_> = (0..SCANNERS)
+        .map(|id| {
+            let hosts = Arc::clone(&hosts);
+            thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xD15C0 + id);
+                for _ in 0..EVENTS_PER_SCANNER {
+                    let net = rng.gen_range(0..MONITORED_NETS);
+                    let host = rng.gen_range(0..=0xFFFFu32);
+                    let address = net_range(net).0 | host;
+                    if rng.gen_bool(0.7) {
+                        hosts.insert(address, ());
+                    } else {
+                        hosts.remove(&address);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Monitor: live per-prefix occupancy queries, each a single aggregate
+    // range query over the prefix's address range.
+    let monitor = {
+        let hosts = Arc::clone(&hosts);
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut reports = 0u64;
+            let mut peak = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                for net in 0..MONITORED_NETS {
+                    let (lo, hi) = net_range(net);
+                    let active = hosts.count(lo, hi);
+                    // A /16 can never hold more than 65 536 hosts.
+                    assert!(active <= 0x1_0000);
+                    peak = peak.max(active);
+                }
+                reports += 1;
+            }
+            (reports, peak)
+        })
+    };
+
+    for s in scanners {
+        s.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    let (reports, peak) = monitor.join().unwrap();
+
+    // Quiescent cross-check: the per-prefix aggregate counts must add up to
+    // the total population and agree with an exact enumeration.
+    let mut total_by_prefix = 0u64;
+    println!("active hosts per monitored /16:");
+    for net in 0..MONITORED_NETS {
+        let (lo, hi) = net_range(net);
+        let active = hosts.count(lo, hi);
+        let enumerated = hosts.collect_range(lo, hi).len() as u64;
+        assert_eq!(active, enumerated, "aggregate disagrees with enumeration");
+        println!("  10.{net}.0.0/16  {active:>6} hosts");
+        total_by_prefix += active;
+    }
+    assert_eq!(total_by_prefix, hosts.len());
+    hosts.check_invariants();
+    println!(
+        "{total} hosts tracked in total; monitor produced {reports} sweeps, peak prefix occupancy {peak}",
+        total = hosts.len()
+    );
+    println!("ip_prefix_monitor finished successfully");
+}

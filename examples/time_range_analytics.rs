@@ -1,0 +1,92 @@
+//! The paper's motivating scenario: live time-range analytics over a stream
+//! of requests.
+//!
+//! Run with `cargo run --release --example time_range_analytics`.
+//!
+//! The introduction motivates aggregate range queries with "find the number
+//! of requests to the system in the specified time range". Here several
+//! ingest threads insert request records keyed by (synthetic) timestamp while
+//! an analyst thread continuously asks two questions about sliding windows:
+//!
+//! * how many requests arrived in the window? (`Size` part of the aggregate)
+//! * how many bytes did they transfer in total? (`Sum` part)
+//!
+//! Both are answered by one `O(log N)` aggregate range query thanks to the
+//! `Pair<Size, Sum>` augmentation — no scan of the window is ever needed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wait_free_range_trees::core::{Pair, Size, Sum, WaitFreeTree};
+
+/// Requests are keyed by a synthetic microsecond timestamp; the value is the
+/// request's payload size in bytes.
+type RequestIndex = WaitFreeTree<i64, i64, Pair<Size, Sum>>;
+
+const INGEST_THREADS: i64 = 3;
+const REQUESTS_PER_THREAD: i64 = 30_000;
+const WINDOW_MICROS: i64 = 250_000;
+
+fn main() {
+    let index: Arc<RequestIndex> = Arc::new(WaitFreeTree::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Ingest: each thread owns a disjoint timestamp stripe (as if produced by
+    // different front-end shards with their own clocks).
+    let ingest: Vec<_> = (0..INGEST_THREADS)
+        .map(|shard| {
+            let index = Arc::clone(&index);
+            thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1000 + shard as u64);
+                let mut clock = shard * 1_000_000_000;
+                for _ in 0..REQUESTS_PER_THREAD {
+                    clock += rng.gen_range(1..50);
+                    let bytes = rng.gen_range(100..10_000);
+                    index.insert(clock, bytes);
+                }
+            })
+        })
+        .collect();
+
+    // Analyst: repeatedly aggregates a sliding window over shard 0's stripe.
+    let analyst = {
+        let index = Arc::clone(&index);
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut reports = 0u64;
+            let mut last_window_count = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let start = rng.gen_range(0..1_000_000);
+                let (count, bytes) = index.range_agg(start, start + WINDOW_MICROS);
+                // Sanity: an average request is 100..10_000 bytes, so the sum
+                // must be consistent with the count.
+                assert!(bytes >= count as i128 * 100);
+                assert!(bytes <= count as i128 * 10_000);
+                last_window_count = count;
+                reports += 1;
+            }
+            (reports, last_window_count)
+        })
+    };
+
+    for h in ingest {
+        h.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    let (reports, last_window_count) = analyst.join().unwrap();
+
+    // Final report over one full shard stripe.
+    let (total, bytes) = index.range_agg(0, 999_999_999);
+    println!(
+        "shard 0 ingested {total} requests totalling {bytes} bytes \
+         (analyst produced {reports} live window reports; last window held {last_window_count} requests)"
+    );
+    assert_eq!(total, REQUESTS_PER_THREAD as u64);
+    assert_eq!(index.len(), (INGEST_THREADS * REQUESTS_PER_THREAD) as u64);
+    println!("time_range_analytics finished successfully");
+}

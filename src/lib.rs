@@ -1,0 +1,45 @@
+//! Umbrella crate for the reproduction of *"Wait-free Trees with
+//! Asymptotically-Efficient Range Queries"* (IPPS 2024).
+//!
+//! This crate simply re-exports the workspace members under stable names so
+//! the examples and integration tests can use one import root:
+//!
+//! * [`core`](wft_core) — the wait-free concurrent augmented tree (the
+//!   paper's contribution);
+//! * [`queue`](wft_queue) — descriptor queues, timestamp allocation, the
+//!   presence index and the other concurrent substrates;
+//! * [`seq`](wft_seq) — the augmentation algebra, the sequential augmented
+//!   tree and the `BTreeMap` oracle;
+//! * [`persistent`](wft_persistent) — the persistent path-copying baseline
+//!   the paper compares against;
+//! * [`lockbased`](wft_lockbased) — the coarse-grained lock baseline;
+//! * [`lockfree`](wft_lockfree) — the lock-free external BST baseline
+//!   representing the "linear-time range queries" class of prior work;
+//! * [`lincheck`](wft_lincheck) — history recording and a linearizability
+//!   checker used by the integration test suite;
+//! * [`trie`](wft_trie) — a wait-free binary trie with aggregate range
+//!   queries: the same helping scheme instantiated for bit-routing (the
+//!   paper's §IV future-work item);
+//! * [`workload`](wft_workload) — workload generators and the timed
+//!   throughput harness behind the experiment suite.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured comparison.
+
+#![warn(missing_docs)]
+
+pub use wft_core as core;
+pub use wft_lincheck as lincheck;
+pub use wft_lockbased as lockbased;
+pub use wft_lockfree as lockfree;
+pub use wft_persistent as persistent;
+pub use wft_queue as queue;
+pub use wft_seq as seq;
+pub use wft_trie as trie;
+pub use wft_workload as workload;
+
+/// Convenience re-export of the headline type.
+pub use wft_core::WaitFreeTree;
+
+/// Convenience re-export of the trie instantiation of the same scheme.
+pub use wft_trie::WaitFreeTrie;

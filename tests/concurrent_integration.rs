@@ -1,0 +1,136 @@
+//! Concurrent cross-crate integration tests.
+//!
+//! The unit/stress tests of `wft-core` validate the wait-free tree in
+//! isolation; here the whole stack is exercised the way the benchmark
+//! harness uses it, and the wait-free tree is cross-validated against the
+//! trivially correct lock-based baseline under identical concurrent
+//! workloads (with per-thread key partitions so the final state is
+//! deterministic).
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wait_free_range_trees::core::WaitFreeTree;
+use wait_free_range_trees::lockbased::LockedRangeTree;
+use wait_free_range_trees::workload::{run_once, TreeImpl, WorkloadSpec};
+
+const THREADS: usize = 4;
+
+#[test]
+fn wait_free_and_locked_trees_converge_to_the_same_state() {
+    const SPAN: i64 = 1_000;
+    const OPS: usize = 4_000;
+    let wait_free: Arc<WaitFreeTree<i64>> = Arc::new(WaitFreeTree::new());
+    let locked: Arc<LockedRangeTree<i64>> = Arc::new(LockedRangeTree::new());
+
+    let handles: Vec<_> = (0..THREADS as i64)
+        .map(|t| {
+            let wait_free = Arc::clone(&wait_free);
+            let locked = Arc::clone(&locked);
+            thread::spawn(move || {
+                // Each thread owns a disjoint key stripe, so both structures
+                // apply exactly the same per-key update sequence even though
+                // global interleavings differ.
+                let lo = t * SPAN;
+                let mut rng = StdRng::seed_from_u64(0xBEEF + t as u64);
+                for _ in 0..OPS {
+                    let k = lo + rng.gen_range(0..SPAN);
+                    if rng.gen_bool(0.6) {
+                        let a = wait_free.insert(k, ());
+                        let b = locked.insert(k, ());
+                        assert_eq!(a, b, "insert({k}) disagreed");
+                    } else {
+                        let a = wait_free.remove(&k);
+                        let b = locked.remove(&k);
+                        assert_eq!(a, b, "remove({k}) disagreed");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert_eq!(wait_free.len(), locked.len());
+    assert_eq!(
+        wait_free.entries_quiescent(),
+        locked.entries(),
+        "final contents diverged"
+    );
+    for (lo, hi) in [(0, THREADS as i64 * SPAN), (100, 900), (1_500, 2_500)] {
+        assert_eq!(wait_free.count(lo, hi), locked.count(lo, hi));
+    }
+    wait_free.check_invariants();
+    locked.check_invariants();
+}
+
+#[test]
+fn harness_runs_every_paper_workload_on_every_implementation() {
+    // A smoke version of the full evaluation: every (workload, tree) pair
+    // must run, make progress, and leave the structure consistent.
+    for spec in [
+        WorkloadSpec::contains_benchmark().scaled_down(5_000),
+        WorkloadSpec::insert_delete().scaled_down(5_000),
+        WorkloadSpec::successful_insert().scaled_down(5_000),
+        WorkloadSpec::range_mix(10.0, 0.01).scaled_down(5_000),
+    ] {
+        for imp in TreeImpl::ALL {
+            let result = run_once(imp, &spec, 2, Duration::from_millis(40), 99);
+            assert!(
+                result.total_ops > 0,
+                "{} produced no operations on {}",
+                imp.name(),
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_range_sums_match_between_wait_free_and_persistent() {
+    use wait_free_range_trees::core::Sum;
+    use wait_free_range_trees::persistent::PersistentRangeTree;
+
+    // Both key-value trees ingest the same per-thread streams (disjoint key
+    // stripes); their range sums must agree afterwards.
+    const SPAN: i64 = 2_000;
+    let wait_free: Arc<WaitFreeTree<i64, i64, Sum>> = Arc::new(WaitFreeTree::new());
+    let persistent: Arc<PersistentRangeTree<i64, i64, Sum>> = Arc::new(PersistentRangeTree::new());
+    let handles: Vec<_> = (0..THREADS as i64)
+        .map(|t| {
+            let wait_free = Arc::clone(&wait_free);
+            let persistent = Arc::clone(&persistent);
+            thread::spawn(move || {
+                let lo = t * SPAN;
+                let mut rng = StdRng::seed_from_u64(77 + t as u64);
+                for i in 0..SPAN {
+                    let value = rng.gen_range(-100..100);
+                    wait_free.insert(lo + i, value);
+                    persistent.insert(lo + i, value);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    for (lo, hi) in [
+        (0, THREADS as i64 * SPAN - 1),
+        (500, 1_499),
+        (3_000, 3_999),
+        (7_000, 9_000),
+    ] {
+        assert_eq!(
+            wait_free.range_agg(lo, hi),
+            persistent.range_agg(lo, hi),
+            "range_sum over [{lo}, {hi}] diverged"
+        );
+    }
+    wait_free.check_invariants();
+    persistent.check_invariants();
+}

@@ -1,0 +1,184 @@
+//! Cross-crate integration tests: every tree in the workspace must implement
+//! the same abstract ordered-set semantics.
+//!
+//! Sequential equivalence is checked exhaustively (identical random operation
+//! sequences applied to the wait-free tree, the wait-free trie, the
+//! persistent baseline, the lock-based baseline, the lock-free linear
+//! baseline, the sequential tree and the `BTreeMap` oracle must produce
+//! identical results at every step), including both root-queue variants of
+//! the wait-free tree.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wait_free_range_trees::core::{RootQueueKind, TreeConfig, WaitFreeTree};
+use wait_free_range_trees::lockbased::LockedRangeTree;
+use wait_free_range_trees::lockfree::LockFreeBst;
+use wait_free_range_trees::persistent::PersistentRangeTree;
+use wait_free_range_trees::seq::{ReferenceMap, SeqRangeTree};
+use wait_free_range_trees::trie::WaitFreeTrie;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(i64),
+    Remove(i64),
+    Contains(i64),
+    Count(i64, i64),
+    Collect(i64, i64),
+}
+
+fn apply_everywhere(ops: &[Op]) {
+    let wait_free: WaitFreeTree<i64> = WaitFreeTree::new();
+    let wait_free_wf: WaitFreeTree<i64> = WaitFreeTree::with_config(TreeConfig {
+        root_queue: RootQueueKind::WaitFree { slots: 4 },
+        ..TreeConfig::default()
+    });
+    let trie: WaitFreeTrie<i64> = WaitFreeTrie::new();
+    let lockfree: LockFreeBst<i64> = LockFreeBst::new();
+    let persistent: PersistentRangeTree<i64> = PersistentRangeTree::new();
+    let locked: LockedRangeTree<i64> = LockedRangeTree::new();
+    let mut seq: SeqRangeTree<i64> = SeqRangeTree::new();
+    let mut oracle: ReferenceMap<i64, ()> = ReferenceMap::new();
+
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Insert(k) => {
+                let expect = oracle.insert(k, ());
+                assert_eq!(wait_free.insert(k, ()), expect, "wait-free insert step {step}");
+                assert_eq!(wait_free_wf.insert(k, ()), expect, "wf-root insert step {step}");
+                assert_eq!(trie.insert(k, ()), expect, "trie insert step {step}");
+                assert_eq!(lockfree.insert(k, ()), expect, "lock-free insert step {step}");
+                assert_eq!(persistent.insert(k, ()), expect, "persistent insert step {step}");
+                assert_eq!(locked.insert(k, ()), expect, "locked insert step {step}");
+                assert_eq!(seq.insert(k, ()), expect, "seq insert step {step}");
+            }
+            Op::Remove(k) => {
+                let expect = oracle.remove(&k);
+                assert_eq!(wait_free.remove(&k), expect, "wait-free remove step {step}");
+                assert_eq!(wait_free_wf.remove(&k), expect, "wf-root remove step {step}");
+                assert_eq!(trie.remove(&k), expect, "trie remove step {step}");
+                assert_eq!(lockfree.remove(&k), expect, "lock-free remove step {step}");
+                assert_eq!(persistent.remove(&k), expect, "persistent remove step {step}");
+                assert_eq!(locked.remove(&k), expect, "locked remove step {step}");
+                assert_eq!(seq.remove(&k), expect, "seq remove step {step}");
+            }
+            Op::Contains(k) => {
+                let expect = oracle.contains(&k);
+                assert_eq!(wait_free.contains(&k), expect, "wait-free contains step {step}");
+                assert_eq!(wait_free_wf.contains(&k), expect, "wf-root contains step {step}");
+                assert_eq!(trie.contains(&k), expect, "trie contains step {step}");
+                assert_eq!(lockfree.contains(&k), expect, "lock-free contains step {step}");
+                assert_eq!(persistent.contains(&k), expect, "persistent contains step {step}");
+                assert_eq!(locked.contains(&k), expect, "locked contains step {step}");
+                assert_eq!(seq.contains(&k), expect, "seq contains step {step}");
+            }
+            Op::Count(lo, hi) => {
+                let expect = oracle.count(lo, hi);
+                assert_eq!(wait_free.count(lo, hi), expect, "wait-free count step {step}");
+                assert_eq!(wait_free_wf.count(lo, hi), expect, "wf-root count step {step}");
+                assert_eq!(trie.count(lo, hi), expect, "trie count step {step}");
+                assert_eq!(lockfree.count(lo, hi), expect, "lock-free count step {step}");
+                assert_eq!(persistent.count(lo, hi), expect, "persistent count step {step}");
+                assert_eq!(locked.count(lo, hi), expect, "locked count step {step}");
+                assert_eq!(seq.count(lo, hi), expect, "seq count step {step}");
+            }
+            Op::Collect(lo, hi) => {
+                let expect = oracle.collect_range(lo, hi);
+                assert_eq!(wait_free.collect_range(lo, hi), expect, "wait-free collect step {step}");
+                assert_eq!(trie.collect_range(lo, hi), expect, "trie collect step {step}");
+                assert_eq!(lockfree.collect_range(lo, hi), expect, "lock-free collect step {step}");
+                assert_eq!(persistent.collect_range(lo, hi), expect, "persistent collect step {step}");
+                assert_eq!(locked.collect_range(lo, hi), expect, "locked collect step {step}");
+                assert_eq!(seq.collect_range(lo, hi), expect, "seq collect step {step}");
+            }
+        }
+    }
+
+    // Final-state agreement and structural invariants.
+    let expect_entries = oracle.entries();
+    assert_eq!(wait_free.entries_quiescent(), expect_entries);
+    assert_eq!(trie.entries_quiescent(), expect_entries);
+    assert_eq!(lockfree.entries_quiescent(), expect_entries);
+    assert_eq!(persistent.entries(), expect_entries);
+    assert_eq!(locked.entries(), expect_entries);
+    assert_eq!(seq.entries(), expect_entries);
+    wait_free.check_invariants();
+    wait_free_wf.check_invariants();
+    trie.check_invariants();
+    lockfree.check_invariants();
+    persistent.check_invariants();
+    locked.check_invariants();
+    seq.check_invariants();
+}
+
+#[test]
+fn random_sequences_agree_across_all_implementations() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for round in 0..5 {
+        let ops: Vec<Op> = (0..1_500)
+            .map(|_| {
+                let k = rng.gen_range(0..200);
+                match rng.gen_range(0..5) {
+                    0 | 1 => Op::Insert(k),
+                    2 => Op::Remove(k),
+                    3 => Op::Contains(k),
+                    _ => {
+                        let hi = k + rng.gen_range(0..100);
+                        if rng.gen_bool(0.7) {
+                            Op::Count(k, hi)
+                        } else {
+                            Op::Collect(k, hi)
+                        }
+                    }
+                }
+            })
+            .collect();
+        apply_everywhere(&ops);
+        let _ = round;
+    }
+}
+
+#[test]
+fn adversarial_sorted_and_reversed_sequences() {
+    // Sorted insertions, full removal, re-insertion in reverse: stresses the
+    // balancing logic of every implementation the same way.
+    let mut ops = Vec::new();
+    for k in 0..400 {
+        ops.push(Op::Insert(k));
+    }
+    ops.push(Op::Count(0, 399));
+    for k in 0..400 {
+        if k % 2 == 0 {
+            ops.push(Op::Remove(k));
+        }
+    }
+    ops.push(Op::Count(0, 399));
+    for k in (0..400).rev() {
+        ops.push(Op::Insert(k));
+        ops.push(Op::Contains(k));
+    }
+    ops.push(Op::Collect(0, 399));
+    apply_everywhere(&ops);
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..150).prop_map(Op::Insert),
+        (0i64..150).prop_map(Op::Remove),
+        (0i64..150).prop_map(Op::Contains),
+        (0i64..150, 0i64..150).prop_map(|(a, b)| Op::Count(a.min(b), a.max(b))),
+        (0i64..150, 0i64..150).prop_map(|(a, b)| Op::Collect(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property form of the equivalence check (smaller sequences, many seeds).
+    #[test]
+    fn proptest_cross_implementation_equivalence(ops in vec(op_strategy(), 1..250)) {
+        apply_everywhere(&ops);
+    }
+}

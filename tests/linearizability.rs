@@ -1,0 +1,184 @@
+//! Linearizability tests: many short adversarial concurrent executions are
+//! recorded and replayed through the Wing & Gong checker against the
+//! sequential range-set specification.
+//!
+//! The paper's central correctness claim (operations linearize in root-queue
+//! timestamp order) is checked here empirically for the wait-free tree with
+//! both root-queue variants, and the same harness is applied to the
+//! persistent and lock-based baselines. The lock-free external BST baseline
+//! is checked on its scalar operations only: its `collect`/`count` is
+//! documented as a non-linearizable best-effort traversal (that weakness is
+//! one of the gaps the paper's design closes).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wait_free_range_trees::lincheck::{
+    check_history_with_initial, History, RangeSetOp, RangeSetRet, RangeSetSpec, ThreadRecorder,
+};
+use wait_free_range_trees::workload::{ConcurrentSet, TreeImpl};
+
+/// Number of worker threads per recorded history.
+const THREADS: usize = 3;
+/// Operations per thread per history (the checker is exponential, keep it
+/// small — 3 × 6 = 18 operations per history).
+const OPS_PER_THREAD: usize = 6;
+/// Key universe; tiny so operations collide constantly.
+const KEY_RANGE: i64 = 8;
+
+/// Runs one recorded execution against `set` and returns the history.
+fn record_round(
+    set: Arc<dyn ConcurrentSet>,
+    seed: u64,
+    with_range_queries: bool,
+) -> History<RangeSetOp, RangeSetRet> {
+    History::record(THREADS, |recorders| {
+        let handles: Vec<_> = recorders
+            .iter()
+            .enumerate()
+            .map(|(t, recorder)| {
+                let recorder: ThreadRecorder<RangeSetOp, RangeSetRet> = recorder.clone();
+                let set = Arc::clone(&set);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37));
+                    for _ in 0..OPS_PER_THREAD {
+                        let key = rng.gen_range(0..KEY_RANGE);
+                        let choices = if with_range_queries { 5 } else { 3 };
+                        match rng.gen_range(0..choices) {
+                            0 => {
+                                let token = recorder.invoke(RangeSetOp::Insert(key));
+                                let ok = set.insert(key);
+                                recorder.respond(token, RangeSetRet::Bool(ok));
+                            }
+                            1 => {
+                                let token = recorder.invoke(RangeSetOp::Remove(key));
+                                let ok = set.remove(key);
+                                recorder.respond(token, RangeSetRet::Bool(ok));
+                            }
+                            2 => {
+                                let token = recorder.invoke(RangeSetOp::Contains(key));
+                                let ok = set.contains(key);
+                                recorder.respond(token, RangeSetRet::Bool(ok));
+                            }
+                            3 => {
+                                let hi = rng.gen_range(key..KEY_RANGE);
+                                let token = recorder.invoke(RangeSetOp::Count(key, hi));
+                                let n = set.count(key, hi);
+                                recorder.respond(token, RangeSetRet::Count(n));
+                            }
+                            _ => {
+                                let hi = rng.gen_range(key..KEY_RANGE);
+                                let token = recorder.invoke(RangeSetOp::Count(key, hi));
+                                let n = set.count_via_collect(key, hi);
+                                recorder.respond(token, RangeSetRet::Count(n));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    })
+}
+
+/// Checks `rounds` independent executions of `imp` and panics with the
+/// offending history on the first non-linearizable one.
+fn assert_linearizable(imp: TreeImpl, rounds: u64, with_range_queries: bool) {
+    for round in 0..rounds {
+        // Alternate between an empty tree and a small prefill so both code
+        // paths (empty-tree fast paths, populated routing) are covered.
+        let prefill: Vec<i64> = if round % 2 == 0 {
+            Vec::new()
+        } else {
+            (0..KEY_RANGE).step_by(2).collect()
+        };
+        let set = imp.build(&prefill, THREADS);
+        let history = record_round(set, 0xA11CE + round, with_range_queries);
+        let initial = RangeSetSpec::prefilled(prefill.iter().copied());
+        let verdict = check_history_with_initial::<RangeSetSpec>(&history, initial);
+        assert!(
+            verdict.is_linearizable(),
+            "{}: round {round} produced a non-linearizable history:\n{verdict:?}\n{history:#?}",
+            imp.name()
+        );
+    }
+}
+
+#[test]
+fn wait_free_tree_scalar_and_range_operations_linearize() {
+    assert_linearizable(TreeImpl::WaitFree, 25, true);
+}
+
+#[test]
+fn wait_free_tree_with_wait_free_root_queue_linearizes() {
+    assert_linearizable(TreeImpl::WaitFreeWfRoot, 20, true);
+}
+
+#[test]
+fn persistent_baseline_linearizes() {
+    assert_linearizable(TreeImpl::Persistent, 20, true);
+}
+
+#[test]
+fn locked_baseline_linearizes() {
+    assert_linearizable(TreeImpl::Locked, 15, true);
+}
+
+#[test]
+fn wait_free_trie_scalar_and_range_operations_linearize() {
+    assert_linearizable(TreeImpl::Trie, 25, true);
+}
+
+#[test]
+fn lock_free_bst_scalar_operations_linearize() {
+    // Scalar operations only: the linear-time baseline's range queries are
+    // documented best-effort snapshots, which is precisely the limitation the
+    // paper's aggregate range queries remove.
+    assert_linearizable(TreeImpl::LockFreeLinear, 25, false);
+}
+
+#[test]
+fn checker_rejects_a_broken_implementation() {
+    // Sanity check that the harness has teeth: a deliberately broken "set"
+    // whose contains() always answers false must be caught.
+    struct AlwaysEmpty;
+    impl ConcurrentSet for AlwaysEmpty {
+        fn insert(&self, _key: i64) -> bool {
+            true
+        }
+        fn remove(&self, _key: i64) -> bool {
+            false
+        }
+        fn contains(&self, _key: i64) -> bool {
+            false
+        }
+        fn count(&self, _min: i64, _max: i64) -> u64 {
+            0
+        }
+        fn count_via_collect(&self, min: i64, max: i64) -> u64 {
+            self.count(min, max)
+        }
+        fn len(&self) -> u64 {
+            0
+        }
+    }
+    let set: Arc<dyn ConcurrentSet> = Arc::new(AlwaysEmpty);
+    // A single thread suffices: insert twice (both "succeed"), which is
+    // already impossible for a set.
+    let history = History::record(1, |recorders| {
+        let r = &recorders[0];
+        let token = r.invoke(RangeSetOp::Insert(1));
+        let ok = set.insert(1);
+        r.respond(token, RangeSetRet::Bool(ok));
+        let token = r.invoke(RangeSetOp::Insert(1));
+        let ok = set.insert(1);
+        r.respond(token, RangeSetRet::Bool(ok));
+    });
+    let verdict =
+        check_history_with_initial::<RangeSetSpec>(&history, RangeSetSpec::prefilled([]));
+    assert!(!verdict.is_linearizable());
+}
