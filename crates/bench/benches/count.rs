@@ -12,9 +12,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
 
+use std::sync::Arc;
 use wft_core::WaitFreeTree;
 use wft_seq::SeqRangeTree;
-use std::sync::Arc;
 
 const KEYS: i64 = 200_000;
 

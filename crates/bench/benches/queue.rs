@@ -74,7 +74,7 @@ fn bench_presence_index(c: &mut Criterion) {
         b.iter(|| {
             ts += 1;
             let key = (ts % 10_000) as i64;
-            let kind = if ts % 2 == 0 {
+            let kind = if ts.is_multiple_of(2) {
                 UpdateKind::Insert(())
             } else {
                 UpdateKind::Remove
@@ -87,5 +87,10 @@ fn bench_presence_index(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_root_queues, bench_node_queue, bench_presence_index);
+criterion_group!(
+    benches,
+    bench_root_queues,
+    bench_node_queue,
+    bench_presence_index
+);
 criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Sharded vs. unsharded throughput.
+//!
+//! The single wait-free tree serializes every update through one root
+//! queue; the sharded store gives each keyspace slice its own root. Three
+//! comparisons quantify what that buys (and costs):
+//!
+//! * `batch_apply` — two-phase batched writes through `apply_batch`,
+//!   sweeping the shard count (shards = 1 is the unsharded baseline
+//!   wrapped in the same API, so the delta is pure sharding);
+//! * `multithreaded_mix` — the workload harness's insert-delete mix driven
+//!   through the `ConcurrentSet` adapter at a fixed thread count, sharded
+//!   store vs. single tree;
+//! * `cross_shard_count` — aggregate range queries that straddle shard
+//!   boundaries: the price of stitching S augmented roots together.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wft_store::{ShardedStore, StoreOp};
+use wft_workload::{timed_run, TreeImpl, WorkloadSpec};
+
+const KEYS: i64 = 200_000;
+const BATCH: usize = 1_024;
+
+fn prefilled(shards: usize) -> ShardedStore<i64> {
+    ShardedStore::from_entries((0..KEYS).map(|k| (k, ())), shards)
+}
+
+fn mixed_batch(rng: &mut StdRng) -> Vec<StoreOp<i64>> {
+    // Distinct keys per batch (the validator rejects duplicates): a random
+    // arithmetic stride over the keyspace; KEYS is not a multiple of any
+    // odd stride below, so BATCH < KEYS/stride keys never wrap into a
+    // collision.
+    let start = rng.gen_range(0..KEYS);
+    let stride = rng.gen_range(1i64..=61) | 1;
+    (0..BATCH as i64)
+        .map(|i| {
+            let key = (start + i * stride).rem_euclid(KEYS);
+            if i % 2 == 0 {
+                StoreOp::Insert { key, value: () }
+            } else {
+                StoreOp::Remove { key }
+            }
+        })
+        .collect()
+}
+
+fn bench_batch_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_batch_apply");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for shards in [1usize, 2, 4, 8] {
+        let store = prefilled(shards);
+        group.throughput(Throughput::Elements(BATCH as u64));
+        group.bench_with_input(BenchmarkId::new("apply_batch", shards), &shards, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let batch = mixed_batch(&mut rng);
+                std::hint::black_box(store.apply_batch(batch).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_multithreaded_mix(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+    let spec = WorkloadSpec::insert_delete().scaled_down(KEYS);
+    let mut group = c.benchmark_group("sharded_multithreaded_mix");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
+    for imp in [TreeImpl::WaitFree, TreeImpl::Sharded] {
+        group.bench_with_input(BenchmarkId::new(imp.name(), threads), &imp, |b, &imp| {
+            let prefill = spec.prefill_keys(3);
+            let set = imp.build(&prefill, threads);
+            b.iter(|| {
+                let result = timed_run(
+                    Arc::clone(&set),
+                    &spec,
+                    threads,
+                    Duration::from_millis(50),
+                    7,
+                );
+                std::hint::black_box(result.total_ops)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cross_shard_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_shard_count");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for shards in [1usize, 8] {
+        let store = prefilled(shards);
+        for width in [1_000i64, 100_000] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("shards_{shards}"), width),
+                &width,
+                |b, &width| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    b.iter(|| {
+                        let lo = rng.gen_range(0..KEYS - width);
+                        std::hint::black_box(store.count(lo, lo + width))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_apply,
+    bench_multithreaded_mix,
+    bench_cross_shard_count
+);
+criterion_main!(benches);

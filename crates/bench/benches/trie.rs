@@ -40,13 +40,17 @@ fn bench_count_by_width(c: &mut Criterion) {
                 std::hint::black_box(tree.count(lo, lo + width))
             });
         });
-        group.bench_with_input(BenchmarkId::new("trie_count", width), &width, |b, &width| {
-            let mut rng = StdRng::seed_from_u64(3);
-            b.iter(|| {
-                let lo = rng.gen_range(0..KEYS - width);
-                std::hint::black_box(trie.count(lo, lo + width))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("trie_count", width),
+            &width,
+            |b, &width| {
+                let mut rng = StdRng::seed_from_u64(3);
+                b.iter(|| {
+                    let lo = rng.gen_range(0..KEYS - width);
+                    std::hint::black_box(trie.count(lo, lo + width))
+                });
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("lockfree_collect_len", width),
             &width,

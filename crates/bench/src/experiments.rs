@@ -103,7 +103,11 @@ pub fn count_scaling_rows(scale: ExperimentScale) -> Vec<FigureRow> {
         (TreeImpl::WaitFree, false, "count (aggregate)"),
         (TreeImpl::WaitFree, true, "collect().len()"),
         (TreeImpl::Trie, false, "trie count (aggregate)"),
-        (TreeImpl::LockFreeLinear, true, "lock-free-bst collect().len()"),
+        (
+            TreeImpl::LockFreeLinear,
+            true,
+            "lock-free-bst collect().len()",
+        ),
     ];
     let mut rows = Vec::new();
     for &fraction in &[0.0001, 0.001, 0.01, 0.1, 0.5] {
@@ -162,7 +166,10 @@ pub fn rebuild_ablation_rows(scale: ExperimentScale) -> Vec<FigureRow> {
             threads,
             ops_per_sec: mean,
             min_ops_per_sec: throughputs.iter().copied().fold(f64::INFINITY, f64::min),
-            max_ops_per_sec: throughputs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            max_ops_per_sec: throughputs
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
             runs,
         });
     }
@@ -236,6 +243,8 @@ mod tests {
     #[test]
     fn scale_configuration_is_consistent() {
         assert!(ExperimentScale::Quick.threads().len() < ExperimentScale::Paper.threads().len());
-        assert!(ExperimentScale::Quick.config().duration < ExperimentScale::Paper.config().duration);
+        assert!(
+            ExperimentScale::Quick.config().duration < ExperimentScale::Paper.config().duration
+        );
     }
 }

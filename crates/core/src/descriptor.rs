@@ -234,7 +234,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> Descriptor<K, V, A> {
             }
             acc
         });
-        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out.sort_by_key(|a| a.0);
         out
     }
 }
@@ -299,7 +299,8 @@ mod tests {
     #[test]
     fn assemble_entries_sorts_by_key() {
         let d: Descriptor<i64, i64, Size> = Descriptor::new(OpKind::Collect { min: 0, max: 100 });
-        d.processed.try_insert(1, Partial::Entries(vec![(5, 50), (1, 10)]));
+        d.processed
+            .try_insert(1, Partial::Entries(vec![(5, 50), (1, 10)]));
         d.processed.try_insert(2, Partial::Entries(vec![(3, 30)]));
         d.processed.try_insert(3, Partial::Unit);
         assert_eq!(d.assemble_entries(), vec![(1, 10), (3, 30), (5, 50)]);

@@ -96,12 +96,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
 
     /// `execute_until_timestamp` (Listing 1): execute every descriptor at the
     /// head of `parent`'s queue whose timestamp does not exceed `ts`.
-    pub(crate) fn help_until(
-        &self,
-        parent: ParentRef<'_, K, V, A>,
-        ts: Timestamp,
-        guard: &Guard,
-    ) {
+    pub(crate) fn help_until(&self, parent: ParentRef<'_, K, V, A>, ts: Timestamp, guard: &Guard) {
         loop {
             let head = match parent {
                 ParentRef::Fictive => self.root_queue.peek(guard),
@@ -132,13 +127,11 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         guard: &Guard,
     ) {
         // --- Step 0: resolve update effects at the linearization point. ----
-        if op.kind.is_update() {
-            if matches!(parent, ParentRef::Fictive) {
-                self.resolve_update(op, ts, guard);
-            }
-            // Below the fictive root the decision is always already resolved
-            // (the descriptor only enters child queues afterwards).
+        if op.kind.is_update() && matches!(parent, ParentRef::Fictive) {
+            self.resolve_update(op, ts, guard);
         }
+        // Below the fictive root the decision is always already resolved
+        // (the descriptor only enters child queues afterwards).
 
         let parent_id = match parent {
             ParentRef::Fictive => FICTIVE_ROOT_ID,
@@ -157,9 +150,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         match parent {
             ParentRef::Fictive => {
                 let descend = match &op.kind {
-                    OpKind::Insert { .. } | OpKind::Remove { .. } => {
-                        op.resolved_decision().success
-                    }
+                    OpKind::Insert { .. } | OpKind::Remove { .. } => op.resolved_decision().success,
                     _ => true,
                 };
                 if descend {
@@ -244,8 +235,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
             _ => unreachable!("resolve_update called for a read-only operation"),
         };
         let (decision, first_application) =
-            self.presence
-                .resolve(key, ts, &update, &op.decision, guard);
+            self.presence.resolve(key, ts, &update, &op.decision, guard);
         if first_application {
             // Exactly one process per descriptor reaches this branch, so the
             // size counter stays exact.
@@ -548,9 +538,9 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                     Err(e) => {
                         // Another helper already applied the change; discard
                         // our speculative subtree (never published).
-                        free_subtree_now(e.new.into_shared(unsafe {
-                            crossbeam_epoch::unprotected()
-                        }));
+                        free_subtree_now(
+                            e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }),
+                        );
                     }
                 }
             }
@@ -572,9 +562,9 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                 ) {
                     Ok(_) => unsafe { guard.defer_destroy(child) },
                     Err(e) => {
-                        free_subtree_now(e.new.into_shared(unsafe {
-                            crossbeam_epoch::unprotected()
-                        }));
+                        free_subtree_now(
+                            e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }),
+                        );
                     }
                 }
             }
@@ -635,9 +625,9 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                 match slot.compare_exchange(child, Owned::new(leaf), AcqRel, Acquire, guard) {
                     Ok(_) => unsafe { guard.defer_destroy(child) },
                     Err(e) => {
-                        free_subtree_now(e.new.into_shared(unsafe {
-                            crossbeam_epoch::unprotected()
-                        }));
+                        free_subtree_now(
+                            e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }),
+                        );
                     }
                 }
             }

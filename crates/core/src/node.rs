@@ -172,10 +172,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> InnerNode<K, V, A> {
 
     /// Loads the current state record as a `Shared` pointer (needed as the
     /// expected value of a CAS).
-    pub fn load_state_shared<'g>(
-        &self,
-        guard: &'g Guard,
-    ) -> Shared<'g, NodeState<A::Agg>> {
+    pub fn load_state_shared<'g>(&self, guard: &'g Guard) -> Shared<'g, NodeState<A::Agg>> {
         self.state.load(Ordering::Acquire, guard)
     }
 }

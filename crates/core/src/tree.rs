@@ -110,21 +110,18 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
     ) -> Self {
         let tree = Self::with_config(config);
         let mut sorted: Vec<(K, V)> = entries.into_iter().collect();
-        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        sorted.sort_by_key(|a| a.0);
         sorted.dedup_by(|a, b| a.0 == b.0);
         let guard = crossbeam_epoch::pin();
         for (key, value) in &sorted {
             tree.presence.prefill(*key, value.clone(), &guard);
         }
-        let (root, _agg) =
-            build_subtree::<K, V, A>(&sorted, wft_queue::Timestamp::ZERO, &tree.ids);
+        let (root, _agg) = build_subtree::<K, V, A>(&sorted, wft_queue::Timestamp::ZERO, &tree.ids);
         // The tree is still private to this thread: a plain store is fine and
         // the initial Empty placeholder can be freed immediately.
-        let old = tree.root_child.swap(
-            crossbeam_epoch::Owned::new(root),
-            Ordering::AcqRel,
-            &guard,
-        );
+        let old = tree
+            .root_child
+            .swap(crossbeam_epoch::Owned::new(root), Ordering::AcqRel, &guard);
         free_subtree_now(old);
         tree.len.store(sorted.len() as u64, Ordering::Relaxed);
         tree
@@ -215,7 +212,11 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
     pub fn entries_quiescent(&self) -> Vec<(K, V)> {
         let guard = crossbeam_epoch::pin();
         let mut out = Vec::new();
-        collect_subtree(self.root_child.load(Ordering::Acquire, &guard), &mut out, &guard);
+        collect_subtree(
+            self.root_child.load(Ordering::Acquire, &guard),
+            &mut out,
+            &guard,
+        );
         out
     }
 
@@ -403,7 +404,10 @@ mod tests {
         for k in 0..2000 {
             tree.insert(k, ());
         }
-        assert!(tree.stats().rebuilds > 0, "sorted insertions must trigger rebuilds");
+        assert!(
+            tree.stats().rebuilds > 0,
+            "sorted insertions must trigger rebuilds"
+        );
         for k in 0..2000 {
             assert!(tree.contains(&k), "key {k} lost after rebuilds");
         }

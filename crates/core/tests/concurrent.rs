@@ -280,9 +280,16 @@ fn heavy_rebuilds_under_concurrency_preserve_contents() {
         tree.stats().rebuilds > 0,
         "the aggressive rebuild factor must trigger rebuilds"
     );
-    let got: Vec<i64> = tree.entries_quiescent().into_iter().map(|(k, _)| k).collect();
+    let got: Vec<i64> = tree
+        .entries_quiescent()
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
     let want: Vec<i64> = expected.into_iter().collect();
-    assert_eq!(got, want, "tree contents diverged after concurrent rebuilds");
+    assert_eq!(
+        got, want,
+        "tree contents diverged after concurrent rebuilds"
+    );
     tree.check_invariants();
 }
 
@@ -326,7 +333,10 @@ fn mixed_workload_with_range_queries_and_prefill() {
     // operations on its own prefilled partition).
     const KEYSPACE: i64 = 4_096;
     const OPS: usize = 2_000;
-    let prefill: Vec<(i64, ())> = (0..KEYSPACE).filter(|k| k % 2 == 0).map(|k| (k, ())).collect();
+    let prefill: Vec<(i64, ())> = (0..KEYSPACE)
+        .filter(|k| k % 2 == 0)
+        .map(|k| (k, ()))
+        .collect();
     let prefilled_len = prefill.len() as u64;
     let tree: Arc<WaitFreeTree<i64>> = Arc::new(WaitFreeTree::from_entries(prefill));
     assert_eq!(tree.len(), prefilled_len);

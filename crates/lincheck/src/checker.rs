@@ -235,7 +235,10 @@ mod tests {
         let verdict = check_history::<RangeSetSpec>(&history);
         assert!(!verdict.is_linearizable());
         if let Verdict::NotLinearizable { explanation } = verdict {
-            assert!(explanation.contains("Contains"), "explanation: {explanation}");
+            assert!(
+                explanation.contains("Contains"),
+                "explanation: {explanation}"
+            );
         }
     }
 

@@ -82,9 +82,7 @@ impl SequentialSpec for RangeSetSpec {
                 let removed = next.remove(&key);
                 (next, RangeSetRet::Bool(removed))
             }
-            RangeSetOp::Contains(key) => {
-                (state.clone(), RangeSetRet::Bool(state.contains(&key)))
-            }
+            RangeSetOp::Contains(key) => (state.clone(), RangeSetRet::Bool(state.contains(&key))),
             RangeSetOp::Count(min, max) => {
                 let count = if min > max {
                     0

@@ -150,7 +150,10 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(tree.len(), (THREADS * PER_THREAD) as u64);
-        assert_eq!(tree.count(i64::MIN, i64::MAX), (THREADS * PER_THREAD) as u64);
+        assert_eq!(
+            tree.count(i64::MIN, i64::MAX),
+            (THREADS * PER_THREAD) as u64
+        );
         tree.check_invariants();
     }
 }

@@ -78,6 +78,9 @@ pub enum Info<K: Key, V: Value> {
     },
 }
 
+/// An atomic link from an internal node to one of its children.
+pub type ChildLink<K, V> = Atomic<Node<K, V>>;
+
 /// A tree node: routing internal node or data leaf.
 pub enum Node<K: Key, V: Value> {
     /// Routing node. Keys `< key` are in the left subtree, keys `>= key` in
@@ -178,7 +181,7 @@ impl<K: Key, V: Value> Node<K, V> {
     /// # Panics
     ///
     /// Panics if called on a leaf.
-    pub fn children(&self) -> (&Atomic<Node<K, V>>, &Atomic<Node<K, V>>) {
+    pub fn children(&self) -> (&ChildLink<K, V>, &ChildLink<K, V>) {
         match self {
             Node::Internal { left, right, .. } => (left, right),
             Node::Leaf { .. } => panic!("leaf nodes have no children"),

@@ -83,7 +83,7 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
     /// ranges, which would otherwise degenerate this baseline into a list).
     pub fn from_entries<I: IntoIterator<Item = (K, V)>>(entries: I) -> Self {
         let mut sorted: Vec<(K, V)> = entries.into_iter().collect();
-        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        sorted.sort_by_key(|a| a.0);
         sorted.dedup_by(|a, b| a.0 == b.0);
         let tree = Self::new();
         // Iterative median-first traversal of the sorted slice.
@@ -184,17 +184,9 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
             let existing_leaf_atomic: Atomic<Node<K, V>> = Atomic::null();
             existing_leaf_atomic.store(res.leaf, Ordering::Relaxed);
             let (routing, left, right) = if target.lt(&existing_key) {
-                (
-                    existing_key,
-                    Atomic::from(new_leaf),
-                    existing_leaf_atomic,
-                )
+                (existing_key, Atomic::from(new_leaf), existing_leaf_atomic)
             } else {
-                (
-                    target,
-                    existing_leaf_atomic,
-                    Atomic::from(new_leaf),
-                )
+                (target, existing_leaf_atomic, Atomic::from(new_leaf))
             };
             let subtree = Owned::new(Node::Internal {
                 key: routing,
@@ -274,9 +266,7 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
                 Node::Leaf {
                     key: RoutingKey::Finite(found),
                     value,
-                } if found == key => value
-                    .clone()
-                    .expect("finite leaves always carry a value"),
+                } if found == key => value.clone().expect("finite leaves always carry a value"),
                 _ => return None,
             };
             if res.grandparent_update.tag() != state::CLEAN {
@@ -447,7 +437,11 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
         let (left, right) = parent_node.children();
         let left_ptr = left.load(Ordering::Acquire, guard);
         let right_ptr = right.load(Ordering::Acquire, guard);
-        let sibling = if left_ptr == leaf_ptr { right_ptr } else { left_ptr };
+        let sibling = if left_ptr == leaf_ptr {
+            right_ptr
+        } else {
+            left_ptr
+        };
         let grandparent_node = unsafe { grandparent_ptr.deref() };
         let slot = grandparent_node.child_for(unsafe { parent_ptr.deref() }.routing_key());
         if slot
@@ -502,7 +496,7 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
         let guard = pin();
         let root = self.root.load(Ordering::Acquire, &guard);
         collect_in_range(root, &min, &max, &mut out, &guard);
-        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out.sort_by_key(|a| a.0);
         out
     }
 
@@ -521,7 +515,7 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
         let mut out = Vec::new();
         let root = self.root.load(Ordering::Acquire, &guard);
         collect_all(root, &mut out, &guard);
-        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out.sort_by_key(|a| a.0);
         out
     }
 
@@ -566,7 +560,10 @@ fn collect_in_range<K: Key, V: Value>(
             value,
         } => {
             if min <= k && k <= max {
-                out.push((*k, value.clone().expect("finite leaves always carry a value")));
+                out.push((
+                    *k,
+                    value.clone().expect("finite leaves always carry a value"),
+                ));
             }
         }
         Node::Leaf { .. } => {}
@@ -605,7 +602,10 @@ fn collect_all<K: Key, V: Value>(
         Node::Leaf {
             key: RoutingKey::Finite(k),
             value,
-        } => out.push((*k, value.clone().expect("finite leaves always carry a value"))),
+        } => out.push((
+            *k,
+            value.clone().expect("finite leaves always carry a value"),
+        )),
         Node::Leaf { .. } => {}
         Node::Internal { left, right, .. } => {
             collect_all(left.load(Ordering::Acquire, guard), out, guard);
@@ -682,10 +682,7 @@ mod tests {
         assert_eq!(tree.remove_entry(&5), Some(50));
         assert_eq!(tree.remove_entry(&5), None);
         assert_eq!(tree.len(), 2);
-        assert_eq!(
-            tree.entries_quiescent(),
-            vec![(1, 10), (9, 90)]
-        );
+        assert_eq!(tree.entries_quiescent(), vec![(1, 10), (9, 90)]);
         tree.check_invariants();
     }
 

@@ -430,7 +430,10 @@ mod tests {
         let entries_vec: Vec<(i64, i64)> = (0..10_000).map(|k| (k, k)).collect();
         let root = from_sorted::<i64, i64, Size>(&entries_vec);
         let h = height::<i64, i64, Size>(&root);
-        assert!(h < 60, "height {h} too large for 10k deterministic-priority keys");
+        assert!(
+            h < 60,
+            "height {h} too large for 10k deterministic-priority keys"
+        );
         check_invariants::<i64, i64, Size>(&root);
     }
 
@@ -482,8 +485,11 @@ mod tests {
                     assert_eq!(removed, oracle.remove_entry(&k));
                 }
                 _ => {
-                    let hi = k + rng.gen_range(0..50);
-                    assert_eq!(range_agg::<i64, i64, Size>(&root, &k, &hi), oracle.count(k, hi));
+                    let hi = k + rng.gen_range(0i64..50);
+                    assert_eq!(
+                        range_agg::<i64, i64, Size>(&root, &k, &hi),
+                        oracle.count(k, hi)
+                    );
                 }
             }
         }

@@ -11,8 +11,8 @@
 //! paper's design avoids.
 
 use crossbeam_epoch::{Atomic, Guard, Owned};
-use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 use std::sync::atomic::AtomicU64;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 
 use wft_seq::{Augmentation, Key, Size, Value};
 
@@ -66,7 +66,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> PersistentRangeTree<K, V, A> {
     /// Builds a pre-populated tree (duplicates keep the first value).
     pub fn from_entries<I: IntoIterator<Item = (K, V)>>(entries: I) -> Self {
         let mut sorted: Vec<(K, V)> = entries.into_iter().collect();
-        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        sorted.sort_by_key(|a| a.0);
         sorted.dedup_by(|a, b| a.0 == b.0);
         let root = treap::from_sorted::<K, V, A>(&sorted);
         PersistentRangeTree {
@@ -231,9 +231,7 @@ impl<K: Key, V: Value> PersistentRangeTree<K, V, Size> {
 impl<K: Key, V: Value, A: Augmentation<K, V>> Drop for PersistentRangeTree<K, V, A> {
     fn drop(&mut self) {
         unsafe {
-            let cell = self
-                .version
-                .load(Relaxed, crossbeam_epoch::unprotected());
+            let cell = self.version.load(Relaxed, crossbeam_epoch::unprotected());
             if !cell.is_null() {
                 drop(cell.into_owned());
             }
@@ -291,7 +289,10 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(tree.len(), (THREADS * PER_THREAD) as u64);
-        assert_eq!(tree.count(i64::MIN, i64::MAX), (THREADS * PER_THREAD) as u64);
+        assert_eq!(
+            tree.count(i64::MIN, i64::MAX),
+            (THREADS * PER_THREAD) as u64
+        );
         tree.check_invariants();
     }
 

@@ -74,24 +74,18 @@ impl<T> TraverseQueue<T> {
             let next = unsafe { (*tail).next.load(Ordering::Acquire) };
             if !next.is_null() {
                 // Help the lagging tail.
-                let _ = self.tail.compare_exchange(
-                    tail,
-                    next,
-                    Ordering::Release,
-                    Ordering::Relaxed,
-                );
+                let _ =
+                    self.tail
+                        .compare_exchange(tail, next, Ordering::Release, Ordering::Relaxed);
                 continue;
             }
             if unsafe { &(*tail).next }
                 .compare_exchange(ptr::null_mut(), node, Ordering::Release, Ordering::Relaxed)
                 .is_ok()
             {
-                let _ = self.tail.compare_exchange(
-                    tail,
-                    node,
-                    Ordering::Release,
-                    Ordering::Relaxed,
-                );
+                let _ =
+                    self.tail
+                        .compare_exchange(tail, node, Ordering::Release, Ordering::Relaxed);
                 return;
             }
         }

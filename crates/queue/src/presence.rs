@@ -372,12 +372,7 @@ mod tests {
 
     type Index = PresenceIndex<i64, i64>;
 
-    fn resolve_one(
-        index: &Index,
-        key: i64,
-        ts: u64,
-        kind: UpdateKind<i64>,
-    ) -> Decision<i64> {
+    fn resolve_one(index: &Index, key: i64, ts: u64, kind: UpdateKind<i64>) -> Decision<i64> {
         let cell = OnceLock::new();
         let guard = epoch::pin();
         index.resolve(&key, Timestamp(ts), &kind, &cell, &guard).0
@@ -406,7 +401,7 @@ mod tests {
 
         let guard = epoch::pin();
         let snap = index.snapshot(&5, &guard);
-        assert_eq!(snap.present, true);
+        assert!(snap.present);
         assert_eq!(snap.value, Some(52));
         assert_eq!(snap.last_ts, Timestamp(5));
     }

@@ -94,10 +94,7 @@ impl<T: Clone + Send + Sync> WaitFreeRootQueue<T> {
     /// to a larger queue or treat it as a configuration error.
     pub fn register(&self) -> Option<RootSlot> {
         for (i, taken) in self.slot_taken.iter().enumerate() {
-            if taken
-                .compare_exchange(false, true, AcqRel, Acquire)
-                .is_ok()
-            {
+            if taken.compare_exchange(false, true, AcqRel, Acquire).is_ok() {
                 return Some(RootSlot { index: i });
             }
         }
@@ -129,9 +126,7 @@ impl<T: Clone + Send + Sync> WaitFreeRootQueue<T> {
 
         // 2. Fetch a fresh version and try to claim it for our record.
         let version = self.version.fetch_add(1, AcqRel) + 1;
-        let _ = record_ref
-            .ts
-            .compare_exchange(0, version, AcqRel, Acquire);
+        let _ = record_ref.ts.compare_exchange(0, version, AcqRel, Acquire);
         let my_ts = Timestamp(record_ref.ts.load(Acquire));
 
         // 3. Help: make sure every announced record has a timestamp, collect
@@ -243,8 +238,7 @@ mod tests {
     fn concurrent_enqueues_never_lose_or_duplicate_descriptors() {
         const THREADS: usize = 4;
         const PER_THREAD: usize = 300;
-        let q: Arc<WaitFreeRootQueue<(usize, usize)>> =
-            Arc::new(WaitFreeRootQueue::new(THREADS));
+        let q: Arc<WaitFreeRootQueue<(usize, usize)>> = Arc::new(WaitFreeRootQueue::new(THREADS));
         let mut handles = Vec::new();
         for t in 0..THREADS {
             let q = Arc::clone(&q);
@@ -279,8 +273,15 @@ mod tests {
         // in timestamp order.
         let guard = epoch::pin();
         let queued = q.timestamps(&guard);
-        assert!(queued.windows(2).all(|w| w[0] < w[1]), "queue must be sorted");
-        assert_eq!(queued.len(), THREADS * PER_THREAD, "no descriptor may be lost");
+        assert!(
+            queued.windows(2).all(|w| w[0] < w[1]),
+            "queue must be sorted"
+        );
+        assert_eq!(
+            queued.len(),
+            THREADS * PER_THREAD,
+            "no descriptor may be lost"
+        );
         let mut drained = Vec::new();
         while let Some((ts, item)) = q.peek(&guard) {
             assert!(q.pop_if(ts, &guard));
@@ -290,7 +291,11 @@ mod tests {
         let mut sorted = drained.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), drained.len(), "no descriptor may be duplicated");
+        assert_eq!(
+            sorted.len(),
+            drained.len(),
+            "no descriptor may be duplicated"
+        );
     }
 
     #[test]

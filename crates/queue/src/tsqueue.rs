@@ -304,7 +304,10 @@ mod tests {
         assert_eq!(q.enqueue_assign(10, &guard), Timestamp(1));
         assert_eq!(q.enqueue_assign(20, &guard), Timestamp(2));
         assert_eq!(q.enqueue_assign(30, &guard), Timestamp(3));
-        assert_eq!(q.timestamps(&guard), vec![Timestamp(1), Timestamp(2), Timestamp(3)]);
+        assert_eq!(
+            q.timestamps(&guard),
+            vec![Timestamp(1), Timestamp(2), Timestamp(3)]
+        );
         assert_eq!(q.last_timestamp(&guard), Timestamp(3));
     }
 
@@ -390,7 +393,10 @@ mod tests {
         assert_eq!(all, expect, "timestamps must be unique and dense");
         let guard = epoch::pin();
         let ts = q.timestamps(&guard);
-        assert!(ts.windows(2).all(|w| w[0] < w[1]), "queue order must be sorted");
+        assert!(
+            ts.windows(2).all(|w| w[0] < w[1]),
+            "queue order must be sorted"
+        );
         assert_eq!(ts.len(), THREADS * PER_THREAD);
     }
 

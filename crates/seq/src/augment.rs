@@ -281,18 +281,13 @@ pub struct MaxKey;
 
 /// Monoid used by [`MinKey`]/[`MaxKey`] style summaries in the sequential
 /// tree tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Extremum<K> {
     /// No entries in the subtree.
+    #[default]
     Empty,
     /// The extremal key of the subtree.
     Key(K),
-}
-
-impl<K> Default for Extremum<K> {
-    fn default() -> Self {
-        Extremum::Empty
-    }
 }
 
 #[cfg(test)]

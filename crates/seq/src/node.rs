@@ -12,10 +12,11 @@ use crate::augment::Augmentation;
 use crate::key::{Key, Value};
 
 /// A node of the sequential external BST.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub enum SeqNode<K: Key, V: Value, A: Augmentation<K, V>> {
     /// A subtree containing no data items (either the empty tree or a
     /// removed leaf position awaiting the next rebuild).
+    #[default]
     Empty,
     /// A leaf holding one data item.
     Leaf {
@@ -42,12 +43,6 @@ pub enum SeqNode<K: Key, V: Value, A: Augmentation<K, V>> {
         /// Right child.
         right: Box<SeqNode<K, V, A>>,
     },
-}
-
-impl<K: Key, V: Value, A: Augmentation<K, V>> Default for SeqNode<K, V, A> {
-    fn default() -> Self {
-        SeqNode::Empty
-    }
 }
 
 impl<K: Key, V: Value, A: Augmentation<K, V>> SeqNode<K, V, A> {
@@ -166,7 +161,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> SeqNode<K, V, A> {
                     assert!(rsm >= lo, "rsm below routing interval");
                 }
                 if let Some(hi) = hi {
-                    assert!(rsm < hi || rsm == hi, "rsm above routing interval");
+                    assert!(rsm <= hi, "rsm above routing interval");
                 }
                 let nl = left.check_invariants(lo, Some(rsm));
                 let nr = right.check_invariants(Some(rsm), hi);

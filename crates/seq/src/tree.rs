@@ -84,7 +84,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> SeqRangeTree<K, V, A> {
     /// last value. The resulting tree is perfectly balanced.
     pub fn from_entries<I: IntoIterator<Item = (K, V)>>(entries: I) -> Self {
         let mut sorted: Vec<(K, V)> = entries.into_iter().collect();
-        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        sorted.sort_by_key(|a| a.0);
         sorted.dedup_by(|a, b| a.0 == b.0);
         let len = sorted.len() as u64;
         SeqRangeTree {
@@ -125,7 +125,8 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> SeqRangeTree<K, V, A> {
     /// case the tree is left unmodified (the existing value is kept).
     pub fn insert(&mut self, key: K, value: V) -> bool {
         let root = std::mem::take(&mut self.root);
-        let (new_root, inserted) = Self::insert_rec(root, key, value, self.rebuild_factor, &mut self.stats);
+        let (new_root, inserted) =
+            Self::insert_rec(root, key, value, self.rebuild_factor, &mut self.stats);
         self.root = new_root;
         if inserted {
             self.len += 1;
@@ -225,7 +226,11 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> SeqRangeTree<K, V, A> {
         SeqNode::build_balanced(&entries)
     }
 
-    fn maybe_rebuild(node: SeqNode<K, V, A>, factor: f64, stats: &mut RebuildStats) -> SeqNode<K, V, A> {
+    fn maybe_rebuild(
+        node: SeqNode<K, V, A>,
+        factor: f64,
+        stats: &mut RebuildStats,
+    ) -> SeqNode<K, V, A> {
         match &node {
             SeqNode::Inner {
                 mod_cnt, init_sz, ..
@@ -699,7 +704,11 @@ mod tests {
             let key = rng.gen_range(0..500);
             match rng.gen_range(0..5) {
                 0 | 1 => {
-                    assert_eq!(tree.insert(key, key), oracle.insert(key, key), "step {step}");
+                    assert_eq!(
+                        tree.insert(key, key),
+                        oracle.insert(key, key),
+                        "step {step}"
+                    );
                 }
                 2 => {
                     assert_eq!(tree.remove(&key), oracle.remove(&key), "step {step}");
@@ -708,7 +717,7 @@ mod tests {
                     assert_eq!(tree.contains(&key), oracle.contains(&key), "step {step}");
                 }
                 _ => {
-                    let hi = key + rng.gen_range(0..100);
+                    let hi = key + rng.gen_range(0i64..100);
                     assert_eq!(tree.count(key, hi), oracle.count(key, hi), "step {step}");
                 }
             }

@@ -1,0 +1,673 @@
+//! The range-partitioned store: a router over independent [`WaitFreeTree`]
+//! shards.
+//!
+//! # Partitioning
+//!
+//! A store with split keys `b_0 < b_1 < … < b_{S-2}` owns `S` shards with
+//! key ranges
+//!
+//! ```text
+//! shard 0: (-∞, b_0)    shard i: [b_{i-1}, b_i)    shard S-1: [b_{S-2}, ∞)
+//! ```
+//!
+//! Routing is a binary search over the split keys — **not** a hash: range
+//! partitioning keeps each aggregate range query confined to the shards its
+//! interval actually overlaps, so `count`/`range_agg` stay `O(Σ log n_i)`
+//! over the touched shards and `collect_range` concatenates per-shard
+//! results already in global key order. This is the contention-adapting
+//! insight (Winblad et al.) applied statically: disjoint keyspace slices
+//! mean disjoint root queues, so writers to different slices never contend
+//! on one tree root.
+//!
+//! # Consistency
+//!
+//! Every *single-shard* operation (every point op, and every aggregate whose
+//! range falls inside one shard) inherits the linearizability of the
+//! underlying `WaitFreeTree`. A *cross-shard* aggregate is assembled from
+//! one linearizable query per overlapped shard; the per-shard answers are
+//! each atomic but are taken at (slightly) different instants. Batches are
+//! atomic per shard and all-or-nothing with respect to validation, but a
+//! concurrent reader may observe a batch half-applied across two shards.
+
+use std::collections::HashSet;
+use std::thread;
+
+use wft_core::{TreeStats, WaitFreeTree};
+use wft_seq::{Augmentation, Key, Size, Value};
+
+use crate::op::{BatchError, OpOutcome, StoreConfig, StoreOp};
+
+/// A range-partitioned, wait-free-sharded concurrent ordered map with
+/// batched writes and cross-shard aggregate range queries.
+pub struct ShardedStore<K: Key, V: Value = (), A: Augmentation<K, V> = Size> {
+    shards: Vec<WaitFreeTree<K, V, A>>,
+    /// `shards.len() - 1` strictly increasing split keys; `bounds[i]` is the
+    /// first key owned by shard `i + 1`.
+    bounds: Vec<K>,
+    config: StoreConfig,
+}
+
+/// The validated, shard-grouped form of a batch: the output of phase one.
+///
+/// Holding a plan proves the batch passed validation; executing it is
+/// phase two. The plan borrows nothing from the store, so tests can assert
+/// that a failed validation left every shard untouched.
+pub struct BatchPlan<K: Key, V: Value> {
+    /// One group per shard: `(original batch index, operation)`, in batch
+    /// order (the grouping is stable).
+    groups: Vec<Vec<(usize, StoreOp<K, V>)>>,
+    len: usize,
+}
+
+impl<K: Key, V: Value> BatchPlan<K, V> {
+    /// Number of operations in the planned batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the planned batch carries no operations.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards the batch touches.
+    pub fn shards_touched(&self) -> usize {
+        self.groups.iter().filter(|g| !g.is_empty()).count()
+    }
+}
+
+impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
+    /// A single-shard store (no split keys): behaves exactly like one
+    /// `WaitFreeTree`, which makes it the natural baseline in sweeps.
+    pub fn new() -> Self {
+        Self::with_boundaries(Vec::new())
+    }
+
+    /// A store whose shard ranges are delimited by `bounds` (strictly
+    /// increasing split keys; `bounds.len() + 1` shards).
+    pub fn with_boundaries(bounds: Vec<K>) -> Self {
+        Self::with_boundaries_and_config(bounds, StoreConfig::default())
+    }
+
+    /// [`ShardedStore::with_boundaries`] with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bounds` is not strictly increasing.
+    pub fn with_boundaries_and_config(bounds: Vec<K>, config: StoreConfig) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "shard boundaries must be strictly increasing"
+        );
+        let shards = (0..=bounds.len())
+            .map(|_| WaitFreeTree::with_config(config.tree))
+            .collect();
+        ShardedStore {
+            shards,
+            bounds,
+            config,
+        }
+    }
+
+    /// Builds a store over `entries` partitioned into (up to) `shards`
+    /// balanced shards, with split keys chosen from the observed key
+    /// distribution (equi-depth quantiles of the sorted key sample — see
+    /// [`split_keys_from_sample`]).
+    pub fn from_entries<I: IntoIterator<Item = (K, V)>>(entries: I, shards: usize) -> Self {
+        Self::from_entries_with_config(entries, shards, StoreConfig::default())
+    }
+
+    /// [`ShardedStore::from_entries`] with explicit configuration.
+    pub fn from_entries_with_config<I: IntoIterator<Item = (K, V)>>(
+        entries: I,
+        shards: usize,
+        config: StoreConfig,
+    ) -> Self {
+        let mut sorted: Vec<(K, V)> = entries.into_iter().collect();
+        sorted.sort_by_key(|a| a.0);
+        sorted.dedup_by(|a, b| a.0 == b.0);
+
+        let bounds = equi_depth_split_keys(&sorted, shards, |(k, _)| *k);
+
+        // Feed each shard its contiguous slice through the tree's bulk
+        // constructor instead of per-key inserts.
+        let mut tree_shards = Vec::with_capacity(bounds.len() + 1);
+        let mut rest = sorted.as_slice();
+        for i in 0..=bounds.len() {
+            let split = match bounds.get(i) {
+                Some(bound) => rest.partition_point(|(k, _)| k < bound),
+                None => rest.len(),
+            };
+            let (mine, tail) = rest.split_at(split);
+            rest = tail;
+            tree_shards.push(WaitFreeTree::from_entries_with_config(
+                mine.iter().cloned(),
+                config.tree,
+            ));
+        }
+        ShardedStore {
+            shards: tree_shards,
+            bounds,
+            config,
+        }
+    }
+
+    // -- routing ----------------------------------------------------------
+
+    /// The index of the shard owning `key`.
+    pub fn shard_of(&self, key: &K) -> usize {
+        self.bounds.partition_point(|b| b <= key)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The split keys delimiting the shard ranges.
+    pub fn boundaries(&self) -> &[K] {
+        &self.bounds
+    }
+
+    fn shard(&self, key: &K) -> &WaitFreeTree<K, V, A> {
+        &self.shards[self.shard_of(key)]
+    }
+
+    // -- point operations -------------------------------------------------
+
+    /// Inserts `key → value`; returns `true` if the key was absent.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        self.shard(&key).insert(key, value)
+    }
+
+    /// Inserts `key → value`, returning the value it replaced, if any.
+    ///
+    /// Built from the tree's `remove_entry` + `insert` primitives; a
+    /// concurrent reader may observe the key briefly absent between the two
+    /// steps.
+    pub fn insert_or_replace(&self, key: K, value: V) -> Option<V> {
+        let shard = self.shard(&key);
+        let previous = shard.remove_entry(&key);
+        shard.insert(key, value);
+        previous
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    pub fn remove(&self, key: &K) -> bool {
+        self.shard(key).remove(key)
+    }
+
+    /// Removes `key` and returns its value, if any.
+    pub fn remove_entry(&self, key: &K) -> Option<V> {
+        self.shard(key).remove_entry(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.shard(key).contains(key)
+    }
+
+    /// The value stored under `key`, if any.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).get(key)
+    }
+
+    /// Total number of keys across all shards (each shard length is read
+    /// atomically; the sum is not a single linearization point).
+    pub fn len(&self) -> u64 {
+        self.shards.iter().map(WaitFreeTree::len).sum()
+    }
+
+    /// `true` when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // -- cross-shard aggregate queries ------------------------------------
+
+    /// Aggregate of all entries with keys in `[min, max]`, combined across
+    /// the overlapped shards.
+    ///
+    /// The query interval is split at the shard boundaries: shard `i` in
+    /// the overlap is asked for `[max(min, b_{i-1}), max]`, which its own
+    /// augmented root answers in `O(log n_i)`. Shards outside
+    /// `[shard_of(min), shard_of(max)]` are never touched.
+    pub fn range_agg(&self, min: K, max: K) -> A::Agg {
+        if max < min {
+            return A::identity();
+        }
+        let first = self.shard_of(&min);
+        let last = self.shard_of(&max);
+        let mut acc = A::identity();
+        for i in first..=last {
+            let lo = if i == first { min } else { self.bounds[i - 1] };
+            acc = A::combine(&acc, &self.shards[i].range_agg(lo, max));
+        }
+        acc
+    }
+
+    /// All entries with keys in `[min, max]`, in ascending key order.
+    ///
+    /// Range partitioning makes the global order free: per-shard results
+    /// are already sorted and shard ranges are disjoint and ascending.
+    pub fn collect_range(&self, min: K, max: K) -> Vec<(K, V)> {
+        if max < min {
+            return Vec::new();
+        }
+        let first = self.shard_of(&min);
+        let last = self.shard_of(&max);
+        let mut out = Vec::new();
+        for i in first..=last {
+            let lo = if i == first { min } else { self.bounds[i - 1] };
+            out.extend(self.shards[i].collect_range(lo, max));
+        }
+        out
+    }
+
+    // -- two-phase batches ------------------------------------------------
+
+    /// Phase one: validates `batch` and groups it by destination shard
+    /// **without mutating any shard**.
+    ///
+    /// Validation rejects batches that exceed
+    /// [`StoreConfig::max_batch_ops`] and batches addressing any key twice
+    /// (per-shard groups execute concurrently, so a batch-internal order
+    /// between same-key operations cannot be guaranteed).
+    pub fn plan_batch(&self, batch: Vec<StoreOp<K, V>>) -> Result<BatchPlan<K, V>, BatchError<K>> {
+        if batch.len() > self.config.max_batch_ops {
+            return Err(BatchError::TooLarge {
+                len: batch.len(),
+                max: self.config.max_batch_ops,
+            });
+        }
+        let mut seen = HashSet::with_capacity(batch.len());
+        for op in &batch {
+            if !seen.insert(*op.key()) {
+                return Err(BatchError::DuplicateKey { key: *op.key() });
+            }
+        }
+        let mut groups: Vec<Vec<(usize, StoreOp<K, V>)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let len = batch.len();
+        for (index, op) in batch.into_iter().enumerate() {
+            let shard = self.shard_of(op.key());
+            groups[shard].push((index, op));
+        }
+        Ok(BatchPlan { groups, len })
+    }
+
+    /// Phase two: executes a validated plan, fanning the per-shard groups
+    /// out across worker threads when the batch is large enough to pay for
+    /// them ([`StoreConfig::parallel_threshold`]).
+    ///
+    /// Returns one [`OpOutcome`] per submitted operation, in submission
+    /// order.
+    pub fn execute_plan(&self, plan: BatchPlan<K, V>) -> Vec<OpOutcome<V>> {
+        let mut results: Vec<Option<OpOutcome<V>>> = (0..plan.len).map(|_| None).collect();
+        let parallel = plan.len >= self.config.parallel_threshold
+            && plan.shards_touched() >= 2
+            && (hardware_threads() > 1 || self.config.parallel_threshold == 0);
+        if parallel {
+            let outcomes: Vec<Vec<(usize, OpOutcome<V>)>> = thread::scope(|scope| {
+                let handles: Vec<_> = plan
+                    .groups
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, group)| !group.is_empty())
+                    .map(|(shard_idx, group)| {
+                        let shard = &self.shards[shard_idx];
+                        scope.spawn(move || {
+                            group
+                                .into_iter()
+                                .map(|(index, op)| (index, apply_one(shard, op)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for (index, outcome) in outcomes.into_iter().flatten() {
+                results[index] = Some(outcome);
+            }
+        } else {
+            for (shard_idx, group) in plan.groups.into_iter().enumerate() {
+                let shard = &self.shards[shard_idx];
+                for (index, op) in group {
+                    results[index] = Some(apply_one(shard, op));
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch index receives an outcome"))
+            .collect()
+    }
+
+    /// Validates and executes `batch`: [`ShardedStore::plan_batch`] followed
+    /// by [`ShardedStore::execute_plan`]. On `Err` no shard was mutated.
+    pub fn apply_batch(
+        &self,
+        batch: Vec<StoreOp<K, V>>,
+    ) -> Result<Vec<OpOutcome<V>>, BatchError<K>> {
+        let plan = self.plan_batch(batch)?;
+        Ok(self.execute_plan(plan))
+    }
+
+    // -- introspection ----------------------------------------------------
+
+    /// Per-shard key counts, for balance inspection.
+    pub fn shard_lens(&self) -> Vec<u64> {
+        self.shards.iter().map(WaitFreeTree::len).collect()
+    }
+
+    /// Per-shard operational statistics.
+    pub fn shard_stats(&self) -> Vec<TreeStats> {
+        self.shards.iter().map(WaitFreeTree::stats).collect()
+    }
+
+    /// All entries in ascending key order. Callers must guarantee
+    /// quiescence (no concurrent updates), like the underlying tree method.
+    pub fn entries_quiescent(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.entries_quiescent());
+        }
+        out
+    }
+
+    /// Panics unless every shard's internal invariants hold **and** every
+    /// key lives in the shard that owns its range.
+    pub fn check_invariants(&self) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.check_invariants();
+            for (key, _) in shard.entries_quiescent() {
+                assert_eq!(
+                    self.shard_of(&key),
+                    i,
+                    "key {key:?} stored in shard {i} but routed to {}",
+                    self.shard_of(&key)
+                );
+            }
+        }
+    }
+}
+
+impl<K: Key, V: Value, A: Augmentation<K, V>> Default for ShardedStore<K, V, A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Key, V: Value> ShardedStore<K, V, Size> {
+    /// Number of keys in `[min, max]`, the paper's headline aggregate,
+    /// answered per overlapped shard and summed.
+    pub fn count(&self, min: K, max: K) -> u64 {
+        self.range_agg(min, max)
+    }
+}
+
+impl<K: Key, V: Value, B: Augmentation<K, V>> ShardedStore<K, V, wft_seq::Pair<Size, B>> {
+    /// Number of keys in `[min, max]` for stores that track the subtree
+    /// size alongside another aggregate (`Pair<Size, B>`).
+    pub fn count(&self, min: K, max: K) -> u64 {
+        self.range_agg(min, max).0
+    }
+}
+
+/// Cached `available_parallelism`: on a single-core host the fan-out path
+/// can only add spawn overhead, so batches always run on the caller.
+fn hardware_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+fn apply_one<K: Key, V: Value, A: Augmentation<K, V>>(
+    shard: &WaitFreeTree<K, V, A>,
+    op: StoreOp<K, V>,
+) -> OpOutcome<V> {
+    match op {
+        StoreOp::Insert { key, value } => OpOutcome::Inserted(shard.insert(key, value)),
+        StoreOp::InsertOrReplace { key, value } => {
+            let previous = shard.remove_entry(&key);
+            shard.insert(key, value);
+            OpOutcome::Replaced(previous)
+        }
+        StoreOp::Remove { key } => OpOutcome::Removed(shard.remove(&key)),
+        StoreOp::RemoveEntry { key } => OpOutcome::RemovedEntry(shard.remove_entry(&key)),
+    }
+}
+
+/// Picks up to `shards - 1` strictly increasing split keys from a sample of
+/// the key distribution: the equi-depth quantiles of the sorted, deduplicated
+/// sample. With fewer distinct keys than shards the result simply yields
+/// fewer (possibly zero) splits — a store never has more shards than it can
+/// fill meaningfully.
+pub fn split_keys_from_sample<K: Key>(sample: &mut Vec<K>, shards: usize) -> Vec<K> {
+    sample.sort_unstable();
+    sample.dedup();
+    equi_depth_split_keys(sample, shards, |k| *k)
+}
+
+/// [`split_keys_from_sample`] over an already sorted, deduplicated slice
+/// (how `from_entries` calls it, sparing the second sort).
+fn equi_depth_split_keys<T, K: Key>(
+    sorted_unique: &[T],
+    shards: usize,
+    key_of: impl Fn(&T) -> K,
+) -> Vec<K> {
+    assert!(shards > 0, "a store needs at least one shard");
+    if shards == 1 || sorted_unique.len() < shards {
+        return Vec::new();
+    }
+    let mut bounds = Vec::with_capacity(shards - 1);
+    for i in 1..shards {
+        // Lower boundary of the i-th equi-depth bucket.
+        let idx = i * sorted_unique.len() / shards;
+        bounds.push(key_of(&sorted_unique[idx]));
+    }
+    bounds.dedup();
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{BatchError, OpOutcome, StoreConfig, StoreOp};
+    use wft_seq::{Pair, Sum};
+
+    fn store_with_shards(shards: usize, keys: i64) -> ShardedStore<i64> {
+        ShardedStore::from_entries((0..keys).map(|k| (k, ())), shards)
+    }
+
+    #[test]
+    fn routing_respects_boundaries() {
+        let store: ShardedStore<i64> = ShardedStore::with_boundaries(vec![0, 100]);
+        assert_eq!(store.num_shards(), 3);
+        assert_eq!(store.shard_of(&-5), 0);
+        assert_eq!(store.shard_of(&0), 1);
+        assert_eq!(store.shard_of(&99), 1);
+        assert_eq!(store.shard_of(&100), 2);
+        assert_eq!(store.shard_of(&i64::MAX), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_boundaries_are_rejected() {
+        let _: ShardedStore<i64> = ShardedStore::with_boundaries(vec![10, 10]);
+    }
+
+    #[test]
+    fn from_entries_balances_shards() {
+        let store = store_with_shards(4, 1000);
+        assert_eq!(store.num_shards(), 4);
+        assert_eq!(store.len(), 1000);
+        let lens = store.shard_lens();
+        assert!(
+            lens.iter().all(|&l| l == 250),
+            "uniform keys must split evenly, got {lens:?}"
+        );
+        store.check_invariants();
+    }
+
+    #[test]
+    fn more_shards_than_keys_degrades_gracefully() {
+        let store = ShardedStore::<i64>::from_entries((0..3).map(|k| (k, ())), 8);
+        assert!(store.num_shards() <= 4);
+        assert_eq!(store.len(), 3);
+        store.check_invariants();
+    }
+
+    #[test]
+    fn point_ops_route_and_report() {
+        let store = store_with_shards(3, 300);
+        assert!(!store.insert(5, ()));
+        assert!(store.insert(1000, ()));
+        assert!(store.contains(&1000));
+        assert!(store.remove(&1000));
+        assert!(!store.remove(&1000));
+        assert_eq!(store.len(), 300);
+    }
+
+    #[test]
+    fn cross_shard_count_splits_at_boundaries() {
+        let store = store_with_shards(4, 1000);
+        assert_eq!(store.count(0, 999), 1000);
+        assert_eq!(store.count(100, 899), 800);
+        assert_eq!(store.count(250, 250), 1);
+        assert_eq!(store.count(600, 599), 0, "inverted range is empty");
+        assert_eq!(store.count(-100, -1), 0);
+    }
+
+    #[test]
+    fn cross_shard_collect_is_globally_sorted() {
+        let store = store_with_shards(5, 500);
+        let collected = store.collect_range(123, 456);
+        let keys: Vec<i64> = collected.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (123..=456).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_agg_combines_shard_aggregates() {
+        let store: ShardedStore<i64, i64, Pair<Size, Sum>> =
+            ShardedStore::from_entries((0..100).map(|k| (k, k)), 4);
+        let (count, sum) = store.range_agg(10, 19);
+        assert_eq!(count, 10);
+        assert_eq!(sum, (10..=19).sum::<i64>() as i128);
+    }
+
+    #[test]
+    fn batch_is_rejected_before_any_mutation() {
+        let store = store_with_shards(4, 100);
+        let batch = vec![
+            StoreOp::Insert {
+                key: 500,
+                value: (),
+            },
+            StoreOp::Remove { key: 20 },
+            StoreOp::Insert {
+                key: 500,
+                value: (),
+            },
+        ];
+        let err = store.apply_batch(batch).unwrap_err();
+        assert_eq!(err, BatchError::DuplicateKey { key: 500 });
+        // Phase one failed, so neither the insert nor the remove happened.
+        assert!(!store.contains(&500));
+        assert!(store.contains(&20));
+        assert_eq!(store.len(), 100);
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected() {
+        let config = StoreConfig {
+            max_batch_ops: 2,
+            ..StoreConfig::default()
+        };
+        let store: ShardedStore<i64> = ShardedStore::with_boundaries_and_config(vec![50], config);
+        let batch = (0..3)
+            .map(|k| StoreOp::Insert { key: k, value: () })
+            .collect();
+        assert_eq!(
+            store.apply_batch(batch).unwrap_err(),
+            BatchError::TooLarge { len: 3, max: 2 }
+        );
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn batch_outcomes_align_with_submission_order() {
+        let store = store_with_shards(3, 10);
+        let outcomes = store
+            .apply_batch(vec![
+                StoreOp::Insert {
+                    key: 100,
+                    value: (),
+                },
+                StoreOp::Remove { key: 3 },
+                StoreOp::Insert { key: 4, value: () },
+                StoreOp::RemoveEntry { key: 999 },
+            ])
+            .unwrap();
+        assert_eq!(
+            outcomes,
+            vec![
+                OpOutcome::Inserted(true),
+                OpOutcome::Removed(true),
+                OpOutcome::Inserted(false),
+                OpOutcome::RemovedEntry(None),
+            ]
+        );
+    }
+
+    #[test]
+    fn large_batches_take_the_parallel_path() {
+        let config = StoreConfig {
+            // 0 forces the cross-shard fan-out even on single-core hosts.
+            parallel_threshold: 0,
+            ..StoreConfig::default()
+        };
+        let store: ShardedStore<i64, i64> =
+            ShardedStore::with_boundaries_and_config(vec![100, 200, 300], config);
+        let batch: Vec<StoreOp<i64, i64>> = (0..400)
+            .map(|k| StoreOp::Insert {
+                key: k,
+                value: k * 2,
+            })
+            .collect();
+        let plan = store.plan_batch(batch).unwrap();
+        assert_eq!(plan.shards_touched(), 4);
+        let outcomes = store.execute_plan(plan);
+        assert!(outcomes.iter().all(|o| *o == OpOutcome::Inserted(true)));
+        assert_eq!(store.len(), 400);
+        assert_eq!(store.get(&123), Some(246));
+        store.check_invariants();
+    }
+
+    #[test]
+    fn insert_or_replace_reports_previous_value() {
+        let store: ShardedStore<i64, i64> = ShardedStore::with_boundaries(vec![10]);
+        assert_eq!(store.insert_or_replace(5, 50), None);
+        assert_eq!(store.insert_or_replace(5, 51), Some(50));
+        assert_eq!(store.get(&5), Some(51));
+        let outcomes = store
+            .apply_batch(vec![StoreOp::InsertOrReplace { key: 5, value: 52 }])
+            .unwrap();
+        assert_eq!(outcomes, vec![OpOutcome::Replaced(Some(51))]);
+        assert_eq!(store.get(&5), Some(52));
+    }
+
+    #[test]
+    fn split_keys_pick_equi_depth_quantiles() {
+        let mut sample: Vec<i64> = (0..100).collect();
+        assert_eq!(split_keys_from_sample(&mut sample, 4), vec![25, 50, 75]);
+        let mut skewed: Vec<i64> = (0..90).map(|_| 7).chain(90..100).collect();
+        let bounds = split_keys_from_sample(&mut skewed, 4);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        let mut tiny: Vec<i64> = vec![1, 2];
+        assert_eq!(split_keys_from_sample(&mut tiny, 4), Vec::<i64>::new());
+    }
+}

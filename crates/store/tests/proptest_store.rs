@@ -1,0 +1,219 @@
+//! Property tests: the sharded store against a `BTreeMap` oracle.
+//!
+//! Whatever the shard count and however the batches are composed, the
+//! store must be indistinguishable from a sequential ordered map:
+//! membership, `count`, `range_agg` and `collect_range` all agree, and
+//! batch outcomes match what point operations would have returned.
+
+use std::collections::BTreeMap;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use wft_store::{OpOutcome, ShardedStore, StoreOp};
+
+const UNIVERSE: i64 = 512;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Op(StoreOp<i64, i64>),
+    Count(i64, i64),
+    Collect(i64, i64),
+    Contains(i64),
+    Get(i64),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let key = 0i64..UNIVERSE;
+    prop_oneof![
+        (key.clone(), any::<i64>())
+            .prop_map(|(key, value)| Step::Op(StoreOp::Insert { key, value })),
+        (key.clone(), any::<i64>())
+            .prop_map(|(key, value)| Step::Op(StoreOp::InsertOrReplace { key, value })),
+        key.clone()
+            .prop_map(|key| Step::Op(StoreOp::Remove { key })),
+        key.clone()
+            .prop_map(|key| Step::Op(StoreOp::RemoveEntry { key })),
+        (key.clone(), key.clone()).prop_map(|(a, b)| Step::Count(a.min(b), a.max(b))),
+        (key.clone(), key.clone()).prop_map(|(a, b)| Step::Collect(a.min(b), a.max(b))),
+        key.clone().prop_map(Step::Contains),
+        key.prop_map(Step::Get),
+    ]
+}
+
+/// Applies one operation to the oracle, returning the outcome the store
+/// must report for it.
+fn oracle_apply(oracle: &mut BTreeMap<i64, i64>, op: &StoreOp<i64, i64>) -> OpOutcome<i64> {
+    match *op {
+        StoreOp::Insert { key, value } => {
+            if let std::collections::btree_map::Entry::Vacant(e) = oracle.entry(key) {
+                e.insert(value);
+                OpOutcome::Inserted(true)
+            } else {
+                OpOutcome::Inserted(false)
+            }
+        }
+        StoreOp::InsertOrReplace { key, value } => OpOutcome::Replaced(oracle.insert(key, value)),
+        StoreOp::Remove { key } => OpOutcome::Removed(oracle.remove(&key).is_some()),
+        StoreOp::RemoveEntry { key } => OpOutcome::RemovedEntry(oracle.remove(&key)),
+    }
+}
+
+fn oracle_count(oracle: &BTreeMap<i64, i64>, min: i64, max: i64) -> u64 {
+    oracle.range(min..=max).count() as u64
+}
+
+fn oracle_collect(oracle: &BTreeMap<i64, i64>, min: i64, max: i64) -> Vec<(i64, i64)> {
+    oracle.range(min..=max).map(|(&k, &v)| (k, v)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random shard counts, random interleavings of batched mutations and
+    /// queries: the store tracks the oracle exactly.
+    #[test]
+    fn store_matches_btreemap_oracle(
+        shards in 1usize..=8,
+        prefill in vec((0i64..UNIVERSE, any::<i64>()), 0..64),
+        steps in vec(step_strategy(), 1..200),
+    ) {
+        let store: ShardedStore<i64, i64> =
+            ShardedStore::from_entries(prefill.clone(), shards);
+        let mut oracle: BTreeMap<i64, i64> = BTreeMap::new();
+        // `from_entries` keeps the first value of duplicate keys.
+        for (k, v) in prefill {
+            oracle.entry(k).or_insert(v);
+        }
+
+        // Mutations accumulate into a batch; any query step flushes it
+        // first, so batches of every size and shard spread get exercised.
+        let mut batch: Vec<StoreOp<i64, i64>> = Vec::new();
+        let mut batch_keys = std::collections::HashSet::new();
+        for step in steps {
+            match step {
+                Step::Op(op) => {
+                    if !batch_keys.insert(*op.key()) {
+                        // The validator rejects intra-batch duplicates by
+                        // design; start a new batch at a duplicate key.
+                        flush(&store, &mut oracle, &mut batch);
+                        batch_keys.clear();
+                        batch_keys.insert(*op.key());
+                    }
+                    batch.push(op);
+                }
+                Step::Count(a, b) => {
+                    flush(&store, &mut oracle, &mut batch);
+                    batch_keys.clear();
+                    prop_assert_eq!(store.count(a, b), oracle_count(&oracle, a, b));
+                }
+                Step::Collect(a, b) => {
+                    flush(&store, &mut oracle, &mut batch);
+                    batch_keys.clear();
+                    prop_assert_eq!(store.collect_range(a, b), oracle_collect(&oracle, a, b));
+                }
+                Step::Contains(k) => {
+                    flush(&store, &mut oracle, &mut batch);
+                    batch_keys.clear();
+                    prop_assert_eq!(store.contains(&k), oracle.contains_key(&k));
+                }
+                Step::Get(k) => {
+                    flush(&store, &mut oracle, &mut batch);
+                    batch_keys.clear();
+                    prop_assert_eq!(store.get(&k), oracle.get(&k).copied());
+                }
+            }
+        }
+        flush(&store, &mut oracle, &mut batch);
+
+        // Final state: exact equality, via every read path.
+        prop_assert_eq!(store.len(), oracle.len() as u64);
+        prop_assert_eq!(
+            store.collect_range(0, UNIVERSE),
+            oracle_collect(&oracle, 0, UNIVERSE)
+        );
+        prop_assert_eq!(store.entries_quiescent(), oracle_collect(&oracle, 0, UNIVERSE));
+        prop_assert_eq!(store.count(0, UNIVERSE), oracle.len() as u64);
+        store.check_invariants();
+    }
+
+    /// `range_agg` over sub-ranges equals a linear scan of the oracle for
+    /// the size augmentation, at every shard count.
+    #[test]
+    fn range_agg_matches_linear_scan(
+        shards in 1usize..=6,
+        keys in vec(0i64..UNIVERSE, 1..128),
+        ranges in vec((0i64..UNIVERSE, 0i64..UNIVERSE), 1..16),
+    ) {
+        let store: ShardedStore<i64> =
+            ShardedStore::from_entries(keys.iter().map(|&k| (k, ())), shards);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for (a, b) in ranges {
+            let (lo, hi) = (a.min(b), a.max(b));
+            let expected = sorted.iter().filter(|&&k| lo <= k && k <= hi).count() as u64;
+            prop_assert_eq!(store.count(lo, hi), expected);
+            prop_assert_eq!(store.range_agg(lo, hi), expected);
+        }
+    }
+
+    /// One batch through `apply_batch` is indistinguishable from the same
+    /// operations applied one-by-one: identical outcomes, identical state.
+    #[test]
+    fn batch_equals_sequential_application(
+        shards in 1usize..=8,
+        prefill in vec(0i64..UNIVERSE, 0..64),
+        ops in vec(step_strategy(), 1..96),
+    ) {
+        // Keep only mutations, first occurrence per key (the batch
+        // validator refuses duplicates).
+        let mut seen = std::collections::HashSet::new();
+        let batch: Vec<StoreOp<i64, i64>> = ops
+            .into_iter()
+            .filter_map(|s| match s {
+                Step::Op(op) if seen.insert(*op.key()) => Some(op),
+                _ => None,
+            })
+            .collect();
+
+        let entries: Vec<(i64, i64)> = prefill.iter().map(|&k| (k, k)).collect();
+        let batched: ShardedStore<i64, i64> =
+            ShardedStore::from_entries(entries.clone(), shards);
+        let sequential: ShardedStore<i64, i64> = ShardedStore::from_entries(entries, shards);
+
+        let batch_outcomes = batched.apply_batch(batch.clone()).unwrap();
+        let point_outcomes: Vec<OpOutcome<i64>> = batch
+            .into_iter()
+            .map(|op| match op {
+                StoreOp::Insert { key, value } =>
+                    OpOutcome::Inserted(sequential.insert(key, value)),
+                StoreOp::InsertOrReplace { key, value } =>
+                    OpOutcome::Replaced(sequential.insert_or_replace(key, value)),
+                StoreOp::Remove { key } => OpOutcome::Removed(sequential.remove(&key)),
+                StoreOp::RemoveEntry { key } =>
+                    OpOutcome::RemovedEntry(sequential.remove_entry(&key)),
+            })
+            .collect();
+
+        prop_assert_eq!(batch_outcomes, point_outcomes);
+        prop_assert_eq!(batched.entries_quiescent(), sequential.entries_quiescent());
+        prop_assert_eq!(batched.len(), sequential.len());
+    }
+}
+
+/// Applies the pending batch to both store and oracle and panics unless
+/// the reported outcomes agree.
+fn flush(
+    store: &ShardedStore<i64, i64>,
+    oracle: &mut BTreeMap<i64, i64>,
+    batch: &mut Vec<StoreOp<i64, i64>>,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let ops = std::mem::take(batch);
+    let expected: Vec<OpOutcome<i64>> = ops.iter().map(|op| oracle_apply(oracle, op)).collect();
+    let outcomes = store.apply_batch(ops).unwrap();
+    assert_eq!(outcomes, expected);
+}

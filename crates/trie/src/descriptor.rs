@@ -177,7 +177,7 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Descriptor<K, V, A> {
             }
             acc
         });
-        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out.sort_by_key(|a| a.0);
         out
     }
 }
@@ -228,7 +228,8 @@ mod tests {
             processed: FirstWriteMap::new(),
             traverse: TraverseQueue::new(),
         };
-        d.processed.try_insert(1, Partial::Entries(vec![(9, 90), (1, 10)]));
+        d.processed
+            .try_insert(1, Partial::Entries(vec![(9, 90), (1, 10)]));
         d.processed.try_insert(2, Partial::Entries(vec![(4, 40)]));
         assert_eq!(d.assemble_entries(), vec![(1, 10), (4, 40), (9, 90)]);
     }

@@ -72,12 +72,7 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
     }
 
     /// `execute_until_timestamp` (Listing 1).
-    pub(crate) fn help_until(
-        &self,
-        parent: ParentRef<'_, K, V, A>,
-        ts: Timestamp,
-        guard: &Guard,
-    ) {
+    pub(crate) fn help_until(&self, parent: ParentRef<'_, K, V, A>, ts: Timestamp, guard: &Guard) {
         loop {
             let head = match parent {
                 ParentRef::Fictive => self.root_queue.peek(guard),
@@ -125,9 +120,7 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         match parent {
             ParentRef::Fictive => {
                 let descend = match &op.kind {
-                    OpKind::Insert { .. } | OpKind::Remove { .. } => {
-                        op.resolved_decision().success
-                    }
+                    OpKind::Insert { .. } | OpKind::Remove { .. } => op.resolved_decision().success,
                     _ => true,
                 };
                 if descend {
@@ -335,9 +328,9 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
                 match slot.compare_exchange(child, Owned::new(chain), AcqRel, Acquire, guard) {
                     Ok(_) => unsafe { guard.defer_destroy(child) },
                     Err(e) => {
-                        free_subtrie_now(e.new.into_shared(unsafe {
-                            crossbeam_epoch::unprotected()
-                        }));
+                        free_subtrie_now(
+                            e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }),
+                        );
                     }
                 }
             }
@@ -354,9 +347,9 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
                 ) {
                     Ok(_) => unsafe { guard.defer_destroy(child) },
                     Err(e) => {
-                        free_subtrie_now(e.new.into_shared(unsafe {
-                            crossbeam_epoch::unprotected()
-                        }));
+                        free_subtrie_now(
+                            e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }),
+                        );
                     }
                 }
             }
@@ -413,9 +406,9 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
                 match slot.compare_exchange(child, Owned::new(leaf), AcqRel, Acquire, guard) {
                     Ok(_) => unsafe { guard.defer_destroy(child) },
                     Err(e) => {
-                        free_subtrie_now(e.new.into_shared(unsafe {
-                            crossbeam_epoch::unprotected()
-                        }));
+                        free_subtrie_now(
+                            e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }),
+                        );
                     }
                 }
             }

@@ -488,8 +488,7 @@ mod tests {
         let entries: Vec<(u64, ())> = (0..200u64).map(|k| (k * 3, ())).collect();
         let (node, agg) = build_subtrie::<u64, (), Size>(&entries, Coverage::ROOT, &ids);
         assert_eq!(agg, 200);
-        let shared =
-            crossbeam_epoch::Owned::new(node).into_shared(unsafe { epoch::unprotected() });
+        let shared = crossbeam_epoch::Owned::new(node).into_shared(unsafe { epoch::unprotected() });
         let guard = epoch::pin();
         let mut out = Vec::new();
         collect_subtrie(shared, &mut out, &guard);

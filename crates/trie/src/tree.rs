@@ -101,18 +101,16 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
     pub fn from_entries<I: IntoIterator<Item = (K, V)>>(entries: I) -> Self {
         let trie = Self::new();
         let mut sorted: Vec<(K, V)> = entries.into_iter().collect();
-        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        sorted.sort_by_key(|a| a.0);
         sorted.dedup_by(|a, b| a.0 == b.0);
         let guard = crossbeam_epoch::pin();
         for (key, value) in &sorted {
             trie.presence.prefill(*key, value.clone(), &guard);
         }
         let (root, _agg) = build_subtrie::<K, V, A>(&sorted, Coverage::ROOT, &trie.ids);
-        let old = trie.root_child.swap(
-            crossbeam_epoch::Owned::new(root),
-            Ordering::AcqRel,
-            &guard,
-        );
+        let old = trie
+            .root_child
+            .swap(crossbeam_epoch::Owned::new(root), Ordering::AcqRel, &guard);
         free_subtrie_now(old);
         trie.len.store(sorted.len() as u64, Ordering::Relaxed);
         trie

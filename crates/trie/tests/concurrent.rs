@@ -151,7 +151,7 @@ fn helping_counters_register_under_contention() {
                     // All threads fight over a handful of keys so descriptors
                     // pile up in the same queues.
                     let key = xorshift(&mut state) % 4;
-                    if xorshift(&mut state) % 2 == 0 {
+                    if xorshift(&mut state).is_multiple_of(2) {
                         trie.insert(key, ());
                     } else {
                         trie.remove(&key);
@@ -177,8 +177,9 @@ fn mixed_range_queries_and_updates() {
     const THREADS: usize = 3;
     const OPS: usize = 2_000;
     const RANGE: u64 = 512;
-    let trie: Arc<WaitFreeTrie<u64>> =
-        Arc::new(WaitFreeTrie::from_entries((0..RANGE).step_by(4).map(|k| (k, ()))));
+    let trie: Arc<WaitFreeTrie<u64>> = Arc::new(WaitFreeTrie::from_entries(
+        (0..RANGE).step_by(4).map(|k| (k, ())),
+    ));
     let handles: Vec<_> = (0..THREADS)
         .map(|t| {
             let trie = Arc::clone(&trie);

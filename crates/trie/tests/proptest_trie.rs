@@ -93,9 +93,7 @@ proptest! {
         let trie: WaitFreeTrie<i64, i64, Sum> = WaitFreeTrie::new();
         let mut oracle: BTreeMap<i64, i64> = BTreeMap::new();
         for &(k, v) in &entries {
-            if !oracle.contains_key(&k) {
-                oracle.insert(k, v);
-            }
+            oracle.entry(k).or_insert(v);
             trie.insert(k, v);
         }
         for &(a, b) in &ranges {

@@ -20,6 +20,7 @@ use wft_core::{RootQueueKind, TreeConfig, WaitFreeTree};
 use wft_lockbased::LockedRangeTree;
 use wft_lockfree::LockFreeBst;
 use wft_persistent::PersistentRangeTree;
+use wft_store::ShardedStore;
 use wft_trie::WaitFreeTrie;
 
 /// The common operation surface used by every experiment.
@@ -130,6 +131,27 @@ impl ConcurrentSet for LockFreeBst<i64> {
     }
 }
 
+impl ConcurrentSet for ShardedStore<i64> {
+    fn insert(&self, key: i64) -> bool {
+        ShardedStore::insert(self, key, ())
+    }
+    fn remove(&self, key: i64) -> bool {
+        ShardedStore::remove(self, &key)
+    }
+    fn contains(&self, key: i64) -> bool {
+        ShardedStore::contains(self, &key)
+    }
+    fn count(&self, min: i64, max: i64) -> u64 {
+        ShardedStore::<i64>::count(self, min, max)
+    }
+    fn count_via_collect(&self, min: i64, max: i64) -> u64 {
+        ShardedStore::collect_range(self, min, max).len() as u64
+    }
+    fn len(&self) -> u64 {
+        ShardedStore::len(self)
+    }
+}
+
 impl ConcurrentSet for LockedRangeTree<i64> {
     fn insert(&self, key: i64) -> bool {
         LockedRangeTree::insert(self, key, ())
@@ -168,17 +190,21 @@ pub enum TreeImpl {
     /// The wait-free binary trie: the same helping scheme with bit-routing
     /// (the paper's §IV future-work item).
     Trie,
+    /// The range-partitioned sharded store (`wft-store`): one wait-free
+    /// tree per keyspace slice, one shard per harness thread.
+    Sharded,
 }
 
 impl TreeImpl {
     /// All implementations, in the order tables are printed.
-    pub const ALL: [TreeImpl; 6] = [
+    pub const ALL: [TreeImpl; 7] = [
         TreeImpl::WaitFree,
         TreeImpl::WaitFreeWfRoot,
         TreeImpl::Persistent,
         TreeImpl::Locked,
         TreeImpl::LockFreeLinear,
         TreeImpl::Trie,
+        TreeImpl::Sharded,
     ];
 
     /// The implementations the paper itself evaluates (Figures 7–9).
@@ -193,6 +219,7 @@ impl TreeImpl {
             TreeImpl::Locked => "locked-tree",
             TreeImpl::LockFreeLinear => "lock-free-bst(linear)",
             TreeImpl::Trie => "wait-free-trie",
+            TreeImpl::Sharded => "sharded-store",
         }
     }
 
@@ -217,6 +244,9 @@ impl TreeImpl {
             TreeImpl::Locked => Arc::new(LockedRangeTree::<i64>::from_entries(pairs)),
             TreeImpl::LockFreeLinear => Arc::new(LockFreeBst::<i64>::from_entries(pairs)),
             TreeImpl::Trie => Arc::new(WaitFreeTrie::<i64>::from_entries(pairs)),
+            TreeImpl::Sharded => {
+                Arc::new(ShardedStore::<i64>::from_entries(pairs, max_threads.max(1)))
+            }
         }
     }
 }

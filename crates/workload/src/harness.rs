@@ -104,7 +104,8 @@ pub fn timed_run(
         let barrier = Arc::clone(&barrier);
         let spec = *spec;
         handles.push(std::thread::spawn(move || {
-            let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)));
             barrier.wait();
             let mut ops = 0u64;
             // Check the stop flag every few operations to keep the overhead
@@ -206,7 +207,11 @@ mod tests {
         let set = TreeImpl::WaitFree.build(&prefill, 2);
         let before = set.len();
         let _ = timed_run(Arc::clone(&set), &spec, 2, Duration::from_millis(50), 3);
-        assert_eq!(set.len(), before, "contains-only workload must not modify the tree");
+        assert_eq!(
+            set.len(),
+            before,
+            "contains-only workload must not modify the tree"
+        );
     }
 
     #[test]

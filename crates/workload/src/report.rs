@@ -51,8 +51,9 @@ pub fn render_table(title: &str, rows: &[FigureRow]) -> String {
 
 /// Renders rows as CSV with a header line.
 pub fn render_csv(rows: &[FigureRow]) -> String {
-    let mut out =
-        String::from("workload,implementation,threads,ops_per_sec,min_ops_per_sec,max_ops_per_sec,runs\n");
+    let mut out = String::from(
+        "workload,implementation,threads,ops_per_sec,min_ops_per_sec,max_ops_per_sec,runs\n",
+    );
     for row in rows {
         out.push_str(&format!(
             "{},{},{},{:.2},{:.2},{:.2},{}\n",

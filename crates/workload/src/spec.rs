@@ -184,7 +184,11 @@ impl WorkloadSpec {
     /// width, used to compare `count` against `collect().len()`.
     pub fn count_only(key_range: i64, range_fraction: f64, via_collect: bool) -> Self {
         WorkloadSpec {
-            name: if via_collect { "collect-count" } else { "agg-count" },
+            name: if via_collect {
+                "collect-count"
+            } else {
+                "agg-count"
+            },
             key_range,
             prefill: Prefill::Bernoulli { probability: 0.5 },
             distribution: KeyDistribution::UniformInRange,
@@ -272,7 +276,10 @@ mod tests {
         assert!((updates.mix.remove - 0.5).abs() < f64::EPSILON);
 
         let inserts = WorkloadSpec::successful_insert();
-        assert!(matches!(inserts.prefill, Prefill::RandomCount { count: 1_000_000 }));
+        assert!(matches!(
+            inserts.prefill,
+            Prefill::RandomCount { count: 1_000_000 }
+        ));
         assert_eq!(inserts.distribution, KeyDistribution::UniformFullRange);
     }
 
@@ -285,7 +292,10 @@ mod tests {
             (0.45..0.55).contains(&frac),
             "prefill fraction {frac} too far from 0.5"
         );
-        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be unique & sorted");
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be unique & sorted"
+        );
     }
 
     #[test]
@@ -311,7 +321,11 @@ mod tests {
             }
         }
         let frac = |i: usize| counts[i] as f64 / N as f64;
-        assert!((frac(0) - 0.45).abs() < 0.02, "contains fraction {}", frac(0));
+        assert!(
+            (frac(0) - 0.45).abs() < 0.02,
+            "contains fraction {}",
+            frac(0)
+        );
         assert!((frac(3) - 0.10).abs() < 0.02, "count fraction {}", frac(3));
         assert_eq!(counts[4], 0);
     }
@@ -324,7 +338,10 @@ mod tests {
             if let Op::Count(lo, hi) = spec.next_op(&mut rng) {
                 assert!(lo >= 1);
                 assert!(hi >= lo);
-                assert!(hi - lo >= 100 - 1, "width must match the requested fraction");
+                assert!(
+                    hi - lo >= 100 - 1,
+                    "width must match the requested fraction"
+                );
             } else {
                 panic!("count-only workload must only generate count ops");
             }
@@ -341,6 +358,9 @@ mod tests {
                 keys.insert(k);
             }
         }
-        assert!(keys.len() > 9_990, "full-range keys must be essentially unique");
+        assert!(
+            keys.len() > 9_990,
+            "full-range keys must be essentially unique"
+        );
     }
 }

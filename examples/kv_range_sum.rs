@@ -65,7 +65,12 @@ fn main() {
         PersistentRangeTree::from_entries(entries.clone());
     let oracle: ReferenceMap<i64, i64> = ReferenceMap::from_entries(entries);
 
-    for (lo, hi) in [(0, ACCOUNTS - 1), (100, 999), (5_000, 5_099), (9_990, 20_000)] {
+    for (lo, hi) in [
+        (0, ACCOUNTS - 1),
+        (100, 999),
+        (5_000, 5_099),
+        (9_990, 20_000),
+    ] {
         let a = ledger.range_agg(lo, hi);
         let b = persistent.range_agg(lo, hi);
         let c = oracle.range_agg::<Sum>(lo, hi);

@@ -1,0 +1,183 @@
+//! The sharded store serving a mixed ingest/analytics workload.
+//!
+//! Run with `cargo run --release --example sharded_store`.
+//!
+//! A production deployment of the paper's tree cannot live on a single
+//! root: every update descriptor passes through the root queue, so one tree
+//! caps write throughput no matter how many cores are available. This
+//! scenario runs `wft-store`'s range-partitioned [`ShardedStore`] the way a
+//! serving system would:
+//!
+//! * boundaries are chosen from a *sample* of the expected key
+//!   distribution (deliberately skewed here, to show equi-depth splitting);
+//! * writer threads commit their updates through the two-phase
+//!   [`ShardedStore::apply_batch`] — including batches that fail validation
+//!   and must leave the store untouched;
+//! * an analytics thread concurrently issues cross-shard `count` and
+//!   `range_agg` queries that are split at the shard boundaries;
+//! * at the end, the store's invariants are checked and its aggregate
+//!   queries are cross-checked against the sequential oracle.
+
+use std::sync::Arc;
+use std::thread;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wait_free_range_trees::seq::ReferenceMap;
+use wait_free_range_trees::store::{Pair, ShardedStore, Size, StoreConfig, StoreOp, Sum};
+
+const SHARDS: usize = 8;
+const WRITERS: u64 = 4;
+const BATCHES_PER_WRITER: u64 = 200;
+const BATCH_SIZE: i64 = 128;
+const KEYSPACE: i64 = 1 << 20;
+
+/// The skewed key distribution the service expects: 75% of traffic hits the
+/// low quarter of the keyspace.
+fn sample_key(rng: &mut StdRng) -> i64 {
+    if rng.gen_bool(0.75) {
+        rng.gen_range(0..KEYSPACE / 4)
+    } else {
+        rng.gen_range(KEYSPACE / 4..KEYSPACE)
+    }
+}
+
+fn main() {
+    // Boundary selection from a sampled distribution: load the store with a
+    // sample of the traffic so `from_entries` picks equi-depth split keys.
+    let mut rng = StdRng::seed_from_u64(42);
+    let sample: Vec<(i64, i64)> = (0..50_000).map(|_| (sample_key(&mut rng), 0)).collect();
+    let store: Arc<ShardedStore<i64, i64, Pair<Size, Sum>>> = Arc::new(
+        ShardedStore::from_entries_with_config(sample, SHARDS, StoreConfig::default()),
+    );
+    println!(
+        "boundaries picked from the sampled distribution: {:?}",
+        store.boundaries()
+    );
+    let lens = store.shard_lens();
+    let (min_len, max_len) = (
+        lens.iter().min().copied().unwrap_or(0),
+        lens.iter().max().copied().unwrap_or(0),
+    );
+    println!("initial shard sizes {lens:?} (max/min = {max_len}/{min_len})");
+    assert!(
+        max_len <= 2 * min_len.max(1),
+        "equi-depth splitting must keep shards balanced despite the skew"
+    );
+
+    // Writers: each owns a disjoint key stripe (writer w uses keys with
+    // `key % WRITERS == w`) and commits batched upserts/deletes.
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1_000 + w);
+                let mut committed = 0u64;
+                let mut rejected = 0u64;
+                for round in 0..BATCHES_PER_WRITER {
+                    // Batch keys stay in this writer's stripe (key ≡ w mod
+                    // WRITERS) and must be distinct within the batch — the
+                    // two-phase validator rejects intra-batch duplicates.
+                    let mut keys = std::collections::HashSet::new();
+                    while (keys.len() as i64) < BATCH_SIZE {
+                        let key =
+                            (sample_key(&mut rng) / WRITERS as i64) * WRITERS as i64 + w as i64;
+                        keys.insert(key % KEYSPACE);
+                    }
+                    let mut batch: Vec<StoreOp<i64, i64>> = keys
+                        .into_iter()
+                        .map(|key| {
+                            if rng.gen_bool(0.7) {
+                                StoreOp::InsertOrReplace {
+                                    key,
+                                    value: round as i64,
+                                }
+                            } else {
+                                StoreOp::Remove { key }
+                            }
+                        })
+                        .collect();
+                    // Every 16th round, corrupt the batch with a duplicate:
+                    // phase-one validation must reject it wholesale, before
+                    // any shard is touched.
+                    if round % 16 == 0 {
+                        let dup = *batch[0].key();
+                        batch.push(StoreOp::Remove { key: dup });
+                        assert!(store.apply_batch(batch).is_err());
+                        rejected += 1;
+                        continue;
+                    }
+                    match store.apply_batch(batch) {
+                        Ok(outcomes) => {
+                            assert_eq!(outcomes.len(), BATCH_SIZE as usize);
+                            committed += 1;
+                        }
+                        Err(e) => panic!("clean batch rejected: {e}"),
+                    }
+                }
+                (committed, rejected)
+            })
+        })
+        .collect();
+
+    // Analytics: cross-shard aggregates while the writers hammer the store.
+    let analyst = {
+        let store = Arc::clone(&store);
+        thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut queries = 0u64;
+            for _ in 0..2_000 {
+                // Wide aggregate queries are cheap — O(log n) per
+                // overlapped shard — so they can straddle many boundaries.
+                let lo = rng.gen_range(0..KEYSPACE / 2);
+                let hi = lo + rng.gen_range(0..KEYSPACE / 2);
+                let count = store.count(lo, hi);
+                assert!(count <= store.len() + 1024);
+                // Collect queries report every entry in the range; keep
+                // them narrow (they are linear in the result size).
+                let narrow_hi = lo + rng.gen_range(0i64..4_096);
+                let collected = store.collect_range(lo, narrow_hi);
+                assert!(collected.windows(2).all(|w| w[0].0 < w[1].0));
+                queries += 1;
+            }
+            queries
+        })
+    };
+
+    let mut committed_total = 0u64;
+    let mut rejected_total = 0u64;
+    for writer in writers {
+        let (committed, rejected) = writer.join().unwrap();
+        committed_total += committed;
+        rejected_total += rejected;
+    }
+    let queries = analyst.join().unwrap();
+
+    // Quiescent verification: shard invariants, key placement, and oracle
+    // agreement on the aggregate queries.
+    store.check_invariants();
+    let entries = store.entries_quiescent();
+    let oracle: ReferenceMap<i64, i64> = ReferenceMap::from_entries(entries.clone());
+    assert_eq!(store.len(), oracle.len());
+    for (lo, hi) in [
+        (0, KEYSPACE - 1),
+        (0, KEYSPACE / 4),
+        (KEYSPACE / 2, KEYSPACE),
+    ] {
+        assert_eq!(store.count(lo, hi), oracle.count(lo, hi));
+        assert_eq!(store.range_agg(lo, hi).1, oracle.range_agg::<Sum>(lo, hi));
+    }
+
+    println!(
+        "{committed_total} batches committed, {rejected_total} rejected wholesale, \
+         {queries} concurrent cross-shard queries"
+    );
+    println!(
+        "final: {} keys across {} shards {:?}",
+        store.len(),
+        store.num_shards(),
+        store.shard_lens()
+    );
+    println!("sharded_store finished successfully");
+}

@@ -44,7 +44,7 @@ fn main() {
                 let mut rng = StdRng::seed_from_u64(1000 + shard as u64);
                 let mut clock = shard * 1_000_000_000;
                 for _ in 0..REQUESTS_PER_THREAD {
-                    clock += rng.gen_range(1..50);
+                    clock += rng.gen_range(1i64..50);
                     let bytes = rng.gen_range(100..10_000);
                     index.insert(clock, bytes);
                 }

@@ -20,6 +20,9 @@
 //! * [`trie`](wft_trie) — a wait-free binary trie with aggregate range
 //!   queries: the same helping scheme instantiated for bit-routing (the
 //!   paper's §IV future-work item);
+//! * [`store`](wft_store) — the range-partitioned sharded store layering
+//!   two-phase batched writes and cross-shard aggregate queries over
+//!   independent wait-free tree shards;
 //! * [`workload`](wft_workload) — workload generators and the timed
 //!   throughput harness behind the experiment suite.
 //!
@@ -35,6 +38,7 @@ pub use wft_lockfree as lockfree;
 pub use wft_persistent as persistent;
 pub use wft_queue as queue;
 pub use wft_seq as seq;
+pub use wft_store as store;
 pub use wft_trie as trie;
 pub use wft_workload as workload;
 
@@ -43,3 +47,6 @@ pub use wft_core::WaitFreeTree;
 
 /// Convenience re-export of the trie instantiation of the same scheme.
 pub use wft_trie::WaitFreeTrie;
+
+/// Convenience re-export of the sharded store layered over the tree.
+pub use wft_store::{ShardedStore, StoreOp};

@@ -23,7 +23,10 @@ fn window_population_stays_consistent(config: TreeConfig) {
     const WRITERS: i64 = 2;
 
     // Pre-fill every even key of each writer's stripe.
-    let prefill: Vec<(i64, ())> = (0..WINDOW).filter(|k| k % 2 == 0).map(|k| (k, ())).collect();
+    let prefill: Vec<(i64, ())> = (0..WINDOW)
+        .filter(|k| k % 2 == 0)
+        .map(|k| (k, ()))
+        .collect();
     let expected = prefill.len() as u64;
     let tree: Arc<WaitFreeTree<i64>> =
         Arc::new(WaitFreeTree::from_entries_with_config(prefill, config));

@@ -46,51 +46,127 @@ fn apply_everywhere(ops: &[Op]) {
         match *op {
             Op::Insert(k) => {
                 let expect = oracle.insert(k, ());
-                assert_eq!(wait_free.insert(k, ()), expect, "wait-free insert step {step}");
-                assert_eq!(wait_free_wf.insert(k, ()), expect, "wf-root insert step {step}");
+                assert_eq!(
+                    wait_free.insert(k, ()),
+                    expect,
+                    "wait-free insert step {step}"
+                );
+                assert_eq!(
+                    wait_free_wf.insert(k, ()),
+                    expect,
+                    "wf-root insert step {step}"
+                );
                 assert_eq!(trie.insert(k, ()), expect, "trie insert step {step}");
-                assert_eq!(lockfree.insert(k, ()), expect, "lock-free insert step {step}");
-                assert_eq!(persistent.insert(k, ()), expect, "persistent insert step {step}");
+                assert_eq!(
+                    lockfree.insert(k, ()),
+                    expect,
+                    "lock-free insert step {step}"
+                );
+                assert_eq!(
+                    persistent.insert(k, ()),
+                    expect,
+                    "persistent insert step {step}"
+                );
                 assert_eq!(locked.insert(k, ()), expect, "locked insert step {step}");
                 assert_eq!(seq.insert(k, ()), expect, "seq insert step {step}");
             }
             Op::Remove(k) => {
                 let expect = oracle.remove(&k);
                 assert_eq!(wait_free.remove(&k), expect, "wait-free remove step {step}");
-                assert_eq!(wait_free_wf.remove(&k), expect, "wf-root remove step {step}");
+                assert_eq!(
+                    wait_free_wf.remove(&k),
+                    expect,
+                    "wf-root remove step {step}"
+                );
                 assert_eq!(trie.remove(&k), expect, "trie remove step {step}");
                 assert_eq!(lockfree.remove(&k), expect, "lock-free remove step {step}");
-                assert_eq!(persistent.remove(&k), expect, "persistent remove step {step}");
+                assert_eq!(
+                    persistent.remove(&k),
+                    expect,
+                    "persistent remove step {step}"
+                );
                 assert_eq!(locked.remove(&k), expect, "locked remove step {step}");
                 assert_eq!(seq.remove(&k), expect, "seq remove step {step}");
             }
             Op::Contains(k) => {
                 let expect = oracle.contains(&k);
-                assert_eq!(wait_free.contains(&k), expect, "wait-free contains step {step}");
-                assert_eq!(wait_free_wf.contains(&k), expect, "wf-root contains step {step}");
+                assert_eq!(
+                    wait_free.contains(&k),
+                    expect,
+                    "wait-free contains step {step}"
+                );
+                assert_eq!(
+                    wait_free_wf.contains(&k),
+                    expect,
+                    "wf-root contains step {step}"
+                );
                 assert_eq!(trie.contains(&k), expect, "trie contains step {step}");
-                assert_eq!(lockfree.contains(&k), expect, "lock-free contains step {step}");
-                assert_eq!(persistent.contains(&k), expect, "persistent contains step {step}");
+                assert_eq!(
+                    lockfree.contains(&k),
+                    expect,
+                    "lock-free contains step {step}"
+                );
+                assert_eq!(
+                    persistent.contains(&k),
+                    expect,
+                    "persistent contains step {step}"
+                );
                 assert_eq!(locked.contains(&k), expect, "locked contains step {step}");
                 assert_eq!(seq.contains(&k), expect, "seq contains step {step}");
             }
             Op::Count(lo, hi) => {
                 let expect = oracle.count(lo, hi);
-                assert_eq!(wait_free.count(lo, hi), expect, "wait-free count step {step}");
-                assert_eq!(wait_free_wf.count(lo, hi), expect, "wf-root count step {step}");
+                assert_eq!(
+                    wait_free.count(lo, hi),
+                    expect,
+                    "wait-free count step {step}"
+                );
+                assert_eq!(
+                    wait_free_wf.count(lo, hi),
+                    expect,
+                    "wf-root count step {step}"
+                );
                 assert_eq!(trie.count(lo, hi), expect, "trie count step {step}");
-                assert_eq!(lockfree.count(lo, hi), expect, "lock-free count step {step}");
-                assert_eq!(persistent.count(lo, hi), expect, "persistent count step {step}");
+                assert_eq!(
+                    lockfree.count(lo, hi),
+                    expect,
+                    "lock-free count step {step}"
+                );
+                assert_eq!(
+                    persistent.count(lo, hi),
+                    expect,
+                    "persistent count step {step}"
+                );
                 assert_eq!(locked.count(lo, hi), expect, "locked count step {step}");
                 assert_eq!(seq.count(lo, hi), expect, "seq count step {step}");
             }
             Op::Collect(lo, hi) => {
                 let expect = oracle.collect_range(lo, hi);
-                assert_eq!(wait_free.collect_range(lo, hi), expect, "wait-free collect step {step}");
-                assert_eq!(trie.collect_range(lo, hi), expect, "trie collect step {step}");
-                assert_eq!(lockfree.collect_range(lo, hi), expect, "lock-free collect step {step}");
-                assert_eq!(persistent.collect_range(lo, hi), expect, "persistent collect step {step}");
-                assert_eq!(locked.collect_range(lo, hi), expect, "locked collect step {step}");
+                assert_eq!(
+                    wait_free.collect_range(lo, hi),
+                    expect,
+                    "wait-free collect step {step}"
+                );
+                assert_eq!(
+                    trie.collect_range(lo, hi),
+                    expect,
+                    "trie collect step {step}"
+                );
+                assert_eq!(
+                    lockfree.collect_range(lo, hi),
+                    expect,
+                    "lock-free collect step {step}"
+                );
+                assert_eq!(
+                    persistent.collect_range(lo, hi),
+                    expect,
+                    "persistent collect step {step}"
+                );
+                assert_eq!(
+                    locked.collect_range(lo, hi),
+                    expect,
+                    "locked collect step {step}"
+                );
                 assert_eq!(seq.collect_range(lo, hi), expect, "seq collect step {step}");
             }
         }
@@ -125,7 +201,7 @@ fn random_sequences_agree_across_all_implementations() {
                     2 => Op::Remove(k),
                     3 => Op::Contains(k),
                     _ => {
-                        let hi = k + rng.gen_range(0..100);
+                        let hi = k + rng.gen_range(0i64..100);
                         if rng.gen_bool(0.7) {
                             Op::Count(k, hi)
                         } else {

@@ -178,7 +178,6 @@ fn checker_rejects_a_broken_implementation() {
         let ok = set.insert(1);
         r.respond(token, RangeSetRet::Bool(ok));
     });
-    let verdict =
-        check_history_with_initial::<RangeSetSpec>(&history, RangeSetSpec::prefilled([]));
+    let verdict = check_history_with_initial::<RangeSetSpec>(&history, RangeSetSpec::prefilled([]));
     assert!(!verdict.is_linearizable());
 }

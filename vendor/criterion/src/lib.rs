@@ -1,0 +1,279 @@
+//! A vendored stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Bench functions keep their exact criterion shape (`Criterion`,
+//! `benchmark_group`, `bench_with_input`, `Bencher::iter`,
+//! `criterion_group!` / `criterion_main!`), but the statistics engine is
+//! replaced by a simple timed loop: every benchmark runs a short warm-up,
+//! then iterates until a time budget is spent, and prints the mean
+//! iteration time (plus throughput when configured). That is enough to
+//! compare implementations locally and to keep `cargo bench` working
+//! without crates.io access.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How many iterations [`Bencher::iter`] runs at most per benchmark.
+const MAX_ITERS: u64 = 10_000;
+
+/// The per-benchmark measurement budget (can be overridden via
+/// `measurement_time`, clamped to keep full suites fast offline).
+const DEFAULT_BUDGET: Duration = Duration::from_millis(200);
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter value only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; only a hint here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (fresh input per iteration).
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The timing engine handed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    /// Mean nanoseconds per iteration and iteration count of the last run.
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly within the time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < MAX_ITERS {
+            std::hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        let nanos = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.result = Some((nanos, iters));
+    }
+
+    /// Times `routine` with a fresh `setup` product per iteration.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while iters < MAX_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+            if total >= self.budget {
+                break;
+            }
+        }
+        let nanos = total.as_nanos() as f64 / iters as f64;
+        self.result = Some((nanos, iters));
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the target sample count (accepted for API parity; the shim's
+    /// loop is time-bounded instead).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up time (accepted for API parity).
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        // Offline benches favour completing the whole suite over tight
+        // confidence intervals; cap the per-bench budget.
+        self.budget = duration.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            budget: self.budget,
+            result: None,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            budget: self.budget,
+            result: None,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Ends the group (printing happens per benchmark).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        report_line(&self.name, id, bencher, self.throughput);
+    }
+}
+
+fn report_line(group: &str, id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let prefix = if group.is_empty() {
+        id.to_owned()
+    } else {
+        format!("{group}/{id}")
+    };
+    let Some((nanos, iters)) = bencher.result else {
+        println!("{prefix}: no measurement recorded");
+        return;
+    };
+    let mut line = format!("{prefix}: {} per iter ({iters} iters)", format_nanos(nanos));
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let per_sec = count as f64 / (nanos / 1e9);
+        line.push_str(&format!(", {per_sec:.0} {unit}/s"));
+    }
+    println!("{line}");
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: DEFAULT_BUDGET,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            budget: DEFAULT_BUDGET,
+            result: None,
+        };
+        f(&mut bencher);
+        report_line("", id, &bencher, None);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = { let _ = &$cfg; $crate::Criterion::default() };
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

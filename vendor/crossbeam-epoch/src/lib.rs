@@ -1,0 +1,715 @@
+//! A vendored, self-contained implementation of the subset of the
+//! `crossbeam-epoch` API used by this workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this shim as a path dependency under the same crate name. It provides
+//! tagged atomic pointers ([`Atomic`], [`Owned`], [`Shared`]) and
+//! epoch-based memory reclamation ([`pin`], [`Guard::defer_destroy`]) with
+//! the classic three-epoch scheme:
+//!
+//! * every participating thread registers a [`Local`] slot holding its
+//!   current pinned epoch;
+//! * retired garbage is stamped with the global epoch at flush time;
+//! * the global epoch only advances when every pinned participant has
+//!   observed the current epoch, so garbage stamped `e` may be reclaimed
+//!   once the global epoch reaches `e + 2` — at that point no live guard
+//!   can still hold a reference into it.
+//!
+//! The implementation favours obvious correctness over throughput: all
+//! epoch bookkeeping uses `SeqCst`, and garbage is flushed to a global
+//! mutex-protected list in amortised batches.
+
+use std::cell::{Cell, UnsafeCell};
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem;
+use std::ptr;
+use std::sync::atomic::{fence, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of deferred destructions buffered thread-locally before they are
+/// flushed to the global garbage list (and a collection cycle is attempted).
+const FLUSH_THRESHOLD: usize = 64;
+
+#[inline]
+fn tag_mask<T>() -> usize {
+    mem::align_of::<T>() - 1
+}
+
+#[inline]
+fn decompose<T>(data: usize) -> (usize, usize) {
+    (data & !tag_mask::<T>(), data & tag_mask::<T>())
+}
+
+// ---------------------------------------------------------------------------
+// Deferred destruction
+// ---------------------------------------------------------------------------
+
+struct Deferred {
+    call: unsafe fn(usize),
+    data: usize,
+}
+
+// Garbage is executed by whichever thread triggers a collection; the
+// structures retired through this shim are owned by the shared data
+// structure, not by any one thread.
+unsafe impl Send for Deferred {}
+
+impl Deferred {
+    unsafe fn execute(self) {
+        unsafe { (self.call)(self.data) }
+    }
+}
+
+unsafe fn drop_box<T>(raw: usize) {
+    unsafe { drop(Box::from_raw(raw as *mut T)) }
+}
+
+// ---------------------------------------------------------------------------
+// Global and per-thread epoch state
+// ---------------------------------------------------------------------------
+
+struct Local {
+    /// `0` when not pinned, otherwise `(epoch << 1) | 1`.
+    epoch: AtomicUsize,
+    guard_count: Cell<usize>,
+    buffer: UnsafeCell<Vec<Deferred>>,
+}
+
+// `Local` is shared with the registry only so the collector can read
+// `epoch`; the `Cell`/`UnsafeCell` fields are touched exclusively by the
+// owning thread.
+unsafe impl Sync for Local {}
+unsafe impl Send for Local {}
+
+struct Global {
+    epoch: AtomicUsize,
+    registry: Mutex<Vec<Arc<Local>>>,
+    garbage: Mutex<Vec<(usize, Vec<Deferred>)>>,
+}
+
+fn global() -> &'static Global {
+    static GLOBAL: OnceLock<Global> = OnceLock::new();
+    GLOBAL.get_or_init(|| Global {
+        epoch: AtomicUsize::new(1),
+        registry: Mutex::new(Vec::new()),
+        garbage: Mutex::new(Vec::new()),
+    })
+}
+
+struct Handle {
+    local: Arc<Local>,
+}
+
+impl Drop for Handle {
+    fn drop(&mut self) {
+        // Flush whatever the dying thread still buffers, then unregister.
+        flush_and_collect(&self.local);
+        let mut registry = global().registry.lock().unwrap();
+        registry.retain(|l| !Arc::ptr_eq(l, &self.local));
+    }
+}
+
+thread_local! {
+    static HANDLE: Handle = {
+        let local = Arc::new(Local {
+            epoch: AtomicUsize::new(0),
+            guard_count: Cell::new(0),
+            buffer: UnsafeCell::new(Vec::new()),
+        });
+        global().registry.lock().unwrap().push(Arc::clone(&local));
+        Handle { local }
+    };
+}
+
+/// Moves the thread-local buffer into the global garbage list (stamped with
+/// the current global epoch), then attempts to advance the epoch and free
+/// everything old enough to be unreachable.
+fn flush_and_collect(local: &Local) {
+    let g = global();
+    let buffered = {
+        let buffer = unsafe { &mut *local.buffer.get() };
+        if buffer.is_empty() {
+            None
+        } else {
+            Some(mem::take(buffer))
+        }
+    };
+
+    let mut ready = Vec::new();
+    {
+        let mut garbage = g.garbage.lock().unwrap();
+        if let Some(bag) = buffered {
+            let stamp = g.epoch.load(Ordering::SeqCst);
+            garbage.push((stamp, bag));
+        }
+
+        // Try to advance the global epoch: allowed only when every pinned
+        // participant has observed the current epoch.
+        let current = g.epoch.load(Ordering::SeqCst);
+        let registry = g.registry.lock().unwrap();
+        let all_current = registry.iter().all(|l| {
+            let e = l.epoch.load(Ordering::SeqCst);
+            e & 1 == 0 || e >> 1 == current
+        });
+        drop(registry);
+        if all_current {
+            let _ =
+                g.epoch
+                    .compare_exchange(current, current + 1, Ordering::SeqCst, Ordering::SeqCst);
+        }
+
+        let now = g.epoch.load(Ordering::SeqCst);
+        garbage.retain_mut(|(stamp, bag)| {
+            if stamp.wrapping_add(2) <= now {
+                ready.append(bag);
+                false
+            } else {
+                true
+            }
+        });
+    }
+    // Run destructors outside the locks: they may themselves retire more
+    // garbage (nodes dropping child queues), which re-enters this module.
+    for d in ready {
+        unsafe { d.execute() };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Guard
+// ---------------------------------------------------------------------------
+
+/// A handle that keeps the current thread pinned to an epoch.
+///
+/// While a guard exists, memory retired via [`Guard::defer_destroy`] by any
+/// thread after the pin cannot be freed, so [`Shared`] pointers loaded
+/// through it remain valid.
+pub struct Guard {
+    // A raw pointer (never a reference) into the owning thread's `Local`;
+    // also makes `Guard` `!Send`/`!Sync`, which is load-bearing: `drop`
+    // and `defer_destroy` mutate the `Cell`/`UnsafeCell` fields that only
+    // the owning thread may touch.
+    local: *const Local,
+}
+
+/// Pins the current thread and returns a guard for loading shared pointers.
+pub fn pin() -> Guard {
+    HANDLE.with(|h| {
+        let local = &h.local;
+        let count = local.guard_count.get();
+        if count == 0 {
+            let g = global();
+            loop {
+                let epoch = g.epoch.load(Ordering::SeqCst);
+                local.epoch.store((epoch << 1) | 1, Ordering::SeqCst);
+                fence(Ordering::SeqCst);
+                if g.epoch.load(Ordering::SeqCst) == epoch {
+                    break;
+                }
+                // The epoch moved between the read and our announcement:
+                // re-announce so the collector never sees us lagging.
+            }
+        }
+        local.guard_count.set(count + 1);
+        Guard {
+            local: Arc::as_ptr(local),
+        }
+    })
+}
+
+/// Returns a dummy guard that does not pin anything.
+///
+/// # Safety
+///
+/// Callers must guarantee exclusive access to the data structure (as in
+/// `Drop` implementations); deferred destructions through this guard run
+/// immediately.
+pub unsafe fn unprotected() -> &'static Guard {
+    // Private wrapper so only this null-local sentinel is `Sync`; a guard
+    // with a null `local` owns no thread-local state, so sharing it is
+    // harmless (deferred destructions through it run immediately).
+    struct UnprotectedGuard(Guard);
+    unsafe impl Sync for UnprotectedGuard {}
+    static UNPROTECTED: UnprotectedGuard = UnprotectedGuard(Guard { local: ptr::null() });
+    &UNPROTECTED.0
+}
+
+impl Guard {
+    /// Schedules the pointed-to object to be dropped once no pinned thread
+    /// can still hold a reference to it.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be a valid, uniquely-retired pointer that is no longer
+    /// reachable for threads pinning after this call.
+    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        let (raw, _) = decompose::<T>(ptr.data);
+        if raw == 0 {
+            return;
+        }
+        let deferred = Deferred {
+            call: drop_box::<T>,
+            data: raw,
+        };
+        if self.local.is_null() {
+            // Unprotected guard: the caller asserts exclusive access.
+            unsafe { deferred.execute() };
+            return;
+        }
+        let local = unsafe { &*self.local };
+        let should_flush = {
+            let buffer = unsafe { &mut *local.buffer.get() };
+            buffer.push(deferred);
+            buffer.len() >= FLUSH_THRESHOLD
+        };
+        if should_flush {
+            flush_and_collect(local);
+        }
+    }
+
+    /// Flushes this thread's buffered garbage and attempts a collection.
+    pub fn flush(&self) {
+        if let Some(local) = unsafe { self.local.as_ref() } {
+            flush_and_collect(local);
+        }
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if let Some(local) = unsafe { self.local.as_ref() } {
+            let count = local.guard_count.get();
+            local.guard_count.set(count - 1);
+            if count == 1 {
+                local.epoch.store(0, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pointer types
+// ---------------------------------------------------------------------------
+
+/// Types that can be moved into an [`Atomic`] slot.
+pub trait Pointer<T> {
+    /// Consumes the pointer, returning its raw tagged representation.
+    fn into_usize(self) -> usize;
+    /// Rebuilds the pointer from a raw tagged representation.
+    ///
+    /// # Safety
+    ///
+    /// `data` must come from a matching [`Pointer::into_usize`] call.
+    unsafe fn from_usize(data: usize) -> Self;
+}
+
+/// An owned, heap-allocated object that has not been published yet.
+pub struct Owned<T> {
+    data: usize,
+    _marker: PhantomData<Box<T>>,
+}
+
+impl<T> Owned<T> {
+    /// Allocates `value` on the heap.
+    pub fn new(value: T) -> Self {
+        Owned {
+            data: Box::into_raw(Box::new(value)) as usize,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Returns the same allocation with the tag bits set to `tag`.
+    pub fn with_tag(self, tag: usize) -> Self {
+        let data = self.into_usize();
+        let (raw, _) = decompose::<T>(data);
+        Owned {
+            data: raw | (tag & tag_mask::<T>()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Publishes the allocation, converting it into a [`Shared`].
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            data: self.into_usize(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Converts into the underlying box, discarding the tag.
+    pub fn into_box(self) -> Box<T> {
+        let (raw, _) = decompose::<T>(self.into_usize());
+        unsafe { Box::from_raw(raw as *mut T) }
+    }
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_usize(self) -> usize {
+        let data = self.data;
+        mem::forget(self);
+        data
+    }
+    unsafe fn from_usize(data: usize) -> Self {
+        Owned {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        let (raw, _) = decompose::<T>(self.data);
+        if raw != 0 {
+            unsafe { drop(Box::from_raw(raw as *mut T)) }
+        }
+    }
+}
+
+impl<T> std::ops::Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        let (raw, _) = decompose::<T>(self.data);
+        unsafe { &*(raw as *const T) }
+    }
+}
+
+impl<T> std::ops::DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        let (raw, _) = decompose::<T>(self.data);
+        unsafe { &mut *(raw as *mut T) }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Owned<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Owned").field(&**self).finish()
+    }
+}
+
+/// A tagged pointer valid for the lifetime of a [`Guard`].
+pub struct Shared<'g, T> {
+    data: usize,
+    _marker: PhantomData<(&'g (), *const T)>,
+}
+
+impl<'g, T> Clone for Shared<'g, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'g, T> Copy for Shared<'g, T> {}
+
+impl<'g, T> PartialEq for Shared<'g, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+impl<'g, T> Eq for Shared<'g, T> {}
+
+impl<'g, T> fmt::Debug for Shared<'g, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (raw, tag) = decompose::<T>(self.data);
+        f.debug_struct("Shared")
+            .field("raw", &(raw as *const T))
+            .field("tag", &tag)
+            .finish()
+    }
+}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer.
+    pub fn null() -> Self {
+        Shared {
+            data: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Whether the untagged pointer is null.
+    pub fn is_null(&self) -> bool {
+        let (raw, _) = decompose::<T>(self.data);
+        raw == 0
+    }
+
+    /// The untagged raw pointer.
+    pub fn as_raw(&self) -> *const T {
+        let (raw, _) = decompose::<T>(self.data);
+        raw as *const T
+    }
+
+    /// The tag stored in the unused low bits.
+    pub fn tag(&self) -> usize {
+        let (_, tag) = decompose::<T>(self.data);
+        tag
+    }
+
+    /// The same pointer with the tag bits set to `tag`.
+    pub fn with_tag(self, tag: usize) -> Self {
+        let (raw, _) = decompose::<T>(self.data);
+        Shared {
+            data: raw | (tag & tag_mask::<T>()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Dereferences the pointer.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null and protected by the guard it was
+    /// loaded through.
+    pub unsafe fn deref(&self) -> &'g T {
+        let (raw, _) = decompose::<T>(self.data);
+        unsafe { &*(raw as *const T) }
+    }
+
+    /// Converts to a reference, or `None` when null.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Shared::deref`].
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        let (raw, _) = decompose::<T>(self.data);
+        if raw == 0 {
+            None
+        } else {
+            Some(unsafe { &*(raw as *const T) })
+        }
+    }
+
+    /// Reclaims ownership of the allocation.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive access to the pointed-to object.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        unsafe { Owned::from_usize(self.data) }
+    }
+}
+
+impl<'g, T> Pointer<T> for Shared<'g, T> {
+    fn into_usize(self) -> usize {
+        self.data
+    }
+    unsafe fn from_usize(data: usize) -> Self {
+        Shared {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'g, T> From<*const T> for Shared<'g, T> {
+    fn from(raw: *const T) -> Self {
+        Shared {
+            data: raw as usize,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// The error returned by a failed [`Atomic::compare_exchange`].
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    /// The value the slot actually held.
+    pub current: Shared<'g, T>,
+    /// The not-installed new value, handed back to the caller.
+    pub new: P,
+}
+
+/// An atomic, taggable pointer to a heap allocation.
+pub struct Atomic<T> {
+    data: AtomicUsize,
+    _marker: PhantomData<*mut T>,
+}
+
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// Allocates `value` and stores a pointer to it.
+    pub fn new(value: T) -> Self {
+        Atomic {
+            data: AtomicUsize::new(Owned::new(value).into_usize()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// An atomic null pointer.
+    pub fn null() -> Self {
+        Atomic {
+            data: AtomicUsize::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Loads the pointer.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        unsafe { Shared::from_usize(self.data.load(ord)) }
+    }
+
+    /// Stores `new` into the slot. The previous pointee is *not* reclaimed.
+    pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+        self.data.store(new.into_usize(), ord);
+    }
+
+    /// Swaps the pointer, returning the previous value.
+    pub fn swap<'g, P: Pointer<T>>(
+        &self,
+        new: P,
+        ord: Ordering,
+        _guard: &'g Guard,
+    ) -> Shared<'g, T> {
+        unsafe { Shared::from_usize(self.data.swap(new.into_usize(), ord)) }
+    }
+
+    /// Installs `new` if the slot still holds `current`.
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'_, T>,
+        new: P,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let new_data = new.into_usize();
+        match self
+            .data
+            .compare_exchange(current.into_usize(), new_data, success, failure)
+        {
+            Ok(_) => Ok(unsafe { Shared::from_usize(new_data) }),
+            Err(actual) => Err(CompareExchangeError {
+                current: unsafe { Shared::from_usize(actual) },
+                new: unsafe { P::from_usize(new_data) },
+            }),
+        }
+    }
+}
+
+impl<T> Default for Atomic<T> {
+    fn default() -> Self {
+        Atomic::null()
+    }
+}
+
+impl<T> Clone for Atomic<T> {
+    fn clone(&self) -> Self {
+        Atomic {
+            data: AtomicUsize::new(self.data.load(Ordering::Relaxed)),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Atomic({:#x})", self.data.load(Ordering::Relaxed))
+    }
+}
+
+impl<T> From<Owned<T>> for Atomic<T> {
+    fn from(owned: Owned<T>) -> Self {
+        Atomic {
+            data: AtomicUsize::new(owned.into_usize()),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'g, T> From<Shared<'g, T>> for Atomic<T> {
+    fn from(shared: Shared<'g, T>) -> Self {
+        Atomic {
+            data: AtomicUsize::new(shared.into_usize()),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> From<T> for Atomic<T> {
+    fn from(value: T) -> Self {
+        Atomic::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+
+    #[test]
+    fn tagging_roundtrip() {
+        let guard = pin();
+        let shared = Owned::new(42u64).into_shared(&guard);
+        assert_eq!(shared.tag(), 0);
+        let tagged = shared.with_tag(1);
+        assert_eq!(tagged.tag(), 1);
+        assert_eq!(unsafe { *tagged.deref() }, 42);
+        assert_eq!(tagged.with_tag(0), shared);
+        unsafe { guard.defer_destroy(shared) };
+    }
+
+    #[test]
+    fn cas_returns_error_with_new_value() {
+        let guard = pin();
+        let slot: Atomic<u64> = Atomic::new(1);
+        let current = slot.load(Ordering::Acquire, &guard);
+        let stale = Shared::null();
+        let err = slot
+            .compare_exchange(
+                stale,
+                Owned::new(2),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            )
+            .unwrap_err();
+        assert_eq!(err.current, current);
+        drop(err.new);
+        unsafe { guard.defer_destroy(current) };
+    }
+
+    #[test]
+    fn deferred_destruction_eventually_runs() {
+        static DROPS: StdAtomicUsize = StdAtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let n = 4 * FLUSH_THRESHOLD;
+        for _ in 0..n {
+            let guard = pin();
+            let shared = Owned::new(Counted).into_shared(&guard);
+            unsafe { guard.defer_destroy(shared) };
+        }
+        // Repeated pin/unpin lets the epoch advance; most garbage must be
+        // reclaimed by now (everything but the last partial buffer).
+        let guard = pin();
+        guard.flush();
+        drop(guard);
+        let guard = pin();
+        guard.flush();
+        drop(guard);
+        pin().flush();
+        assert!(DROPS.load(Ordering::SeqCst) >= n - FLUSH_THRESHOLD);
+    }
+
+    #[test]
+    fn unprotected_defer_runs_immediately() {
+        static DROPS: StdAtomicUsize = StdAtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        unsafe {
+            let guard = unprotected();
+            let shared = Owned::new(Counted).into_shared(guard);
+            guard.defer_destroy(shared);
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,401 @@
+//! A vendored stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The shim keeps proptest's surface — the [`proptest!`] macro,
+//! [`Strategy`] combinators (`prop_map`, tuples, ranges, [`prop_oneof!`],
+//! `collection::vec`, `any`), `ProptestConfig::with_cases` and the
+//! `prop_assert*` macros — but drops shrinking: a failing case panics with
+//! the generated inputs in the message (every run is deterministic per test
+//! name and case index, so failures reproduce exactly).
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng, Standard};
+
+/// Runtime configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG handed to strategies. Deterministic per (test name, case index)
+/// unless `PROPTEST_SEED` overrides the base seed.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for one test case.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_D00D);
+        let mut hash = base ^ 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash.wrapping_add(u64::from(case))),
+        }
+    }
+
+    fn gen_in<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        self.inner.gen_range(range)
+    }
+}
+
+/// A generator of random values (no shrinking in this shim).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(std::rc::Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between boxed alternatives ([`prop_oneof!`]).
+pub struct OneOf<T> {
+    alternatives: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf {
+            alternatives: self.alternatives.clone(),
+            total_weight: self.total_weight,
+        }
+    }
+}
+
+impl<T> OneOf<T> {
+    /// Builds the union; panics when empty or all-zero-weighted.
+    pub fn new(alternatives: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total_weight: u64 = alternatives.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! needs positive total weight");
+        OneOf {
+            alternatives,
+            total_weight,
+        }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut roll = rng.gen_in(0..self.total_weight);
+        for (weight, alternative) in &self.alternatives {
+            let weight = u64::from(*weight);
+            if roll < weight {
+                return alternative.generate(rng);
+            }
+            roll -= weight;
+        }
+        unreachable!("roll exceeded total weight")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_in(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_in(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// A strategy for the full value range of `T` (`any::<i64>()` etc).
+#[derive(Clone)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::draw(&mut rng.inner)
+    }
+}
+
+/// A strategy drawing `T` uniformly from its whole value range.
+pub fn any<T: Standard>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// The admissible lengths of a generated collection.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// The result of [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_in(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, collection, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Runs one property with fresh inputs per case. Used by [`proptest!`];
+/// exposed for completeness.
+#[doc(hidden)]
+pub fn __run_cases(cases: u32, test_name: &str, mut body: impl FnMut(&mut TestRng)) {
+    for case in 0..cases {
+        let mut rng = TestRng::for_case(test_name, case);
+        body(&mut rng);
+    }
+}
+
+/// Declares property tests: `fn name(pattern in strategy, …) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::__run_cases(config.cases, stringify!($name), |__rng| {
+                $(let $pat = $crate::Strategy::generate(&($strategy), __rng);)+
+                $body
+            });
+        }
+    )*};
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Choice between strategies yielding the same value type; arms may carry
+/// `weight => strategy` relative weights.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $alternative:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($alternative))),+
+        ])
+    };
+    ($($alternative:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $((1u32, $crate::Strategy::boxed($alternative))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs_stay_in_bounds(
+            xs in collection::vec(-5i64..5, 1..20),
+            y in 0i64..=9,
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|x| (-5..5).contains(x)));
+            prop_assert!((0..=9).contains(&y));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0i64..10).prop_map(|x| x * 2),
+            (100i64..110).prop_map(|x| x + 1),
+        ]) {
+            prop_assert!((0..20).contains(&v) && v % 2 == 0 || (101..111).contains(&v));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        super::__run_cases(8, "det", |rng| a.push(crate::any::<i64>().generate(rng)));
+        super::__run_cases(8, "det", |rng| b.push(crate::any::<i64>().generate(rng)));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,267 @@
+//! A vendored stand-in for the subset of `serde` this workspace uses.
+//!
+//! Instead of serde's visitor architecture, this shim routes everything
+//! through an owned [`Value`] tree: [`Serialize`] renders a type into a
+//! `Value`, [`Deserialize`] rebuilds it from one. The companion
+//! `serde_derive` proc-macro derives both traits for plain structs and
+//! enums, and `serde_json` converts `Value` to and from JSON text. The
+//! observable API (`#[derive(Serialize, Deserialize)]`,
+//! `serde_json::to_string`, `serde_json::from_str`) matches what the
+//! workload crate relies on.
+
+use std::fmt;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree: the interchange format of this shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered string-keyed map (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error(format!("missing field `{key}`"))),
+            other => Err(Error(format!("expected map with `{key}`, got {other:?}"))),
+        }
+    }
+}
+
+/// The error type shared by serialization and deserialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde shim error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a data tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a data tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::I64(n) => Ok(*n as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::F64(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    other => Err(Error(format!(
+                        "expected integer for {}, got {other:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+macro_rules! impl_uint_wide {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self as u64 <= i64::MAX as u64 {
+                    Value::I64(*self as i64)
+                } else {
+                    Value::U64(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::I64(n) if *n >= 0 => Ok(*n as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::F64(n) if n.fract() == 0.0 && *n >= 0.0 => Ok(*n as $t),
+                    other => Err(Error(format!(
+                        "expected unsigned integer for {}, got {other:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_uint_wide!(u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::F64(n) => Ok(*n),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            other => Err(Error(format!("expected float, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        // Static workload names round-trip through deserialization only in
+        // tests; leaking the handful of short strings involved is fine.
+        String::from_value(value).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error(format!("expected null, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_owned(), Value::U64(self.as_secs())),
+            (
+                "nanos".to_owned(),
+                Value::I64(i64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+impl Deserialize for Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let secs = u64::from_value(value.get("secs")?)?;
+        let nanos = u32::from_value(value.get("nanos")?)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}

@@ -1,0 +1,309 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! With no access to `syn`/`quote`, the derive input is parsed directly
+//! from the raw token stream. Supported shapes — which cover every derived
+//! type in this workspace — are:
+//!
+//! * structs with named fields,
+//! * enums whose variants are unit variants or struct variants with named
+//!   fields.
+//!
+//! Generated code targets the shim's value-tree model: structs become
+//! `Value::Map`s keyed by field name, unit variants become `Value::Str`
+//! and struct variants a single-entry map `{variant: {fields…}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Extracts the field names from the braces of a struct body or struct
+/// variant: `[attrs] [pub] name: Type, …`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = tokens.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = tokens.next(); // pub(crate) etc.
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("unexpected token in struct body: {other}"),
+            }
+        };
+        fields.push(name);
+        // Skip the `: Type` part up to the next top-level comma.
+        let mut depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        let name = loop {
+            match tokens.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+                Some(other) => panic!("unexpected token in enum body: {other}"),
+            }
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                let _ = tokens.next();
+                Some(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("tuple enum variants are not supported by the serde shim derive")
+            }
+            _ => None,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an optional discriminant and the trailing comma.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    let _ = tokens.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    let _ = tokens.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    let _ = tokens.next();
+                }
+                _ => {
+                    let _ = tokens.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        let _ = tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(other) => panic!("unexpected token before struct/enum: {other}"),
+            None => panic!("empty derive input"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    // Generic parameters are not needed by any derived type in this
+    // workspace; reject them loudly rather than generating wrong code.
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("generic types are not supported by the serde shim derive")
+        }
+        other => panic!("expected braced body, got {other:?}"),
+    };
+    if kind == "struct" {
+        Input::Struct {
+            name,
+            fields: parse_named_fields(body),
+        }
+    } else {
+        Input::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    }
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}",
+                entries = entries.join(", ")
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{vname} => ::serde::Value::Str(String::from(\"{vname}\")),"
+                        ),
+                        Some(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => ::serde::Value::Map(vec![\
+                                     (String::from(\"{vname}\"), ::serde::Value::Map(vec![{entries}]))\
+                                 ]),",
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join("\n")
+            )
+        }
+    };
+    out.parse()
+        .expect("serde shim derive produced invalid Rust")
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(value.get(\"{f}\")?)?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => return Ok({name}::{vname}),")
+                })
+                .collect();
+            let map_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    v.fields.as_ref().map(|fields| {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(inner.get(\"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "if let Ok(inner) = value.get(\"{vname}\") {{\n\
+                                 return Ok({name}::{vname} {{ {inits} }});\n\
+                             }}",
+                            inits = inits.join(", ")
+                        )
+                    })
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         if let ::serde::Value::Str(tag) = value {{\n\
+                             match tag.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 _ => {{}}\n\
+                             }}\n\
+                         }}\n\
+                         {map_arms}\n\
+                         Err(::serde::Error(format!(\n\
+                             \"no variant of {name} matches {{value:?}}\"\n\
+                         )))\n\
+                     }}\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                map_arms = map_arms.join("\n")
+            )
+        }
+    };
+    out.parse()
+        .expect("serde shim derive produced invalid Rust")
+}
