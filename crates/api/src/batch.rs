@@ -1,0 +1,230 @@
+//! The batched operation vocabulary, shared by single trees and the store.
+//!
+//! A [`StoreOp`] is one keyed mutation; a batch is a `Vec<StoreOp>`. The
+//! vocabulary originated in the sharded store's two-phase `apply_batch`
+//! pipeline (phase one **validates** the whole batch without touching any
+//! tree, phase two **executes** it), and is promoted here so that *every*
+//! [`PointMap`] can accept the same batches: [`BatchApply`] is the common
+//! entry point, [`validate_batch`] is the shared phase-one check, and
+//! [`apply_batch_point`] is a ready-made serial phase two for single-shard
+//! backends. A batch that fails validation is rejected wholesale — by
+//! construction nothing has been mutated yet, which is the property
+//! GroveDB-style storage stacks rely on to keep multi-key commits
+//! all-or-nothing.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use wft_seq::{Key, Value};
+
+use crate::point::PointMap;
+
+/// Batch size accepted when no explicit limit is configured.
+pub const UNBOUNDED_BATCH_OPS: usize = usize::MAX;
+
+/// One keyed mutation inside a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreOp<K: Key, V: Value = ()> {
+    /// Insert `key → value` if the key is absent; an existing key leaves the
+    /// store unmodified (the paper tree's `insert` semantics).
+    Insert {
+        /// Key to insert.
+        key: K,
+        /// Value stored when the key is absent.
+        value: V,
+    },
+    /// Insert `key → value`, replacing (and reporting) any existing value.
+    /// Executes as the backend's atomic `replace`
+    /// ([`PointMap::replace`]) — on the wait-free tree, a single `Replace`
+    /// descriptor.
+    InsertOrReplace {
+        /// Key to insert or overwrite.
+        key: K,
+        /// The new value.
+        value: V,
+    },
+    /// Remove `key`, reporting only whether it was present.
+    Remove {
+        /// Key to remove.
+        key: K,
+    },
+    /// Remove `key`, reporting the removed value.
+    RemoveEntry {
+        /// Key to remove.
+        key: K,
+    },
+}
+
+impl<K: Key, V: Value> StoreOp<K, V> {
+    /// The key this operation routes by.
+    pub fn key(&self) -> &K {
+        match self {
+            StoreOp::Insert { key, .. }
+            | StoreOp::InsertOrReplace { key, .. }
+            | StoreOp::Remove { key }
+            | StoreOp::RemoveEntry { key } => key,
+        }
+    }
+
+    /// `true` for the operations that can grow the store.
+    pub fn is_insert(&self) -> bool {
+        matches!(
+            self,
+            StoreOp::Insert { .. } | StoreOp::InsertOrReplace { .. }
+        )
+    }
+}
+
+/// The per-operation result of an executed batch, index-aligned with the
+/// submitted `Vec<StoreOp>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutcome<V: Value> {
+    /// Result of [`StoreOp::Insert`]: `true` when the key was absent.
+    Inserted(bool),
+    /// Result of [`StoreOp::InsertOrReplace`]: the value it replaced.
+    Replaced(Option<V>),
+    /// Result of [`StoreOp::Remove`]: `true` when the key was present.
+    Removed(bool),
+    /// Result of [`StoreOp::RemoveEntry`]: the removed value.
+    RemovedEntry(Option<V>),
+}
+
+/// Why phase one rejected a batch. Nothing is mutated when any of these is
+/// returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError<K: Key> {
+    /// Two operations in the batch address the same key. Within one batch
+    /// there is no defined order between them (a sharded backend executes
+    /// per-shard groups concurrently), so the batch is ambiguous and
+    /// refused.
+    DuplicateKey {
+        /// The key that appears more than once.
+        key: K,
+    },
+    /// The batch exceeds the backend's configured maximum.
+    TooLarge {
+        /// Number of operations submitted.
+        len: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+}
+
+impl<K: Key> fmt::Display for BatchError<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::DuplicateKey { key } => {
+                write!(f, "batch addresses key {key:?} more than once")
+            }
+            BatchError::TooLarge { len, max } => {
+                write!(
+                    f,
+                    "batch of {len} ops exceeds the configured maximum of {max}"
+                )
+            }
+        }
+    }
+}
+
+impl<K: Key> std::error::Error for BatchError<K> {}
+
+/// All-or-nothing batched writes over a keyed backend.
+pub trait BatchApply<K: Key, V: Value> {
+    /// Validates and executes `batch`, returning one [`OpOutcome`] per
+    /// submitted operation, in submission order. On `Err`, nothing was
+    /// mutated.
+    fn apply_batch(&self, batch: Vec<StoreOp<K, V>>) -> Result<Vec<OpOutcome<V>>, BatchError<K>>;
+}
+
+/// The shared phase-one check: rejects batches larger than `max_ops` and
+/// batches addressing any key twice. Mutates nothing.
+pub fn validate_batch<K: Key, V: Value>(
+    batch: &[StoreOp<K, V>],
+    max_ops: usize,
+) -> Result<(), BatchError<K>> {
+    if batch.len() > max_ops {
+        return Err(BatchError::TooLarge {
+            len: batch.len(),
+            max: max_ops,
+        });
+    }
+    let mut seen = HashSet::with_capacity(batch.len());
+    for op in batch {
+        if !seen.insert(*op.key()) {
+            return Err(BatchError::DuplicateKey { key: *op.key() });
+        }
+    }
+    Ok(())
+}
+
+/// A ready-made [`BatchApply`] body for single-shard backends: validate,
+/// then apply each operation through the [`PointMap`] interface in
+/// submission order.
+///
+/// Distinct keys make the per-op applications independent, so on a
+/// linearizable backend the serial order below is indistinguishable from
+/// any other execution order of the same batch.
+pub fn apply_batch_point<K: Key, V: Value, M: PointMap<K, V> + ?Sized>(
+    map: &M,
+    batch: Vec<StoreOp<K, V>>,
+) -> Result<Vec<OpOutcome<V>>, BatchError<K>> {
+    validate_batch(&batch, UNBOUNDED_BATCH_OPS)?;
+    Ok(batch
+        .into_iter()
+        .map(|op| match op {
+            StoreOp::Insert { key, value } => {
+                OpOutcome::Inserted(map.insert(key, value).is_applied())
+            }
+            StoreOp::InsertOrReplace { key, value } => {
+                OpOutcome::Replaced(map.replace(key, value).into_prior())
+            }
+            StoreOp::Remove { key } => OpOutcome::Removed(map.remove(&key).is_applied()),
+            StoreOp::RemoveEntry { key } => OpOutcome::RemovedEntry(map.remove(&key).into_prior()),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_duplicates_and_oversize() {
+        let batch: Vec<StoreOp<i64, ()>> = vec![
+            StoreOp::Insert { key: 1, value: () },
+            StoreOp::Remove { key: 2 },
+            StoreOp::RemoveEntry { key: 1 },
+        ];
+        assert_eq!(
+            validate_batch(&batch, UNBOUNDED_BATCH_OPS),
+            Err(BatchError::DuplicateKey { key: 1 })
+        );
+        assert_eq!(
+            validate_batch(&batch, 2),
+            Err(BatchError::TooLarge { len: 3, max: 2 })
+        );
+        let ok: Vec<StoreOp<i64, ()>> = vec![
+            StoreOp::Insert { key: 1, value: () },
+            StoreOp::Remove { key: 2 },
+        ];
+        assert_eq!(validate_batch(&ok, 2), Ok(()));
+    }
+
+    #[test]
+    fn store_op_accessors() {
+        let op: StoreOp<i64, i64> = StoreOp::InsertOrReplace { key: 5, value: 50 };
+        assert_eq!(op.key(), &5);
+        assert!(op.is_insert());
+        let op: StoreOp<i64, i64> = StoreOp::RemoveEntry { key: 9 };
+        assert_eq!(op.key(), &9);
+        assert!(!op.is_insert());
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        let dup: BatchError<i64> = BatchError::DuplicateKey { key: 3 };
+        assert!(dup.to_string().contains("more than once"));
+        let big: BatchError<i64> = BatchError::TooLarge { len: 10, max: 4 };
+        assert!(big.to_string().contains("exceeds"));
+    }
+}

@@ -1,0 +1,105 @@
+//! The typed result of a point update.
+//!
+//! The workspace's implementations historically reported updates through a
+//! mix of `bool` ("was the insert successful?") and `Option<V>` ("which value
+//! did the remove delete?"). [`UpdateOutcome`] replaces both: every update
+//! either **applied** (it modified the map, and reports the value it
+//! displaced, if any) or left the map **unchanged** (and reports the value
+//! currently in the way, if any). The same two-armed shape describes
+//! `insert`, `replace` and `remove`, so generic code can reason about any
+//! update uniformly.
+
+/// Result of a [`PointMap`](crate::PointMap) update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOutcome<V> {
+    /// The update modified the map.
+    Applied {
+        /// The value the update displaced: `Some` for a `replace` that
+        /// overwrote an existing entry and for every successful `remove`,
+        /// `None` for an insertion into a previously absent key.
+        prior: Option<V>,
+    },
+    /// The update left the map unchanged.
+    Unchanged {
+        /// The value currently associated with the key: `Some` for an
+        /// `insert` that found the key taken, `None` for a `remove` of an
+        /// absent key.
+        current: Option<V>,
+    },
+}
+
+impl<V> UpdateOutcome<V> {
+    /// `true` when the update modified the map.
+    pub fn is_applied(&self) -> bool {
+        matches!(self, UpdateOutcome::Applied { .. })
+    }
+
+    /// The value an applied update displaced (`None` for unchanged outcomes
+    /// and for insertions into absent keys).
+    pub fn prior(&self) -> Option<&V> {
+        match self {
+            UpdateOutcome::Applied { prior } => prior.as_ref(),
+            UpdateOutcome::Unchanged { .. } => None,
+        }
+    }
+
+    /// Consumes the outcome, returning the displaced value of an applied
+    /// update (`None` otherwise) — the shape `remove_entry` and
+    /// `insert_or_replace` callers want.
+    pub fn into_prior(self) -> Option<V> {
+        match self {
+            UpdateOutcome::Applied { prior } => prior,
+            UpdateOutcome::Unchanged { .. } => None,
+        }
+    }
+
+    /// `true` when the update displaced an existing entry (a `replace` that
+    /// overwrote, or a successful `remove`).
+    pub fn displaced_existing(&self) -> bool {
+        matches!(self, UpdateOutcome::Applied { prior: Some(_) })
+    }
+
+    /// The value found in the way by an update that changed nothing (`None`
+    /// for applied outcomes).
+    pub fn current(&self) -> Option<&V> {
+        match self {
+            UpdateOutcome::Applied { .. } => None,
+            UpdateOutcome::Unchanged { current } => current.as_ref(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applied_accessors() {
+        let fresh: UpdateOutcome<i64> = UpdateOutcome::Applied { prior: None };
+        assert!(fresh.is_applied());
+        assert!(!fresh.displaced_existing());
+        assert_eq!(fresh.prior(), None);
+        assert_eq!(fresh.current(), None);
+        assert_eq!(fresh.into_prior(), None);
+
+        let overwrote: UpdateOutcome<i64> = UpdateOutcome::Applied { prior: Some(7) };
+        assert!(overwrote.is_applied());
+        assert!(overwrote.displaced_existing());
+        assert_eq!(overwrote.prior(), Some(&7));
+        assert_eq!(overwrote.into_prior(), Some(7));
+    }
+
+    #[test]
+    fn unchanged_accessors() {
+        let blocked: UpdateOutcome<i64> = UpdateOutcome::Unchanged { current: Some(3) };
+        assert!(!blocked.is_applied());
+        assert!(!blocked.displaced_existing());
+        assert_eq!(blocked.prior(), None);
+        assert_eq!(blocked.current(), Some(&3));
+        assert_eq!(blocked.into_prior(), None);
+
+        let missing: UpdateOutcome<i64> = UpdateOutcome::Unchanged { current: None };
+        assert_eq!(missing.current(), None);
+        assert_eq!(missing.into_prior(), None);
+    }
+}

@@ -1,0 +1,52 @@
+//! The point-operation trait.
+
+use wft_seq::{Key, Value};
+
+use crate::outcome::UpdateOutcome;
+
+/// A concurrent ordered map of point operations: keyed updates returning a
+/// typed [`UpdateOutcome`], plus point reads.
+///
+/// Semantics (shared by every implementation in the workspace):
+///
+/// * [`insert`](PointMap::insert) adds the key **only if absent** (the
+///   paper's `insert`): an existing key leaves the map, and its value,
+///   unmodified and reports [`UpdateOutcome::Unchanged`] with the value in
+///   the way.
+/// * [`replace`](PointMap::replace) is the upsert: it always applies,
+///   reporting the value it overwrote (if any). On the wait-free tree and
+///   trie this executes as **one** `Replace` descriptor — a single
+///   root-queue enqueue, linearizable, helping-compatible — not as a
+///   `remove` + `insert` composition.
+/// * [`remove`](PointMap::remove) deletes the key if present, reporting the
+///   removed value through [`UpdateOutcome::Applied`].
+///
+/// The `Send + Sync` supertraits make `dyn`-style harness sharing possible:
+/// every implementation is a concurrent structure already.
+pub trait PointMap<K: Key, V: Value>: Send + Sync {
+    /// Inserts `key → value` if the key is absent.
+    fn insert(&self, key: K, value: V) -> UpdateOutcome<V>;
+
+    /// Inserts `key → value`, overwriting (and reporting) any existing
+    /// value. Always applies.
+    fn replace(&self, key: K, value: V) -> UpdateOutcome<V>;
+
+    /// Removes `key`, reporting the removed value if it was present.
+    fn remove(&self, key: &K) -> UpdateOutcome<V>;
+
+    /// The value associated with `key`, if any.
+    fn get(&self, key: &K) -> Option<V>;
+
+    /// Whether `key` is present.
+    fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of keys currently stored.
+    fn len(&self) -> u64;
+
+    /// `true` when no keys are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -6,12 +6,18 @@
 //! * `fig9_successful_insert`: inserts of essentially-unique 64-bit keys, so
 //!   every update succeeds and every implementation pays its full write
 //!   path — where the persistent tree's whole-path copying is most visible.
+//! * `replace_descriptor_vs_composed`: the atomic `insert_or_replace`
+//!   (one `Replace` descriptor, one root-queue enqueue) against the old
+//!   `remove_entry` + `insert` composition (two descriptors, two enqueues)
+//!   at 1 / 4 / 8 threads over a shared pre-filled tree.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::Duration;
 
+use wft_core::WaitFreeTree;
 use wft_workload::{TreeImpl, WorkloadSpec};
 
 const PREFILL_RANGE: i64 = 100_000;
@@ -65,5 +71,76 @@ fn bench_successful_insert(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_insert_delete, bench_successful_insert);
+/// One upsert strategy under comparison (atomic descriptor vs composition).
+type Upsert = fn(&WaitFreeTree<i64, i64>, i64, i64);
+
+/// Upserts per thread per measured iteration of the replace benchmark.
+const REPLACE_OPS_PER_THREAD: usize = 256;
+/// Pre-filled key range the upserts land in (always-hit overwrites).
+const REPLACE_KEYS: i64 = 10_000;
+
+/// Runs `REPLACE_OPS_PER_THREAD` upserts on each of `threads` workers (the
+/// calling thread counts as one), each picking keys from its own seeded rng.
+fn run_upserts(tree: &Arc<WaitFreeTree<i64, i64>>, threads: usize, seed: u64, upsert: Upsert) {
+    std::thread::scope(|scope| {
+        for t in 1..threads {
+            let tree = Arc::clone(tree);
+            let mut rng = StdRng::seed_from_u64(seed ^ (t as u64) << 32);
+            scope.spawn(move || {
+                for i in 0..REPLACE_OPS_PER_THREAD {
+                    upsert(&tree, rng.gen_range(0..REPLACE_KEYS), i as i64);
+                }
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..REPLACE_OPS_PER_THREAD {
+            upsert(tree, rng.gen_range(0..REPLACE_KEYS), i as i64);
+        }
+    });
+}
+
+fn bench_replace_vs_composed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replace_descriptor_vs_composed");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let variants: [(&str, Upsert); 2] = [
+        ("replace-descriptor", |tree, key, value| {
+            tree.insert_or_replace(key, value);
+        }),
+        // The pre-redesign composition `StoreOp::InsertOrReplace` used: two
+        // descriptors, two root-queue enqueues, and a visible absence window.
+        ("remove-insert-composed", |tree, key, value| {
+            tree.remove_entry(&key);
+            tree.insert(key, value);
+        }),
+    ];
+    for threads in [1usize, 4, 8] {
+        for (name, upsert) in variants {
+            let tree: Arc<WaitFreeTree<i64, i64>> = Arc::new(WaitFreeTree::from_entries(
+                (0..REPLACE_KEYS).map(|k| (k, k)),
+            ));
+            let mut seed = 17u64;
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{threads}t")),
+                &tree,
+                |b, tree| {
+                    b.iter(|| {
+                        seed = seed.wrapping_add(1);
+                        run_upserts(tree, threads, seed, upsert);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert_delete,
+    bench_successful_insert,
+    bench_replace_vs_composed
+);
 criterion_main!(benches);

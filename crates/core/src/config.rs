@@ -57,6 +57,8 @@ impl TreeConfig {
 pub struct TreeCounters {
     /// Successful inserts applied.
     pub inserts: AtomicU64,
+    /// Replace (upsert) descriptors applied.
+    pub replaces: AtomicU64,
     /// Successful removes applied.
     pub removes: AtomicU64,
     /// Update operations whose decision was "no effect".
@@ -75,6 +77,8 @@ pub struct TreeCounters {
 pub struct TreeStats {
     /// Successful inserts applied.
     pub inserts: u64,
+    /// Replace (upsert) descriptors applied.
+    pub replaces: u64,
     /// Successful removes applied.
     pub removes: u64,
     /// Updates that had no effect.
@@ -91,6 +95,7 @@ impl TreeCounters {
     pub(crate) fn snapshot(&self) -> TreeStats {
         TreeStats {
             inserts: self.inserts.load(Ordering::Relaxed),
+            replaces: self.replaces.load(Ordering::Relaxed),
             removes: self.removes.load(Ordering::Relaxed),
             failed_updates: self.failed_updates.load(Ordering::Relaxed),
             helped_executions: self.helped_executions.load(Ordering::Relaxed),

@@ -38,6 +38,17 @@ pub enum OpKind<K, V> {
         /// Value to associate.
         value: V,
     },
+    /// `replace(key, value)`: add the key or overwrite its value — the
+    /// atomic upsert. Unlike `Insert` it always takes effect; its decision
+    /// records the overwritten value. One descriptor, one root-queue
+    /// timestamp: the operation linearizes exactly like every other update
+    /// instead of composing `remove` + `insert`.
+    Replace {
+        /// Key to insert or overwrite.
+        key: K,
+        /// Value to associate.
+        value: V,
+    },
     /// `remove(key)`: delete the key if present.
     Remove {
         /// Key to remove.
@@ -69,16 +80,20 @@ pub enum OpKind<K, V> {
 impl<K: Key, V: Value> OpKind<K, V> {
     /// `true` for operations that may modify the tree.
     pub fn is_update(&self) -> bool {
-        matches!(self, OpKind::Insert { .. } | OpKind::Remove { .. })
+        matches!(
+            self,
+            OpKind::Insert { .. } | OpKind::Replace { .. } | OpKind::Remove { .. }
+        )
     }
 
-    /// The single routing key of a scalar operation (`insert`, `remove`,
-    /// `contains`); range queries return `None`.
+    /// The single routing key of a scalar operation (`insert`, `replace`,
+    /// `remove`, `contains`); range queries return `None`.
     pub fn scalar_key(&self) -> Option<K> {
         match self {
-            OpKind::Insert { key, .. } | OpKind::Remove { key } | OpKind::Lookup { key } => {
-                Some(*key)
-            }
+            OpKind::Insert { key, .. }
+            | OpKind::Replace { key, .. }
+            | OpKind::Remove { key }
+            | OpKind::Lookup { key } => Some(*key),
             _ => None,
         }
     }
@@ -249,14 +264,17 @@ mod tests {
     #[test]
     fn op_kind_classification() {
         let ins: OpKind<i64, ()> = OpKind::Insert { key: 1, value: () };
+        let rep: OpKind<i64, ()> = OpKind::Replace { key: 1, value: () };
         let rem: OpKind<i64, ()> = OpKind::Remove { key: 1 };
         let look: OpKind<i64, ()> = OpKind::Lookup { key: 1 };
         let agg: OpKind<i64, ()> = OpKind::RangeAgg { min: 1, max: 2 };
         assert!(ins.is_update());
+        assert!(rep.is_update());
         assert!(rem.is_update());
         assert!(!look.is_update());
         assert!(!agg.is_update());
         assert_eq!(ins.scalar_key(), Some(1));
+        assert_eq!(rep.scalar_key(), Some(1));
         assert_eq!(agg.scalar_key(), None);
     }
 

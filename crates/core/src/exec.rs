@@ -1,6 +1,6 @@
 //! The hand-over-hand helping execution engine (§II-B, §II-C, §II-E).
 //!
-//! Every public tree operation goes through [`WaitFreeTree::run_operation`]:
+//! Every public tree operation goes through `WaitFreeTree::run_operation`:
 //!
 //! 1. the descriptor is enqueued at the (fictive) root and receives its
 //!    timestamp — this is the linearization point;
@@ -12,7 +12,7 @@
 //! 4. finally the result is assembled from the `Processed` map / the resolved
 //!    decision.
 //!
-//! The single function [`WaitFreeTree::execute_op_at`] implements "executing
+//! The single function `WaitFreeTree::execute_op_at` implements "executing
 //! an operation in a node" (Listing 3) for both the fictive root and regular
 //! inner nodes; it is idempotent and may be invoked by any number of helpers
 //! concurrently:
@@ -141,7 +141,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         // --- Step 1: work out where the operation continues and what this
         //     node contributes to the result. -------------------------------
         let mut partial: Partial<K, V, A::Agg> = match &op.kind {
-            OpKind::Insert { .. } | OpKind::Remove { .. } => Partial::Unit,
+            OpKind::Insert { .. } | OpKind::Replace { .. } | OpKind::Remove { .. } => Partial::Unit,
             OpKind::Lookup { .. } => Partial::Lookup(None),
             OpKind::RangeAgg { .. } => Partial::Agg(A::identity()),
             OpKind::Collect { .. } => Partial::Entries(Vec::new()),
@@ -150,7 +150,10 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         match parent {
             ParentRef::Fictive => {
                 let descend = match &op.kind {
-                    OpKind::Insert { .. } | OpKind::Remove { .. } => op.resolved_decision().success,
+                    // A replace always succeeds, so this also always descends.
+                    OpKind::Insert { .. } | OpKind::Replace { .. } | OpKind::Remove { .. } => {
+                        op.resolved_decision().success
+                    }
                     _ => true,
                 };
                 if descend {
@@ -167,7 +170,10 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                 }
             }
             ParentRef::Inner(inner) => match &op.kind {
-                OpKind::Insert { key, .. } | OpKind::Remove { key } | OpKind::Lookup { key } => {
+                OpKind::Insert { key, .. }
+                | OpKind::Replace { key, .. }
+                | OpKind::Remove { key }
+                | OpKind::Lookup { key } => {
                     let slot = if key < &inner.rsm {
                         &inner.left
                     } else {
@@ -231,6 +237,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
     fn resolve_update(&self, op: &OpRef<K, V, A>, ts: Timestamp, guard: &Guard) {
         let (key, update) = match &op.kind {
             OpKind::Insert { key, value } => (key, UpdateKind::Insert(value.clone())),
+            OpKind::Replace { key, value } => (key, UpdateKind::Replace(value.clone())),
             OpKind::Remove { key } => (key, UpdateKind::Remove),
             _ => unreachable!("resolve_update called for a read-only operation"),
         };
@@ -244,6 +251,14 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                     OpKind::Insert { .. } => {
                         self.len.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         TreeCounters::bump(&self.counters.inserts);
+                    }
+                    OpKind::Replace { .. } => {
+                        // A replace only grows the tree when the key was
+                        // absent; overwrites leave the length unchanged.
+                        if decision.prior_value.is_none() {
+                            self.len.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        TreeCounters::bump(&self.counters.replaces);
                     }
                     OpKind::Remove { .. } => {
                         self.len.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
@@ -448,6 +463,16 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         }
         let new_agg = match &op.kind {
             OpKind::Insert { key, value } => A::insert_delta(&state.agg, key, value),
+            OpKind::Replace { key, value } => {
+                // Net effect of an overwrite on a commutative-group
+                // augmentation: add the new entry, subtract the displaced
+                // one (a replace of an absent key is a plain insertion).
+                let added = A::insert_delta(&state.agg, key, value);
+                match decision.prior_value.as_ref() {
+                    Some(prior) => A::remove_delta(&added, key, prior),
+                    None => added,
+                }
+            }
             OpKind::Remove { key } => {
                 let prior = decision
                     .prior_value
@@ -487,14 +512,43 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         guard: &Guard,
     ) {
         match &op.kind {
-            OpKind::Insert { key, value } => {
-                if leaf.created_ts >= ts || &leaf.key == key {
-                    // Either the leaf already carries the key (the structural
-                    // change was applied through a (re)built subtree), or the
-                    // leaf was created by a *later* operation — in which case
-                    // our change has already been applied by a faster helper
-                    // and the slot has since been reused; touching it now
-                    // would corrupt later operations' work.
+            OpKind::Insert { key, value } | OpKind::Replace { key, value } => {
+                if leaf.created_ts >= ts {
+                    // The leaf was created by a *later* operation (or a
+                    // rebuild that already accounted for us) — our change has
+                    // already been applied by a faster helper and the slot
+                    // has since been reused; touching it now would corrupt
+                    // later operations' work.
+                    return;
+                }
+                if &leaf.key == key {
+                    if matches!(op.kind, OpKind::Insert { .. }) {
+                        // The leaf already carries the key: the insert's
+                        // structural change was applied through a (re)built
+                        // subtree. Nothing to do.
+                        return;
+                    }
+                    // Replace bottoming out on its own key: swap in a leaf
+                    // carrying the new value. The expected-pointer CAS makes
+                    // this exactly-once among helpers; a stalled helper that
+                    // arrives after a rebuild re-installs the same value
+                    // (idempotent), since any leaf for this key with
+                    // `created_ts < ts` predates our operation's effect or
+                    // carries it verbatim.
+                    let new_leaf = Node::Leaf(LeafNode {
+                        key: *key,
+                        value: value.clone(),
+                        created_ts: ts,
+                    });
+                    match slot.compare_exchange(child, Owned::new(new_leaf), AcqRel, Acquire, guard)
+                    {
+                        Ok(_) => unsafe { guard.defer_destroy(child) },
+                        Err(e) => {
+                            free_subtree_now(
+                                e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }),
+                            );
+                        }
+                    }
                     return;
                 }
                 // Split the leaf: a fresh routing node over the old and the
@@ -610,7 +664,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         guard: &Guard,
     ) {
         match &op.kind {
-            OpKind::Insert { key, value } => {
+            OpKind::Insert { key, value } | OpKind::Replace { key, value } => {
                 if empty.created_ts >= ts {
                     // The placeholder was created by a later removal: our
                     // insertion has already been applied (and possibly undone

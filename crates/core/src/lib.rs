@@ -71,6 +71,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod api;
 pub mod config;
 pub mod descriptor;
 pub mod exec;
@@ -81,6 +82,10 @@ pub mod tree;
 pub use config::{RootQueueKind, TreeConfig, TreeStats};
 pub use descriptor::{OpKind, RangeMode};
 pub use tree::WaitFreeTree;
+
+// Re-export the shared trait family: the tree is its reference
+// implementation (see the `api` module).
+pub use wft_api::{BatchApply, PointMap, RangeRead, RangeSpec, UpdateOutcome};
 
 // Re-export the augmentation vocabulary so downstream users only need one
 // import for the common case.

@@ -78,7 +78,11 @@ pub struct NodeState<Agg> {
 /// in a child slot must not touch that slot — its own structural change has
 /// already been applied by a faster helper, and the slot has since been
 /// reused by later-linearized operations (see `execute_at_leaf` /
-/// `execute_at_empty`).
+/// `execute_at_empty`). Because leaves are immutable, a `Replace` descriptor
+/// that overwrites an existing key installs a *fresh* leaf carrying the new
+/// value and its own timestamp, so the same guard covers upserts: any leaf
+/// for the key with a smaller `created_ts` either predates the replace or is
+/// a rebuild's verbatim copy of its effect.
 #[derive(Debug)]
 pub struct LeafNode<K, V> {
     /// The stored key.

@@ -135,6 +135,20 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         op.resolved_decision().success
     }
 
+    /// Inserts `key → value`, overwriting any existing value; returns the
+    /// value it replaced, if any (the atomic upsert).
+    ///
+    /// This executes as a **single** [`OpKind::Replace`] descriptor: one
+    /// root-queue enqueue, one linearization point, helped like any other
+    /// update, with the augmentation delta (new entry in, displaced entry
+    /// out) applied eagerly top-down. There is no window in which a
+    /// concurrent reader can observe the key absent, unlike a
+    /// `remove` + `insert` composition.
+    pub fn insert_or_replace(&self, key: K, value: V) -> Option<V> {
+        let (op, _ts) = self.run_operation(OpKind::Replace { key, value });
+        op.resolved_decision().prior_value.clone()
+    }
+
     /// Removes `key`. Returns `true` if it was present.
     pub fn remove(&self, key: &K) -> bool {
         let (op, _ts) = self.run_operation(OpKind::Remove { key: *key });
@@ -442,5 +456,84 @@ mod tests {
         assert_eq!(stats.inserts, 2);
         assert_eq!(stats.removes, 1);
         assert_eq!(stats.failed_updates, 2);
+    }
+
+    #[test]
+    fn insert_or_replace_single_thread() {
+        let tree: WaitFreeTree<i64, String> = WaitFreeTree::new();
+        assert_eq!(tree.insert_or_replace(1, "one".into()), None);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(
+            tree.insert_or_replace(1, "uno".into()),
+            Some("one".to_string())
+        );
+        assert_eq!(tree.len(), 1, "an overwrite must not change the length");
+        assert_eq!(tree.get(&1), Some("uno".to_string()));
+        assert_eq!(tree.remove_entry(&1), Some("uno".to_string()));
+        assert_eq!(tree.insert_or_replace(1, "ein".into()), None);
+        assert_eq!(tree.stats().replaces, 3);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn replace_maintains_augmentations() {
+        use wft_seq::{Pair, Sum};
+        let tree: WaitFreeTree<i64, i64, Pair<Size, Sum>> =
+            WaitFreeTree::from_entries((0..100).map(|k| (k, k)));
+        // Overwrite every even key's value with 1000 + k.
+        for k in (0..100).step_by(2) {
+            assert_eq!(tree.insert_or_replace(k, 1000 + k), Some(k));
+        }
+        let (count, sum) = tree.range_agg(0, 99);
+        assert_eq!(count, 100);
+        let expect: i128 = (0..100i64)
+            .map(|k| if k % 2 == 0 { 1000 + k } else { k } as i128)
+            .sum();
+        assert_eq!(sum, expect);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn replace_survives_rebuilds() {
+        let cfg = TreeConfig {
+            rebuild_factor: 0.5,
+            ..TreeConfig::default()
+        };
+        let tree: WaitFreeTree<i64, i64> = WaitFreeTree::with_config(cfg);
+        for k in 0..1000 {
+            tree.insert_or_replace(k, k);
+        }
+        for k in 0..1000 {
+            assert_eq!(tree.insert_or_replace(k, -k), Some(k));
+        }
+        assert!(tree.stats().rebuilds > 0, "sorted upserts must rebuild");
+        assert_eq!(tree.len(), 1000);
+        assert_eq!(tree.get(&999), Some(-999));
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_replaces_of_one_key_form_a_total_order() {
+        use std::sync::Arc;
+        let tree: Arc<WaitFreeTree<i64, i64>> = Arc::new(WaitFreeTree::new());
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let tree = Arc::clone(&tree);
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        tree.insert_or_replace(7, t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(tree.len(), 1);
+        // Exactly one writer's final value survives, and it is a value some
+        // thread actually wrote last in its loop.
+        let survivor = tree.get(&7).expect("key must be present");
+        assert!((0..4).any(|t| survivor == t * 1000 + 249));
+        tree.check_invariants();
     }
 }

@@ -34,6 +34,9 @@ pub trait SequentialSpec {
 pub enum RangeSetOp {
     /// `insert(key)`.
     Insert(i64),
+    /// `replace(key)` — the atomic upsert; on a set it always ends with the
+    /// key present and reports whether the key was there before.
+    Replace(i64),
     /// `remove(key)`.
     Remove(i64),
     /// `contains(key)`.
@@ -76,6 +79,11 @@ impl SequentialSpec for RangeSetSpec {
                 let mut next = state.clone();
                 let inserted = next.insert(key);
                 (next, RangeSetRet::Bool(inserted))
+            }
+            RangeSetOp::Replace(key) => {
+                let mut next = state.clone();
+                let was_present = !next.insert(key);
+                (next, RangeSetRet::Bool(was_present))
             }
             RangeSetOp::Remove(key) => {
                 let mut next = state.clone();
@@ -128,6 +136,21 @@ mod tests {
         assert_eq!(r4, RangeSetRet::Bool(true));
         let (_, r5) = RangeSetSpec::apply(&s4, &RangeSetOp::Remove(5));
         assert_eq!(r5, RangeSetRet::Bool(false));
+    }
+
+    #[test]
+    fn replace_reports_prior_presence_and_keeps_the_key() {
+        let s0 = RangeSetSpec::initial();
+        let (s1, r1) = RangeSetSpec::apply(&s0, &RangeSetOp::Replace(5));
+        assert_eq!(
+            r1,
+            RangeSetRet::Bool(false),
+            "absent key: nothing displaced"
+        );
+        assert!(s1.contains(&5));
+        let (s2, r2) = RangeSetSpec::apply(&s1, &RangeSetOp::Replace(5));
+        assert_eq!(r2, RangeSetRet::Bool(true), "present key: overwrote");
+        assert!(s2.contains(&5));
     }
 
     #[test]

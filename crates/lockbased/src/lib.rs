@@ -48,6 +48,13 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> LockedRangeTree<K, V, A> {
         self.inner.lock().insert(key, value)
     }
 
+    /// Inserts `key → value`, overwriting any existing value; returns the
+    /// value it replaced, if any. Atomic: a single lock acquisition covers
+    /// the whole upsert.
+    pub fn insert_or_replace(&self, key: K, value: V) -> Option<V> {
+        self.inner.lock().insert_or_replace(key, value)
+    }
+
     /// Removes `key`; `true` if it was present.
     pub fn remove(&self, key: &K) -> bool {
         self.inner.lock().remove(key)
@@ -106,6 +113,83 @@ impl<K: Key, V: Value> LockedRangeTree<K, V, Size> {
     }
 }
 
+// --- wft-api trait family ------------------------------------------------
+
+impl<K: Key, V: Value, A: Augmentation<K, V>> wft_api::PointMap<K, V> for LockedRangeTree<K, V, A> {
+    fn insert(&self, key: K, value: V) -> wft_api::UpdateOutcome<V> {
+        let mut inner = self.inner.lock();
+        if let Some(current) = inner.get(&key) {
+            return wft_api::UpdateOutcome::Unchanged {
+                current: Some(current.clone()),
+            };
+        }
+        inner.insert(key, value);
+        wft_api::UpdateOutcome::Applied { prior: None }
+    }
+
+    fn replace(&self, key: K, value: V) -> wft_api::UpdateOutcome<V> {
+        wft_api::UpdateOutcome::Applied {
+            prior: self.insert_or_replace(key, value),
+        }
+    }
+
+    fn remove(&self, key: &K) -> wft_api::UpdateOutcome<V> {
+        match self.remove_entry(key) {
+            Some(prior) => wft_api::UpdateOutcome::Applied { prior: Some(prior) },
+            None => wft_api::UpdateOutcome::Unchanged { current: None },
+        }
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        LockedRangeTree::get(self, key)
+    }
+
+    fn len(&self) -> u64 {
+        LockedRangeTree::len(self)
+    }
+}
+
+impl<K, V, A> wft_api::RangeRead<K, V> for LockedRangeTree<K, V, A>
+where
+    K: wft_api::RangeKey,
+    V: Value,
+    A: Augmentation<K, V>,
+{
+    type Agg = A::Agg;
+
+    fn range_agg(&self, range: wft_api::RangeSpec<K>) -> A::Agg {
+        wft_api::agg_over(range, A::identity, |min, max| {
+            LockedRangeTree::range_agg(self, min, max)
+        })
+    }
+
+    fn count(&self, range: wft_api::RangeSpec<K>) -> u64 {
+        wft_api::count_over(
+            range,
+            |min, max| LockedRangeTree::range_agg(self, min, max),
+            A::count_of,
+            |min, max| LockedRangeTree::collect_range(self, min, max).len() as u64,
+        )
+    }
+
+    fn collect_range(&self, range: wft_api::RangeSpec<K>) -> Vec<(K, V)> {
+        wft_api::collect_over(range, |min, max| {
+            LockedRangeTree::collect_range(self, min, max)
+        })
+    }
+}
+
+impl<K: Key, V: Value, A: Augmentation<K, V>> wft_api::BatchApply<K, V>
+    for LockedRangeTree<K, V, A>
+{
+    fn apply_batch(
+        &self,
+        batch: Vec<wft_api::StoreOp<K, V>>,
+    ) -> Result<Vec<wft_api::OpOutcome<V>>, wft_api::BatchError<K>> {
+        wft_api::apply_batch_point(self, batch)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +204,16 @@ mod tests {
         assert_eq!(tree.count(0, 5), 1);
         assert_eq!(tree.remove_entry(&1), Some(10));
         assert!(tree.is_empty());
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn insert_or_replace_roundtrip() {
+        let tree: LockedRangeTree<i64, i64> = LockedRangeTree::new();
+        assert_eq!(tree.insert_or_replace(1, 10), None);
+        assert_eq!(tree.insert_or_replace(1, 11), Some(10));
+        assert_eq!(tree.get(&1), Some(11));
+        assert_eq!(tree.len(), 1);
         tree.check_invariants();
     }
 

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod api;
 mod node;
 mod tree;
 

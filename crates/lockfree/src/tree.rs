@@ -164,13 +164,24 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
     /// Inserts `key → value`; returns `true` if the key was absent.
     /// Lock-free.
     pub fn insert(&self, key: K, value: V) -> bool {
+        self.insert_entry(key, value).is_none()
+    }
+
+    /// Inserts `key → value` if the key is absent; on failure returns the
+    /// value already stored under the key, read from the very leaf that
+    /// blocked the insertion (the failed operation's linearization point —
+    /// a separate `get` afterwards could observe a later state). Lock-free.
+    pub fn insert_entry(&self, key: K, value: V) -> Option<V> {
         let guard = pin();
         let target = RoutingKey::Finite(key);
         loop {
             let res = self.search(&target, &guard);
             let leaf_node = unsafe { res.leaf.deref() };
             if leaf_node.routing_key() == &target {
-                return false;
+                if let Node::Leaf { value: current, .. } = leaf_node {
+                    return Some(current.clone().expect("finite leaves always carry a value"));
+                }
+                unreachable!("search always bottoms out at a leaf");
             }
             if res.parent_update.tag() != state::CLEAN {
                 self.help(res.parent_update, &guard);
@@ -218,7 +229,7 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
                     self.retire_info(res.parent_update, &guard);
                     self.help_insert(new_info.with_tag(state::CLEAN), &guard);
                     self.len.fetch_add(1, Ordering::Relaxed);
-                    return true;
+                    return None;
                 }
                 Err(err) => {
                     // Our record was never published: free it and the
@@ -248,6 +259,21 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
                 }
             }
         }
+    }
+
+    /// Inserts `key → value`, overwriting any existing value; returns the
+    /// value it replaced, if any.
+    ///
+    /// **Composed, not atomic**: the Ellen et al. scheme has no native
+    /// upsert, so this is `remove_entry` + `insert`, and a concurrent reader
+    /// may observe the key briefly absent between the two steps. That is the
+    /// documented weakness of the linear-time baseline class — the paper's
+    /// descriptor-based trees execute `replace` as a single linearizable
+    /// operation (see `WaitFreeTree::insert_or_replace`).
+    pub fn insert_or_replace(&self, key: K, value: V) -> Option<V> {
+        let prior = self.remove_entry(&key);
+        self.insert(key, value);
+        prior
     }
 
     /// Removes `key`; returns `true` if it was present. Lock-free.

@@ -2,7 +2,7 @@
 //! construction — the baseline the paper evaluates against.
 //!
 //! The paper's experiments (§III) compare the wait-free tree with "the
-//! concurrent persistent tree presented in [5]", the only prior structure
+//! concurrent persistent tree presented in \[5\]", the only prior structure
 //! with asymptotically efficient aggregate range queries. That artifact is
 //! not available, so this crate re-implements the approach from first
 //! principles:
@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod api;
 pub mod treap;
 pub mod tree;
 

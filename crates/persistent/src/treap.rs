@@ -186,6 +186,21 @@ pub fn insert<K: Key, V: Value, A: Augmentation<K, V>>(
     (merge::<K, V, A>(&merge::<K, V, A>(&lo, &node), &hi), true)
 }
 
+/// Inserts `key → value` unconditionally, overwriting any existing value.
+/// Returns the new root and the replaced value, if any. Because the whole
+/// new version is published by the caller's single CAS, the upsert is atomic
+/// even though it is built as remove-then-insert over immutable versions.
+pub fn replace<K: Key, V: Value, A: Augmentation<K, V>>(
+    root: &Link<K, V, A>,
+    key: K,
+    value: V,
+) -> (Link<K, V, A>, Option<V>) {
+    let (without, prior) = remove::<K, V, A>(root, &key);
+    let (with, inserted) = insert::<K, V, A>(&without, key, value);
+    debug_assert!(inserted, "the key was just removed from this version");
+    (with, prior)
+}
+
 /// Removes `key` if present. Returns the new root and the removed value.
 pub fn remove<K: Key, V: Value, A: Augmentation<K, V>>(
     root: &Link<K, V, A>,

@@ -36,7 +36,7 @@ pub struct PersistentStats {
 /// A linearizable concurrent ordered set/map built from a persistent treap
 /// and a CAS-retry loop (lock-free universal construction).
 ///
-/// The public interface mirrors [`wft_core::WaitFreeTree`] so the benchmark
+/// The public interface mirrors `wft_core::WaitFreeTree` so the benchmark
 /// harness can swap the two implementations freely.
 pub struct PersistentRangeTree<K: Key, V: Value = (), A: Augmentation<K, V> = Size> {
     version: Atomic<VersionCell<K, V, A>>,
@@ -88,7 +88,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> PersistentRangeTree<K, V, A> {
     /// insert/remove), in which case the loop exits immediately — this is
     /// what makes unsuccessful operations cheap for this baseline, exactly as
     /// the paper observes in the insert-delete workload.
-    fn update_loop<R>(
+    pub(crate) fn update_loop<R>(
         &self,
         mut update: impl FnMut(&Link<K, V, A>) -> (Option<Link<K, V, A>>, R),
         guard: &Guard,
@@ -133,6 +133,20 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> PersistentRangeTree<K, V, A> {
                 } else {
                     (None, false)
                 }
+            },
+            &guard,
+        )
+    }
+
+    /// Inserts `key → value`, overwriting any existing value; returns the
+    /// value it replaced, if any. Atomic: the overwritten version is swapped
+    /// out by the same single CAS as any other update.
+    pub fn insert_or_replace(&self, key: K, value: V) -> Option<V> {
+        let guard = crossbeam_epoch::pin();
+        self.update_loop(
+            |root| {
+                let (new_root, prior) = treap::replace::<K, V, A>(root, key, value.clone());
+                (Some(new_root), prior)
             },
             &guard,
         )

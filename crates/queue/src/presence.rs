@@ -53,6 +53,9 @@ pub const DEFAULT_BUCKETS: usize = 1 << 16;
 pub enum UpdateKind<V> {
     /// `insert(key, value)`: succeeds iff the key is currently absent.
     Insert(V),
+    /// `replace(key, value)`: always succeeds, overwriting any current value
+    /// (the decision's `prior_value` reports what was overwritten).
+    Replace(V),
     /// `remove(key)`: succeeds iff the key is currently present.
     Remove,
 }
@@ -248,6 +251,14 @@ where
                     success: !state_ref.present,
                     prior_value: state_ref.value.clone(),
                 },
+                // A replace always takes effect; `prior_value` carries the
+                // overwritten value (None when the key was absent), which is
+                // both the caller's return value and the augmentation delta's
+                // subtrahend.
+                UpdateKind::Replace(_) => Decision {
+                    success: true,
+                    prior_value: state_ref.value.clone(),
+                },
                 UpdateKind::Remove => Decision {
                     success: state_ref.present,
                     prior_value: state_ref.value.clone(),
@@ -258,7 +269,7 @@ where
             // Advance the index. Unsuccessful updates still advance the
             // timestamp so stale helpers can detect that resolution is done.
             let new_state = match (&decision.success, kind) {
-                (true, UpdateKind::Insert(v)) => KeyState {
+                (true, UpdateKind::Insert(v)) | (true, UpdateKind::Replace(v)) => KeyState {
                     present: true,
                     value: Some(v.clone()),
                     ts,
@@ -404,6 +415,27 @@ mod tests {
         assert!(snap.present);
         assert_eq!(snap.value, Some(52));
         assert_eq!(snap.last_ts, Timestamp(5));
+    }
+
+    #[test]
+    fn replace_always_succeeds_and_reports_the_prior_value() {
+        let index = Index::with_buckets(64);
+        let d = resolve_one(&index, 8, 1, UpdateKind::Replace(80));
+        assert!(d.success, "replace of an absent key applies");
+        assert_eq!(d.prior_value, None);
+
+        let d = resolve_one(&index, 8, 2, UpdateKind::Replace(81));
+        assert!(d.success, "replace of a present key applies");
+        assert_eq!(d.prior_value, Some(80));
+
+        let guard = epoch::pin();
+        let snap = index.snapshot(&8, &guard);
+        assert!(snap.present);
+        assert_eq!(snap.value, Some(81));
+
+        let d = resolve_one(&index, 8, 3, UpdateKind::Remove);
+        assert!(d.success);
+        assert_eq!(d.prior_value, Some(81));
     }
 
     #[test]

@@ -60,6 +60,15 @@ pub trait Augmentation<K: Key, V: Value>: Send + Sync + 'static {
     /// Aggregate after removing `(key, value)` from a set with aggregate
     /// `agg`. This is the group inverse of [`Augmentation::insert_delta`].
     fn remove_delta(agg: &Self::Agg, key: &K, value: &V) -> Self::Agg;
+
+    /// If this augmentation tracks the entry count, extracts it from an
+    /// aggregate. Generic `count` implementations use this to answer
+    /// counting queries in `O(log N)` whenever a [`Size`] component is
+    /// present (alone, or inside a [`Pair`] / [`KeyRange`]), falling back to
+    /// collecting the range otherwise.
+    fn count_of(_agg: &Self::Agg) -> Option<u64> {
+        None
+    }
 }
 
 /// Subtree size: the augmentation behind the paper's `count(min, max)` query.
@@ -88,6 +97,10 @@ impl<K: Key, V: Value> Augmentation<K, V> for Size {
     fn remove_delta(agg: &u64, _: &K, _: &V) -> u64 {
         agg.checked_sub(1)
             .expect("Size augmentation underflow: removal of an entry that was never counted")
+    }
+
+    fn count_of(agg: &u64) -> Option<u64> {
+        Some(*agg)
     }
 }
 
@@ -221,6 +234,10 @@ where
             key_sum: agg.key_sum - key.summand(),
         }
     }
+
+    fn count_of(agg: &KeyRangeAgg) -> Option<u64> {
+        Some(agg.count)
+    }
 }
 
 /// Product combinator: maintains two augmentations side by side so a single
@@ -262,6 +279,10 @@ where
             A::remove_delta(&agg.0, key, value),
             B::remove_delta(&agg.1, key, value),
         )
+    }
+
+    fn count_of(agg: &Self::Agg) -> Option<u64> {
+        A::count_of(&agg.0).or_else(|| B::count_of(&agg.1))
     }
 }
 

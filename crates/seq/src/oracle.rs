@@ -58,6 +58,13 @@ impl<K: Key, V: Value> ReferenceMap<K, V> {
         }
     }
 
+    /// Inserts `key → value`, overwriting any existing value; returns the
+    /// replaced value (exactly `BTreeMap::insert` — the oracle semantics of
+    /// the concurrent `insert_or_replace`).
+    pub fn insert_or_replace(&mut self, key: K, value: V) -> Option<V> {
+        self.inner.insert(key, value)
+    }
+
     /// Removes `key`; returns `true` if it was present.
     pub fn remove(&mut self, key: &K) -> bool {
         self.inner.remove(key).is_some()

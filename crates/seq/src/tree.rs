@@ -134,6 +134,15 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> SeqRangeTree<K, V, A> {
         inserted
     }
 
+    /// Inserts `key → value`, overwriting any existing value; returns the
+    /// value it replaced, if any (the upsert; `&mut self` makes it trivially
+    /// atomic for the lock-based wrapper).
+    pub fn insert_or_replace(&mut self, key: K, value: V) -> Option<V> {
+        let prior = self.remove_entry(&key);
+        self.insert(key, value);
+        prior
+    }
+
     /// Removes `key`. Returns `true` if it was present (successful remove)
     /// together with having removed it, `false` otherwise.
     pub fn remove(&mut self, key: &K) -> bool {

@@ -1,0 +1,100 @@
+//! [`wft_api`] trait implementations for [`ShardedStore`].
+//!
+//! Point operations route to the owning shard and inherit the tree's typed
+//! outcomes; range reads resolve their [`RangeSpec`] once and split the
+//! closed interval at shard boundaries; [`BatchApply`] is the store's own
+//! two-phase pipeline (validation, shard grouping, optional cross-shard
+//! fan-out) rather than the serial helper single trees use.
+
+use wft_api::{
+    BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec, StoreOp,
+    UpdateOutcome,
+};
+use wft_seq::{Augmentation, Key, Value};
+
+use crate::store::ShardedStore;
+
+impl<K: Key, V: Value, A: Augmentation<K, V>> PointMap<K, V> for ShardedStore<K, V, A> {
+    fn insert(&self, key: K, value: V) -> UpdateOutcome<V> {
+        let shard = self.shard(&key);
+        PointMap::insert(shard, key, value)
+    }
+
+    fn replace(&self, key: K, value: V) -> UpdateOutcome<V> {
+        UpdateOutcome::Applied {
+            prior: self.insert_or_replace(key, value),
+        }
+    }
+
+    fn remove(&self, key: &K) -> UpdateOutcome<V> {
+        PointMap::remove(self.shard(key), key)
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        ShardedStore::get(self, key)
+    }
+
+    fn len(&self) -> u64 {
+        ShardedStore::len(self)
+    }
+}
+
+impl<K, V, A> RangeRead<K, V> for ShardedStore<K, V, A>
+where
+    K: RangeKey,
+    V: Value,
+    A: Augmentation<K, V>,
+{
+    type Agg = A::Agg;
+
+    fn range_agg(&self, range: RangeSpec<K>) -> A::Agg {
+        wft_api::agg_over(range, A::identity, |min, max| {
+            ShardedStore::range_agg(self, min, max)
+        })
+    }
+
+    fn count(&self, range: RangeSpec<K>) -> u64 {
+        wft_api::count_over(
+            range,
+            |min, max| ShardedStore::range_agg(self, min, max),
+            A::count_of,
+            |min, max| ShardedStore::collect_range(self, min, max).len() as u64,
+        )
+    }
+
+    fn collect_range(&self, range: RangeSpec<K>) -> Vec<(K, V)> {
+        wft_api::collect_over(range, |min, max| {
+            ShardedStore::collect_range(self, min, max)
+        })
+    }
+}
+
+impl<K: Key, V: Value, A: Augmentation<K, V>> BatchApply<K, V> for ShardedStore<K, V, A> {
+    fn apply_batch(&self, batch: Vec<StoreOp<K, V>>) -> Result<Vec<OpOutcome<V>>, BatchError<K>> {
+        ShardedStore::apply_batch(self, batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_speaks_the_shared_api() {
+        let store: ShardedStore<i64, i64> = ShardedStore::from_entries((0..100).map(|k| (k, k)), 4);
+        assert!(!PointMap::insert(&store, 5, 0).is_applied());
+        assert_eq!(
+            PointMap::replace(&store, 5, 50),
+            UpdateOutcome::Applied { prior: Some(5) }
+        );
+        assert_eq!(
+            RangeRead::count(&store, RangeSpec::from_bounds(0..100)),
+            100
+        );
+        assert_eq!(RangeRead::count(&store, RangeSpec::inclusive(50, 10)), 0);
+        let outcomes =
+            BatchApply::apply_batch(&store, vec![StoreOp::InsertOrReplace { key: 5, value: 51 }])
+                .unwrap();
+        assert_eq!(outcomes, vec![OpOutcome::Replaced(Some(50))]);
+    }
+}

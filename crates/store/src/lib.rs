@@ -45,11 +45,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod api;
 mod op;
 mod store;
 
 pub use op::{BatchError, OpOutcome, StoreConfig, StoreOp};
 pub use store::{split_keys_from_sample, BatchPlan, ShardedStore};
+
+// Re-export the shared trait family the store implements (the batch
+// vocabulary above is likewise defined in `wft-api` and re-exported here).
+pub use wft_api::{BatchApply, PointMap, RangeRead, RangeSpec, UpdateOutcome};
 
 // Re-export the augmentation vocabulary so store users need one import.
 pub use wft_seq::{Augmentation, Key, Pair, Size, Sum, Value};

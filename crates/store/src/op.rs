@@ -1,119 +1,12 @@
-//! The batched operation vocabulary of the store layer.
+//! Store configuration, plus re-exports of the shared batch vocabulary.
 //!
-//! A [`StoreOp`] is one keyed mutation; a batch is a `Vec<StoreOp>`. Batches
-//! go through the two-phase pipeline of
-//! [`ShardedStore::apply_batch`](crate::ShardedStore::apply_batch): phase one
-//! **validates** the whole batch and groups it by destination shard without
-//! touching any tree, phase two **executes** the per-shard groups. A batch
-//! that fails validation is rejected wholesale — by construction no shard
-//! has been mutated yet, which is the property GroveDB-style storage stacks
-//! rely on to keep multi-key application commits all-or-nothing.
+//! The [`StoreOp`] / [`OpOutcome`] / [`BatchError`] types originated here;
+//! they are now defined in [`wft_api`] (so single trees accept the same
+//! batches through [`wft_api::BatchApply`]) and re-exported for source
+//! compatibility. What remains store-specific is [`StoreConfig`]: the
+//! per-shard tree configuration and the two-phase pipeline's tuning knobs.
 
-use std::fmt;
-
-use wft_seq::{Key, Value};
-
-/// One keyed mutation inside a batch.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum StoreOp<K: Key, V: Value = ()> {
-    /// Insert `key → value` if the key is absent; an existing key leaves the
-    /// store unmodified (the paper tree's `insert` semantics).
-    Insert {
-        /// Key to insert.
-        key: K,
-        /// Value stored when the key is absent.
-        value: V,
-    },
-    /// Insert `key → value`, replacing (and reporting) any existing value.
-    InsertOrReplace {
-        /// Key to insert or overwrite.
-        key: K,
-        /// The new value.
-        value: V,
-    },
-    /// Remove `key`, reporting only whether it was present.
-    Remove {
-        /// Key to remove.
-        key: K,
-    },
-    /// Remove `key`, reporting the removed value.
-    RemoveEntry {
-        /// Key to remove.
-        key: K,
-    },
-}
-
-impl<K: Key, V: Value> StoreOp<K, V> {
-    /// The key this operation routes by.
-    pub fn key(&self) -> &K {
-        match self {
-            StoreOp::Insert { key, .. }
-            | StoreOp::InsertOrReplace { key, .. }
-            | StoreOp::Remove { key }
-            | StoreOp::RemoveEntry { key } => key,
-        }
-    }
-
-    /// `true` for the operations that can grow the store.
-    pub fn is_insert(&self) -> bool {
-        matches!(
-            self,
-            StoreOp::Insert { .. } | StoreOp::InsertOrReplace { .. }
-        )
-    }
-}
-
-/// The per-operation result of an executed batch, index-aligned with the
-/// submitted `Vec<StoreOp>`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum OpOutcome<V: Value> {
-    /// Result of [`StoreOp::Insert`]: `true` when the key was absent.
-    Inserted(bool),
-    /// Result of [`StoreOp::InsertOrReplace`]: the value it replaced.
-    Replaced(Option<V>),
-    /// Result of [`StoreOp::Remove`]: `true` when the key was present.
-    Removed(bool),
-    /// Result of [`StoreOp::RemoveEntry`]: the removed value.
-    RemovedEntry(Option<V>),
-}
-
-/// Why phase one rejected a batch. No shard is mutated when any of these is
-/// returned.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum BatchError<K: Key> {
-    /// Two operations in the batch address the same key. Within one batch
-    /// there is no defined order between them (the per-shard groups execute
-    /// concurrently), so the batch is ambiguous and refused.
-    DuplicateKey {
-        /// The key that appears more than once.
-        key: K,
-    },
-    /// The batch exceeds [`StoreConfig::max_batch_ops`].
-    TooLarge {
-        /// Number of operations submitted.
-        len: usize,
-        /// Configured maximum.
-        max: usize,
-    },
-}
-
-impl<K: Key> fmt::Display for BatchError<K> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            BatchError::DuplicateKey { key } => {
-                write!(f, "batch addresses key {key:?} more than once")
-            }
-            BatchError::TooLarge { len, max } => {
-                write!(
-                    f,
-                    "batch of {len} ops exceeds the configured maximum of {max}"
-                )
-            }
-        }
-    }
-}
-
-impl<K: Key> std::error::Error for BatchError<K> {}
+pub use wft_api::{BatchError, OpOutcome, StoreOp};
 
 /// Construction parameters of a [`ShardedStore`](crate::ShardedStore).
 #[derive(Debug, Clone)]
@@ -136,7 +29,7 @@ impl Default for StoreConfig {
     fn default() -> Self {
         StoreConfig {
             tree: wft_core::TreeConfig::default(),
-            max_batch_ops: usize::MAX,
+            max_batch_ops: wft_api::UNBOUNDED_BATCH_OPS,
             parallel_threshold: 64,
         }
     }

@@ -29,7 +29,6 @@
 //! atomic per shard and all-or-nothing with respect to validation, but a
 //! concurrent reader may observe a batch half-applied across two shards.
 
-use std::collections::HashSet;
 use std::thread;
 
 use wft_core::{TreeStats, WaitFreeTree};
@@ -169,7 +168,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         &self.bounds
     }
 
-    fn shard(&self, key: &K) -> &WaitFreeTree<K, V, A> {
+    pub(crate) fn shard(&self, key: &K) -> &WaitFreeTree<K, V, A> {
         &self.shards[self.shard_of(key)]
     }
 
@@ -182,14 +181,12 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
 
     /// Inserts `key → value`, returning the value it replaced, if any.
     ///
-    /// Built from the tree's `remove_entry` + `insert` primitives; a
-    /// concurrent reader may observe the key briefly absent between the two
-    /// steps.
+    /// Atomic: delegates to the owning shard's
+    /// [`WaitFreeTree::insert_or_replace`], which executes as a single
+    /// `Replace` descriptor — there is no window in which a concurrent
+    /// reader can observe the key absent.
     pub fn insert_or_replace(&self, key: K, value: V) -> Option<V> {
-        let shard = self.shard(&key);
-        let previous = shard.remove_entry(&key);
-        shard.insert(key, value);
-        previous
+        self.shard(&key).insert_or_replace(key, value)
     }
 
     /// Removes `key`; returns `true` if it was present.
@@ -274,18 +271,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
     /// (per-shard groups execute concurrently, so a batch-internal order
     /// between same-key operations cannot be guaranteed).
     pub fn plan_batch(&self, batch: Vec<StoreOp<K, V>>) -> Result<BatchPlan<K, V>, BatchError<K>> {
-        if batch.len() > self.config.max_batch_ops {
-            return Err(BatchError::TooLarge {
-                len: batch.len(),
-                max: self.config.max_batch_ops,
-            });
-        }
-        let mut seen = HashSet::with_capacity(batch.len());
-        for op in &batch {
-            if !seen.insert(*op.key()) {
-                return Err(BatchError::DuplicateKey { key: *op.key() });
-            }
-        }
+        wft_api::validate_batch(&batch, self.config.max_batch_ops)?;
         let mut groups: Vec<Vec<(usize, StoreOp<K, V>)>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
         let len = batch.len();
@@ -432,9 +418,7 @@ fn apply_one<K: Key, V: Value, A: Augmentation<K, V>>(
     match op {
         StoreOp::Insert { key, value } => OpOutcome::Inserted(shard.insert(key, value)),
         StoreOp::InsertOrReplace { key, value } => {
-            let previous = shard.remove_entry(&key);
-            shard.insert(key, value);
-            OpOutcome::Replaced(previous)
+            OpOutcome::Replaced(shard.insert_or_replace(key, value))
         }
         StoreOp::Remove { key } => OpOutcome::Removed(shard.remove(&key)),
         StoreOp::RemoveEntry { key } => OpOutcome::RemovedEntry(shard.remove_entry(&key)),

@@ -1,0 +1,112 @@
+//! [`wft_api`] trait implementations for [`WaitFreeTrie`].
+//!
+//! The trie shares the BST's descriptor semantics, so the mapping is the
+//! same: one descriptor per update ([`PointMap::replace`] →
+//! [`crate::OpKind::Replace`]), [`RangeSpec`] resolved once at the boundary,
+//! batches through the shared serial helper.
+
+use wft_api::{
+    apply_batch_point, BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec,
+    StoreOp, UpdateOutcome,
+};
+use wft_seq::{Augmentation, Value};
+
+use crate::key::TrieKey;
+use crate::tree::WaitFreeTrie;
+
+impl<K: TrieKey, V: Value, A: Augmentation<K, V>> PointMap<K, V> for WaitFreeTrie<K, V, A> {
+    fn insert(&self, key: K, value: V) -> UpdateOutcome<V> {
+        let (op, _ts) = self.run_operation(crate::OpKind::Insert { key, value });
+        let decision = op.resolved_decision();
+        if decision.success {
+            UpdateOutcome::Applied { prior: None }
+        } else {
+            UpdateOutcome::Unchanged {
+                current: decision.prior_value.clone(),
+            }
+        }
+    }
+
+    fn replace(&self, key: K, value: V) -> UpdateOutcome<V> {
+        UpdateOutcome::Applied {
+            prior: self.insert_or_replace(key, value),
+        }
+    }
+
+    fn remove(&self, key: &K) -> UpdateOutcome<V> {
+        let (op, _ts) = self.run_operation(crate::OpKind::Remove { key: *key });
+        let decision = op.resolved_decision();
+        if decision.success {
+            UpdateOutcome::Applied {
+                prior: decision.prior_value.clone(),
+            }
+        } else {
+            UpdateOutcome::Unchanged { current: None }
+        }
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        WaitFreeTrie::get(self, key)
+    }
+
+    fn len(&self) -> u64 {
+        WaitFreeTrie::len(self)
+    }
+}
+
+impl<K, V, A> RangeRead<K, V> for WaitFreeTrie<K, V, A>
+where
+    K: TrieKey + RangeKey,
+    V: Value,
+    A: Augmentation<K, V>,
+{
+    type Agg = A::Agg;
+
+    fn range_agg(&self, range: RangeSpec<K>) -> A::Agg {
+        wft_api::agg_over(range, A::identity, |min, max| {
+            WaitFreeTrie::range_agg(self, min, max)
+        })
+    }
+
+    fn count(&self, range: RangeSpec<K>) -> u64 {
+        wft_api::count_over(
+            range,
+            |min, max| WaitFreeTrie::range_agg(self, min, max),
+            A::count_of,
+            |min, max| WaitFreeTrie::collect_range(self, min, max).len() as u64,
+        )
+    }
+
+    fn collect_range(&self, range: RangeSpec<K>) -> Vec<(K, V)> {
+        wft_api::collect_over(range, |min, max| {
+            WaitFreeTrie::collect_range(self, min, max)
+        })
+    }
+}
+
+impl<K: TrieKey, V: Value, A: Augmentation<K, V>> BatchApply<K, V> for WaitFreeTrie<K, V, A> {
+    fn apply_batch(&self, batch: Vec<StoreOp<K, V>>) -> Result<Vec<OpOutcome<V>>, BatchError<K>> {
+        apply_batch_point(self, batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_surface_matches_inherent_semantics() {
+        let trie: WaitFreeTrie<u64, u64> = WaitFreeTrie::new();
+        assert!(PointMap::insert(&trie, 1, 10).is_applied());
+        assert_eq!(
+            PointMap::replace(&trie, 1, 11),
+            UpdateOutcome::Applied { prior: Some(10) }
+        );
+        assert_eq!(RangeRead::count(&trie, RangeSpec::all()), 1);
+        assert_eq!(RangeRead::count(&trie, RangeSpec::inclusive(9, 3)), 0);
+        let outcomes = trie
+            .apply_batch(vec![StoreOp::InsertOrReplace { key: 1, value: 12 }])
+            .unwrap();
+        assert_eq!(outcomes, vec![OpOutcome::Replaced(Some(11))]);
+    }
+}

@@ -29,6 +29,15 @@ pub enum OpKind<K, V> {
         /// Value to associate.
         value: V,
     },
+    /// `replace(key, value)`: add the key or overwrite its value — the
+    /// atomic upsert, one descriptor and one timestamp like every other
+    /// update.
+    Replace {
+        /// Key to insert or overwrite.
+        key: K,
+        /// Value to associate.
+        value: V,
+    },
     /// `remove(key)`: delete the key if present.
     Remove {
         /// Key to remove.
@@ -58,15 +67,19 @@ pub enum OpKind<K, V> {
 impl<K: TrieKey, V: Value> OpKind<K, V> {
     /// `true` for operations that may modify the trie.
     pub fn is_update(&self) -> bool {
-        matches!(self, OpKind::Insert { .. } | OpKind::Remove { .. })
+        matches!(
+            self,
+            OpKind::Insert { .. } | OpKind::Replace { .. } | OpKind::Remove { .. }
+        )
     }
 
     /// The single routing key of a scalar operation.
     pub fn scalar_key(&self) -> Option<K> {
         match self {
-            OpKind::Insert { key, .. } | OpKind::Remove { key } | OpKind::Lookup { key } => {
-                Some(*key)
-            }
+            OpKind::Insert { key, .. }
+            | OpKind::Replace { key, .. }
+            | OpKind::Remove { key }
+            | OpKind::Lookup { key } => Some(*key),
             _ => None,
         }
     }
@@ -75,7 +88,10 @@ impl<K: TrieKey, V: Value> OpKind<K, V> {
     /// degenerate range of their key).
     pub fn index_range(&self) -> (u64, u64) {
         match self {
-            OpKind::Insert { key, .. } | OpKind::Remove { key } | OpKind::Lookup { key } => {
+            OpKind::Insert { key, .. }
+            | OpKind::Replace { key, .. }
+            | OpKind::Remove { key }
+            | OpKind::Lookup { key } => {
                 let i = key.to_index();
                 (i, i)
             }

@@ -111,7 +111,7 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         };
 
         let mut partial: Partial<K, V, A::Agg> = match &op.kind {
-            OpKind::Insert { .. } | OpKind::Remove { .. } => Partial::Unit,
+            OpKind::Insert { .. } | OpKind::Replace { .. } | OpKind::Remove { .. } => Partial::Unit,
             OpKind::Lookup { .. } => Partial::Lookup(None),
             OpKind::RangeAgg { .. } => Partial::Agg(A::identity()),
             OpKind::Collect { .. } => Partial::Entries(Vec::new()),
@@ -120,7 +120,10 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         match parent {
             ParentRef::Fictive => {
                 let descend = match &op.kind {
-                    OpKind::Insert { .. } | OpKind::Remove { .. } => op.resolved_decision().success,
+                    // A replace always succeeds, so this also always descends.
+                    OpKind::Insert { .. } | OpKind::Replace { .. } | OpKind::Remove { .. } => {
+                        op.resolved_decision().success
+                    }
                     _ => true,
                 };
                 if descend {
@@ -135,7 +138,10 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
                 }
             }
             ParentRef::Inner(inner) => match &op.kind {
-                OpKind::Insert { key, .. } | OpKind::Remove { key } | OpKind::Lookup { key } => {
+                OpKind::Insert { key, .. }
+                | OpKind::Replace { key, .. }
+                | OpKind::Remove { key }
+                | OpKind::Lookup { key } => {
                     let (slot, coverage) = inner.child_slot(key.to_index());
                     self.continue_into_child(op, ts, slot, coverage, &mut partial, guard);
                 }
@@ -200,6 +206,7 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
     fn resolve_update(&self, op: &OpRef<K, V, A>, ts: Timestamp, guard: &Guard) {
         let (key, update) = match &op.kind {
             OpKind::Insert { key, value } => (key, UpdateKind::Insert(value.clone())),
+            OpKind::Replace { key, value } => (key, UpdateKind::Replace(value.clone())),
             OpKind::Remove { key } => (key, UpdateKind::Remove),
             _ => unreachable!("resolve_update called for a read-only operation"),
         };
@@ -211,6 +218,13 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
                     OpKind::Insert { .. } => {
                         self.len.fetch_add(1, Relaxed);
                         self.counters.inserts.fetch_add(1, Relaxed);
+                    }
+                    OpKind::Replace { .. } => {
+                        // An overwrite leaves the length unchanged.
+                        if decision.prior_value.is_none() {
+                            self.len.fetch_add(1, Relaxed);
+                        }
+                        self.counters.replaces.fetch_add(1, Relaxed);
                     }
                     OpKind::Remove { .. } => {
                         self.len.fetch_sub(1, Relaxed);
@@ -275,6 +289,15 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         }
         let new_agg = match &op.kind {
             OpKind::Insert { key, value } => A::insert_delta(&state.agg, key, value),
+            OpKind::Replace { key, value } => {
+                // New entry in, displaced entry out (plain insertion when the
+                // key was absent).
+                let added = A::insert_delta(&state.agg, key, value);
+                match decision.prior_value.as_ref() {
+                    Some(prior) => A::remove_delta(&added, key, prior),
+                    None => added,
+                }
+            }
             OpKind::Remove { key } => {
                 let prior = decision
                     .prior_value
@@ -311,11 +334,36 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         guard: &Guard,
     ) {
         match &op.kind {
-            OpKind::Insert { key, value } => {
+            OpKind::Insert { key, value } | OpKind::Replace { key, value } => {
                 // A leaf created by a later operation means our structural
                 // change already happened and the slot was since reused:
                 // leave it alone.
-                if leaf.created_ts >= ts || &leaf.key == key {
+                if leaf.created_ts >= ts {
+                    return;
+                }
+                if &leaf.key == key {
+                    if matches!(op.kind, OpKind::Insert { .. }) {
+                        // The key is already physically present (installed
+                        // through a rebuilt chain); nothing to do.
+                        return;
+                    }
+                    // Replace bottoming out on its own key: install a leaf
+                    // carrying the new value; the expected-pointer CAS keeps
+                    // this exactly-once among racing helpers.
+                    let new_leaf = Node::Leaf(LeafNode {
+                        key: *key,
+                        value: value.clone(),
+                        created_ts: ts,
+                    });
+                    match slot.compare_exchange(child, Owned::new(new_leaf), AcqRel, Acquire, guard)
+                    {
+                        Ok(_) => unsafe { guard.defer_destroy(child) },
+                        Err(e) => {
+                            free_subtrie_now(
+                                e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }),
+                            );
+                        }
+                    }
                     return;
                 }
                 let chain = build_divergence_chain::<K, V, A>(
@@ -391,7 +439,7 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         guard: &Guard,
     ) {
         match &op.kind {
-            OpKind::Insert { key, value } => {
+            OpKind::Insert { key, value } | OpKind::Replace { key, value } => {
                 if empty.created_ts >= ts {
                     // The placeholder was created by a later removal: our
                     // insertion has already been applied and undone by

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod api;
 pub mod descriptor;
 pub mod exec;
 pub mod key;

@@ -14,6 +14,7 @@ use crate::node::{build_subtrie, collect_subtrie, free_subtrie_now, Coverage, Id
 #[derive(Debug, Default)]
 pub(crate) struct TrieCounters {
     pub(crate) inserts: AtomicU64,
+    pub(crate) replaces: AtomicU64,
     pub(crate) removes: AtomicU64,
     pub(crate) failed_updates: AtomicU64,
     pub(crate) helped_executions: AtomicU64,
@@ -24,6 +25,8 @@ pub(crate) struct TrieCounters {
 pub struct TrieStats {
     /// Successful insertions.
     pub inserts: u64,
+    /// Replace (upsert) descriptors applied.
+    pub replaces: u64,
     /// Successful removals.
     pub removes: u64,
     /// Updates that did not change the set (key already present / absent).
@@ -122,6 +125,15 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         op.resolved_decision().success
     }
 
+    /// Inserts `key → value`, overwriting any existing value; returns the
+    /// value it replaced, if any. Executes as a single `Replace` descriptor
+    /// (one root-queue timestamp), like the BST's
+    /// `WaitFreeTree::insert_or_replace`.
+    pub fn insert_or_replace(&self, key: K, value: V) -> Option<V> {
+        let (op, _ts) = self.run_operation(OpKind::Replace { key, value });
+        op.resolved_decision().prior_value.clone()
+    }
+
     /// Removes `key`. Returns `true` if it was present.
     pub fn remove(&self, key: &K) -> bool {
         let (op, _ts) = self.run_operation(OpKind::Remove { key: *key });
@@ -184,6 +196,7 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
     pub fn stats(&self) -> TrieStats {
         TrieStats {
             inserts: self.counters.inserts.load(Ordering::Relaxed),
+            replaces: self.counters.replaces.load(Ordering::Relaxed),
             removes: self.counters.removes.load(Ordering::Relaxed),
             failed_updates: self.counters.failed_updates.load(Ordering::Relaxed),
             helped_executions: self.counters.helped_executions.load(Ordering::Relaxed),
@@ -366,6 +379,19 @@ mod tests {
         assert_eq!(trie.get(&1), Some("one".to_string()));
         assert_eq!(trie.remove_entry(&1), Some("one".to_string()));
         assert_eq!(trie.remove_entry(&1), None);
+    }
+
+    #[test]
+    fn insert_or_replace_upserts_atomically() {
+        let trie: WaitFreeTrie<u64, u64> = WaitFreeTrie::new();
+        assert_eq!(trie.insert_or_replace(5, 50), None);
+        assert_eq!(trie.insert_or_replace(5, 51), Some(50));
+        assert_eq!(trie.len(), 1);
+        assert_eq!(trie.get(&5), Some(51));
+        assert_eq!(trie.stats().replaces, 2);
+        // Replacing keeps the size augmentation consistent.
+        assert_eq!(trie.count(0, 10), 1);
+        trie.check_invariants();
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! A uniform interface over every tree implementation in the workspace.
 //!
-//! The benchmark harness measures five structures under identical workloads:
+//! The benchmark harness measures seven structures under identical
+//! workloads:
 //!
 //! * the paper's wait-free tree (lock-free root queue),
 //! * the same tree with the wait-free root queue of Lemma 1,
@@ -8,14 +9,20 @@
 //! * the coarse-grained lock baseline,
 //! * the lock-free external BST whose range queries are linear in the range
 //!   width (the "linear-time solutions" class of prior work),
-//! * the wait-free binary trie (the same helping scheme with bit-routing).
+//! * the wait-free binary trie (the same helping scheme with bit-routing),
+//! * the range-partitioned sharded store.
 //!
 //! All of them are driven through [`ConcurrentSet`], instantiated for the
 //! paper's benchmark domain: 64-bit integer keys, unit values, subtree-size
-//! augmentation.
+//! augmentation. [`ConcurrentSet`] itself is implemented **once**, as a
+//! blanket impl over the `wft-api` trait family — the harness has no
+//! per-implementation code at all, so a new backend only has to implement
+//! [`PointMap`] + [`RangeRead`] to appear in every experiment, table and
+//! lincheck suite.
 
 use std::sync::Arc;
 
+use wft_api::{PointMap, RangeRead, RangeSpec};
 use wft_core::{RootQueueKind, TreeConfig, WaitFreeTree};
 use wft_lockbased::LockedRangeTree;
 use wft_lockfree::LockFreeBst;
@@ -23,10 +30,16 @@ use wft_persistent::PersistentRangeTree;
 use wft_store::ShardedStore;
 use wft_trie::WaitFreeTrie;
 
-/// The common operation surface used by every experiment.
+/// The common operation surface used by every experiment: the `wft-api`
+/// trait family monomorphised to the paper's benchmark domain (`i64` keys,
+/// unit values) and object-safe, so heterogeneous implementations share one
+/// harness through `Arc<dyn ConcurrentSet>`.
 pub trait ConcurrentSet: Send + Sync + 'static {
     /// Inserts `key`; returns `true` if it was absent.
     fn insert(&self, key: i64) -> bool;
+    /// Upserts `key` (the atomic replace); returns `true` if it was already
+    /// present.
+    fn replace(&self, key: i64) -> bool;
     /// Removes `key`; returns `true` if it was present.
     fn remove(&self, key: i64) -> bool;
     /// Returns `true` if `key` is present.
@@ -44,132 +57,30 @@ pub trait ConcurrentSet: Send + Sync + 'static {
     }
 }
 
-impl ConcurrentSet for WaitFreeTree<i64> {
+impl<T> ConcurrentSet for T
+where
+    T: PointMap<i64, ()> + RangeRead<i64, ()> + 'static,
+{
     fn insert(&self, key: i64) -> bool {
-        WaitFreeTree::insert(self, key, ())
+        PointMap::insert(self, key, ()).is_applied()
+    }
+    fn replace(&self, key: i64) -> bool {
+        PointMap::replace(self, key, ()).displaced_existing()
     }
     fn remove(&self, key: i64) -> bool {
-        WaitFreeTree::remove(self, &key)
+        PointMap::remove(self, &key).is_applied()
     }
     fn contains(&self, key: i64) -> bool {
-        WaitFreeTree::contains(self, &key)
+        PointMap::contains(self, &key)
     }
     fn count(&self, min: i64, max: i64) -> u64 {
-        WaitFreeTree::count(self, min, max)
+        RangeRead::count(self, RangeSpec::inclusive(min, max))
     }
     fn count_via_collect(&self, min: i64, max: i64) -> u64 {
-        WaitFreeTree::collect_range(self, min, max).len() as u64
+        RangeRead::collect_range(self, RangeSpec::inclusive(min, max)).len() as u64
     }
     fn len(&self) -> u64 {
-        WaitFreeTree::len(self)
-    }
-}
-
-impl ConcurrentSet for PersistentRangeTree<i64> {
-    fn insert(&self, key: i64) -> bool {
-        PersistentRangeTree::insert(self, key, ())
-    }
-    fn remove(&self, key: i64) -> bool {
-        PersistentRangeTree::remove(self, &key)
-    }
-    fn contains(&self, key: i64) -> bool {
-        PersistentRangeTree::contains(self, &key)
-    }
-    fn count(&self, min: i64, max: i64) -> u64 {
-        PersistentRangeTree::count(self, min, max)
-    }
-    fn count_via_collect(&self, min: i64, max: i64) -> u64 {
-        PersistentRangeTree::collect_range(self, min, max).len() as u64
-    }
-    fn len(&self) -> u64 {
-        PersistentRangeTree::len(self)
-    }
-}
-
-impl ConcurrentSet for WaitFreeTrie<i64> {
-    fn insert(&self, key: i64) -> bool {
-        WaitFreeTrie::insert(self, key, ())
-    }
-    fn remove(&self, key: i64) -> bool {
-        WaitFreeTrie::remove(self, &key)
-    }
-    fn contains(&self, key: i64) -> bool {
-        WaitFreeTrie::contains(self, &key)
-    }
-    fn count(&self, min: i64, max: i64) -> u64 {
-        WaitFreeTrie::count(self, min, max)
-    }
-    fn count_via_collect(&self, min: i64, max: i64) -> u64 {
-        WaitFreeTrie::collect_range(self, min, max).len() as u64
-    }
-    fn len(&self) -> u64 {
-        WaitFreeTrie::len(self)
-    }
-}
-
-impl ConcurrentSet for LockFreeBst<i64> {
-    fn insert(&self, key: i64) -> bool {
-        LockFreeBst::insert(self, key, ())
-    }
-    fn remove(&self, key: i64) -> bool {
-        LockFreeBst::remove(self, &key)
-    }
-    fn contains(&self, key: i64) -> bool {
-        LockFreeBst::contains(self, &key)
-    }
-    fn count(&self, min: i64, max: i64) -> u64 {
-        // This baseline has no augmentation: its *only* way to count is to
-        // collect the range, which is exactly the asymptotic gap the paper
-        // closes.
-        LockFreeBst::count(self, min, max)
-    }
-    fn count_via_collect(&self, min: i64, max: i64) -> u64 {
-        LockFreeBst::collect_range(self, min, max).len() as u64
-    }
-    fn len(&self) -> u64 {
-        LockFreeBst::len(self)
-    }
-}
-
-impl ConcurrentSet for ShardedStore<i64> {
-    fn insert(&self, key: i64) -> bool {
-        ShardedStore::insert(self, key, ())
-    }
-    fn remove(&self, key: i64) -> bool {
-        ShardedStore::remove(self, &key)
-    }
-    fn contains(&self, key: i64) -> bool {
-        ShardedStore::contains(self, &key)
-    }
-    fn count(&self, min: i64, max: i64) -> u64 {
-        ShardedStore::<i64>::count(self, min, max)
-    }
-    fn count_via_collect(&self, min: i64, max: i64) -> u64 {
-        ShardedStore::collect_range(self, min, max).len() as u64
-    }
-    fn len(&self) -> u64 {
-        ShardedStore::len(self)
-    }
-}
-
-impl ConcurrentSet for LockedRangeTree<i64> {
-    fn insert(&self, key: i64) -> bool {
-        LockedRangeTree::insert(self, key, ())
-    }
-    fn remove(&self, key: i64) -> bool {
-        LockedRangeTree::remove(self, &key)
-    }
-    fn contains(&self, key: i64) -> bool {
-        LockedRangeTree::contains(self, &key)
-    }
-    fn count(&self, min: i64, max: i64) -> u64 {
-        LockedRangeTree::count(self, min, max)
-    }
-    fn count_via_collect(&self, min: i64, max: i64) -> u64 {
-        LockedRangeTree::collect_range(self, min, max).len() as u64
-    }
-    fn len(&self) -> u64 {
-        LockedRangeTree::len(self)
+        PointMap::len(self)
     }
 }
 
@@ -223,7 +134,19 @@ impl TreeImpl {
         }
     }
 
+    /// `true` when the implementation's `replace` is a single linearizable
+    /// operation. The lock-free linear baseline composes
+    /// `remove` + `insert` (its class has no native upsert), so histories
+    /// mixing `replace` with concurrent reads are not checked against it.
+    pub fn replace_is_atomic(&self) -> bool {
+        !matches!(self, TreeImpl::LockFreeLinear)
+    }
+
     /// Instantiates the implementation pre-filled with `entries`.
+    ///
+    /// Every arm returns the structure as a `dyn ConcurrentSet` through the
+    /// blanket impl over `PointMap` + `RangeRead` — there is no
+    /// per-implementation adapter code to keep in sync.
     pub fn build(&self, entries: &[i64], max_threads: usize) -> Arc<dyn ConcurrentSet> {
         let pairs = entries.iter().map(|&k| (k, ()));
         match self {
@@ -259,10 +182,15 @@ mod tests {
         assert!(set.insert(1_000_001));
         assert!(!set.insert(1_000_001));
         assert!(set.contains(1_000_001));
+        assert!(set.replace(1_000_001), "replace of a present key overwrote");
         assert!(set.remove(1_000_001));
         assert!(!set.remove(1_000_001));
+        assert!(!set.replace(1_000_002), "replace of an absent key inserted");
+        assert!(set.remove(1_000_002));
         assert_eq!(set.count(0, 9), 10);
         assert_eq!(set.count_via_collect(0, 9), 10);
+        assert_eq!(set.count(9, 0), 0, "inverted range counts zero");
+        assert_eq!(set.count_via_collect(9, 0), 0);
         assert_eq!(set.len(), 100);
     }
 

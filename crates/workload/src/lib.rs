@@ -5,9 +5,10 @@
 //! interval, and each plotted point is the average of several runs. This
 //! crate reproduces that methodology:
 //!
-//! * [`adapter`] — a single [`adapter::ConcurrentSet`] interface implemented
-//!   by every tree in the workspace (wait-free, persistent baseline,
-//!   global-lock baseline), so experiments swap implementations freely;
+//! * [`adapter`] — a single [`adapter::ConcurrentSet`] interface provided
+//!   by one blanket impl over the `wft-api` trait family, so every backend
+//!   in the workspace (and any future one implementing `PointMap` +
+//!   `RangeRead`) slots into the experiments without adapter code;
 //! * [`spec`] — declarative workload descriptions matching the paper's three
 //!   benchmarks (read-heavy `contains`, insert-delete, successful-insert)
 //!   plus the range-query mixes used by the additional experiments;

@@ -22,7 +22,7 @@ use std::thread;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use wait_free_range_trees::WaitFreeTrie;
+use wait_free_range_trees::prelude::*;
 
 /// Active hosts, keyed by the numeric form of their IPv4 address.
 type HostSet = WaitFreeTrie<u32>;

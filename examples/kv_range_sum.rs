@@ -6,8 +6,8 @@
 //! maintained, not just subtree sizes. This example keeps a ledger of
 //! account balances keyed by account id and answers "what is the total
 //! balance held by accounts in this id range?" in `O(log N)`, while transfer
-//! threads move money around concurrently (a transfer is a remove + insert
-//! with a new balance). The same queries are answered by the persistent
+//! threads move money around concurrently (a re-booking is one atomic
+//! `insert_or_replace` upsert). The same queries are answered by the persistent
 //! baseline and by the sequential oracle, and all three must agree once the
 //! system is quiescent.
 
@@ -17,8 +17,8 @@ use std::thread;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use wait_free_range_trees::core::{Sum, WaitFreeTree};
 use wait_free_range_trees::persistent::PersistentRangeTree;
+use wait_free_range_trees::prelude::*;
 use wait_free_range_trees::seq::ReferenceMap;
 
 type Ledger = WaitFreeTree<i64, i64, Sum>;
@@ -42,9 +42,11 @@ fn main() {
                 let mut rng = StdRng::seed_from_u64(w as u64);
                 for _ in 0..UPDATES_PER_WORKER {
                     let id = lo + rng.gen_range(0..stripe);
-                    // Re-book the account with a new balance: remove + insert.
-                    if let Some(balance) = ledger.remove_entry(&id) {
-                        ledger.insert(id, balance + 1);
+                    // Re-book the account with a new balance: a single
+                    // atomic upsert — concurrent stripe totals never observe
+                    // the account missing.
+                    if let Some(balance) = ledger.get(&id) {
+                        ledger.insert_or_replace(id, balance + 1);
                     }
                     // Concurrent range query over the worker's own stripe:
                     // total balance can only have grown.

@@ -11,7 +11,7 @@
 use std::sync::Arc;
 use std::thread;
 
-use wait_free_range_trees::WaitFreeTree;
+use wait_free_range_trees::prelude::*;
 
 fn main() {
     let tree: Arc<WaitFreeTree<i64>> = Arc::new(WaitFreeTree::new());

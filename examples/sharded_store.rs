@@ -24,8 +24,8 @@ use std::thread;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use wait_free_range_trees::prelude::*;
 use wait_free_range_trees::seq::ReferenceMap;
-use wait_free_range_trees::store::{Pair, ShardedStore, Size, StoreConfig, StoreOp, Sum};
 
 const SHARDS: usize = 8;
 const WRITERS: u64 = 4;

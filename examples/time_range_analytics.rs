@@ -21,7 +21,7 @@ use std::thread;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use wait_free_range_trees::core::{Pair, Size, Sum, WaitFreeTree};
+use wait_free_range_trees::prelude::*;
 
 /// Requests are keyed by a synthetic microsecond timestamp; the value is the
 /// request's payload size in bytes.

@@ -4,26 +4,31 @@
 //! This crate simply re-exports the workspace members under stable names so
 //! the examples and integration tests can use one import root:
 //!
-//! * [`core`](wft_core) — the wait-free concurrent augmented tree (the
+//! * [`api`] — the shared trait family ([`PointMap`](wft_api::PointMap),
+//!   [`RangeRead`](wft_api::RangeRead), [`BatchApply`](wft_api::BatchApply))
+//!   and API vocabulary ([`UpdateOutcome`](wft_api::UpdateOutcome),
+//!   [`RangeSpec`](wft_api::RangeSpec), the batch `StoreOp` types) every
+//!   backend implements;
+//! * [`core`] — the wait-free concurrent augmented tree (the
 //!   paper's contribution);
-//! * [`queue`](wft_queue) — descriptor queues, timestamp allocation, the
+//! * [`queue`] — descriptor queues, timestamp allocation, the
 //!   presence index and the other concurrent substrates;
-//! * [`seq`](wft_seq) — the augmentation algebra, the sequential augmented
+//! * [`seq`] — the augmentation algebra, the sequential augmented
 //!   tree and the `BTreeMap` oracle;
-//! * [`persistent`](wft_persistent) — the persistent path-copying baseline
+//! * [`persistent`] — the persistent path-copying baseline
 //!   the paper compares against;
-//! * [`lockbased`](wft_lockbased) — the coarse-grained lock baseline;
-//! * [`lockfree`](wft_lockfree) — the lock-free external BST baseline
+//! * [`lockbased`] — the coarse-grained lock baseline;
+//! * [`lockfree`] — the lock-free external BST baseline
 //!   representing the "linear-time range queries" class of prior work;
-//! * [`lincheck`](wft_lincheck) — history recording and a linearizability
+//! * [`lincheck`] — history recording and a linearizability
 //!   checker used by the integration test suite;
-//! * [`trie`](wft_trie) — a wait-free binary trie with aggregate range
+//! * [`trie`] — a wait-free binary trie with aggregate range
 //!   queries: the same helping scheme instantiated for bit-routing (the
 //!   paper's §IV future-work item);
-//! * [`store`](wft_store) — the range-partitioned sharded store layering
+//! * [`store`] — the range-partitioned sharded store layering
 //!   two-phase batched writes and cross-shard aggregate queries over
 //!   independent wait-free tree shards;
-//! * [`workload`](wft_workload) — workload generators and the timed
+//! * [`workload`] — workload generators and the timed
 //!   throughput harness behind the experiment suite.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
@@ -31,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub use wft_api as api;
 pub use wft_core as core;
 pub use wft_lincheck as lincheck;
 pub use wft_lockbased as lockbased;
@@ -50,3 +56,27 @@ pub use wft_trie::WaitFreeTrie;
 
 /// Convenience re-export of the sharded store layered over the tree.
 pub use wft_store::{ShardedStore, StoreOp};
+
+/// The one-line import for applications: the `wft-api` trait family, its
+/// vocabulary types, the augmentation algebra and the concrete structures.
+///
+/// ```
+/// use wait_free_range_trees::prelude::*;
+///
+/// let tree: WaitFreeTree<i64, i64> = WaitFreeTree::new();
+/// assert_eq!(tree.insert_or_replace(1, 10), None);
+/// assert_eq!(RangeRead::count(&tree, RangeSpec::all()), 1);
+/// ```
+pub mod prelude {
+    // The trait family and its vocabulary.
+    pub use wft_api::{
+        BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec, StoreOp,
+        UpdateOutcome,
+    };
+    // The augmentation algebra.
+    pub use wft_seq::{Augmentation, Key, KeyRange, Pair, Size, Sum, SumSquares, Value};
+    // The concrete structures applications reach for first.
+    pub use wft_core::{RootQueueKind, TreeConfig, WaitFreeTree};
+    pub use wft_store::{split_keys_from_sample, ShardedStore, StoreConfig};
+    pub use wft_trie::WaitFreeTrie;
+}

@@ -23,6 +23,7 @@ use wait_free_range_trees::trie::WaitFreeTrie;
 #[derive(Debug, Clone, Copy)]
 enum Op {
     Insert(i64),
+    Replace(i64),
     Remove(i64),
     Contains(i64),
     Count(i64, i64),
@@ -69,6 +70,46 @@ fn apply_everywhere(ops: &[Op]) {
                 );
                 assert_eq!(locked.insert(k, ()), expect, "locked insert step {step}");
                 assert_eq!(seq.insert(k, ()), expect, "seq insert step {step}");
+            }
+            Op::Replace(k) => {
+                // The upsert on a unit-valued set: observable as "was the
+                // key present before?" — BTreeMap::insert semantics.
+                let expect = oracle.insert_or_replace(k, ()).is_some();
+                assert_eq!(
+                    wait_free.insert_or_replace(k, ()).is_some(),
+                    expect,
+                    "wait-free replace step {step}"
+                );
+                assert_eq!(
+                    wait_free_wf.insert_or_replace(k, ()).is_some(),
+                    expect,
+                    "wf-root replace step {step}"
+                );
+                assert_eq!(
+                    trie.insert_or_replace(k, ()).is_some(),
+                    expect,
+                    "trie replace step {step}"
+                );
+                assert_eq!(
+                    lockfree.insert_or_replace(k, ()).is_some(),
+                    expect,
+                    "lock-free replace step {step}"
+                );
+                assert_eq!(
+                    persistent.insert_or_replace(k, ()).is_some(),
+                    expect,
+                    "persistent replace step {step}"
+                );
+                assert_eq!(
+                    locked.insert_or_replace(k, ()).is_some(),
+                    expect,
+                    "locked replace step {step}"
+                );
+                assert_eq!(
+                    seq.insert_or_replace(k, ()).is_some(),
+                    expect,
+                    "seq replace step {step}"
+                );
             }
             Op::Remove(k) => {
                 let expect = oracle.remove(&k);
@@ -196,8 +237,9 @@ fn random_sequences_agree_across_all_implementations() {
         let ops: Vec<Op> = (0..1_500)
             .map(|_| {
                 let k = rng.gen_range(0..200);
-                match rng.gen_range(0..5) {
+                match rng.gen_range(0..6) {
                     0 | 1 => Op::Insert(k),
+                    5 => Op::Replace(k),
                     2 => Op::Remove(k),
                     3 => Op::Contains(k),
                     _ => {
@@ -242,6 +284,7 @@ fn adversarial_sorted_and_reversed_sequences() {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0i64..150).prop_map(Op::Insert),
+        (0i64..150).prop_map(Op::Replace),
         (0i64..150).prop_map(Op::Remove),
         (0i64..150).prop_map(Op::Contains),
         (0i64..150, 0i64..150).prop_map(|(a, b)| Op::Count(a.min(b), a.max(b))),
@@ -256,5 +299,48 @@ proptest! {
     #[test]
     fn proptest_cross_implementation_equivalence(ops in vec(op_strategy(), 1..250)) {
         apply_everywhere(&ops);
+    }
+
+    /// Value-carrying oracle for the atomic upsert: `insert_or_replace` on
+    /// the descriptor-based trees must behave exactly like
+    /// `BTreeMap::insert` — same returned prior value, same final contents.
+    #[test]
+    fn proptest_insert_or_replace_matches_btreemap_insert(
+        steps in vec((0i64..64, -1000i64..1000), 1..200)
+    ) {
+        use std::collections::BTreeMap;
+        let mut oracle: BTreeMap<i64, i64> = BTreeMap::new();
+        let wait_free: WaitFreeTree<i64, i64> = WaitFreeTree::new();
+        let trie: WaitFreeTrie<i64, i64> = WaitFreeTrie::new();
+        let persistent: PersistentRangeTree<i64, i64> = PersistentRangeTree::new();
+        for (step, &(k, v)) in steps.iter().enumerate() {
+            let expect = oracle.insert(k, v);
+            prop_assert_eq!(
+                wait_free.insert_or_replace(k, v),
+                expect,
+                "wait-free upsert step {}",
+                step
+            );
+            prop_assert_eq!(
+                trie.insert_or_replace(k, v),
+                expect,
+                "trie upsert step {}",
+                step
+            );
+            prop_assert_eq!(
+                persistent.insert_or_replace(k, v),
+                expect,
+                "persistent upsert step {}",
+                step
+            );
+        }
+        let expect_entries: Vec<(i64, i64)> =
+            oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(wait_free.entries_quiescent(), expect_entries.clone());
+        prop_assert_eq!(trie.entries_quiescent(), expect_entries.clone());
+        prop_assert_eq!(persistent.entries(), expect_entries);
+        wait_free.check_invariants();
+        trie.check_invariants();
+        persistent.check_invariants();
     }
 }

@@ -5,10 +5,13 @@
 //! The paper's central correctness claim (operations linearize in root-queue
 //! timestamp order) is checked here empirically for the wait-free tree with
 //! both root-queue variants, and the same harness is applied to the
-//! persistent and lock-based baselines. The lock-free external BST baseline
-//! is checked on its scalar operations only: its `collect`/`count` is
-//! documented as a non-linearizable best-effort traversal (that weakness is
-//! one of the gaps the paper's design closes).
+//! persistent and lock-based baselines; the op mix includes the atomic
+//! `replace` descriptor wherever the backend provides one. The lock-free
+//! external BST baseline is checked on its scalar insert/remove/contains
+//! only: its `collect`/`count` is documented as a non-linearizable
+//! best-effort traversal and its `replace` is a non-atomic remove+insert
+//! composition (weaknesses of the prior-work class that the paper's design
+//! closes).
 
 use std::sync::Arc;
 
@@ -28,11 +31,21 @@ const OPS_PER_THREAD: usize = 6;
 /// Key universe; tiny so operations collide constantly.
 const KEY_RANGE: i64 = 8;
 
+/// Which optional operations a recorded execution mixes in.
+#[derive(Clone, Copy)]
+struct OpMix {
+    /// Aggregate/collect counting queries.
+    range_queries: bool,
+    /// The atomic upsert (excluded for the baseline whose replace is a
+    /// documented non-atomic remove+insert composition).
+    replace: bool,
+}
+
 /// Runs one recorded execution against `set` and returns the history.
 fn record_round(
     set: Arc<dyn ConcurrentSet>,
     seed: u64,
-    with_range_queries: bool,
+    mix: OpMix,
 ) -> History<RangeSetOp, RangeSetRet> {
     History::record(THREADS, |recorders| {
         let handles: Vec<_> = recorders
@@ -45,7 +58,12 @@ fn record_round(
                     let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37));
                     for _ in 0..OPS_PER_THREAD {
                         let key = rng.gen_range(0..KEY_RANGE);
-                        let choices = if with_range_queries { 5 } else { 3 };
+                        let choices = match (mix.range_queries, mix.replace) {
+                            (true, true) => 6,
+                            (true, false) => 5,
+                            (false, true) => 4,
+                            (false, false) => 3,
+                        };
                         match rng.gen_range(0..choices) {
                             0 => {
                                 let token = recorder.invoke(RangeSetOp::Insert(key));
@@ -62,17 +80,22 @@ fn record_round(
                                 let ok = set.contains(key);
                                 recorder.respond(token, RangeSetRet::Bool(ok));
                             }
-                            3 => {
+                            3 if mix.range_queries => {
                                 let hi = rng.gen_range(key..KEY_RANGE);
                                 let token = recorder.invoke(RangeSetOp::Count(key, hi));
                                 let n = set.count(key, hi);
                                 recorder.respond(token, RangeSetRet::Count(n));
                             }
-                            _ => {
+                            4 if mix.range_queries => {
                                 let hi = rng.gen_range(key..KEY_RANGE);
                                 let token = recorder.invoke(RangeSetOp::Count(key, hi));
                                 let n = set.count_via_collect(key, hi);
                                 recorder.respond(token, RangeSetRet::Count(n));
+                            }
+                            _ => {
+                                let token = recorder.invoke(RangeSetOp::Replace(key));
+                                let was_present = set.replace(key);
+                                recorder.respond(token, RangeSetRet::Bool(was_present));
                             }
                         }
                     }
@@ -88,6 +111,10 @@ fn record_round(
 /// Checks `rounds` independent executions of `imp` and panics with the
 /// offending history on the first non-linearizable one.
 fn assert_linearizable(imp: TreeImpl, rounds: u64, with_range_queries: bool) {
+    let mix = OpMix {
+        range_queries: with_range_queries,
+        replace: imp.replace_is_atomic(),
+    };
     for round in 0..rounds {
         // Alternate between an empty tree and a small prefill so both code
         // paths (empty-tree fast paths, populated routing) are covered.
@@ -97,7 +124,7 @@ fn assert_linearizable(imp: TreeImpl, rounds: u64, with_range_queries: bool) {
             (0..KEY_RANGE).step_by(2).collect()
         };
         let set = imp.build(&prefill, THREADS);
-        let history = record_round(set, 0xA11CE + round, with_range_queries);
+        let history = record_round(set, 0xA11CE + round, mix);
         let initial = RangeSetSpec::prefilled(prefill.iter().copied());
         let verdict = check_history_with_initial::<RangeSetSpec>(&history, initial);
         assert!(
@@ -149,6 +176,9 @@ fn checker_rejects_a_broken_implementation() {
     impl ConcurrentSet for AlwaysEmpty {
         fn insert(&self, _key: i64) -> bool {
             true
+        }
+        fn replace(&self, _key: i64) -> bool {
+            false
         }
         fn remove(&self, _key: i64) -> bool {
             false

@@ -1,0 +1,107 @@
+//! Cross-implementation range-semantics regression tests.
+//!
+//! The `wft-api` contract (see `RangeSpec::to_closed`) says: an empty or
+//! inverted range — `min > max`, a half-open range with equal endpoints, an
+//! exclusive bound at the edge of the key domain — yields the **identity
+//! aggregate, a zero count and an empty listing**, identically on every
+//! backend. Before the API redesign this behaviour was per-implementation
+//! folklore; this suite pins it across the wait-free tree (both root
+//! queues), the trie, all three baselines and the sharded store, through
+//! both the trait family and the harness adapter.
+
+use std::ops::Bound;
+
+use wait_free_range_trees::prelude::*;
+use wait_free_range_trees::workload::TreeImpl;
+
+/// Inverted and degenerate closed ranges, as `(min, max)` pairs.
+const INVERTED: [(i64, i64); 4] = [(7, 3), (1, 0), (i64::MAX, i64::MIN), (50, -50)];
+
+#[test]
+fn inverted_ranges_are_empty_on_every_implementation() {
+    let prefill: Vec<i64> = (0..64).collect();
+    for imp in TreeImpl::ALL {
+        let set = imp.build(&prefill, 4);
+        for (min, max) in INVERTED {
+            assert_eq!(
+                set.count(min, max),
+                0,
+                "{}: count({min}, {max}) on an inverted range",
+                imp.name()
+            );
+            assert_eq!(
+                set.count_via_collect(min, max),
+                0,
+                "{}: collect({min}, {max}) on an inverted range",
+                imp.name()
+            );
+        }
+        // A degenerate single-key range still answers normally.
+        assert_eq!(set.count(5, 5), 1, "{}", imp.name());
+    }
+}
+
+/// Every backend, driven through the `RangeRead` trait itself with the full
+/// `Bound` vocabulary (not just inclusive pairs).
+fn assert_range_read_contract<T>(map: &T, label: &str)
+where
+    T: RangeRead<i64, (), Agg = u64> + PointMap<i64, ()>,
+{
+    for (min, max) in INVERTED {
+        let spec = RangeSpec::inclusive(min, max);
+        assert_eq!(map.range_agg(spec), 0, "{label}: identity aggregate");
+        assert_eq!(map.count(spec), 0, "{label}: zero count");
+        assert!(map.collect_range(spec).is_empty(), "{label}: empty listing");
+    }
+    // Half-open empty range.
+    assert_eq!(map.count(RangeSpec::from_bounds(5..5)), 0, "{label}: 5..5");
+    // Exclusive bound at the domain edge leaves no representable key.
+    let edge = RangeSpec {
+        lo: Bound::Excluded(i64::MAX),
+        hi: Bound::Unbounded,
+    };
+    assert_eq!(map.count(edge), 0, "{label}: (MAX, ..)");
+    // Sanity: the non-empty ranges still work through the same path.
+    assert_eq!(map.count(RangeSpec::all()), 64, "{label}: all");
+    assert_eq!(
+        map.count(RangeSpec::from_bounds(0..10)),
+        10,
+        "{label}: 0..10"
+    );
+    assert_eq!(map.count(RangeSpec::at_least(60)), 4, "{label}: 60..");
+}
+
+#[test]
+fn range_read_trait_contract_holds_everywhere() {
+    let entries = || (0..64i64).map(|k| (k, ()));
+    assert_range_read_contract(&WaitFreeTree::<i64>::from_entries(entries()), "wait-free");
+    assert_range_read_contract(&WaitFreeTrie::<i64>::from_entries(entries()), "trie");
+    assert_range_read_contract(
+        &wait_free_range_trees::persistent::PersistentRangeTree::<i64>::from_entries(entries()),
+        "persistent",
+    );
+    assert_range_read_contract(
+        &wait_free_range_trees::lockbased::LockedRangeTree::<i64>::from_entries(entries()),
+        "locked",
+    );
+    assert_range_read_contract(
+        &wait_free_range_trees::lockfree::LockFreeBst::<i64>::from_entries(entries()),
+        "lock-free-linear",
+    );
+    // The sharded store: inverted ranges must also short-circuit *before*
+    // shard routing, including ranges whose endpoints live in different
+    // shards in the "wrong" order.
+    assert_range_read_contract(&ShardedStore::<i64>::from_entries(entries(), 4), "sharded");
+}
+
+#[test]
+fn inverted_cross_shard_ranges_never_touch_shard_queries() {
+    let store = ShardedStore::<i64>::from_entries((0..1000).map(|k| (k, ())), 8);
+    // Endpoints in the last and first shard, inverted.
+    assert_eq!(store.count(999, 0), 0);
+    assert_eq!(store.range_agg(999, 0), 0);
+    assert!(store.collect_range(999, 0).is_empty());
+    // Same through the trait with exclusive bounds.
+    let spec = RangeSpec::from_bounds((Bound::Excluded(500i64), Bound::Excluded(501)));
+    assert_eq!(RangeRead::count(&store, spec), 0, "(500, 501) holds no key");
+}
