@@ -38,6 +38,11 @@ pub trait PointMap<K: Key, V: Value>: Send + Sync {
     fn get(&self, key: &K) -> Option<V>;
 
     /// Whether `key` is present.
+    ///
+    /// The default forwards to [`get`](PointMap::get); implementations with
+    /// a cheaper presence test should override it — the descriptor trees
+    /// (`wft-core`, `wft-trie`) answer it from their presence index in
+    /// `O(1)`, without a descriptor and without ever cloning the value.
     fn contains(&self, key: &K) -> bool {
         self.get(key).is_some()
     }

@@ -24,7 +24,12 @@ fn bench_contains(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
-    for imp in TreeImpl::ALL {
+    // `TreeImpl::ALL` plus the descriptor-forced read path of the wait-free
+    // tree, so this bench shows the PR 3 fast-path delta directly.
+    for imp in TreeImpl::ALL
+        .into_iter()
+        .chain([TreeImpl::WaitFreeDescReads])
+    {
         let set = imp.build(&prefill, 1);
         group.bench_with_input(BenchmarkId::from_parameter(imp.name()), &set, |b, set| {
             let mut rng = StdRng::seed_from_u64(7);

@@ -24,7 +24,11 @@ fn bench_range_mix(c: &mut Criterion) {
     for count_percent in [1.0f64, 5.0, 20.0] {
         let spec = WorkloadSpec::range_mix(count_percent, 0.01).scaled_down(PREFILL_RANGE);
         let prefill = spec.prefill_keys(21);
-        for imp in [TreeImpl::WaitFree, TreeImpl::Persistent] {
+        for imp in [
+            TreeImpl::WaitFree,
+            TreeImpl::WaitFreeDescReads,
+            TreeImpl::Persistent,
+        ] {
             let set = imp.build(&prefill, 1);
             group.bench_with_input(
                 BenchmarkId::new(imp.name(), format!("{count_percent}% counts")),

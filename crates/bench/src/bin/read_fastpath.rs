@@ -1,0 +1,149 @@
+//! Read fast-path before/after benchmark (`BENCH_read_fastpath.json`).
+//!
+//! Measures the throughput effect of PR 3's two-tier read path on the
+//! wait-free tree: the same read-heavy workloads are run with reads forced
+//! through the descriptor machinery (`ReadPath::Descriptor`, the "before"
+//! side) and with the fast paths enabled (`ReadPath::Fast`, the default
+//! "after" side), at 1/4/8 threads, and the per-point throughput plus the
+//! fast-hit/fallback counters are written to `BENCH_read_fastpath.json` so
+//! the repo's perf trajectory is recorded alongside the code.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin read_fastpath            # full run
+//! cargo run --release --bin read_fastpath -- --smoke # short CI run
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::Serialize;
+use wft_core::{ReadPath, TreeConfig, WaitFreeTree};
+use wft_workload::harness::timed_run;
+use wft_workload::WorkloadSpec;
+
+/// One measured configuration point.
+#[derive(Debug, Serialize)]
+struct Point {
+    workload: String,
+    threads: usize,
+    read_path: String,
+    ops_per_sec: f64,
+    fast_point_reads: u64,
+    fast_range_hits: u64,
+    range_fallbacks: u64,
+}
+
+/// Before/after ratio for one (workload, threads) pair.
+#[derive(Debug, Serialize)]
+struct Speedup {
+    workload: String,
+    threads: usize,
+    descriptor_ops_per_sec: f64,
+    fast_ops_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    smoke: bool,
+    key_range: i64,
+    duration_ms: u64,
+    threads: Vec<usize>,
+    points: Vec<Point>,
+    speedups: Vec<Speedup>,
+}
+
+fn measure(
+    spec: &WorkloadSpec,
+    threads: usize,
+    read_path: ReadPath,
+    duration: Duration,
+    seed: u64,
+) -> Point {
+    let prefill = spec.prefill_keys(seed);
+    let config = TreeConfig {
+        read_path,
+        ..TreeConfig::default()
+    };
+    let tree: Arc<WaitFreeTree<i64>> = Arc::new(WaitFreeTree::from_entries_with_config(
+        prefill.iter().map(|&k| (k, ())),
+        config,
+    ));
+    let result = timed_run(
+        Arc::clone(&tree) as _,
+        spec,
+        threads,
+        duration,
+        seed ^ 0xBEEF,
+    );
+    let stats = tree.stats();
+    Point {
+        workload: spec.name.to_string(),
+        threads,
+        read_path: match read_path {
+            ReadPath::Fast => "fast".to_string(),
+            ReadPath::Descriptor => "descriptor".to_string(),
+        },
+        ops_per_sec: result.ops_per_sec,
+        fast_point_reads: stats.fast_point_reads,
+        fast_range_hits: stats.fast_range_hits,
+        range_fallbacks: stats.range_fallbacks,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let key_range: i64 = if smoke { 50_000 } else { 200_000 };
+    let duration = Duration::from_millis(if smoke { 150 } else { 400 });
+    let threads = vec![1usize, 4, 8];
+
+    // The three read-heavy shapes the tentpole targets: pure point reads,
+    // pure aggregate counts, and the paper's motivating mixed workload.
+    let workloads = vec![
+        WorkloadSpec::contains_benchmark().scaled_down(key_range),
+        WorkloadSpec::count_only(key_range, 0.01, false),
+        WorkloadSpec::range_mix(20.0, 0.01).scaled_down(key_range),
+    ];
+
+    let mut points = Vec::new();
+    let mut speedups = Vec::new();
+    for spec in &workloads {
+        for &t in &threads {
+            let before = measure(spec, t, ReadPath::Descriptor, duration, 42);
+            let after = measure(spec, t, ReadPath::Fast, duration, 42);
+            println!(
+                "{:<12} t={}  descriptor {:>12.0} ops/s   fast {:>12.0} ops/s   speedup {:>5.2}x   (fast hits {} / fallbacks {})",
+                spec.name,
+                t,
+                before.ops_per_sec,
+                after.ops_per_sec,
+                after.ops_per_sec / before.ops_per_sec,
+                after.fast_point_reads + after.fast_range_hits,
+                after.range_fallbacks,
+            );
+            speedups.push(Speedup {
+                workload: spec.name.to_string(),
+                threads: t,
+                descriptor_ops_per_sec: before.ops_per_sec,
+                fast_ops_per_sec: after.ops_per_sec,
+                speedup: after.ops_per_sec / before.ops_per_sec,
+            });
+            points.push(before);
+            points.push(after);
+        }
+    }
+
+    let report = Report {
+        smoke,
+        key_range,
+        duration_ms: duration.as_millis() as u64,
+        threads,
+        points,
+        speedups,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_read_fastpath.json", &json).expect("write BENCH_read_fastpath.json");
+    println!("wrote BENCH_read_fastpath.json");
+}

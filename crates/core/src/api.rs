@@ -50,6 +50,12 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> PointMap<K, V> for WaitFreeTree<K,
         WaitFreeTree::get(self, key)
     }
 
+    fn contains(&self, key: &K) -> bool {
+        // Presence-only: `O(1)` on the fast read path and never clones the
+        // value, unlike the trait's `get(key).is_some()` default.
+        WaitFreeTree::contains(self, key)
+    }
+
     fn len(&self) -> u64 {
         WaitFreeTree::len(self)
     }

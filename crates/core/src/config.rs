@@ -2,6 +2,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+pub use wft_queue::ReadPath;
+
 /// Which root-queue implementation allocates timestamps (§II-D / §II-F).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RootQueueKind {
@@ -26,6 +28,12 @@ pub struct TreeConfig {
     pub presence_buckets: usize,
     /// Root queue implementation.
     pub root_queue: RootQueueKind,
+    /// Which implementation answers reads (`get`/`contains`/`count`/
+    /// `range_agg`/`collect_range`): the presence-index + optimistic-
+    /// traversal fast paths ([`ReadPath::Fast`], the default) or the full
+    /// descriptor machinery ([`ReadPath::Descriptor`], for testing and
+    /// comparison). See `crate::read` for the linearization argument.
+    pub read_path: ReadPath,
 }
 
 impl Default for TreeConfig {
@@ -34,6 +42,7 @@ impl Default for TreeConfig {
             rebuild_factor: 1.0,
             presence_buckets: 1 << 16,
             root_queue: RootQueueKind::LockFree,
+            read_path: ReadPath::Fast,
         }
     }
 }
@@ -70,6 +79,15 @@ pub struct TreeCounters {
     pub rebuilds: AtomicU64,
     /// Data items copied into rebuilt subtrees.
     pub rebuilt_items: AtomicU64,
+    /// Point reads (`get`/`contains`) answered from the presence index in
+    /// `O(1)`, without a descriptor.
+    pub fast_point_reads: AtomicU64,
+    /// Range reads answered by a validated optimistic traversal, without a
+    /// descriptor.
+    pub fast_range_hits: AtomicU64,
+    /// Range reads whose optimistic traversal failed validation and fell
+    /// back to the descriptor slow path.
+    pub range_fallbacks: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`TreeCounters`].
@@ -89,6 +107,12 @@ pub struct TreeStats {
     pub rebuilds: u64,
     /// Items copied during rebuilds.
     pub rebuilt_items: u64,
+    /// Point reads answered from the presence index (no descriptor).
+    pub fast_point_reads: u64,
+    /// Range reads answered by a validated optimistic traversal.
+    pub fast_range_hits: u64,
+    /// Range reads that fell back to the descriptor slow path.
+    pub range_fallbacks: u64,
 }
 
 impl TreeCounters {
@@ -101,6 +125,9 @@ impl TreeCounters {
             helped_executions: self.helped_executions.load(Ordering::Relaxed),
             rebuilds: self.rebuilds.load(Ordering::Relaxed),
             rebuilt_items: self.rebuilt_items.load(Ordering::Relaxed),
+            fast_point_reads: self.fast_point_reads.load(Ordering::Relaxed),
+            fast_range_hits: self.fast_range_hits.load(Ordering::Relaxed),
+            range_fallbacks: self.range_fallbacks.load(Ordering::Relaxed),
         }
     }
 

@@ -240,6 +240,14 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> Descriptor<K, V, A> {
         })
     }
 
+    /// Assembles a lookup into a bare presence bit without ever cloning the
+    /// value (`contains` on the descriptor read path).
+    pub fn assemble_lookup_present(&self) -> bool {
+        self.processed.fold(false, |acc, _, partial| {
+            acc || matches!(partial, Partial::Lookup(Some(Some(_))))
+        })
+    }
+
     /// Assembles a `collect` result: concatenates every node's entries and
     /// sorts them by key.
     pub fn assemble_entries(&self) -> Vec<(K, V)> {

@@ -411,7 +411,23 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                         rebuild_checked = true;
                         debug_assert!(op.resolved_decision().success);
                         let state = c.load_state(guard);
-                        if state.ts_mod < ts && self.needs_rebuild(state.mod_cnt + 1, c.init_sz) {
+                        // `mod_cnt == 0 && ts_mod == ts - 1` is exactly the
+                        // creation state of a subtree rebuilt *by this
+                        // operation* (the §II-E watermark): a helper that
+                        // arrives after the rebuild must not rebuild it
+                        // again. Without this guard, with rebuild factors
+                        // below 1 a second helper re-rebuilds the (tiny,
+                        // instantly over-threshold) fresh subtree and retires
+                        // it while other helpers of the same operation are
+                        // still applying their state delta to it — the
+                        // state-record double-free behind the historical
+                        // `heavy_rebuilds` SIGSEGV flake.
+                        let rebuilt_by_this_op =
+                            state.mod_cnt == 0 && state.ts_mod == ts.prev_saturating();
+                        if state.ts_mod < ts
+                            && !rebuilt_by_this_op
+                            && self.needs_rebuild(state.mod_cnt + 1, c.init_sz)
+                        {
                             self.rebuild_subtree(slot, child, ts, guard);
                             // Re-read the slot: it now holds the rebuilt
                             // subtree (built by us or by another helper).

@@ -35,6 +35,7 @@
 //! |--------|----------|
 //! | [`tree`] | the public [`WaitFreeTree`] API |
 //! | [`exec`] | the hand-over-hand helping engine (Listings 1–3, rebuilds) |
+//! | [`read`] | descriptor-free read fast paths (presence-index point reads, optimistic validated range traversal) |
 //! | [`node`] | node layout, immutable states, subtree build/retire |
 //! | [`descriptor`] | operation descriptors, range modes, partial results |
 //! | [`config`] | construction parameters and operational statistics |
@@ -76,10 +77,11 @@ pub mod config;
 pub mod descriptor;
 pub mod exec;
 pub mod node;
+pub mod read;
 mod rootq;
 pub mod tree;
 
-pub use config::{RootQueueKind, TreeConfig, TreeStats};
+pub use config::{ReadPath, RootQueueKind, TreeConfig, TreeStats};
 pub use descriptor::{OpKind, RangeMode};
 pub use tree::WaitFreeTree;
 

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use wft_queue::PresenceIndex;
 use wft_seq::{Augmentation, Key, Size, Value};
 
-use crate::config::{RootQueueKind, TreeConfig, TreeCounters, TreeStats};
+use crate::config::{ReadPath, RootQueueKind, TreeConfig, TreeCounters, TreeStats};
 use crate::descriptor::OpKind;
 use crate::node::{build_subtree, collect_subtree, free_subtree_now, IdAllocator, Node};
 use crate::rootq::RootQueue;
@@ -167,12 +167,34 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
     }
 
     /// Returns `true` if `key` is in the tree.
+    ///
+    /// Presence-only: with [`ReadPath::Fast`] (the default) this is one
+    /// presence-index bucket load — `O(1)`, no descriptor, no root-queue
+    /// enqueue, and the value is **never cloned**. Under
+    /// [`ReadPath::Descriptor`] the lookup runs as a full descriptor but the
+    /// result is still assembled without cloning the value.
     pub fn contains(&self, key: &K) -> bool {
-        self.get(key).is_some()
+        if self.config.read_path == ReadPath::Fast {
+            TreeCounters::bump(&self.counters.fast_point_reads);
+            let guard = crossbeam_epoch::pin();
+            return self.presence.contains_key(key, &guard);
+        }
+        let (op, _ts) = self.run_operation(OpKind::Lookup { key: *key });
+        op.assemble_lookup_present()
     }
 
     /// Returns the value associated with `key`, if any.
+    ///
+    /// With [`ReadPath::Fast`] (the default) the value comes straight from
+    /// the presence index — the tree's resolution authority, where every
+    /// update's effect is fixed at its linearization point — in `O(1)` with
+    /// a single clone of the returned value (see `crate::read`).
     pub fn get(&self, key: &K) -> Option<V> {
+        if self.config.read_path == ReadPath::Fast {
+            TreeCounters::bump(&self.counters.fast_point_reads);
+            let guard = crossbeam_epoch::pin();
+            return self.presence.read_value(key, &guard);
+        }
         let (op, _ts) = self.run_operation(OpKind::Lookup { key: *key });
         op.assemble_lookup()
     }
@@ -180,9 +202,22 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
     /// Aggregate of every entry with key in `[min, max]` under the tree's
     /// augmentation — the paper's asymptotically efficient aggregate range
     /// query (`count`, `range_sum`, ... depending on `A`).
+    ///
+    /// With [`ReadPath::Fast`] (the default) the query first attempts an
+    /// optimistic descriptor-free traversal that validates its read set and
+    /// falls back to the descriptor path on contention (see `crate::read`
+    /// for the linearization argument and the fallback conditions).
     pub fn range_agg(&self, min: K, max: K) -> A::Agg {
         if min > max {
             return A::identity();
+        }
+        if self.config.read_path == ReadPath::Fast {
+            let guard = crossbeam_epoch::pin();
+            if let Some(agg) = self.try_fast_range_agg(min, max, &guard) {
+                TreeCounters::bump(&self.counters.fast_range_hits);
+                return agg;
+            }
+            TreeCounters::bump(&self.counters.range_fallbacks);
         }
         let (op, _ts) = self.run_operation(OpKind::RangeAgg { min, max });
         op.assemble_agg()
@@ -190,9 +225,20 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
 
     /// Every `(key, value)` with key in `[min, max]`, in key order. Linear in
     /// the number of reported entries (the `collect` query of prior work).
+    ///
+    /// Attempts the same optimistic descriptor-free traversal as
+    /// [`range_agg`](WaitFreeTree::range_agg) under [`ReadPath::Fast`].
     pub fn collect_range(&self, min: K, max: K) -> Vec<(K, V)> {
         if min > max {
             return Vec::new();
+        }
+        if self.config.read_path == ReadPath::Fast {
+            let guard = crossbeam_epoch::pin();
+            if let Some(entries) = self.try_fast_collect(min, max, &guard) {
+                TreeCounters::bump(&self.counters.fast_range_hits);
+                return entries;
+            }
+            TreeCounters::bump(&self.counters.range_fallbacks);
         }
         let (op, _ts) = self.run_operation(OpKind::Collect { min, max });
         op.assemble_entries()
@@ -510,6 +556,72 @@ mod tests {
         assert_eq!(tree.len(), 1000);
         assert_eq!(tree.get(&999), Some(-999));
         tree.check_invariants();
+    }
+
+    #[test]
+    fn both_read_paths_answer_identically_single_thread() {
+        let fast_cfg = TreeConfig::default();
+        let desc_cfg = TreeConfig {
+            read_path: ReadPath::Descriptor,
+            ..TreeConfig::default()
+        };
+        assert_eq!(fast_cfg.read_path, ReadPath::Fast, "fast is the default");
+        let entries: Vec<(i64, i64)> = (0..300).step_by(3).map(|k| (k, k * 10)).collect();
+        let fast: WaitFreeTree<i64, i64> =
+            WaitFreeTree::from_entries_with_config(entries.clone(), fast_cfg);
+        let desc: WaitFreeTree<i64, i64> =
+            WaitFreeTree::from_entries_with_config(entries, desc_cfg);
+        for tree in [&fast, &desc] {
+            tree.insert(1, 11);
+            tree.remove(&3);
+            tree.insert_or_replace(6, -60);
+        }
+        for k in [-1, 0, 1, 2, 3, 6, 9, 298, 299, 500] {
+            assert_eq!(fast.get(&k), desc.get(&k), "get({k})");
+            assert_eq!(fast.contains(&k), desc.contains(&k), "contains({k})");
+        }
+        for (min, max) in [(0, 299), (10, 50), (-5, 4), (200, 600), (7, 7), (9, 3)] {
+            assert_eq!(
+                fast.count(min, max),
+                desc.count(min, max),
+                "count [{min},{max}]"
+            );
+            assert_eq!(
+                fast.collect_range(min, max),
+                desc.collect_range(min, max),
+                "collect [{min},{max}]"
+            );
+        }
+        fast.check_invariants();
+        desc.check_invariants();
+    }
+
+    #[test]
+    fn fast_read_counters_track_hits() {
+        let tree: WaitFreeTree<i64> = WaitFreeTree::from_entries((0..100).map(|k| (k, ())));
+        assert!(tree.contains(&5));
+        assert!(tree.get(&6).is_some());
+        assert_eq!(tree.count(0, 99), 100);
+        assert_eq!(tree.collect_range(10, 12).len(), 3);
+        let stats = tree.stats();
+        assert_eq!(stats.fast_point_reads, 2);
+        assert_eq!(
+            stats.fast_range_hits, 2,
+            "quiescent range reads must validate"
+        );
+        assert_eq!(stats.range_fallbacks, 0);
+
+        let desc: WaitFreeTree<i64> = WaitFreeTree::with_config(TreeConfig {
+            read_path: ReadPath::Descriptor,
+            ..TreeConfig::default()
+        });
+        desc.insert(1, ());
+        assert!(desc.contains(&1));
+        assert_eq!(desc.get(&2), None);
+        assert_eq!(desc.count(0, 10), 1);
+        let stats = desc.stats();
+        assert_eq!(stats.fast_point_reads, 0, "descriptor path counts nothing");
+        assert_eq!(stats.fast_range_hits, 0);
     }
 
     #[test]

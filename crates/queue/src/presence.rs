@@ -48,6 +48,27 @@ use crate::timestamp::Timestamp;
 /// workloads; collisions only degrade constants, never correctness).
 pub const DEFAULT_BUCKETS: usize = 1 << 16;
 
+/// Which implementation answers read operations on a descriptor-based tree.
+///
+/// The presence index is the tree's *resolution authority*: every update's
+/// effect is fixed there, in strict root-queue timestamp order, while the
+/// update is executed at the fictive root. A snapshot read of a key's state
+/// record is therefore linearizable on its own — which lets `get` /
+/// `contains` skip the descriptor machinery entirely, and lets aggregate
+/// range queries attempt an optimistic descriptor-free traversal first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPath {
+    /// Point reads are answered in `O(1)` from the presence index; range
+    /// reads attempt a validated optimistic traversal and fall back to the
+    /// descriptor path when validation fails. This is the default.
+    #[default]
+    Fast,
+    /// Every read runs as a full descriptor through the root queue (the
+    /// paper's original scheme). Primarily for testing and comparison: the
+    /// linearizability suites run under both variants.
+    Descriptor,
+}
+
 /// The kind of update being resolved.
 #[derive(Debug, Clone)]
 pub enum UpdateKind<V> {
@@ -329,7 +350,42 @@ where
 
     /// Whether `key` is currently marked present.
     pub fn is_present(&self, key: &K, guard: &Guard) -> bool {
-        self.snapshot(key, guard).present
+        self.contains_key(key, guard)
+    }
+
+    /// Lock-free snapshot read of `key`'s current value: one bucket walk and
+    /// one state-record load, no allocation, and the value is cloned only
+    /// when the key is present (this *is* the caller's return value).
+    ///
+    /// Linearizes at the atomic load of the state record: updates are applied
+    /// to the index exactly once, in strict root-queue timestamp order, at
+    /// their linearization point (see [`PresenceIndex::resolve`]), so the
+    /// loaded record is the authoritative outcome of the last linearized
+    /// update on `key`. This is the tree's `O(1)` read fast path.
+    pub fn read_value(&self, key: &K, guard: &Guard) -> Option<V> {
+        let bucket = self.bucket_of(key);
+        let entry = Self::find(bucket.load(Ordering::Acquire), key)?;
+        let state = entry.state.load(Ordering::Acquire, guard);
+        let state_ref = unsafe { state.deref() };
+        if state_ref.present {
+            state_ref.value.clone()
+        } else {
+            None
+        }
+    }
+
+    /// Lock-free presence test: like [`PresenceIndex::read_value`] but never
+    /// clones the value — the whole read is a bucket walk plus one boolean
+    /// field load. Backs the tree's allocation-free `contains`.
+    pub fn contains_key(&self, key: &K, guard: &Guard) -> bool {
+        let bucket = self.bucket_of(key);
+        match Self::find(bucket.load(Ordering::Acquire), key) {
+            None => false,
+            Some(entry) => {
+                let state = entry.state.load(Ordering::Acquire, guard);
+                unsafe { state.deref() }.present
+            }
+        }
     }
 
     /// Number of distinct keys ever touched by an update (present or not).
@@ -560,6 +616,28 @@ mod tests {
             assert!(index.is_present(&key, &guard), "key {key} must be present");
         }
         assert_eq!(index.tracked_keys() as i64, THREADS * KEYS);
+    }
+
+    #[test]
+    fn read_value_and_contains_key_track_resolutions() {
+        let index = Index::with_buckets(64);
+        let guard = epoch::pin();
+        assert_eq!(index.read_value(&5, &guard), None);
+        assert!(!index.contains_key(&5, &guard));
+
+        resolve_one(&index, 5, 1, UpdateKind::Insert(50));
+        assert_eq!(index.read_value(&5, &guard), Some(50));
+        assert!(index.contains_key(&5, &guard));
+
+        resolve_one(&index, 5, 2, UpdateKind::Replace(51));
+        assert_eq!(index.read_value(&5, &guard), Some(51));
+
+        resolve_one(&index, 5, 3, UpdateKind::Remove);
+        assert_eq!(index.read_value(&5, &guard), None);
+        assert!(!index.contains_key(&5, &guard));
+
+        index.prefill(6, 60, &guard);
+        assert_eq!(index.read_value(&6, &guard), Some(60));
     }
 
     #[test]

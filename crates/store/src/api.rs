@@ -34,6 +34,13 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> PointMap<K, V> for ShardedStore<K,
         ShardedStore::get(self, key)
     }
 
+    fn contains(&self, key: &K) -> bool {
+        // Route to the shard tree's presence-only membership test instead of
+        // the trait's `get(key).is_some()` default, which would clone the
+        // value just to drop it.
+        ShardedStore::contains(self, key)
+    }
+
     fn len(&self) -> u64 {
         ShardedStore::len(self)
     }

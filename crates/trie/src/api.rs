@@ -49,6 +49,12 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> PointMap<K, V> for WaitFreeTri
         WaitFreeTrie::get(self, key)
     }
 
+    fn contains(&self, key: &K) -> bool {
+        // Presence-only: `O(1)` on the fast read path and never clones the
+        // value, unlike the trait's `get(key).is_some()` default.
+        WaitFreeTrie::contains(self, key)
+    }
+
     fn len(&self) -> u64 {
         WaitFreeTrie::len(self)
     }

@@ -185,6 +185,14 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Descriptor<K, V, A> {
         })
     }
 
+    /// Assembles a lookup into a bare presence bit without cloning the
+    /// value (`contains` on the descriptor read path).
+    pub fn assemble_lookup_present(&self) -> bool {
+        self.processed.fold(false, |acc, _, partial| {
+            acc || matches!(partial, Partial::Lookup(Some(Some(_))))
+        })
+    }
+
     /// Assembles a `collect` result, sorted by key.
     pub fn assemble_entries(&self) -> Vec<(K, V)> {
         let mut out = self.processed.fold(Vec::new(), |mut acc, _, partial| {

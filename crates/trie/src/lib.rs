@@ -59,11 +59,16 @@ pub mod descriptor;
 pub mod exec;
 pub mod key;
 pub mod node;
+pub mod read;
 pub mod tree;
 
 pub use descriptor::OpKind;
 pub use key::TrieKey;
 pub use tree::{TrieStats, WaitFreeTrie};
+
+// The read-path knob is shared with `wft-core` through the queue substrate
+// crate: both descriptor trees select their fast paths with it.
+pub use wft_queue::ReadPath;
 
 // Re-export the augmentation vocabulary for convenience.
 pub use wft_seq::{Augmentation, Pair, Size, Sum, Value};

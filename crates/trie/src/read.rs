@@ -1,0 +1,247 @@
+//! Descriptor-free read fast paths — the trie mirror of `wft_core::read`.
+//!
+//! Point reads are answered in `O(1)` from the presence index (the trie's
+//! resolution authority, exactly as in the BST); aggregate range reads
+//! attempt an optimistic validated traversal and fall back to the
+//! descriptor path when validation fails. See `wft_core::read` for the full
+//! linearization argument — it carries over verbatim, with two
+//! simplifications on the trie side:
+//!
+//! * pruning uses the node's fixed [`Coverage`] interval instead of
+//!   per-node range modes (`Contained` children are absorbed through their
+//!   stored aggregate, `Partial` children are descended, `Disjoint`
+//!   children are skipped);
+//! * there are no §II-E rebuilds, so child slots only ever change through
+//!   leaf-level CASes — the slot-pointer checks of the read log cover them.
+
+use crossbeam_epoch::{Atomic, Guard, Shared};
+use std::sync::atomic::Ordering::Acquire;
+
+use wft_seq::{Augmentation, Value};
+
+use crate::key::TrieKey;
+use crate::node::{Coverage, InnerNode, Node, NodeState, Overlap};
+use crate::tree::WaitFreeTrie;
+
+/// A logged `(inner node, observed state pointer)` pair.
+type StateObservation<'g, K, V, A> = (
+    &'g InnerNode<K, V, A>,
+    Shared<'g, NodeState<<A as Augmentation<K, V>>::Agg>>,
+);
+
+/// A logged `(child slot, observed child pointer)` pair.
+type SlotObservation<'g, K, V, A> = (&'g Atomic<Node<K, V, A>>, Shared<'g, Node<K, V, A>>);
+
+/// The read log of one optimistic traversal (see `wft_core::read`).
+struct ReadLog<'g, K: TrieKey, V: Value, A: Augmentation<K, V>> {
+    /// Inner nodes the traversal descended through, with the state pointer
+    /// observed at the visit. Queues are re-checked at validation.
+    descended: Vec<StateObservation<'g, K, V, A>>,
+    /// `Contained` inner children whose stored aggregate was absorbed.
+    absorbed: Vec<StateObservation<'g, K, V, A>>,
+    /// Leaf/empty child slots whose content was read.
+    slots: Vec<SlotObservation<'g, K, V, A>>,
+}
+
+impl<'g, K: TrieKey, V: Value, A: Augmentation<K, V>> ReadLog<'g, K, V, A> {
+    fn new() -> Self {
+        ReadLog {
+            descended: Vec::new(),
+            absorbed: Vec::new(),
+            slots: Vec::new(),
+        }
+    }
+
+    fn validate(&self, guard: &'g Guard) -> bool {
+        self.descended.iter().all(|(node, state)| {
+            node.load_state_shared(guard) == *state && node.queue.is_empty(guard)
+        }) && self
+            .absorbed
+            .iter()
+            .all(|(node, state)| node.load_state_shared(guard) == *state)
+            && self
+                .slots
+                .iter()
+                .all(|(slot, child)| slot.load(Acquire, guard) == *child)
+    }
+}
+
+impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
+    /// `true` while a resolved (hence linearized, point-read-visible)
+    /// successful update may not yet have applied its first effect below
+    /// the fictive root; such an update is always the root-queue head for
+    /// the whole window (see `wft_core::read`), so an optimistic range read
+    /// overlapping it must fall back.
+    fn resolved_update_pending(&self, guard: &Guard) -> bool {
+        match self.root_queue.peek(guard) {
+            None => false,
+            Some((_ts, op)) => op.kind.is_update() && op.decision.get().is_some_and(|d| d.success),
+        }
+    }
+
+    /// Optimistic descriptor-free `range_agg` over `[min, max]`; `None`
+    /// when validation fails and the descriptor slow path must run.
+    pub(crate) fn try_fast_range_agg(&self, min: K, max: K, guard: &Guard) -> Option<A::Agg> {
+        if self.resolved_update_pending(guard) {
+            return None;
+        }
+        let mut log = ReadLog::new();
+        let mut acc = A::identity();
+        self.walk_agg_slot(
+            &self.root_child,
+            Coverage::ROOT,
+            (min.to_index(), max.to_index()),
+            (&min, &max),
+            &mut acc,
+            &mut log,
+            guard,
+        )?;
+        if log.validate(guard) && !self.resolved_update_pending(guard) {
+            Some(acc)
+        } else {
+            None
+        }
+    }
+
+    /// Optimistic descriptor-free `collect_range` over `[min, max]`;
+    /// entries in key order. `None` on validation failure.
+    pub(crate) fn try_fast_collect(&self, min: K, max: K, guard: &Guard) -> Option<Vec<(K, V)>> {
+        if self.resolved_update_pending(guard) {
+            return None;
+        }
+        let mut log = ReadLog::new();
+        let mut out = Vec::new();
+        self.walk_collect_slot(
+            &self.root_child,
+            Coverage::ROOT,
+            (min.to_index(), max.to_index()),
+            (&min, &max),
+            &mut out,
+            &mut log,
+            guard,
+        )?;
+        if log.validate(guard) && !self.resolved_update_pending(guard) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk_agg_slot<'g>(
+        &self,
+        slot: &'g Atomic<Node<K, V, A>>,
+        coverage: Coverage,
+        idx: (u64, u64),
+        bounds: (&K, &K),
+        acc: &mut A::Agg,
+        log: &mut ReadLog<'g, K, V, A>,
+        guard: &'g Guard,
+    ) -> Option<()> {
+        let child = slot.load(Acquire, guard);
+        match unsafe { child.deref() } {
+            Node::Inner(inner) => {
+                if !inner.queue.is_empty(guard) {
+                    return None;
+                }
+                log.descended.push((inner, inner.load_state_shared(guard)));
+                for (child_slot, child_cov) in [
+                    (&inner.left, coverage.left()),
+                    (&inner.right, coverage.right()),
+                ] {
+                    match child_cov.classify(idx.0, idx.1) {
+                        Overlap::Disjoint => {}
+                        Overlap::Contained => self.absorb_child(child_slot, acc, log, guard),
+                        Overlap::Partial => {
+                            self.walk_agg_slot(
+                                child_slot, child_cov, idx, bounds, acc, log, guard,
+                            )?;
+                        }
+                    }
+                }
+                Some(())
+            }
+            Node::Leaf(leaf) => {
+                log.slots.push((slot, child));
+                if bounds.0 <= &leaf.key && &leaf.key <= bounds.1 {
+                    *acc = A::combine(acc, &A::of_entry(&leaf.key, &leaf.value));
+                }
+                Some(())
+            }
+            Node::Empty(_) => {
+                log.slots.push((slot, child));
+                Some(())
+            }
+        }
+    }
+
+    /// Absorbs a `Contained` child through its stored (eagerly maintained)
+    /// aggregate without descending.
+    fn absorb_child<'g>(
+        &self,
+        slot: &'g Atomic<Node<K, V, A>>,
+        acc: &mut A::Agg,
+        log: &mut ReadLog<'g, K, V, A>,
+        guard: &'g Guard,
+    ) {
+        let child = slot.load(Acquire, guard);
+        match unsafe { child.deref() } {
+            Node::Inner(inner) => {
+                let state = inner.load_state_shared(guard);
+                *acc = A::combine(acc, &unsafe { state.deref() }.agg);
+                log.absorbed.push((inner, state));
+            }
+            Node::Leaf(leaf) => {
+                log.slots.push((slot, child));
+                *acc = A::combine(acc, &A::of_entry(&leaf.key, &leaf.value));
+            }
+            Node::Empty(_) => {
+                log.slots.push((slot, child));
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk_collect_slot<'g>(
+        &self,
+        slot: &'g Atomic<Node<K, V, A>>,
+        coverage: Coverage,
+        idx: (u64, u64),
+        bounds: (&K, &K),
+        out: &mut Vec<(K, V)>,
+        log: &mut ReadLog<'g, K, V, A>,
+        guard: &'g Guard,
+    ) -> Option<()> {
+        let child = slot.load(Acquire, guard);
+        match unsafe { child.deref() } {
+            Node::Inner(inner) => {
+                if !inner.queue.is_empty(guard) {
+                    return None;
+                }
+                log.descended.push((inner, inner.load_state_shared(guard)));
+                for (child_slot, child_cov) in [
+                    (&inner.left, coverage.left()),
+                    (&inner.right, coverage.right()),
+                ] {
+                    if child_cov.classify(idx.0, idx.1) != Overlap::Disjoint {
+                        self.walk_collect_slot(
+                            child_slot, child_cov, idx, bounds, out, log, guard,
+                        )?;
+                    }
+                }
+                Some(())
+            }
+            Node::Leaf(leaf) => {
+                log.slots.push((slot, child));
+                if bounds.0 <= &leaf.key && &leaf.key <= bounds.1 {
+                    out.push((leaf.key, leaf.value.clone()));
+                }
+                Some(())
+            }
+            Node::Empty(_) => {
+                log.slots.push((slot, child));
+                Some(())
+            }
+        }
+    }
+}

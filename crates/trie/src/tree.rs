@@ -3,7 +3,7 @@
 use crossbeam_epoch::Atomic;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use wft_queue::{PresenceIndex, Timestamp, TsQueue};
+use wft_queue::{PresenceIndex, ReadPath, Timestamp, TsQueue};
 use wft_seq::{Augmentation, Size, Value};
 
 use crate::descriptor::{OpKind, OpRef};
@@ -18,6 +18,9 @@ pub(crate) struct TrieCounters {
     pub(crate) removes: AtomicU64,
     pub(crate) failed_updates: AtomicU64,
     pub(crate) helped_executions: AtomicU64,
+    pub(crate) fast_point_reads: AtomicU64,
+    pub(crate) fast_range_hits: AtomicU64,
+    pub(crate) range_fallbacks: AtomicU64,
 }
 
 /// A snapshot of the operational counters.
@@ -33,6 +36,12 @@ pub struct TrieStats {
     pub failed_updates: u64,
     /// Descriptor executions performed on behalf of *other* operations.
     pub helped_executions: u64,
+    /// Point reads answered from the presence index (no descriptor).
+    pub fast_point_reads: u64,
+    /// Range reads answered by a validated optimistic traversal.
+    pub fast_range_hits: u64,
+    /// Range reads that fell back to the descriptor slow path.
+    pub range_fallbacks: u64,
 }
 
 /// A linearizable concurrent ordered map over fixed-width integer keys with
@@ -75,6 +84,7 @@ pub struct WaitFreeTrie<K: TrieKey, V: Value = (), A: Augmentation<K, V> = Size>
     pub(crate) ids: IdAllocator,
     pub(crate) counters: TrieCounters,
     pub(crate) len: AtomicU64,
+    pub(crate) read_path: ReadPath,
 }
 
 unsafe impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Send for WaitFreeTrie<K, V, A> {}
@@ -87,8 +97,16 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Default for WaitFreeTrie<K, V,
 }
 
 impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
-    /// Creates an empty trie.
+    /// Creates an empty trie with the default read path
+    /// ([`ReadPath::Fast`]).
     pub fn new() -> Self {
+        Self::with_read_path(ReadPath::Fast)
+    }
+
+    /// Creates an empty trie with an explicit [`ReadPath`] (mirrors
+    /// `wft_core::TreeConfig::read_path`; primarily for tests that force
+    /// the descriptor read path).
+    pub fn with_read_path(read_path: ReadPath) -> Self {
         WaitFreeTrie {
             root_queue: TsQueue::new(Timestamp::ZERO),
             root_child: Atomic::new(Node::empty(Timestamp::ZERO)),
@@ -96,13 +114,22 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
             ids: IdAllocator::new(),
             counters: TrieCounters::default(),
             len: AtomicU64::new(0),
+            read_path,
         }
     }
 
     /// Builds a trie containing `entries` (duplicates keep the first value)
     /// without paying one queue round-trip per key.
     pub fn from_entries<I: IntoIterator<Item = (K, V)>>(entries: I) -> Self {
-        let trie = Self::new();
+        Self::from_entries_with_read_path(entries, ReadPath::Fast)
+    }
+
+    /// Builds a pre-populated trie with an explicit [`ReadPath`].
+    pub fn from_entries_with_read_path<I: IntoIterator<Item = (K, V)>>(
+        entries: I,
+        read_path: ReadPath,
+    ) -> Self {
+        let trie = Self::with_read_path(read_path);
         let mut sorted: Vec<(K, V)> = entries.into_iter().collect();
         sorted.sort_by_key(|a| a.0);
         sorted.dedup_by(|a, b| a.0 == b.0);
@@ -152,30 +179,81 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
     }
 
     /// Returns `true` if `key` is in the trie.
+    ///
+    /// Presence-only under [`ReadPath::Fast`] (the default): one presence-
+    /// index bucket load, `O(1)`, no descriptor, and the value is never
+    /// cloned. The descriptor path assembles the same presence bit without
+    /// cloning either.
     pub fn contains(&self, key: &K) -> bool {
-        self.get(key).is_some()
+        if self.read_path == ReadPath::Fast {
+            self.counters
+                .fast_point_reads
+                .fetch_add(1, Ordering::Relaxed);
+            let guard = crossbeam_epoch::pin();
+            return self.presence.contains_key(key, &guard);
+        }
+        let (op, _ts) = self.run_operation(OpKind::Lookup { key: *key });
+        op.assemble_lookup_present()
     }
 
-    /// Returns the value associated with `key`, if any.
+    /// Returns the value associated with `key`, if any. Served from the
+    /// presence index in `O(1)` under [`ReadPath::Fast`] (the default), like
+    /// `wft_core::WaitFreeTree::get`.
     pub fn get(&self, key: &K) -> Option<V> {
+        if self.read_path == ReadPath::Fast {
+            self.counters
+                .fast_point_reads
+                .fetch_add(1, Ordering::Relaxed);
+            let guard = crossbeam_epoch::pin();
+            return self.presence.read_value(key, &guard);
+        }
         let (op, _ts) = self.run_operation(OpKind::Lookup { key: *key });
         op.assemble_lookup()
     }
 
     /// Aggregate of every entry with key in `[min, max]` under the trie's
     /// augmentation.
+    ///
+    /// Under [`ReadPath::Fast`] (the default) an optimistic descriptor-free
+    /// traversal is attempted first and validated; see `crate::read` and
+    /// `wft_core::read` for the linearization argument.
     pub fn range_agg(&self, min: K, max: K) -> A::Agg {
         if min > max {
             return A::identity();
+        }
+        if self.read_path == ReadPath::Fast {
+            let guard = crossbeam_epoch::pin();
+            if let Some(agg) = self.try_fast_range_agg(min, max, &guard) {
+                self.counters
+                    .fast_range_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                return agg;
+            }
+            self.counters
+                .range_fallbacks
+                .fetch_add(1, Ordering::Relaxed);
         }
         let (op, _ts) = self.run_operation(OpKind::RangeAgg { min, max });
         op.assemble_agg()
     }
 
-    /// Every `(key, value)` with key in `[min, max]`, in key order.
+    /// Every `(key, value)` with key in `[min, max]`, in key order. Attempts
+    /// the optimistic traversal under [`ReadPath::Fast`].
     pub fn collect_range(&self, min: K, max: K) -> Vec<(K, V)> {
         if min > max {
             return Vec::new();
+        }
+        if self.read_path == ReadPath::Fast {
+            let guard = crossbeam_epoch::pin();
+            if let Some(entries) = self.try_fast_collect(min, max, &guard) {
+                self.counters
+                    .fast_range_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                return entries;
+            }
+            self.counters
+                .range_fallbacks
+                .fetch_add(1, Ordering::Relaxed);
         }
         let (op, _ts) = self.run_operation(OpKind::Collect { min, max });
         op.assemble_entries()
@@ -200,6 +278,9 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
             removes: self.counters.removes.load(Ordering::Relaxed),
             failed_updates: self.counters.failed_updates.load(Ordering::Relaxed),
             helped_executions: self.counters.helped_executions.load(Ordering::Relaxed),
+            fast_point_reads: self.counters.fast_point_reads.load(Ordering::Relaxed),
+            fast_range_hits: self.counters.fast_range_hits.load(Ordering::Relaxed),
+            range_fallbacks: self.counters.range_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -434,6 +515,42 @@ mod tests {
         assert_eq!(stats.removes, 1);
         assert_eq!(stats.failed_updates, 2);
         assert_eq!(trie.len(), 1);
+    }
+
+    #[test]
+    fn both_read_paths_answer_identically() {
+        let entries: Vec<(u64, u64)> = (0..300u64).step_by(3).map(|k| (k, k * 10)).collect();
+        let fast: WaitFreeTrie<u64, u64> =
+            WaitFreeTrie::from_entries_with_read_path(entries.clone(), ReadPath::Fast);
+        let desc: WaitFreeTrie<u64, u64> =
+            WaitFreeTrie::from_entries_with_read_path(entries, ReadPath::Descriptor);
+        for trie in [&fast, &desc] {
+            trie.insert(1, 11);
+            trie.remove(&3);
+            trie.insert_or_replace(6, 60_000);
+        }
+        for k in [0u64, 1, 2, 3, 6, 9, 298, 299, 500] {
+            assert_eq!(fast.get(&k), desc.get(&k), "get({k})");
+            assert_eq!(fast.contains(&k), desc.contains(&k), "contains({k})");
+        }
+        for (min, max) in [(0u64, 299), (10, 50), (0, 4), (200, 600), (7, 7), (9, 3)] {
+            assert_eq!(
+                fast.count(min, max),
+                desc.count(min, max),
+                "count [{min},{max}]"
+            );
+            assert_eq!(
+                fast.collect_range(min, max),
+                desc.collect_range(min, max),
+                "collect [{min},{max}]"
+            );
+        }
+        let stats = fast.stats();
+        assert!(stats.fast_point_reads > 0);
+        assert!(stats.fast_range_hits > 0, "quiescent range reads validate");
+        assert_eq!(desc.stats().fast_point_reads, 0);
+        fast.check_invariants();
+        desc.check_invariants();
     }
 
     #[test]

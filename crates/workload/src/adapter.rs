@@ -23,7 +23,7 @@
 use std::sync::Arc;
 
 use wft_api::{PointMap, RangeRead, RangeSpec};
-use wft_core::{RootQueueKind, TreeConfig, WaitFreeTree};
+use wft_core::{ReadPath, RootQueueKind, TreeConfig, WaitFreeTree};
 use wft_lockbased::LockedRangeTree;
 use wft_lockfree::LockFreeBst;
 use wft_persistent::PersistentRangeTree;
@@ -104,6 +104,14 @@ pub enum TreeImpl {
     /// The range-partitioned sharded store (`wft-store`): one wait-free
     /// tree per keyspace slice, one shard per harness thread.
     Sharded,
+    /// The wait-free tree with reads forced through the descriptor path
+    /// (`ReadPath::Descriptor`). Not part of [`TreeImpl::ALL`]: used by the
+    /// linearizability suites (reads are checked under both forced read
+    /// paths) and by the read-fast-path benchmark as the "before" side.
+    WaitFreeDescReads,
+    /// The wait-free trie with reads forced through the descriptor path;
+    /// same role as [`TreeImpl::WaitFreeDescReads`].
+    TrieDescReads,
 }
 
 impl TreeImpl {
@@ -131,6 +139,8 @@ impl TreeImpl {
             TreeImpl::LockFreeLinear => "lock-free-bst(linear)",
             TreeImpl::Trie => "wait-free-trie",
             TreeImpl::Sharded => "sharded-store",
+            TreeImpl::WaitFreeDescReads => "wait-free-tree(desc-reads)",
+            TreeImpl::TrieDescReads => "wait-free-trie(desc-reads)",
         }
     }
 
@@ -170,6 +180,17 @@ impl TreeImpl {
             TreeImpl::Sharded => {
                 Arc::new(ShardedStore::<i64>::from_entries(pairs, max_threads.max(1)))
             }
+            TreeImpl::WaitFreeDescReads => {
+                let config = TreeConfig {
+                    read_path: ReadPath::Descriptor,
+                    ..TreeConfig::default()
+                };
+                Arc::new(WaitFreeTree::<i64>::from_entries_with_config(pairs, config))
+            }
+            TreeImpl::TrieDescReads => Arc::new(WaitFreeTrie::<i64>::from_entries_with_read_path(
+                pairs,
+                ReadPath::Descriptor,
+            )),
         }
     }
 }

@@ -137,7 +137,18 @@ fn assert_linearizable(imp: TreeImpl, rounds: u64, with_range_queries: bool) {
 
 #[test]
 fn wait_free_tree_scalar_and_range_operations_linearize() {
+    // The default build answers reads through the fast paths
+    // (`ReadPath::Fast`): presence-index point reads plus the optimistic
+    // validated range traversal with descriptor fallback.
     assert_linearizable(TreeImpl::WaitFree, 25, true);
+}
+
+#[test]
+fn wait_free_tree_descriptor_read_path_linearizes() {
+    // The same histories with every read forced through the descriptor
+    // machinery (`ReadPath::Descriptor`): both read paths must be
+    // linearizable, independently.
+    assert_linearizable(TreeImpl::WaitFreeDescReads, 25, true);
 }
 
 #[test]
@@ -158,6 +169,11 @@ fn locked_baseline_linearizes() {
 #[test]
 fn wait_free_trie_scalar_and_range_operations_linearize() {
     assert_linearizable(TreeImpl::Trie, 25, true);
+}
+
+#[test]
+fn wait_free_trie_descriptor_read_path_linearizes() {
+    assert_linearizable(TreeImpl::TrieDescReads, 20, true);
 }
 
 #[test]
