@@ -129,6 +129,39 @@ impl<K: Key> fmt::Display for BatchError<K> {
 impl<K: Key> std::error::Error for BatchError<K> {}
 
 /// All-or-nothing batched writes over a keyed backend.
+///
+/// # Example
+///
+/// ```
+/// use wft_api::{BatchApply, BatchError, OpOutcome, StoreOp};
+/// use wft_core::WaitFreeTree;
+///
+/// let tree: WaitFreeTree<i64, i64> = WaitFreeTree::new();
+///
+/// // A valid batch executes and reports one outcome per op, in order.
+/// let outcomes = tree
+///     .apply_batch(vec![
+///         StoreOp::Insert { key: 1, value: 10 },
+///         StoreOp::InsertOrReplace { key: 2, value: 20 },
+///         StoreOp::Remove { key: 3 },
+///     ])
+///     .unwrap();
+/// assert_eq!(
+///     outcomes,
+///     vec![
+///         OpOutcome::Inserted(true),
+///         OpOutcome::Replaced(None),
+///         OpOutcome::Removed(false),
+///     ]
+/// );
+///
+/// // Validation failures reject the batch before anything mutates.
+/// let err = tree
+///     .apply_batch(vec![StoreOp::Remove { key: 1 }, StoreOp::RemoveEntry { key: 1 }])
+///     .unwrap_err();
+/// assert_eq!(err, BatchError::DuplicateKey { key: 1 });
+/// assert_eq!(tree.len(), 2, "failed batch mutated nothing");
+/// ```
 pub trait BatchApply<K: Key, V: Value> {
     /// Validates and executes `batch`, returning one [`OpOutcome`] per
     /// submitted operation, in submission order. On `Err`, nothing was

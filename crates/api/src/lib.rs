@@ -17,7 +17,12 @@
 //!   `(min, max)` pair conventions;
 //! * [`BatchApply`] — the sharded store's two-phase batched-write vocabulary
 //!   ([`StoreOp`] / [`OpOutcome`] / [`BatchError`]) promoted to the shared
-//!   API, so single trees accept the same batches a sharded store does.
+//!   API, so single trees accept the same batches a sharded store does;
+//! * [`SnapshotRead`] — consistent multi-range reads against one acquired
+//!   [`SnapshotToken`], derived for every single-front structure from the
+//!   two watermark primitives of [`TimestampFront`] by a blanket impl (a
+//!   single linearizable tree is trivially its own snapshot once it can
+//!   certify "nothing changed since the token was taken").
 //!
 //! The crate is deliberately *pure interface*: it depends only on the
 //! augmentation algebra in `wft-seq` and contains no concurrency machinery.
@@ -42,6 +47,7 @@ pub mod batch;
 pub mod outcome;
 pub mod point;
 pub mod range;
+pub mod snapshot;
 
 pub use batch::{
     apply_batch_point, validate_batch, BatchApply, BatchError, OpOutcome, StoreOp,
@@ -50,6 +56,7 @@ pub use batch::{
 pub use outcome::UpdateOutcome;
 pub use point::PointMap;
 pub use range::{agg_over, collect_over, count_over, RangeKey, RangeRead, RangeSpec};
+pub use snapshot::{SnapshotRead, SnapshotToken, TimestampFront};
 
 // Re-export the augmentation vocabulary: a consumer of the trait family
 // almost always needs the `Key`/`Value` bounds and an augmentation type.

@@ -23,6 +23,27 @@ use crate::outcome::UpdateOutcome;
 ///
 /// The `Send + Sync` supertraits make `dyn`-style harness sharing possible:
 /// every implementation is a concurrent structure already.
+///
+/// # Example
+///
+/// ```
+/// use wft_api::{PointMap, UpdateOutcome};
+/// use wft_core::WaitFreeTree;
+///
+/// let tree: WaitFreeTree<i64, i64> = WaitFreeTree::new();
+///
+/// // `insert` only applies when the key is absent …
+/// assert_eq!(PointMap::insert(&tree, 1, 10), UpdateOutcome::Applied { prior: None });
+/// assert_eq!(PointMap::insert(&tree, 1, 11), UpdateOutcome::Unchanged { current: Some(10) });
+///
+/// // … while `replace` is the atomic upsert, reporting what it displaced.
+/// assert_eq!(PointMap::replace(&tree, 1, 12), UpdateOutcome::Applied { prior: Some(10) });
+///
+/// assert!(PointMap::contains(&tree, &1));
+/// assert_eq!(PointMap::get(&tree, &1), Some(12));
+/// assert_eq!(PointMap::remove(&tree, &1), UpdateOutcome::Applied { prior: Some(12) });
+/// assert!(tree.is_empty());
+/// ```
 pub trait PointMap<K: Key, V: Value>: Send + Sync {
     /// Inserts `key → value` if the key is absent.
     fn insert(&self, key: K, value: V) -> UpdateOutcome<V>;

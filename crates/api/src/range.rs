@@ -199,6 +199,25 @@ pub fn count_over<K: RangeKey, Agg>(
 /// size-augmented tree, `(u64, i128)` for `Pair<Size, Sum>`, …). Every
 /// method takes a [`RangeSpec`]; see [`RangeSpec::to_closed`] for the
 /// normative empty/inverted-range behaviour.
+///
+/// # Example
+///
+/// ```
+/// use wft_api::{RangeRead, RangeSpec};
+/// use wft_core::WaitFreeTree;
+///
+/// let tree: WaitFreeTree<i64> = WaitFreeTree::from_entries((0..20).map(|k| (k, ())));
+///
+/// // Specs are built from standard range expressions …
+/// assert_eq!(RangeRead::count(&tree, RangeSpec::from_bounds(5..15)), 10);
+/// assert_eq!(RangeRead::range_agg(&tree, RangeSpec::at_least(18)), 2);
+/// let listed = RangeRead::collect_range(&tree, RangeSpec::from_bounds(..3));
+/// assert_eq!(listed.len(), 3);
+///
+/// // … and empty/inverted specs uniformly answer identity / 0 / [].
+/// assert_eq!(RangeRead::count(&tree, RangeSpec::inclusive(9, 3)), 0);
+/// assert!(RangeRead::collect_range(&tree, RangeSpec::from_bounds(7..7)).is_empty());
+/// ```
 pub trait RangeRead<K: RangeKey, V: Value>: PointMap<K, V> {
     /// The aggregate produced by [`RangeRead::range_agg`].
     type Agg;

@@ -52,6 +52,11 @@ fn bench_range_mix(c: &mut Criterion) {
                             wft_workload::spec::Op::Collect(lo, hi) => {
                                 std::hint::black_box(set.count_via_collect(lo, hi));
                             }
+                            wft_workload::spec::Op::SnapshotCounts(a_min, a_max, b_min, b_max) => {
+                                std::hint::black_box(
+                                    set.snapshot_count_pair(a_min, a_max, b_min, b_max),
+                                );
+                            }
                         };
                     });
                 },

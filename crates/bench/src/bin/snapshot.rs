@@ -1,0 +1,270 @@
+//! Global-timestamp-front benchmark (`BENCH_snapshot.json`).
+//!
+//! Measures what the single-snapshot guarantee costs (and buys) on
+//! `ShardedStore`'s cross-shard reads: the same reader/writer workloads are
+//! run with cross-shard counts answered the pre-PR-4 **stitched** way (one
+//! linearizable query per shard, no global cut — not a single atomic
+//! snapshot) and with the **snapshot-front** reads (acquire a settled
+//! per-shard front, read every touched shard at it, retry if a shard
+//! advanced), at 1/4/8 reader threads over an 8-shard store, with and
+//! without background writers. Reader throughput plus the store's
+//! front counters (acquires, retries) land in `BENCH_snapshot.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin snapshot            # full run
+//! cargo run --release --bin snapshot -- --smoke # short CI run
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use wft_store::ShardedStore;
+
+const SHARDS: usize = 8;
+const WRITER_THREADS: usize = 2;
+
+/// One measured configuration point.
+#[derive(Debug, Serialize)]
+struct Point {
+    workload: String,
+    read_mode: String,
+    reader_threads: usize,
+    reads_per_sec: f64,
+    writes_per_sec: f64,
+    snapshot_acquires: u64,
+    snapshot_retries: u64,
+}
+
+/// Stitched vs snapshot-front ratio for one (workload, threads) pair.
+#[derive(Debug, Serialize)]
+struct Overhead {
+    workload: String,
+    reader_threads: usize,
+    stitched_reads_per_sec: f64,
+    snapshot_reads_per_sec: f64,
+    /// `snapshot / stitched`: 1.0 means the linearizable front reads cost
+    /// nothing over the torn stitched reads.
+    relative_throughput: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    smoke: bool,
+    key_range: i64,
+    shards: usize,
+    writer_threads: usize,
+    duration_ms: u64,
+    points: Vec<Point>,
+    overheads: Vec<Overhead>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum ReadMode {
+    Stitched,
+    SnapshotFront,
+}
+
+impl ReadMode {
+    fn name(self) -> &'static str {
+        match self {
+            ReadMode::Stitched => "stitched",
+            ReadMode::SnapshotFront => "snapshot-front",
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Workload {
+    name: &'static str,
+    /// Fraction of reader operations that are cross-shard counts; the rest
+    /// are `collect_range` reads over a narrower (still cross-shard) span.
+    count_fraction: f64,
+    with_writers: bool,
+}
+
+fn measure(
+    workload: Workload,
+    mode: ReadMode,
+    reader_threads: usize,
+    key_range: i64,
+    duration: Duration,
+    seed: u64,
+) -> Point {
+    let store: Arc<ShardedStore<i64>> = Arc::new(ShardedStore::from_entries(
+        (0..key_range).filter(|k| k % 2 == 0).map(|k| (k, ())),
+        SHARDS,
+    ));
+    let writer_threads = if workload.with_writers {
+        WRITER_THREADS
+    } else {
+        0
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(reader_threads + writer_threads + 1));
+
+    let readers: Vec<_> = (0..reader_threads)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (t as u64 + 1).wrapping_mul(0x9E37));
+                barrier.wait();
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..16 {
+                        // A span crossing most shard boundaries.
+                        let lo = rng.gen_range(0..key_range / 4);
+                        let hi = key_range - 1 - rng.gen_range(0..key_range / 4);
+                        if rng.gen_bool(workload.count_fraction) {
+                            match mode {
+                                ReadMode::Stitched => {
+                                    std::hint::black_box(store.stitched_count(lo, hi));
+                                }
+                                ReadMode::SnapshotFront => {
+                                    std::hint::black_box(store.count(lo, hi));
+                                }
+                            }
+                        } else {
+                            let narrow_hi = lo + key_range / 8;
+                            match mode {
+                                ReadMode::Stitched => {
+                                    std::hint::black_box(
+                                        store.stitched_collect_range(lo, narrow_hi).len(),
+                                    );
+                                }
+                                ReadMode::SnapshotFront => {
+                                    std::hint::black_box(store.collect_range(lo, narrow_hi).len());
+                                }
+                            }
+                        }
+                        reads += 1;
+                    }
+                }
+                reads
+            })
+        })
+        .collect();
+
+    let writers: Vec<_> = (0..writer_threads)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (t as u64 + 101).wrapping_mul(0xC0FFEE));
+                barrier.wait();
+                let mut writes = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..16 {
+                        let k = rng.gen_range(0..key_range);
+                        if rng.gen_bool(0.5) {
+                            store.insert(k, ());
+                        } else {
+                            store.remove(&k);
+                        }
+                        writes += 1;
+                    }
+                }
+                writes
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let reads: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+    let writes: u64 = writers.into_iter().map(|h| h.join().unwrap()).sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = store.store_stats();
+    Point {
+        workload: workload.name.to_string(),
+        read_mode: mode.name().to_string(),
+        reader_threads,
+        reads_per_sec: reads as f64 / elapsed,
+        writes_per_sec: writes as f64 / elapsed,
+        snapshot_acquires: stats.snapshot_acquires,
+        snapshot_retries: stats.snapshot_retries,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let key_range: i64 = if smoke { 40_000 } else { 200_000 };
+    let duration = Duration::from_millis(if smoke { 120 } else { 400 });
+    let threads = [1usize, 4, 8];
+
+    let workloads = [
+        Workload {
+            name: "count-quiescent",
+            count_fraction: 1.0,
+            with_writers: false,
+        },
+        Workload {
+            name: "count-under-writers",
+            count_fraction: 1.0,
+            with_writers: true,
+        },
+        Workload {
+            name: "range-mix-under-writers",
+            count_fraction: 0.5,
+            with_writers: true,
+        },
+    ];
+
+    let mut points = Vec::new();
+    let mut overheads = Vec::new();
+    for workload in workloads {
+        for &t in &threads {
+            let stitched = measure(workload, ReadMode::Stitched, t, key_range, duration, 42);
+            let snapshot = measure(
+                workload,
+                ReadMode::SnapshotFront,
+                t,
+                key_range,
+                duration,
+                42,
+            );
+            println!(
+                "{:<24} t={}  stitched {:>10.0} reads/s   snapshot-front {:>10.0} reads/s   ratio {:>5.2}   (acquires {} / retries {})",
+                workload.name,
+                t,
+                stitched.reads_per_sec,
+                snapshot.reads_per_sec,
+                snapshot.reads_per_sec / stitched.reads_per_sec,
+                snapshot.snapshot_acquires,
+                snapshot.snapshot_retries,
+            );
+            overheads.push(Overhead {
+                workload: workload.name.to_string(),
+                reader_threads: t,
+                stitched_reads_per_sec: stitched.reads_per_sec,
+                snapshot_reads_per_sec: snapshot.reads_per_sec,
+                relative_throughput: snapshot.reads_per_sec / stitched.reads_per_sec,
+            });
+            points.push(stitched);
+            points.push(snapshot);
+        }
+    }
+
+    let report = Report {
+        smoke,
+        key_range,
+        shards: SHARDS,
+        writer_threads: WRITER_THREADS,
+        duration_ms: duration.as_millis() as u64,
+        points,
+        overheads,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_snapshot.json", &json).expect("write BENCH_snapshot.json");
+    println!("wrote BENCH_snapshot.json");
+}

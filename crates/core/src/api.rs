@@ -9,7 +9,7 @@
 
 use wft_api::{
     apply_batch_point, BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec,
-    StoreOp, UpdateOutcome,
+    StoreOp, TimestampFront, UpdateOutcome,
 };
 use wft_seq::{Augmentation, Key, Value};
 
@@ -89,6 +89,25 @@ impl<K: RangeKey, V: Value, A: Augmentation<K, V>> RangeRead<K, V> for WaitFreeT
 impl<K: Key, V: Value, A: Augmentation<K, V>> BatchApply<K, V> for WaitFreeTree<K, V, A> {
     fn apply_batch(&self, batch: Vec<StoreOp<K, V>>) -> Result<Vec<OpOutcome<V>>, BatchError<K>> {
         apply_batch_point(self, batch)
+    }
+}
+
+/// The tree's snapshot front is its root-queue timestamp front: the
+/// watermarks maintained at update resolution (see
+/// [`WaitFreeTree::stable_ts`]). With this impl in place the blanket
+/// [`wft_api::SnapshotRead`] applies: the tree supports consistent
+/// multi-range reads against one acquired front.
+impl<K: Key, V: Value, A: Augmentation<K, V>> TimestampFront for WaitFreeTree<K, V, A> {
+    fn settle_front(&self) -> u64 {
+        WaitFreeTree::settle_front(self).get()
+    }
+
+    fn front_advertised(&self) -> u64 {
+        self.advertised_ts().get()
+    }
+
+    fn front_resolved(&self) -> u64 {
+        self.stable_ts().get()
     }
 }
 

@@ -34,6 +34,14 @@ pub struct TreeConfig {
     /// descriptor machinery ([`ReadPath::Descriptor`], for testing and
     /// comparison). See `crate::read` for the linearization argument.
     pub read_path: ReadPath,
+    /// How many optimistic traversals a range read attempts before falling
+    /// back to the descriptor slow path (under [`ReadPath::Fast`]). A failed
+    /// validation is usually caused by one in-flight update that the next
+    /// attempt no longer sees, so a small bounded retry converts most
+    /// would-be fallbacks into fast hits on bursty write traffic; `1`
+    /// restores the single-attempt behaviour. Extra attempts are counted in
+    /// [`TreeStats::fast_range_retries`].
+    pub fast_read_attempts: usize,
 }
 
 impl Default for TreeConfig {
@@ -43,6 +51,7 @@ impl Default for TreeConfig {
             presence_buckets: 1 << 16,
             root_queue: RootQueueKind::LockFree,
             read_path: ReadPath::Fast,
+            fast_read_attempts: 3,
         }
     }
 }
@@ -57,6 +66,10 @@ impl TreeConfig {
         if let RootQueueKind::WaitFree { slots } = self.root_queue {
             assert!(slots >= 1, "wait-free root queue needs at least one slot");
         }
+        assert!(
+            self.fast_read_attempts >= 1,
+            "range reads need at least one optimistic attempt"
+        );
     }
 }
 
@@ -85,8 +98,12 @@ pub struct TreeCounters {
     /// Range reads answered by a validated optimistic traversal, without a
     /// descriptor.
     pub fast_range_hits: AtomicU64,
-    /// Range reads whose optimistic traversal failed validation and fell
-    /// back to the descriptor slow path.
+    /// Additional optimistic attempts made after a failed validation
+    /// (bounded by [`TreeConfig::fast_read_attempts`]) before either
+    /// succeeding or falling back.
+    pub fast_range_retries: AtomicU64,
+    /// Range reads whose optimistic traversals all failed validation and
+    /// which fell back to the descriptor slow path.
     pub range_fallbacks: AtomicU64,
 }
 
@@ -111,6 +128,8 @@ pub struct TreeStats {
     pub fast_point_reads: u64,
     /// Range reads answered by a validated optimistic traversal.
     pub fast_range_hits: u64,
+    /// Extra optimistic attempts after a failed validation.
+    pub fast_range_retries: u64,
     /// Range reads that fell back to the descriptor slow path.
     pub range_fallbacks: u64,
 }
@@ -127,6 +146,7 @@ impl TreeCounters {
             rebuilt_items: self.rebuilt_items.load(Ordering::Relaxed),
             fast_point_reads: self.fast_point_reads.load(Ordering::Relaxed),
             fast_range_hits: self.fast_range_hits.load(Ordering::Relaxed),
+            fast_range_retries: self.fast_range_retries.load(Ordering::Relaxed),
             range_fallbacks: self.range_fallbacks.load(Ordering::Relaxed),
         }
     }

@@ -233,7 +233,8 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
     }
 
     /// Resolves the effect of an update descriptor through the presence
-    /// index, exactly once, and maintains the tree's size and counters.
+    /// index, exactly once, and maintains the tree's size, counters and the
+    /// timestamp front.
     fn resolve_update(&self, op: &OpRef<K, V, A>, ts: Timestamp, guard: &Guard) {
         let (key, update) = match &op.kind {
             OpKind::Insert { key, value } => (key, UpdateKind::Insert(value.clone())),
@@ -241,6 +242,13 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
             OpKind::Remove { key } => (key, UpdateKind::Remove),
             _ => unreachable!("resolve_update called for a read-only operation"),
         };
+        // Advertise the timestamp *before* the resolution can make the
+        // update visible: a snapshot-front validation that still reads the
+        // old advertised watermark afterwards has proof that no part of this
+        // update was observable inside its window (monotone max, so a
+        // stalled helper re-advertising an old timestamp is a no-op).
+        self.advertised_ts
+            .fetch_max(ts.get(), std::sync::atomic::Ordering::SeqCst);
         let (decision, first_application) =
             self.presence.resolve(key, ts, &update, &op.decision, guard);
         if first_application {
@@ -270,6 +278,13 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                 TreeCounters::bump(&self.counters.failed_updates);
             }
         }
+        // Resolution complete (whether by us or a faster helper — the
+        // presence index call above only returns once the decision is
+        // fixed): advance the resolved watermark. Every helper performs this
+        // bump before it can pop the descriptor from the root queue, so
+        // "popped" implies "resolved watermark advanced".
+        self.resolved_ts
+            .fetch_max(ts.get(), std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Range-aggregate continuation at an inner node: implements the

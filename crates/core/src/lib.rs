@@ -85,9 +85,17 @@ pub use config::{ReadPath, RootQueueKind, TreeConfig, TreeStats};
 pub use descriptor::{OpKind, RangeMode};
 pub use tree::WaitFreeTree;
 
+// Re-export the timestamp type: the tree's front API (`stable_ts`,
+// `settle_front`, the `*_at` reads) speaks it, and downstream layers (the
+// sharded store's global front) should not need a direct `wft-queue` edge.
+pub use wft_queue::Timestamp;
+
 // Re-export the shared trait family: the tree is its reference
 // implementation (see the `api` module).
-pub use wft_api::{BatchApply, PointMap, RangeRead, RangeSpec, UpdateOutcome};
+pub use wft_api::{
+    BatchApply, PointMap, RangeRead, RangeSpec, SnapshotRead, SnapshotToken, TimestampFront,
+    UpdateOutcome,
+};
 
 // Re-export the augmentation vocabulary so downstream users only need one
 // import for the common case.

@@ -58,6 +58,15 @@ pub struct WaitFreeTree<K: Key, V: Value = (), A: Augmentation<K, V> = Size> {
     pub(crate) config: TreeConfig,
     pub(crate) counters: TreeCounters,
     pub(crate) len: AtomicU64,
+    /// Highest update timestamp whose linearization has *begun*: bumped
+    /// (monotone max) before the update is resolved through the presence
+    /// index, i.e. before its effect can be observed by any read. See
+    /// [`WaitFreeTree::stable_ts`].
+    pub(crate) advertised_ts: AtomicU64,
+    /// Highest update timestamp whose linearization has *completed* (the
+    /// presence-index resolution returned). Always `<= advertised_ts`;
+    /// equality means no update is mid-linearization.
+    pub(crate) resolved_ts: AtomicU64,
 }
 
 unsafe impl<K: Key, V: Value, A: Augmentation<K, V>> Send for WaitFreeTree<K, V, A> {}
@@ -91,6 +100,8 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
             config,
             counters: TreeCounters::default(),
             len: AtomicU64::new(0),
+            advertised_ts: AtomicU64::new(0),
+            resolved_ts: AtomicU64::new(0),
         }
     }
 
@@ -213,9 +224,16 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         }
         if self.config.read_path == ReadPath::Fast {
             let guard = crossbeam_epoch::pin();
-            if let Some(agg) = self.try_fast_range_agg(min, max, &guard) {
-                TreeCounters::bump(&self.counters.fast_range_hits);
-                return agg;
+            for attempt in 1..=self.config.fast_read_attempts {
+                if let Some(agg) = self.try_fast_range_agg(min, max, &guard) {
+                    TreeCounters::bump(&self.counters.fast_range_hits);
+                    return agg;
+                }
+                // A failed validation usually means one in-flight update; a
+                // bounded retry beats paying the descriptor slow path.
+                if attempt < self.config.fast_read_attempts {
+                    TreeCounters::bump(&self.counters.fast_range_retries);
+                }
             }
             TreeCounters::bump(&self.counters.range_fallbacks);
         }
@@ -234,9 +252,14 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         }
         if self.config.read_path == ReadPath::Fast {
             let guard = crossbeam_epoch::pin();
-            if let Some(entries) = self.try_fast_collect(min, max, &guard) {
-                TreeCounters::bump(&self.counters.fast_range_hits);
-                return entries;
+            for attempt in 1..=self.config.fast_read_attempts {
+                if let Some(entries) = self.try_fast_collect(min, max, &guard) {
+                    TreeCounters::bump(&self.counters.fast_range_hits);
+                    return entries;
+                }
+                if attempt < self.config.fast_read_attempts {
+                    TreeCounters::bump(&self.counters.fast_range_retries);
+                }
             }
             TreeCounters::bump(&self.counters.range_fallbacks);
         }
@@ -263,6 +286,107 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
     /// A snapshot of the operational counters (helping events, rebuilds, …).
     pub fn stats(&self) -> TreeStats {
         self.counters.snapshot()
+    }
+
+    // -- the timestamp front ------------------------------------------------
+
+    /// The **stable watermark**: the latest root-queue timestamp whose update
+    /// effects are fully resolved through the presence index. Every update
+    /// with a timestamp `<= stable_ts()` has linearized; an update with a
+    /// larger timestamp may be mid-linearization (see
+    /// [`settle_front`](WaitFreeTree::settle_front) for a quiescent value).
+    ///
+    /// Updates resolve strictly in root-queue order (only the queue head is
+    /// resolved), so this single number is a complete description of the
+    /// linearized prefix. Read descriptors never advance it.
+    pub fn stable_ts(&self) -> wft_queue::Timestamp {
+        wft_queue::Timestamp(self.resolved_ts.load(Ordering::SeqCst))
+    }
+
+    /// The **advertised watermark**: the latest update timestamp whose
+    /// linearization has *begun*. It is advanced before the update's effect
+    /// can be observed by any read, which is what makes "advertised watermark
+    /// unchanged across a window" mean "no update became visible inside the
+    /// window" — the validation rule of the snapshot front.
+    pub fn advertised_ts(&self) -> wft_queue::Timestamp {
+        wft_queue::Timestamp(self.advertised_ts.load(Ordering::SeqCst))
+    }
+
+    /// Acquires a **settled front**: a watermark observed at an instant with
+    /// no update mid-linearization (`advertised == resolved`). If an update
+    /// is in flight, the caller *helps* execute the root-queue head — the
+    /// same helping any descriptor operation performs — so the loop is
+    /// lock-free: each iteration either returns or completes a concurrent
+    /// update's root-level work.
+    ///
+    /// A front returned here is the anchor of a snapshot read: as long as
+    /// [`advertised_ts`](WaitFreeTree::advertised_ts) still equals it, the
+    /// tree's abstract state is unchanged since the acquisition instant.
+    pub fn settle_front(&self) -> wft_queue::Timestamp {
+        let guard = crossbeam_epoch::pin();
+        loop {
+            let advertised = self.advertised_ts.load(Ordering::SeqCst);
+            if self.resolved_ts.load(Ordering::SeqCst) >= advertised {
+                // Quiescent instant — but only if nothing new was advertised
+                // while we looked at `resolved`.
+                if self.advertised_ts.load(Ordering::SeqCst) == advertised {
+                    return wft_queue::Timestamp(advertised);
+                }
+            } else if let Some((head_ts, head_op)) = self.root_queue.peek(&guard) {
+                // An update is mid-linearization; it sits at the root-queue
+                // head for the whole window (it is only resolved as the head
+                // and only popped afterwards). Help it to completion.
+                TreeCounters::bump(&self.counters.helped_executions);
+                self.execute_op_at(&head_op, head_ts, crate::exec::ParentRef::Fictive, &guard);
+            }
+            // `resolved < advertised` with an empty queue: the resolving
+            // helper is between its two watermark bumps — re-read.
+            std::hint::spin_loop();
+        }
+    }
+
+    /// `true` while no update has begun linearizing past `front` — the
+    /// validation half of the snapshot sandwich.
+    pub fn front_unchanged(&self, front: wft_queue::Timestamp) -> bool {
+        self.advertised_ts.load(Ordering::SeqCst) == front.get()
+    }
+
+    /// [`range_agg`](WaitFreeTree::range_agg) **at** a settled front: returns
+    /// the aggregate of the tree state at exactly `front`, or `None` when the
+    /// tree has advanced past it (the caller re-settles and retries). Named
+    /// `*_at_front` — not `*_at` — so it cannot shadow the
+    /// `SnapshotToken`-typed `wft_api::SnapshotRead::range_agg_at`.
+    ///
+    /// The read itself is the ordinary linearizable query (optimistic
+    /// traversal with descriptor fallback); the front checks before and after
+    /// prove its linearization instant fell inside a window in which the
+    /// state was constant and equal to the state at `front`.
+    pub fn range_agg_at_front(
+        &self,
+        min: K,
+        max: K,
+        front: wft_queue::Timestamp,
+    ) -> Option<A::Agg> {
+        if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
+            return None;
+        }
+        let agg = self.range_agg(min, max);
+        self.front_unchanged(front).then_some(agg)
+    }
+
+    /// [`collect_range`](WaitFreeTree::collect_range) at a settled front; see
+    /// [`range_agg_at_front`](WaitFreeTree::range_agg_at_front).
+    pub fn collect_range_at_front(
+        &self,
+        min: K,
+        max: K,
+        front: wft_queue::Timestamp,
+    ) -> Option<Vec<(K, V)>> {
+        if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
+            return None;
+        }
+        let entries = self.collect_range(min, max);
+        self.front_unchanged(front).then_some(entries)
     }
 
     /// All entries in key order.
@@ -622,6 +746,66 @@ mod tests {
         let stats = desc.stats();
         assert_eq!(stats.fast_point_reads, 0, "descriptor path counts nothing");
         assert_eq!(stats.fast_range_hits, 0);
+    }
+
+    #[test]
+    fn timestamp_front_tracks_updates() {
+        let tree: WaitFreeTree<i64> = WaitFreeTree::new();
+        assert_eq!(tree.stable_ts(), wft_queue::Timestamp::ZERO);
+        let front = tree.settle_front();
+        assert!(tree.front_unchanged(front));
+
+        tree.insert(1, ());
+        assert!(!tree.front_unchanged(front), "an update advances the front");
+        // Failed updates linearize too (they occupy a timestamp).
+        let front = tree.settle_front();
+        tree.insert(1, ());
+        assert!(!tree.front_unchanged(front));
+        // Read-only operations never advance the front.
+        let front = tree.settle_front();
+        tree.contains(&1);
+        tree.count(0, 10);
+        tree.collect_range(0, 10);
+        assert!(tree.front_unchanged(front));
+        assert_eq!(tree.stable_ts(), tree.advertised_ts());
+    }
+
+    #[test]
+    fn front_bounded_reads_succeed_then_expire() {
+        let tree: WaitFreeTree<i64> = WaitFreeTree::from_entries((0..50).map(|k| (k, ())));
+        let front = tree.settle_front();
+        assert_eq!(tree.range_agg_at_front(0, 49, front), Some(50));
+        assert_eq!(
+            tree.collect_range_at_front(10, 12, front).map(|v| v.len()),
+            Some(3)
+        );
+        tree.remove(&25);
+        assert_eq!(tree.range_agg_at_front(0, 49, front), None, "front expired");
+        assert_eq!(tree.collect_range_at_front(0, 49, front), None);
+        let fresh = tree.settle_front();
+        assert_eq!(tree.range_agg_at_front(0, 49, fresh), Some(49));
+    }
+
+    #[test]
+    fn bounded_retry_config_is_validated() {
+        let cfg = TreeConfig {
+            fast_read_attempts: 1,
+            ..TreeConfig::default()
+        };
+        let tree: WaitFreeTree<i64> = WaitFreeTree::with_config(cfg);
+        tree.insert(1, ());
+        assert_eq!(tree.count(0, 5), 1);
+        assert_eq!(tree.stats().fast_range_retries, 0, "one attempt, no retry");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one optimistic attempt")]
+    fn zero_fast_read_attempts_rejected() {
+        let cfg = TreeConfig {
+            fast_read_attempts: 0,
+            ..TreeConfig::default()
+        };
+        let _: WaitFreeTree<i64> = WaitFreeTree::with_config(cfg);
     }
 
     #[test]

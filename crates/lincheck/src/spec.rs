@@ -45,6 +45,12 @@ pub enum RangeSetOp {
     Count(i64, i64),
     /// `collect(min, max)` — the listing range query.
     Collect(i64, i64),
+    /// `snapshot_counts([a_min, a_max], [b_min, b_max])` — two counts from
+    /// **one** snapshot (`wft_api::SnapshotRead`). Sequentially both counts
+    /// come from the same state; a concurrent execution must produce a pair
+    /// that some single state explains, which is exactly the
+    /// single-snapshot claim of the global timestamp front.
+    SnapshotCounts(i64, i64, i64, i64),
 }
 
 /// Results of [`RangeSetOp`] operations.
@@ -56,6 +62,8 @@ pub enum RangeSetRet {
     Count(u64),
     /// Result of `collect`.
     Keys(Vec<i64>),
+    /// Result of `snapshot_counts`: the two counts of one snapshot.
+    CountPair(u64, u64),
 }
 
 /// The sequential specification of the range-set interface: a sorted set of
@@ -106,6 +114,19 @@ impl SequentialSpec for RangeSetSpec {
                     state.range(min..=max).copied().collect()
                 };
                 (state.clone(), RangeSetRet::Keys(keys))
+            }
+            RangeSetOp::SnapshotCounts(a_min, a_max, b_min, b_max) => {
+                let count = |min: i64, max: i64| {
+                    if min > max {
+                        0
+                    } else {
+                        state.range(min..=max).count() as u64
+                    }
+                };
+                (
+                    state.clone(),
+                    RangeSetRet::CountPair(count(a_min, a_max), count(b_min, b_max)),
+                )
             }
         }
     }
@@ -171,9 +192,19 @@ mod tests {
             RangeSetOp::Contains(2),
             RangeSetOp::Count(0, 10),
             RangeSetOp::Collect(0, 10),
+            RangeSetOp::SnapshotCounts(0, 10, 2, 3),
         ] {
             let (next, _) = RangeSetSpec::apply(&state, &op);
             assert_eq!(next, state);
         }
+    }
+
+    #[test]
+    fn snapshot_counts_answer_from_one_state() {
+        let state = RangeSetSpec::prefilled([1, 3, 5, 7, 9]);
+        let (_, ret) = RangeSetSpec::apply(&state, &RangeSetOp::SnapshotCounts(0, 10, 4, 8));
+        assert_eq!(ret, RangeSetRet::CountPair(5, 2));
+        let (_, inverted) = RangeSetSpec::apply(&state, &RangeSetOp::SnapshotCounts(9, 0, 0, 10));
+        assert_eq!(inverted, RangeSetRet::CountPair(0, 5));
     }
 }

@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use parking_lot::Mutex;
 
 use wft_seq::{Augmentation, Key, SeqRangeTree, Size, Value};
@@ -20,6 +22,12 @@ use wft_seq::{Augmentation, Key, SeqRangeTree, Size, Value};
 /// can swap implementations.
 pub struct LockedRangeTree<K: Key, V: Value = (), A: Augmentation<K, V> = Size> {
     inner: Mutex<SeqRangeTree<K, V, A>>,
+    /// Write version, bumped while the lock is held by every mutation that
+    /// changed the tree. Mutations are only visible at lock release, and
+    /// the bump is sequenced before that release, so "version unchanged
+    /// across a window" proves no mutation became visible inside it — the
+    /// tree's snapshot front (see the `TimestampFront` impl below).
+    version: AtomicU64,
 }
 
 impl<K: Key, V: Value, A: Augmentation<K, V>> Default for LockedRangeTree<K, V, A> {
@@ -33,6 +41,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> LockedRangeTree<K, V, A> {
     pub fn new() -> Self {
         LockedRangeTree {
             inner: Mutex::new(SeqRangeTree::new()),
+            version: AtomicU64::new(0),
         }
     }
 
@@ -40,29 +49,59 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> LockedRangeTree<K, V, A> {
     pub fn from_entries<I: IntoIterator<Item = (K, V)>>(entries: I) -> Self {
         LockedRangeTree {
             inner: Mutex::new(SeqRangeTree::from_entries(entries)),
+            version: AtomicU64::new(0),
         }
+    }
+
+    /// The current write version (the snapshot front); see the `version`
+    /// field docs.
+    pub fn write_version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    /// Bumps the write version; callers hold the lock.
+    fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Inserts `key → value`; `true` if the key was absent.
     pub fn insert(&self, key: K, value: V) -> bool {
-        self.inner.lock().insert(key, value)
+        let mut inner = self.inner.lock();
+        let inserted = inner.insert(key, value);
+        if inserted {
+            self.bump_version();
+        }
+        inserted
     }
 
     /// Inserts `key → value`, overwriting any existing value; returns the
     /// value it replaced, if any. Atomic: a single lock acquisition covers
     /// the whole upsert.
     pub fn insert_or_replace(&self, key: K, value: V) -> Option<V> {
-        self.inner.lock().insert_or_replace(key, value)
+        let mut inner = self.inner.lock();
+        let prior = inner.insert_or_replace(key, value);
+        self.bump_version();
+        prior
     }
 
     /// Removes `key`; `true` if it was present.
     pub fn remove(&self, key: &K) -> bool {
-        self.inner.lock().remove(key)
+        let mut inner = self.inner.lock();
+        let removed = inner.remove(key);
+        if removed {
+            self.bump_version();
+        }
+        removed
     }
 
     /// Removes `key` and returns its value, if any.
     pub fn remove_entry(&self, key: &K) -> Option<V> {
-        self.inner.lock().remove_entry(key)
+        let mut inner = self.inner.lock();
+        let removed = inner.remove_entry(key);
+        if removed.is_some() {
+            self.bump_version();
+        }
+        removed
     }
 
     /// `true` if `key` is present.
@@ -124,6 +163,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> wft_api::PointMap<K, V> for Locked
             };
         }
         inner.insert(key, value);
+        self.bump_version();
         wft_api::UpdateOutcome::Applied { prior: None }
     }
 
@@ -187,6 +227,21 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> wft_api::BatchApply<K, V>
         batch: Vec<wft_api::StoreOp<K, V>>,
     ) -> Result<Vec<wft_api::OpOutcome<V>>, wft_api::BatchError<K>> {
         wft_api::apply_batch_point(self, batch)
+    }
+}
+
+/// The lock's write version is the snapshot front: mutations only become
+/// visible at lock release, the version bump is sequenced before that
+/// release, and reads serialize through the same lock — so announcement and
+/// visibility coincide and [`wft_api::TimestampFront::settle_front`] never
+/// waits. With this impl the blanket [`wft_api::SnapshotRead`] applies.
+impl<K: Key, V: Value, A: Augmentation<K, V>> wft_api::TimestampFront for LockedRangeTree<K, V, A> {
+    fn settle_front(&self) -> u64 {
+        self.write_version()
+    }
+
+    fn front_advertised(&self) -> u64 {
+        self.write_version()
     }
 }
 

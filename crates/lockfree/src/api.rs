@@ -9,7 +9,7 @@
 
 use wft_api::{
     apply_batch_point, BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec,
-    StoreOp, UpdateOutcome,
+    StoreOp, TimestampFront, UpdateOutcome,
 };
 use wft_seq::{Key, Value};
 
@@ -70,6 +70,23 @@ impl<K: RangeKey, V: Value> RangeRead<K, V> for LockFreeBst<K, V> {
 impl<K: Key, V: Value> BatchApply<K, V> for LockFreeBst<K, V> {
     fn apply_batch(&self, batch: Vec<StoreOp<K, V>>) -> Result<Vec<OpOutcome<V>>, BatchError<K>> {
         apply_batch_point(self, batch)
+    }
+}
+
+/// The baseline's snapshot front is a plain update gauge (updates in flight
+/// vs updates finished). Settling *spins* rather than helping — the class
+/// has no descriptor to help — so acquisition is not non-blocking here; but
+/// a validated snapshot read is exact, which makes this the only
+/// configuration in which the linear baseline's range queries are
+/// linearizable at all (its plain `collect_range` is a documented
+/// best-effort traversal).
+impl<K: Key, V: Value> TimestampFront for LockFreeBst<K, V> {
+    fn settle_front(&self) -> u64 {
+        self.settle_updates()
+    }
+
+    fn front_advertised(&self) -> u64 {
+        self.updates_started()
     }
 }
 

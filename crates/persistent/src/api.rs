@@ -6,7 +6,7 @@
 
 use wft_api::{
     apply_batch_point, BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec,
-    StoreOp, UpdateOutcome,
+    StoreOp, TimestampFront, UpdateOutcome,
 };
 use wft_seq::{Augmentation, Key, Value};
 
@@ -92,6 +92,21 @@ where
 impl<K: Key, V: Value, A: Augmentation<K, V>> BatchApply<K, V> for PersistentRangeTree<K, V, A> {
     fn apply_batch(&self, batch: Vec<StoreOp<K, V>>) -> Result<Vec<OpOutcome<V>>, BatchError<K>> {
         apply_batch_point(self, batch)
+    }
+}
+
+/// The persistent tree's snapshot front is its version sequence number:
+/// every update commits a whole new version (with `seq + 1` inside the same
+/// CAS-swapped cell) at one atomic instant, so announcement, visibility and
+/// resolution coincide — the [`TimestampFront::front_resolved`] default is
+/// exact and [`TimestampFront::settle_front`] never waits.
+impl<K: Key, V: Value, A: Augmentation<K, V>> TimestampFront for PersistentRangeTree<K, V, A> {
+    fn settle_front(&self) -> u64 {
+        self.version_seq()
+    }
+
+    fn front_advertised(&self) -> u64 {
+        self.version_seq()
     }
 }
 

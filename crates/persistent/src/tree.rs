@@ -21,6 +21,12 @@ use crate::treap::{self, Link};
 /// A heap cell holding one immutable version of the tree.
 struct VersionCell<K: Key, V: Value, A: Augmentation<K, V>> {
     root: Link<K, V, A>,
+    /// Strictly increasing along the version chain (each committed update
+    /// installs `seq + 1` of the cell it replaces). Because the sequence
+    /// number travels *inside* the CAS-swapped cell, reading it is always
+    /// consistent with the root it describes — it is the tree's snapshot
+    /// front (see the `TimestampFront` impl in `crate::api`).
+    seq: u64,
 }
 
 /// Operational counters of the persistent baseline (useful for reporting CAS
@@ -57,7 +63,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> PersistentRangeTree<K, V, A> {
     /// Creates an empty tree.
     pub fn new() -> Self {
         PersistentRangeTree {
-            version: Atomic::new(VersionCell { root: None }),
+            version: Atomic::new(VersionCell { root: None, seq: 0 }),
             committed_updates: AtomicU64::new(0),
             cas_retries: AtomicU64::new(0),
         }
@@ -70,7 +76,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> PersistentRangeTree<K, V, A> {
         sorted.dedup_by(|a, b| a.0 == b.0);
         let root = treap::from_sorted::<K, V, A>(&sorted);
         PersistentRangeTree {
-            version: Atomic::new(VersionCell { root }),
+            version: Atomic::new(VersionCell { root, seq: 0 }),
             committed_updates: AtomicU64::new(0),
             cas_retries: AtomicU64::new(0),
         }
@@ -95,12 +101,16 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> PersistentRangeTree<K, V, A> {
     ) -> R {
         loop {
             let current = self.version.load(Acquire, guard);
-            let current_root = &unsafe { current.deref() }.root;
+            let current_cell = unsafe { current.deref() };
+            let current_root = &current_cell.root;
             let (new_root, result) = update(current_root);
             match new_root {
                 None => return result,
                 Some(root) => {
-                    let new_cell = Owned::new(VersionCell { root });
+                    let new_cell = Owned::new(VersionCell {
+                        root,
+                        seq: current_cell.seq + 1,
+                    });
                     match self
                         .version
                         .compare_exchange(current, new_cell, AcqRel, Acquire, guard)
@@ -216,6 +226,16 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> PersistentRangeTree<K, V, A> {
         let mut out = Vec::new();
         treap::entries::<K, V, A>(self.snapshot(&guard), &mut out);
         out
+    }
+
+    /// The current version's sequence number: strictly increasing with every
+    /// committed update, constant across reads of one version. This is the
+    /// tree's snapshot front — two reads bracketed by equal
+    /// `version_seq()` observations ran against the same immutable version.
+    pub fn version_seq(&self) -> u64 {
+        let guard = crossbeam_epoch::pin();
+        let cell = self.version.load(Acquire, &guard);
+        unsafe { cell.deref() }.seq
     }
 
     /// CAS retry / commit counters.

@@ -8,7 +8,7 @@
 
 use wft_api::{
     BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec, StoreOp,
-    UpdateOutcome,
+    TimestampFront, UpdateOutcome,
 };
 use wft_seq::{Augmentation, Key, Value};
 
@@ -79,6 +79,28 @@ where
 impl<K: Key, V: Value, A: Augmentation<K, V>> BatchApply<K, V> for ShardedStore<K, V, A> {
     fn apply_batch(&self, batch: Vec<StoreOp<K, V>>) -> Result<Vec<OpOutcome<V>>, BatchError<K>> {
         ShardedStore::apply_batch(self, batch)
+    }
+}
+
+/// The store's scalar snapshot front is the **sum** of its per-shard
+/// timestamp fronts. Per-shard watermarks are monotone, so the sum is
+/// monotone and unchanged exactly when *no* shard advanced — which is all
+/// the blanket [`wft_api::SnapshotRead`] sandwich needs. (Settling settles
+/// each shard in turn; a shard that advances after its settle but before
+/// the sandwich closes fails the final validation, same as in the
+/// vector-valued [`crate::GlobalFront`] used by the store's native
+/// cross-shard reads, which validates only the shards a range touches.)
+impl<K: Key, V: Value, A: Augmentation<K, V>> TimestampFront for ShardedStore<K, V, A> {
+    fn settle_front(&self) -> u64 {
+        self.settled_front_sum()
+    }
+
+    fn front_advertised(&self) -> u64 {
+        self.advertised_sum()
+    }
+
+    fn front_resolved(&self) -> u64 {
+        self.resolved_sum()
     }
 }
 

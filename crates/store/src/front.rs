@@ -1,0 +1,182 @@
+//! The global timestamp front: single-snapshot cross-shard reads.
+//!
+//! Every shard of a [`ShardedStore`](crate::ShardedStore) is a
+//! `WaitFreeTree` with its own root queue, and since PR 4 every tree
+//! maintains a **timestamp front**: an *advertised* watermark that advances
+//! before an update's effect can be observed, and a *resolved* watermark
+//! that trails it until the update's linearization completes
+//! (`WaitFreeTree::{advertised_ts, stable_ts, settle_front}`). A
+//! [`GlobalFront`] is one settled watermark per shard — a *cut* through the
+//! store's per-shard linearization orders — and the store's cross-shard
+//! reads are executed **at** such a cut:
+//!
+//! 1. **Acquire**: settle every touched shard's front
+//!    (`settle_front`, helping any mid-linearization update to completion —
+//!    lock-free) and record the per-shard watermarks; publish each into the
+//!    store's monotone published-front table (a `fetch_max` per shard — the
+//!    "front CAS", which can only move forward).
+//! 2. **Read**: answer each shard's sub-query with the tree's ordinary
+//!    linearizable range read, *front-validated* on both sides
+//!    (`range_agg_at_front` / `collect_range_at_front`): the result is
+//!    returned only if
+//!    the shard's advertised watermark still equals the front.
+//! 3. **Retry**: if any shard advanced past its front mid-read, the whole
+//!    attempt is discarded and the read re-acquires a fresh cut.
+//!
+//! # Why a validated cut is a single snapshot
+//!
+//! Per shard `i`, `settle_front` observed an instant `t_i` with no update
+//! mid-linearization and watermark `f_i`; the successful validation at the
+//! end of the shard's sub-query observed `advertised == f_i` at some later
+//! instant `v_i`. Watermarks are monotone and advance *before* visibility,
+//! so shard `i`'s abstract state was constant — equal to its state at
+//! `f_i` — throughout `[t_i, v_i]`. All acquisitions complete before any
+//! sub-query starts, hence `max_i t_i <= min_i v_i`: at any instant in
+//! between, **every** touched shard simultaneously held exactly its
+//! front state. The combined result equals the store's state at that
+//! instant — the read linearizes there. (Shards are independent; only the
+//! watermark sandwich couples them, which is exactly what a
+//! validated double-collect couples.)
+//!
+//! # Progress
+//!
+//! Acquisition is lock-free (settling helps the pending update), and a
+//! validation failure implies a concurrent update linearized — so the
+//! retry loop is lock-free but not wait-free: a sustained write storm on a
+//! touched shard can starve a cross-shard reader. [`StoreStats`] exposes the
+//! retry pressure; the non-linearizable pre-PR-4 behaviour remains available
+//! as the explicitly named `stitched_*` reads for comparison and benchmarks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One settled watermark per shard: a cut through the store's per-shard
+/// linearization orders, acquired by
+/// [`ShardedStore::acquire_front`](crate::ShardedStore::acquire_front).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalFront {
+    /// Per-shard settled watermarks (`fronts[i]` belongs to shard `i`).
+    fronts: Box<[u64]>,
+}
+
+impl GlobalFront {
+    pub(crate) fn new(fronts: Vec<u64>) -> Self {
+        GlobalFront {
+            fronts: fronts.into_boxed_slice(),
+        }
+    }
+
+    /// The per-shard watermarks of the cut.
+    pub fn fronts(&self) -> &[u64] {
+        &self.fronts
+    }
+
+    /// Watermark of shard `i`.
+    pub(crate) fn of(&self, shard: usize) -> u64 {
+        self.fronts[shard]
+    }
+
+    /// Number of shards the cut covers (always the store's shard count).
+    pub fn num_shards(&self) -> usize {
+        self.fronts.len()
+    }
+}
+
+/// Snapshot-front observability counters of a store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Global-front acquisitions performed (one per cross-shard read
+    /// attempt plus explicit [`acquire_front`] calls).
+    ///
+    /// [`acquire_front`]: crate::ShardedStore::acquire_front
+    pub snapshot_acquires: u64,
+    /// Cross-shard read attempts discarded because a shard advanced past
+    /// its front mid-read (each implies a concurrent update linearized).
+    pub snapshot_retries: u64,
+}
+
+/// The store-internal front bookkeeping: the monotone published front table
+/// plus the counters behind [`StoreStats`].
+pub(crate) struct FrontTable {
+    /// The highest watermark ever *published* per shard. Written with
+    /// `fetch_max` — the monotone front CAS: the published front can only
+    /// move forward, so readers observing it see a lower bound on each
+    /// shard's linearized prefix.
+    published: Box<[AtomicU64]>,
+    acquires: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl FrontTable {
+    pub(crate) fn new(shards: usize) -> Self {
+        FrontTable {
+            published: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            acquires: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes a freshly settled watermark for `shard` (monotone).
+    pub(crate) fn publish(&self, shard: usize, front: u64) {
+        self.published[shard].fetch_max(front, Ordering::SeqCst);
+    }
+
+    /// The published (monotone) front vector.
+    pub(crate) fn published(&self) -> Vec<u64> {
+        self.published
+            .iter()
+            .map(|w| w.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    pub(crate) fn count_acquire(&self) {
+        self.acquires.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn stats(&self) -> StoreStats {
+        StoreStats {
+            snapshot_acquires: self.acquires.load(Ordering::Relaxed),
+            snapshot_retries: self.retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_front_is_monotone() {
+        let table = FrontTable::new(3);
+        table.publish(1, 5);
+        table.publish(1, 3); // older publish must not regress
+        table.publish(2, 7);
+        assert_eq!(table.published(), vec![0, 5, 7]);
+    }
+
+    #[test]
+    fn stats_count_acquires_and_retries() {
+        let table = FrontTable::new(1);
+        table.count_acquire();
+        table.count_acquire();
+        table.count_retry();
+        assert_eq!(
+            table.stats(),
+            StoreStats {
+                snapshot_acquires: 2,
+                snapshot_retries: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn global_front_accessors() {
+        let front = GlobalFront::new(vec![1, 2, 3]);
+        assert_eq!(front.num_shards(), 3);
+        assert_eq!(front.fronts(), &[1, 2, 3]);
+        assert_eq!(front.of(2), 3);
+    }
+}

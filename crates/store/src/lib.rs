@@ -17,6 +17,12 @@
 //! * [`split_keys_from_sample`] — balanced shard-boundary selection from a
 //!   sampled key distribution (equi-depth quantiles), used by
 //!   [`ShardedStore::from_entries`].
+//! * [`GlobalFront`] — the **global timestamp front** (see [`front`]):
+//!   cross-shard `count` / `range_agg` / `collect_range` acquire one settled
+//!   per-shard watermark cut and read every touched shard at it, making them
+//!   linearizable, and [`wft_api::SnapshotRead`] exposes consistent
+//!   multi-range snapshot reads on top. The pre-front behaviour remains
+//!   available as the `stitched_*` reads.
 //!
 //! ## Example
 //!
@@ -46,15 +52,20 @@
 #![warn(rust_2018_idioms)]
 
 mod api;
+pub mod front;
 mod op;
 mod store;
 
+pub use front::{GlobalFront, StoreStats};
 pub use op::{BatchError, OpOutcome, StoreConfig, StoreOp};
 pub use store::{split_keys_from_sample, BatchPlan, ShardedStore};
 
 // Re-export the shared trait family the store implements (the batch
 // vocabulary above is likewise defined in `wft-api` and re-exported here).
-pub use wft_api::{BatchApply, PointMap, RangeRead, RangeSpec, UpdateOutcome};
+pub use wft_api::{
+    BatchApply, PointMap, RangeRead, RangeSpec, SnapshotRead, SnapshotToken, TimestampFront,
+    UpdateOutcome,
+};
 
 // Re-export the augmentation vocabulary so store users need one import.
 pub use wft_seq::{Augmentation, Key, Pair, Size, Sum, Value};

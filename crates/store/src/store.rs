@@ -23,17 +23,24 @@
 //!
 //! Every *single-shard* operation (every point op, and every aggregate whose
 //! range falls inside one shard) inherits the linearizability of the
-//! underlying `WaitFreeTree`. A *cross-shard* aggregate is assembled from
-//! one linearizable query per overlapped shard; the per-shard answers are
-//! each atomic but are taken at (slightly) different instants. Batches are
-//! atomic per shard and all-or-nothing with respect to validation, but a
-//! concurrent reader may observe a batch half-applied across two shards.
+//! underlying `WaitFreeTree`. A *cross-shard* aggregate is executed **at a
+//! global timestamp front** (see [`crate::front`]): one settled per-shard
+//! watermark cut is acquired, every touched shard is read at its front with
+//! front-validated entry points, and the attempt retries on a fresh cut if
+//! any shard advanced mid-read — so `count` / `range_agg` / `collect_range`
+//! are linearizable across shards (the pre-front stitched behaviour remains
+//! available as [`ShardedStore::stitched_range_agg`] /
+//! [`ShardedStore::stitched_collect_range`]). Batches are atomic per shard
+//! and all-or-nothing with respect to validation, but a concurrent reader
+//! may observe a batch half-applied across two shards; `len()` likewise sums
+//! per-shard lengths without a front.
 
 use std::thread;
 
-use wft_core::{TreeStats, WaitFreeTree};
+use wft_core::{Timestamp, TreeStats, WaitFreeTree};
 use wft_seq::{Augmentation, Key, Size, Value};
 
+use crate::front::{FrontTable, GlobalFront, StoreStats};
 use crate::op::{BatchError, OpOutcome, StoreConfig, StoreOp};
 
 /// A range-partitioned, wait-free-sharded concurrent ordered map with
@@ -44,6 +51,9 @@ pub struct ShardedStore<K: Key, V: Value = (), A: Augmentation<K, V> = Size> {
     /// first key owned by shard `i + 1`.
     bounds: Vec<K>,
     config: StoreConfig,
+    /// Global-front bookkeeping: the monotone published front table and the
+    /// snapshot counters (see [`crate::front`]).
+    front: FrontTable,
 }
 
 /// The validated, shard-grouped form of a batch: the output of phase one.
@@ -98,13 +108,15 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
             bounds.windows(2).all(|w| w[0] < w[1]),
             "shard boundaries must be strictly increasing"
         );
-        let shards = (0..=bounds.len())
+        let shards: Vec<WaitFreeTree<K, V, A>> = (0..=bounds.len())
             .map(|_| WaitFreeTree::with_config(config.tree))
             .collect();
+        let front = FrontTable::new(shards.len());
         ShardedStore {
             shards,
             bounds,
             config,
+            front,
         }
     }
 
@@ -144,10 +156,12 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
                 config.tree,
             ));
         }
+        let front = FrontTable::new(tree_shards.len());
         ShardedStore {
             shards: tree_shards,
             bounds,
             config,
+            front,
         }
     }
 
@@ -220,16 +234,72 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         self.len() == 0
     }
 
-    // -- cross-shard aggregate queries ------------------------------------
+    // -- cross-shard aggregate queries (global timestamp front) -----------
 
     /// Aggregate of all entries with keys in `[min, max]`, combined across
-    /// the overlapped shards.
+    /// the overlapped shards **at one global front** — linearizable.
     ///
     /// The query interval is split at the shard boundaries: shard `i` in
     /// the overlap is asked for `[max(min, b_{i-1}), max]`, which its own
     /// augmented root answers in `O(log n_i)`. Shards outside
-    /// `[shard_of(min), shard_of(max)]` are never touched.
+    /// `[shard_of(min), shard_of(max)]` are never touched. A range inside
+    /// one shard is answered directly (the shard's own read is already
+    /// linearizable); a multi-shard range acquires a settled per-shard
+    /// front, reads every touched shard at it, and retries on a fresh front
+    /// if any shard advanced mid-read (see [`crate::front`] for the
+    /// argument and the progress guarantee; retries are counted in
+    /// [`StoreStats::snapshot_retries`]).
     pub fn range_agg(&self, min: K, max: K) -> A::Agg {
+        if max < min {
+            return A::identity();
+        }
+        let first = self.shard_of(&min);
+        let last = self.shard_of(&max);
+        if first == last {
+            return self.shards[first].range_agg(min, max);
+        }
+        loop {
+            let fronts = self.settle_touched(first, last);
+            if let Some(acc) = self.try_agg_at(first, last, min, max, &fronts) {
+                return acc;
+            }
+            self.front.count_retry();
+            std::hint::spin_loop();
+        }
+    }
+
+    /// All entries with keys in `[min, max]`, in ascending key order, read
+    /// **at one global front** — linearizable.
+    ///
+    /// Range partitioning makes the global order free: per-shard results
+    /// are already sorted and shard ranges are disjoint and ascending. The
+    /// front discipline is the same as [`ShardedStore::range_agg`].
+    pub fn collect_range(&self, min: K, max: K) -> Vec<(K, V)> {
+        if max < min {
+            return Vec::new();
+        }
+        let first = self.shard_of(&min);
+        let last = self.shard_of(&max);
+        if first == last {
+            return self.shards[first].collect_range(min, max);
+        }
+        loop {
+            let fronts = self.settle_touched(first, last);
+            if let Some(out) = self.try_collect_at(first, last, min, max, &fronts) {
+                return out;
+            }
+            self.front.count_retry();
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Aggregate of all entries with keys in `[min, max]` assembled the
+    /// **pre-front way**: one linearizable query per overlapped shard, each
+    /// taken at a (slightly) different instant, with no global cut. Not a
+    /// single atomic snapshot — kept as the explicitly named baseline for
+    /// benchmarks and for callers that prefer zero retry cost over
+    /// cross-shard atomicity.
+    pub fn stitched_range_agg(&self, min: K, max: K) -> A::Agg {
         if max < min {
             return A::identity();
         }
@@ -243,11 +313,9 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         acc
     }
 
-    /// All entries with keys in `[min, max]`, in ascending key order.
-    ///
-    /// Range partitioning makes the global order free: per-shard results
-    /// are already sorted and shard ranges are disjoint and ascending.
-    pub fn collect_range(&self, min: K, max: K) -> Vec<(K, V)> {
+    /// [`ShardedStore::collect_range`] assembled the pre-front way (see
+    /// [`ShardedStore::stitched_range_agg`]).
+    pub fn stitched_collect_range(&self, min: K, max: K) -> Vec<(K, V)> {
         if max < min {
             return Vec::new();
         }
@@ -259,6 +327,162 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
             out.extend(self.shards[i].collect_range(lo, max));
         }
         out
+    }
+
+    // -- the global front --------------------------------------------------
+
+    /// Acquires a [`GlobalFront`]: one settled watermark per shard (helping
+    /// any mid-linearization update to completion — lock-free), published
+    /// into the monotone front table. Reads against the front succeed while
+    /// [`ShardedStore::front_valid`] holds; see [`crate::front`].
+    pub fn acquire_front(&self) -> GlobalFront {
+        self.front.count_acquire();
+        GlobalFront::new(
+            (0..self.shards.len())
+                .map(|i| {
+                    let f = self.shards[i].settle_front().get();
+                    self.front.publish(i, f);
+                    f
+                })
+                .collect(),
+        )
+    }
+
+    /// `true` while no shard has begun linearizing an update past its
+    /// watermark in `front` — i.e. while the cut still describes the
+    /// store's current state.
+    pub fn front_valid(&self, front: &GlobalFront) -> bool {
+        front.num_shards() == self.shards.len()
+            && self
+                .shards
+                .iter()
+                .enumerate()
+                .all(|(i, shard)| shard.front_unchanged(Timestamp(front.of(i))))
+    }
+
+    /// [`ShardedStore::range_agg`] **at** an acquired front: the aggregate
+    /// of the store's state at exactly that cut, or `None` once a *touched*
+    /// shard advanced past it (acquire a fresh front and retry).
+    pub fn range_agg_at_front(&self, front: &GlobalFront, min: K, max: K) -> Option<A::Agg> {
+        if max < min {
+            return Some(A::identity());
+        }
+        let first = self.shard_of(&min);
+        let last = self.shard_of(&max);
+        let touched: Vec<u64> = (first..=last).map(|i| front.of(i)).collect();
+        self.try_agg_at(first, last, min, max, &touched)
+    }
+
+    /// [`ShardedStore::collect_range`] at an acquired front; `None` once a
+    /// touched shard advanced past it.
+    pub fn collect_range_at_front(
+        &self,
+        front: &GlobalFront,
+        min: K,
+        max: K,
+    ) -> Option<Vec<(K, V)>> {
+        if max < min {
+            return Some(Vec::new());
+        }
+        let first = self.shard_of(&min);
+        let last = self.shard_of(&max);
+        let touched: Vec<u64> = (first..=last).map(|i| front.of(i)).collect();
+        self.try_collect_at(first, last, min, max, &touched)
+    }
+
+    /// The monotone **published** front: the highest watermark ever settled
+    /// and published per shard (a lower bound on each shard's linearized
+    /// prefix; diagnostics and tests).
+    pub fn shard_fronts(&self) -> Vec<u64> {
+        self.front.published()
+    }
+
+    /// Snapshot-front counters (acquisitions, retries).
+    pub fn store_stats(&self) -> StoreStats {
+        self.front.stats()
+    }
+
+    /// Sum of the per-shard settled fronts — the store's *scalar* front for
+    /// the blanket [`wft_api::SnapshotRead`] (see the `TimestampFront` impl
+    /// in `crate::api`). Monotone, and unchanged iff no shard advanced.
+    pub(crate) fn settled_front_sum(&self) -> u64 {
+        self.front.count_acquire();
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let f = shard.settle_front().get();
+                self.front.publish(i, f);
+                f
+            })
+            .sum()
+    }
+
+    /// Sum of the per-shard advertised watermarks.
+    pub(crate) fn advertised_sum(&self) -> u64 {
+        self.shards.iter().map(|s| s.advertised_ts().get()).sum()
+    }
+
+    /// Sum of the per-shard resolved watermarks.
+    pub(crate) fn resolved_sum(&self) -> u64 {
+        self.shards.iter().map(|s| s.stable_ts().get()).sum()
+    }
+
+    /// Settles the fronts of shards `first..=last` (acquire phase of one
+    /// cross-shard read attempt); `result[i - first]` is shard `i`'s
+    /// watermark.
+    fn settle_touched(&self, first: usize, last: usize) -> Vec<u64> {
+        self.front.count_acquire();
+        (first..=last)
+            .map(|i| {
+                let f = self.shards[i].settle_front().get();
+                self.front.publish(i, f);
+                f
+            })
+            .collect()
+    }
+
+    /// One front-validated aggregate attempt over shards `first..=last`
+    /// (`fronts[i - first]` is shard `i`'s watermark). `None` as soon as any
+    /// touched shard advanced past its front.
+    fn try_agg_at(
+        &self,
+        first: usize,
+        last: usize,
+        min: K,
+        max: K,
+        fronts: &[u64],
+    ) -> Option<A::Agg> {
+        let mut acc = A::identity();
+        for i in first..=last {
+            let lo = if i == first { min } else { self.bounds[i - 1] };
+            let shard_agg =
+                self.shards[i].range_agg_at_front(lo, max, Timestamp(fronts[i - first]))?;
+            acc = A::combine(&acc, &shard_agg);
+        }
+        Some(acc)
+    }
+
+    /// One front-validated collect attempt (see
+    /// [`ShardedStore::try_agg_at`]).
+    fn try_collect_at(
+        &self,
+        first: usize,
+        last: usize,
+        min: K,
+        max: K,
+        fronts: &[u64],
+    ) -> Option<Vec<(K, V)>> {
+        let mut out = Vec::new();
+        for i in first..=last {
+            let lo = if i == first { min } else { self.bounds[i - 1] };
+            out.extend(self.shards[i].collect_range_at_front(
+                lo,
+                max,
+                Timestamp(fronts[i - first]),
+            )?);
+        }
+        Some(out)
     }
 
     // -- two-phase batches ------------------------------------------------
@@ -386,17 +610,30 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> Default for ShardedStore<K, V, A> 
 
 impl<K: Key, V: Value> ShardedStore<K, V, Size> {
     /// Number of keys in `[min, max]`, the paper's headline aggregate,
-    /// answered per overlapped shard and summed.
+    /// answered per overlapped shard at one global front and summed —
+    /// linearizable (see [`ShardedStore::range_agg`]).
     pub fn count(&self, min: K, max: K) -> u64 {
         self.range_agg(min, max)
+    }
+
+    /// [`ShardedStore::count`] assembled the pre-front way (not a single
+    /// atomic snapshot; see [`ShardedStore::stitched_range_agg`]).
+    pub fn stitched_count(&self, min: K, max: K) -> u64 {
+        self.stitched_range_agg(min, max)
     }
 }
 
 impl<K: Key, V: Value, B: Augmentation<K, V>> ShardedStore<K, V, wft_seq::Pair<Size, B>> {
     /// Number of keys in `[min, max]` for stores that track the subtree
-    /// size alongside another aggregate (`Pair<Size, B>`).
+    /// size alongside another aggregate (`Pair<Size, B>`); answered at one
+    /// global front like [`ShardedStore::range_agg`].
     pub fn count(&self, min: K, max: K) -> u64 {
         self.range_agg(min, max).0
+    }
+
+    /// The pre-front (stitched) count for `Pair<Size, B>` stores.
+    pub fn stitched_count(&self, min: K, max: K) -> u64 {
+        self.stitched_range_agg(min, max).0
     }
 }
 
@@ -642,6 +879,74 @@ mod tests {
             .unwrap();
         assert_eq!(outcomes, vec![OpOutcome::Replaced(Some(51))]);
         assert_eq!(store.get(&5), Some(52));
+    }
+
+    #[test]
+    fn global_front_validates_and_expires() {
+        let store = store_with_shards(4, 1000);
+        let front = store.acquire_front();
+        assert_eq!(front.num_shards(), 4);
+        assert!(store.front_valid(&front));
+        assert_eq!(store.range_agg_at_front(&front, 0, 999), Some(1000));
+        assert_eq!(
+            store
+                .collect_range_at_front(&front, 100, 899)
+                .map(|v| v.len()),
+            Some(800)
+        );
+        // An update to any touched shard expires the cut …
+        store.insert(5000, ());
+        assert!(!store.front_valid(&front));
+        assert_eq!(store.range_agg_at_front(&front, 0, 5000), None);
+        // … but a range that avoids the advanced shard still validates.
+        let narrow_first = store.shard_of(&0);
+        let advanced = store.shard_of(&5000);
+        assert_ne!(narrow_first, advanced);
+        let hi = store.boundaries()[0] - 1;
+        assert!(store.range_agg_at_front(&front, 0, hi).is_some());
+        // Inverted ranges answer the identity without touching shards.
+        assert_eq!(store.range_agg_at_front(&front, 9, 3), Some(0));
+        assert_eq!(store.collect_range_at_front(&front, 9, 3), Some(vec![]));
+    }
+
+    #[test]
+    fn published_fronts_and_counters_advance() {
+        let store = store_with_shards(4, 400);
+        assert_eq!(store.store_stats().snapshot_acquires, 0);
+        let before = store.shard_fronts();
+        assert_eq!(before, vec![0; 4], "prefill does not occupy timestamps");
+        store.insert(0, ()); // failed insert still linearizes on shard 0
+        store.count(0, 399); // cross-shard: acquires a front
+        let stats = store.store_stats();
+        assert!(stats.snapshot_acquires >= 1);
+        let after = store.shard_fronts();
+        assert!(
+            after[0] >= 1,
+            "shard 0's published front advanced: {after:?}"
+        );
+    }
+
+    #[test]
+    fn single_shard_ranges_bypass_the_front() {
+        let store = store_with_shards(4, 400);
+        let hi = store.boundaries()[0] - 1;
+        assert_eq!(store.count(0, hi), hi as u64 + 1);
+        assert_eq!(
+            store.store_stats().snapshot_acquires,
+            0,
+            "a single-shard range needs no global front"
+        );
+    }
+
+    #[test]
+    fn stitched_reads_match_on_a_quiescent_store() {
+        let store = store_with_shards(4, 500);
+        assert_eq!(store.stitched_count(10, 490), store.count(10, 490));
+        assert_eq!(
+            store.stitched_collect_range(10, 490),
+            store.collect_range(10, 490)
+        );
+        assert_eq!(store.stitched_count(9, 3), 0);
     }
 
     #[test]

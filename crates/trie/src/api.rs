@@ -7,7 +7,7 @@
 
 use wft_api::{
     apply_batch_point, BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec,
-    StoreOp, UpdateOutcome,
+    StoreOp, TimestampFront, UpdateOutcome,
 };
 use wft_seq::{Augmentation, Value};
 
@@ -93,6 +93,22 @@ where
 impl<K: TrieKey, V: Value, A: Augmentation<K, V>> BatchApply<K, V> for WaitFreeTrie<K, V, A> {
     fn apply_batch(&self, batch: Vec<StoreOp<K, V>>) -> Result<Vec<OpOutcome<V>>, BatchError<K>> {
         apply_batch_point(self, batch)
+    }
+}
+
+/// The trie shares the BST's root-queue timestamp front, so the blanket
+/// [`wft_api::SnapshotRead`] applies to it the same way.
+impl<K: TrieKey, V: Value, A: Augmentation<K, V>> TimestampFront for WaitFreeTrie<K, V, A> {
+    fn settle_front(&self) -> u64 {
+        WaitFreeTrie::settle_front(self).get()
+    }
+
+    fn front_advertised(&self) -> u64 {
+        self.advertised_ts().get()
+    }
+
+    fn front_resolved(&self) -> u64 {
+        self.stable_ts().get()
     }
 }
 

@@ -210,6 +210,11 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
             OpKind::Remove { key } => (key, UpdateKind::Remove),
             _ => unreachable!("resolve_update called for a read-only operation"),
         };
+        // Advertise before the resolution can make the update visible — the
+        // snapshot-front invariant shared with `wft-core` (monotone max, so
+        // stalled helpers re-advertising old timestamps are no-ops).
+        self.advertised_ts
+            .fetch_max(ts.get(), std::sync::atomic::Ordering::SeqCst);
         let (decision, first_application) =
             self.presence.resolve(key, ts, &update, &op.decision, guard);
         if first_application {
@@ -236,6 +241,10 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
                 self.counters.failed_updates.fetch_add(1, Relaxed);
             }
         }
+        // Resolution complete: advance the resolved watermark (every helper
+        // bumps it before it can pop the descriptor from the root queue).
+        self.resolved_ts
+            .fetch_max(ts.get(), std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Continues the execution of `op` into the child stored in `slot`

@@ -20,8 +20,16 @@ pub(crate) struct TrieCounters {
     pub(crate) helped_executions: AtomicU64,
     pub(crate) fast_point_reads: AtomicU64,
     pub(crate) fast_range_hits: AtomicU64,
+    pub(crate) fast_range_retries: AtomicU64,
     pub(crate) range_fallbacks: AtomicU64,
 }
+
+/// How many optimistic traversals a range read attempts before falling back
+/// to the descriptor slow path (mirrors
+/// `wft_core::TreeConfig::fast_read_attempts`, which defaults to the same
+/// value; the trie keeps it fixed rather than growing a config struct for
+/// one knob).
+pub(crate) const FAST_READ_ATTEMPTS: usize = 3;
 
 /// A snapshot of the operational counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +48,8 @@ pub struct TrieStats {
     pub fast_point_reads: u64,
     /// Range reads answered by a validated optimistic traversal.
     pub fast_range_hits: u64,
+    /// Extra optimistic attempts after a failed validation (bounded retry).
+    pub fast_range_retries: u64,
     /// Range reads that fell back to the descriptor slow path.
     pub range_fallbacks: u64,
 }
@@ -85,6 +95,13 @@ pub struct WaitFreeTrie<K: TrieKey, V: Value = (), A: Augmentation<K, V> = Size>
     pub(crate) counters: TrieCounters,
     pub(crate) len: AtomicU64,
     pub(crate) read_path: ReadPath,
+    /// Highest update timestamp whose linearization has begun (bumped before
+    /// the presence-index resolution makes the update visible); mirrors
+    /// `wft_core::WaitFreeTree::advertised_ts`.
+    pub(crate) advertised_ts: AtomicU64,
+    /// Highest update timestamp whose linearization has completed. Always
+    /// `<= advertised_ts`; equality means no update is mid-linearization.
+    pub(crate) resolved_ts: AtomicU64,
 }
 
 unsafe impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Send for WaitFreeTrie<K, V, A> {}
@@ -115,6 +132,8 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
             counters: TrieCounters::default(),
             len: AtomicU64::new(0),
             read_path,
+            advertised_ts: AtomicU64::new(0),
+            resolved_ts: AtomicU64::new(0),
         }
     }
 
@@ -223,11 +242,18 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         }
         if self.read_path == ReadPath::Fast {
             let guard = crossbeam_epoch::pin();
-            if let Some(agg) = self.try_fast_range_agg(min, max, &guard) {
-                self.counters
-                    .fast_range_hits
-                    .fetch_add(1, Ordering::Relaxed);
-                return agg;
+            for attempt in 1..=FAST_READ_ATTEMPTS {
+                if let Some(agg) = self.try_fast_range_agg(min, max, &guard) {
+                    self.counters
+                        .fast_range_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    return agg;
+                }
+                if attempt < FAST_READ_ATTEMPTS {
+                    self.counters
+                        .fast_range_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                }
             }
             self.counters
                 .range_fallbacks
@@ -245,11 +271,18 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         }
         if self.read_path == ReadPath::Fast {
             let guard = crossbeam_epoch::pin();
-            if let Some(entries) = self.try_fast_collect(min, max, &guard) {
-                self.counters
-                    .fast_range_hits
-                    .fetch_add(1, Ordering::Relaxed);
-                return entries;
+            for attempt in 1..=FAST_READ_ATTEMPTS {
+                if let Some(entries) = self.try_fast_collect(min, max, &guard) {
+                    self.counters
+                        .fast_range_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    return entries;
+                }
+                if attempt < FAST_READ_ATTEMPTS {
+                    self.counters
+                        .fast_range_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                }
             }
             self.counters
                 .range_fallbacks
@@ -280,8 +313,69 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
             helped_executions: self.counters.helped_executions.load(Ordering::Relaxed),
             fast_point_reads: self.counters.fast_point_reads.load(Ordering::Relaxed),
             fast_range_hits: self.counters.fast_range_hits.load(Ordering::Relaxed),
+            fast_range_retries: self.counters.fast_range_retries.load(Ordering::Relaxed),
             range_fallbacks: self.counters.range_fallbacks.load(Ordering::Relaxed),
         }
+    }
+
+    // -- the timestamp front ------------------------------------------------
+
+    /// The stable watermark: the latest root-queue timestamp whose update
+    /// effects are fully resolved (mirrors `wft_core::WaitFreeTree::stable_ts`).
+    pub fn stable_ts(&self) -> Timestamp {
+        Timestamp(self.resolved_ts.load(Ordering::SeqCst))
+    }
+
+    /// The advertised watermark: the latest update timestamp whose
+    /// linearization has begun — advanced before the update is visible to
+    /// any read.
+    pub fn advertised_ts(&self) -> Timestamp {
+        Timestamp(self.advertised_ts.load(Ordering::SeqCst))
+    }
+
+    /// Acquires a settled front (no update mid-linearization), helping the
+    /// root-queue head through its execution if one is in flight; lock-free.
+    /// See `wft_core::WaitFreeTree::settle_front` for the full contract.
+    pub fn settle_front(&self) -> Timestamp {
+        let guard = crossbeam_epoch::pin();
+        loop {
+            let advertised = self.advertised_ts.load(Ordering::SeqCst);
+            if self.resolved_ts.load(Ordering::SeqCst) >= advertised {
+                if self.advertised_ts.load(Ordering::SeqCst) == advertised {
+                    return Timestamp(advertised);
+                }
+            } else if let Some((head_ts, head_op)) = self.root_queue.peek(&guard) {
+                self.counters
+                    .helped_executions
+                    .fetch_add(1, Ordering::Relaxed);
+                self.execute_op_at(&head_op, head_ts, crate::exec::ParentRef::Fictive, &guard);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// `true` while no update has begun linearizing past `front`.
+    pub fn front_unchanged(&self, front: Timestamp) -> bool {
+        self.advertised_ts.load(Ordering::SeqCst) == front.get()
+    }
+
+    /// [`range_agg`](WaitFreeTrie::range_agg) at a settled front, or `None`
+    /// when the trie advanced past it.
+    pub fn range_agg_at_front(&self, min: K, max: K, front: Timestamp) -> Option<A::Agg> {
+        if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
+            return None;
+        }
+        let agg = self.range_agg(min, max);
+        self.front_unchanged(front).then_some(agg)
+    }
+
+    /// [`collect_range`](WaitFreeTrie::collect_range) at a settled front.
+    pub fn collect_range_at_front(&self, min: K, max: K, front: Timestamp) -> Option<Vec<(K, V)>> {
+        if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
+            return None;
+        }
+        let entries = self.collect_range(min, max);
+        self.front_unchanged(front).then_some(entries)
     }
 
     /// All entries in key order. **Quiescent only.**
@@ -551,6 +645,26 @@ mod tests {
         assert_eq!(desc.stats().fast_point_reads, 0);
         fast.check_invariants();
         desc.check_invariants();
+    }
+
+    #[test]
+    fn timestamp_front_tracks_updates() {
+        let trie: WaitFreeTrie<u64> = WaitFreeTrie::new();
+        let front = trie.settle_front();
+        assert!(trie.front_unchanged(front));
+        trie.insert(1, ());
+        assert!(!trie.front_unchanged(front), "updates advance the front");
+        let front = trie.settle_front();
+        trie.contains(&1);
+        trie.count(0, 10);
+        assert!(trie.front_unchanged(front), "reads never advance the front");
+        assert_eq!(trie.range_agg_at_front(0, 10, front), Some(1));
+        trie.remove(&1);
+        assert_eq!(trie.range_agg_at_front(0, 10, front), None, "front expired");
+        assert_eq!(
+            trie.collect_range_at_front(0, 10, trie.settle_front()),
+            Some(vec![])
+        );
     }
 
     #[test]

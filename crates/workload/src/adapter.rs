@@ -22,12 +22,12 @@
 
 use std::sync::Arc;
 
-use wft_api::{PointMap, RangeRead, RangeSpec};
+use wft_api::{PointMap, RangeRead, RangeSpec, SnapshotRead};
 use wft_core::{ReadPath, RootQueueKind, TreeConfig, WaitFreeTree};
 use wft_lockbased::LockedRangeTree;
 use wft_lockfree::LockFreeBst;
 use wft_persistent::PersistentRangeTree;
-use wft_store::ShardedStore;
+use wft_store::{ShardedStore, StoreConfig};
 use wft_trie::WaitFreeTrie;
 
 /// The common operation surface used by every experiment: the `wft-api`
@@ -49,6 +49,10 @@ pub trait ConcurrentSet: Send + Sync + 'static {
     /// Number of keys in `[min, max]` computed the pre-existing way:
     /// `collect(min, max).len()` — linear in the range size.
     fn count_via_collect(&self, min: i64, max: i64) -> u64;
+    /// Counts of `[a_min, a_max]` and `[b_min, b_max]` answered from **one
+    /// snapshot** (`wft_api::SnapshotRead`): the pair is mutually
+    /// consistent — both counts describe the same instant.
+    fn snapshot_count_pair(&self, a_min: i64, a_max: i64, b_min: i64, b_max: i64) -> (u64, u64);
     /// Number of keys currently stored.
     fn len(&self) -> u64;
     /// `true` when empty.
@@ -59,7 +63,7 @@ pub trait ConcurrentSet: Send + Sync + 'static {
 
 impl<T> ConcurrentSet for T
 where
-    T: PointMap<i64, ()> + RangeRead<i64, ()> + 'static,
+    T: PointMap<i64, ()> + RangeRead<i64, ()> + SnapshotRead<i64, ()> + 'static,
 {
     fn insert(&self, key: i64) -> bool {
         PointMap::insert(self, key, ()).is_applied()
@@ -78,6 +82,16 @@ where
     }
     fn count_via_collect(&self, min: i64, max: i64) -> u64 {
         RangeRead::collect_range(self, RangeSpec::inclusive(min, max)).len() as u64
+    }
+    fn snapshot_count_pair(&self, a_min: i64, a_max: i64, b_min: i64, b_max: i64) -> (u64, u64) {
+        let counts = SnapshotRead::snapshot_counts(
+            self,
+            &[
+                RangeSpec::inclusive(a_min, a_max),
+                RangeSpec::inclusive(b_min, b_max),
+            ],
+        );
+        (counts[0], counts[1])
     }
     fn len(&self) -> u64 {
         PointMap::len(self)
@@ -112,6 +126,11 @@ pub enum TreeImpl {
     /// The wait-free trie with reads forced through the descriptor path;
     /// same role as [`TreeImpl::WaitFreeDescReads`].
     TrieDescReads,
+    /// The sharded store with every shard's reads forced through the
+    /// descriptor path. Not part of [`TreeImpl::ALL`]: used by the
+    /// linearizability suites so cross-shard snapshot reads are checked
+    /// under both per-shard read paths.
+    ShardedDescReads,
 }
 
 impl TreeImpl {
@@ -141,6 +160,7 @@ impl TreeImpl {
             TreeImpl::Sharded => "sharded-store",
             TreeImpl::WaitFreeDescReads => "wait-free-tree(desc-reads)",
             TreeImpl::TrieDescReads => "wait-free-trie(desc-reads)",
+            TreeImpl::ShardedDescReads => "sharded-store(desc-reads)",
         }
     }
 
@@ -191,6 +211,20 @@ impl TreeImpl {
                 pairs,
                 ReadPath::Descriptor,
             )),
+            TreeImpl::ShardedDescReads => {
+                let config = StoreConfig {
+                    tree: TreeConfig {
+                        read_path: ReadPath::Descriptor,
+                        ..TreeConfig::default()
+                    },
+                    ..StoreConfig::default()
+                };
+                Arc::new(ShardedStore::<i64>::from_entries_with_config(
+                    pairs,
+                    max_threads.max(1),
+                    config,
+                ))
+            }
         }
     }
 }

@@ -128,6 +128,11 @@ pub fn timed_run(
                         Op::Collect(lo, hi) => {
                             std::hint::black_box(set.count_via_collect(lo, hi));
                         }
+                        Op::SnapshotCounts(a_min, a_max, b_min, b_max) => {
+                            std::hint::black_box(
+                                set.snapshot_count_pair(a_min, a_max, b_min, b_max),
+                            );
+                        }
                     }
                     ops += 1;
                 }

@@ -58,11 +58,14 @@ pub struct OperationMix {
     pub count: f64,
     /// Fraction of `collect`-based counts (the linear-time baseline query).
     pub collect: f64,
+    /// Fraction of snapshot reads: two subrange counts answered from one
+    /// acquired snapshot front (`wft_api::SnapshotRead`).
+    pub snapshot: f64,
 }
 
 impl OperationMix {
     fn total(&self) -> f64 {
-        self.contains + self.insert + self.remove + self.count + self.collect
+        self.contains + self.insert + self.remove + self.count + self.collect + self.snapshot
     }
 }
 
@@ -97,6 +100,9 @@ pub enum Op {
     Count(i64, i64),
     /// Collect-based count over a range.
     Collect(i64, i64),
+    /// Two subrange counts `[a_min, a_max]` / `[b_min, b_max]` answered
+    /// from one snapshot front.
+    SnapshotCounts(i64, i64, i64, i64),
 }
 
 impl WorkloadSpec {
@@ -114,6 +120,7 @@ impl WorkloadSpec {
                 remove: 0.0,
                 count: 0.0,
                 collect: 0.0,
+                snapshot: 0.0,
             },
             range_fraction: 0.0,
         }
@@ -134,6 +141,7 @@ impl WorkloadSpec {
                 remove: 0.5,
                 count: 0.0,
                 collect: 0.0,
+                snapshot: 0.0,
             },
             range_fraction: 0.0,
         }
@@ -154,6 +162,7 @@ impl WorkloadSpec {
                 remove: 0.0,
                 count: 0.0,
                 collect: 0.0,
+                snapshot: 0.0,
             },
             range_fraction: 0.0,
         }
@@ -175,6 +184,31 @@ impl WorkloadSpec {
                 remove: rest * 0.25,
                 count,
                 collect: 0.0,
+                snapshot: 0.0,
+            },
+            range_fraction,
+        }
+    }
+
+    /// Snapshot-consistency workload: a given percentage of snapshot reads
+    /// (two subrange counts from one acquired front) over an
+    /// insert/remove/contains background, used by the sharded-snapshot
+    /// bench and smoke tests.
+    pub fn snapshot_mix(snapshot_percent: f64, range_fraction: f64) -> Self {
+        let snapshot = snapshot_percent / 100.0;
+        let rest = 1.0 - snapshot;
+        WorkloadSpec {
+            name: "snapshot-mix",
+            key_range: 2_000_000,
+            prefill: Prefill::Bernoulli { probability: 0.5 },
+            distribution: KeyDistribution::UniformInRange,
+            mix: OperationMix {
+                contains: rest * 0.5,
+                insert: rest * 0.25,
+                remove: rest * 0.25,
+                count: 0.0,
+                collect: 0.0,
+                snapshot,
             },
             range_fraction,
         }
@@ -198,6 +232,7 @@ impl WorkloadSpec {
                 remove: 0.0,
                 count: if via_collect { 0.0 } else { 1.0 },
                 collect: if via_collect { 1.0 } else { 0.0 },
+                snapshot: 0.0,
             },
             range_fraction,
         }
@@ -254,10 +289,16 @@ impl WorkloadSpec {
         let lo = rng.gen_range(1..=self.key_range.saturating_sub(width).max(1));
         let hi = lo.saturating_add(width);
         if roll < self.mix.count {
-            Op::Count(lo, hi)
-        } else {
-            Op::Collect(lo, hi)
+            return Op::Count(lo, hi);
         }
+        roll -= self.mix.count;
+        if roll < self.mix.collect {
+            return Op::Collect(lo, hi);
+        }
+        // Snapshot read: the drawn range plus a second independent subrange,
+        // both answered from one front.
+        let lo2 = rng.gen_range(1..=self.key_range.saturating_sub(width).max(1));
+        Op::SnapshotCounts(lo, hi, lo2, lo2.saturating_add(width))
     }
 }
 
@@ -309,7 +350,7 @@ mod tests {
     fn op_mix_respects_probabilities() {
         let spec = WorkloadSpec::range_mix(10.0, 0.01).scaled_down(10_000);
         let mut rng = StdRng::seed_from_u64(3);
-        let mut counts = [0usize; 5];
+        let mut counts = [0usize; 6];
         const N: usize = 20_000;
         for _ in 0..N {
             match spec.next_op(&mut rng) {
@@ -318,6 +359,7 @@ mod tests {
                 Op::Remove(_) => counts[2] += 1,
                 Op::Count(_, _) => counts[3] += 1,
                 Op::Collect(_, _) => counts[4] += 1,
+                Op::SnapshotCounts(..) => counts[5] += 1,
             }
         }
         let frac = |i: usize| counts[i] as f64 / N as f64;
@@ -328,6 +370,23 @@ mod tests {
         );
         assert!((frac(3) - 0.10).abs() < 0.02, "count fraction {}", frac(3));
         assert_eq!(counts[4], 0);
+        assert_eq!(counts[5], 0, "range_mix draws no snapshot ops");
+    }
+
+    #[test]
+    fn snapshot_mix_draws_snapshot_ops() {
+        let spec = WorkloadSpec::snapshot_mix(20.0, 0.05).scaled_down(10_000);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut snapshots = 0usize;
+        const N: usize = 10_000;
+        for _ in 0..N {
+            if let Op::SnapshotCounts(a_min, a_max, b_min, b_max) = spec.next_op(&mut rng) {
+                snapshots += 1;
+                assert!(a_min <= a_max && b_min <= b_max);
+            }
+        }
+        let frac = snapshots as f64 / N as f64;
+        assert!((frac - 0.20).abs() < 0.02, "snapshot fraction {frac}");
     }
 
     #[test]

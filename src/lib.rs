@@ -70,8 +70,8 @@ pub use wft_store::{ShardedStore, StoreOp};
 pub mod prelude {
     // The trait family and its vocabulary.
     pub use wft_api::{
-        BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec, StoreOp,
-        UpdateOutcome,
+        BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec, SnapshotRead,
+        SnapshotToken, StoreOp, TimestampFront, UpdateOutcome,
     };
     // The augmentation algebra.
     pub use wft_seq::{Augmentation, Key, KeyRange, Pair, Size, Sum, SumSquares, Value};

@@ -39,6 +39,10 @@ struct OpMix {
     /// The atomic upsert (excluded for the baseline whose replace is a
     /// documented non-atomic remove+insert composition).
     replace: bool,
+    /// Snapshot reads: two subrange counts from one acquired front
+    /// (`SnapshotRead`); the checker verifies the pair against a single
+    /// abstract state.
+    snapshots: bool,
 }
 
 /// Runs one recorded execution against `set` and returns the history.
@@ -56,15 +60,20 @@ fn record_round(
                 let set = Arc::clone(&set);
                 std::thread::spawn(move || {
                     let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37));
+                    // The enabled op kinds, drawn uniformly.
+                    let mut kinds: Vec<u8> = vec![0, 1, 2];
+                    if mix.range_queries {
+                        kinds.extend([3, 4]);
+                    }
+                    if mix.replace {
+                        kinds.push(5);
+                    }
+                    if mix.snapshots {
+                        kinds.push(6);
+                    }
                     for _ in 0..OPS_PER_THREAD {
                         let key = rng.gen_range(0..KEY_RANGE);
-                        let choices = match (mix.range_queries, mix.replace) {
-                            (true, true) => 6,
-                            (true, false) => 5,
-                            (false, true) => 4,
-                            (false, false) => 3,
-                        };
-                        match rng.gen_range(0..choices) {
+                        match kinds[rng.gen_range(0..kinds.len() as i64) as usize] {
                             0 => {
                                 let token = recorder.invoke(RangeSetOp::Insert(key));
                                 let ok = set.insert(key);
@@ -80,22 +89,36 @@ fn record_round(
                                 let ok = set.contains(key);
                                 recorder.respond(token, RangeSetRet::Bool(ok));
                             }
-                            3 if mix.range_queries => {
+                            3 => {
                                 let hi = rng.gen_range(key..KEY_RANGE);
                                 let token = recorder.invoke(RangeSetOp::Count(key, hi));
                                 let n = set.count(key, hi);
                                 recorder.respond(token, RangeSetRet::Count(n));
                             }
-                            4 if mix.range_queries => {
+                            4 => {
                                 let hi = rng.gen_range(key..KEY_RANGE);
                                 let token = recorder.invoke(RangeSetOp::Count(key, hi));
                                 let n = set.count_via_collect(key, hi);
                                 recorder.respond(token, RangeSetRet::Count(n));
                             }
-                            _ => {
+                            5 => {
                                 let token = recorder.invoke(RangeSetOp::Replace(key));
                                 let was_present = set.replace(key);
                                 recorder.respond(token, RangeSetRet::Bool(was_present));
+                            }
+                            _ => {
+                                // One subrange plus the whole key universe,
+                                // counted from one snapshot: the pair must be
+                                // explained by a single abstract state.
+                                let hi = rng.gen_range(key..KEY_RANGE);
+                                let token = recorder.invoke(RangeSetOp::SnapshotCounts(
+                                    key,
+                                    hi,
+                                    0,
+                                    KEY_RANGE - 1,
+                                ));
+                                let (a, b) = set.snapshot_count_pair(key, hi, 0, KEY_RANGE - 1);
+                                recorder.respond(token, RangeSetRet::CountPair(a, b));
                             }
                         }
                     }
@@ -114,6 +137,10 @@ fn assert_linearizable(imp: TreeImpl, rounds: u64, with_range_queries: bool) {
     let mix = OpMix {
         range_queries: with_range_queries,
         replace: imp.replace_is_atomic(),
+        // Every backend speaks `SnapshotRead` (single trees through the
+        // single-front blanket impl, the store through its global front), so
+        // snapshot pairs ride along wherever range queries are checked.
+        snapshots: with_range_queries,
     };
     for round in 0..rounds {
         // Alternate between an empty tree and a small prefill so both code
@@ -177,6 +204,21 @@ fn wait_free_trie_descriptor_read_path_linearizes() {
 }
 
 #[test]
+fn sharded_store_cross_shard_snapshots_linearize() {
+    // The global timestamp front makes cross-shard `count` / snapshot pairs
+    // single-snapshot: with THREADS shards over a KEY_RANGE of 8 keys,
+    // nearly every range query and snapshot pair spans several shards.
+    assert_linearizable(TreeImpl::Sharded, 25, true);
+}
+
+#[test]
+fn sharded_store_descriptor_read_path_linearizes() {
+    // The same check with every shard's reads forced through the descriptor
+    // machinery: the front argument is read-path independent.
+    assert_linearizable(TreeImpl::ShardedDescReads, 15, true);
+}
+
+#[test]
 fn lock_free_bst_scalar_operations_linearize() {
     // Scalar operations only: the linear-time baseline's range queries are
     // documented best-effort snapshots, which is precisely the limitation the
@@ -207,6 +249,9 @@ fn checker_rejects_a_broken_implementation() {
         }
         fn count_via_collect(&self, min: i64, max: i64) -> u64 {
             self.count(min, max)
+        }
+        fn snapshot_count_pair(&self, _: i64, _: i64, _: i64, _: i64) -> (u64, u64) {
+            (0, 0)
         }
         fn len(&self) -> u64 {
             0

@@ -1,0 +1,300 @@
+//! Cross-shard snapshot reads against their oracles.
+//!
+//! PR 4 gave `ShardedStore` a **global timestamp front**: cross-shard
+//! `count` / `range_agg` / `collect_range` acquire one settled per-shard
+//! watermark cut and read every touched shard at it, and `SnapshotRead`
+//! exposes consistent multi-range reads on top. These tests pin the front
+//! to three oracles, under both per-shard `ReadPath` settings:
+//!
+//! * a `BTreeMap` replaying the same operation sequence (sequential
+//!   proptest over token acquisition/expiry and `*_at` reads);
+//! * under real concurrency, **striped writers**: each writer owns a key
+//!   residue class that spans *every* shard and inserts its keys in
+//!   ascending order, so any single-front snapshot must see a gap-free
+//!   prefix of each writer's sequence — a torn (per-shard stitched) read
+//!   shows up as a hole;
+//! * internal agreement: each snapshot's `count` equals its
+//!   `collect_range` length, and per-reader counts are monotone in an
+//!   insert-only workload.
+//!
+//! (The adversarial interleavings are machine-checked separately by the
+//! `SnapshotCounts` mix in `tests/linearizability.rs`.)
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wait_free_range_trees::prelude::*;
+use wait_free_range_trees::store::GlobalFront;
+
+fn store_config(read_path: ReadPath) -> StoreConfig {
+    StoreConfig {
+        tree: TreeConfig {
+            read_path,
+            ..TreeConfig::default()
+        },
+        ..StoreConfig::default()
+    }
+}
+
+/// One step of the sequential oracle workload.
+#[derive(Debug, Clone)]
+enum Step {
+    Insert(i64, i64),
+    Replace(i64, i64),
+    Remove(i64),
+    Count(i64, i64),
+    Collect(i64, i64),
+    /// Acquire a front, read `count` and `collect` of the range against it,
+    /// and check both against the oracle (the store is quiescent between
+    /// steps, so the freshly acquired front never expires here; expiry is
+    /// exercised by `front_expiry_is_exact` and the concurrent tests).
+    Snapshot(i64, i64),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let key = -60i64..60;
+    prop_oneof![
+        (key.clone(), any::<i64>()).prop_map(|(k, v)| Step::Insert(k, v)),
+        (key.clone(), any::<i64>()).prop_map(|(k, v)| Step::Replace(k, v)),
+        key.clone().prop_map(Step::Remove),
+        (key.clone(), key.clone()).prop_map(|(a, b)| Step::Count(a, b)),
+        (key.clone(), key.clone()).prop_map(|(a, b)| Step::Collect(a, b)),
+        (key.clone(), key).prop_map(|(a, b)| Step::Snapshot(a, b)),
+    ]
+}
+
+fn oracle_count(oracle: &BTreeMap<i64, i64>, a: i64, b: i64) -> u64 {
+    if a > b {
+        0
+    } else {
+        oracle.range(a..=b).count() as u64
+    }
+}
+
+fn oracle_entries(oracle: &BTreeMap<i64, i64>, a: i64, b: i64) -> Vec<(i64, i64)> {
+    if a > b {
+        Vec::new()
+    } else {
+        oracle.range(a..=b).map(|(k, v)| (*k, *v)).collect()
+    }
+}
+
+proptest! {
+    /// Front-based cross-shard reads and `*_at_front` reads agree with a
+    /// `BTreeMap` replay over random operation sequences, on both per-shard
+    /// read paths. Boundaries at -20/0/20 put the proptest key domain
+    /// `[-60, 60)` across four shards.
+    #[test]
+    fn snapshot_reads_agree_with_btreemap(
+        steps in proptest::collection::vec(step_strategy(), 1..100),
+        descriptor_reads in any::<bool>(),
+    ) {
+        let read_path = if descriptor_reads { ReadPath::Descriptor } else { ReadPath::Fast };
+        let store: ShardedStore<i64, i64> =
+            ShardedStore::with_boundaries_and_config(vec![-20, 0, 20], store_config(read_path));
+        let mut oracle = BTreeMap::new();
+        for step in &steps {
+            match *step {
+                Step::Insert(k, v) => {
+                    let expect = !oracle.contains_key(&k);
+                    if expect {
+                        oracle.insert(k, v);
+                    }
+                    prop_assert_eq!(store.insert(k, v), expect);
+                }
+                Step::Replace(k, v) => {
+                    let expect = oracle.insert(k, v);
+                    prop_assert_eq!(store.insert_or_replace(k, v), expect);
+                }
+                Step::Remove(k) => {
+                    let expect = oracle.remove(&k);
+                    prop_assert_eq!(store.remove_entry(&k), expect);
+                }
+                Step::Count(a, b) => {
+                    prop_assert_eq!(store.count(a, b), oracle_count(&oracle, a, b));
+                    prop_assert_eq!(store.stitched_count(a, b), oracle_count(&oracle, a, b));
+                }
+                Step::Collect(a, b) => {
+                    prop_assert_eq!(store.collect_range(a, b), oracle_entries(&oracle, a, b));
+                }
+                Step::Snapshot(a, b) => {
+                    let front: GlobalFront = store.acquire_front();
+                    prop_assert!(store.front_valid(&front));
+                    prop_assert_eq!(
+                        store.range_agg_at_front(&front, a, b),
+                        Some(oracle_count(&oracle, a, b))
+                    );
+                    prop_assert_eq!(
+                        store.collect_range_at_front(&front, a, b),
+                        Some(oracle_entries(&oracle, a, b))
+                    );
+                    // The trait surface sees the same state.
+                    let (count, entries) = store
+                        .snapshot_count_and_collect(RangeSpec::inclusive(a, b));
+                    prop_assert_eq!(count, oracle_count(&oracle, a, b));
+                    prop_assert_eq!(entries, oracle_entries(&oracle, a, b));
+                }
+            }
+        }
+        store.check_invariants();
+    }
+}
+
+/// A front expires exactly when a touched shard linearizes an update, and a
+/// fresh front sees the new state.
+#[test]
+fn front_expiry_is_exact() {
+    let store: ShardedStore<i64> = ShardedStore::from_entries((0..400).map(|k| (k, ())), 4);
+    let front = store.acquire_front();
+    assert_eq!(store.range_agg_at_front(&front, 0, 399), Some(400));
+
+    // A *failed* insert still occupies a timestamp on its shard: the cut is
+    // conservative and expires.
+    assert!(!store.insert(5, ()));
+    assert_eq!(store.range_agg_at_front(&front, 0, 399), None);
+
+    let fresh = store.acquire_front();
+    store.remove(&5);
+    store.remove(&300);
+    let newest = store.acquire_front();
+    assert_eq!(store.range_agg_at_front(&newest, 0, 399), Some(398));
+    assert_eq!(store.range_agg_at_front(&fresh, 0, 399), None);
+}
+
+/// Striped concurrent writers + snapshot readers: every writer inserts its
+/// residue class `{w, w + W, w + 2W, …}` — which spans every shard — in
+/// ascending order, so each snapshot must observe, per writer, a gap-free
+/// prefix; `count` and `collect_range` of one snapshot must agree; and
+/// per-reader total counts must be monotone. Run under both per-shard read
+/// paths.
+#[test]
+fn concurrent_snapshots_see_gap_free_writer_prefixes() {
+    const WRITERS: i64 = 3;
+    const PER_WRITER: i64 = 400;
+    const KEYS: i64 = WRITERS * PER_WRITER;
+    for read_path in [ReadPath::Fast, ReadPath::Descriptor] {
+        // Boundaries chosen so every residue class crosses all shards.
+        let store: Arc<ShardedStore<i64>> = Arc::new(ShardedStore::with_boundaries_and_config(
+            vec![KEYS / 4, KEYS / 2, 3 * KEYS / 4],
+            store_config(read_path),
+        ));
+        let done = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..PER_WRITER {
+                        assert!(store.insert(w + i * WRITERS, ()));
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2)
+            .map(|r| {
+                let store = Arc::clone(&store);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    let mut rng = StdRng::seed_from_u64(0x5A47 + r as u64);
+                    while !done.load(Ordering::Relaxed) {
+                        // One snapshot: the full listing plus the total count.
+                        let (count, entries) =
+                            store.snapshot_count_and_collect(RangeSpec::inclusive(0, KEYS - 1));
+                        assert_eq!(
+                            count,
+                            entries.len() as u64,
+                            "count and collect of one snapshot disagree"
+                        );
+                        assert!(
+                            count >= last,
+                            "snapshot count went backwards ({last} -> {count}) while insert-only"
+                        );
+                        last = count;
+                        // Per-writer prefixes must be gap-free: a hole means
+                        // the read tore across shards.
+                        let mut next_expected = [0i64; WRITERS as usize];
+                        for (key, ()) in &entries {
+                            let w = (key % WRITERS) as usize;
+                            let index = key / WRITERS;
+                            assert_eq!(
+                                index, next_expected[w],
+                                "writer {w}'s prefix has a hole before key {key}"
+                            );
+                            next_expected[w] += 1;
+                        }
+                        // Also exercise narrower cross-shard snapshots.
+                        let lo = rng.gen_range(0..KEYS / 2);
+                        let counts = store.snapshot_counts(&[
+                            RangeSpec::inclusive(0, KEYS - 1),
+                            RangeSpec::inclusive(0, lo),
+                            RangeSpec::inclusive(lo + 1, KEYS - 1),
+                        ]);
+                        assert_eq!(
+                            counts[0],
+                            counts[1] + counts[2],
+                            "subrange counts of one snapshot must sum to the total"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(store.len(), KEYS as u64);
+        assert_eq!(store.count(0, KEYS - 1), KEYS as u64);
+        let stats = store.store_stats();
+        assert!(
+            stats.snapshot_acquires > 0,
+            "snapshot reads must have acquired fronts"
+        );
+        store.check_invariants();
+    }
+}
+
+/// The single-front blanket impl on a single tree: token reads are mutually
+/// consistent and expire on any update, for tree and trie alike.
+#[test]
+fn single_tree_snapshot_tokens_expire_on_update() {
+    let tree: WaitFreeTree<i64> = WaitFreeTree::from_entries((0..64).map(|k| (k, ())));
+    let token = tree.acquire_snapshot();
+    assert_eq!(tree.count_at(&token, RangeSpec::all()), Some(64));
+    assert_eq!(
+        tree.collect_range_at(&token, RangeSpec::from_bounds(0..8))
+            .map(|v| v.len()),
+        Some(8)
+    );
+    tree.insert(1000, ());
+    assert!(!tree.snapshot_valid(&token));
+    assert_eq!(tree.count_at(&token, RangeSpec::all()), None);
+
+    let trie: WaitFreeTrie<u64> = WaitFreeTrie::from_entries((0..64u64).map(|k| (k, ())));
+    let token = trie.acquire_snapshot();
+    assert_eq!(trie.range_agg_at(&token, RangeSpec::all()), Some(64));
+    trie.remove(&5);
+    assert_eq!(trie.range_agg_at(&token, RangeSpec::all()), None);
+}
+
+/// Every backend in the workspace answers the snapshot drivers coherently
+/// (the blanket impl for the single trees and baselines, the global front
+/// for the store): halves sum to the total even while quiescent state is
+/// all we can assert uniformly.
+#[test]
+fn all_backends_answer_snapshot_drivers() {
+    use wait_free_range_trees::workload::TreeImpl;
+    let prefill: Vec<i64> = (0..100).collect();
+    for imp in TreeImpl::ALL {
+        let set = imp.build(&prefill, 4);
+        let (a, b) = set.snapshot_count_pair(0, 49, 50, 99);
+        assert_eq!(a + b, 100, "{}: halves must sum to the total", imp.name());
+    }
+}
