@@ -22,7 +22,16 @@
 //!   [`SnapshotToken`], derived for every single-front structure from the
 //!   two watermark primitives of [`TimestampFront`] by a blanket impl (a
 //!   single linearizable tree is trivially its own snapshot once it can
-//!   certify "nothing changed since the token was taken").
+//!   certify "nothing changed since the token was taken");
+//! * [`RangeScan`] — streaming snapshot-consistent cursors: a
+//!   [`ScanCursor`] yields a range in ascending key order in caller-bounded
+//!   chunks with keyset pagination and per-chunk front validation, so a
+//!   full drain equals one `collect_range_at` of the cursor's token (or
+//!   transparently re-reads the unseen suffix and reports
+//!   [`ScanConsistency::Resumed`]). Single-front backends implement it by
+//!   delegating to the shared [`FrontScanCursor`] over [`ChunkRead`] +
+//!   [`TimestampFront`]; the sharded store implements it natively over its
+//!   per-shard front cut.
 //!
 //! The crate is deliberately *pure interface*: it depends only on the
 //! augmentation algebra in `wft-seq` and contains no concurrency machinery.
@@ -47,6 +56,7 @@ pub mod batch;
 pub mod outcome;
 pub mod point;
 pub mod range;
+pub mod scan;
 pub mod snapshot;
 
 pub use batch::{
@@ -56,6 +66,7 @@ pub use batch::{
 pub use outcome::UpdateOutcome;
 pub use point::PointMap;
 pub use range::{agg_over, collect_over, count_over, RangeKey, RangeRead, RangeSpec};
+pub use scan::{ChunkRead, FrontScanCursor, RangeScan, ScanConsistency, ScanCursor};
 pub use snapshot::{SnapshotRead, SnapshotToken, TimestampFront};
 
 // Re-export the augmentation vocabulary: a consumer of the trait family

@@ -20,8 +20,45 @@ use crate::point::PointMap;
 /// A [`Key`] with a discrete total order and known extremes, so that
 /// exclusive and unbounded [`Bound`]s can be normalised to a closed interval.
 ///
-/// Implemented for every primitive integer type. Composite keys (tuples,
-/// newtypes) can implement it by delegating to their discrete component.
+/// Implemented for every primitive integer type, and **lexicographically
+/// for 2-tuples** of `RangeKey`s — `(tenant, timestamp)`-style composite
+/// keys work out of the box, with `successor`/`predecessor` carrying
+/// between components exactly like integer increment carries between
+/// digits, so `RangeSpec::from_bounds((t, 0)..(t + 1, 0))` selects one
+/// tenant's whole sub-range.
+///
+/// # Newtype recipe
+///
+/// Domain key types should stay domain types. Wrap the discrete
+/// representation in a newtype, derive the ordering, and delegate the four
+/// `RangeKey` items to the wrapped component:
+///
+/// ```
+/// use wft_api::{RangeKey, RangeRead, RangeSpec};
+/// use wft_core::WaitFreeTree;
+///
+/// /// Milliseconds since the epoch — ordered, discrete, bounded.
+/// #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// struct EventTime(u64);
+///
+/// impl RangeKey for EventTime {
+///     const MIN_KEY: Self = EventTime(u64::MIN);
+///     const MAX_KEY: Self = EventTime(u64::MAX);
+///     fn successor(&self) -> Option<Self> {
+///         self.0.successor().map(EventTime)
+///     }
+///     fn predecessor(&self) -> Option<Self> {
+///         self.0.predecessor().map(EventTime)
+///     }
+/// }
+///
+/// let log: WaitFreeTree<EventTime, &'static str> = WaitFreeTree::new();
+/// log.insert(EventTime(10), "boot");
+/// log.insert(EventTime(25), "ready");
+/// // Exclusive bounds resolve through the newtype's successor/predecessor.
+/// let spec = RangeSpec::from_bounds(EventTime(10)..EventTime(25));
+/// assert_eq!(RangeRead::count(&log, spec), 1);
+/// ```
 pub trait RangeKey: Key {
     /// The smallest key of the domain (`..=k` starts here).
     const MIN_KEY: Self;
@@ -49,6 +86,34 @@ macro_rules! impl_range_key {
 }
 
 impl_range_key!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+/// Lexicographic composite keys: the tuple order derived by Rust **is** the
+/// lexicographic order, and `successor`/`predecessor` carry between the
+/// components like integer increment carries between digits — `(a, B_MAX)`
+/// steps to `(a + 1, B_MIN)`. This makes `(shard_key, sub_key)` pairs
+/// first-class range keys: the whole sub-range of one `a` is
+/// `[(a, B::MIN_KEY), (a, B::MAX_KEY)]`.
+///
+/// Wider composites nest: `((a, b), c)` is lexicographic over three
+/// components.
+impl<A: RangeKey, B: RangeKey> RangeKey for (A, B) {
+    const MIN_KEY: Self = (A::MIN_KEY, B::MIN_KEY);
+    const MAX_KEY: Self = (A::MAX_KEY, B::MAX_KEY);
+
+    fn successor(&self) -> Option<Self> {
+        match self.1.successor() {
+            Some(b) => Some((self.0, b)),
+            None => self.0.successor().map(|a| (a, B::MIN_KEY)),
+        }
+    }
+
+    fn predecessor(&self) -> Option<Self> {
+        match self.1.predecessor() {
+            Some(b) => Some((self.0, b)),
+            None => self.0.predecessor().map(|a| (a, B::MAX_KEY)),
+        }
+    }
+}
 
 /// A key range built from standard [`Bound`]s.
 ///
@@ -282,6 +347,30 @@ mod tests {
         assert!(!spec.admits(&8));
         assert!(RangeSpec::<i64>::all().admits(&i64::MIN));
         assert!(RangeSpec::single(5).admits(&5) && !RangeSpec::single(5).admits(&6));
+    }
+
+    #[test]
+    fn tuple_keys_are_lexicographic_with_carry() {
+        assert_eq!(<(i8, u8)>::MIN_KEY, (i8::MIN, u8::MIN));
+        assert_eq!(<(i8, u8)>::MAX_KEY, (i8::MAX, u8::MAX));
+        // Plain step within the second component.
+        assert_eq!((3i8, 7u8).successor(), Some((3, 8)));
+        assert_eq!((3i8, 7u8).predecessor(), Some((3, 6)));
+        // Carry between components.
+        assert_eq!((3i8, u8::MAX).successor(), Some((4, 0)));
+        assert_eq!((3i8, 0u8).predecessor(), Some((2, u8::MAX)));
+        // Domain edges.
+        assert_eq!(<(i8, u8)>::MAX_KEY.successor(), None);
+        assert_eq!(<(i8, u8)>::MIN_KEY.predecessor(), None);
+        // The resolved closed interval follows the tuple order.
+        let spec = RangeSpec::from_bounds((3i8, 250u8)..(4, 2));
+        assert_eq!(spec.to_closed(), Some(((3, 250), (4, 1))));
+        assert!(spec.admits(&(3, 255)) && spec.admits(&(4, 1)));
+        assert!(!spec.admits(&(4, 2)));
+        // Exclusive lower bound at a carry point.
+        let spec =
+            RangeSpec::from_bounds((Bound::Excluded((1i8, u8::MAX)), Bound::Included((2i8, 5u8))));
+        assert_eq!(spec.to_closed(), Some(((2, 0), (2, 5))));
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Streaming range scans: snapshot-consistent cursors over a key range.
+//!
+//! [`RangeRead::collect_range`] returns a whole answer at once — fine for a
+//! dashboard widget, fatal for a production store paginating a
+//! million-entry range to a client: the entire result set is materialised in
+//! memory and the caller cannot stop early. [`RangeScan`] is the streaming
+//! inverse: [`scan`](RangeScan::scan) opens a [`ScanCursor`] that yields the
+//! range's entries **in ascending key order, in caller-bounded chunks**
+//! ([`next_chunk(limit)`](ScanCursor::next_chunk)), with three guarantees:
+//!
+//! 1. **Keyset pagination** — the cursor resumes strictly *after* the last
+//!    yielded key. It never yields a key twice and never goes backwards, no
+//!    matter what writers do between chunks.
+//! 2. **Per-chunk front validation** — every chunk is read inside a
+//!    [`TimestampFront`] validation sandwich against the cursor's acquired
+//!    [`SnapshotToken`]. While the token stays valid, a full drain is
+//!    **equivalent to one [`SnapshotRead::collect_range_at`] of that
+//!    token**: the concatenated chunks are a single atomic snapshot of the
+//!    range, even though they were produced across many calls.
+//! 3. **Transparent resumption** — if a chunk's validation fails (a
+//!    concurrent update linearized), the cursor re-anchors at a fresh
+//!    settled front and re-reads only the **not-yet-yielded suffix**; the
+//!    yielded prefix is never revisited. The cursor reports the downgrade
+//!    through [`ScanConsistency`]: [`Snapshot`](ScanConsistency::Snapshot)
+//!    while every chunk validated at the original token,
+//!    [`Resumed`](ScanConsistency::Resumed) once any chunk had to
+//!    re-anchor. A `Resumed` drain is still duplicate-free and ordered, and
+//!    every individual chunk is still a linearizable read of its suffix —
+//!    only the *cross-chunk* single-instant claim is lost. (A validation
+//!    failure *before anything was yielded* does not degrade: the fresh
+//!    front simply becomes the cursor's token, since an empty prefix is a
+//!    snapshot of any state.)
+//!
+//! # The shared cursor and the chunk primitive
+//!
+//! Like [`SnapshotRead`], the whole capability derives from small
+//! primitives. The chunking / validation / pagination logic is written
+//! **once**, as [`FrontScanCursor`] over any [`ChunkRead`] +
+//! [`TimestampFront`] backend: a chunk is a [`ChunkRead::collect_chunk`] of
+//! `[resume_key, hi]` truncated to `limit`, sandwiched between front
+//! validations. A single-front backend joins [`RangeScan`] with a one-line
+//! delegation (`fn scan(..) { FrontScanCursor::new(self, range) }` — the
+//! impl cannot be a blanket because the sharded store, whose scalar front
+//! would validate every shard on every chunk, deliberately substitutes its
+//! own cursor: a cross-shard streaming merge that opens one per-shard
+//! `GlobalFront` cut and drains shard after shard in key order, so only
+//! the touched, not-yet-drained shards can disturb a scan).
+//!
+//! [`ChunkRead::collect_chunk`] defaults to "collect the whole suffix, keep
+//! the first `limit`" — correct for every linearizable [`RangeRead`],
+//! `O(answer)` per chunk. Backends where chunking pays override it: the
+//! wait-free tree and trie answer a chunk in `O(log N + limit)` via their
+//! limit-bounded optimistic traversal (`collect_range_limited`,
+//! early-exiting after `limit` leaves).
+//!
+//! # Why the sandwich argument carries over from `SnapshotRead`
+//!
+//! Chunk `i` is read between two observations of
+//! [`front_advertised`](TimestampFront::front_advertised) equal to the
+//! token's front. By monotonicity and advertise-before-effect, the abstract
+//! state was constant across every such window, and equal to the state at
+//! the token's (settled) acquisition instant. All chunks of a `Snapshot`
+//! drain therefore read **the same state**, and keyset pagination makes
+//! their concatenation exactly `collect_range` of that state — the drain
+//! linearizes at the acquisition instant, regardless of how much wall-clock
+//! time separates the chunks. On validation failure nothing of the failed
+//! chunk is yielded; the re-read anchors a new window for the suffix only.
+
+use std::marker::PhantomData;
+
+use wft_seq::Value;
+
+use crate::range::{RangeKey, RangeRead, RangeSpec};
+use crate::snapshot::{SnapshotRead, SnapshotToken, TimestampFront};
+
+/// How a cursor's drain relates to its acquired [`SnapshotToken`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScanConsistency {
+    /// Every yielded chunk validated at the cursor's
+    /// [`token`](ScanCursor::token): the entries yielded so far are a
+    /// single atomic snapshot — a full drain equals one
+    /// [`SnapshotRead::collect_range_at`] of the token.
+    Snapshot,
+    /// At least one chunk failed validation and the cursor re-anchored at a
+    /// fresh front for the not-yet-yielded suffix. The drain is still
+    /// duplicate-free and in ascending key order, and each chunk is still a
+    /// linearizable read, but the chunks no longer describe one instant.
+    Resumed,
+}
+
+/// A streaming cursor over one key range: entries in ascending key order,
+/// in caller-bounded chunks, with keyset pagination and per-chunk snapshot
+/// validation. Produced by [`RangeScan::scan`]; see the [module docs](self)
+/// for the consistency model.
+pub trait ScanCursor<K: RangeKey, V: Value> {
+    /// Yields the next (up to) `limit` entries of the range, in ascending
+    /// key order, strictly after every previously yielded key. An empty
+    /// vector means the range is exhausted (so does `limit == 0`, which
+    /// yields nothing without advancing). Blocks only for the lock-free
+    /// re-validation loop: a retry implies a concurrent update linearized.
+    fn next_chunk(&mut self, limit: usize) -> Vec<(K, V)>;
+
+    /// The snapshot token the drain is anchored at: acquired when the
+    /// cursor was opened, and refreshed by re-anchors that happen before
+    /// anything was yielded (an empty prefix is trivially a snapshot of
+    /// any state, so such re-anchors keep the drain `Snapshot` against the
+    /// fresh token instead of degrading it). While
+    /// [`consistency`](ScanCursor::consistency) is
+    /// [`ScanConsistency::Snapshot`], everything yielded equals a prefix of
+    /// [`SnapshotRead::collect_range_at`] at this token.
+    fn token(&self) -> SnapshotToken;
+
+    /// [`ScanConsistency::Snapshot`] while every chunk validated at the
+    /// original token; [`ScanConsistency::Resumed`] after any re-anchor.
+    fn consistency(&self) -> ScanConsistency;
+
+    /// Number of re-anchors performed (0 while
+    /// [`ScanConsistency::Snapshot`]).
+    fn resumes(&self) -> u64;
+
+    /// `true` once the cursor has yielded every entry of its range.
+    fn is_exhausted(&self) -> bool;
+
+    /// Drains the remainder of the cursor in `limit`-sized chunks and
+    /// returns the concatenation (a convenience for tests and one-shot
+    /// callers; production pagination calls
+    /// [`next_chunk`](ScanCursor::next_chunk) per page).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `limit == 0`: a zero chunk can never drain anything, and
+    /// silently returning an empty vec would present "nothing" as a
+    /// complete listing (`next_chunk(0)` itself stays a non-advancing
+    /// no-op for callers that probe).
+    fn drain(&mut self, limit: usize) -> Vec<(K, V)>
+    where
+        Self: Sized,
+    {
+        assert!(limit > 0, "draining a scan cursor needs a positive chunk");
+        let mut out = Vec::new();
+        loop {
+            let chunk = self.next_chunk(limit);
+            if chunk.is_empty() {
+                return out;
+            }
+            out.extend(chunk);
+        }
+    }
+}
+
+/// The limit-bounded listing primitive behind the blanket scan cursor.
+///
+/// `collect_chunk(min, max, limit)` returns the `limit` **smallest** entries
+/// of `[min, max]` in ascending key order (fewer when the range holds
+/// fewer). The default implementation collects the whole closed range and
+/// truncates — correct for every linearizable [`RangeRead`], `O(answer)`
+/// per chunk. Backends with a native limit-bounded query override it
+/// (`wft-core` / `wft-trie` answer in `O(log N + limit)` via the optimistic
+/// traversal's early exit).
+///
+/// The method itself makes no snapshot promise; [`FrontScanCursor`] supplies
+/// the validation sandwich around it.
+pub trait ChunkRead<K: RangeKey, V: Value>: RangeRead<K, V> {
+    /// The `limit` smallest entries of the closed range `[min, max]`, in
+    /// ascending key order. `min > max` or `limit == 0` yields nothing.
+    fn collect_chunk(&self, min: K, max: K, limit: usize) -> Vec<(K, V)> {
+        if limit == 0 {
+            return Vec::new();
+        }
+        let mut entries = self.collect_range(RangeSpec::inclusive(min, max));
+        entries.truncate(limit);
+        entries
+    }
+}
+
+/// Streaming snapshot-consistent range scans — the first-class read API for
+/// paginated and memory-bounded range consumption.
+///
+/// See the [module docs](self) for the consistency model. The provided
+/// drivers package the two common call shapes: one full drain reporting its
+/// outcome ([`scan_collect`](RangeScan::scan_collect)), and a retrying
+/// drain that insists on a single-snapshot result
+/// ([`scan_snapshot`](RangeScan::scan_snapshot)).
+///
+/// ```
+/// use wft_api::{RangeScan, RangeSpec, ScanConsistency, ScanCursor};
+/// use wft_core::WaitFreeTree;
+///
+/// let tree: WaitFreeTree<i64> = WaitFreeTree::from_entries((0..100).map(|k| (k, ())));
+///
+/// // Page through [10, 59] five keys at a time.
+/// let mut cursor = tree.scan(RangeSpec::from_bounds(10..60));
+/// let first = cursor.next_chunk(5);
+/// assert_eq!(first.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![10, 11, 12, 13, 14]);
+///
+/// // Keyset pagination: the next chunk starts strictly after key 14.
+/// let second = cursor.next_chunk(5);
+/// assert_eq!(second.first().map(|(k, _)| *k), Some(15));
+///
+/// // Quiescent: every chunk validated at the cursor's token.
+/// assert_eq!(cursor.consistency(), ScanConsistency::Snapshot);
+///
+/// // Draining the rest completes the range; 10 keys were already yielded.
+/// assert_eq!(cursor.drain(16).len(), 40);
+/// assert!(cursor.is_exhausted());
+/// ```
+pub trait RangeScan<K: RangeKey, V: Value>: RangeRead<K, V> {
+    /// The cursor type produced by [`scan`](RangeScan::scan).
+    type Cursor<'a>: ScanCursor<K, V>
+    where
+        Self: 'a;
+
+    /// Opens a streaming cursor over `range`, anchored at a freshly
+    /// acquired snapshot token. Opening is cheap (no entries are read until
+    /// the first [`next_chunk`](ScanCursor::next_chunk)).
+    fn scan(&self, range: RangeSpec<K>) -> Self::Cursor<'_>;
+
+    /// Drains one cursor over `range` in `limit`-sized chunks, returning
+    /// the entries and the drain's [`ScanConsistency`] outcome. Panics
+    /// when `limit == 0` (see [`ScanCursor::drain`]).
+    fn scan_collect(&self, range: RangeSpec<K>, limit: usize) -> (Vec<(K, V)>, ScanConsistency) {
+        let mut cursor = self.scan(range);
+        let entries = cursor.drain(limit);
+        (entries, cursor.consistency())
+    }
+
+    /// Drains cursors over `range` until one completes with
+    /// [`ScanConsistency::Snapshot`] — a single-snapshot listing produced
+    /// chunk-wise. Lock-free, not wait-free: every abandoned drain implies
+    /// concurrent updates linearized (same progress class as
+    /// [`SnapshotRead::snapshot_collects`]). Panics when `limit == 0`
+    /// (see [`ScanCursor::drain`]).
+    fn scan_snapshot(&self, range: RangeSpec<K>, limit: usize) -> Vec<(K, V)> {
+        loop {
+            let (entries, consistency) = self.scan_collect(range, limit);
+            if consistency == ScanConsistency::Snapshot {
+                return entries;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// The shared streaming cursor over any single-front
+/// ([`ChunkRead`] + [`TimestampFront`]) backend: chunks are
+/// [`ChunkRead::collect_chunk`] reads of the not-yet-yielded suffix,
+/// validated against the cursor's token exactly like the
+/// [`SnapshotRead`] blanket's `*_at` reads, with keyset pagination and
+/// transparent re-anchoring. Backends implement [`RangeScan`] by handing
+/// [`FrontScanCursor::new`] out of [`RangeScan::scan`]; the cursor logic
+/// itself lives only here. See the [module docs](self).
+pub struct FrontScanCursor<'a, T, K, V> {
+    backend: &'a T,
+    /// The token the drain is anchored at. While nothing has been yielded
+    /// a re-anchor simply *replaces* it (the Snapshot claim is vacuous over
+    /// an empty prefix, so the drain stays `Snapshot` against the fresh
+    /// token); once an entry is out, re-anchoring moves only the *working*
+    /// front below and degrades the drain to `Resumed`.
+    token: SnapshotToken,
+    /// The front chunks currently validate against (`== token` until the
+    /// first post-yield re-anchor).
+    working_front: SnapshotToken,
+    /// Inclusive upper end of the scan range.
+    hi: K,
+    /// Lower bound of the not-yet-yielded suffix; `None` once exhausted.
+    resume: Option<K>,
+    /// Whether any entry has been yielded to the caller yet.
+    yielded: bool,
+    consistency: ScanConsistency,
+    resumes: u64,
+    _values: PhantomData<fn() -> V>,
+}
+
+impl<'a, T, K, V> FrontScanCursor<'a, T, K, V>
+where
+    T: ChunkRead<K, V> + TimestampFront,
+    K: RangeKey,
+    V: Value,
+{
+    /// Opens a cursor over `range`, acquiring a settled snapshot token.
+    pub fn new(backend: &'a T, range: RangeSpec<K>) -> Self {
+        let token = backend.acquire_snapshot();
+        let (resume, hi) = match range.to_closed() {
+            Some((lo, hi)) => (Some(lo), hi),
+            // Empty/inverted range: born exhausted (`hi` is never read).
+            None => (None, K::MIN_KEY),
+        };
+        FrontScanCursor {
+            backend,
+            token,
+            working_front: token,
+            hi,
+            resume,
+            yielded: false,
+            consistency: ScanConsistency::Snapshot,
+            resumes: 0,
+            _values: PhantomData,
+        }
+    }
+
+    /// `true` while the working front is settled at — and unchanged since —
+    /// `front` (the entry half of the sandwich; forged/stale fronts fail).
+    fn front_holds(&self, front: SnapshotToken) -> bool {
+        self.backend.front_resolved() == front.front()
+            && self.backend.front_advertised() == front.front()
+    }
+}
+
+impl<T, K, V> ScanCursor<K, V> for FrontScanCursor<'_, T, K, V>
+where
+    T: ChunkRead<K, V> + TimestampFront,
+    K: RangeKey,
+    V: Value,
+{
+    fn next_chunk(&mut self, limit: usize) -> Vec<(K, V)> {
+        let Some(lo) = self.resume else {
+            return Vec::new();
+        };
+        if limit == 0 {
+            return Vec::new();
+        }
+        loop {
+            // Sandwich: entry validation, suffix chunk, exit validation —
+            // the same window argument as `SnapshotRead::collect_range_at`.
+            if self.front_holds(self.working_front) {
+                let chunk = self.backend.collect_chunk(lo, self.hi, limit);
+                if self.backend.front_advertised() == self.working_front.front() {
+                    // Validated: commit the pagination point. A short chunk
+                    // proves the suffix is exhausted; a full one resumes
+                    // strictly after its last key.
+                    self.resume = if chunk.len() < limit {
+                        None
+                    } else {
+                        chunk
+                            .last()
+                            .and_then(|(k, _)| k.successor())
+                            .filter(|next| *next <= self.hi)
+                    };
+                    self.yielded |= !chunk.is_empty();
+                    return chunk;
+                }
+            }
+            // The front moved (or was not settled): re-anchor at a fresh
+            // settled front. Nothing of the failed attempt was yielded.
+            // While the caller has seen nothing at all the fresh front
+            // simply *becomes* the cursor's token (an empty prefix is
+            // trivially a snapshot of any state — this keeps long drains
+            // `Snapshot` when the only write landed before the first
+            // page); afterwards the yielded prefix is never re-read and
+            // the scan degrades to `Resumed` instead of blocking writers.
+            let fresh = self.backend.acquire_snapshot();
+            self.working_front = fresh;
+            if self.yielded {
+                self.consistency = ScanConsistency::Resumed;
+                self.resumes += 1;
+            } else {
+                self.token = fresh;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    fn token(&self) -> SnapshotToken {
+        self.token
+    }
+
+    fn consistency(&self) -> ScanConsistency {
+        self.consistency
+    }
+
+    fn resumes(&self) -> u64 {
+        self.resumes
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.resume.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistency_is_plain_data() {
+        assert_eq!(ScanConsistency::Snapshot, ScanConsistency::Snapshot);
+        assert_ne!(ScanConsistency::Snapshot, ScanConsistency::Resumed);
+    }
+}

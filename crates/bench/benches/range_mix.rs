@@ -57,6 +57,9 @@ fn bench_range_mix(c: &mut Criterion) {
                                     set.snapshot_count_pair(a_min, a_max, b_min, b_max),
                                 );
                             }
+                            wft_workload::spec::Op::ChunkedScan(lo, hi, chunk) => {
+                                std::hint::black_box(set.chunked_scan_count(lo, hi, chunk));
+                            }
                         };
                     });
                 },

@@ -1,0 +1,300 @@
+//! Streaming-scan benchmark (`BENCH_scan.json`).
+//!
+//! Measures what cursor pagination costs (and buys) against the one-shot
+//! listing: the same range-consumption workloads are run with each range
+//! answered by a single `collect_range` (whole answer materialised at once)
+//! and by draining a `RangeScan` cursor at chunk sizes 16 / 256 / 4096, at
+//! 1/4/8 reader threads over an 8-shard store, with and without background
+//! writers. Reader throughput (drains and entries per second) plus the
+//! observability counters of the scan path — store cursor resumes and
+//! per-shard chunk early exits (`fast_range_early_exits`, the
+//! `O(log N + limit)` evidence) — land in `BENCH_scan.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin scan            # full run
+//! cargo run --release --bin scan -- --smoke # short CI run
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use wft_store::{RangeRead, RangeScan, RangeSpec, ScanConsistency, ScanCursor, ShardedStore};
+
+const SHARDS: usize = 8;
+const WRITER_THREADS: usize = 2;
+
+/// One measured configuration point.
+#[derive(Debug, Serialize)]
+struct Point {
+    workload: String,
+    read_mode: String,
+    reader_threads: usize,
+    drains_per_sec: f64,
+    entries_per_sec: f64,
+    writes_per_sec: f64,
+    snapshot_drain_fraction: f64,
+    scan_resumes: u64,
+    chunk_early_exits: u64,
+}
+
+/// Cursor-vs-one-shot ratio for one (workload, chunk, threads) cell.
+#[derive(Debug, Serialize)]
+struct Overhead {
+    workload: String,
+    chunk: usize,
+    reader_threads: usize,
+    oneshot_drains_per_sec: f64,
+    cursor_drains_per_sec: f64,
+    /// `cursor / oneshot`: 1.0 means bounded-memory pagination costs
+    /// nothing over materialising the whole answer.
+    relative_throughput: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    smoke: bool,
+    key_range: i64,
+    shards: usize,
+    writer_threads: usize,
+    duration_ms: u64,
+    points: Vec<Point>,
+    overheads: Vec<Overhead>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum ReadMode {
+    /// One `collect_range` per drawn range (the whole answer at once).
+    OneShot,
+    /// One cursor drained at the given chunk size.
+    Cursor(usize),
+}
+
+impl ReadMode {
+    fn name(self) -> String {
+        match self {
+            ReadMode::OneShot => "one-shot-collect".to_string(),
+            ReadMode::Cursor(chunk) => format!("cursor-chunk-{chunk}"),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Workload {
+    name: &'static str,
+    with_writers: bool,
+}
+
+fn measure(
+    workload: Workload,
+    mode: ReadMode,
+    reader_threads: usize,
+    key_range: i64,
+    duration: Duration,
+    seed: u64,
+) -> Point {
+    let store: Arc<ShardedStore<i64>> = Arc::new(ShardedStore::from_entries(
+        (0..key_range).filter(|k| k % 2 == 0).map(|k| (k, ())),
+        SHARDS,
+    ));
+    let writer_threads = if workload.with_writers {
+        WRITER_THREADS
+    } else {
+        0
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(reader_threads + writer_threads + 1));
+    let snapshot_drains = Arc::new(AtomicU64::new(0));
+
+    let readers: Vec<_> = (0..reader_threads)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let snapshot_drains = Arc::clone(&snapshot_drains);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (t as u64 + 1).wrapping_mul(0x9E37));
+                barrier.wait();
+                let mut drains = 0u64;
+                let mut entries = 0u64;
+                let mut snapshots = 0u64;
+                // One drain per stop check: a cross-shard drain under
+                // writers can take seconds, so batching them would let the
+                // measurement overshoot its window badly.
+                while !stop.load(Ordering::Relaxed) {
+                    // A span crossing most shard boundaries.
+                    let lo = rng.gen_range(0..key_range / 4);
+                    let hi = key_range - 1 - rng.gen_range(0..key_range / 4);
+                    let spec = RangeSpec::inclusive(lo, hi);
+                    match mode {
+                        ReadMode::OneShot => {
+                            let listing = RangeRead::collect_range(&*store, spec);
+                            entries += listing.len() as u64;
+                            snapshots += 1;
+                            std::hint::black_box(listing);
+                        }
+                        ReadMode::Cursor(chunk) => {
+                            let mut cursor = store.scan(spec);
+                            loop {
+                                let page = cursor.next_chunk(chunk);
+                                if page.is_empty() {
+                                    break;
+                                }
+                                entries += page.len() as u64;
+                                std::hint::black_box(page);
+                            }
+                            if cursor.consistency() == ScanConsistency::Snapshot {
+                                snapshots += 1;
+                            }
+                        }
+                    }
+                    drains += 1;
+                }
+                snapshot_drains.fetch_add(snapshots, Ordering::Relaxed);
+                (drains, entries)
+            })
+        })
+        .collect();
+
+    let writers: Vec<_> = (0..writer_threads)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (t as u64 + 101).wrapping_mul(0xC0FFEE));
+                barrier.wait();
+                let mut writes = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..16 {
+                        let k = rng.gen_range(0..key_range);
+                        if rng.gen_bool(0.5) {
+                            store.insert(k, ());
+                        } else {
+                            store.remove(&k);
+                        }
+                        writes += 1;
+                    }
+                    // Throttle to a bounded write rate (~100k/s/writer): an
+                    // unthrottled storm saturates every shard's front and
+                    // starves whole-keyspace drains indefinitely — real
+                    // (lock-free, not wait-free, see DESIGN.md), but a
+                    // bench cell must terminate, and a bounded mixed load
+                    // is the realistic serving shape anyway.
+                    std::thread::sleep(Duration::from_micros(150));
+                }
+                writes
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let (drains, entries) = readers
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .fold((0u64, 0u64), |(d, e), (dd, ee)| (d + dd, e + ee));
+    let writes: u64 = writers.into_iter().map(|h| h.join().unwrap()).sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = store.store_stats();
+    let chunk_early_exits: u64 = store
+        .shard_stats()
+        .iter()
+        .map(|s| s.fast_range_early_exits)
+        .sum();
+    Point {
+        workload: workload.name.to_string(),
+        read_mode: mode.name(),
+        reader_threads,
+        drains_per_sec: drains as f64 / elapsed,
+        entries_per_sec: entries as f64 / elapsed,
+        writes_per_sec: writes as f64 / elapsed,
+        snapshot_drain_fraction: if drains == 0 {
+            0.0
+        } else {
+            snapshot_drains.load(Ordering::Relaxed) as f64 / drains as f64
+        },
+        scan_resumes: stats.scan_resumes,
+        chunk_early_exits,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let key_range: i64 = if smoke { 40_000 } else { 200_000 };
+    let duration = Duration::from_millis(if smoke { 120 } else { 400 });
+    let threads = [1usize, 4, 8];
+    let chunks = [16usize, 256, 4096];
+
+    let workloads = [
+        Workload {
+            name: "drain-quiescent",
+            with_writers: false,
+        },
+        Workload {
+            name: "drain-under-writers",
+            with_writers: true,
+        },
+    ];
+
+    let mut points = Vec::new();
+    let mut overheads = Vec::new();
+    for workload in workloads {
+        for &t in &threads {
+            let oneshot = measure(workload, ReadMode::OneShot, t, key_range, duration, 42);
+            let oneshot_rate = oneshot.drains_per_sec;
+            points.push(oneshot);
+            for &chunk in &chunks {
+                let cursor = measure(
+                    workload,
+                    ReadMode::Cursor(chunk),
+                    t,
+                    key_range,
+                    duration,
+                    42,
+                );
+                println!(
+                    "{:<20} t={} chunk={:<5} one-shot {:>8.0} drains/s   cursor {:>8.0} drains/s   ratio {:>5.2}   (snapshot {:>4.0}% / resumes {} / early-exits {})",
+                    workload.name,
+                    t,
+                    chunk,
+                    oneshot_rate,
+                    cursor.drains_per_sec,
+                    cursor.drains_per_sec / oneshot_rate,
+                    cursor.snapshot_drain_fraction * 100.0,
+                    cursor.scan_resumes,
+                    cursor.chunk_early_exits,
+                );
+                overheads.push(Overhead {
+                    workload: workload.name.to_string(),
+                    chunk,
+                    reader_threads: t,
+                    oneshot_drains_per_sec: oneshot_rate,
+                    cursor_drains_per_sec: cursor.drains_per_sec,
+                    relative_throughput: cursor.drains_per_sec / oneshot_rate,
+                });
+                points.push(cursor);
+            }
+        }
+    }
+
+    let report = Report {
+        smoke,
+        key_range,
+        shards: SHARDS,
+        writer_threads: WRITER_THREADS,
+        duration_ms: duration.as_millis() as u64,
+        points,
+        overheads,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_scan.json", &json).expect("write BENCH_scan.json");
+    println!("wrote BENCH_scan.json");
+}

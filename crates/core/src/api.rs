@@ -8,8 +8,8 @@
 //! single tree has one root queue — there is nothing to fan out over).
 
 use wft_api::{
-    apply_batch_point, BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec,
-    StoreOp, TimestampFront, UpdateOutcome,
+    apply_batch_point, BatchApply, BatchError, ChunkRead, FrontScanCursor, OpOutcome, PointMap,
+    RangeKey, RangeRead, RangeScan, RangeSpec, StoreOp, TimestampFront, UpdateOutcome,
 };
 use wft_seq::{Augmentation, Key, Value};
 
@@ -83,6 +83,30 @@ impl<K: RangeKey, V: Value, A: Augmentation<K, V>> RangeRead<K, V> for WaitFreeT
         wft_api::collect_over(range, |min, max| {
             WaitFreeTree::collect_range(self, min, max)
         })
+    }
+}
+
+/// The tree's chunk primitive is the limit-bounded optimistic collect:
+/// `O(log N + limit)` per chunk on the fast path (early exit after `limit`
+/// leaves, counted in [`crate::TreeStats::fast_range_early_exits`]), with
+/// the descriptor fallback preserved.
+impl<K: RangeKey, V: Value, A: Augmentation<K, V>> ChunkRead<K, V> for WaitFreeTree<K, V, A> {
+    fn collect_chunk(&self, min: K, max: K, limit: usize) -> Vec<(K, V)> {
+        WaitFreeTree::collect_range_limited(self, min, max, limit)
+    }
+}
+
+/// Streaming scans: the tree's cursor is the shared front-sandwiched
+/// [`FrontScanCursor`] over the chunk primitive above — the scan logic
+/// lives once in `wft-api`, this impl only hands the cursor out.
+impl<K: RangeKey, V: Value, A: Augmentation<K, V>> RangeScan<K, V> for WaitFreeTree<K, V, A> {
+    type Cursor<'a>
+        = FrontScanCursor<'a, Self, K, V>
+    where
+        Self: 'a;
+
+    fn scan(&self, range: RangeSpec<K>) -> FrontScanCursor<'_, Self, K, V> {
+        FrontScanCursor::new(self, range)
     }
 }
 

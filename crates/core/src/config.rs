@@ -105,6 +105,10 @@ pub struct TreeCounters {
     /// Range reads whose optimistic traversals all failed validation and
     /// which fell back to the descriptor slow path.
     pub range_fallbacks: AtomicU64,
+    /// Limit-bounded collects (`collect_range_limited`) whose optimistic
+    /// walk stopped early because the chunk limit was reached — the
+    /// `O(log N + limit)` early exit of the streaming scan API.
+    pub fast_range_early_exits: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`TreeCounters`].
@@ -132,6 +136,9 @@ pub struct TreeStats {
     pub fast_range_retries: u64,
     /// Range reads that fell back to the descriptor slow path.
     pub range_fallbacks: u64,
+    /// Limit-bounded collects whose optimistic walk early-exited at the
+    /// chunk limit.
+    pub fast_range_early_exits: u64,
 }
 
 impl TreeCounters {
@@ -148,6 +155,7 @@ impl TreeCounters {
             fast_range_hits: self.fast_range_hits.load(Ordering::Relaxed),
             fast_range_retries: self.fast_range_retries.load(Ordering::Relaxed),
             range_fallbacks: self.range_fallbacks.load(Ordering::Relaxed),
+            fast_range_early_exits: self.fast_range_early_exits.load(Ordering::Relaxed),
         }
     }
 

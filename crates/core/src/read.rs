@@ -200,14 +200,49 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
     /// Entries come out in key order (in-order walk). Returns `None` on
     /// validation failure.
     pub(crate) fn try_fast_collect(&self, min: K, max: K, guard: &Guard) -> Option<Vec<(K, V)>> {
+        self.try_fast_collect_limited(min, max, usize::MAX, guard)
+            .map(|(out, _)| out)
+    }
+
+    /// Optimistic descriptor-free collect of the (up to) `limit` smallest
+    /// entries of `[min, max]` — the chunk primitive behind
+    /// [`WaitFreeTree::collect_range_limited`](crate::WaitFreeTree::collect_range_limited).
+    ///
+    /// The in-order walk stops as soon as `limit` entries are gathered:
+    /// every *skipped* slot covers only keys larger than the last yielded
+    /// one, so the result is a prefix of the full listing, and validation
+    /// of the *visited* log suffices — an update to any key `<= last` must
+    /// change a logged location (all slots covering such keys were
+    /// visited), while updates beyond the last key cannot affect a prefix
+    /// claim. The second return component is `true` when the limit actually
+    /// cut the walk short (the `O(log N + limit)` early exit, counted in
+    /// [`crate::TreeStats::fast_range_early_exits`]). `None` on validation
+    /// failure, as for the unbounded walk.
+    pub(crate) fn try_fast_collect_limited(
+        &self,
+        min: K,
+        max: K,
+        limit: usize,
+        guard: &Guard,
+    ) -> Option<(Vec<(K, V)>, bool)> {
         if self.resolved_update_pending(guard) {
             return None;
         }
         let mut log = ReadLog::new();
         let mut out = Vec::new();
-        self.walk_collect_slot(&self.root_child, &min, &max, &mut out, &mut log, guard)?;
+        let mut early_exit = false;
+        self.walk_collect_slot(
+            &self.root_child,
+            &min,
+            &max,
+            limit,
+            &mut out,
+            &mut early_exit,
+            &mut log,
+            guard,
+        )?;
         if log.validate(guard) && !self.resolved_update_pending(guard) {
-            Some(out)
+            Some((out, early_exit))
         } else {
             None
         }
@@ -336,16 +371,26 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
 
     /// Collect walk continuation into a child slot (no absorption: every
     /// overlapping subtree is descended, like the descriptor-based
-    /// `collect`).
+    /// `collect`). Once `out` holds `limit` entries the walk stops
+    /// descending: skipped slots are *not* logged, which is sound because
+    /// the in-order walk guarantees they only cover keys beyond the last
+    /// collected one (see `try_fast_collect_limited`).
+    #[allow(clippy::too_many_arguments)]
     fn walk_collect_slot<'g>(
         &self,
         slot: &'g Atomic<Node<K, V, A>>,
         min: &K,
         max: &K,
+        limit: usize,
         out: &mut Vec<(K, V)>,
+        early_exit: &mut bool,
         log: &mut ReadLog<'g, K, V, A>,
         guard: &'g Guard,
     ) -> Option<()> {
+        if out.len() >= limit {
+            *early_exit = true;
+            return Some(());
+        }
         let child = slot.load(Acquire, guard);
         match unsafe { child.deref() } {
             Node::Inner(inner) => {
@@ -354,10 +399,28 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                 }
                 log.descended.push((inner, inner.load_state_shared(guard)));
                 if min < &inner.rsm {
-                    self.walk_collect_slot(&inner.left, min, max, out, log, guard)?;
+                    self.walk_collect_slot(
+                        &inner.left,
+                        min,
+                        max,
+                        limit,
+                        out,
+                        early_exit,
+                        log,
+                        guard,
+                    )?;
                 }
                 if max >= &inner.rsm {
-                    self.walk_collect_slot(&inner.right, min, max, out, log, guard)?;
+                    self.walk_collect_slot(
+                        &inner.right,
+                        min,
+                        max,
+                        limit,
+                        out,
+                        early_exit,
+                        log,
+                        guard,
+                    )?;
                 }
                 Some(())
             }

@@ -267,6 +267,46 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         op.assemble_entries()
     }
 
+    /// The (up to) `limit` smallest entries with key in `[min, max]`, in key
+    /// order — the chunk primitive of the streaming scan API
+    /// (`wft_api::RangeScan`).
+    ///
+    /// Under [`ReadPath::Fast`] (the default) the optimistic traversal
+    /// **early-exits** once `limit` entries are gathered, so a chunk costs
+    /// `O(log N + limit)` instead of `O(answer)`: skipped subtrees only
+    /// cover keys beyond the last collected one, so the result is provably
+    /// a prefix of the full listing (see `crate::read`). Early exits are
+    /// counted in [`TreeStats::fast_range_early_exits`]. The descriptor
+    /// fallback collects the full range and truncates — correct, linear,
+    /// and only taken when every optimistic attempt failed validation.
+    pub fn collect_range_limited(&self, min: K, max: K, limit: usize) -> Vec<(K, V)> {
+        if min > max || limit == 0 {
+            return Vec::new();
+        }
+        if self.config.read_path == ReadPath::Fast {
+            let guard = crossbeam_epoch::pin();
+            for attempt in 1..=self.config.fast_read_attempts {
+                if let Some((entries, early_exit)) =
+                    self.try_fast_collect_limited(min, max, limit, &guard)
+                {
+                    TreeCounters::bump(&self.counters.fast_range_hits);
+                    if early_exit {
+                        TreeCounters::bump(&self.counters.fast_range_early_exits);
+                    }
+                    return entries;
+                }
+                if attempt < self.config.fast_read_attempts {
+                    TreeCounters::bump(&self.counters.fast_range_retries);
+                }
+            }
+            TreeCounters::bump(&self.counters.range_fallbacks);
+        }
+        let (op, _ts) = self.run_operation(OpKind::Collect { min, max });
+        let mut entries = op.assemble_entries();
+        entries.truncate(limit);
+        entries
+    }
+
     /// Number of keys currently stored (exact once all in-flight updates have
     /// returned; maintained at update linearization points).
     pub fn len(&self) -> u64 {
@@ -386,6 +426,25 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
             return None;
         }
         let entries = self.collect_range(min, max);
+        self.front_unchanged(front).then_some(entries)
+    }
+
+    /// [`collect_range_limited`](WaitFreeTree::collect_range_limited) at a
+    /// settled front: the `limit` smallest entries of `[min, max]` in the
+    /// tree state at exactly `front`, or `None` once the tree advanced past
+    /// it. This is the per-shard chunk read of the sharded store's
+    /// streaming scan cursor.
+    pub fn collect_range_limited_at_front(
+        &self,
+        min: K,
+        max: K,
+        limit: usize,
+        front: wft_queue::Timestamp,
+    ) -> Option<Vec<(K, V)>> {
+        if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
+            return None;
+        }
+        let entries = self.collect_range_limited(min, max, limit);
         self.front_unchanged(front).then_some(entries)
     }
 

@@ -51,6 +51,14 @@ pub enum RangeSetOp {
     /// that some single state explains, which is exactly the
     /// single-snapshot claim of the global timestamp front.
     SnapshotCounts(i64, i64, i64, i64),
+    /// `chunked_scan(min, max, chunk)` — a streaming cursor drained to
+    /// completion in `chunk`-sized pages with
+    /// `ScanConsistency::Snapshot` (`wft_api::RangeScan::scan_snapshot`).
+    /// Sequentially this is exactly `collect(min, max)`; a concurrent
+    /// execution must produce a listing that some single state explains,
+    /// which is the snapshot-drain claim of the cursor API — the chunks,
+    /// though read across many calls, concatenate to one atomic listing.
+    ChunkedScan(i64, i64, usize),
 }
 
 /// Results of [`RangeSetOp`] operations.
@@ -108,6 +116,16 @@ impl SequentialSpec for RangeSetSpec {
                 (state.clone(), RangeSetRet::Count(count))
             }
             RangeSetOp::Collect(min, max) => {
+                let keys: Vec<i64> = if min > max {
+                    Vec::new()
+                } else {
+                    state.range(min..=max).copied().collect()
+                };
+                (state.clone(), RangeSetRet::Keys(keys))
+            }
+            RangeSetOp::ChunkedScan(min, max, _chunk) => {
+                // The chunk size is an implementation knob: a snapshot
+                // drain yields the full listing regardless of pagination.
                 let keys: Vec<i64> = if min > max {
                     Vec::new()
                 } else {
@@ -193,10 +211,20 @@ mod tests {
             RangeSetOp::Count(0, 10),
             RangeSetOp::Collect(0, 10),
             RangeSetOp::SnapshotCounts(0, 10, 2, 3),
+            RangeSetOp::ChunkedScan(0, 10, 2),
         ] {
             let (next, _) = RangeSetSpec::apply(&state, &op);
             assert_eq!(next, state);
         }
+    }
+
+    #[test]
+    fn chunked_scan_lists_like_collect() {
+        let state = RangeSetSpec::prefilled([1, 3, 5, 7, 9]);
+        let (_, ret) = RangeSetSpec::apply(&state, &RangeSetOp::ChunkedScan(2, 8, 2));
+        assert_eq!(ret, RangeSetRet::Keys(vec![3, 5, 7]));
+        let (_, inverted) = RangeSetSpec::apply(&state, &RangeSetOp::ChunkedScan(8, 2, 1));
+        assert_eq!(inverted, RangeSetRet::Keys(Vec::new()));
     }
 
     #[test]

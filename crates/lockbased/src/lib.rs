@@ -219,6 +219,34 @@ where
     }
 }
 
+/// Chunks through the default collect-and-truncate: every chunk takes the
+/// lock once, like any other read of this baseline.
+impl<K, V, A> wft_api::ChunkRead<K, V> for LockedRangeTree<K, V, A>
+where
+    K: wft_api::RangeKey,
+    V: Value,
+    A: Augmentation<K, V>,
+{
+}
+
+/// Streaming scans through the shared front-sandwich cursor over the
+/// write-version front.
+impl<K, V, A> wft_api::RangeScan<K, V> for LockedRangeTree<K, V, A>
+where
+    K: wft_api::RangeKey,
+    V: Value,
+    A: Augmentation<K, V>,
+{
+    type Cursor<'a>
+        = wft_api::FrontScanCursor<'a, Self, K, V>
+    where
+        Self: 'a;
+
+    fn scan(&self, range: wft_api::RangeSpec<K>) -> wft_api::FrontScanCursor<'_, Self, K, V> {
+        wft_api::FrontScanCursor::new(self, range)
+    }
+}
+
 impl<K: Key, V: Value, A: Augmentation<K, V>> wft_api::BatchApply<K, V>
     for LockedRangeTree<K, V, A>
 {

@@ -8,8 +8,8 @@
 //! [`LockFreeBst::insert_or_replace`].
 
 use wft_api::{
-    apply_batch_point, BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec,
-    StoreOp, TimestampFront, UpdateOutcome,
+    apply_batch_point, BatchApply, BatchError, ChunkRead, FrontScanCursor, OpOutcome, PointMap,
+    RangeKey, RangeRead, RangeScan, RangeSpec, StoreOp, TimestampFront, UpdateOutcome,
 };
 use wft_seq::{Key, Value};
 
@@ -64,6 +64,26 @@ impl<K: RangeKey, V: Value> RangeRead<K, V> for LockFreeBst<K, V> {
 
     fn collect_range(&self, range: RangeSpec<K>) -> Vec<(K, V)> {
         wft_api::collect_over(range, |min, max| LockFreeBst::collect_range(self, min, max))
+    }
+}
+
+/// Chunks through the default collect-and-truncate. Notably, the
+/// front-sandwiched scan cursor is the only way this baseline's *chunked*
+/// range reads are exact at all: its plain `collect_range` is a documented
+/// best-effort traversal, and the update-gauge validation is what upgrades
+/// a chunk to a linearizable read (same situation as its `SnapshotRead`).
+impl<K: RangeKey, V: Value> ChunkRead<K, V> for LockFreeBst<K, V> {}
+
+/// Streaming scans through the shared front-sandwich cursor over the
+/// update gauge.
+impl<K: RangeKey, V: Value> RangeScan<K, V> for LockFreeBst<K, V> {
+    type Cursor<'a>
+        = FrontScanCursor<'a, Self, K, V>
+    where
+        Self: 'a;
+
+    fn scan(&self, range: RangeSpec<K>) -> FrontScanCursor<'_, Self, K, V> {
+        FrontScanCursor::new(self, range)
     }
 }
 

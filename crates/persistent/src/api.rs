@@ -5,8 +5,8 @@
 //! treap's return values.
 
 use wft_api::{
-    apply_batch_point, BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec,
-    StoreOp, TimestampFront, UpdateOutcome,
+    apply_batch_point, BatchApply, BatchError, ChunkRead, FrontScanCursor, OpOutcome, PointMap,
+    RangeKey, RangeRead, RangeScan, RangeSpec, StoreOp, TimestampFront, UpdateOutcome,
 };
 use wft_seq::{Augmentation, Key, Value};
 
@@ -86,6 +86,35 @@ where
         wft_api::collect_over(range, |min, max| {
             PersistentRangeTree::collect_range(self, min, max)
         })
+    }
+}
+
+/// Chunks through the default collect-and-truncate (`O(answer)` per chunk:
+/// the persistent treap reads a whole immutable version anyway, so a
+/// limit-bounded walk would save allocation, not consistency work).
+impl<K, V, A> ChunkRead<K, V> for PersistentRangeTree<K, V, A>
+where
+    K: RangeKey,
+    V: Value,
+    A: Augmentation<K, V>,
+{
+}
+
+/// Streaming scans through the shared front-sandwich cursor over the
+/// version-sequence front.
+impl<K, V, A> RangeScan<K, V> for PersistentRangeTree<K, V, A>
+where
+    K: RangeKey,
+    V: Value,
+    A: Augmentation<K, V>,
+{
+    type Cursor<'a>
+        = FrontScanCursor<'a, Self, K, V>
+    where
+        Self: 'a;
+
+    fn scan(&self, range: RangeSpec<K>) -> FrontScanCursor<'_, Self, K, V> {
+        FrontScanCursor::new(self, range)
     }
 }
 

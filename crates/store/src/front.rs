@@ -92,6 +92,12 @@ pub struct StoreStats {
     /// Cross-shard read attempts discarded because a shard advanced past
     /// its front mid-read (each implies a concurrent update linearized).
     pub snapshot_retries: u64,
+    /// Streaming scan cursors that had to **re-anchor**: a chunk read found
+    /// a touched shard advanced past the cursor's cut, so the not-yet-
+    /// yielded suffix was re-read at a fresh front and the drain degraded
+    /// to `ScanConsistency::Resumed`. High values mean cursor pagination is
+    /// racing a write-heavy keyspace region.
+    pub scan_resumes: u64,
 }
 
 /// The store-internal front bookkeeping: the monotone published front table
@@ -104,6 +110,7 @@ pub(crate) struct FrontTable {
     published: Box<[AtomicU64]>,
     acquires: AtomicU64,
     retries: AtomicU64,
+    scan_resumes: AtomicU64,
 }
 
 impl FrontTable {
@@ -112,6 +119,7 @@ impl FrontTable {
             published: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             acquires: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            scan_resumes: AtomicU64::new(0),
         }
     }
 
@@ -136,10 +144,15 @@ impl FrontTable {
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn count_scan_resume(&self) {
+        self.scan_resumes.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn stats(&self) -> StoreStats {
         StoreStats {
             snapshot_acquires: self.acquires.load(Ordering::Relaxed),
             snapshot_retries: self.retries.load(Ordering::Relaxed),
+            scan_resumes: self.scan_resumes.load(Ordering::Relaxed),
         }
     }
 }
@@ -163,11 +176,13 @@ mod tests {
         table.count_acquire();
         table.count_acquire();
         table.count_retry();
+        table.count_scan_resume();
         assert_eq!(
             table.stats(),
             StoreStats {
                 snapshot_acquires: 2,
                 snapshot_retries: 1,
+                scan_resumes: 1,
             }
         );
     }

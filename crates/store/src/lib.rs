@@ -18,11 +18,15 @@
 //!   sampled key distribution (equi-depth quantiles), used by
 //!   [`ShardedStore::from_entries`].
 //! * [`GlobalFront`] — the **global timestamp front** (see [`front`]):
-//!   cross-shard `count` / `range_agg` / `collect_range` acquire one settled
-//!   per-shard watermark cut and read every touched shard at it, making them
-//!   linearizable, and [`wft_api::SnapshotRead`] exposes consistent
-//!   multi-range snapshot reads on top. The pre-front behaviour remains
-//!   available as the `stitched_*` reads.
+//!   cross-shard `count` / `range_agg` / `collect_range` / `len` acquire one
+//!   settled per-shard watermark cut and read every touched shard at it,
+//!   making them linearizable, and [`wft_api::SnapshotRead`] exposes
+//!   consistent multi-range snapshot reads on top. The pre-front behaviour
+//!   remains available as the `stitched_*` reads.
+//! * [`StoreScanCursor`] — the store's native [`wft_api::RangeScan`] (see
+//!   [`scan`]): streaming snapshot-consistent cursors that drain a range in
+//!   caller-bounded chunks, shard after shard in key order, validated
+//!   per-chunk against one cut.
 //!
 //! ## Example
 //!
@@ -54,17 +58,19 @@
 mod api;
 pub mod front;
 mod op;
+pub mod scan;
 mod store;
 
 pub use front::{GlobalFront, StoreStats};
 pub use op::{BatchError, OpOutcome, StoreConfig, StoreOp};
+pub use scan::StoreScanCursor;
 pub use store::{split_keys_from_sample, BatchPlan, ShardedStore};
 
 // Re-export the shared trait family the store implements (the batch
 // vocabulary above is likewise defined in `wft-api` and re-exported here).
 pub use wft_api::{
-    BatchApply, PointMap, RangeRead, RangeSpec, SnapshotRead, SnapshotToken, TimestampFront,
-    UpdateOutcome,
+    BatchApply, PointMap, RangeRead, RangeScan, RangeSpec, ScanConsistency, ScanCursor,
+    SnapshotRead, SnapshotToken, TimestampFront, UpdateOutcome,
 };
 
 // Re-export the augmentation vocabulary so store users need one import.

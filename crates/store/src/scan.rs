@@ -1,0 +1,325 @@
+//! The store's native streaming scan: a cross-shard merge cursor at one
+//! [`GlobalFront`](crate::GlobalFront)-style cut.
+//!
+//! The blanket [`wft_api::RangeScan`] cursor would work on the store (it is
+//! a `RangeRead + TimestampFront`), but poorly: the scalar-sum front settles
+//! **every** shard per chunk and invalidates on a write to **any** shard,
+//! even one the scan never touches. [`StoreScanCursor`] does what the
+//! store's one-shot cross-shard reads already do — per-shard watermarks —
+//! and streams on top of them:
+//!
+//! * **Open** (`RangeScan::scan`): settle one watermark per shard — a cut,
+//!   acquired exactly like [`ShardedStore::acquire_front`] — and remember
+//!   the closed scan range. No entries are read yet.
+//! * **Chunk** (`next_chunk(limit)`): range partitioning makes the
+//!   cross-shard merge a concatenation — shards cover disjoint ascending
+//!   key slices — so the cursor simply drains the shard owning the resume
+//!   key with the tree's `O(log n + limit)` front-validated chunk read
+//!   (`collect_range_limited_at_front` at the shard's cut watermark) and
+//!   steps into the next shard when the current one runs dry before the
+//!   chunk fills.
+//! * **Validate / resume**: a chunk read returns `None` when its shard
+//!   advanced past the cut. The cursor then re-settles the watermarks of
+//!   the **not-yet-drained shards only** (fully drained shards are never
+//!   revisited — keyset pagination), degrades to
+//!   [`ScanConsistency::Resumed`], bumps
+//!   [`StoreStats::scan_resumes`](crate::StoreStats::scan_resumes) and
+//!   retries the failed shard. Writes to already-drained shards or to
+//!   shards outside the range never disturb the scan — and while nothing
+//!   has been yielded at all, an expiry re-acquires a whole fresh cut (and
+//!   token) instead of degrading: an empty prefix is a snapshot of any
+//!   state.
+//!
+//! # Consistency
+//!
+//! All watermarks are settled before the first chunk is read. While the
+//! drain stays [`ScanConsistency::Snapshot`], every per-shard read
+//! validated against the *original* cut, so (per the overlap-window
+//! argument in [`crate::front`]) each touched shard's state was constant —
+//! equal to its cut state — from acquisition until its drain completed. At
+//! the instant acquisition finished, every touched shard therefore held
+//! exactly the state the scan reports: the full drain equals one
+//! `collect_range` of the store at that instant, no matter how many chunks
+//! (or how much wall-clock time) it took. This validates strictly less
+//! eagerly than the store's scalar [`SnapshotToken`] sandwich — only the
+//! *touched, not-yet-drained* shards can expire the cursor — so a
+//! `Snapshot` drain may outlive the scalar token it reports.
+
+use wft_api::{RangeKey, RangeScan, RangeSpec, ScanConsistency, ScanCursor, SnapshotToken};
+use wft_core::Timestamp;
+use wft_seq::{Augmentation, Value};
+
+use crate::store::ShardedStore;
+
+/// The store's streaming cursor: shard-by-shard keyset pagination at one
+/// per-shard watermark cut. Produced by `RangeScan::scan` on
+/// [`ShardedStore`]; see the [module docs](self).
+pub struct StoreScanCursor<'a, K: RangeKey, V: Value, A: Augmentation<K, V>> {
+    store: &'a ShardedStore<K, V, A>,
+    /// Per-shard cut watermarks (`cut[i]` belongs to shard `i`). Entries of
+    /// not-yet-drained shards are refreshed on resume; drained shards keep
+    /// their original watermark (they are never read again).
+    cut: Vec<u64>,
+    /// The scalar token reported to callers: the sum of the cut the drain
+    /// is anchored at (the store's `SnapshotRead` front shape). Refreshed
+    /// together with the whole cut by pre-yield re-acquires.
+    token: SnapshotToken,
+    /// Inclusive upper end of the scan range.
+    hi: K,
+    /// Index of the shard owning `hi` (shard bounds are static).
+    last_shard: usize,
+    /// Lower bound of the not-yet-yielded suffix; `None` once exhausted.
+    resume: Option<K>,
+    /// Whether any entry has been yielded to the caller yet. While not, a
+    /// cut expiry re-acquires the *whole* cut (and refreshes the token)
+    /// instead of degrading to `Resumed` — an empty prefix is trivially a
+    /// snapshot of any state.
+    yielded: bool,
+    consistency: ScanConsistency,
+    resumes: u64,
+}
+
+impl<'a, K, V, A> StoreScanCursor<'a, K, V, A>
+where
+    K: RangeKey,
+    V: Value,
+    A: Augmentation<K, V>,
+{
+    pub(crate) fn new(store: &'a ShardedStore<K, V, A>, range: RangeSpec<K>) -> Self {
+        // Settle every shard exactly like `acquire_front` (publishing into
+        // the monotone front table); the scalar token is the cut's sum.
+        let cut = store.settle_all();
+        let token = SnapshotToken::new(cut.iter().sum());
+        let (resume, hi) = match range.to_closed() {
+            Some((lo, hi)) => (Some(lo), hi),
+            None => (None, K::MIN_KEY),
+        };
+        let last_shard = store.shard_of(&hi);
+        StoreScanCursor {
+            store,
+            cut,
+            token,
+            hi,
+            last_shard,
+            resume,
+            yielded: false,
+            consistency: ScanConsistency::Snapshot,
+            resumes: 0,
+        }
+    }
+}
+
+impl<K, V, A> ScanCursor<K, V> for StoreScanCursor<'_, K, V, A>
+where
+    K: RangeKey,
+    V: Value,
+    A: Augmentation<K, V>,
+{
+    fn next_chunk(&mut self, limit: usize) -> Vec<(K, V)> {
+        let Some(lo) = self.resume else {
+            return Vec::new();
+        };
+        if limit == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<(K, V)> = Vec::new();
+        let mut shard = self.store.shard_of(&lo);
+        let mut shard_lo = lo;
+        while out.len() < limit && shard <= self.last_shard {
+            let want = limit - out.len();
+            match self.store.shards[shard].collect_range_limited_at_front(
+                shard_lo,
+                self.hi,
+                want,
+                Timestamp(self.cut[shard]),
+            ) {
+                Some(chunk) => {
+                    let drained_dry = chunk.len() < want;
+                    out.extend(chunk);
+                    if drained_dry {
+                        // This shard's suffix is exhausted at the cut; step
+                        // into the next shard's slice. `bounds[shard]` is the
+                        // first key the next shard owns, and it exceeds every
+                        // key yielded so far (slices ascend).
+                        shard += 1;
+                        if shard <= self.last_shard {
+                            shard_lo = self.store.bounds[shard - 1];
+                        }
+                    }
+                }
+                None => {
+                    // The shard advanced past its cut watermark.
+                    if self.yielded || !out.is_empty() {
+                        // Re-settle the not-yet-drained suffix shards only
+                        // (drained shards are never read again) and retry
+                        // this shard; the drain is no longer a single
+                        // snapshot.
+                        self.store.front.count_acquire();
+                        for i in shard..=self.last_shard {
+                            self.cut[i] = self.store.shards[i].settle_front().get();
+                            self.store.front.publish(i, self.cut[i]);
+                        }
+                        self.store.front.count_scan_resume();
+                        self.consistency = ScanConsistency::Resumed;
+                        self.resumes += 1;
+                    } else {
+                        // Nothing yielded anywhere yet: acquire a whole
+                        // fresh cut and make it the cursor's anchor — the
+                        // drain stays `Snapshot` against the new token.
+                        self.cut = self.store.settle_all();
+                        self.token = SnapshotToken::new(self.cut.iter().sum());
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        // Commit the pagination point: a short chunk proves exhaustion, a
+        // full one resumes strictly after its last key.
+        self.resume = if out.len() < limit {
+            None
+        } else {
+            out.last()
+                .and_then(|(k, _)| k.successor())
+                .filter(|next| *next <= self.hi)
+        };
+        self.yielded |= !out.is_empty();
+        out
+    }
+
+    fn token(&self) -> SnapshotToken {
+        self.token
+    }
+
+    fn consistency(&self) -> ScanConsistency {
+        self.consistency
+    }
+
+    fn resumes(&self) -> u64 {
+        self.resumes
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.resume.is_none()
+    }
+}
+
+/// The store's native [`RangeScan`]: the per-shard-cut streaming merge
+/// above instead of the shared scalar-front `FrontScanCursor`, so writes
+/// to untouched or already-drained shards never disturb a scan.
+impl<K, V, A> RangeScan<K, V> for ShardedStore<K, V, A>
+where
+    K: RangeKey,
+    V: Value,
+    A: Augmentation<K, V>,
+{
+    type Cursor<'a>
+        = StoreScanCursor<'a, K, V, A>
+    where
+        Self: 'a;
+
+    fn scan(&self, range: RangeSpec<K>) -> StoreScanCursor<'_, K, V, A> {
+        StoreScanCursor::new(self, range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wft_api::RangeRead;
+
+    fn store_with_shards(shards: usize, keys: i64) -> ShardedStore<i64> {
+        ShardedStore::from_entries((0..keys).map(|k| (k, ())), shards)
+    }
+
+    #[test]
+    fn cursor_pages_across_shard_boundaries_in_order() {
+        let store = store_with_shards(4, 1000);
+        let mut cursor = store.scan(RangeSpec::inclusive(100, 899));
+        let mut seen = Vec::new();
+        loop {
+            let chunk = cursor.next_chunk(64);
+            if chunk.is_empty() {
+                break;
+            }
+            assert!(chunk.len() <= 64);
+            seen.extend(chunk.into_iter().map(|(k, ())| k));
+        }
+        assert_eq!(seen, (100..=899).collect::<Vec<_>>());
+        assert_eq!(cursor.consistency(), ScanConsistency::Snapshot);
+        assert_eq!(cursor.resumes(), 0);
+        assert!(cursor.is_exhausted());
+    }
+
+    #[test]
+    fn chunk_limit_one_and_oversized_limits_work() {
+        let store = store_with_shards(3, 30);
+        let mut cursor = store.scan(RangeSpec::inclusive(25, 40));
+        assert_eq!(cursor.next_chunk(1), vec![(25, ())]);
+        assert_eq!(cursor.next_chunk(1), vec![(26, ())]);
+        // A limit far beyond the remaining answer drains and exhausts.
+        assert_eq!(cursor.next_chunk(1000).len(), 3);
+        assert!(cursor.is_exhausted());
+        assert!(cursor.next_chunk(10).is_empty());
+    }
+
+    #[test]
+    fn writes_to_drained_or_untouched_shards_keep_the_snapshot() {
+        let store = store_with_shards(4, 400);
+        let bounds = store.boundaries().to_vec();
+        let mut cursor = store.scan(RangeSpec::inclusive(0, bounds[2] - 1));
+        // Drain shard 0 completely.
+        let first_slice = cursor.next_chunk(bounds[0] as usize);
+        assert_eq!(first_slice.len(), bounds[0] as usize);
+        // Write into the already-drained shard 0 and the untouched shard 3.
+        store.insert(-100, ());
+        store.insert(5000, ());
+        // The cursor still drains shards 1 and 2 as a snapshot: only
+        // not-yet-drained touched shards can expire it.
+        let rest = cursor.drain(64);
+        assert_eq!(rest.len(), (bounds[2] - bounds[0]) as usize);
+        assert_eq!(cursor.consistency(), ScanConsistency::Snapshot);
+        assert_eq!(store.store_stats().scan_resumes, 0);
+    }
+
+    #[test]
+    fn write_ahead_of_the_cursor_resumes_and_is_observed() {
+        let store = store_with_shards(4, 400);
+        let mut cursor = store.scan(RangeSpec::all());
+        let first = cursor.next_chunk(10);
+        assert_eq!(first.len(), 10);
+        // Update keys ahead of the resume point, in a not-yet-drained
+        // shard: the cursor must re-anchor and then report the new state.
+        store.remove(&395);
+        store.insert(1000, ());
+        let rest = cursor.drain(64);
+        assert_eq!(cursor.consistency(), ScanConsistency::Resumed);
+        assert!(cursor.resumes() > 0);
+        assert!(store.store_stats().scan_resumes > 0);
+        let keys: Vec<i64> = rest.iter().map(|(k, ())| *k).collect();
+        assert!(keys.contains(&1000), "the resumed suffix sees the insert");
+        // Still strictly ascending and duplicate-free past the first chunk.
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert!(keys[0] > first.last().unwrap().0);
+    }
+
+    #[test]
+    fn scan_snapshot_driver_matches_collect_range() {
+        let store = store_with_shards(5, 500);
+        let entries = RangeScan::scan_snapshot(&store, RangeSpec::from_bounds(50..450), 32);
+        assert_eq!(
+            entries,
+            RangeRead::collect_range(&store, RangeSpec::from_bounds(50..450))
+        );
+    }
+
+    #[test]
+    fn empty_and_inverted_ranges_scan_nothing() {
+        let store = store_with_shards(3, 100);
+        let (entries, consistency) = store.scan_collect(RangeSpec::inclusive(80, 20), 16);
+        assert!(entries.is_empty());
+        assert_eq!(consistency, ScanConsistency::Snapshot);
+        let mut cursor = store.scan(RangeSpec::from_bounds(7..7));
+        assert!(cursor.is_exhausted());
+        assert!(cursor.next_chunk(8).is_empty());
+    }
+}

@@ -28,12 +28,15 @@
 //! watermark cut is acquired, every touched shard is read at its front with
 //! front-validated entry points, and the attempt retries on a fresh cut if
 //! any shard advanced mid-read — so `count` / `range_agg` / `collect_range`
-//! are linearizable across shards (the pre-front stitched behaviour remains
-//! available as [`ShardedStore::stitched_range_agg`] /
-//! [`ShardedStore::stitched_collect_range`]). Batches are atomic per shard
-//! and all-or-nothing with respect to validation, but a concurrent reader
-//! may observe a batch half-applied across two shards; `len()` likewise sums
-//! per-shard lengths without a front.
+//! are linearizable across shards, and so is `len()` (the pre-front
+//! stitched behaviour remains available as
+//! [`ShardedStore::stitched_range_agg`] /
+//! [`ShardedStore::stitched_collect_range`] / [`ShardedStore::stitched_len`]).
+//! Streaming reads take the same discipline shard-by-shard: the store's
+//! [`wft_api::RangeScan`] cursor (see [`crate::scan`]) drains a range in
+//! chunks at one cut. Batches are atomic per shard and all-or-nothing with
+//! respect to validation, but a concurrent reader may observe a batch
+//! half-applied across two shards.
 
 use std::thread;
 
@@ -46,14 +49,14 @@ use crate::op::{BatchError, OpOutcome, StoreConfig, StoreOp};
 /// A range-partitioned, wait-free-sharded concurrent ordered map with
 /// batched writes and cross-shard aggregate range queries.
 pub struct ShardedStore<K: Key, V: Value = (), A: Augmentation<K, V> = Size> {
-    shards: Vec<WaitFreeTree<K, V, A>>,
+    pub(crate) shards: Vec<WaitFreeTree<K, V, A>>,
     /// `shards.len() - 1` strictly increasing split keys; `bounds[i]` is the
     /// first key owned by shard `i + 1`.
-    bounds: Vec<K>,
+    pub(crate) bounds: Vec<K>,
     config: StoreConfig,
     /// Global-front bookkeeping: the monotone published front table and the
     /// snapshot counters (see [`crate::front`]).
-    front: FrontTable,
+    pub(crate) front: FrontTable,
 }
 
 /// The validated, shard-grouped form of a batch: the output of phase one.
@@ -223,9 +226,40 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         self.shard(key).get(key)
     }
 
-    /// Total number of keys across all shards (each shard length is read
-    /// atomically; the sum is not a single linearization point).
+    /// Total number of keys, read **at one global front** — linearizable.
+    ///
+    /// Every shard's front is settled, every shard length is read, and the
+    /// sum is returned only if no shard's advertised watermark moved in
+    /// between (per-shard lengths are maintained at update linearization
+    /// points, so an unchanged front pins them); otherwise the read retries
+    /// on a fresh cut. Lock-free, same progress class as the cross-shard
+    /// aggregates; the pre-front sum survives as
+    /// [`ShardedStore::stitched_len`]. Single-shard stores skip the front
+    /// (one tree's `len` is already a single linearization point).
     pub fn len(&self) -> u64 {
+        if self.shards.len() == 1 {
+            return self.shards[0].len();
+        }
+        loop {
+            let fronts = self.settle_all();
+            let sum: u64 = self.shards.iter().map(WaitFreeTree::len).sum();
+            if self
+                .shards
+                .iter()
+                .zip(&fronts)
+                .all(|(shard, &front)| shard.front_unchanged(Timestamp(front)))
+            {
+                return sum;
+            }
+            self.front.count_retry();
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Sum of the per-shard lengths with no global cut: each shard length
+    /// is read atomically but the sum is not a single linearization point
+    /// (the pre-front `len`, kept as the zero-cost baseline).
+    pub fn stitched_len(&self) -> u64 {
         self.shards.iter().map(WaitFreeTree::len).sum()
     }
 
@@ -426,6 +460,13 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
     /// Sum of the per-shard resolved watermarks.
     pub(crate) fn resolved_sum(&self) -> u64 {
         self.shards.iter().map(|s| s.stable_ts().get()).sum()
+    }
+
+    /// Settles **every** shard's front (the acquire phase of a streaming
+    /// scan cursor, shaped like [`ShardedStore::acquire_front`]);
+    /// `result[i]` is shard `i`'s watermark.
+    pub(crate) fn settle_all(&self) -> Vec<u64> {
+        self.settle_touched(0, self.shards.len() - 1)
     }
 
     /// Settles the fronts of shards `first..=last` (acquire phase of one

@@ -6,8 +6,8 @@
 //! batches through the shared serial helper.
 
 use wft_api::{
-    apply_batch_point, BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec,
-    StoreOp, TimestampFront, UpdateOutcome,
+    apply_batch_point, BatchApply, BatchError, ChunkRead, FrontScanCursor, OpOutcome, PointMap,
+    RangeKey, RangeRead, RangeScan, RangeSpec, StoreOp, TimestampFront, UpdateOutcome,
 };
 use wft_seq::{Augmentation, Value};
 
@@ -87,6 +87,37 @@ where
         wft_api::collect_over(range, |min, max| {
             WaitFreeTrie::collect_range(self, min, max)
         })
+    }
+}
+
+/// The trie's chunk primitive: the limit-bounded optimistic collect
+/// (`O(W + limit)` per chunk, early exits counted in
+/// [`crate::TrieStats::fast_range_early_exits`]).
+impl<K, V, A> ChunkRead<K, V> for WaitFreeTrie<K, V, A>
+where
+    K: TrieKey + RangeKey,
+    V: Value,
+    A: Augmentation<K, V>,
+{
+    fn collect_chunk(&self, min: K, max: K, limit: usize) -> Vec<(K, V)> {
+        WaitFreeTrie::collect_range_limited(self, min, max, limit)
+    }
+}
+
+/// Streaming scans through the shared front-sandwich cursor.
+impl<K, V, A> RangeScan<K, V> for WaitFreeTrie<K, V, A>
+where
+    K: TrieKey + RangeKey,
+    V: Value,
+    A: Augmentation<K, V>,
+{
+    type Cursor<'a>
+        = FrontScanCursor<'a, Self, K, V>
+    where
+        Self: 'a;
+
+    fn scan(&self, range: RangeSpec<K>) -> FrontScanCursor<'_, Self, K, V> {
+        FrontScanCursor::new(self, range)
     }
 }
 

@@ -106,22 +106,43 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
     /// Optimistic descriptor-free `collect_range` over `[min, max]`;
     /// entries in key order. `None` on validation failure.
     pub(crate) fn try_fast_collect(&self, min: K, max: K, guard: &Guard) -> Option<Vec<(K, V)>> {
+        self.try_fast_collect_limited(min, max, usize::MAX, guard)
+            .map(|(out, _)| out)
+    }
+
+    /// Optimistic collect of the (up to) `limit` smallest entries of
+    /// `[min, max]` — the trie mirror of
+    /// `wft_core::WaitFreeTree::try_fast_collect_limited`. The in-order
+    /// walk stops once `limit` entries are gathered; skipped slots cover
+    /// only larger keys (bit-routing keeps children in key order), so the
+    /// result is a prefix of the full listing and validating the visited
+    /// log suffices. The bool is `true` when the limit cut the walk short.
+    pub(crate) fn try_fast_collect_limited(
+        &self,
+        min: K,
+        max: K,
+        limit: usize,
+        guard: &Guard,
+    ) -> Option<(Vec<(K, V)>, bool)> {
         if self.resolved_update_pending(guard) {
             return None;
         }
         let mut log = ReadLog::new();
         let mut out = Vec::new();
+        let mut early_exit = false;
         self.walk_collect_slot(
             &self.root_child,
             Coverage::ROOT,
             (min.to_index(), max.to_index()),
             (&min, &max),
+            limit,
             &mut out,
+            &mut early_exit,
             &mut log,
             guard,
         )?;
         if log.validate(guard) && !self.resolved_update_pending(guard) {
-            Some(out)
+            Some((out, early_exit))
         } else {
             None
         }
@@ -208,10 +229,16 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         coverage: Coverage,
         idx: (u64, u64),
         bounds: (&K, &K),
+        limit: usize,
         out: &mut Vec<(K, V)>,
+        early_exit: &mut bool,
         log: &mut ReadLog<'g, K, V, A>,
         guard: &'g Guard,
     ) -> Option<()> {
+        if out.len() >= limit {
+            *early_exit = true;
+            return Some(());
+        }
         let child = slot.load(Acquire, guard);
         match unsafe { child.deref() } {
             Node::Inner(inner) => {
@@ -225,7 +252,7 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
                 ] {
                     if child_cov.classify(idx.0, idx.1) != Overlap::Disjoint {
                         self.walk_collect_slot(
-                            child_slot, child_cov, idx, bounds, out, log, guard,
+                            child_slot, child_cov, idx, bounds, limit, out, early_exit, log, guard,
                         )?;
                     }
                 }

@@ -22,6 +22,7 @@ pub(crate) struct TrieCounters {
     pub(crate) fast_range_hits: AtomicU64,
     pub(crate) fast_range_retries: AtomicU64,
     pub(crate) range_fallbacks: AtomicU64,
+    pub(crate) fast_range_early_exits: AtomicU64,
 }
 
 /// How many optimistic traversals a range read attempts before falling back
@@ -52,6 +53,9 @@ pub struct TrieStats {
     pub fast_range_retries: u64,
     /// Range reads that fell back to the descriptor slow path.
     pub range_fallbacks: u64,
+    /// Limit-bounded collects whose optimistic walk early-exited at the
+    /// chunk limit (the streaming scan chunk primitive).
+    pub fast_range_early_exits: u64,
 }
 
 /// A linearizable concurrent ordered map over fixed-width integer keys with
@@ -292,6 +296,48 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         op.assemble_entries()
     }
 
+    /// The (up to) `limit` smallest entries with key in `[min, max]`, in
+    /// key order — the trie's chunk primitive for the streaming scan API,
+    /// mirroring `wft_core::WaitFreeTree::collect_range_limited`. The
+    /// optimistic walk early-exits after `limit` leaves
+    /// (`O(W + limit)`, counted in [`TrieStats::fast_range_early_exits`]);
+    /// the descriptor fallback collects fully and truncates.
+    pub fn collect_range_limited(&self, min: K, max: K, limit: usize) -> Vec<(K, V)> {
+        if min > max || limit == 0 {
+            return Vec::new();
+        }
+        if self.read_path == ReadPath::Fast {
+            let guard = crossbeam_epoch::pin();
+            for attempt in 1..=FAST_READ_ATTEMPTS {
+                if let Some((entries, early_exit)) =
+                    self.try_fast_collect_limited(min, max, limit, &guard)
+                {
+                    self.counters
+                        .fast_range_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    if early_exit {
+                        self.counters
+                            .fast_range_early_exits
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    return entries;
+                }
+                if attempt < FAST_READ_ATTEMPTS {
+                    self.counters
+                        .fast_range_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            self.counters
+                .range_fallbacks
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let (op, _ts) = self.run_operation(OpKind::Collect { min, max });
+        let mut entries = op.assemble_entries();
+        entries.truncate(limit);
+        entries
+    }
+
     /// Number of keys currently stored (maintained at update linearization
     /// points).
     pub fn len(&self) -> u64 {
@@ -315,6 +361,7 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
             fast_range_hits: self.counters.fast_range_hits.load(Ordering::Relaxed),
             fast_range_retries: self.counters.fast_range_retries.load(Ordering::Relaxed),
             range_fallbacks: self.counters.range_fallbacks.load(Ordering::Relaxed),
+            fast_range_early_exits: self.counters.fast_range_early_exits.load(Ordering::Relaxed),
         }
     }
 
@@ -375,6 +422,22 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
             return None;
         }
         let entries = self.collect_range(min, max);
+        self.front_unchanged(front).then_some(entries)
+    }
+
+    /// [`collect_range_limited`](WaitFreeTrie::collect_range_limited) at a
+    /// settled front, or `None` once the trie advanced past it.
+    pub fn collect_range_limited_at_front(
+        &self,
+        min: K,
+        max: K,
+        limit: usize,
+        front: Timestamp,
+    ) -> Option<Vec<(K, V)>> {
+        if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
+            return None;
+        }
+        let entries = self.collect_range_limited(min, max, limit);
         self.front_unchanged(front).then_some(entries)
     }
 

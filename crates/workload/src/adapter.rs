@@ -22,7 +22,7 @@
 
 use std::sync::Arc;
 
-use wft_api::{PointMap, RangeRead, RangeSpec, SnapshotRead};
+use wft_api::{PointMap, RangeRead, RangeScan, RangeSpec, ScanConsistency, SnapshotRead};
 use wft_core::{ReadPath, RootQueueKind, TreeConfig, WaitFreeTree};
 use wft_lockbased::LockedRangeTree;
 use wft_lockfree::LockFreeBst;
@@ -53,6 +53,17 @@ pub trait ConcurrentSet: Send + Sync + 'static {
     /// snapshot** (`wft_api::SnapshotRead`): the pair is mutually
     /// consistent — both counts describe the same instant.
     fn snapshot_count_pair(&self, a_min: i64, a_max: i64, b_min: i64, b_max: i64) -> (u64, u64);
+    /// Drains one streaming cursor over `[min, max]` in `chunk`-sized
+    /// chunks (`wft_api::RangeScan`), returning the number of entries
+    /// yielded and whether the drain stayed a single snapshot
+    /// (`ScanConsistency::Snapshot`).
+    fn chunked_scan_count(&self, min: i64, max: i64, chunk: usize) -> (u64, bool);
+    /// Drains streaming cursors over `[min, max]` in `chunk`-sized chunks
+    /// until one completes as a single snapshot
+    /// (`wft_api::RangeScan::scan_snapshot`), returning its keys — the
+    /// paginated equivalent of one `collect_range`, which is exactly what
+    /// the linearizability checker verifies it against.
+    fn chunked_scan_snapshot(&self, min: i64, max: i64, chunk: usize) -> Vec<i64>;
     /// Number of keys currently stored.
     fn len(&self) -> u64;
     /// `true` when empty.
@@ -63,7 +74,11 @@ pub trait ConcurrentSet: Send + Sync + 'static {
 
 impl<T> ConcurrentSet for T
 where
-    T: PointMap<i64, ()> + RangeRead<i64, ()> + SnapshotRead<i64, ()> + 'static,
+    T: PointMap<i64, ()>
+        + RangeRead<i64, ()>
+        + SnapshotRead<i64, ()>
+        + RangeScan<i64, ()>
+        + 'static,
 {
     fn insert(&self, key: i64) -> bool {
         PointMap::insert(self, key, ()).is_applied()
@@ -92,6 +107,20 @@ where
             ],
         );
         (counts[0], counts[1])
+    }
+    fn chunked_scan_count(&self, min: i64, max: i64, chunk: usize) -> (u64, bool) {
+        let (entries, consistency) =
+            RangeScan::scan_collect(self, RangeSpec::inclusive(min, max), chunk);
+        (
+            entries.len() as u64,
+            consistency == ScanConsistency::Snapshot,
+        )
+    }
+    fn chunked_scan_snapshot(&self, min: i64, max: i64, chunk: usize) -> Vec<i64> {
+        RangeScan::scan_snapshot(self, RangeSpec::inclusive(min, max), chunk)
+            .into_iter()
+            .map(|(k, ())| k)
+            .collect()
     }
     fn len(&self) -> u64 {
         PointMap::len(self)
@@ -246,6 +275,15 @@ mod tests {
         assert_eq!(set.count_via_collect(0, 9), 10);
         assert_eq!(set.count(9, 0), 0, "inverted range counts zero");
         assert_eq!(set.count_via_collect(9, 0), 0);
+        // Streaming scans: a chunked drain covers the same range, and the
+        // retrying driver produces the full sorted listing.
+        let (scanned, _snapshot) = set.chunked_scan_count(0, 99, 7);
+        assert_eq!(scanned, 100);
+        assert_eq!(
+            set.chunked_scan_snapshot(10, 19, 3),
+            (10..=19).collect::<Vec<_>>()
+        );
+        assert!(set.chunked_scan_snapshot(9, 0, 4).is_empty());
         assert_eq!(set.len(), 100);
     }
 

@@ -133,6 +133,9 @@ pub fn timed_run(
                                 set.snapshot_count_pair(a_min, a_max, b_min, b_max),
                             );
                         }
+                        Op::ChunkedScan(lo, hi, chunk) => {
+                            std::hint::black_box(set.chunked_scan_count(lo, hi, chunk));
+                        }
                     }
                     ops += 1;
                 }

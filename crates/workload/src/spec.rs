@@ -61,11 +61,20 @@ pub struct OperationMix {
     /// Fraction of snapshot reads: two subrange counts answered from one
     /// acquired snapshot front (`wft_api::SnapshotRead`).
     pub snapshot: f64,
+    /// Fraction of streaming scans: one cursor drained over the range in
+    /// bounded chunks (`wft_api::RangeScan`).
+    pub scan: f64,
 }
 
 impl OperationMix {
     fn total(&self) -> f64 {
-        self.contains + self.insert + self.remove + self.count + self.collect + self.snapshot
+        self.contains
+            + self.insert
+            + self.remove
+            + self.count
+            + self.collect
+            + self.snapshot
+            + self.scan
     }
 }
 
@@ -103,6 +112,9 @@ pub enum Op {
     /// Two subrange counts `[a_min, a_max]` / `[b_min, b_max]` answered
     /// from one snapshot front.
     SnapshotCounts(i64, i64, i64, i64),
+    /// One streaming cursor drained over `[min, max]` in chunks of the
+    /// given size (`wft_api::RangeScan`).
+    ChunkedScan(i64, i64, usize),
 }
 
 impl WorkloadSpec {
@@ -121,6 +133,7 @@ impl WorkloadSpec {
                 count: 0.0,
                 collect: 0.0,
                 snapshot: 0.0,
+                scan: 0.0,
             },
             range_fraction: 0.0,
         }
@@ -142,6 +155,7 @@ impl WorkloadSpec {
                 count: 0.0,
                 collect: 0.0,
                 snapshot: 0.0,
+                scan: 0.0,
             },
             range_fraction: 0.0,
         }
@@ -163,6 +177,7 @@ impl WorkloadSpec {
                 count: 0.0,
                 collect: 0.0,
                 snapshot: 0.0,
+                scan: 0.0,
             },
             range_fraction: 0.0,
         }
@@ -185,6 +200,7 @@ impl WorkloadSpec {
                 count,
                 collect: 0.0,
                 snapshot: 0.0,
+                scan: 0.0,
             },
             range_fraction,
         }
@@ -209,6 +225,32 @@ impl WorkloadSpec {
                 count: 0.0,
                 collect: 0.0,
                 snapshot,
+                scan: 0.0,
+            },
+            range_fraction,
+        }
+    }
+
+    /// Streaming-scan workload: a given percentage of chunked cursor drains
+    /// (`wft_api::RangeScan`, chunk size per the scan bench) over an
+    /// insert/remove/contains background; used by the scan bench and smoke
+    /// tests.
+    pub fn scan_mix(scan_percent: f64, range_fraction: f64) -> Self {
+        let scan = scan_percent / 100.0;
+        let rest = 1.0 - scan;
+        WorkloadSpec {
+            name: "scan-mix",
+            key_range: 2_000_000,
+            prefill: Prefill::Bernoulli { probability: 0.5 },
+            distribution: KeyDistribution::UniformInRange,
+            mix: OperationMix {
+                contains: rest * 0.5,
+                insert: rest * 0.25,
+                remove: rest * 0.25,
+                count: 0.0,
+                collect: 0.0,
+                snapshot: 0.0,
+                scan,
             },
             range_fraction,
         }
@@ -233,6 +275,7 @@ impl WorkloadSpec {
                 count: if via_collect { 0.0 } else { 1.0 },
                 collect: if via_collect { 1.0 } else { 0.0 },
                 snapshot: 0.0,
+                scan: 0.0,
             },
             range_fraction,
         }
@@ -295,10 +338,16 @@ impl WorkloadSpec {
         if roll < self.mix.collect {
             return Op::Collect(lo, hi);
         }
-        // Snapshot read: the drawn range plus a second independent subrange,
-        // both answered from one front.
-        let lo2 = rng.gen_range(1..=self.key_range.saturating_sub(width).max(1));
-        Op::SnapshotCounts(lo, hi, lo2, lo2.saturating_add(width))
+        roll -= self.mix.collect;
+        if roll < self.mix.snapshot {
+            // Snapshot read: the drawn range plus a second independent
+            // subrange, both answered from one front.
+            let lo2 = rng.gen_range(1..=self.key_range.saturating_sub(width).max(1));
+            return Op::SnapshotCounts(lo, hi, lo2, lo2.saturating_add(width));
+        }
+        // Streaming scan: drain the drawn range in bounded chunks (64 keys —
+        // a typical page size relative to the range widths used here).
+        Op::ChunkedScan(lo, hi, 64)
     }
 }
 
@@ -350,7 +399,7 @@ mod tests {
     fn op_mix_respects_probabilities() {
         let spec = WorkloadSpec::range_mix(10.0, 0.01).scaled_down(10_000);
         let mut rng = StdRng::seed_from_u64(3);
-        let mut counts = [0usize; 6];
+        let mut counts = [0usize; 7];
         const N: usize = 20_000;
         for _ in 0..N {
             match spec.next_op(&mut rng) {
@@ -360,6 +409,7 @@ mod tests {
                 Op::Count(_, _) => counts[3] += 1,
                 Op::Collect(_, _) => counts[4] += 1,
                 Op::SnapshotCounts(..) => counts[5] += 1,
+                Op::ChunkedScan(..) => counts[6] += 1,
             }
         }
         let frac = |i: usize| counts[i] as f64 / N as f64;
@@ -371,6 +421,23 @@ mod tests {
         assert!((frac(3) - 0.10).abs() < 0.02, "count fraction {}", frac(3));
         assert_eq!(counts[4], 0);
         assert_eq!(counts[5], 0, "range_mix draws no snapshot ops");
+        assert_eq!(counts[6], 0, "range_mix draws no scan ops");
+    }
+
+    #[test]
+    fn scan_mix_draws_chunked_scans() {
+        let spec = WorkloadSpec::scan_mix(25.0, 0.05).scaled_down(10_000);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut scans = 0usize;
+        const N: usize = 10_000;
+        for _ in 0..N {
+            if let Op::ChunkedScan(lo, hi, chunk) = spec.next_op(&mut rng) {
+                scans += 1;
+                assert!(lo <= hi && chunk > 0);
+            }
+        }
+        let frac = scans as f64 / N as f64;
+        assert!((frac - 0.25).abs() < 0.02, "scan fraction {frac}");
     }
 
     #[test]

@@ -70,8 +70,9 @@ pub use wft_store::{ShardedStore, StoreOp};
 pub mod prelude {
     // The trait family and its vocabulary.
     pub use wft_api::{
-        BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec, SnapshotRead,
-        SnapshotToken, StoreOp, TimestampFront, UpdateOutcome,
+        BatchApply, BatchError, ChunkRead, OpOutcome, PointMap, RangeKey, RangeRead, RangeScan,
+        RangeSpec, ScanConsistency, ScanCursor, SnapshotRead, SnapshotToken, StoreOp,
+        TimestampFront, UpdateOutcome,
     };
     // The augmentation algebra.
     pub use wft_seq::{Augmentation, Key, KeyRange, Pair, Size, Sum, SumSquares, Value};

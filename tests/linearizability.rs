@@ -43,6 +43,11 @@ struct OpMix {
     /// (`SnapshotRead`); the checker verifies the pair against a single
     /// abstract state.
     snapshots: bool,
+    /// Chunked scans: a streaming cursor drained to completion with
+    /// `ScanConsistency::Snapshot` (`RangeScan::scan_snapshot`, chunk size
+    /// 2 so nearly every drain spans several chunks); the checker verifies
+    /// the concatenated pages against a single abstract state's listing.
+    scans: bool,
 }
 
 /// Runs one recorded execution against `set` and returns the history.
@@ -70,6 +75,9 @@ fn record_round(
                     }
                     if mix.snapshots {
                         kinds.push(6);
+                    }
+                    if mix.scans {
+                        kinds.push(7);
                     }
                     for _ in 0..OPS_PER_THREAD {
                         let key = rng.gen_range(0..KEY_RANGE);
@@ -106,7 +114,7 @@ fn record_round(
                                 let was_present = set.replace(key);
                                 recorder.respond(token, RangeSetRet::Bool(was_present));
                             }
-                            _ => {
+                            6 => {
                                 // One subrange plus the whole key universe,
                                 // counted from one snapshot: the pair must be
                                 // explained by a single abstract state.
@@ -119,6 +127,17 @@ fn record_round(
                                 ));
                                 let (a, b) = set.snapshot_count_pair(key, hi, 0, KEY_RANGE - 1);
                                 recorder.respond(token, RangeSetRet::CountPair(a, b));
+                            }
+                            _ => {
+                                // A paginated drain (chunk size 2, so the
+                                // range spans several pages) completed as a
+                                // single snapshot: the concatenated pages
+                                // must equal a single abstract state's
+                                // listing.
+                                let hi = rng.gen_range(key..KEY_RANGE);
+                                let token = recorder.invoke(RangeSetOp::ChunkedScan(key, hi, 2));
+                                let keys = set.chunked_scan_snapshot(key, hi, 2);
+                                recorder.respond(token, RangeSetRet::Keys(keys));
                             }
                         }
                     }
@@ -141,6 +160,9 @@ fn assert_linearizable(imp: TreeImpl, rounds: u64, with_range_queries: bool) {
         // single-front blanket impl, the store through its global front), so
         // snapshot pairs ride along wherever range queries are checked.
         snapshots: with_range_queries,
+        // Likewise `RangeScan`: single trees through the shared front
+        // cursor, the store through its per-shard-cut merge cursor.
+        scans: with_range_queries,
     };
     for round in 0..rounds {
         // Alternate between an empty tree and a small prefill so both code
@@ -252,6 +274,12 @@ fn checker_rejects_a_broken_implementation() {
         }
         fn snapshot_count_pair(&self, _: i64, _: i64, _: i64, _: i64) -> (u64, u64) {
             (0, 0)
+        }
+        fn chunked_scan_count(&self, _: i64, _: i64, _: usize) -> (u64, bool) {
+            (0, true)
+        }
+        fn chunked_scan_snapshot(&self, _: i64, _: i64, _: usize) -> Vec<i64> {
+            Vec::new()
         }
         fn len(&self) -> u64 {
             0
