@@ -25,8 +25,13 @@
 //!    while every chunk validated at the original token,
 //!    [`Resumed`](ScanConsistency::Resumed) once any chunk had to
 //!    re-anchor. A `Resumed` drain is still duplicate-free and ordered, and
-//!    every individual chunk is still a linearizable read of its suffix —
-//!    only the *cross-chunk* single-instant claim is lost. (A validation
+//!    every yielded entry comes from a front-validated read — but the
+//!    single-instant claim is lost, and a chunk that re-anchored *mid-way*
+//!    may stitch validated reads taken at different fronts (the shared
+//!    [`FrontScanCursor`] discards failed attempts whole, so each of its
+//!    chunks is one linearizable read of its suffix; a sharded merge
+//!    cursor validates per shard and makes no such per-chunk promise —
+//!    only per-read). (A validation
 //!    failure *before anything was yielded* does not degrade: the fresh
 //!    front simply becomes the cursor's token, since an empty prefix is a
 //!    snapshot of any state.)
@@ -83,8 +88,11 @@ pub enum ScanConsistency {
     Snapshot,
     /// At least one chunk failed validation and the cursor re-anchored at a
     /// fresh front for the not-yet-yielded suffix. The drain is still
-    /// duplicate-free and in ascending key order, and each chunk is still a
-    /// linearizable read, but the chunks no longer describe one instant.
+    /// duplicate-free and in ascending key order, and every yielded entry
+    /// came from a front-validated read — but the chunks no longer describe
+    /// one instant, and a chunk that re-anchored mid-way may stitch reads
+    /// taken at different fronts (see the [module docs](self) on which
+    /// cursors promise per-chunk linearizability).
     Resumed,
 }
 

@@ -98,6 +98,14 @@ pub struct StoreStats {
     /// to `ScanConsistency::Resumed`. High values mean cursor pagination is
     /// racing a write-heavy keyspace region.
     pub scan_resumes: u64,
+    /// [`len()`](crate::ShardedStore::len) calls that exhausted their
+    /// bounded cut attempts
+    /// ([`LEN_CUT_ATTEMPTS`](crate::ShardedStore::LEN_CUT_ATTEMPTS)) and
+    /// answered with the stitched (non-single-cut) sum. Non-zero means
+    /// callers relying on `len()`'s linearizability received degraded
+    /// answers under write pressure — point them at
+    /// [`stitched_len()`](crate::ShardedStore::stitched_len) explicitly.
+    pub len_fallbacks: u64,
 }
 
 /// The store-internal front bookkeeping: the monotone published front table
@@ -111,6 +119,7 @@ pub(crate) struct FrontTable {
     acquires: AtomicU64,
     retries: AtomicU64,
     scan_resumes: AtomicU64,
+    len_fallbacks: AtomicU64,
 }
 
 impl FrontTable {
@@ -120,6 +129,7 @@ impl FrontTable {
             acquires: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             scan_resumes: AtomicU64::new(0),
+            len_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -148,11 +158,16 @@ impl FrontTable {
         self.scan_resumes.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn count_len_fallback(&self) {
+        self.len_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn stats(&self) -> StoreStats {
         StoreStats {
             snapshot_acquires: self.acquires.load(Ordering::Relaxed),
             snapshot_retries: self.retries.load(Ordering::Relaxed),
             scan_resumes: self.scan_resumes.load(Ordering::Relaxed),
+            len_fallbacks: self.len_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -177,12 +192,14 @@ mod tests {
         table.count_acquire();
         table.count_retry();
         table.count_scan_resume();
+        table.count_len_fallback();
         assert_eq!(
             table.stats(),
             StoreStats {
                 snapshot_acquires: 2,
                 snapshot_retries: 1,
                 scan_resumes: 1,
+                len_fallbacks: 1,
             }
         );
     }

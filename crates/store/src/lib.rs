@@ -18,11 +18,14 @@
 //!   sampled key distribution (equi-depth quantiles), used by
 //!   [`ShardedStore::from_entries`].
 //! * [`GlobalFront`] — the **global timestamp front** (see [`front`]):
-//!   cross-shard `count` / `range_agg` / `collect_range` / `len` acquire one
+//!   cross-shard `count` / `range_agg` / `collect_range` acquire one
 //!   settled per-shard watermark cut and read every touched shard at it,
 //!   making them linearizable, and [`wft_api::SnapshotRead`] exposes
-//!   consistent multi-range snapshot reads on top. The pre-front behaviour
-//!   remains available as the `stitched_*` reads.
+//!   consistent multi-range snapshot reads on top. `len` takes the same
+//!   discipline with a bounded number of cut attempts, falling back to the
+//!   stitched sum (counted in [`StoreStats::len_fallbacks`]) under
+//!   sustained write traffic. The pre-front behaviour remains available as
+//!   the `stitched_*` reads.
 //! * [`StoreScanCursor`] — the store's native [`wft_api::RangeScan`] (see
 //!   [`scan`]): streaming snapshot-consistent cursors that drain a range in
 //!   caller-bounded chunks, shard after shard in key order, validated

@@ -27,8 +27,15 @@
 //!   retries the failed shard. Writes to already-drained shards or to
 //!   shards outside the range never disturb the scan — and while nothing
 //!   has been yielded at all, an expiry re-acquires a whole fresh cut (and
-//!   token) instead of degrading: an empty prefix is a snapshot of any
-//!   state.
+//!   token) instead of degrading, **rewinding the merge to the resume
+//!   key**: an empty prefix is a snapshot of any state, but shards already
+//!   stepped over were drained dry at the old cut and may hold entries at
+//!   the new one, so every touched shard is re-read at the fresh cut.
+//!   Like every cross-shard linearizable read in this crate
+//!   (`collect_range`, `range_agg`), these retry loops are **lock-free,
+//!   not wait-free**: sustained churn in a touched shard can keep a chunk
+//!   retrying (each retry implies a concurrent update linearized), exactly
+//!   as [`wft_api::ScanCursor::next_chunk`]'s contract states.
 //!
 //! # Consistency
 //!
@@ -149,25 +156,39 @@ where
                 }
                 None => {
                     // The shard advanced past its cut watermark.
-                    if self.yielded || !out.is_empty() {
+                    if self.yielded {
                         // Re-settle the not-yet-drained suffix shards only
                         // (drained shards are never read again) and retry
                         // this shard; the drain is no longer a single
-                        // snapshot.
-                        self.store.front.count_acquire();
-                        for i in shard..=self.last_shard {
-                            self.cut[i] = self.store.shards[i].settle_front().get();
-                            self.store.front.publish(i, self.cut[i]);
-                        }
+                        // snapshot. Entries of earlier shards already in
+                        // `out` stay: the caller has accepted `Resumed`
+                        // semantics, where one chunk may stitch per-shard
+                        // reads taken at different cuts (documented in
+                        // `wft_api::scan`).
+                        let fresh = self.store.settle_touched(shard, self.last_shard);
+                        self.cut[shard..=self.last_shard].copy_from_slice(&fresh);
                         self.store.front.count_scan_resume();
                         self.consistency = ScanConsistency::Resumed;
                         self.resumes += 1;
                     } else {
-                        // Nothing yielded anywhere yet: acquire a whole
-                        // fresh cut and make it the cursor's anchor — the
-                        // drain stays `Snapshot` against the new token.
+                        // Nothing yielded to the caller yet: discard the
+                        // partial buffer, acquire a whole fresh cut and
+                        // make it the cursor's anchor — the drain stays
+                        // `Snapshot` against the new token, exactly as the
+                        // `ScanCursor` contract promises for pre-yield
+                        // failures. The merge rewinds to the resume key:
+                        // shards already stepped over (or partially read
+                        // into `out`) were drained at the OLD cut, and the
+                        // new cut may have landed keys in them — a
+                        // `Snapshot` drain owes the new token every one of
+                        // those entries. The discarded attempt counts as a
+                        // snapshot retry (not a scan resume).
+                        self.store.front.count_retry();
+                        out.clear();
                         self.cut = self.store.settle_all();
                         self.token = SnapshotToken::new(self.cut.iter().sum());
+                        shard = self.store.shard_of(&lo);
+                        shard_lo = lo;
                     }
                     std::hint::spin_loop();
                 }
@@ -300,6 +321,41 @@ mod tests {
         // Still strictly ascending and duplicate-free past the first chunk.
         assert!(keys.windows(2).all(|w| w[0] < w[1]));
         assert!(keys[0] > first.last().unwrap().0);
+    }
+
+    #[test]
+    fn pre_yield_reanchor_rewinds_over_stepped_shards() {
+        // Regression: a pre-yield cut expiry must rewind the merge to the
+        // resume key. Without the rewind, a shard whose in-range slice was
+        // empty at the old cut stays stepped-over after the fresh cut is
+        // acquired, and a drain reported `Snapshot` can yield a later write
+        // (key 350) while missing an earlier one (key 50) that landed in
+        // the stepped-over shard. The writer inserts 50 strictly before
+        // 350, so any `Snapshot` listing containing 350 must contain 50.
+        for _ in 0..300 {
+            let store: ShardedStore<i64> = ShardedStore::with_boundaries(vec![100, 200, 300]);
+            for k in 300..340 {
+                store.insert(k, ());
+            }
+            let barrier = std::sync::Barrier::new(2);
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    store.insert(50, ()); // shard 0: empty at the open cut
+                    store.insert(350, ()); // shard 3: expires the cut mid-merge
+                });
+                let mut cursor = store.scan(RangeSpec::inclusive(0, 400));
+                barrier.wait();
+                let keys: Vec<i64> = cursor.drain(1000).iter().map(|(k, ())| *k).collect();
+                assert!(keys.windows(2).all(|w| w[0] < w[1]), "unsorted: {keys:?}");
+                if cursor.consistency() == ScanConsistency::Snapshot && keys.contains(&350) {
+                    assert!(
+                        keys.contains(&50),
+                        "Snapshot drain yields 350 (written after 50) but misses 50: {keys:?}"
+                    );
+                }
+            });
+        }
     }
 
     #[test]

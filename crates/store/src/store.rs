@@ -28,7 +28,9 @@
 //! watermark cut is acquired, every touched shard is read at its front with
 //! front-validated entry points, and the attempt retries on a fresh cut if
 //! any shard advanced mid-read — so `count` / `range_agg` / `collect_range`
-//! are linearizable across shards, and so is `len()` (the pre-front
+//! are linearizable across shards; `len()` takes the same discipline with a
+//! **bounded** number of cut attempts, falling back to the stitched sum
+//! under sustained contention (the pre-front
 //! stitched behaviour remains available as
 //! [`ShardedStore::stitched_range_agg`] /
 //! [`ShardedStore::stitched_collect_range`] / [`ShardedStore::stitched_len`]).
@@ -226,21 +228,29 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         self.shard(key).get(key)
     }
 
-    /// Total number of keys, read **at one global front** — linearizable.
+    /// Total number of keys, read **at one global front** when the front
+    /// holds still long enough — linearizable in that case.
     ///
     /// Every shard's front is settled, every shard length is read, and the
     /// sum is returned only if no shard's advertised watermark moved in
     /// between (per-shard lengths are maintained at update linearization
     /// points, so an unchanged front pins them); otherwise the read retries
-    /// on a fresh cut. Lock-free, same progress class as the cross-shard
-    /// aggregates; the pre-front sum survives as
-    /// [`ShardedStore::stitched_len`]. Single-shard stores skip the front
-    /// (one tree's `len` is already a single linearization point).
+    /// on a fresh cut. The retry loop is **bounded**: under sustained
+    /// multi-shard write traffic a validated cut may never materialise
+    /// (each attempt is lock-free, not wait-free), so after
+    /// [`LEN_CUT_ATTEMPTS`](Self::LEN_CUT_ATTEMPTS) expired cuts the read
+    /// falls back to [`ShardedStore::stitched_len`] — still a sum of
+    /// atomic per-shard lengths, just not one linearization point — and
+    /// records the degradation in [`StoreStats::len_fallbacks`]. Callers
+    /// polling a length on a hot path (metrics, balance probes) should
+    /// call `stitched_len()` directly and skip the cut machinery entirely.
+    /// Single-shard stores skip the front (one tree's `len` is already a
+    /// single linearization point).
     pub fn len(&self) -> u64 {
         if self.shards.len() == 1 {
             return self.shards[0].len();
         }
-        loop {
+        for _ in 0..Self::LEN_CUT_ATTEMPTS {
             let fronts = self.settle_all();
             let sum: u64 = self.shards.iter().map(WaitFreeTree::len).sum();
             if self
@@ -254,7 +264,15 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
             self.front.count_retry();
             std::hint::spin_loop();
         }
+        self.front.count_len_fallback();
+        self.stitched_len()
     }
+
+    /// How many settled cuts [`ShardedStore::len`] tries to validate
+    /// before giving up on a single linearization point and answering with
+    /// [`ShardedStore::stitched_len`] — bounds `len()`'s completion time
+    /// under write traffic that expires every cut.
+    pub const LEN_CUT_ATTEMPTS: usize = 32;
 
     /// Sum of the per-shard lengths with no global cut: each shard length
     /// is read atomically but the sum is not a single linearization point
@@ -263,7 +281,12 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         self.shards.iter().map(WaitFreeTree::len).sum()
     }
 
-    /// `true` when every shard is empty.
+    /// `true` when every shard is empty, read through
+    /// [`ShardedStore::len`] — so it inherits `len()`'s cut machinery: up
+    /// to [`LEN_CUT_ATTEMPTS`](Self::LEN_CUT_ATTEMPTS) settle/validate
+    /// rounds under multi-shard write traffic before the stitched
+    /// fallback. Callers polling emptiness on a hot path should probe
+    /// `stitched_len() == 0` instead and skip the cut.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -470,9 +493,9 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
     }
 
     /// Settles the fronts of shards `first..=last` (acquire phase of one
-    /// cross-shard read attempt); `result[i - first]` is shard `i`'s
-    /// watermark.
-    fn settle_touched(&self, first: usize, last: usize) -> Vec<u64> {
+    /// cross-shard read attempt, and of a scan cursor's suffix resume);
+    /// `result[i - first]` is shard `i`'s watermark.
+    pub(crate) fn settle_touched(&self, first: usize, last: usize) -> Vec<u64> {
         self.front.count_acquire();
         (first..=last)
             .map(|i| {
