@@ -33,6 +33,23 @@ struct Point {
     fast_point_reads: u64,
     fast_range_hits: u64,
     range_fallbacks: u64,
+    /// Median sampled per-op latency (ns; the harness times one in
+    /// `wft_workload::LATENCY_SAMPLE` ops).
+    p50_ns: u64,
+    /// 99th-percentile sampled per-op latency (ns).
+    p99_ns: u64,
+    /// 99.9th-percentile sampled per-op latency (ns).
+    p999_ns: u64,
+    /// The tree's full `wft-obs` metrics delta over the measurement window,
+    /// plus the harness latency histogram under `op_latency_ns`.
+    window: wft_obs::MetricsSnapshot,
+}
+
+/// The tree's `wft-obs` metrics through its `MetricsSource` impl.
+fn metrics_of(tree: &WaitFreeTree<i64>) -> wft_obs::MetricsSnapshot {
+    let mut out = wft_obs::MetricsSnapshot::new();
+    wft_obs::MetricsSource::collect_metrics(tree, &mut out);
+    out
 }
 
 /// Before/after ratio for one (workload, threads) pair.
@@ -71,6 +88,7 @@ fn measure(
         prefill.iter().map(|&k| (k, ())),
         config,
     ));
+    let before = metrics_of(&tree);
     let result = timed_run(
         Arc::clone(&tree) as _,
         spec,
@@ -79,6 +97,8 @@ fn measure(
         seed ^ 0xBEEF,
     );
     let stats = tree.stats();
+    let mut window = metrics_of(&tree).delta_since(&before);
+    window.push_histogram("op_latency_ns", result.latency.clone());
     Point {
         workload: spec.name.to_string(),
         threads,
@@ -90,6 +110,10 @@ fn measure(
         fast_point_reads: stats.fast_point_reads,
         fast_range_hits: stats.fast_range_hits,
         range_fallbacks: stats.range_fallbacks,
+        p50_ns: result.latency.quantile(0.50),
+        p99_ns: result.latency.quantile(0.99),
+        p999_ns: result.latency.quantile(0.999),
+        window,
     }
 }
 
@@ -133,6 +157,23 @@ fn main() {
             points.push(before);
             points.push(after);
         }
+    }
+
+    if smoke {
+        // CI gate: every embedded metrics snapshot must survive the JSON
+        // exporter round-trip (serialize -> serde_json -> deserialize -> ==).
+        for point in &points {
+            let back = wft_obs::MetricsSnapshot::from_json(&point.window.to_json())
+                .expect("window metrics parse back");
+            assert_eq!(
+                back, point.window,
+                "MetricsSnapshot JSON round-trip must be lossless"
+            );
+        }
+        println!(
+            "smoke: metrics JSON round-trip ok ({} windows)",
+            points.len()
+        );
     }
 
     let report = Report {

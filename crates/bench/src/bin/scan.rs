@@ -41,6 +41,22 @@ struct Point {
     snapshot_drain_fraction: f64,
     scan_resumes: u64,
     chunk_early_exits: u64,
+    /// Median sampled per-drain latency (ns; one in 8 drains is timed).
+    drain_p50_ns: u64,
+    /// 99th-percentile sampled per-drain latency (ns).
+    drain_p99_ns: u64,
+    /// 99.9th-percentile sampled per-drain latency (ns).
+    drain_p999_ns: u64,
+    /// The store's full `wft-obs` metrics delta over the measurement
+    /// window, plus the drain latency histogram under `drain_latency_ns`.
+    window: wft_obs::MetricsSnapshot,
+}
+
+/// The store's `wft-obs` metrics through its `MetricsSource` impl.
+fn metrics_of(store: &ShardedStore<i64>) -> wft_obs::MetricsSnapshot {
+    let mut out = wft_obs::MetricsSnapshot::new();
+    wft_obs::MetricsSource::collect_metrics(store, &mut out);
+    out
 }
 
 /// Cursor-vs-one-shot ratio for one (workload, chunk, threads) cell.
@@ -110,6 +126,9 @@ fn measure(
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(reader_threads + writer_threads + 1));
     let snapshot_drains = Arc::new(AtomicU64::new(0));
+    // Shared across readers: per-thread-sharded cells, no contention.
+    let latency = Arc::new(wft_obs::LatencyHistogram::new());
+    let before = metrics_of(&store);
 
     let readers: Vec<_> = (0..reader_threads)
         .map(|t| {
@@ -117,6 +136,7 @@ fn measure(
             let stop = Arc::clone(&stop);
             let barrier = Arc::clone(&barrier);
             let snapshot_drains = Arc::clone(&snapshot_drains);
+            let latency = Arc::clone(&latency);
             std::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed ^ (t as u64 + 1).wrapping_mul(0x9E37));
                 barrier.wait();
@@ -131,6 +151,9 @@ fn measure(
                     let lo = rng.gen_range(0..key_range / 4);
                     let hi = key_range - 1 - rng.gen_range(0..key_range / 4);
                     let spec = RangeSpec::inclusive(lo, hi);
+                    // One in 8 drains is timed (sampled by index, so the
+                    // sample cannot be biased toward slow drains).
+                    let timed_at = drains.is_multiple_of(8).then(Instant::now);
                     match mode {
                         ReadMode::OneShot => {
                             let listing = RangeRead::collect_range(&*store, spec);
@@ -152,6 +175,9 @@ fn measure(
                                 snapshots += 1;
                             }
                         }
+                    }
+                    if let Some(at) = timed_at {
+                        latency.observe(at.elapsed());
                     }
                     drains += 1;
                 }
@@ -209,6 +235,9 @@ fn measure(
         .iter()
         .map(|s| s.fast_range_early_exits)
         .sum();
+    let drain_latency = latency.snapshot();
+    let mut window = metrics_of(&store).delta_since(&before);
+    window.push_histogram("drain_latency_ns", drain_latency.clone());
     Point {
         workload: workload.name.to_string(),
         read_mode: mode.name(),
@@ -223,6 +252,10 @@ fn measure(
         },
         scan_resumes: stats.scan_resumes,
         chunk_early_exits,
+        drain_p50_ns: drain_latency.quantile(0.50),
+        drain_p99_ns: drain_latency.quantile(0.99),
+        drain_p999_ns: drain_latency.quantile(0.999),
+        window,
     }
 }
 
@@ -283,6 +316,23 @@ fn main() {
                 points.push(cursor);
             }
         }
+    }
+
+    if smoke {
+        // CI gate: every embedded metrics snapshot must survive the JSON
+        // exporter round-trip (serialize -> serde_json -> deserialize -> ==).
+        for point in &points {
+            let back = wft_obs::MetricsSnapshot::from_json(&point.window.to_json())
+                .expect("window metrics parse back");
+            assert_eq!(
+                back, point.window,
+                "MetricsSnapshot JSON round-trip must be lossless"
+            );
+        }
+        println!(
+            "smoke: metrics JSON round-trip ok ({} windows)",
+            points.len()
+        );
     }
 
     let report = Report {

@@ -39,6 +39,24 @@ struct Point {
     writes_per_sec: f64,
     snapshot_acquires: u64,
     snapshot_retries: u64,
+    /// Median sampled reader-op latency (ns; one in 8 reads is timed).
+    read_p50_ns: u64,
+    /// 99th-percentile sampled reader-op latency (ns).
+    read_p99_ns: u64,
+    /// 99.9th-percentile sampled reader-op latency (ns).
+    read_p999_ns: u64,
+    /// The store's full `wft-obs` metrics **delta over the measurement
+    /// window** (counters that moved during the window, end minus start),
+    /// plus the reader latency histogram under `reader_latency_ns`.
+    window: wft_obs::MetricsSnapshot,
+}
+
+/// The store's `wft-obs` metrics, collected through its `MetricsSource`
+/// impl (the same registry surface `examples/metrics_tour.rs` exports).
+fn metrics_of(store: &ShardedStore<i64>) -> wft_obs::MetricsSnapshot {
+    let mut out = wft_obs::MetricsSnapshot::new();
+    wft_obs::MetricsSource::collect_metrics(store, &mut out);
+    out
 }
 
 /// Stitched vs snapshot-front ratio for one (workload, threads) pair.
@@ -107,12 +125,17 @@ fn measure(
     };
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(reader_threads + writer_threads + 1));
+    // Shared across readers: the cells are per-thread-sharded atomics, so
+    // concurrent `observe` calls never contend on one cache line.
+    let latency = Arc::new(wft_obs::LatencyHistogram::new());
+    let before = metrics_of(&store);
 
     let readers: Vec<_> = (0..reader_threads)
         .map(|t| {
             let store = Arc::clone(&store);
             let stop = Arc::clone(&stop);
             let barrier = Arc::clone(&barrier);
+            let latency = Arc::clone(&latency);
             std::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed ^ (t as u64 + 1).wrapping_mul(0x9E37));
                 barrier.wait();
@@ -122,6 +145,9 @@ fn measure(
                         // A span crossing most shard boundaries.
                         let lo = rng.gen_range(0..key_range / 4);
                         let hi = key_range - 1 - rng.gen_range(0..key_range / 4);
+                        // One in 8 reads is timed (sampled by index, so the
+                        // sample cannot be biased toward slow reads).
+                        let timed_at = reads.is_multiple_of(8).then(Instant::now);
                         if rng.gen_bool(workload.count_fraction) {
                             match mode {
                                 ReadMode::Stitched => {
@@ -143,6 +169,9 @@ fn measure(
                                     std::hint::black_box(store.collect_range(lo, narrow_hi).len());
                                 }
                             }
+                        }
+                        if let Some(at) = timed_at {
+                            latency.observe(at.elapsed());
                         }
                         reads += 1;
                     }
@@ -185,6 +214,9 @@ fn measure(
     let writes: u64 = writers.into_iter().map(|h| h.join().unwrap()).sum();
     let elapsed = start.elapsed().as_secs_f64();
     let stats = store.store_stats();
+    let read_latency = latency.snapshot();
+    let mut window = metrics_of(&store).delta_since(&before);
+    window.push_histogram("reader_latency_ns", read_latency.clone());
     Point {
         workload: workload.name.to_string(),
         read_mode: mode.name().to_string(),
@@ -193,6 +225,10 @@ fn measure(
         writes_per_sec: writes as f64 / elapsed,
         snapshot_acquires: stats.snapshot_acquires,
         snapshot_retries: stats.snapshot_retries,
+        read_p50_ns: read_latency.quantile(0.50),
+        read_p99_ns: read_latency.quantile(0.99),
+        read_p999_ns: read_latency.quantile(0.999),
+        window,
     }
 }
 
@@ -253,6 +289,23 @@ fn main() {
             points.push(stitched);
             points.push(snapshot);
         }
+    }
+
+    if smoke {
+        // CI gate: every embedded metrics snapshot must survive the JSON
+        // exporter round-trip (serialize → serde_json → deserialize → ==).
+        for point in &points {
+            let back = wft_obs::MetricsSnapshot::from_json(&point.window.to_json())
+                .expect("window metrics parse back");
+            assert_eq!(
+                back, point.window,
+                "MetricsSnapshot JSON round-trip must be lossless"
+            );
+        }
+        println!(
+            "smoke: metrics JSON round-trip ok ({} windows)",
+            points.len()
+        );
     }
 
     let report = Report {

@@ -82,6 +82,9 @@ pub fn figure_rows(
                 min_ops_per_sec: summary.min_ops_per_sec,
                 max_ops_per_sec: summary.max_ops_per_sec,
                 runs: summary.runs,
+                p50_ns: summary.p50_ns,
+                p99_ns: summary.p99_ns,
+                p999_ns: summary.p999_ns,
             });
         }
     }
@@ -128,6 +131,9 @@ pub fn count_scaling_rows(scale: ExperimentScale) -> Vec<FigureRow> {
                 min_ops_per_sec: summary.min_ops_per_sec,
                 max_ops_per_sec: summary.max_ops_per_sec,
                 runs: summary.runs,
+                p50_ns: summary.p50_ns,
+                p99_ns: summary.p99_ns,
+                p999_ns: summary.p999_ns,
             });
         }
     }
@@ -146,6 +152,7 @@ pub fn rebuild_ablation_rows(scale: ExperimentScale) -> Vec<FigureRow> {
     let mut rows = Vec::new();
     for &factor in &[0.5f64, 1.0, 2.0, 4.0, 8.0] {
         let mut throughputs = Vec::new();
+        let mut latency = wft_obs::HistogramSnapshot::default();
         for run in 0..runs {
             let prefill = spec.prefill_keys(100 + run as u64);
             let tree = WaitFreeTree::<i64>::from_entries_with_config(
@@ -158,6 +165,7 @@ pub fn rebuild_ablation_rows(scale: ExperimentScale) -> Vec<FigureRow> {
             let set: Arc<dyn wft_workload::ConcurrentSet> = Arc::new(tree);
             let result = timed_run(set, &spec, threads, duration, 100 + run as u64);
             throughputs.push(result.ops_per_sec);
+            latency = latency.merged_with(&result.latency);
         }
         let mean = throughputs.iter().sum::<f64>() / throughputs.len() as f64;
         rows.push(FigureRow {
@@ -171,6 +179,9 @@ pub fn rebuild_ablation_rows(scale: ExperimentScale) -> Vec<FigureRow> {
                 .copied()
                 .fold(f64::NEG_INFINITY, f64::max),
             runs,
+            p50_ns: latency.quantile(0.50),
+            p99_ns: latency.quantile(0.99),
+            p999_ns: latency.quantile(0.999),
         });
     }
     rows
@@ -204,6 +215,9 @@ pub fn range_mix_rows(scale: ExperimentScale) -> Vec<FigureRow> {
                     min_ops_per_sec: summary.min_ops_per_sec,
                     max_ops_per_sec: summary.max_ops_per_sec,
                     runs: summary.runs,
+                    p50_ns: summary.p50_ns,
+                    p99_ns: summary.p99_ns,
+                    p999_ns: summary.p999_ns,
                 });
             }
         }

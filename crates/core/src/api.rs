@@ -135,6 +135,18 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> TimestampFront for WaitFreeTree<K,
     }
 }
 
+/// Mirrors the tree's operational counters ([`WaitFreeTree::stats`]) plus
+/// its size into the `wft-obs` metrics vocabulary under the `tree_` prefix.
+/// The `TreeCounters` atomics stay the single source of truth — this impl
+/// reads the same cells the legacy `stats()` API reads, so the two views
+/// can never drift.
+impl<K: Key, V: Value, A: Augmentation<K, V>> wft_obs::MetricsSource for WaitFreeTree<K, V, A> {
+    fn collect_metrics(&self, out: &mut wft_obs::MetricsSnapshot) {
+        self.stats().collect_into("tree", out);
+        out.push_gauge("tree_len", self.len() as i64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -141,6 +141,53 @@ pub struct TreeStats {
     pub fast_range_early_exits: u64,
 }
 
+impl TreeStats {
+    /// Adds every field of `other` into `self` — the fold used by
+    /// aggregations over several trees (e.g. a sharded store summing its
+    /// per-shard stats into one `tree_stats()` view).
+    pub fn accumulate(&mut self, other: &TreeStats) {
+        self.inserts += other.inserts;
+        self.replaces += other.replaces;
+        self.removes += other.removes;
+        self.failed_updates += other.failed_updates;
+        self.helped_executions += other.helped_executions;
+        self.rebuilds += other.rebuilds;
+        self.rebuilt_items += other.rebuilt_items;
+        self.fast_point_reads += other.fast_point_reads;
+        self.fast_range_hits += other.fast_range_hits;
+        self.fast_range_retries += other.fast_range_retries;
+        self.range_fallbacks += other.range_fallbacks;
+        self.fast_range_early_exits += other.fast_range_early_exits;
+    }
+
+    /// Mirrors the stats into a metrics snapshot under the given name
+    /// prefix (e.g. `tree`) — the bridge between the legacy counter struct
+    /// and the `wft-obs` registry/exporters.
+    pub fn collect_into(&self, prefix: &str, out: &mut wft_obs::MetricsSnapshot) {
+        out.push_counter(format!("{prefix}_inserts"), self.inserts);
+        out.push_counter(format!("{prefix}_replaces"), self.replaces);
+        out.push_counter(format!("{prefix}_removes"), self.removes);
+        out.push_counter(format!("{prefix}_failed_updates"), self.failed_updates);
+        out.push_counter(
+            format!("{prefix}_helped_executions"),
+            self.helped_executions,
+        );
+        out.push_counter(format!("{prefix}_rebuilds"), self.rebuilds);
+        out.push_counter(format!("{prefix}_rebuilt_items"), self.rebuilt_items);
+        out.push_counter(format!("{prefix}_fast_point_reads"), self.fast_point_reads);
+        out.push_counter(format!("{prefix}_fast_range_hits"), self.fast_range_hits);
+        out.push_counter(
+            format!("{prefix}_fast_range_retries"),
+            self.fast_range_retries,
+        );
+        out.push_counter(format!("{prefix}_range_fallbacks"), self.range_fallbacks);
+        out.push_counter(
+            format!("{prefix}_fast_range_early_exits"),
+            self.fast_range_early_exits,
+        );
+    }
+}
+
 impl TreeCounters {
     pub(crate) fn snapshot(&self) -> TreeStats {
         TreeStats {

@@ -771,6 +771,14 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                 retire_subtree(old_child, guard);
                 TreeCounters::bump(&self.counters.rebuilds);
                 TreeCounters::add(&self.counters.rebuilt_items, entries.len() as u64);
+                // Rebuilds are the update path's heavyweight anomaly; a
+                // timestamped timeline of them (arg: items copied, low 16
+                // bits) is what distinguishes a helping cascade from a
+                // retry storm in a post-mortem.
+                wft_obs::trace::emit(
+                    wft_obs::TraceKind::HelpRebuild,
+                    u16::try_from(entries.len()).unwrap_or(u16::MAX - 1),
+                );
             }
             Err(e) => {
                 // Another helper replaced the subtree first; ours was never

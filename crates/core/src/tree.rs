@@ -235,7 +235,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                     TreeCounters::bump(&self.counters.fast_range_retries);
                 }
             }
-            TreeCounters::bump(&self.counters.range_fallbacks);
+            self.note_range_fallback();
         }
         let (op, _ts) = self.run_operation(OpKind::RangeAgg { min, max });
         op.assemble_agg()
@@ -261,7 +261,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                     TreeCounters::bump(&self.counters.fast_range_retries);
                 }
             }
-            TreeCounters::bump(&self.counters.range_fallbacks);
+            self.note_range_fallback();
         }
         let (op, _ts) = self.run_operation(OpKind::Collect { min, max });
         op.assemble_entries()
@@ -299,7 +299,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                     TreeCounters::bump(&self.counters.fast_range_retries);
                 }
             }
-            TreeCounters::bump(&self.counters.range_fallbacks);
+            self.note_range_fallback();
         }
         let (op, _ts) = self.run_operation(OpKind::Collect { min, max });
         let mut entries = op.assemble_entries();
@@ -326,6 +326,15 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
     /// A snapshot of the operational counters (helping events, rebuilds, …).
     pub fn stats(&self) -> TreeStats {
         self.counters.snapshot()
+    }
+
+    /// Counts a descriptor-path fallback and drops a timeline event into
+    /// the global trace ring: fallbacks are the tree's per-read anomaly
+    /// signal, and a burst of them is exactly what a post-mortem needs to
+    /// see with timestamps (cf. `wft_obs::trace`).
+    fn note_range_fallback(&self) {
+        TreeCounters::bump(&self.counters.range_fallbacks);
+        wft_obs::trace::emit(wft_obs::TraceKind::RangeFallback, wft_obs::NO_SHARD);
     }
 
     // -- the timestamp front ------------------------------------------------

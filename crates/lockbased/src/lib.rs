@@ -273,6 +273,16 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> wft_api::TimestampFront for Locked
     }
 }
 
+/// Minimal `wft-obs` surface for the baseline: the write version (a
+/// monotone count of committed mutations) and the current size. The
+/// baseline keeps no operational counters of its own.
+impl<K: Key, V: Value, A: Augmentation<K, V>> wft_obs::MetricsSource for LockedRangeTree<K, V, A> {
+    fn collect_metrics(&self, out: &mut wft_obs::MetricsSnapshot) {
+        out.push_counter("lockbased_writes", self.write_version());
+        out.push_gauge("lockbased_len", wft_api::PointMap::len(self) as i64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

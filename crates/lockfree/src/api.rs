@@ -110,6 +110,16 @@ impl<K: Key, V: Value> TimestampFront for LockFreeBst<K, V> {
     }
 }
 
+/// Minimal `wft-obs` surface for the baseline: the update gauge behind its
+/// snapshot front (started vs settled) and the current size. The baseline
+/// keeps no further operational counters.
+impl<K: Key, V: Value> wft_obs::MetricsSource for LockFreeBst<K, V> {
+    fn collect_metrics(&self, out: &mut wft_obs::MetricsSnapshot) {
+        out.push_counter("lockfree_updates_started", self.updates_started());
+        out.push_gauge("lockfree_len", PointMap::len(self) as i64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

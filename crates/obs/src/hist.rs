@@ -1,0 +1,327 @@
+//! Log-bucketed latency histograms.
+//!
+//! [`LatencyHistogram`] records nanosecond latencies into fixed
+//! **log-linear** buckets: values below [`LINEAR_MAX`] get exact unit
+//! buckets, and every octave `[2^e, 2^(e+1))` above is split into
+//! [`SUB_BUCKETS`] equal sub-buckets. With 4 sub-buckets the upper/lower
+//! ratio of a bucket is between 5/4 and 19/16 — "power-of-~1.25" buckets —
+//! so any quantile read back from the histogram overestimates the true
+//! value by strictly less than 25% (and is exact below [`LINEAR_MAX`]).
+//! 256 buckets cover the whole `u64` nanosecond range, so one histogram is
+//! 2 KiB of atomics and recording is two relaxed `fetch_add`s (bucket +
+//! sum) with no allocation, no locking and no floating point.
+//!
+//! Histograms are **mergeable**: per-thread recorders can run completely
+//! uncontended and be folded into one via [`LatencyHistogram::merge_from`],
+//! and [`HistogramSnapshot`]s support the same bucket-wise arithmetic for
+//! window deltas ([`HistogramSnapshot::delta_since`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Values below this get exact unit-width buckets (`le == value`).
+pub const LINEAR_MAX: u64 = 16;
+
+/// Sub-buckets per octave above the linear region.
+pub const SUB_BUCKETS: usize = 4;
+
+/// Total bucket count: 16 linear + 4 per octave for octaves 4..=63.
+pub const BUCKETS: usize = LINEAR_MAX as usize + (64 - 4) * SUB_BUCKETS;
+
+/// Bucket index of `value` (nanoseconds).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_MAX {
+        return value as usize;
+    }
+    let e = 63 - value.leading_zeros() as usize; // >= 4
+    let sub = ((value >> (e - 2)) & 0b11) as usize;
+    LINEAR_MAX as usize + (e - 4) * SUB_BUCKETS + sub
+}
+
+/// Inclusive upper bound (`le`) of bucket `index`.
+pub fn bucket_le(index: usize) -> u64 {
+    if index < LINEAR_MAX as usize {
+        return index as u64;
+    }
+    let rel = index - LINEAR_MAX as usize;
+    let e = 4 + rel / SUB_BUCKETS;
+    let sub = (rel % SUB_BUCKETS) as u64;
+    // The bucket covers [(4 + sub) << (e-2), ((4 + sub + 1) << (e-2)) - 1].
+    ((4 + sub + 1) << (e - 2)).wrapping_sub(1)
+}
+
+/// A mergeable log-bucketed histogram of nanosecond latencies.
+///
+/// Recording is wait-free (two relaxed `fetch_add`s); reading takes a
+/// [`HistogramSnapshot`]. See the module docs for the bucket layout and
+/// the ≤25% quantile error bound.
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency of `ns` nanoseconds.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records one latency given as a [`Duration`] (saturating at `u64`
+    /// nanoseconds — ~584 years).
+    #[inline]
+    pub fn observe(&self, latency: Duration) {
+        self.record(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Folds every recording of `other` into `self` (bucket-wise add).
+    pub fn merge_from(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Total recordings so far.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy of the bucket contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n != 0 {
+                buckets.push(BucketCount {
+                    le_ns: bucket_le(i),
+                    count: n,
+                });
+                count += n;
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+/// One non-empty bucket of a [`HistogramSnapshot`]: `count` recordings
+/// with values `<= le_ns` (and above the previous bucket's bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket, in nanoseconds.
+    pub le_ns: u64,
+    /// Recordings that fell into this bucket.
+    pub count: u64,
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`]: only the non-empty
+/// buckets, in ascending `le_ns` order, plus the total count and sum.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Non-empty buckets in ascending order of `le_ns`.
+    pub buckets: Vec<BucketCount>,
+    /// Total recordings.
+    pub count: u64,
+    /// Sum of all recorded values, in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `p`-quantile (e.g. `0.99`), as the upper bound of the bucket
+    /// holding the rank-`ceil(p * count)` recording — an overestimate of
+    /// the true quantile by less than 25% (exact below [`LINEAR_MAX`]).
+    /// Returns 0 for an empty snapshot; `p` is clamped to `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= rank {
+                return b.le_ns;
+            }
+        }
+        self.buckets.last().map(|b| b.le_ns).unwrap_or(0)
+    }
+
+    /// Mean recorded value in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket-wise difference `self - earlier` (saturating): the
+    /// recordings that happened between the two snapshots, assuming
+    /// `earlier` was taken on the same histogram before `self`.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for b in &self.buckets {
+            let before = earlier
+                .buckets
+                .iter()
+                .find(|e| e.le_ns == b.le_ns)
+                .map(|e| e.count)
+                .unwrap_or(0);
+            let n = b.count.saturating_sub(before);
+            if n != 0 {
+                buckets.push(BucketCount {
+                    le_ns: b.le_ns,
+                    count: n,
+                });
+                count += n;
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum_ns: self.sum_ns.saturating_sub(earlier.sum_ns),
+        }
+    }
+
+    /// Bucket-wise sum of two snapshots.
+    pub fn merged_with(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut les: Vec<u64> = self
+            .buckets
+            .iter()
+            .chain(other.buckets.iter())
+            .map(|b| b.le_ns)
+            .collect();
+        les.sort_unstable();
+        les.dedup();
+        let at = |snap: &HistogramSnapshot, le: u64| {
+            snap.buckets
+                .iter()
+                .find(|b| b.le_ns == le)
+                .map(|b| b.count)
+                .unwrap_or(0)
+        };
+        let buckets: Vec<BucketCount> = les
+            .into_iter()
+            .map(|le| BucketCount {
+                le_ns: le,
+                count: at(self, le) + at(other, le),
+            })
+            .collect();
+        HistogramSnapshot {
+            count: buckets.iter().map(|b| b.count).sum(),
+            sum_ns: self.sum_ns + other.sum_ns,
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        // Every bucket's upper bound maps back into that bucket, and
+        // `le + 1` maps into a strictly later bucket.
+        for i in 0..BUCKETS {
+            let le = bucket_le(i);
+            assert_eq!(bucket_index(le), i, "le {le} of bucket {i}");
+            if le < u64::MAX {
+                assert!(bucket_index(le + 1) > i);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_region_is_exact() {
+        for v in 0..LINEAR_MAX {
+            assert_eq!(bucket_le(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn bucket_relative_error_is_below_25_percent() {
+        for v in [16u64, 17, 100, 999, 4096, 1_000_000, u64::MAX / 3] {
+            let le = bucket_le(bucket_index(v));
+            assert!(le >= v);
+            assert!((le as f64) < (v as f64) * 1.25, "v={v} le={le}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        let p50 = snap.quantile(0.5);
+        assert!((50..63).contains(&p50), "p50={p50}");
+        let p0 = snap.quantile(0.0);
+        assert_eq!(p0, 1, "rank clamps to the first recording");
+        assert!(snap.quantile(1.0) >= 100);
+    }
+
+    #[test]
+    fn merge_and_delta_are_inverses() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for v in [5u64, 5, 700, 80_000] {
+            a.record(v);
+        }
+        b.record(700);
+        let before = a.snapshot();
+        a.merge_from(&b);
+        let after = a.snapshot();
+        let delta = after.delta_since(&before);
+        assert_eq!(delta, b.snapshot());
+        assert_eq!(after, before.merged_with(&b.snapshot()));
+    }
+
+    #[test]
+    fn observe_handles_durations() {
+        let h = LatencyHistogram::new();
+        h.observe(Duration::from_nanos(4));
+        h.observe(Duration::from_micros(3));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum_ns, 4 + 3_000);
+    }
+}

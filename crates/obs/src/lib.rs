@@ -1,0 +1,47 @@
+//! # `wft-obs` — unified observability for the wait-free-tree workspace
+//!
+//! The paper's evaluation is throughput-vs-threads, but everything grown
+//! on top of it — global snapshot fronts, streaming scan cursors,
+//! fast-path/fallback reads — lives and dies on **tail behaviour under
+//! contention**: retry storms, helping cascades, fallback rates. This
+//! crate is the single instrumentation layer every other crate threads
+//! through:
+//!
+//! * [`Counter`] / [`Gauge`] — per-thread-sharded relaxed-atomic cells
+//!   ([`cell`]): hot paths pay one uncontended `fetch_add`, readers sum
+//!   the cells.
+//! * [`LatencyHistogram`] — log-bucketed (power-of-~1.25 over ns),
+//!   mergeable, with [`HistogramSnapshot::quantile`] for p50/p99/p999
+//!   ([`hist`]).
+//! * [`MetricsSnapshot`] — the flat serializable reading with
+//!   **delta arithmetic** for per-window rates, exported as JSON (the
+//!   `BENCH_*.json` embeds) or Prometheus text ([`snapshot`]).
+//! * [`Registry`] + [`MetricsSource`] — owned instruments plus pulled
+//!   sources ([`registry`]): the trees' and store's existing `stats()`
+//!   counters stay authoritative and are mirrored into the registry, so
+//!   one signal (say `store_snapshot_retries`) is readable via the legacy
+//!   struct, both exporters, and window deltas.
+//! * [`TraceRing`] — a bounded lock-free ring of typed, timestamped
+//!   anomaly events ([`trace`]): cheap enough to leave on, drainable as a
+//!   post-mortem timeline (the harness watchdog dumps it when workers
+//!   outlive the stop flag).
+//!
+//! The crate is a dependency leaf (it knows nothing about trees or
+//! stores), so every layer — `wft-core`, `wft-trie`, `wft-store`, the
+//! baselines, the workload harness and the bench bins — can depend on it
+//! without cycles.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cell;
+pub mod hist;
+pub mod registry;
+pub mod snapshot;
+pub mod trace;
+
+pub use cell::{Counter, Gauge};
+pub use hist::{BucketCount, HistogramSnapshot, LatencyHistogram};
+pub use registry::{MetricsSource, Registry};
+pub use snapshot::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};
+pub use trace::{TraceEvent, TraceKind, TraceRing, NO_SHARD};

@@ -139,6 +139,18 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> TimestampFront for PersistentRange
     }
 }
 
+/// Minimal `wft-obs` surface for the baseline: the version sequence number
+/// (a monotone count of committed updates) and the current size. The
+/// baseline keeps no operational counters of its own.
+impl<K: Key, V: Value, A: Augmentation<K, V>> wft_obs::MetricsSource
+    for PersistentRangeTree<K, V, A>
+{
+    fn collect_metrics(&self, out: &mut wft_obs::MetricsSnapshot) {
+        out.push_counter("persistent_versions", self.version_seq());
+        out.push_gauge("persistent_len", PointMap::len(self) as i64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

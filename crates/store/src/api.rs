@@ -104,6 +104,27 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> TimestampFront for ShardedStore<K,
     }
 }
 
+/// Mirrors the store's observability surface into the `wft-obs` vocabulary:
+/// the snapshot-front counters ([`ShardedStore::store_stats`]) under the
+/// `store_` prefix, the cross-shard aggregated tree counters
+/// ([`ShardedStore::tree_stats`]) under `store_tree_`, and the shard
+/// topology as gauges. The legacy counter structs stay the source of truth;
+/// this impl reads the same atomics, so the two views can never drift.
+/// `store_len` is the stitched (cut-free) length — a metrics poll must not
+/// spin the cut machinery.
+impl<K: Key, V: Value, A: Augmentation<K, V>> wft_obs::MetricsSource for ShardedStore<K, V, A> {
+    fn collect_metrics(&self, out: &mut wft_obs::MetricsSnapshot) {
+        let stats = self.store_stats();
+        out.push_counter("store_snapshot_acquires", stats.snapshot_acquires);
+        out.push_counter("store_snapshot_retries", stats.snapshot_retries);
+        out.push_counter("store_scan_resumes", stats.scan_resumes);
+        out.push_counter("store_len_fallbacks", stats.len_fallbacks);
+        self.tree_stats().collect_into("store_tree", out);
+        out.push_gauge("store_shards", self.num_shards() as i64);
+        out.push_gauge("store_len", self.stitched_len() as i64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

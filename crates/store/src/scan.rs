@@ -168,6 +168,10 @@ where
                         let fresh = self.store.settle_touched(shard, self.last_shard);
                         self.cut[shard..=self.last_shard].copy_from_slice(&fresh);
                         self.store.front.count_scan_resume();
+                        wft_obs::trace::emit(
+                            wft_obs::TraceKind::ScanResume,
+                            crate::store::shard_trace_arg(shard),
+                        );
                         self.consistency = ScanConsistency::Resumed;
                         self.resumes += 1;
                     } else {
@@ -182,8 +186,9 @@ where
                         // new cut may have landed keys in them — a
                         // `Snapshot` drain owes the new token every one of
                         // those entries. The discarded attempt counts as a
-                        // snapshot retry (not a scan resume).
-                        self.store.front.count_retry();
+                        // snapshot retry (not a scan resume), attributed to
+                        // the shard that expired the cut.
+                        self.store.note_snapshot_retry(shard);
                         out.clear();
                         self.cut = self.store.settle_all();
                         self.token = SnapshotToken::new(self.cut.iter().sum());

@@ -253,18 +253,19 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         for _ in 0..Self::LEN_CUT_ATTEMPTS {
             let fronts = self.settle_all();
             let sum: u64 = self.shards.iter().map(WaitFreeTree::len).sum();
-            if self
+            match self
                 .shards
                 .iter()
                 .zip(&fronts)
-                .all(|(shard, &front)| shard.front_unchanged(Timestamp(front)))
+                .position(|(shard, &front)| !shard.front_unchanged(Timestamp(front)))
             {
-                return sum;
+                None => return sum,
+                Some(advanced) => self.note_snapshot_retry(advanced),
             }
-            self.front.count_retry();
             std::hint::spin_loop();
         }
         self.front.count_len_fallback();
+        wft_obs::trace::emit(wft_obs::TraceKind::LenFallback, wft_obs::NO_SHARD);
         self.stitched_len()
     }
 
@@ -317,10 +318,10 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         }
         loop {
             let fronts = self.settle_touched(first, last);
-            if let Some(acc) = self.try_agg_at(first, last, min, max, &fronts) {
-                return acc;
+            match self.try_agg_at(first, last, min, max, &fronts) {
+                Ok(acc) => return acc,
+                Err(advanced) => self.note_snapshot_retry(advanced),
             }
-            self.front.count_retry();
             std::hint::spin_loop();
         }
     }
@@ -342,10 +343,10 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         }
         loop {
             let fronts = self.settle_touched(first, last);
-            if let Some(out) = self.try_collect_at(first, last, min, max, &fronts) {
-                return out;
+            match self.try_collect_at(first, last, min, max, &fronts) {
+                Ok(out) => return out,
+                Err(advanced) => self.note_snapshot_retry(advanced),
             }
-            self.front.count_retry();
             std::hint::spin_loop();
         }
     }
@@ -427,7 +428,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         let first = self.shard_of(&min);
         let last = self.shard_of(&max);
         let touched: Vec<u64> = (first..=last).map(|i| front.of(i)).collect();
-        self.try_agg_at(first, last, min, max, &touched)
+        self.try_agg_at(first, last, min, max, &touched).ok()
     }
 
     /// [`ShardedStore::collect_range`] at an acquired front; `None` once a
@@ -444,7 +445,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         let first = self.shard_of(&min);
         let last = self.shard_of(&max);
         let touched: Vec<u64> = (first..=last).map(|i| front.of(i)).collect();
-        self.try_collect_at(first, last, min, max, &touched)
+        self.try_collect_at(first, last, min, max, &touched).ok()
     }
 
     /// The monotone **published** front: the highest watermark ever settled
@@ -507,8 +508,9 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
     }
 
     /// One front-validated aggregate attempt over shards `first..=last`
-    /// (`fronts[i - first]` is shard `i`'s watermark). `None` as soon as any
-    /// touched shard advanced past its front.
+    /// (`fronts[i - first]` is shard `i`'s watermark). `Err(i)` as soon as
+    /// touched shard `i` advanced past its front — the attribution feeds the
+    /// retry loops' [`ShardedStore::note_snapshot_retry`] trace events.
     fn try_agg_at(
         &self,
         first: usize,
@@ -516,15 +518,16 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         min: K,
         max: K,
         fronts: &[u64],
-    ) -> Option<A::Agg> {
+    ) -> Result<A::Agg, usize> {
         let mut acc = A::identity();
         for i in first..=last {
             let lo = if i == first { min } else { self.bounds[i - 1] };
-            let shard_agg =
-                self.shards[i].range_agg_at_front(lo, max, Timestamp(fronts[i - first]))?;
+            let shard_agg = self.shards[i]
+                .range_agg_at_front(lo, max, Timestamp(fronts[i - first]))
+                .ok_or(i)?;
             acc = A::combine(&acc, &shard_agg);
         }
-        Some(acc)
+        Ok(acc)
     }
 
     /// One front-validated collect attempt (see
@@ -536,17 +539,26 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         min: K,
         max: K,
         fronts: &[u64],
-    ) -> Option<Vec<(K, V)>> {
+    ) -> Result<Vec<(K, V)>, usize> {
         let mut out = Vec::new();
         for i in first..=last {
             let lo = if i == first { min } else { self.bounds[i - 1] };
-            out.extend(self.shards[i].collect_range_at_front(
-                lo,
-                max,
-                Timestamp(fronts[i - first]),
-            )?);
+            out.extend(
+                self.shards[i]
+                    .collect_range_at_front(lo, max, Timestamp(fronts[i - first]))
+                    .ok_or(i)?,
+            );
         }
-        Some(out)
+        Ok(out)
+    }
+
+    /// Records one discarded cross-shard read attempt: bumps
+    /// [`StoreStats::snapshot_retries`] and traces **which shard** expired
+    /// the cut ([`wft_obs::TraceKind::SnapshotRetry`]) — the per-shard
+    /// attribution the scalar counter cannot carry.
+    pub(crate) fn note_snapshot_retry(&self, shard: usize) {
+        self.front.count_retry();
+        wft_obs::trace::emit(wft_obs::TraceKind::SnapshotRetry, shard_trace_arg(shard));
     }
 
     // -- two-phase batches ------------------------------------------------
@@ -639,6 +651,18 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         self.shards.iter().map(WaitFreeTree::stats).collect()
     }
 
+    /// The per-shard [`TreeStats`] summed into one store-wide view: total
+    /// descriptor traffic, fast-path hit/retry counts and rebuild work
+    /// across every shard. The per-shard breakdown remains available as
+    /// [`ShardedStore::shard_stats`].
+    pub fn tree_stats(&self) -> TreeStats {
+        let mut total = TreeStats::default();
+        for shard in &self.shards {
+            total.accumulate(&shard.stats());
+        }
+        total
+    }
+
     /// All entries in ascending key order. Callers must guarantee
     /// quiescence (no concurrent updates), like the underlying tree method.
     pub fn entries_quiescent(&self) -> Vec<(K, V)> {
@@ -699,6 +723,16 @@ impl<K: Key, V: Value, B: Augmentation<K, V>> ShardedStore<K, V, wft_seq::Pair<S
     pub fn stitched_count(&self, min: K, max: K) -> u64 {
         self.stitched_range_agg(min, max).0
     }
+}
+
+/// Squeezes a shard index into a trace event's 16-bit argument.
+/// [`wft_obs::NO_SHARD`] means "no shard attributed", so indices at or past
+/// it (never seen in practice — stores have a handful of shards) saturate
+/// one below.
+pub(crate) fn shard_trace_arg(shard: usize) -> u16 {
+    u16::try_from(shard)
+        .unwrap_or(wft_obs::NO_SHARD - 1)
+        .min(wft_obs::NO_SHARD - 1)
 }
 
 /// Cached `available_parallelism`: on a single-core host the fan-out path

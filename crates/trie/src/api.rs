@@ -143,6 +143,27 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> TimestampFront for WaitFreeTri
     }
 }
 
+/// Mirrors the trie's operational counters ([`WaitFreeTrie::stats`]) plus
+/// its size into the `wft-obs` metrics vocabulary under the `trie_` prefix
+/// (same bridge as `wft_core`'s impl: the legacy counters stay the source
+/// of truth).
+impl<K: TrieKey, V: Value, A: Augmentation<K, V>> wft_obs::MetricsSource for WaitFreeTrie<K, V, A> {
+    fn collect_metrics(&self, out: &mut wft_obs::MetricsSnapshot) {
+        let stats = self.stats();
+        out.push_counter("trie_inserts", stats.inserts);
+        out.push_counter("trie_replaces", stats.replaces);
+        out.push_counter("trie_removes", stats.removes);
+        out.push_counter("trie_failed_updates", stats.failed_updates);
+        out.push_counter("trie_helped_executions", stats.helped_executions);
+        out.push_counter("trie_fast_point_reads", stats.fast_point_reads);
+        out.push_counter("trie_fast_range_hits", stats.fast_range_hits);
+        out.push_counter("trie_fast_range_retries", stats.fast_range_retries);
+        out.push_counter("trie_range_fallbacks", stats.range_fallbacks);
+        out.push_counter("trie_fast_range_early_exits", stats.fast_range_early_exits);
+        out.push_gauge("trie_len", self.len() as i64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

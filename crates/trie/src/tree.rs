@@ -259,9 +259,7 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
                         .fetch_add(1, Ordering::Relaxed);
                 }
             }
-            self.counters
-                .range_fallbacks
-                .fetch_add(1, Ordering::Relaxed);
+            self.note_range_fallback();
         }
         let (op, _ts) = self.run_operation(OpKind::RangeAgg { min, max });
         op.assemble_agg()
@@ -288,9 +286,7 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
                         .fetch_add(1, Ordering::Relaxed);
                 }
             }
-            self.counters
-                .range_fallbacks
-                .fetch_add(1, Ordering::Relaxed);
+            self.note_range_fallback();
         }
         let (op, _ts) = self.run_operation(OpKind::Collect { min, max });
         op.assemble_entries()
@@ -328,9 +324,7 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
                         .fetch_add(1, Ordering::Relaxed);
                 }
             }
-            self.counters
-                .range_fallbacks
-                .fetch_add(1, Ordering::Relaxed);
+            self.note_range_fallback();
         }
         let (op, _ts) = self.run_operation(OpKind::Collect { min, max });
         let mut entries = op.assemble_entries();
@@ -347,6 +341,16 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
     /// `true` when the trie stores no keys.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Counts a descriptor-path fallback and drops a timeline event into
+    /// the global trace ring (mirrors `wft_core`'s emission: fallbacks are
+    /// the per-read anomaly signal a post-mortem wants timestamps for).
+    fn note_range_fallback(&self) {
+        self.counters
+            .range_fallbacks
+            .fetch_add(1, Ordering::Relaxed);
+        wft_obs::trace::emit(wft_obs::TraceKind::RangeFallback, wft_obs::NO_SHARD);
     }
 
     /// A snapshot of the operational counters.

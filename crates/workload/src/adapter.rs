@@ -70,6 +70,11 @@ pub trait ConcurrentSet: Send + Sync + 'static {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// One [`wft_obs::MetricsSnapshot`] of the implementation's counters
+    /// and gauges (every backend implements [`wft_obs::MetricsSource`]).
+    /// The harness samples this around measurement windows and the watchdog
+    /// dumps it when workers fail to stop.
+    fn metrics_snapshot(&self) -> wft_obs::MetricsSnapshot;
 }
 
 impl<T> ConcurrentSet for T
@@ -78,6 +83,7 @@ where
         + RangeRead<i64, ()>
         + SnapshotRead<i64, ()>
         + RangeScan<i64, ()>
+        + wft_obs::MetricsSource
         + 'static,
 {
     fn insert(&self, key: i64) -> bool {
@@ -124,6 +130,11 @@ where
     }
     fn len(&self) -> u64 {
         PointMap::len(self)
+    }
+    fn metrics_snapshot(&self) -> wft_obs::MetricsSnapshot {
+        let mut out = wft_obs::MetricsSnapshot::new();
+        wft_obs::MetricsSource::collect_metrics(self, &mut out);
+        out
     }
 }
 

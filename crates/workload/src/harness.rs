@@ -49,7 +49,7 @@ impl Default for ExperimentConfig {
 }
 
 /// The outcome of a single timed run.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
     /// Total operations completed across all threads.
     pub total_ops: u64,
@@ -57,6 +57,11 @@ pub struct RunResult {
     pub elapsed: Duration,
     /// Throughput in operations per second.
     pub ops_per_sec: f64,
+    /// Per-operation latency distribution, merged across worker threads.
+    /// Sampled — each worker times one in [`LATENCY_SAMPLE`] operations —
+    /// so `latency.count ≈ total_ops / LATENCY_SAMPLE`; the *distribution*
+    /// is unbiased because sampling is by operation index, not duration.
+    pub latency: wft_obs::HistogramSnapshot,
 }
 
 /// Aggregated results of the repeated runs of one configuration point.
@@ -70,7 +75,26 @@ pub struct Summary {
     pub max_ops_per_sec: f64,
     /// Number of runs aggregated.
     pub runs: usize,
+    /// Median per-op latency (ns) over the runs' merged histograms.
+    pub p50_ns: u64,
+    /// 99th-percentile per-op latency (ns).
+    pub p99_ns: u64,
+    /// 99.9th-percentile per-op latency (ns).
+    pub p999_ns: u64,
 }
+
+/// One in this many operations is timed into the latency histogram
+/// (per worker, by operation index). At 8 the amortised cost is two
+/// `Instant::now()` calls per 8 ops — within measurement noise — while a
+/// 300 ms window still collects tens of thousands of samples per thread.
+pub const LATENCY_SAMPLE: u64 = 8;
+
+/// How long [`timed_run`] waits for workers to exit after raising the stop
+/// flag before declaring them wedged and dumping diagnostics (the workload
+/// watchdog): a backend retry loop that livelocks shows up here as a
+/// [`wft_obs::MetricsSnapshot`] plus the drained global
+/// [`wft_obs::TraceRing`] timeline on stderr instead of a silent hang.
+pub const WATCHDOG_GRACE: Duration = Duration::from_secs(10);
 
 /// Executes one timed run of `spec` with `threads` workers against a freshly
 /// built instance of `imp`.
@@ -97,22 +121,30 @@ pub fn timed_run(
 ) -> RunResult {
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(threads + 1));
+    let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let mut handles = Vec::with_capacity(threads);
     for t in 0..threads {
         let set = Arc::clone(&set);
         let stop = Arc::clone(&stop);
         let barrier = Arc::clone(&barrier);
+        let done = Arc::clone(&done);
         let spec = *spec;
         handles.push(std::thread::spawn(move || {
             let mut rng =
                 StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)));
+            let latency = wft_obs::LatencyHistogram::new();
             barrier.wait();
             let mut ops = 0u64;
             // Check the stop flag every few operations to keep the overhead
             // of the flag itself negligible.
             while !stop.load(Ordering::Relaxed) {
                 for _ in 0..32 {
-                    match spec.next_op(&mut rng) {
+                    let op = spec.next_op(&mut rng);
+                    // Time one in LATENCY_SAMPLE ops (by index, so the
+                    // sample is duration-unbiased); the other ops pay no
+                    // clock reads at all.
+                    let timed_at = ops.is_multiple_of(LATENCY_SAMPLE).then(Instant::now);
+                    match op {
                         Op::Contains(k) => {
                             std::hint::black_box(set.contains(k));
                         }
@@ -137,22 +169,51 @@ pub fn timed_run(
                             std::hint::black_box(set.chunked_scan_count(lo, hi, chunk));
                         }
                     }
+                    if let Some(at) = timed_at {
+                        latency.observe(at.elapsed());
+                    }
                     ops += 1;
                 }
             }
-            ops
+            done.fetch_add(1, Ordering::Release);
+            (ops, latency.snapshot())
         }));
     }
     barrier.wait();
     let start = Instant::now();
     std::thread::sleep(duration);
     stop.store(true, Ordering::Relaxed);
-    let total_ops: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    // The workload watchdog: workers only re-check the stop flag between
+    // 32-op batches, so a backend whose retry loop livelocks (every op is
+    // lock-free, not wait-free) would turn this join into a silent hang.
+    // Give them a grace period; past it, dump the backend's metrics and the
+    // global trace timeline to stderr — the post-mortem a wedged run needs.
+    let deadline = Instant::now() + WATCHDOG_GRACE;
+    while done.load(Ordering::Acquire) < threads && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let stuck = threads - done.load(Ordering::Acquire).min(threads);
+    if stuck > 0 {
+        eprintln!(
+            "[wft-workload watchdog] {stuck}/{threads} worker(s) still running \
+             {WATCHDOG_GRACE:?} after the stop flag; dumping diagnostics"
+        );
+        eprint!("{}", set.metrics_snapshot().to_prometheus());
+        eprint!("{}", wft_obs::trace::global().render_timeline());
+    }
+    let mut total_ops = 0u64;
+    let mut latency = wft_obs::HistogramSnapshot::default();
+    for handle in handles {
+        let (ops, hist) = handle.join().unwrap();
+        total_ops += ops;
+        latency = latency.merged_with(&hist);
+    }
     let elapsed = start.elapsed();
     RunResult {
         total_ops,
         elapsed,
         ops_per_sec: total_ops as f64 / elapsed.as_secs_f64(),
+        latency,
     }
 }
 
@@ -182,12 +243,26 @@ pub fn run_experiment(
         .iter()
         .map(|r| r.ops_per_sec)
         .fold(f64::NEG_INFINITY, f64::max);
+    let latency = merged_latency(&results);
     Summary {
         mean_ops_per_sec: mean,
         min_ops_per_sec: min,
         max_ops_per_sec: max,
         runs: results.len(),
+        p50_ns: latency.quantile(0.50),
+        p99_ns: latency.quantile(0.99),
+        p999_ns: latency.quantile(0.999),
     }
+}
+
+/// The runs' latency histograms merged into one distribution (bucket-wise
+/// sums — log-bucketed histograms merge exactly).
+pub fn merged_latency(results: &[RunResult]) -> wft_obs::HistogramSnapshot {
+    results
+        .iter()
+        .fold(wft_obs::HistogramSnapshot::default(), |acc, r| {
+            acc.merged_with(&r.latency)
+        })
 }
 
 #[cfg(test)]

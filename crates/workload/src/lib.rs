@@ -26,6 +26,9 @@ pub mod report;
 pub mod spec;
 
 pub use adapter::{ConcurrentSet, TreeImpl};
-pub use harness::{run_experiment, run_once, timed_run, ExperimentConfig, RunResult, Summary};
+pub use harness::{
+    merged_latency, run_experiment, run_once, timed_run, ExperimentConfig, RunResult, Summary,
+    LATENCY_SAMPLE, WATCHDOG_GRACE,
+};
 pub use report::{render_csv, render_table, FigureRow};
 pub use spec::{KeyDistribution, OperationMix, Prefill, WorkloadSpec};

@@ -25,6 +25,14 @@ pub struct FigureRow {
     pub max_ops_per_sec: f64,
     /// Number of averaged runs.
     pub runs: usize,
+    /// Median per-op latency (ns) over the runs' merged sampled histograms
+    /// (see `harness::LATENCY_SAMPLE`; bucketed, so quantiles carry the
+    /// histogram's <25 % bucket-width error).
+    pub p50_ns: u64,
+    /// 99th-percentile per-op latency (ns).
+    pub p99_ns: u64,
+    /// 99.9th-percentile per-op latency (ns).
+    pub p999_ns: u64,
 }
 
 /// Renders rows as an aligned plain-text table (one line per row).
@@ -32,18 +40,29 @@ pub fn render_table(title: &str, rows: &[FigureRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!("== {title} ==\n"));
     out.push_str(&format!(
-        "{:<18} {:<26} {:>8} {:>16} {:>14} {:>14}\n",
-        "workload", "implementation", "threads", "ops/s (mean)", "min", "max"
+        "{:<18} {:<26} {:>8} {:>16} {:>14} {:>14} {:>10} {:>10} {:>10}\n",
+        "workload",
+        "implementation",
+        "threads",
+        "ops/s (mean)",
+        "min",
+        "max",
+        "p50(ns)",
+        "p99(ns)",
+        "p999(ns)"
     ));
     for row in rows {
         out.push_str(&format!(
-            "{:<18} {:<26} {:>8} {:>16.0} {:>14.0} {:>14.0}\n",
+            "{:<18} {:<26} {:>8} {:>16.0} {:>14.0} {:>14.0} {:>10} {:>10} {:>10}\n",
             row.workload,
             row.implementation,
             row.threads,
             row.ops_per_sec,
             row.min_ops_per_sec,
-            row.max_ops_per_sec
+            row.max_ops_per_sec,
+            row.p50_ns,
+            row.p99_ns,
+            row.p999_ns
         ));
     }
     out
@@ -52,18 +71,21 @@ pub fn render_table(title: &str, rows: &[FigureRow]) -> String {
 /// Renders rows as CSV with a header line.
 pub fn render_csv(rows: &[FigureRow]) -> String {
     let mut out = String::from(
-        "workload,implementation,threads,ops_per_sec,min_ops_per_sec,max_ops_per_sec,runs\n",
+        "workload,implementation,threads,ops_per_sec,min_ops_per_sec,max_ops_per_sec,runs,p50_ns,p99_ns,p999_ns\n",
     );
     for row in rows {
         out.push_str(&format!(
-            "{},{},{},{:.2},{:.2},{:.2},{}\n",
+            "{},{},{},{:.2},{:.2},{:.2},{},{},{},{}\n",
             row.workload,
             row.implementation,
             row.threads,
             row.ops_per_sec,
             row.min_ops_per_sec,
             row.max_ops_per_sec,
-            row.runs
+            row.runs,
+            row.p50_ns,
+            row.p99_ns,
+            row.p999_ns
         ));
     }
     out
@@ -83,6 +105,9 @@ mod tests {
                 min_ops_per_sec: 120000.0,
                 max_ops_per_sec: 130000.0,
                 runs: 5,
+                p50_ns: 700,
+                p99_ns: 4_000,
+                p999_ns: 20_000,
             },
             FigureRow {
                 workload: "contains".into(),
@@ -92,6 +117,9 @@ mod tests {
                 min_ops_per_sec: 149000.0,
                 max_ops_per_sec: 151000.0,
                 runs: 5,
+                p50_ns: 550,
+                p99_ns: 3_500,
+                p999_ns: 15_000,
             },
         ]
     }

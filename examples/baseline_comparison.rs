@@ -46,6 +46,9 @@ fn main() {
                 min_ops_per_sec: summary.min_ops_per_sec,
                 max_ops_per_sec: summary.max_ops_per_sec,
                 runs: summary.runs,
+                p50_ns: summary.p50_ns,
+                p99_ns: summary.p99_ns,
+                p999_ns: summary.p999_ns,
             });
         }
     }

@@ -29,7 +29,11 @@
 //!   two-phase batched writes and cross-shard aggregate queries over
 //!   independent wait-free tree shards;
 //! * [`workload`] — workload generators and the timed
-//!   throughput harness behind the experiment suite.
+//!   throughput harness behind the experiment suite;
+//! * [`obs`] — the unified observability layer: lock-free
+//!   counters/gauges, log-bucketed latency histograms, the metrics registry
+//!   with JSON/Prometheus exporters and the bounded ring-buffer event
+//!   tracer every backend feeds.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured comparison.
@@ -41,6 +45,7 @@ pub use wft_core as core;
 pub use wft_lincheck as lincheck;
 pub use wft_lockbased as lockbased;
 pub use wft_lockfree as lockfree;
+pub use wft_obs as obs;
 pub use wft_persistent as persistent;
 pub use wft_queue as queue;
 pub use wft_seq as seq;
@@ -80,4 +85,6 @@ pub mod prelude {
     pub use wft_core::{ReadPath, RootQueueKind, TreeConfig, WaitFreeTree};
     pub use wft_store::{split_keys_from_sample, ShardedStore, StoreConfig};
     pub use wft_trie::WaitFreeTrie;
+    // The observability surface every backend implements.
+    pub use wft_obs::{LatencyHistogram, MetricsSnapshot, MetricsSource, Registry};
 }

@@ -21,6 +21,7 @@ use rand::{Rng, SeedableRng};
 use wait_free_range_trees::lincheck::{
     check_history_with_initial, History, RangeSetOp, RangeSetRet, RangeSetSpec, ThreadRecorder,
 };
+use wait_free_range_trees::prelude::MetricsSnapshot;
 use wait_free_range_trees::workload::{ConcurrentSet, TreeImpl};
 
 /// Number of worker threads per recorded history.
@@ -283,6 +284,9 @@ fn checker_rejects_a_broken_implementation() {
         }
         fn len(&self) -> u64 {
             0
+        }
+        fn metrics_snapshot(&self) -> MetricsSnapshot {
+            MetricsSnapshot::new()
         }
     }
     let set: Arc<dyn ConcurrentSet> = Arc::new(AlwaysEmpty);
