@@ -67,7 +67,7 @@ pub use outcome::UpdateOutcome;
 pub use point::PointMap;
 pub use range::{agg_over, collect_over, count_over, RangeKey, RangeRead, RangeSpec};
 pub use scan::{ChunkRead, FrontScanCursor, RangeScan, ScanConsistency, ScanCursor};
-pub use snapshot::{SnapshotRead, SnapshotToken, TimestampFront};
+pub use snapshot::{FrontSnapshot, SnapshotRead, SnapshotToken, TimestampFront};
 
 // Re-export the augmentation vocabulary: a consumer of the trait family
 // almost always needs the `Key`/`Value` bounds and an augmentation type.

@@ -70,13 +70,38 @@
 //! linearizes at the acquisition instant, regardless of how much wall-clock
 //! time separates the chunks. On validation failure nothing of the failed
 //! chunk is yielded; the re-read anchors a new window for the suffix only.
+//!
+//! # Adaptive read-ahead
+//!
+//! A caller paginating with small chunks would pay one full validation
+//! sandwich (and one `O(log N + limit)` descent) per tiny chunk. The
+//! cursors therefore decouple the *backend* read size from the *caller*
+//! chunk size: each backend read targets the caller's shortfall widened to
+//! an adaptive read-ahead that doubles after every validated read (capped)
+//! and collapses back to exactly-requested on a validation failure — wide
+//! reads widen the validation window, so under churn they would only fail
+//! repeatedly. Surplus entries wait in an internal buffer; they passed the
+//! same sandwich as directly yielded entries, and a pre-yield re-anchor
+//! discards them (rewinding the resume key over the buffer) so the
+//! `Snapshot` claim never rests on a read validated at a dead front.
 
+use std::collections::VecDeque;
 use std::marker::PhantomData;
 
 use wft_seq::Value;
 
 use crate::range::{RangeKey, RangeRead, RangeSpec};
-use crate::snapshot::{SnapshotRead, SnapshotToken, TimestampFront};
+// `SnapshotRead` is no longer called here (cursors build tokens from
+// `settle_front` directly, so backends without the `FrontSnapshot` marker
+// can scan), but the module's consistency-model docs link to it heavily.
+#[allow(unused_imports)]
+use crate::snapshot::SnapshotRead;
+use crate::snapshot::{SnapshotToken, TimestampFront};
+
+/// Upper bound on a cursor's adaptive read-ahead target (entries buffered
+/// beyond what the caller asked for). Bounds both the memory a cursor can
+/// hold and the work a single validation window must cover.
+pub(crate) const READAHEAD_CAP: usize = 4096;
 
 /// How a cursor's drain relates to its acquired [`SnapshotToken`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -270,8 +295,22 @@ pub struct FrontScanCursor<'a, T, K, V> {
     working_front: SnapshotToken,
     /// Inclusive upper end of the scan range.
     hi: K,
-    /// Lower bound of the not-yet-yielded suffix; `None` once exhausted.
+    /// Lower bound of the next *backend* read — the first key neither
+    /// yielded nor buffered; `None` once the backend suffix is exhausted.
     resume: Option<K>,
+    /// Validated entries read ahead of the caller (the adaptive chunk
+    /// sizing below): every buffered entry passed the same sandwich as a
+    /// directly yielded one. A pre-yield re-anchor discards the buffer and
+    /// rewinds `resume` over it, so the `Snapshot` claim never rests on
+    /// entries validated at a dead front.
+    buffer: VecDeque<(K, V)>,
+    /// Adaptive read-ahead target: grows (×2, capped at
+    /// [`READAHEAD_CAP`]) after every validated backend read, resets to 0
+    /// on a validation failure — small caller chunks amortise into few
+    /// large backend reads while the front is quiet, and fall back to
+    /// exactly-requested reads under churn (a large read widens the
+    /// validation window and would keep failing).
+    readahead: usize,
     /// Whether any entry has been yielded to the caller yet.
     yielded: bool,
     consistency: ScanConsistency,
@@ -286,8 +325,12 @@ where
     V: Value,
 {
     /// Opens a cursor over `range`, acquiring a settled snapshot token.
+    /// (The token is built from [`TimestampFront::settle_front`] directly —
+    /// the same acquisition the blanket [`SnapshotRead`] performs — so the
+    /// cursor works for backends with or without the
+    /// [`FrontSnapshot`](crate::FrontSnapshot) marker.)
     pub fn new(backend: &'a T, range: RangeSpec<K>) -> Self {
-        let token = backend.acquire_snapshot();
+        let token = SnapshotToken::new(backend.settle_front());
         let (resume, hi) = match range.to_closed() {
             Some((lo, hi)) => (Some(lo), hi),
             // Empty/inverted range: born exhausted (`hi` is never read).
@@ -299,6 +342,8 @@ where
             working_front: token,
             hi,
             resume,
+            buffer: VecDeque::new(),
+            readahead: 0,
             yielded: false,
             consistency: ScanConsistency::Snapshot,
             resumes: 0,
@@ -312,6 +357,64 @@ where
         self.backend.front_resolved() == front.front()
             && self.backend.front_advertised() == front.front()
     }
+
+    /// One sandwich attempt: reads the next backend chunk (the caller's
+    /// shortfall, widened to the adaptive read-ahead target) into the
+    /// buffer, or re-anchors on validation failure.
+    fn fill(&mut self, limit: usize) {
+        let Some(lo) = self.resume else {
+            return;
+        };
+        let want = limit.saturating_sub(self.buffer.len()).max(self.readahead);
+        // Sandwich: entry validation, suffix chunk, exit validation —
+        // the same window argument as `SnapshotRead::collect_range_at`.
+        if self.front_holds(self.working_front) {
+            let chunk = self.backend.collect_chunk(lo, self.hi, want);
+            if self.backend.front_advertised() == self.working_front.front() {
+                // Validated: commit the pagination point. A short chunk
+                // proves the suffix is exhausted; a full one resumes
+                // strictly after its last key. The validated read earns a
+                // doubled read-ahead target for the next fill.
+                self.resume = if chunk.len() < want {
+                    None
+                } else {
+                    chunk
+                        .last()
+                        .and_then(|(k, _)| k.successor())
+                        .filter(|next| *next <= self.hi)
+                };
+                self.buffer.extend(chunk);
+                self.readahead = want.saturating_mul(2).min(READAHEAD_CAP);
+                return;
+            }
+        }
+        // The front moved (or was not settled): re-anchor at a fresh
+        // settled front and shrink the read-ahead back to exactly-requested
+        // reads. Nothing of the failed attempt entered the buffer. While
+        // the caller has seen nothing at all the fresh front simply
+        // *becomes* the cursor's token and the read-ahead buffer is
+        // discarded (rewinding `resume` over it): an empty yielded prefix
+        // is trivially a snapshot of any state, but the buffered entries
+        // were validated at the dead front and the drain now owes the new
+        // token a fresh read of them. Once an entry is out, the yielded
+        // prefix is never re-read and the scan degrades to `Resumed`
+        // instead of blocking writers — buffered entries stay (each was a
+        // front-validated read, which is all `Resumed` promises).
+        self.readahead = 0;
+        let fresh = SnapshotToken::new(self.backend.settle_front());
+        self.working_front = fresh;
+        if self.yielded {
+            self.consistency = ScanConsistency::Resumed;
+            self.resumes += 1;
+        } else {
+            if let Some((k, _)) = self.buffer.front() {
+                self.resume = Some(*k);
+            }
+            self.buffer.clear();
+            self.token = fresh;
+        }
+        std::hint::spin_loop();
+    }
 }
 
 impl<T, K, V> ScanCursor<K, V> for FrontScanCursor<'_, T, K, V>
@@ -321,51 +424,19 @@ where
     V: Value,
 {
     fn next_chunk(&mut self, limit: usize) -> Vec<(K, V)> {
-        let Some(lo) = self.resume else {
-            return Vec::new();
-        };
         if limit == 0 {
             return Vec::new();
         }
-        loop {
-            // Sandwich: entry validation, suffix chunk, exit validation —
-            // the same window argument as `SnapshotRead::collect_range_at`.
-            if self.front_holds(self.working_front) {
-                let chunk = self.backend.collect_chunk(lo, self.hi, limit);
-                if self.backend.front_advertised() == self.working_front.front() {
-                    // Validated: commit the pagination point. A short chunk
-                    // proves the suffix is exhausted; a full one resumes
-                    // strictly after its last key.
-                    self.resume = if chunk.len() < limit {
-                        None
-                    } else {
-                        chunk
-                            .last()
-                            .and_then(|(k, _)| k.successor())
-                            .filter(|next| *next <= self.hi)
-                    };
-                    self.yielded |= !chunk.is_empty();
-                    return chunk;
-                }
-            }
-            // The front moved (or was not settled): re-anchor at a fresh
-            // settled front. Nothing of the failed attempt was yielded.
-            // While the caller has seen nothing at all the fresh front
-            // simply *becomes* the cursor's token (an empty prefix is
-            // trivially a snapshot of any state — this keeps long drains
-            // `Snapshot` when the only write landed before the first
-            // page); afterwards the yielded prefix is never re-read and
-            // the scan degrades to `Resumed` instead of blocking writers.
-            let fresh = self.backend.acquire_snapshot();
-            self.working_front = fresh;
-            if self.yielded {
-                self.consistency = ScanConsistency::Resumed;
-                self.resumes += 1;
-            } else {
-                self.token = fresh;
-            }
-            std::hint::spin_loop();
+        // Top the buffer up to the caller's chunk (each fill is one
+        // sandwiched backend read — possibly wider than the shortfall, per
+        // the adaptive read-ahead), then hand out exactly `limit` entries.
+        while self.buffer.len() < limit && self.resume.is_some() {
+            self.fill(limit);
         }
+        let take = limit.min(self.buffer.len());
+        let chunk: Vec<(K, V)> = self.buffer.drain(..take).collect();
+        self.yielded |= !chunk.is_empty();
+        chunk
     }
 
     fn token(&self) -> SnapshotToken {
@@ -381,7 +452,7 @@ where
     }
 
     fn is_exhausted(&self) -> bool {
-        self.resume.is_none()
+        self.resume.is_none() && self.buffer.is_empty()
     }
 }
 

@@ -35,9 +35,18 @@
 //! wait-free tree and trie (root-queue timestamp fronts), the persistent
 //! baseline (version sequence), the lock-based baseline (write version) and
 //! even the lock-free linear baseline (an update gauge) — implements the
-//! trait; the sharded store implements [`TimestampFront`] as the *sum* of
-//! its per-shard fronts, which is monotone and changes exactly when any
-//! shard's front changes.
+//! trait.
+//!
+//! The blanket is **opt-in** through the empty [`FrontSnapshot`] marker
+//! rather than unconditional: a structure whose ordinary [`RangeRead`]
+//! queries already carry their *own* validation machinery would pay for two
+//! nested validation loops under the unconditional blanket. The sharded
+//! store is exactly that structure — its cross-shard reads acquire and
+//! validate a per-shard front cut internally — so it skips the marker and
+//! implements [`SnapshotRead`] natively: the outer sandwich over its
+//! *stitched* (cut-free) per-shard reads, one validation layer instead of
+//! two. Single trees, whose plain reads are validation-free, take the
+//! marker and the blanket.
 //!
 //! # Progress
 //!
@@ -135,6 +144,18 @@ pub trait TimestampFront {
         self.front_advertised()
     }
 }
+
+/// Opt-in marker for the single-front blanket [`SnapshotRead`] impl.
+///
+/// Implemented (as an empty one-liner) by every structure whose ordinary
+/// [`RangeRead`] queries are validation-free linearizable reads, so
+/// sandwiching them between two [`TimestampFront`] observations is exactly
+/// one layer of validation. A structure whose plain reads already validate
+/// internally (the sharded store's cut-acquiring cross-shard queries) must
+/// *not* implement this — it provides its own [`SnapshotRead`] over its
+/// cheap unvalidated read path instead of stacking the blanket's sandwich
+/// on top of the internal loop. See the [module docs](self).
+pub trait FrontSnapshot {}
 
 /// Consistent multi-range reads against one acquired snapshot front.
 ///
@@ -241,7 +262,8 @@ pub trait SnapshotRead<K: RangeKey, V: Value>: RangeRead<K, V> {
 }
 
 /// The single-front blanket impl: any linearizable range-readable structure
-/// exposing [`TimestampFront`] watermarks is a [`SnapshotRead`].
+/// exposing [`TimestampFront`] watermarks — and opting in through the
+/// [`FrontSnapshot`] marker — is a [`SnapshotRead`].
 ///
 /// Soundness of the sandwich: `acquire` returns a front `f` observed at an
 /// instant with nothing in flight (settled); a later validation seeing
@@ -253,7 +275,7 @@ impl<K, V, T> SnapshotRead<K, V> for T
 where
     K: RangeKey,
     V: Value,
-    T: RangeRead<K, V> + TimestampFront,
+    T: RangeRead<K, V> + TimestampFront + FrontSnapshot,
 {
     fn acquire_snapshot(&self) -> SnapshotToken {
         SnapshotToken::new(self.settle_front())

@@ -1,0 +1,246 @@
+//! Durable-store group-commit benchmark (`BENCH_durable.json`).
+//!
+//! Measures what durability costs and what group commit buys back: the same
+//! batch-write workload is run against a [`DurableStore`] at 1/2/4/8 writer
+//! threads, with and without fsync-per-group, with one online checkpoint
+//! taken mid-window. The headline relationship is **commit latency vs group
+//! size**: with one writer every commit pays a full `write + fsync`; with N
+//! writers the log thread coalesces whatever queued while the previous
+//! group was flushing, so fsyncs are amortised (`wal_fsyncs / commits`
+//! falls) and per-commit latency grows far slower than writer count.
+//!
+//! Every cell lands in `BENCH_durable.json` with the sampled commit-latency
+//! quantiles, the observed group-size distribution, the fsync amortisation
+//! ratio, and the full `wft-obs` metrics delta over the measurement window.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin durable            # full run
+//! cargo run --release --bin durable -- --smoke # short CI run
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use wft_durable::{DurableConfig, DurableStore, ScratchDir};
+use wft_store::StoreOp;
+
+const SHARDS: usize = 4;
+const BATCH_OPS: usize = 8;
+const KEYSPACE: i64 = 1 << 16;
+
+/// One measured (writers, fsync) cell.
+#[derive(Debug, Serialize)]
+struct Point {
+    writer_threads: usize,
+    fsync: bool,
+    batch_ops: usize,
+    commits_per_sec: f64,
+    ops_per_sec: f64,
+    /// Median acknowledged-commit latency (ns): enqueue to fsync'd + applied.
+    commit_p50_ns: u64,
+    /// 99th-percentile commit latency (ns).
+    commit_p99_ns: u64,
+    /// 99.9th-percentile commit latency (ns).
+    commit_p999_ns: u64,
+    /// Mean batches per WAL flush group over the window.
+    mean_group_size: f64,
+    /// 99th-percentile group size over the window.
+    group_p99: u64,
+    /// `wal_fsyncs / commits`: 1.0 means every commit paid its own fsync;
+    /// group commit drives this toward `1 / mean_group_size`.
+    fsyncs_per_commit: f64,
+    /// Commits that rode a group another commit opened (`wal_stalls` delta).
+    coalesced_commits: u64,
+    wal_bytes: u64,
+    /// Wall-clock cost of the one online checkpoint taken mid-window (ns).
+    checkpoint_ns: u64,
+    /// Live WAL segments deleted by that checkpoint's truncation.
+    segments_truncated: u64,
+    /// The store's full `wft-obs` metrics delta over the measurement window.
+    window: wft_obs::MetricsSnapshot,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    smoke: bool,
+    shards: usize,
+    keyspace: i64,
+    batch_ops: usize,
+    duration_ms: u64,
+    points: Vec<Point>,
+}
+
+/// The durable store's `wft-obs` metrics through its `MetricsSource` impl.
+fn metrics_of(store: &DurableStore<i64, i64>) -> wft_obs::MetricsSnapshot {
+    let mut out = wft_obs::MetricsSnapshot::new();
+    wft_obs::MetricsSource::collect_metrics(store, &mut out);
+    out
+}
+
+fn hist_delta(
+    window_end: &wft_obs::MetricsSnapshot,
+    window_start: &wft_obs::MetricsSnapshot,
+    name: &str,
+) -> wft_obs::HistogramSnapshot {
+    let end = window_end.histogram(name).cloned().unwrap_or_default();
+    match window_start.histogram(name) {
+        Some(earlier) => end.delta_since(earlier),
+        None => end,
+    }
+}
+
+fn measure(writer_threads: usize, fsync: bool, duration: Duration, seed: u64) -> Point {
+    let scratch = ScratchDir::new("bench-durable");
+    let config = DurableConfig {
+        shards: SHARDS,
+        fsync,
+        ..DurableConfig::default()
+    };
+    let store: Arc<DurableStore<i64, i64>> =
+        Arc::new(DurableStore::open_with_config(scratch.path(), config).unwrap());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(writer_threads + 1));
+    let before = metrics_of(&store);
+
+    let writers: Vec<_> = (0..writer_threads)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (t as u64 + 1).wrapping_mul(0xD1CE));
+                barrier.wait();
+                let mut commits = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Batches address each key at most once: draw from a
+                    // per-batch stripe so dedup is free.
+                    let base = rng.gen_range(0..KEYSPACE - BATCH_OPS as i64);
+                    let batch: Vec<StoreOp<i64, i64>> = (0..BATCH_OPS as i64)
+                        .map(|i| {
+                            let key = base + i;
+                            if rng.gen_bool(0.25) {
+                                StoreOp::Remove { key }
+                            } else {
+                                StoreOp::InsertOrReplace { key, value: key }
+                            }
+                        })
+                        .collect();
+                    store.apply_durable(batch).unwrap();
+                    commits += 1;
+                }
+                commits
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let start = Instant::now();
+    // One online checkpoint mid-window: writers keep committing through it
+    // (the cut is drained via a snapshot-consistent scan cursor, never by
+    // pausing writers), and its truncation cost lands in the cell.
+    std::thread::sleep(duration / 2);
+    let checkpoint_at = Instant::now();
+    let checkpoint = store.checkpoint().unwrap();
+    let checkpoint_ns = checkpoint_at.elapsed().as_nanos() as u64;
+    std::thread::sleep(duration / 2);
+    stop.store(true, Ordering::Relaxed);
+    let commits: u64 = writers.into_iter().map(|h| h.join().unwrap()).sum();
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let end = metrics_of(&store);
+    let window = end.delta_since(&before);
+    let commit_latency = hist_delta(&end, &before, "durable_commit_latency_ns");
+    let group_size = hist_delta(&end, &before, "durable_group_size");
+    let fsyncs = window.counter("durable_wal_fsyncs").unwrap_or(0);
+    let stalls = window.counter("durable_wal_stalls").unwrap_or(0);
+    let wal_bytes = window.counter("durable_wal_bytes").unwrap_or(0);
+    store.shutdown();
+
+    Point {
+        writer_threads,
+        fsync,
+        batch_ops: BATCH_OPS,
+        commits_per_sec: commits as f64 / elapsed,
+        ops_per_sec: (commits as usize * BATCH_OPS) as f64 / elapsed,
+        commit_p50_ns: commit_latency.quantile(0.50),
+        commit_p99_ns: commit_latency.quantile(0.99),
+        commit_p999_ns: commit_latency.quantile(0.999),
+        mean_group_size: group_size.mean_ns(),
+        group_p99: group_size.quantile(0.99),
+        fsyncs_per_commit: if commits == 0 {
+            0.0
+        } else {
+            fsyncs as f64 / commits as f64
+        },
+        coalesced_commits: stalls,
+        wal_bytes,
+        checkpoint_ns,
+        segments_truncated: checkpoint.segments_truncated,
+        window,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let duration = Duration::from_millis(if smoke { 120 } else { 500 });
+    let threads: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+
+    let mut points = Vec::new();
+    for &fsync in &[true, false] {
+        for &t in threads {
+            let point = measure(t, fsync, duration, 42);
+            println!(
+                "writers={:<2} fsync={:<5} {:>9.0} commits/s   p50 {:>9} ns   p99 {:>9} ns   \
+                 group mean {:>5.1} / p99 {:<4}   fsyncs/commit {:>5.3}   ckpt {:>6.2} ms",
+                point.writer_threads,
+                fsync,
+                point.commits_per_sec,
+                point.commit_p50_ns,
+                point.commit_p99_ns,
+                point.mean_group_size,
+                point.group_p99,
+                point.fsyncs_per_commit,
+                point.checkpoint_ns as f64 / 1e6,
+            );
+            points.push(point);
+        }
+    }
+
+    if smoke {
+        // CI gates: the windows must survive the JSON exporter round-trip,
+        // and group commit must actually have engaged — multi-writer cells
+        // may never amortise worse than one fsync per commit.
+        for point in &points {
+            let back = wft_obs::MetricsSnapshot::from_json(&point.window.to_json())
+                .expect("window metrics parse back");
+            assert_eq!(
+                back, point.window,
+                "MetricsSnapshot JSON round-trip must be lossless"
+            );
+            assert!(
+                point.fsyncs_per_commit <= 1.0 + 1e-9,
+                "a commit never pays more than one fsync"
+            );
+        }
+        println!("smoke: metrics JSON round-trip ok ({} cells)", points.len());
+    }
+
+    let report = Report {
+        smoke,
+        shards: SHARDS,
+        keyspace: KEYSPACE,
+        batch_ops: BATCH_OPS,
+        duration_ms: duration.as_millis() as u64,
+        points,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_durable.json", &json).expect("write BENCH_durable.json");
+    println!("wrote BENCH_durable.json");
+}

@@ -116,6 +116,11 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> BatchApply<K, V> for WaitFreeTree<
     }
 }
 
+/// Opts into the blanket `SnapshotRead`: plain reads here are
+/// validation-free linearizable queries, so the blanket's sandwich is the
+/// single validation layer.
+impl<K: Key, V: Value, A: Augmentation<K, V>> wft_api::FrontSnapshot for WaitFreeTree<K, V, A> {}
+
 /// The tree's snapshot front is its root-queue timestamp front: the
 /// watermarks maintained at update resolution (see
 /// [`WaitFreeTree::stable_ts`]). With this impl in place the blanket

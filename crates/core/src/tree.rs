@@ -406,10 +406,19 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
     /// `*_at_front` — not `*_at` — so it cannot shadow the
     /// `SnapshotToken`-typed `wft_api::SnapshotRead::range_agg_at`.
     ///
-    /// The read itself is the ordinary linearizable query (optimistic
-    /// traversal with descriptor fallback); the front checks before and after
-    /// prove its linearization instant fell inside a window in which the
-    /// state was constant and equal to the state at `front`.
+    /// Under [`ReadPath::Fast`] the read is **optimistic-only**: bounded
+    /// descriptor-free attempts, bailing out with `None` the moment the
+    /// advertised front moves, and *never* falling back to the descriptor
+    /// path. A failed fast validation at a still-unchanged front means an
+    /// update is mid-linearization — the front is about to expire, so a
+    /// descriptor read would do `O(answer)` work (helped, and therefore
+    /// re-done, by every concurrent updater it blocks) only to have its
+    /// final front check discard the result. Reporting expiry keeps
+    /// front-anchored reads from ever stalling the update pipeline; the
+    /// caller's contract is unchanged (`None` ⇒ re-settle and retry).
+    /// The front checks before and after the read prove its linearization
+    /// instant fell inside a window in which the state was constant and
+    /// equal to the state at `front`.
     pub fn range_agg_at_front(
         &self,
         min: K,
@@ -419,12 +428,30 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
             return None;
         }
+        if min > max {
+            return Some(A::identity());
+        }
+        if self.config.read_path == ReadPath::Fast {
+            let guard = crossbeam_epoch::pin();
+            for _ in 0..self.config.fast_read_attempts {
+                if let Some(agg) = self.try_fast_range_agg(min, max, &guard) {
+                    TreeCounters::bump(&self.counters.fast_range_hits);
+                    return self.front_unchanged(front).then_some(agg);
+                }
+                TreeCounters::bump(&self.counters.fast_range_retries);
+                if !self.front_unchanged(front) {
+                    return None;
+                }
+            }
+            return None;
+        }
         let agg = self.range_agg(min, max);
         self.front_unchanged(front).then_some(agg)
     }
 
     /// [`collect_range`](WaitFreeTree::collect_range) at a settled front; see
-    /// [`range_agg_at_front`](WaitFreeTree::range_agg_at_front).
+    /// [`range_agg_at_front`](WaitFreeTree::range_agg_at_front) — including
+    /// the optimistic-only read discipline under [`ReadPath::Fast`].
     pub fn collect_range_at_front(
         &self,
         min: K,
@@ -432,6 +459,23 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         front: wft_queue::Timestamp,
     ) -> Option<Vec<(K, V)>> {
         if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
+            return None;
+        }
+        if min > max {
+            return Some(Vec::new());
+        }
+        if self.config.read_path == ReadPath::Fast {
+            let guard = crossbeam_epoch::pin();
+            for _ in 0..self.config.fast_read_attempts {
+                if let Some(entries) = self.try_fast_collect(min, max, &guard) {
+                    TreeCounters::bump(&self.counters.fast_range_hits);
+                    return self.front_unchanged(front).then_some(entries);
+                }
+                TreeCounters::bump(&self.counters.fast_range_retries);
+                if !self.front_unchanged(front) {
+                    return None;
+                }
+            }
             return None;
         }
         let entries = self.collect_range(min, max);
@@ -442,7 +486,8 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
     /// settled front: the `limit` smallest entries of `[min, max]` in the
     /// tree state at exactly `front`, or `None` once the tree advanced past
     /// it. This is the per-shard chunk read of the sharded store's
-    /// streaming scan cursor.
+    /// streaming scan cursor, with the same optimistic-only discipline as
+    /// [`range_agg_at_front`](WaitFreeTree::range_agg_at_front).
     pub fn collect_range_limited_at_front(
         &self,
         min: K,
@@ -451,6 +496,28 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         front: wft_queue::Timestamp,
     ) -> Option<Vec<(K, V)>> {
         if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
+            return None;
+        }
+        if min > max || limit == 0 {
+            return Some(Vec::new());
+        }
+        if self.config.read_path == ReadPath::Fast {
+            let guard = crossbeam_epoch::pin();
+            for _ in 0..self.config.fast_read_attempts {
+                if let Some((entries, early_exit)) =
+                    self.try_fast_collect_limited(min, max, limit, &guard)
+                {
+                    TreeCounters::bump(&self.counters.fast_range_hits);
+                    if early_exit {
+                        TreeCounters::bump(&self.counters.fast_range_early_exits);
+                    }
+                    return self.front_unchanged(front).then_some(entries);
+                }
+                TreeCounters::bump(&self.counters.fast_range_retries);
+                if !self.front_unchanged(front) {
+                    return None;
+                }
+            }
             return None;
         }
         let entries = self.collect_range_limited(min, max, limit);

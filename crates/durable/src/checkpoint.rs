@@ -1,0 +1,199 @@
+//! Checkpoint images: whole-store snapshots that bound WAL replay.
+//!
+//! A checkpoint file `ckpt-<cut:020>.ckpt` is the store's full contents as
+//! observed by a snapshot-consistent scan cursor, stamped with the WAL
+//! *cut* — the highest sequence number known to be applied before the scan
+//! opened. Recovery loads the newest valid image and replays only WAL
+//! records with `seq > cut` (see `crate::store` for why replaying a few
+//! already-included records is harmless).
+//!
+//! # Format
+//!
+//! ```text
+//! [magic: 8 bytes "WFTCKPT1"] [body] [crc: u32 LE]
+//! body = [cut: u64 LE] [count: u64 LE] ([key] [value])...
+//! ```
+//!
+//! `crc` is CRC-32 of the body. Images are written to a `.tmp` name,
+//! fsynced, renamed into place, and the directory fsynced — the rename is
+//! the commit point, so a crash mid-write leaves at most a stray temp file
+//! and never a half-visible checkpoint.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use wft_seq::{Key, Value};
+
+use crate::codec::{crc32, WalCodec};
+use crate::wal::sync_dir;
+
+const MAGIC: &[u8; 8] = b"WFTCKPT1";
+
+fn checkpoint_name(cut: u64) -> String {
+    format!("ckpt-{cut:020}.ckpt")
+}
+
+fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt-")?
+        .strip_suffix(".ckpt")?
+        .parse()
+        .ok()
+}
+
+/// Checkpoint files in the directory, sorted by cut (ascending).
+fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(cut) = entry.file_name().to_str().and_then(parse_checkpoint_name) {
+            found.push((cut, entry.path()));
+        }
+    }
+    found.sort_unstable_by_key(|(cut, _)| *cut);
+    Ok(found)
+}
+
+/// Atomically writes the checkpoint image for `cut`, then deletes every
+/// older checkpoint file (the newest image subsumes them). Returns the
+/// image's size in bytes.
+pub(crate) fn write_checkpoint<K, V>(dir: &Path, cut: u64, entries: &[(K, V)]) -> io::Result<u64>
+where
+    K: Key + WalCodec,
+    V: Value + WalCodec,
+{
+    let mut body = Vec::with_capacity(16 + entries.len() * 16);
+    cut.encode_wal(&mut body);
+    (entries.len() as u64).encode_wal(&mut body);
+    for (k, v) in entries {
+        k.encode_wal(&mut body);
+        v.encode_wal(&mut body);
+    }
+
+    let tmp = dir.join(format!("{}.tmp", checkpoint_name(cut)));
+    let path = dir.join(checkpoint_name(cut));
+    {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&body)?;
+        file.write_all(&crc32(&body).to_le_bytes())?;
+        file.sync_data()?;
+    }
+    fs::rename(&tmp, &path)?;
+    sync_dir(dir)?;
+
+    for (old_cut, old_path) in list_checkpoints(dir)? {
+        if old_cut < cut {
+            fs::remove_file(old_path)?;
+        }
+    }
+    Ok((MAGIC.len() + body.len() + 4) as u64)
+}
+
+/// A loaded checkpoint image: the WAL cut it covers plus its entries.
+type CheckpointImage<K, V> = (u64, Vec<(K, V)>);
+
+/// Parses and validates one checkpoint image. `None` when the magic, CRC,
+/// or entry count does not check out.
+fn parse_checkpoint<K, V>(bytes: &[u8]) -> Option<CheckpointImage<K, V>>
+where
+    K: Key + WalCodec,
+    V: Value + WalCodec,
+{
+    let body = bytes.get(MAGIC.len()..bytes.len().checked_sub(4)?)?;
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return None;
+    }
+    let stored_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().ok()?);
+    if crc32(body) != stored_crc {
+        return None;
+    }
+    let mut pos = 0;
+    let cut = u64::decode_wal(body, &mut pos)?;
+    let count = u64::decode_wal(body, &mut pos)? as usize;
+    let mut entries = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let k = K::decode_wal(body, &mut pos)?;
+        let v = V::decode_wal(body, &mut pos)?;
+        entries.push((k, v));
+    }
+    if pos != body.len() {
+        return None;
+    }
+    Some((cut, entries))
+}
+
+/// Loads the newest checkpoint that validates, walking older images when a
+/// newer one is corrupt (a crash can tear at most the not-yet-renamed temp
+/// file, but defence in depth costs one loop). `None` when no valid image
+/// exists — recovery then replays the WAL from an empty store.
+pub(crate) fn load_newest_checkpoint<K, V>(dir: &Path) -> io::Result<Option<CheckpointImage<K, V>>>
+where
+    K: Key + WalCodec,
+    V: Value + WalCodec,
+{
+    for (_, path) in list_checkpoints(dir)?.into_iter().rev() {
+        let mut bytes = Vec::new();
+        File::open(&path)?.read_to_end(&mut bytes)?;
+        if let Some(parsed) = parse_checkpoint(&bytes) {
+            return Ok(Some(parsed));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::ScratchDir;
+
+    #[test]
+    fn checkpoint_round_trips_and_supersedes() {
+        let dir = ScratchDir::new("ckpt-roundtrip");
+        let entries: Vec<(i64, i64)> = (0..100).map(|k| (k, k * 2)).collect();
+        write_checkpoint(dir.path(), 7, &entries).unwrap();
+        let (cut, loaded) = load_newest_checkpoint::<i64, i64>(dir.path())
+            .unwrap()
+            .unwrap();
+        assert_eq!(cut, 7);
+        assert_eq!(loaded, entries);
+
+        // A newer checkpoint replaces the old file entirely.
+        write_checkpoint(dir.path(), 20, &entries[..10]).unwrap();
+        assert_eq!(list_checkpoints(dir.path()).unwrap().len(), 1);
+        let (cut, loaded) = load_newest_checkpoint::<i64, i64>(dir.path())
+            .unwrap()
+            .unwrap();
+        assert_eq!(cut, 20);
+        assert_eq!(loaded.len(), 10);
+    }
+
+    #[test]
+    fn corrupt_image_is_rejected() {
+        let dir = ScratchDir::new("ckpt-corrupt");
+        write_checkpoint::<i64, i64>(dir.path(), 3, &[(1, 10), (2, 20)]).unwrap();
+        let path = dir.path().join(checkpoint_name(3));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(load_newest_checkpoint::<i64, i64>(dir.path())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn empty_store_checkpoints_fine() {
+        let dir = ScratchDir::new("ckpt-empty");
+        write_checkpoint::<i64, ()>(dir.path(), 0, &[]).unwrap();
+        let (cut, entries) = load_newest_checkpoint::<i64, ()>(dir.path())
+            .unwrap()
+            .unwrap();
+        assert_eq!(cut, 0);
+        assert!(entries.is_empty());
+    }
+}

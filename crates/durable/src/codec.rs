@@ -1,0 +1,249 @@
+//! Byte-level encoding for write-ahead log and checkpoint payloads.
+//!
+//! Durability serialises two things: [`StoreOp`] batches into WAL records,
+//! and `(key, value)` entries into checkpoint images. Both go through
+//! [`WalCodec`], a deliberately tiny fixed-layout codec (little-endian
+//! scalars, no schema, no varints) so that a frame's byte length is
+//! a pure function of its contents and torn-write detection can rely on
+//! the CRC alone. The repo vendors no serialisation framework for on-disk
+//! data on purpose: the WAL format is a stability surface, and owning the
+//! ~hundred lines here is cheaper than pinning one.
+//!
+//! Integrity is CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`)
+//! over the payload bytes — the same checksum family journals like ext4's
+//! JBD2 and RocksDB's WAL use for frame validation. The lookup table is
+//! built in a `const fn`, so it costs nothing at runtime and needs no
+//! lazy-init machinery.
+
+use wft_api::StoreOp;
+use wft_seq::{Key, Value};
+
+/// CRC-32 (IEEE) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3) of `bytes` — the checksum framing every WAL record
+/// and checkpoint image.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Fixed-layout binary encoding for durable payload components.
+///
+/// Implementors append themselves to a byte buffer and decode themselves
+/// back from one at a cursor. Decoding returns `None` on underrun — the
+/// caller (frame reader or checkpoint loader) treats that as a corrupt
+/// payload, never a panic, because torn tails routinely truncate records
+/// mid-field.
+pub trait WalCodec: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode_wal(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from `buf` starting at `*pos`, advancing `*pos`
+    /// past it. `None` when the buffer is too short.
+    fn decode_wal(buf: &[u8], pos: &mut usize) -> Option<Self>;
+}
+
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
+    let end = pos.checked_add(n)?;
+    let slice = buf.get(*pos..end)?;
+    *pos = end;
+    Some(slice)
+}
+
+macro_rules! scalar_codec {
+    ($($ty:ty),*) => {$(
+        impl WalCodec for $ty {
+            fn encode_wal(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            fn decode_wal(buf: &[u8], pos: &mut usize) -> Option<Self> {
+                let bytes = take(buf, pos, std::mem::size_of::<$ty>())?;
+                Some(<$ty>::from_le_bytes(bytes.try_into().ok()?))
+            }
+        }
+    )*};
+}
+
+scalar_codec!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl WalCodec for () {
+    fn encode_wal(&self, _out: &mut Vec<u8>) {}
+
+    fn decode_wal(_buf: &[u8], _pos: &mut usize) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl WalCodec for bool {
+    fn encode_wal(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+
+    fn decode_wal(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        match u8::decode_wal(buf, pos)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl<A: WalCodec, B: WalCodec> WalCodec for (A, B) {
+    fn encode_wal(&self, out: &mut Vec<u8>) {
+        self.0.encode_wal(out);
+        self.1.encode_wal(out);
+    }
+
+    fn decode_wal(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        Some((A::decode_wal(buf, pos)?, B::decode_wal(buf, pos)?))
+    }
+}
+
+/// Operation tags inside a batch record. Explicit constants — these are an
+/// on-disk format, not a `#[repr]` detail.
+const TAG_INSERT: u8 = 1;
+const TAG_INSERT_OR_REPLACE: u8 = 2;
+const TAG_REMOVE: u8 = 3;
+const TAG_REMOVE_ENTRY: u8 = 4;
+
+/// Appends one [`StoreOp`]'s encoding (tag byte, key, value when present).
+pub fn encode_op<K, V>(op: &StoreOp<K, V>, out: &mut Vec<u8>)
+where
+    K: Key + WalCodec,
+    V: Value + WalCodec,
+{
+    match op {
+        StoreOp::Insert { key, value } => {
+            out.push(TAG_INSERT);
+            key.encode_wal(out);
+            value.encode_wal(out);
+        }
+        StoreOp::InsertOrReplace { key, value } => {
+            out.push(TAG_INSERT_OR_REPLACE);
+            key.encode_wal(out);
+            value.encode_wal(out);
+        }
+        StoreOp::Remove { key } => {
+            out.push(TAG_REMOVE);
+            key.encode_wal(out);
+        }
+        StoreOp::RemoveEntry { key } => {
+            out.push(TAG_REMOVE_ENTRY);
+            key.encode_wal(out);
+        }
+    }
+}
+
+/// Decodes one [`StoreOp`]; `None` on underrun or an unknown tag.
+pub fn decode_op<K, V>(buf: &[u8], pos: &mut usize) -> Option<StoreOp<K, V>>
+where
+    K: Key + WalCodec,
+    V: Value + WalCodec,
+{
+    match u8::decode_wal(buf, pos)? {
+        TAG_INSERT => Some(StoreOp::Insert {
+            key: K::decode_wal(buf, pos)?,
+            value: V::decode_wal(buf, pos)?,
+        }),
+        TAG_INSERT_OR_REPLACE => Some(StoreOp::InsertOrReplace {
+            key: K::decode_wal(buf, pos)?,
+            value: V::decode_wal(buf, pos)?,
+        }),
+        TAG_REMOVE => Some(StoreOp::Remove {
+            key: K::decode_wal(buf, pos)?,
+        }),
+        TAG_REMOVE_ENTRY => Some(StoreOp::RemoveEntry {
+            key: K::decode_wal(buf, pos)?,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // The catalogue check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut buf = Vec::new();
+        (-42i64).encode_wal(&mut buf);
+        7u32.encode_wal(&mut buf);
+        ().encode_wal(&mut buf);
+        true.encode_wal(&mut buf);
+        let mut pos = 0;
+        assert_eq!(i64::decode_wal(&buf, &mut pos), Some(-42));
+        assert_eq!(u32::decode_wal(&buf, &mut pos), Some(7));
+        assert_eq!(<()>::decode_wal(&buf, &mut pos), Some(()));
+        assert_eq!(bool::decode_wal(&buf, &mut pos), Some(true));
+        assert_eq!(pos, buf.len());
+        assert_eq!(u8::decode_wal(&buf, &mut pos), None, "underrun is None");
+    }
+
+    #[test]
+    fn ops_round_trip_and_reject_unknown_tags() {
+        let ops: Vec<StoreOp<i64, i64>> = vec![
+            StoreOp::Insert { key: 1, value: 10 },
+            StoreOp::InsertOrReplace { key: -2, value: 20 },
+            StoreOp::Remove { key: 3 },
+            StoreOp::RemoveEntry { key: i64::MIN },
+        ];
+        let mut buf = Vec::new();
+        for op in &ops {
+            encode_op(op, &mut buf);
+        }
+        let mut pos = 0;
+        for op in &ops {
+            assert_eq!(decode_op::<i64, i64>(&buf, &mut pos).as_ref(), Some(op));
+        }
+        assert_eq!(pos, buf.len());
+
+        let bogus = [9u8, 0, 0, 0, 0, 0, 0, 0, 0];
+        let mut pos = 0;
+        assert_eq!(decode_op::<i64, i64>(&bogus, &mut pos), None);
+    }
+
+    #[test]
+    fn truncated_op_decodes_to_none() {
+        let mut buf = Vec::new();
+        encode_op::<i64, i64>(&StoreOp::Insert { key: 5, value: 50 }, &mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(
+                decode_op::<i64, i64>(&buf[..cut], &mut pos),
+                None,
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+}

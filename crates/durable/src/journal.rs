@@ -1,0 +1,354 @@
+//! The group-commit journal: a dedicated log thread that coalesces
+//! concurrent batches into single WAL writes and applies them in sequence
+//! order.
+//!
+//! # Protocol
+//!
+//! Writers [`submit`](Journal::submit) a validated batch and block on a
+//! per-batch slot. The log thread drains the whole queue as one **commit
+//! group**, appends every record with one `write`, fsyncs once, then
+//! applies each batch to the in-memory store *in sequence order* and fills
+//! the slots with the typed outcomes. Two invariants fall out:
+//!
+//! - **Durability before visibility.** A batch touches the store only
+//!   after its record is on stable storage, so no read (point, range, or
+//!   snapshot cursor) ever observes state that a crash could roll back,
+//!   and the in-memory store always equals a replay of the WAL's committed
+//!   prefix.
+//! - **One fsync pays for the whole group.** Under contention, `g` writers
+//!   share one `write` + `fsync`; the `g - 1` that did not trigger it are
+//!   counted as `wal_stalls` and announced with a single
+//!   [`TraceKind::WalStall`] event carrying the group size — the
+//!   group-commit analogue of the helping the wait-free tree's root queue
+//!   does for updates.
+//!
+//! Applying serially on the log thread is deliberate: it makes the WAL's
+//! total order *the* commit order, which recovery can replay without any
+//! cross-batch coordination. The store underneath is concurrent, but
+//! durability funnels writes through one sequencer — readers stay as
+//! parallel as ever.
+//!
+//! # Halting
+//!
+//! [`HaltMode::Graceful`] drains the queue before the thread exits (used
+//! by `shutdown` and drop). [`HaltMode::Crash`] abandons it — queued,
+//! unacknowledged batches fail with [`DurableError::Halted`] and their
+//! records may or may not be on disk, exactly the ambiguity a real crash
+//! leaves. An I/O error during a flush also crash-halts the journal: a log
+//! that cannot persist must stop acknowledging, not limp.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use wft_api::{OpOutcome, StoreOp};
+use wft_obs::TraceKind;
+use wft_seq::{Augmentation, Key, Value};
+use wft_store::ShardedStore;
+
+use crate::codec::WalCodec;
+use crate::stats::DurableInstruments;
+use crate::wal::WalWriter;
+use crate::DurableError;
+
+/// How the journal stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HaltMode {
+    /// Flush and apply everything queued, then exit.
+    Graceful,
+    /// Exit now; fail queued batches with [`DurableError::Halted`].
+    Crash,
+}
+
+/// A submitted batch waiting for its commit group.
+struct Pending<K: Key, V: Value> {
+    ops: Vec<StoreOp<K, V>>,
+    slot: Arc<Slot<V>>,
+}
+
+/// The rendezvous a writer blocks on until its batch is durable and
+/// applied.
+struct Slot<V: Value> {
+    state: Mutex<Option<Result<Vec<OpOutcome<V>>, DurableError>>>,
+    ready: Condvar,
+}
+
+impl<V: Value> Slot<V> {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, result: Result<Vec<OpOutcome<V>>, DurableError>) {
+        *self.state.lock().unwrap() = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<Vec<OpOutcome<V>>, DurableError> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            match state.take() {
+                Some(result) => return result,
+                None => state = self.ready.wait(state).unwrap(),
+            }
+        }
+    }
+}
+
+struct Queue<K: Key, V: Value> {
+    pending: VecDeque<Pending<K, V>>,
+    halt: Option<HaltMode>,
+}
+
+/// State shared between writers, the log thread, and checkpointing.
+pub(crate) struct Shared<K: Key, V: Value> {
+    /// The segment writer. Checkpointing locks this for rotation and
+    /// truncation, so segment surgery never interleaves with a group
+    /// append.
+    pub(crate) wal: Mutex<WalWriter>,
+    /// Held by the log thread around each group's apply stage. The
+    /// in-memory store is mutated *only* under this lock, so a checkpoint
+    /// that cannot win an online snapshot drain (sustained write pressure
+    /// on few cores) can take it and read a guaranteed-quiescent store:
+    /// WAL appends and fsyncs keep running — only application (and hence
+    /// acknowledgement) defers, and the backlog lands as one large commit
+    /// group when the gate releases. Never held together with `wal` or
+    /// the queue lock by either side, so no ordering cycle exists.
+    pub(crate) apply_gate: Mutex<()>,
+    queue: Mutex<Queue<K, V>>,
+    work: Condvar,
+    /// Highest sequence number fsynced to the WAL.
+    pub(crate) durable_seq: AtomicU64,
+    /// Highest sequence number applied to the in-memory store. Always
+    /// `<= durable_seq`: apply happens strictly after the group's fsync.
+    pub(crate) applied_seq: AtomicU64,
+    pub(crate) instruments: Arc<DurableInstruments>,
+    fsync: bool,
+}
+
+/// Handle owning the log thread.
+pub(crate) struct Journal<K: Key, V: Value> {
+    shared: Arc<Shared<K, V>>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl<K, V> Journal<K, V>
+where
+    K: Key + WalCodec,
+    V: Value + WalCodec,
+{
+    /// Spawns the log thread over `wal`, applying committed batches to
+    /// `store`. `recovered_through` seeds the durable/applied watermarks
+    /// (the WAL prefix recovery already replayed).
+    pub(crate) fn start<A: Augmentation<K, V>>(
+        store: Arc<ShardedStore<K, V, A>>,
+        wal: WalWriter,
+        instruments: Arc<DurableInstruments>,
+        recovered_through: u64,
+        fsync: bool,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            wal: Mutex::new(wal),
+            apply_gate: Mutex::new(()),
+            queue: Mutex::new(Queue {
+                pending: VecDeque::new(),
+                halt: None,
+            }),
+            work: Condvar::new(),
+            durable_seq: AtomicU64::new(recovered_through),
+            applied_seq: AtomicU64::new(recovered_through),
+            instruments,
+            fsync,
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("wft-durable-log".into())
+            .spawn(move || run(thread_shared, store))
+            .expect("spawning the durable log thread");
+        Journal {
+            shared,
+            thread: Mutex::new(Some(handle)),
+        }
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<Shared<K, V>> {
+        &self.shared
+    }
+
+    /// Queues a batch for the next commit group and blocks until it is
+    /// durable and applied (or the journal halted / failed). The batch
+    /// must already be validated — the log thread trusts it.
+    pub(crate) fn submit(
+        &self,
+        ops: Vec<StoreOp<K, V>>,
+    ) -> Result<Vec<OpOutcome<V>>, DurableError> {
+        let started = Instant::now();
+        let slot = Arc::new(Slot::new());
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            if queue.halt.is_some() {
+                return Err(DurableError::Halted);
+            }
+            queue.pending.push_back(Pending {
+                ops,
+                slot: Arc::clone(&slot),
+            });
+            self.shared.work.notify_one();
+        }
+        let result = slot.wait();
+        if result.is_ok() {
+            self.shared
+                .instruments
+                .commit_latency
+                .record(started.elapsed().as_nanos() as u64);
+        }
+        result
+    }
+
+    /// `true` once the journal stopped accepting batches.
+    pub(crate) fn is_halted(&self) -> bool {
+        self.shared.queue.lock().unwrap().halt.is_some()
+    }
+
+    /// Stops the log thread and joins it. Idempotent; a `Crash` is never
+    /// downgraded to `Graceful` by a later call.
+    pub(crate) fn halt(&self, mode: HaltMode) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            match (queue.halt, mode) {
+                (None, _) | (Some(HaltMode::Graceful), HaltMode::Crash) => {
+                    queue.halt = Some(mode);
+                }
+                _ => {}
+            }
+            self.shared.work.notify_one();
+        }
+        if let Some(handle) = self.thread.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<K: Key, V: Value> Drop for Journal<K, V> {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            if queue.halt.is_none() {
+                queue.halt = Some(HaltMode::Graceful);
+            }
+            self.shared.work.notify_one();
+        }
+        if let Some(handle) = self.thread.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The log thread body: wait for work, commit a group, apply it, repeat.
+fn run<K, V, A>(shared: Arc<Shared<K, V>>, store: Arc<ShardedStore<K, V, A>>)
+where
+    K: Key + WalCodec,
+    V: Value + WalCodec,
+    A: Augmentation<K, V>,
+{
+    loop {
+        // Collect the next commit group (everything queued right now).
+        let group: Vec<Pending<K, V>> = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                match (queue.pending.is_empty(), queue.halt) {
+                    (_, Some(HaltMode::Crash)) => {
+                        for pending in queue.pending.drain(..) {
+                            pending.slot.fill(Err(DurableError::Halted));
+                        }
+                        return;
+                    }
+                    (true, Some(HaltMode::Graceful)) => return,
+                    (true, None) => queue = shared.work.wait(queue).unwrap(),
+                    (false, _) => break,
+                }
+            }
+            queue.pending.drain(..).collect()
+        };
+
+        // One write + one fsync for the whole group.
+        let flushed = {
+            let slices: Vec<&[StoreOp<K, V>]> =
+                group.iter().map(|pending| pending.ops.as_slice()).collect();
+            let mut wal = shared.wal.lock().unwrap();
+            wal.append_group(&slices)
+                .and_then(|out| {
+                    if shared.fsync {
+                        wal.sync()?;
+                    }
+                    Ok(out)
+                })
+                .and_then(|out| {
+                    if wal.wants_rotation() {
+                        wal.rotate()?;
+                        shared
+                            .instruments
+                            .wal_rotations
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(out)
+                })
+        };
+
+        let (first_seq, bytes) = match flushed {
+            Ok(out) => out,
+            Err(err) => {
+                // A log that cannot persist must stop acknowledging:
+                // crash-halt, failing this group and everything queued.
+                let err = DurableError::Io(err.to_string());
+                for pending in group {
+                    pending.slot.fill(Err(err.clone()));
+                }
+                let mut queue = shared.queue.lock().unwrap();
+                queue.halt = Some(HaltMode::Crash);
+                for pending in queue.pending.drain(..) {
+                    pending.slot.fill(Err(DurableError::Halted));
+                }
+                return;
+            }
+        };
+
+        let group_size = group.len() as u64;
+        let instruments = &shared.instruments;
+        instruments
+            .wal_appends
+            .fetch_add(group_size, Ordering::Relaxed);
+        instruments.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if shared.fsync {
+            instruments.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        instruments.group_size.record(group_size);
+        if group_size > 1 {
+            instruments
+                .wal_stalls
+                .fetch_add(group_size - 1, Ordering::Relaxed);
+            wft_obs::trace::emit(TraceKind::WalStall, (group_size & 0xFFFF) as u16);
+        }
+        shared
+            .durable_seq
+            .store(first_seq + group_size - 1, Ordering::Release);
+
+        // Durable; now apply in sequence order and release the writers.
+        // The gate is what a starved checkpoint grabs to quiesce the
+        // store — nothing else ever mutates it.
+        let _applying = shared.apply_gate.lock().unwrap();
+        for (i, pending) in group.into_iter().enumerate() {
+            let outcome = store
+                .apply_batch(pending.ops)
+                .map_err(|err| DurableError::Batch(err.to_string()));
+            shared
+                .applied_seq
+                .store(first_seq + i as u64, Ordering::Release);
+            pending.slot.fill(outcome);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Self-cleaning scratch directories for durable state in tests, benches,
+//! and examples.
+//!
+//! Everything durable needs a directory; nothing in this repo's test suite
+//! may leave one behind. [`ScratchDir`] creates a uniquely named directory
+//! under the system temp root and removes it (recursively, best-effort) on
+//! drop — the vendored shims include no tempdir crate, and this is all the
+//! crate needs from one.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static SCRATCH_SERIAL: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named temporary directory, deleted on drop.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// Creates `<tmp>/wft-<label>-<pid>-<serial>-<nanos>`. The pid keeps
+    /// concurrent test processes apart, the serial keeps threads within a
+    /// process apart, and the wall-clock nanos keep reruns apart from any
+    /// undeleted debris of a killed predecessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the directory cannot be created — scratch space is a
+    /// test-harness precondition, not a recoverable condition.
+    pub fn new(label: &str) -> Self {
+        let serial = SCRATCH_SERIAL.fetch_add(1, Ordering::Relaxed);
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let path = std::env::temp_dir().join(format!(
+            "wft-{label}-{pid}-{serial}-{nanos}",
+            pid = std::process::id()
+        ));
+        std::fs::create_dir_all(&path).expect("creating scratch directory");
+        ScratchDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        // Best-effort: a failed cleanup (e.g. a file held open on an
+        // exotic filesystem) must not turn a passing test into a panic
+        // during unwind.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_dirs_are_unique_and_cleaned() {
+        let a = ScratchDir::new("scratch");
+        let b = ScratchDir::new("scratch");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        std::fs::write(a.path().join("junk"), b"x").unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "drop removes the tree");
+        assert!(b.path().is_dir(), "other dirs untouched");
+    }
+}

@@ -1,0 +1,93 @@
+//! Instrumentation for the durable layer: lock-free counters and latency
+//! histograms, mirrored into the `wft-obs` vocabulary.
+//!
+//! [`DurableInstruments`] is the live set of atomics the journal and
+//! checkpointing code touch; [`DurableStats`] is a consistent-enough
+//! point-in-time copy for direct assertions (the counters are independent
+//! relaxed atomics — exact equalities hold at quiescence, which is how the
+//! examples and tests use them). The `MetricsSource` impl on
+//! `crate::DurableStore` reads the *same* cells, so the registry view and
+//! the struct view can never drift.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use wft_obs::{HistogramSnapshot, LatencyHistogram};
+
+/// Live counters and histograms for one durable store.
+#[derive(Debug, Default)]
+pub(crate) struct DurableInstruments {
+    /// Batches appended to the WAL (one record each).
+    pub(crate) wal_appends: AtomicU64,
+    /// `fsync` calls on WAL segments (one per commit group when fsync is
+    /// enabled).
+    pub(crate) wal_fsyncs: AtomicU64,
+    /// Writers that rode a group another writer's fsync paid for: for each
+    /// group of `g > 1` coalesced batches, `g - 1` stalls.
+    pub(crate) wal_stalls: AtomicU64,
+    /// Frame bytes (headers + payloads) appended to the WAL.
+    pub(crate) wal_bytes: AtomicU64,
+    /// Segment rotations (size-triggered and checkpoint-triggered).
+    pub(crate) wal_rotations: AtomicU64,
+    /// Checkpoints taken successfully.
+    pub(crate) checkpoints: AtomicU64,
+    /// WAL segments deleted by checkpoint truncation.
+    pub(crate) segments_truncated: AtomicU64,
+    /// Per-batch commit latency: submit to durable-and-applied, in
+    /// nanoseconds.
+    pub(crate) commit_latency: LatencyHistogram,
+    /// Commit group sizes (batches per fsync), recorded as raw counts in
+    /// the histogram's log-spaced buckets.
+    pub(crate) group_size: LatencyHistogram,
+    /// Wall-clock duration of each checkpoint, in nanoseconds.
+    pub(crate) checkpoint_duration: LatencyHistogram,
+}
+
+/// A point-in-time copy of a store's durable instrumentation.
+#[derive(Debug, Clone)]
+pub struct DurableStats {
+    /// Batches appended to the WAL.
+    pub wal_appends: u64,
+    /// `fsync` calls on WAL segments.
+    pub wal_fsyncs: u64,
+    /// Writers released by a group they did not fsync themselves.
+    pub wal_stalls: u64,
+    /// Frame bytes appended to the WAL.
+    pub wal_bytes: u64,
+    /// Segment rotations.
+    pub wal_rotations: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Segments deleted by truncation.
+    pub segments_truncated: u64,
+    /// Highest sequence number made durable (fsynced).
+    pub durable_seq: u64,
+    /// Highest sequence number applied to the in-memory store.
+    pub applied_seq: u64,
+    /// Commit latency distribution (ns).
+    pub commit_latency: HistogramSnapshot,
+    /// Commit group size distribution (batches per group).
+    pub group_size: HistogramSnapshot,
+    /// Checkpoint duration distribution (ns).
+    pub checkpoint_duration: HistogramSnapshot,
+}
+
+impl DurableInstruments {
+    /// Snapshots every instrument. `durable_seq` / `applied_seq` live on
+    /// the journal, so the caller passes them in.
+    pub(crate) fn stats(&self, durable_seq: u64, applied_seq: u64) -> DurableStats {
+        DurableStats {
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            wal_stalls: self.wal_stalls.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            wal_rotations: self.wal_rotations.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            segments_truncated: self.segments_truncated.load(Ordering::Relaxed),
+            durable_seq,
+            applied_seq,
+            commit_latency: self.commit_latency.snapshot(),
+            group_size: self.group_size.snapshot(),
+            checkpoint_duration: self.checkpoint_duration.snapshot(),
+        }
+    }
+}

@@ -1,0 +1,759 @@
+//! [`DurableStore`]: the sharded store wrapped in a write-ahead log,
+//! online checkpoints, and crash recovery.
+//!
+//! # Write path
+//!
+//! Every mutation — point ops and batches alike — becomes a [`StoreOp`]
+//! batch submitted to the group-commit journal (see [`crate::journal`]).
+//! The caller gets its typed outcomes back only after the batch is fsynced
+//! *and* applied, so the in-memory store is always exactly a replay of the
+//! WAL's committed prefix and no reader ever observes state a crash could
+//! roll back. Reads go straight to the inner [`ShardedStore`] with zero
+//! durability overhead: point gets, stitched range reads, snapshot reads,
+//! and streaming scan cursors are all untouched.
+//!
+//! # Checkpoints are scans
+//!
+//! [`DurableStore::checkpoint`] never pauses writers. It samples the
+//! journal's applied watermark as the *cut*, then drains a plain
+//! [`RangeScan`] cursor until a drain completes with
+//! [`ScanConsistency::Snapshot`] — the same first-class read API every
+//! other consumer uses. If sustained write pressure starves the online
+//! attempts (lock-free, not wait-free — on few cores every reschedule
+//! lets an apply expire the cut), the drain *gates the journal's apply
+//! stage* for exactly one pass: the inner store is mutated only by that
+//! stage, so the gated drain is quiescent and completes `Snapshot`
+//! immediately, while WAL appends and fsyncs keep running — durability is
+//! never paused, only application (and thus acknowledgement) defers
+//! briefly, and the backlog lands as one large commit group after. The
+//! image is therefore some consistent store state at least as new as the
+//! cut, which is exactly what replay needs:
+//!
+//! - Every batch with `seq <= cut` is fully inside the image.
+//! - The image may additionally contain batches (even *partial* batches —
+//!   a snapshot can land between two shard applications of one batch)
+//!   with `seq > cut`. Recovery replays all records with `seq > cut`, so
+//!   those ops are re-applied onto a state that already reflects them.
+//!   Per key, a batch suffix re-applied in order is a no-op: the
+//!   composition of a key's ops is either a constant function
+//!   ([`StoreOp::InsertOrReplace`] / removes, possibly followed by
+//!   inserts) or `x -> x.or(v)` (pure inserts), and both satisfy
+//!   `f(f(x)) = f(x)`. Outcomes are *not* re-derivable this way, but
+//!   recovery discards outcomes — they were already acknowledged to the
+//!   original callers.
+//!
+//! After the image is durable (write-to-temp, fsync, rename, fsync dir),
+//! the WAL rotates and every segment fully covered by the cut is deleted.
+//!
+//! # Recovery
+//!
+//! Opening a directory loads the newest valid checkpoint into
+//! [`ShardedStore::from_entries_with_config`], replays the WAL suffix
+//! (`seq > cut`) in order — tolerating a torn tail by stopping at the
+//! first bad frame, and refusing to replay across a sequence gap — and
+//! resumes logging in a **fresh** segment, so recovery never appends after
+//! torn bytes and is idempotent if interrupted.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use wft_api::{
+    BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeScan, RangeSpec,
+    ScanConsistency, ScanCursor, SnapshotRead, SnapshotToken, StoreOp, TimestampFront,
+    UpdateOutcome,
+};
+use wft_obs::TraceKind;
+use wft_seq::{Augmentation, Key, Size, Value};
+use wft_store::{ShardedStore, StoreConfig, StoreScanCursor};
+
+use crate::checkpoint::{load_newest_checkpoint, write_checkpoint};
+use crate::codec::WalCodec;
+use crate::journal::{HaltMode, Journal};
+use crate::stats::{DurableInstruments, DurableStats};
+use crate::wal::{read_wal, WalWriter};
+use crate::DurableError;
+
+/// Chunked snapshot-drain attempts before the checkpoint falls back to a
+/// single whole-range chunk (one validation window instead of many).
+const CHECKPOINT_DRAIN_ATTEMPTS: u32 = 16;
+
+/// Configuration for a [`DurableStore`].
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// Shards for the inner [`ShardedStore`].
+    pub shards: usize,
+    /// Configuration forwarded to the inner store.
+    pub store: StoreConfig,
+    /// Rotate WAL segments once they exceed this many bytes.
+    pub segment_bytes: u64,
+    /// Chunk size for the checkpoint's snapshot drain.
+    pub checkpoint_chunk: usize,
+    /// Whether commit groups fsync (`true` for real durability; `false`
+    /// trades the crash guarantee for throughput, useful in benches to
+    /// isolate the logging cost from the disk cost).
+    pub fsync: bool,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig {
+            shards: 4,
+            store: StoreConfig::default(),
+            segment_bytes: 8 * 1024 * 1024,
+            checkpoint_chunk: 1024,
+            fsync: true,
+        }
+    }
+}
+
+/// What recovery found when the store opened.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Cut of the checkpoint the store was seeded from (0 = none).
+    pub checkpoint_cut: u64,
+    /// Entries loaded from that checkpoint.
+    pub checkpoint_entries: u64,
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed_records: u64,
+    /// Operations inside those records.
+    pub replayed_ops: u64,
+    /// Highest sequence number the recovered state reflects; logging
+    /// resumes at `recovered_through + 1`.
+    pub recovered_through: u64,
+    /// `true` when the log ended in a torn/corrupt frame or a sequence
+    /// gap and an unacknowledged suffix was discarded.
+    pub torn_tail: bool,
+}
+
+/// What a completed checkpoint did.
+#[derive(Debug, Clone)]
+pub struct CheckpointReport {
+    /// The WAL cut the image is stamped with.
+    pub cut: u64,
+    /// Entries written into the image.
+    pub entries: u64,
+    /// Bytes of the image file.
+    pub bytes: u64,
+    /// WAL segments deleted by the post-checkpoint truncation.
+    pub segments_truncated: u64,
+    /// Chunked snapshot drains abandoned before one completed clean.
+    pub snapshot_retries: u64,
+    /// Whether the drain had to quiesce the journal's apply stage after
+    /// exhausting its online snapshot attempts (WAL appends and fsyncs
+    /// kept running; application deferred for one drain).
+    pub gated: bool,
+}
+
+/// A crash-safe [`ShardedStore`]: WAL-backed writes, online checkpoints,
+/// replay-on-open. See the crate docs for the protocol.
+///
+/// Reads ([`PointMap::get`], [`RangeRead`], [`SnapshotRead`],
+/// [`RangeScan`]) delegate to the inner store unchanged. Writes block
+/// until durable. The `wft-api` write traits panic if the journal has
+/// halted or storage failed — callers that need typed errors use
+/// [`DurableStore::apply_durable`].
+pub struct DurableStore<K: Key, V: Value = (), A: Augmentation<K, V> = Size>
+where
+    K: WalCodec,
+    V: WalCodec,
+{
+    inner: Arc<ShardedStore<K, V, A>>,
+    journal: Journal<K, V>,
+    dir: PathBuf,
+    config: DurableConfig,
+    instruments: Arc<DurableInstruments>,
+    recovery: RecoveryReport,
+}
+
+impl<K, V, A> DurableStore<K, V, A>
+where
+    K: Key + WalCodec,
+    V: Value + WalCodec,
+    A: Augmentation<K, V>,
+{
+    /// Opens (or creates) the durable store in `dir` with default
+    /// configuration, running recovery first.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, DurableError> {
+        Self::open_with_config(dir, DurableConfig::default())
+    }
+
+    /// Opens (or creates) the durable store in `dir`: loads the newest
+    /// valid checkpoint, replays the committed WAL suffix, and resumes
+    /// logging in a fresh segment.
+    pub fn open_with_config(
+        dir: impl AsRef<Path>,
+        config: DurableConfig,
+    ) -> Result<Self, DurableError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(DurableError::io)?;
+
+        let (cut, entries) = load_newest_checkpoint::<K, V>(&dir)
+            .map_err(DurableError::io)?
+            .unwrap_or((0, Vec::new()));
+        let mut recovery = RecoveryReport {
+            checkpoint_cut: cut,
+            checkpoint_entries: entries.len() as u64,
+            recovered_through: cut,
+            ..RecoveryReport::default()
+        };
+
+        let inner = Arc::new(ShardedStore::from_entries_with_config(
+            entries,
+            config.shards,
+            config.store.clone(),
+        ));
+
+        let replay = read_wal::<K, V>(&dir).map_err(DurableError::io)?;
+        recovery.torn_tail = replay.torn_tail;
+        let mut expected = cut + 1;
+        for (seq, ops) in replay.records {
+            if seq <= cut {
+                continue;
+            }
+            if seq != expected {
+                return Err(DurableError::Corrupt(format!(
+                    "log skips from seq {} to {seq} past checkpoint cut {cut}: \
+                     committed records are missing",
+                    expected - 1
+                )));
+            }
+            recovery.replayed_records += 1;
+            recovery.replayed_ops += ops.len() as u64;
+            inner
+                .apply_batch(ops)
+                .map_err(|err| DurableError::Corrupt(format!("replaying seq {seq}: {err}")))?;
+            recovery.recovered_through = seq;
+            expected = seq + 1;
+        }
+
+        let wal = WalWriter::open(&dir, recovery.recovered_through + 1, config.segment_bytes)
+            .map_err(DurableError::io)?;
+        let instruments = Arc::new(DurableInstruments::default());
+        let journal = Journal::start(
+            Arc::clone(&inner),
+            wal,
+            Arc::clone(&instruments),
+            recovery.recovered_through,
+            config.fsync,
+        );
+
+        Ok(DurableStore {
+            inner,
+            journal,
+            dir,
+            config,
+            instruments,
+            recovery,
+        })
+    }
+
+    /// Validates `batch` and commits it through the write-ahead log,
+    /// returning the typed outcomes once the batch is durable and applied.
+    ///
+    /// This is the write path every trait-level mutation funnels through;
+    /// unlike the trait impls it reports journal failures as
+    /// [`DurableError`] instead of panicking. An empty batch is a durable
+    /// no-op that never touches the log.
+    pub fn apply_durable(
+        &self,
+        batch: Vec<StoreOp<K, V>>,
+    ) -> Result<Vec<OpOutcome<V>>, DurableError> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        wft_api::validate_batch(&batch, self.config.store.max_batch_ops)
+            .map_err(|err| DurableError::Batch(err.to_string()))?;
+        self.journal.submit(batch)
+    }
+
+    /// The inner sharded store, for read-side access to its native API
+    /// (stitched reads, front machinery, invariant checks). Mutating the
+    /// inner store directly would bypass the log — it is exposed
+    /// read-only by convention, not by type, because every useful read
+    /// entry point takes `&self` anyway.
+    pub fn store(&self) -> &ShardedStore<K, V, A> {
+        &self.inner
+    }
+
+    /// What recovery found when this handle opened.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// The directory holding the WAL and checkpoints.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Point-in-time copy of the durable layer's instrumentation.
+    pub fn stats(&self) -> DurableStats {
+        let shared = self.journal.shared();
+        self.instruments.stats(
+            shared.durable_seq.load(Ordering::Acquire),
+            shared.applied_seq.load(Ordering::Acquire),
+        )
+    }
+
+    /// `true` once the journal has halted (graceful shutdown, simulated
+    /// crash, or storage failure) and writes are refused.
+    pub fn is_halted(&self) -> bool {
+        self.journal.is_halted()
+    }
+
+    /// Stops logging as a crash would: queued unacknowledged batches fail
+    /// with [`DurableError::Halted`] and nothing further is flushed. The
+    /// on-disk state is left exactly as the crash instant would leave it —
+    /// reopen the directory to exercise recovery. Reads keep working on
+    /// the frozen in-memory state.
+    pub fn simulate_crash(&self) {
+        self.journal.halt(HaltMode::Crash);
+    }
+
+    /// Drains every queued batch to stable storage, then stops the
+    /// journal. Further writes fail with [`DurableError::Halted`]. Also
+    /// runs on drop; calling it explicitly just surfaces the point where
+    /// durability ends.
+    pub fn shutdown(&self) {
+        self.journal.halt(HaltMode::Graceful);
+    }
+}
+
+impl<K, V, A> DurableStore<K, V, A>
+where
+    K: RangeKey + WalCodec,
+    V: Value + WalCodec,
+    A: Augmentation<K, V>,
+{
+    /// Takes an online checkpoint: snapshot-drains the store through a
+    /// scan cursor (writers keep writing), makes the image durable, then
+    /// rotates the WAL and deletes every segment the cut covers. Returns
+    /// what it did. See the module docs for why the sampled cut is
+    /// sound.
+    pub fn checkpoint(&self) -> Result<CheckpointReport, DurableError> {
+        if self.journal.is_halted() {
+            return Err(DurableError::Halted);
+        }
+        let started = Instant::now();
+        let cut = self.journal.shared().applied_seq.load(Ordering::Acquire);
+        wft_obs::trace::emit(TraceKind::CheckpointBegin, (cut & 0xFFFF) as u16);
+
+        let mut snapshot_retries = 0u64;
+        let mut gated = false;
+        let entries = loop {
+            // Fallback under sustained write pressure: the in-memory
+            // store is mutated only by the log thread's apply stage, so
+            // holding its gate makes the store quiescent and the very
+            // next drain completes `Snapshot` in one pass. Writers are
+            // not paused — WAL appends and fsyncs keep running; only
+            // application (and acknowledgement) defers for one drain,
+            // and the backlog commits as one large group after. Without
+            // the gate, a lock-free snapshot drain can starve forever on
+            // few cores (every reschedule lets an apply expire the cut).
+            let _quiesced = if snapshot_retries >= u64::from(CHECKPOINT_DRAIN_ATTEMPTS) {
+                gated = true;
+                Some(self.journal.shared().apply_gate.lock().unwrap())
+            } else {
+                None
+            };
+            let mut cursor = self.inner.scan(RangeSpec::all());
+            let entries = cursor.drain(self.config.checkpoint_chunk.max(1));
+            if cursor.consistency() == ScanConsistency::Snapshot || gated {
+                // A gated drain is Snapshot unless something mutated the
+                // inner store behind the journal's back (a convention
+                // breach, see `store()`); even then the image stays safe
+                // — replay from the cut repairs every key — so take it
+                // rather than loop forever.
+                debug_assert_eq!(cursor.consistency(), ScanConsistency::Snapshot);
+                break entries;
+            }
+            snapshot_retries += 1;
+        };
+
+        let bytes = write_checkpoint(&self.dir, cut, &entries).map_err(DurableError::io)?;
+
+        let segments_truncated = {
+            let mut wal = self.journal.shared().wal.lock().unwrap();
+            wal.rotate().map_err(DurableError::io)?;
+            self.instruments
+                .wal_rotations
+                .fetch_add(1, Ordering::Relaxed);
+            wal.truncate_through(cut).map_err(DurableError::io)?
+        };
+        self.instruments
+            .segments_truncated
+            .fetch_add(segments_truncated, Ordering::Relaxed);
+        self.instruments.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.instruments
+            .checkpoint_duration
+            .record(started.elapsed().as_nanos() as u64);
+        wft_obs::trace::emit(TraceKind::CheckpointEnd, (cut & 0xFFFF) as u16);
+
+        Ok(CheckpointReport {
+            cut,
+            entries: entries.len() as u64,
+            bytes,
+            segments_truncated,
+            snapshot_retries,
+            gated,
+        })
+    }
+}
+
+/// Point mutations are single-op durable batches; reads delegate to the
+/// inner store.
+///
+/// # Panics
+///
+/// The mutating methods panic when the journal has halted or storage
+/// failed ([`DurableStore::apply_durable`] is the fallible spelling).
+///
+/// One seam: a losing [`PointMap::insert`] reports
+/// `Unchanged { current }` by re-reading the key *after* the batch
+/// applied, so `current` can reflect a later write rather than the value
+/// that caused the loss. The store's per-key linearization order is
+/// unaffected.
+impl<K, V, A> PointMap<K, V> for DurableStore<K, V, A>
+where
+    K: Key + WalCodec,
+    V: Value + WalCodec,
+    A: Augmentation<K, V>,
+{
+    fn insert(&self, key: K, value: V) -> UpdateOutcome<V> {
+        let outcomes = self
+            .apply_durable(vec![StoreOp::Insert { key, value }])
+            .expect("durable insert");
+        match outcomes.into_iter().next() {
+            Some(OpOutcome::Inserted(true)) => UpdateOutcome::Applied { prior: None },
+            _ => UpdateOutcome::Unchanged {
+                current: self.inner.get(&key),
+            },
+        }
+    }
+
+    fn replace(&self, key: K, value: V) -> UpdateOutcome<V> {
+        let outcomes = self
+            .apply_durable(vec![StoreOp::InsertOrReplace { key, value }])
+            .expect("durable replace");
+        match outcomes.into_iter().next() {
+            Some(OpOutcome::Replaced(prior)) => UpdateOutcome::Applied { prior },
+            _ => unreachable!("InsertOrReplace yields Replaced"),
+        }
+    }
+
+    fn remove(&self, key: &K) -> UpdateOutcome<V> {
+        let outcomes = self
+            .apply_durable(vec![StoreOp::RemoveEntry { key: *key }])
+            .expect("durable remove");
+        match outcomes.into_iter().next() {
+            Some(OpOutcome::RemovedEntry(Some(prior))) => {
+                UpdateOutcome::Applied { prior: Some(prior) }
+            }
+            _ => UpdateOutcome::Unchanged { current: None },
+        }
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.inner.get(key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+/// Batches go through the log; validation errors stay typed.
+///
+/// # Panics
+///
+/// Panics when the journal has halted or storage failed (see
+/// [`DurableStore::apply_durable`] for the fallible spelling).
+impl<K, V, A> BatchApply<K, V> for DurableStore<K, V, A>
+where
+    K: Key + WalCodec,
+    V: Value + WalCodec,
+    A: Augmentation<K, V>,
+{
+    fn apply_batch(&self, batch: Vec<StoreOp<K, V>>) -> Result<Vec<OpOutcome<V>>, BatchError<K>> {
+        wft_api::validate_batch(&batch, self.config.store.max_batch_ops)?;
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(self.journal.submit(batch).expect("durable batch"))
+    }
+}
+
+impl<K, V, A> RangeRead<K, V> for DurableStore<K, V, A>
+where
+    K: RangeKey + WalCodec,
+    V: Value + WalCodec,
+    A: Augmentation<K, V>,
+{
+    type Agg = A::Agg;
+
+    fn range_agg(&self, range: RangeSpec<K>) -> A::Agg {
+        RangeRead::range_agg(&*self.inner, range)
+    }
+
+    fn count(&self, range: RangeSpec<K>) -> u64 {
+        RangeRead::count(&*self.inner, range)
+    }
+
+    fn collect_range(&self, range: RangeSpec<K>) -> Vec<(K, V)> {
+        RangeRead::collect_range(&*self.inner, range)
+    }
+}
+
+/// Scans hand out the inner store's cursor directly — durability adds
+/// nothing to the read path.
+impl<K, V, A> RangeScan<K, V> for DurableStore<K, V, A>
+where
+    K: RangeKey + WalCodec,
+    V: Value + WalCodec,
+    A: Augmentation<K, V>,
+{
+    type Cursor<'a>
+        = StoreScanCursor<'a, K, V, A>
+    where
+        Self: 'a;
+
+    fn scan(&self, range: RangeSpec<K>) -> StoreScanCursor<'_, K, V, A> {
+        self.inner.scan(range)
+    }
+}
+
+impl<K, V, A> TimestampFront for DurableStore<K, V, A>
+where
+    K: Key + WalCodec,
+    V: Value + WalCodec,
+    A: Augmentation<K, V>,
+{
+    fn settle_front(&self) -> u64 {
+        TimestampFront::settle_front(&*self.inner)
+    }
+
+    fn front_advertised(&self) -> u64 {
+        TimestampFront::front_advertised(&*self.inner)
+    }
+
+    fn front_resolved(&self) -> u64 {
+        TimestampFront::front_resolved(&*self.inner)
+    }
+}
+
+impl<K, V, A> SnapshotRead<K, V> for DurableStore<K, V, A>
+where
+    K: RangeKey + WalCodec,
+    V: Value + WalCodec,
+    A: Augmentation<K, V>,
+{
+    fn acquire_snapshot(&self) -> SnapshotToken {
+        self.inner.acquire_snapshot()
+    }
+
+    fn snapshot_valid(&self, token: &SnapshotToken) -> bool {
+        self.inner.snapshot_valid(token)
+    }
+
+    fn range_agg_at(&self, token: &SnapshotToken, range: RangeSpec<K>) -> Option<Self::Agg> {
+        self.inner.range_agg_at(token, range)
+    }
+
+    fn count_at(&self, token: &SnapshotToken, range: RangeSpec<K>) -> Option<u64> {
+        self.inner.count_at(token, range)
+    }
+
+    fn collect_range_at(&self, token: &SnapshotToken, range: RangeSpec<K>) -> Option<Vec<(K, V)>> {
+        self.inner.collect_range_at(token, range)
+    }
+}
+
+/// Pushes the `durable_*` metrics and forwards the inner store's, so one
+/// registry source covers the whole durable stack. The metrics read the
+/// same atomics [`DurableStore::stats`] reads — the two views can never
+/// drift.
+impl<K, V, A> wft_obs::MetricsSource for DurableStore<K, V, A>
+where
+    K: Key + WalCodec,
+    V: Value + WalCodec,
+    A: Augmentation<K, V>,
+{
+    fn collect_metrics(&self, out: &mut wft_obs::MetricsSnapshot) {
+        let stats = self.stats();
+        out.push_counter("durable_wal_appends", stats.wal_appends);
+        out.push_counter("durable_wal_fsyncs", stats.wal_fsyncs);
+        out.push_counter("durable_wal_stalls", stats.wal_stalls);
+        out.push_counter("durable_wal_bytes", stats.wal_bytes);
+        out.push_counter("durable_wal_rotations", stats.wal_rotations);
+        out.push_counter("durable_checkpoints", stats.checkpoints);
+        out.push_counter("durable_segments_truncated", stats.segments_truncated);
+        out.push_counter(
+            "durable_recovery_replayed_records",
+            self.recovery.replayed_records,
+        );
+        out.push_counter("durable_recovery_replayed_ops", self.recovery.replayed_ops);
+        out.push_gauge("durable_seq_durable", stats.durable_seq as i64);
+        out.push_gauge("durable_seq_applied", stats.applied_seq as i64);
+        out.push_gauge(
+            "durable_recovered_through",
+            self.recovery.recovered_through as i64,
+        );
+        out.push_histogram("durable_commit_latency_ns", stats.commit_latency);
+        out.push_histogram("durable_group_size", stats.group_size);
+        out.push_histogram("durable_checkpoint_duration_ns", stats.checkpoint_duration);
+        self.inner.collect_metrics(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::ScratchDir;
+
+    fn reopen(dir: &Path) -> DurableStore<i64, i64> {
+        DurableStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn writes_survive_reopen() {
+        let dir = ScratchDir::new("store-reopen");
+        {
+            let store = reopen(dir.path());
+            assert!(PointMap::insert(&store, 1, 10).is_applied());
+            assert!(PointMap::insert(&store, 2, 20).is_applied());
+            assert_eq!(
+                PointMap::replace(&store, 1, 11),
+                UpdateOutcome::Applied { prior: Some(10) }
+            );
+            store.shutdown();
+        }
+        let store = reopen(dir.path());
+        assert_eq!(store.recovery().replayed_records, 3);
+        assert_eq!(store.recovery().recovered_through, 3);
+        assert_eq!(PointMap::get(&store, &1), Some(11));
+        assert_eq!(PointMap::get(&store, &2), Some(20));
+        assert_eq!(PointMap::len(&store), 2);
+    }
+
+    #[test]
+    fn simulated_crash_keeps_acknowledged_writes() {
+        let dir = ScratchDir::new("store-crash");
+        {
+            let store = reopen(dir.path());
+            for k in 0..50 {
+                assert!(PointMap::insert(&store, k, k * 2).is_applied());
+            }
+            store.simulate_crash();
+            assert!(store.is_halted());
+            assert_eq!(
+                store.apply_durable(vec![StoreOp::Insert { key: 99, value: 0 }]),
+                Err(DurableError::Halted)
+            );
+            // Reads keep working on the frozen state.
+            assert_eq!(PointMap::len(&store), 50);
+        }
+        let store = reopen(dir.path());
+        assert_eq!(PointMap::len(&store), 50);
+        for k in 0..50 {
+            assert_eq!(PointMap::get(&store, &k), Some(k * 2));
+        }
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_recovery_is_exact() {
+        let dir = ScratchDir::new("store-ckpt");
+        {
+            let store = reopen(dir.path());
+            store
+                .apply_durable(
+                    (0..100)
+                        .map(|k| StoreOp::Insert { key: k, value: k })
+                        .collect(),
+                )
+                .unwrap();
+            let report = store.checkpoint().unwrap();
+            assert_eq!(report.cut, 1);
+            assert_eq!(report.entries, 100);
+            // Post-checkpoint writes land in the fresh segment.
+            store
+                .apply_durable(vec![
+                    StoreOp::RemoveEntry { key: 0 },
+                    StoreOp::InsertOrReplace { key: 1, value: -1 },
+                ])
+                .unwrap();
+            store.shutdown();
+        }
+        let store = reopen(dir.path());
+        assert_eq!(store.recovery().checkpoint_cut, 1);
+        assert_eq!(store.recovery().checkpoint_entries, 100);
+        assert_eq!(store.recovery().replayed_records, 1);
+        assert_eq!(PointMap::len(&store), 99);
+        assert_eq!(PointMap::get(&store, &0), None);
+        assert_eq!(PointMap::get(&store, &1), Some(-1));
+        store.store().check_invariants();
+    }
+
+    #[test]
+    fn batch_validation_is_typed_and_logs_nothing() {
+        let dir = ScratchDir::new("store-validate");
+        let store = reopen(dir.path());
+        let err = BatchApply::apply_batch(
+            &store,
+            vec![
+                StoreOp::Insert { key: 1, value: 1 },
+                StoreOp::Remove { key: 1 },
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, BatchError::DuplicateKey { key: 1 });
+        assert_eq!(store.stats().wal_appends, 0, "rejected batch never logged");
+        assert!(BatchApply::apply_batch(&store, Vec::new())
+            .unwrap()
+            .is_empty());
+        assert_eq!(store.stats().wal_appends, 0, "empty batch never logged");
+    }
+
+    #[test]
+    fn stats_count_the_write_path() {
+        let dir = ScratchDir::new("store-stats");
+        let store = reopen(dir.path());
+        for k in 0..10 {
+            PointMap::insert(&store, k, k);
+        }
+        store.checkpoint().unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.wal_appends, 10);
+        assert!(stats.wal_fsyncs >= 1);
+        assert!(stats.wal_bytes > 0);
+        assert_eq!(stats.checkpoints, 1);
+        assert_eq!(stats.durable_seq, 10);
+        assert_eq!(stats.applied_seq, 10);
+        assert_eq!(stats.commit_latency.count, 10);
+        assert_eq!(stats.group_size.count, stats.wal_fsyncs);
+    }
+
+    #[test]
+    fn snapshot_and_scan_read_through() {
+        let dir = ScratchDir::new("store-reads");
+        let store: DurableStore<i64> = DurableStore::open(dir.path()).unwrap();
+        store
+            .apply_durable(
+                (0..64)
+                    .map(|k| StoreOp::Insert { key: k, value: () })
+                    .collect(),
+            )
+            .unwrap();
+        assert_eq!(RangeRead::count(&store, RangeSpec::from_bounds(10..20)), 10);
+        let token = store.acquire_snapshot();
+        assert_eq!(store.count_at(&token, RangeSpec::all()), Some(64));
+        let mut cursor = store.scan(RangeSpec::all());
+        let drained = cursor.drain(7);
+        assert_eq!(drained.len(), 64);
+        assert_eq!(cursor.consistency(), ScanConsistency::Snapshot);
+    }
+}

@@ -258,6 +258,11 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> wft_api::BatchApply<K, V>
     }
 }
 
+/// Opts into the blanket `SnapshotRead`: plain reads here are
+/// validation-free linearizable queries, so the blanket's sandwich is the
+/// single validation layer.
+impl<K: Key, V: Value, A: Augmentation<K, V>> wft_api::FrontSnapshot for LockedRangeTree<K, V, A> {}
+
 /// The lock's write version is the snapshot front: mutations only become
 /// visible at lock release, the version bump is sequenced before that
 /// release, and reads serialize through the same lock — so announcement and

@@ -93,6 +93,11 @@ impl<K: Key, V: Value> BatchApply<K, V> for LockFreeBst<K, V> {
     }
 }
 
+/// Opts into the blanket `SnapshotRead`: plain reads here are
+/// validation-free linearizable queries, so the blanket's sandwich is the
+/// single validation layer.
+impl<K: Key, V: Value> wft_api::FrontSnapshot for LockFreeBst<K, V> {}
+
 /// The baseline's snapshot front is a plain update gauge (updates in flight
 /// vs updates finished). Settling *spins* rather than helping — the class
 /// has no descriptor to help — so acquisition is not non-blocking here; but

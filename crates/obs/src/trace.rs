@@ -46,6 +46,17 @@ pub enum TraceKind {
     /// A subtree rebuild was performed on the update path (arg: low 16
     /// bits of the number of items copied).
     HelpRebuild = 5,
+    /// A writer blocked on the write-ahead log's group-commit watermark
+    /// (arg: low 16 bits of the number of batches coalesced into the group
+    /// that released it).
+    WalStall = 6,
+    /// An online checkpoint started draining the store through a snapshot
+    /// scan cursor (arg: low 16 bits of the checkpoint's cut sequence).
+    CheckpointBegin = 7,
+    /// An online checkpoint finished and the WAL prefix at-or-before its
+    /// cut was truncated (arg: low 16 bits of the checkpoint's cut
+    /// sequence).
+    CheckpointEnd = 8,
 }
 
 impl TraceKind {
@@ -56,6 +67,9 @@ impl TraceKind {
             3 => Some(TraceKind::RangeFallback),
             4 => Some(TraceKind::LenFallback),
             5 => Some(TraceKind::HelpRebuild),
+            6 => Some(TraceKind::WalStall),
+            7 => Some(TraceKind::CheckpointBegin),
+            8 => Some(TraceKind::CheckpointEnd),
             _ => None,
         }
     }
@@ -68,6 +82,9 @@ impl TraceKind {
             TraceKind::RangeFallback => "range-fallback",
             TraceKind::LenFallback => "len-fallback",
             TraceKind::HelpRebuild => "help-rebuild",
+            TraceKind::WalStall => "wal-stall",
+            TraceKind::CheckpointBegin => "checkpoint-begin",
+            TraceKind::CheckpointEnd => "checkpoint-end",
         }
     }
 }
@@ -236,6 +253,9 @@ mod tests {
             TraceKind::RangeFallback,
             TraceKind::LenFallback,
             TraceKind::HelpRebuild,
+            TraceKind::WalStall,
+            TraceKind::CheckpointBegin,
+            TraceKind::CheckpointEnd,
         ] {
             let (m, k, a) = unpack(pack(123_456, kind, 7)).unwrap();
             assert_eq!((m, k, a), (123_456, kind, 7));

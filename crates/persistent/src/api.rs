@@ -124,6 +124,14 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> BatchApply<K, V> for PersistentRan
     }
 }
 
+/// Opts into the blanket `SnapshotRead`: plain reads here are
+/// validation-free linearizable queries, so the blanket's sandwich is the
+/// single validation layer.
+impl<K: Key, V: Value, A: Augmentation<K, V>> wft_api::FrontSnapshot
+    for PersistentRangeTree<K, V, A>
+{
+}
+
 /// The persistent tree's snapshot front is its version sequence number:
 /// every update commits a whole new version (with `seq + 1` inside the same
 /// CAS-swapped cell) at one atomic instant, so announcement, visibility and

@@ -7,8 +7,8 @@
 //! fan-out) rather than the serial helper single trees use.
 
 use wft_api::{
-    BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec, StoreOp,
-    TimestampFront, UpdateOutcome,
+    BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec, SnapshotRead,
+    SnapshotToken, StoreOp, TimestampFront, UpdateOutcome,
 };
 use wft_seq::{Augmentation, Key, Value};
 
@@ -85,11 +85,15 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> BatchApply<K, V> for ShardedStore<
 /// The store's scalar snapshot front is the **sum** of its per-shard
 /// timestamp fronts. Per-shard watermarks are monotone, so the sum is
 /// monotone and unchanged exactly when *no* shard advanced — which is all
-/// the blanket [`wft_api::SnapshotRead`] sandwich needs. (Settling settles
-/// each shard in turn; a shard that advances after its settle but before
-/// the sandwich closes fails the final validation, same as in the
-/// vector-valued [`crate::GlobalFront`] used by the store's native
-/// cross-shard reads, which validates only the shards a range touches.)
+/// a scalar validation sandwich needs. (Settling settles each shard in
+/// turn; a shard that advances after its settle but before the sandwich
+/// closes fails the final validation, same as in the vector-valued
+/// [`crate::GlobalFront`] used by the store's native cross-shard reads,
+/// which validates only the shards a range touches.)
+///
+/// The store deliberately does **not** take the [`wft_api::FrontSnapshot`]
+/// marker, so the blanket [`wft_api::SnapshotRead`] does not apply — see
+/// the native impl below for why.
 impl<K: Key, V: Value, A: Augmentation<K, V>> TimestampFront for ShardedStore<K, V, A> {
     fn settle_front(&self) -> u64 {
         self.settled_front_sum()
@@ -101,6 +105,87 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> TimestampFront for ShardedStore<K,
 
     fn front_resolved(&self) -> u64 {
         self.resolved_sum()
+    }
+}
+
+/// One scalar-sandwich snapshot read: entry validation (the summed front is
+/// settled at — and unchanged since — the token), the *stitched* cut-free
+/// read, exit validation. Counts a store snapshot retry when a performed
+/// read has to be discarded at the exit check (entry rejection reads
+/// nothing and counts nothing).
+fn stitched_read_at<K, V, A, R>(
+    store: &ShardedStore<K, V, A>,
+    token: &SnapshotToken,
+    read: impl FnOnce() -> R,
+) -> Option<R>
+where
+    K: Key,
+    V: Value,
+    A: Augmentation<K, V>,
+{
+    if store.resolved_sum() != token.front() || store.advertised_sum() != token.front() {
+        return None;
+    }
+    let out = read();
+    if store.advertised_sum() == token.front() {
+        Some(out)
+    } else {
+        store.front.count_retry();
+        wft_obs::trace::emit(wft_obs::TraceKind::SnapshotRetry, wft_obs::NO_SHARD);
+        None
+    }
+}
+
+/// The store's **native** [`SnapshotRead`], replacing the blanket impl the
+/// store pointedly opts out of (no [`wft_api::FrontSnapshot`] marker).
+///
+/// Under the blanket, every `*_at` read validated the front **twice**: once
+/// in the blanket's scalar sandwich, and once more inside the store's own
+/// plain reads, which acquire and validate a per-shard [`crate::GlobalFront`]
+/// cut with their own retry loop. The native impl runs the scalar sandwich
+/// once, around the **stitched** per-shard reads (no cut machinery at all):
+/// the summed advertised watermark is monotone and unchanged iff *no* shard
+/// advanced, so an unchanged sum across the window proves every shard was
+/// constant — the stitched read observed one global state, exactly the
+/// blanket's window argument with the store's second validation layer
+/// shaved off.
+impl<K, V, A> SnapshotRead<K, V> for ShardedStore<K, V, A>
+where
+    K: RangeKey,
+    V: Value,
+    A: Augmentation<K, V>,
+{
+    fn acquire_snapshot(&self) -> SnapshotToken {
+        SnapshotToken::new(self.settled_front_sum())
+    }
+
+    fn snapshot_valid(&self, token: &SnapshotToken) -> bool {
+        self.advertised_sum() == token.front()
+    }
+
+    fn range_agg_at(&self, token: &SnapshotToken, range: RangeSpec<K>) -> Option<Self::Agg> {
+        stitched_read_at(self, token, || {
+            wft_api::agg_over(range, A::identity, |min, max| {
+                self.stitched_range_agg(min, max)
+            })
+        })
+    }
+
+    fn count_at(&self, token: &SnapshotToken, range: RangeSpec<K>) -> Option<u64> {
+        stitched_read_at(self, token, || {
+            wft_api::count_over(
+                range,
+                |min, max| self.stitched_range_agg(min, max),
+                A::count_of,
+                |min, max| self.stitched_collect_range(min, max).len() as u64,
+            )
+        })
+    }
+
+    fn collect_range_at(&self, token: &SnapshotToken, range: RangeSpec<K>) -> Option<Vec<(K, V)>> {
+        stitched_read_at(self, token, || {
+            wft_api::collect_over(range, |min, max| self.stitched_collect_range(min, max))
+        })
     }
 }
 

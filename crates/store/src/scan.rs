@@ -31,11 +31,14 @@
 //!   key**: an empty prefix is a snapshot of any state, but shards already
 //!   stepped over were drained dry at the old cut and may hold entries at
 //!   the new one, so every touched shard is re-read at the fresh cut.
-//!   Like every cross-shard linearizable read in this crate
-//!   (`collect_range`, `range_agg`), these retry loops are **lock-free,
-//!   not wait-free**: sustained churn in a touched shard can keep a chunk
-//!   retrying (each retry implies a concurrent update linearized), exactly
-//!   as [`wft_api::ScanCursor::next_chunk`]'s contract states.
+//!   These fresh-cut restarts are **bounded** (`PRE_YIELD_RESTARTS`):
+//!   each one discards the whole pass, so under sustained write traffic an
+//!   unbounded restart loop would starve the first chunk forever. Past the
+//!   bound the cursor degrades to `Resumed` exactly like a post-yield
+//!   expiry and keeps its progress — `next_chunk` always terminates; what
+//!   remains lock-free-not-wait-free is only the per-shard read retry
+//!   (each retry implies a concurrent update linearized), exactly as
+//!   [`wft_api::ScanCursor::next_chunk`]'s contract states.
 //!
 //! # Consistency
 //!
@@ -52,11 +55,26 @@
 //! *touched, not-yet-drained* shards can expire the cursor — so a
 //! `Snapshot` drain may outlive the scalar token it reports.
 
+use std::collections::VecDeque;
+
 use wft_api::{RangeKey, RangeScan, RangeSpec, ScanConsistency, ScanCursor, SnapshotToken};
 use wft_core::Timestamp;
 use wft_seq::{Augmentation, Value};
 
 use crate::store::ShardedStore;
+
+/// Upper bound on the cursor's adaptive read-ahead target (see the field
+/// docs on [`StoreScanCursor`]); mirrors the shared `FrontScanCursor` cap.
+const READAHEAD_CAP: usize = 4096;
+
+/// How many pre-yield fresh-cut re-acquisitions a cursor performs before it
+/// stops discarding progress and degrades to [`ScanConsistency::Resumed`]
+/// like any post-yield expiry. Each restart throws the whole pass away, so
+/// under sustained write traffic an unbounded restart loop can starve the
+/// first chunk forever (every expiry implies a concurrent update linearized
+/// — lock-free, not wait-free); the bound makes `next_chunk` terminating,
+/// with the degradation reported honestly through the consistency label.
+const PRE_YIELD_RESTARTS: u64 = 16;
 
 /// The store's streaming cursor: shard-by-shard keyset pagination at one
 /// per-shard watermark cut. Produced by `RangeScan::scan` on
@@ -75,13 +93,32 @@ pub struct StoreScanCursor<'a, K: RangeKey, V: Value, A: Augmentation<K, V>> {
     hi: K,
     /// Index of the shard owning `hi` (shard bounds are static).
     last_shard: usize,
-    /// Lower bound of the not-yet-yielded suffix; `None` once exhausted.
+    /// Lower bound of the next *merge pass* — the first key neither
+    /// yielded nor buffered; `None` once the merge is exhausted.
     resume: Option<K>,
+    /// Validated entries read ahead of the caller: each buffered entry came
+    /// from a per-shard read validated against the cut, exactly like a
+    /// directly yielded one. A pre-yield cut expiry discards the buffer and
+    /// rewinds `resume` over it (the `Snapshot` claim never rests on reads
+    /// validated at a dead cut); after the first yield — or once the
+    /// restart bound is spent — the buffer survives expiries, as `Resumed`
+    /// promises per-read validation only.
+    buffer: VecDeque<(K, V)>,
+    /// Adaptive read-ahead target: doubles (capped at [`READAHEAD_CAP`])
+    /// after every merge pass that validated throughout, resets to 0 on any
+    /// cut expiry — small caller chunks amortise into few large merge
+    /// passes while the touched shards are quiet, and shrink back to
+    /// exactly-requested reads under churn.
+    readahead: usize,
     /// Whether any entry has been yielded to the caller yet. While not, a
     /// cut expiry re-acquires the *whole* cut (and refreshes the token)
     /// instead of degrading to `Resumed` — an empty prefix is trivially a
     /// snapshot of any state.
     yielded: bool,
+    /// Pre-yield fresh-cut re-acquisitions performed so far; at
+    /// [`PRE_YIELD_RESTARTS`] the cursor stops discarding and degrades to
+    /// `Resumed` instead, so a chunk always terminates.
+    restarts: u64,
     consistency: ScanConsistency,
     resumes: u64,
 }
@@ -109,31 +146,35 @@ where
             hi,
             last_shard,
             resume,
+            buffer: VecDeque::new(),
+            readahead: 0,
             yielded: false,
+            restarts: 0,
             consistency: ScanConsistency::Snapshot,
             resumes: 0,
         }
     }
-}
 
-impl<K, V, A> ScanCursor<K, V> for StoreScanCursor<'_, K, V, A>
-where
-    K: RangeKey,
-    V: Value,
-    A: Augmentation<K, V>,
-{
-    fn next_chunk(&mut self, limit: usize) -> Vec<(K, V)> {
+    /// One merge pass at the current cut: reads the caller's shortfall
+    /// (widened to the adaptive read-ahead target) into the buffer, shard
+    /// after shard in key order. Post-yield cut expiries re-settle the
+    /// suffix shards and keep merging (`Resumed`); a pre-yield expiry
+    /// rewinds the whole cursor to a fresh cut and returns for a clean
+    /// retry.
+    fn fill(&mut self, limit: usize) {
         let Some(lo) = self.resume else {
-            return Vec::new();
+            return;
         };
-        if limit == 0 {
-            return Vec::new();
-        }
+        let target = limit
+            .saturating_sub(self.buffer.len())
+            .max(self.readahead)
+            .max(1);
         let mut out: Vec<(K, V)> = Vec::new();
         let mut shard = self.store.shard_of(&lo);
         let mut shard_lo = lo;
-        while out.len() < limit && shard <= self.last_shard {
-            let want = limit - out.len();
+        let mut expired = false;
+        while out.len() < target && shard <= self.last_shard {
+            let want = target - out.len();
             match self.store.shards[shard].collect_range_limited_at_front(
                 shard_lo,
                 self.hi,
@@ -156,15 +197,15 @@ where
                 }
                 None => {
                     // The shard advanced past its cut watermark.
-                    if self.yielded {
+                    if self.yielded || self.restarts >= PRE_YIELD_RESTARTS {
                         // Re-settle the not-yet-drained suffix shards only
                         // (drained shards are never read again) and retry
                         // this shard; the drain is no longer a single
                         // snapshot. Entries of earlier shards already in
-                        // `out` stay: the caller has accepted `Resumed`
-                        // semantics, where one chunk may stitch per-shard
-                        // reads taken at different cuts (documented in
-                        // `wft_api::scan`).
+                        // `out` (and in the read-ahead buffer) stay: the
+                        // caller has accepted `Resumed` semantics, where
+                        // one chunk may stitch per-shard reads taken at
+                        // different cuts (documented in `wft_api::scan`).
                         let fresh = self.store.settle_touched(shard, self.last_shard);
                         self.cut[shard..=self.last_shard].copy_from_slice(&fresh);
                         self.store.front.count_scan_resume();
@@ -174,42 +215,81 @@ where
                         );
                         self.consistency = ScanConsistency::Resumed;
                         self.resumes += 1;
+                        expired = true;
                     } else {
                         // Nothing yielded to the caller yet: discard the
-                        // partial buffer, acquire a whole fresh cut and
-                        // make it the cursor's anchor — the drain stays
-                        // `Snapshot` against the new token, exactly as the
-                        // `ScanCursor` contract promises for pre-yield
-                        // failures. The merge rewinds to the resume key:
-                        // shards already stepped over (or partially read
-                        // into `out`) were drained at the OLD cut, and the
-                        // new cut may have landed keys in them — a
-                        // `Snapshot` drain owes the new token every one of
-                        // those entries. The discarded attempt counts as a
-                        // snapshot retry (not a scan resume), attributed to
-                        // the shard that expired the cut.
+                        // partial pass AND the read-ahead buffer, acquire a
+                        // whole fresh cut and make it the cursor's anchor —
+                        // the drain stays `Snapshot` against the new token,
+                        // exactly as the `ScanCursor` contract promises for
+                        // pre-yield failures. The merge rewinds to the
+                        // first key the caller has not seen (the front of
+                        // the buffer, else this pass's resume key): shards
+                        // already stepped over, partially read, or buffered
+                        // were drained at the OLD cut, and the new cut may
+                        // have landed keys in them — a `Snapshot` drain
+                        // owes the new token every one of those entries.
+                        // The discarded attempt counts as a snapshot retry
+                        // (not a scan resume), attributed to the shard that
+                        // expired the cut. Restarts are bounded by
+                        // `PRE_YIELD_RESTARTS`; past it the expiry above
+                        // degrades to `Resumed` instead of discarding, so
+                        // the first chunk cannot be starved forever.
+                        self.restarts += 1;
                         self.store.note_snapshot_retry(shard);
                         out.clear();
+                        let restart = self.buffer.front().map(|(k, _)| *k).unwrap_or(lo);
+                        self.buffer.clear();
                         self.cut = self.store.settle_all();
                         self.token = SnapshotToken::new(self.cut.iter().sum());
-                        shard = self.store.shard_of(&lo);
-                        shard_lo = lo;
+                        self.resume = Some(restart);
+                        self.readahead = 0;
+                        std::hint::spin_loop();
+                        return;
                     }
                     std::hint::spin_loop();
                 }
             }
         }
-        // Commit the pagination point: a short chunk proves exhaustion, a
-        // full one resumes strictly after its last key.
-        self.resume = if out.len() < limit {
+        // Commit the pagination point: a short pass proves exhaustion, a
+        // full one resumes strictly after its last key. A pass that
+        // validated throughout earns a doubled read-ahead target.
+        self.resume = if out.len() < target {
             None
         } else {
             out.last()
                 .and_then(|(k, _)| k.successor())
                 .filter(|next| *next <= self.hi)
         };
-        self.yielded |= !out.is_empty();
-        out
+        self.buffer.extend(out);
+        self.readahead = if expired {
+            0
+        } else {
+            target.saturating_mul(2).min(READAHEAD_CAP)
+        };
+    }
+}
+
+impl<K, V, A> ScanCursor<K, V> for StoreScanCursor<'_, K, V, A>
+where
+    K: RangeKey,
+    V: Value,
+    A: Augmentation<K, V>,
+{
+    fn next_chunk(&mut self, limit: usize) -> Vec<(K, V)> {
+        if limit == 0 {
+            return Vec::new();
+        }
+        // Top the buffer up to the caller's chunk (each fill is one merge
+        // pass at the current cut — possibly wider than the shortfall, per
+        // the adaptive read-ahead), then hand out exactly `limit` entries.
+        while self.buffer.len() < limit && self.resume.is_some() {
+            self.fill(limit);
+        }
+        let take = limit.min(self.buffer.len());
+        let chunk: Vec<(K, V)> = self.buffer.drain(..take).collect();
+        self.yielded |= !chunk.is_empty();
+        chunk
     }
 
     fn token(&self) -> SnapshotToken {
@@ -225,7 +305,7 @@ where
     }
 
     fn is_exhausted(&self) -> bool {
-        self.resume.is_none()
+        self.resume.is_none() && self.buffer.is_empty()
     }
 }
 

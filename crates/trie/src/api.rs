@@ -127,6 +127,11 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> BatchApply<K, V> for WaitFreeT
     }
 }
 
+/// Opts into the blanket `SnapshotRead`: plain reads here are
+/// validation-free linearizable queries, so the blanket's sandwich is the
+/// single validation layer.
+impl<K: TrieKey, V: Value, A: Augmentation<K, V>> wft_api::FrontSnapshot for WaitFreeTrie<K, V, A> {}
+
 /// The trie shares the BST's root-queue timestamp front, so the blanket
 /// [`wft_api::SnapshotRead`] applies to it the same way.
 impl<K: TrieKey, V: Value, A: Augmentation<K, V>> TimestampFront for WaitFreeTrie<K, V, A> {

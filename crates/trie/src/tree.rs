@@ -412,17 +412,68 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
 
     /// [`range_agg`](WaitFreeTrie::range_agg) at a settled front, or `None`
     /// when the trie advanced past it.
+    ///
+    /// Under [`ReadPath::Fast`] the read is **optimistic-only** — bounded
+    /// descriptor-free attempts that bail out with `None` instead of falling
+    /// back to the descriptor path, mirroring
+    /// `wft_core::WaitFreeTree::range_agg_at_front`: a descriptor read at an
+    /// expiring front would be helped (and so re-done) by every updater it
+    /// blocks, only for its final front check to discard the answer.
     pub fn range_agg_at_front(&self, min: K, max: K, front: Timestamp) -> Option<A::Agg> {
         if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
+            return None;
+        }
+        if min > max {
+            return Some(A::identity());
+        }
+        if self.read_path == ReadPath::Fast {
+            let guard = crossbeam_epoch::pin();
+            for _ in 0..FAST_READ_ATTEMPTS {
+                if let Some(agg) = self.try_fast_range_agg(min, max, &guard) {
+                    self.counters
+                        .fast_range_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    return self.front_unchanged(front).then_some(agg);
+                }
+                self.counters
+                    .fast_range_retries
+                    .fetch_add(1, Ordering::Relaxed);
+                if !self.front_unchanged(front) {
+                    return None;
+                }
+            }
             return None;
         }
         let agg = self.range_agg(min, max);
         self.front_unchanged(front).then_some(agg)
     }
 
-    /// [`collect_range`](WaitFreeTrie::collect_range) at a settled front.
+    /// [`collect_range`](WaitFreeTrie::collect_range) at a settled front,
+    /// with the same optimistic-only discipline as
+    /// [`range_agg_at_front`](WaitFreeTrie::range_agg_at_front).
     pub fn collect_range_at_front(&self, min: K, max: K, front: Timestamp) -> Option<Vec<(K, V)>> {
         if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
+            return None;
+        }
+        if min > max {
+            return Some(Vec::new());
+        }
+        if self.read_path == ReadPath::Fast {
+            let guard = crossbeam_epoch::pin();
+            for _ in 0..FAST_READ_ATTEMPTS {
+                if let Some(entries) = self.try_fast_collect(min, max, &guard) {
+                    self.counters
+                        .fast_range_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    return self.front_unchanged(front).then_some(entries);
+                }
+                self.counters
+                    .fast_range_retries
+                    .fetch_add(1, Ordering::Relaxed);
+                if !self.front_unchanged(front) {
+                    return None;
+                }
+            }
             return None;
         }
         let entries = self.collect_range(min, max);
@@ -430,7 +481,9 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
     }
 
     /// [`collect_range_limited`](WaitFreeTrie::collect_range_limited) at a
-    /// settled front, or `None` once the trie advanced past it.
+    /// settled front, or `None` once the trie advanced past it; optimistic
+    /// only under [`ReadPath::Fast`], like
+    /// [`range_agg_at_front`](WaitFreeTrie::range_agg_at_front).
     pub fn collect_range_limited_at_front(
         &self,
         min: K,
@@ -439,6 +492,34 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         front: Timestamp,
     ) -> Option<Vec<(K, V)>> {
         if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
+            return None;
+        }
+        if min > max || limit == 0 {
+            return Some(Vec::new());
+        }
+        if self.read_path == ReadPath::Fast {
+            let guard = crossbeam_epoch::pin();
+            for _ in 0..FAST_READ_ATTEMPTS {
+                if let Some((entries, early_exit)) =
+                    self.try_fast_collect_limited(min, max, limit, &guard)
+                {
+                    self.counters
+                        .fast_range_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    if early_exit {
+                        self.counters
+                            .fast_range_early_exits
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    return self.front_unchanged(front).then_some(entries);
+                }
+                self.counters
+                    .fast_range_retries
+                    .fetch_add(1, Ordering::Relaxed);
+                if !self.front_unchanged(front) {
+                    return None;
+                }
+            }
             return None;
         }
         let entries = self.collect_range_limited(min, max, limit);

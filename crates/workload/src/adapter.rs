@@ -24,6 +24,7 @@ use std::sync::Arc;
 
 use wft_api::{PointMap, RangeRead, RangeScan, RangeSpec, ScanConsistency, SnapshotRead};
 use wft_core::{ReadPath, RootQueueKind, TreeConfig, WaitFreeTree};
+use wft_durable::{DurableStore, ScratchDir};
 use wft_lockbased::LockedRangeTree;
 use wft_lockfree::LockFreeBst;
 use wft_persistent::PersistentRangeTree;
@@ -171,6 +172,12 @@ pub enum TreeImpl {
     /// linearizability suites so cross-shard snapshot reads are checked
     /// under both per-shard read paths.
     ShardedDescReads,
+    /// The crash-safe store (`wft-durable`): the sharded store behind a
+    /// group-commit write-ahead log in a self-cleaning scratch directory.
+    /// Not part of [`TreeImpl::ALL`] — every write pays an `fsync`, so it
+    /// is benchmarked by the dedicated durability bench rather than
+    /// alongside the in-memory structures.
+    Durable,
 }
 
 impl TreeImpl {
@@ -201,6 +208,7 @@ impl TreeImpl {
             TreeImpl::WaitFreeDescReads => "wait-free-tree(desc-reads)",
             TreeImpl::TrieDescReads => "wait-free-trie(desc-reads)",
             TreeImpl::ShardedDescReads => "sharded-store(desc-reads)",
+            TreeImpl::Durable => "durable-store",
         }
     }
 
@@ -265,7 +273,72 @@ impl TreeImpl {
                     config,
                 ))
             }
+            TreeImpl::Durable => {
+                let scratch = ScratchDir::new("workload");
+                let config = wft_durable::DurableConfig {
+                    shards: max_threads.max(1),
+                    ..wft_durable::DurableConfig::default()
+                };
+                let store = DurableStore::<i64>::open_with_config(scratch.path(), config)
+                    .expect("opening durable store in scratch dir");
+                store
+                    .apply_durable(
+                        entries
+                            .iter()
+                            .map(|&k| wft_api::StoreOp::Insert { key: k, value: () })
+                            .collect(),
+                    )
+                    .expect("prefilling durable store");
+                Arc::new(DurableSet {
+                    store,
+                    _scratch: scratch,
+                })
+            }
         }
+    }
+}
+
+/// Keeps the scratch directory alive exactly as long as the durable store
+/// built over it, so the WAL cleans itself up when the harness drops the
+/// set. Delegates [`ConcurrentSet`] to the store's own blanket impl.
+struct DurableSet {
+    store: DurableStore<i64>,
+    _scratch: ScratchDir,
+}
+
+impl ConcurrentSet for DurableSet {
+    fn insert(&self, key: i64) -> bool {
+        ConcurrentSet::insert(&self.store, key)
+    }
+    fn replace(&self, key: i64) -> bool {
+        ConcurrentSet::replace(&self.store, key)
+    }
+    fn remove(&self, key: i64) -> bool {
+        ConcurrentSet::remove(&self.store, key)
+    }
+    fn contains(&self, key: i64) -> bool {
+        ConcurrentSet::contains(&self.store, key)
+    }
+    fn count(&self, min: i64, max: i64) -> u64 {
+        ConcurrentSet::count(&self.store, min, max)
+    }
+    fn count_via_collect(&self, min: i64, max: i64) -> u64 {
+        ConcurrentSet::count_via_collect(&self.store, min, max)
+    }
+    fn snapshot_count_pair(&self, a_min: i64, a_max: i64, b_min: i64, b_max: i64) -> (u64, u64) {
+        ConcurrentSet::snapshot_count_pair(&self.store, a_min, a_max, b_min, b_max)
+    }
+    fn chunked_scan_count(&self, min: i64, max: i64, chunk: usize) -> (u64, bool) {
+        ConcurrentSet::chunked_scan_count(&self.store, min, max, chunk)
+    }
+    fn chunked_scan_snapshot(&self, min: i64, max: i64, chunk: usize) -> Vec<i64> {
+        ConcurrentSet::chunked_scan_snapshot(&self.store, min, max, chunk)
+    }
+    fn len(&self) -> u64 {
+        ConcurrentSet::len(&self.store)
+    }
+    fn metrics_snapshot(&self) -> wft_obs::MetricsSnapshot {
+        ConcurrentSet::metrics_snapshot(&self.store)
     }
 }
 
@@ -305,6 +378,18 @@ mod tests {
             let set = imp.build(&prefill, 4);
             exercise(set.as_ref());
         }
+    }
+
+    #[test]
+    fn durable_store_speaks_the_harness_interface() {
+        let prefill: Vec<i64> = (0..100).collect();
+        let set = TreeImpl::Durable.build(&prefill, 2);
+        exercise(set.as_ref());
+        let metrics = set.metrics_snapshot();
+        assert!(
+            metrics.counter("durable_wal_appends").unwrap_or(0) > 0,
+            "durable writes go through the log"
+        );
     }
 
     #[test]

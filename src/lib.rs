@@ -28,6 +28,9 @@
 //! * [`store`] — the range-partitioned sharded store layering
 //!   two-phase batched writes and cross-shard aggregate queries over
 //!   independent wait-free tree shards;
+//! * [`durable`] — write-ahead logging with group commit, online
+//!   snapshot-cursor checkpoints and crash recovery layered under the
+//!   sharded store;
 //! * [`workload`] — workload generators and the timed
 //!   throughput harness behind the experiment suite;
 //! * [`obs`] — the unified observability layer: lock-free
@@ -42,6 +45,7 @@
 
 pub use wft_api as api;
 pub use wft_core as core;
+pub use wft_durable as durable;
 pub use wft_lincheck as lincheck;
 pub use wft_lockbased as lockbased;
 pub use wft_lockfree as lockfree;
@@ -61,6 +65,9 @@ pub use wft_trie::WaitFreeTrie;
 
 /// Convenience re-export of the sharded store layered over the tree.
 pub use wft_store::{ShardedStore, StoreOp};
+
+/// Convenience re-export of the crash-safe store layered over the WAL.
+pub use wft_durable::DurableStore;
 
 /// The one-line import for applications: the `wft-api` trait family, its
 /// vocabulary types, the augmentation algebra and the concrete structures.
@@ -83,6 +90,7 @@ pub mod prelude {
     pub use wft_seq::{Augmentation, Key, KeyRange, Pair, Size, Sum, SumSquares, Value};
     // The concrete structures applications reach for first.
     pub use wft_core::{ReadPath, RootQueueKind, TreeConfig, WaitFreeTree};
+    pub use wft_durable::{DurableConfig, DurableStore};
     pub use wft_store::{split_keys_from_sample, ShardedStore, StoreConfig};
     pub use wft_trie::WaitFreeTrie;
     // The observability surface every backend implements.

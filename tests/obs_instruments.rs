@@ -202,6 +202,9 @@ fn trace_ring_wraps_to_most_recent_events() {
         TraceKind::RangeFallback,
         TraceKind::LenFallback,
         TraceKind::HelpRebuild,
+        TraceKind::WalStall,
+        TraceKind::CheckpointBegin,
+        TraceKind::CheckpointEnd,
     ];
     const EMITTED: u64 = 21;
     for i in 0..EMITTED {
