@@ -1,0 +1,452 @@
+//! Fault-injection chaos harness (`BENCH_chaos.json`).
+//!
+//! Three scenarios drive the durable store's failure policy — retry with
+//! backoff, degraded read-only mode, resume — under deterministic fault
+//! schedules, with hard asserts on the acceptance invariants:
+//!
+//! * **drizzle**: writer threads commit under a periodic transient-fault
+//!   drizzle; every acknowledged write must survive, the journal must
+//!   absorb every fault through its retry loop (no degradation), and the
+//!   throughput cost of the drizzle is measured against a clean run.
+//! * **outage cycles**: writers ride through repeated
+//!   outage → degrade → heal → resume cycles; degraded windows must serve
+//!   reads, refuse writes fast, and resume cleanly, and a final reopen on
+//!   clean storage may only ever be *newer* per key than the last
+//!   acknowledged value.
+//! * **seeded schedules**: single-threaded random command scripts
+//!   (batches, checkpoints, scheduled transient faults, short writes,
+//!   outages, heals, resumes) with **fixed seeds**, checked step-by-step
+//!   against an acknowledged-prefix oracle and reopened twice — recovery
+//!   must equal the fold of the acknowledged batches (plus at most the
+//!   one in-flight batch whose escalation the caller saw fail), and must
+//!   be idempotent.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin chaos            # full run
+//! cargo run --release --bin chaos -- --smoke # short CI run (fixed seeds)
+//! ```
+
+use std::collections::{BTreeMap, HashSet};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use wft_durable::{
+    DurableConfig, DurableError, DurableStore, Fault, FaultKind, FaultyStorage, RetryPolicy,
+    ScratchDir,
+};
+use wft_store::{PointMap, RangeRead, RangeSpec, StoreOp};
+
+const TRANSIENT_KINDS: [io::ErrorKind; 3] = [
+    io::ErrorKind::Interrupted,
+    io::ErrorKind::TimedOut,
+    io::ErrorKind::Other,
+];
+
+/// Fast-failing config so escalations happen promptly; tiny segments so
+/// schedules also land on rotations and truncations.
+fn chaos_config() -> DurableConfig {
+    DurableConfig {
+        shards: 3,
+        segment_bytes: 4 * 1024,
+        retry: RetryPolicy {
+            attempts: 2,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_micros(200),
+        },
+        ..DurableConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: transient drizzle
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Serialize)]
+struct DrizzlePoint {
+    writer_threads: usize,
+    /// Every `fault_period`-th storage op fails once transiently
+    /// (0 = clean baseline).
+    fault_period: u64,
+    commits_per_sec: f64,
+    io_retries: u64,
+    /// p99 acknowledged-commit latency over the window (ns).
+    commit_p99_ns: u64,
+}
+
+fn run_drizzle(writer_threads: usize, fault_period: u64, duration: Duration) -> DrizzlePoint {
+    let scratch = ScratchDir::new("chaos-drizzle");
+    let faulty = FaultyStorage::over_fs();
+    let store: Arc<DurableStore<i64, i64>> = Arc::new(
+        DurableStore::open_with_storage(scratch.path(), chaos_config(), Arc::new(faulty.clone()))
+            .unwrap(),
+    );
+    if fault_period > 0 {
+        faulty.every(fault_period, io::ErrorKind::Interrupted);
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..writer_threads)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let base = t as i64 * 1_000_000;
+                let mut acked = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    store
+                        .apply_durable(vec![StoreOp::InsertOrReplace {
+                            key: base + (acked % 512),
+                            value: acked,
+                        }])
+                        .expect("transient drizzle must never surface to writers");
+                    acked += 1;
+                }
+                acked as u64
+            })
+        })
+        .collect();
+    let started = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let commits: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let stats = store.stats();
+    assert_eq!(stats.degraded, 0, "a drizzle must never degrade the store");
+    assert_eq!(stats.degraded_entries, 0);
+    if fault_period > 0 {
+        assert!(stats.io_retries > 0, "the drizzle must really have fired");
+    }
+    assert_eq!(stats.wal_appends, commits, "every ack is one WAL record");
+    DrizzlePoint {
+        writer_threads,
+        fault_period,
+        commits_per_sec: commits as f64 / elapsed,
+        io_retries: stats.io_retries,
+        commit_p99_ns: stats.commit_latency.quantile(0.99),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: outage / resume cycles
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Serialize)]
+struct CyclesOutcome {
+    writer_threads: usize,
+    cycles: u64,
+    acked_writes: u64,
+    degraded_write_rejections: u64,
+    io_retries: u64,
+}
+
+fn run_cycles(writer_threads: usize, target_cycles: u64) -> CyclesOutcome {
+    let scratch = ScratchDir::new("chaos-cycles");
+    let faulty = FaultyStorage::over_fs();
+    let store: Arc<DurableStore<i64, i64>> = Arc::new(
+        DurableStore::open_with_storage(scratch.path(), chaos_config(), Arc::new(faulty.clone()))
+            .unwrap(),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let rejections = Arc::new(AtomicUsize::new(0));
+
+    let writers: Vec<_> = (0..writer_threads)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let rejections = Arc::clone(&rejections);
+            std::thread::spawn(move || {
+                let base = t as i64 * 1_000_000;
+                let mut acked: BTreeMap<i64, i64> = BTreeMap::new();
+                let mut i = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = base + (i % 256);
+                    match store.apply_durable(vec![StoreOp::InsertOrReplace { key, value: i }]) {
+                        Ok(_) => {
+                            acked.insert(key, i);
+                        }
+                        Err(DurableError::Degraded(_)) => {
+                            rejections.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(other) => panic!("unexpected write error: {other:?}"),
+                    }
+                    i += 1;
+                }
+                acked
+            })
+        })
+        .collect();
+
+    let mut cycles = 0u64;
+    for _ in 0..target_cycles {
+        std::thread::sleep(Duration::from_millis(4));
+        faulty.outage_now(io::ErrorKind::Other);
+        while !store.is_degraded() {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        // Degraded reads must keep serving.
+        let _ = RangeRead::count(&*store, RangeSpec::all());
+        std::thread::sleep(Duration::from_millis(2));
+        faulty.heal();
+        assert_eq!(
+            store.try_resume(),
+            Ok(true),
+            "resume after heal must succeed"
+        );
+        cycles += 1;
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut acked: BTreeMap<i64, i64> = BTreeMap::new();
+    for writer in writers {
+        acked.extend(writer.join().unwrap());
+    }
+
+    // Quiescent memory == exactly the acknowledged map.
+    for (key, value) in &acked {
+        assert_eq!(PointMap::get(&*store, key), Some(*value));
+    }
+    let stats = store.stats();
+    assert_eq!(stats.degraded_entries, cycles);
+    assert_eq!(stats.resumes, cycles);
+    store.shutdown();
+    drop(store);
+
+    // Reopen on clean storage: recovery may only be newer per key.
+    let reopened: DurableStore<i64, i64> = DurableStore::open(scratch.path()).unwrap();
+    for (key, value) in &acked {
+        let recovered = PointMap::get(&reopened, key)
+            .unwrap_or_else(|| panic!("acknowledged key {key} lost in recovery"));
+        assert!(recovered >= *value, "key {key} went backwards");
+    }
+    CyclesOutcome {
+        writer_threads,
+        cycles,
+        acked_writes: acked.len() as u64,
+        degraded_write_rejections: rejections.load(Ordering::Relaxed) as u64,
+        io_retries: stats.io_retries,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: seeded random fault schedules vs the acked-prefix oracle
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Serialize)]
+struct ScheduleTotals {
+    schedules: u64,
+    steps: u64,
+    acked_batches: u64,
+    rejected_batches: u64,
+    escalations: u64,
+    resumes: u64,
+    faults_fired: u64,
+    recoveries_with_tail: u64,
+}
+
+fn fold(op: &StoreOp<i64, i64>, oracle: &mut BTreeMap<i64, i64>) {
+    match *op {
+        StoreOp::Insert { key, value } => {
+            oracle.entry(key).or_insert(value);
+        }
+        StoreOp::InsertOrReplace { key, value } => {
+            oracle.insert(key, value);
+        }
+        StoreOp::Remove { key } | StoreOp::RemoveEntry { key } => {
+            oracle.remove(&key);
+        }
+    }
+}
+
+fn random_batch(rng: &mut StdRng) -> Vec<StoreOp<i64, i64>> {
+    let len = rng.gen_range(1..6);
+    let mut used = HashSet::new();
+    let mut ops = Vec::new();
+    for _ in 0..len {
+        let key = rng.gen_range(-40i64..40);
+        if !used.insert(key) {
+            continue;
+        }
+        let value = rng.gen_range(-1000i64..1000);
+        ops.push(match rng.gen_range(0..3) {
+            0 => StoreOp::Insert { key, value },
+            1 => StoreOp::InsertOrReplace { key, value },
+            _ => StoreOp::RemoveEntry { key },
+        });
+    }
+    ops
+}
+
+fn run_schedule(seed: u64, steps: u64, totals: &mut ScheduleTotals) {
+    let scratch = ScratchDir::new("chaos-schedule");
+    let faulty = FaultyStorage::over_fs();
+    let store: DurableStore<i64, i64> =
+        DurableStore::open_with_storage(scratch.path(), chaos_config(), Arc::new(faulty.clone()))
+            .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut oracle: BTreeMap<i64, i64> = BTreeMap::new();
+    // The one batch whose escalation the caller saw fail: its frame may
+    // have reached the disk intact, so recovery may include it.
+    let mut tail: Option<Vec<StoreOp<i64, i64>>> = None;
+
+    for _ in 0..steps {
+        totals.steps += 1;
+        match rng.gen_range(0..12u32) {
+            0..=5 => {
+                let batch = random_batch(&mut rng);
+                let was_degraded = store.is_degraded();
+                match store.apply_durable(batch.clone()) {
+                    Ok(_) => {
+                        totals.acked_batches += 1;
+                        for op in &batch {
+                            fold(op, &mut oracle);
+                        }
+                    }
+                    Err(DurableError::Degraded(_)) => {
+                        totals.rejected_batches += 1;
+                        if !was_degraded {
+                            totals.escalations += 1;
+                            tail = Some(batch);
+                        }
+                    }
+                    Err(other) => panic!("seed {seed}: unexpected write error {other:?}"),
+                }
+            }
+            6 => {
+                let _ = store.checkpoint();
+            }
+            7 | 8 => {
+                let kind = TRANSIENT_KINDS[rng.gen_range(0..TRANSIENT_KINDS.len())];
+                faulty.schedule(Fault::nth(
+                    faulty.ops() + rng.gen_range(0u64..10),
+                    FaultKind::Error(kind),
+                ));
+            }
+            9 => faulty.schedule(Fault::nth(
+                faulty.ops() + rng.gen_range(0u64..10),
+                FaultKind::ShortWrite,
+            )),
+            10 => faulty.schedule(Fault::nth(
+                faulty.ops() + rng.gen_range(0u64..10),
+                FaultKind::Outage(io::ErrorKind::Other),
+            )),
+            _ => {
+                faulty.heal();
+                if let Ok(true) = store.try_resume() {
+                    totals.resumes += 1;
+                    tail = None;
+                }
+            }
+        }
+        // Memory must serve exactly the acknowledged prefix at all times.
+        let live = RangeRead::collect_range(&store, RangeSpec::all());
+        let want: Vec<(i64, i64)> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(live, want, "seed {seed}: memory diverged from the oracle");
+    }
+    totals.faults_fired += faulty.faults_fired();
+    faulty.heal();
+    store.shutdown();
+    drop(store);
+
+    let acked: Vec<(i64, i64)> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+    let with_tail: Vec<(i64, i64)> = {
+        let mut o = oracle.clone();
+        for op in tail.iter().flatten() {
+            fold(op, &mut o);
+        }
+        o.iter().map(|(k, v)| (*k, *v)).collect()
+    };
+
+    let mut rounds = Vec::new();
+    for round in 0..2 {
+        let reopened: DurableStore<i64, i64> = DurableStore::open(scratch.path()).unwrap();
+        let recovered = RangeRead::collect_range(&reopened, RangeSpec::all());
+        assert!(
+            recovered == acked || recovered == with_tail,
+            "seed {seed} round {round}: recovery produced a state outside the allowed set"
+        );
+        reopened.store().check_invariants();
+        reopened.shutdown();
+        rounds.push(recovered);
+    }
+    assert_eq!(rounds[0], rounds[1], "seed {seed}: recovery not idempotent");
+    if rounds[0] != acked {
+        totals.recoveries_with_tail += 1;
+    }
+    totals.schedules += 1;
+}
+
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Serialize)]
+struct Report {
+    smoke: bool,
+    drizzle: Vec<DrizzlePoint>,
+    cycles: CyclesOutcome,
+    schedules: ScheduleTotals,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let duration = Duration::from_millis(if smoke { 100 } else { 400 });
+    let seeds: u64 = if smoke { 10 } else { 64 };
+    let steps: u64 = if smoke { 24 } else { 60 };
+
+    let mut drizzle = Vec::new();
+    for &period in &[0u64, 64, 16] {
+        let point = run_drizzle(if smoke { 2 } else { 4 }, period, duration);
+        println!(
+            "drizzle: writers={} period={:<3} {:>9.0} commits/s  {:>5} retries  p99 {:>9} ns",
+            point.writer_threads,
+            point.fault_period,
+            point.commits_per_sec,
+            point.io_retries,
+            point.commit_p99_ns,
+        );
+        drizzle.push(point);
+    }
+
+    let cycles = run_cycles(if smoke { 2 } else { 4 }, if smoke { 2 } else { 4 });
+    println!(
+        "cycles: {} outage/resume cycles, {} acked keys survived, {} degraded rejections",
+        cycles.cycles, cycles.acked_writes, cycles.degraded_write_rejections,
+    );
+
+    let mut totals = ScheduleTotals::default();
+    for seed in 0..seeds {
+        run_schedule(seed, steps, &mut totals);
+    }
+    println!(
+        "schedules: {} seeds x {} steps — {} acked / {} rejected batches, \
+         {} escalations, {} resumes, {} faults fired, {} recoveries included the in-flight tail",
+        totals.schedules,
+        steps,
+        totals.acked_batches,
+        totals.rejected_batches,
+        totals.escalations,
+        totals.resumes,
+        totals.faults_fired,
+        totals.recoveries_with_tail,
+    );
+    assert!(
+        totals.faults_fired > 0,
+        "the schedules must really have injected faults"
+    );
+
+    let report = Report {
+        smoke,
+        drizzle,
+        cycles,
+        schedules: totals,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!("wrote BENCH_chaos.json");
+}

@@ -17,16 +17,17 @@
 //! `crc` is CRC-32 of the body. Images are written to a `.tmp` name,
 //! fsynced, renamed into place, and the directory fsynced — the rename is
 //! the commit point, so a crash mid-write leaves at most a stray temp file
-//! and never a half-visible checkpoint.
+//! and never a half-visible checkpoint. All I/O goes through the
+//! [`crate::storage::Storage`] seam so the fault harness can crash this
+//! path at every step (tmp write, tmp fsync, rename, dir fsync).
 
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
 use wft_seq::{Key, Value};
 
 use crate::codec::{crc32, WalCodec};
-use crate::wal::sync_dir;
+use crate::storage::Storage;
 
 const MAGIC: &[u8; 8] = b"WFTCKPT1";
 
@@ -41,13 +42,14 @@ fn parse_checkpoint_name(name: &str) -> Option<u64> {
         .ok()
 }
 
-/// Checkpoint files in the directory, sorted by cut (ascending).
-fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+/// Checkpoint files in the directory, sorted by cut (ascending). Temp
+/// files fail the `.ckpt` suffix match and are invisible here — a crash
+/// between tmp-write and rename leaves no trace recovery can see.
+fn list_checkpoints(storage: &dyn Storage, dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut found = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        if let Some(cut) = entry.file_name().to_str().and_then(parse_checkpoint_name) {
-            found.push((cut, entry.path()));
+    for name in storage.list_dir(dir)? {
+        if let Some(cut) = parse_checkpoint_name(&name) {
+            found.push((cut, dir.join(name)));
         }
     }
     found.sort_unstable_by_key(|(cut, _)| *cut);
@@ -57,7 +59,12 @@ fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
 /// Atomically writes the checkpoint image for `cut`, then deletes every
 /// older checkpoint file (the newest image subsumes them). Returns the
 /// image's size in bytes.
-pub(crate) fn write_checkpoint<K, V>(dir: &Path, cut: u64, entries: &[(K, V)]) -> io::Result<u64>
+pub(crate) fn write_checkpoint<K, V>(
+    storage: &dyn Storage,
+    dir: &Path,
+    cut: u64,
+    entries: &[(K, V)],
+) -> io::Result<u64>
 where
     K: Key + WalCodec,
     V: Value + WalCodec,
@@ -73,22 +80,18 @@ where
     let tmp = dir.join(format!("{}.tmp", checkpoint_name(cut)));
     let path = dir.join(checkpoint_name(cut));
     {
-        let mut file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&tmp)?;
-        file.write_all(MAGIC)?;
-        file.write_all(&body)?;
-        file.write_all(&crc32(&body).to_le_bytes())?;
-        file.sync_data()?;
+        let mut file = storage.create_truncate(&tmp)?;
+        file.append(MAGIC)?;
+        file.append(&body)?;
+        file.append(&crc32(&body).to_le_bytes())?;
+        file.sync()?;
     }
-    fs::rename(&tmp, &path)?;
-    sync_dir(dir)?;
+    storage.rename(&tmp, &path)?;
+    storage.sync_dir(dir)?;
 
-    for (old_cut, old_path) in list_checkpoints(dir)? {
+    for (old_cut, old_path) in list_checkpoints(storage, dir)? {
         if old_cut < cut {
-            fs::remove_file(old_path)?;
+            storage.remove_file(&old_path)?;
         }
     }
     Ok((MAGIC.len() + body.len() + 4) as u64)
@@ -131,14 +134,16 @@ where
 /// newer one is corrupt (a crash can tear at most the not-yet-renamed temp
 /// file, but defence in depth costs one loop). `None` when no valid image
 /// exists — recovery then replays the WAL from an empty store.
-pub(crate) fn load_newest_checkpoint<K, V>(dir: &Path) -> io::Result<Option<CheckpointImage<K, V>>>
+pub(crate) fn load_newest_checkpoint<K, V>(
+    storage: &dyn Storage,
+    dir: &Path,
+) -> io::Result<Option<CheckpointImage<K, V>>>
 where
     K: Key + WalCodec,
     V: Value + WalCodec,
 {
-    for (_, path) in list_checkpoints(dir)?.into_iter().rev() {
-        let mut bytes = Vec::new();
-        File::open(&path)?.read_to_end(&mut bytes)?;
+    for (_, path) in list_checkpoints(storage, dir)?.into_iter().rev() {
+        let bytes = storage.read(&path)?;
         if let Some(parsed) = parse_checkpoint(&bytes) {
             return Ok(Some(parsed));
         }
@@ -150,22 +155,24 @@ where
 mod tests {
     use super::*;
     use crate::scratch::ScratchDir;
+    use crate::storage::{Fault, FaultKind, FaultOp, FaultyStorage, FsStorage};
+    use std::fs;
 
     #[test]
     fn checkpoint_round_trips_and_supersedes() {
         let dir = ScratchDir::new("ckpt-roundtrip");
         let entries: Vec<(i64, i64)> = (0..100).map(|k| (k, k * 2)).collect();
-        write_checkpoint(dir.path(), 7, &entries).unwrap();
-        let (cut, loaded) = load_newest_checkpoint::<i64, i64>(dir.path())
+        write_checkpoint(&FsStorage, dir.path(), 7, &entries).unwrap();
+        let (cut, loaded) = load_newest_checkpoint::<i64, i64>(&FsStorage, dir.path())
             .unwrap()
             .unwrap();
         assert_eq!(cut, 7);
         assert_eq!(loaded, entries);
 
         // A newer checkpoint replaces the old file entirely.
-        write_checkpoint(dir.path(), 20, &entries[..10]).unwrap();
-        assert_eq!(list_checkpoints(dir.path()).unwrap().len(), 1);
-        let (cut, loaded) = load_newest_checkpoint::<i64, i64>(dir.path())
+        write_checkpoint(&FsStorage, dir.path(), 20, &entries[..10]).unwrap();
+        assert_eq!(list_checkpoints(&FsStorage, dir.path()).unwrap().len(), 1);
+        let (cut, loaded) = load_newest_checkpoint::<i64, i64>(&FsStorage, dir.path())
             .unwrap()
             .unwrap();
         assert_eq!(cut, 20);
@@ -175,13 +182,13 @@ mod tests {
     #[test]
     fn corrupt_image_is_rejected() {
         let dir = ScratchDir::new("ckpt-corrupt");
-        write_checkpoint::<i64, i64>(dir.path(), 3, &[(1, 10), (2, 20)]).unwrap();
+        write_checkpoint::<i64, i64>(&FsStorage, dir.path(), 3, &[(1, 10), (2, 20)]).unwrap();
         let path = dir.path().join(checkpoint_name(3));
         let mut bytes = fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         fs::write(&path, &bytes).unwrap();
-        assert!(load_newest_checkpoint::<i64, i64>(dir.path())
+        assert!(load_newest_checkpoint::<i64, i64>(&FsStorage, dir.path())
             .unwrap()
             .is_none());
     }
@@ -189,11 +196,61 @@ mod tests {
     #[test]
     fn empty_store_checkpoints_fine() {
         let dir = ScratchDir::new("ckpt-empty");
-        write_checkpoint::<i64, ()>(dir.path(), 0, &[]).unwrap();
-        let (cut, entries) = load_newest_checkpoint::<i64, ()>(dir.path())
+        write_checkpoint::<i64, ()>(&FsStorage, dir.path(), 0, &[]).unwrap();
+        let (cut, entries) = load_newest_checkpoint::<i64, ()>(&FsStorage, dir.path())
             .unwrap()
             .unwrap();
         assert_eq!(cut, 0);
         assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn crash_before_rename_leaves_old_image_intact() {
+        let dir = ScratchDir::new("ckpt-crash-rename");
+        write_checkpoint::<i64, i64>(&FsStorage, dir.path(), 5, &[(1, 1)]).unwrap();
+
+        // The rename fails: the new image never becomes visible, the tmp
+        // file is invisible to recovery, and the old image still loads.
+        let faulty = FaultyStorage::over_fs();
+        faulty.schedule(Fault::nth_of(
+            FaultOp::Rename,
+            0,
+            FaultKind::Error(io::ErrorKind::Other),
+        ));
+        let err = write_checkpoint::<i64, i64>(&faulty, dir.path(), 9, &[(2, 2)]);
+        assert!(err.is_err());
+
+        let (cut, entries) = load_newest_checkpoint::<i64, i64>(&FsStorage, dir.path())
+            .unwrap()
+            .unwrap();
+        assert_eq!(cut, 5);
+        assert_eq!(entries, vec![(1, 1)]);
+        // The stray tmp file really is on disk yet ignored by listing.
+        assert!(fs::read_dir(dir.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().ends_with(".tmp")));
+    }
+
+    #[test]
+    fn failed_dir_sync_surfaces_but_image_already_committed() {
+        let dir = ScratchDir::new("ckpt-dirsync");
+        let faulty = FaultyStorage::over_fs();
+        faulty.schedule(Fault::nth_of(
+            FaultOp::DirSync,
+            0,
+            FaultKind::Error(io::ErrorKind::Other),
+        ));
+        // The write reports failure (caller must not truncate the WAL)...
+        assert!(write_checkpoint::<i64, i64>(&faulty, dir.path(), 4, &[(3, 3)]).is_err());
+        // ...but the renamed image, if the directory entry survived, is a
+        // valid one — recovery may use it or fall back to pure WAL replay;
+        // either is consistent because the WAL was not truncated.
+        if let Some((cut, entries)) =
+            load_newest_checkpoint::<i64, i64>(&FsStorage, dir.path()).unwrap()
+        {
+            assert_eq!(cut, 4);
+            assert_eq!(entries, vec![(3, 3)]);
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! The group-commit journal: a dedicated log thread that coalesces
-//! concurrent batches into single WAL writes and applies them in sequence
-//! order.
+//! concurrent batches into single WAL writes, applies them in sequence
+//! order, and absorbs I/O failures through retry, degradation, and
+//! resume instead of crash-halting.
 //!
 //! # Protocol
 //!
@@ -28,20 +29,43 @@
 //! durability funnels writes through one sequencer — readers stay as
 //! parallel as ever.
 //!
+//! # Failure policy
+//!
+//! A flush failure no longer kills the store. Each commit-group flush is
+//! a retry loop: roll the segment tail back to the durable watermark
+//! (erasing any torn bytes so retried records reuse their sequence
+//! numbers — see `crate::wal`), re-append, re-sync. Transient errors
+//! (`EINTR`, `ENOSPC`, `EIO`, timeouts — anything
+//! [`crate::storage::is_fail_fast`] does not reject) consume the
+//! [`RetryPolicy`] budget with capped exponential backoff, each attempt
+//! counted in `durable_io_retries` and announced as
+//! [`TraceKind::IoRetry`]. Structural errors (path gone, permission
+//! denied) and an exhausted budget escalate per [`Escalation`]:
+//!
+//! - [`Escalation::Degrade`] (default): the journal enters **degraded
+//!   read-only mode**. The failed group and everything queued fail with
+//!   [`DurableError::Degraded`]; *nothing unacknowledged was applied*, so
+//!   the in-memory store still equals the WAL's durable prefix and reads
+//!   keep serving it. [`Journal::try_resume`] re-probes storage with a
+//!   genuine write (rollback + segment rotation) and re-arms the log
+//!   thread on success.
+//! - [`Escalation::Halt`]: the pre-fault-policy behaviour — the journal
+//!   halts for good with [`HaltReason::Io`].
+//!
 //! # Halting
 //!
 //! [`HaltMode::Graceful`] drains the queue before the thread exits (used
-//! by `shutdown` and drop). [`HaltMode::Crash`] abandons it — queued,
-//! unacknowledged batches fail with [`DurableError::Halted`] and their
-//! records may or may not be on disk, exactly the ambiguity a real crash
-//! leaves. An I/O error during a flush also crash-halts the journal: a log
-//! that cannot persist must stop acknowledging, not limp.
+//! by `shutdown` and drop) and surfaces as [`HaltReason::Shutdown`].
+//! [`HaltMode::Crash`] abandons the queue — unacknowledged batches fail
+//! with [`DurableError::Halted`] and their records may or may not be on
+//! disk, exactly the ambiguity a real crash leaves
+//! ([`HaltReason::Crash`]).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use wft_api::{OpOutcome, StoreOp};
 use wft_obs::TraceKind;
@@ -50,16 +74,89 @@ use wft_store::ShardedStore;
 
 use crate::codec::WalCodec;
 use crate::stats::DurableInstruments;
+use crate::storage::is_fail_fast;
 use crate::wal::WalWriter;
 use crate::DurableError;
 
-/// How the journal stops.
+/// Why the journal stopped accepting writes for good.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// Graceful shutdown: every queued batch was flushed and applied
+    /// before the log thread exited.
+    Shutdown,
+    /// A crash (real or [`crate::DurableStore::simulate_crash`]):
+    /// queued, unacknowledged batches were abandoned mid-flight.
+    Crash,
+    /// A persistent I/O failure under [`Escalation::Halt`] — the
+    /// storage died and the configuration chose stopping over degrading.
+    Io,
+}
+
+impl std::fmt::Display for HaltReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HaltReason::Shutdown => write!(f, "graceful shutdown"),
+            HaltReason::Crash => write!(f, "crash"),
+            HaltReason::Io => write!(f, "unrecoverable I/O failure"),
+        }
+    }
+}
+
+/// How the journal stops (the caller-facing verb; the surfaced noun is
+/// [`HaltReason`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum HaltMode {
     /// Flush and apply everything queued, then exit.
     Graceful,
     /// Exit now; fail queued batches with [`DurableError::Halted`].
     Crash,
+}
+
+/// Retry budget for transient I/O errors on the flush path.
+///
+/// Attempt `i` (0-based) sleeps `min(base_backoff << i, max_backoff)`
+/// before retrying. With the defaults (6 retries, 1 ms base, 64 ms cap)
+/// a group rides out ~127 ms of storage hiccup before escalating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (0 = escalate immediately).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 6,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(64),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before 0-based retry `attempt`.
+    pub(crate) fn backoff_for(&self, attempt: u32) -> Duration {
+        self.base_backoff
+            .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX))
+            .min(self.max_backoff)
+    }
+}
+
+/// What a persistent flush failure escalates into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Escalation {
+    /// Enter degraded read-only mode: reads keep serving, writes fail
+    /// fast with [`DurableError::Degraded`], and
+    /// [`crate::DurableStore::try_resume`] can restore service.
+    #[default]
+    Degrade,
+    /// Halt the journal for good with [`HaltReason::Io`] (the
+    /// pre-fault-policy behaviour).
+    Halt,
 }
 
 /// A submitted batch waiting for its commit group.
@@ -99,9 +196,21 @@ impl<V: Value> Slot<V> {
     }
 }
 
+/// The journal's lifecycle state, guarded by the queue lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum JournalState {
+    /// Accepting and flushing batches.
+    Running,
+    /// A persistent I/O failure stopped the log thread; the message is
+    /// the escalating error. Writes fail fast; `try_resume` may recover.
+    Degraded(String),
+    /// Stopped for good.
+    Halted(HaltReason),
+}
+
 struct Queue<K: Key, V: Value> {
     pending: VecDeque<Pending<K, V>>,
-    halt: Option<HaltMode>,
+    state: JournalState,
 }
 
 /// State shared between writers, the log thread, and checkpointing.
@@ -126,29 +235,49 @@ pub(crate) struct Shared<K: Key, V: Value> {
     /// Highest sequence number applied to the in-memory store. Always
     /// `<= durable_seq`: apply happens strictly after the group's fsync.
     pub(crate) applied_seq: AtomicU64,
+    /// Approximate live (not yet checkpoint-truncated) WAL bytes: grown
+    /// by the log thread after each flush, reset by checkpointing. Feeds
+    /// the background checkpoint policy; approximate because recovery
+    /// seeds it from the replayed suffix and truncation resets it to the
+    /// active segment's contribution only coarsely.
+    pub(crate) live_wal_bytes: AtomicU64,
+    /// Approximate live WAL segment count (same lifecycle as
+    /// `live_wal_bytes`).
+    pub(crate) live_wal_segments: AtomicU64,
     pub(crate) instruments: Arc<DurableInstruments>,
+    retry: RetryPolicy,
+    escalation: Escalation,
     fsync: bool,
 }
 
 /// Handle owning the log thread.
-pub(crate) struct Journal<K: Key, V: Value> {
+pub(crate) struct Journal<K: Key, V: Value, A: Augmentation<K, V>> {
     shared: Arc<Shared<K, V>>,
+    /// Kept so `try_resume` can respawn the log thread.
+    store: Arc<ShardedStore<K, V, A>>,
     thread: Mutex<Option<JoinHandle<()>>>,
 }
 
-impl<K, V> Journal<K, V>
+impl<K, V, A> Journal<K, V, A>
 where
     K: Key + WalCodec,
     V: Value + WalCodec,
+    A: Augmentation<K, V>,
 {
     /// Spawns the log thread over `wal`, applying committed batches to
     /// `store`. `recovered_through` seeds the durable/applied watermarks
-    /// (the WAL prefix recovery already replayed).
-    pub(crate) fn start<A: Augmentation<K, V>>(
+    /// (the WAL prefix recovery already replayed); `live_wal` seeds the
+    /// checkpoint policy's byte/segment counters with what recovery left
+    /// on disk.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn start(
         store: Arc<ShardedStore<K, V, A>>,
         wal: WalWriter,
         instruments: Arc<DurableInstruments>,
         recovered_through: u64,
+        live_wal: (u64, u64),
+        retry: RetryPolicy,
+        escalation: Escalation,
         fsync: bool,
     ) -> Self {
         let shared = Arc::new(Shared {
@@ -156,21 +285,22 @@ where
             apply_gate: Mutex::new(()),
             queue: Mutex::new(Queue {
                 pending: VecDeque::new(),
-                halt: None,
+                state: JournalState::Running,
             }),
             work: Condvar::new(),
             durable_seq: AtomicU64::new(recovered_through),
             applied_seq: AtomicU64::new(recovered_through),
+            live_wal_bytes: AtomicU64::new(live_wal.0),
+            live_wal_segments: AtomicU64::new(live_wal.1),
             instruments,
+            retry,
+            escalation,
             fsync,
         });
-        let thread_shared = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
-            .name("wft-durable-log".into())
-            .spawn(move || run(thread_shared, store))
-            .expect("spawning the durable log thread");
+        let handle = spawn_log_thread(&shared, &store);
         Journal {
             shared,
+            store,
             thread: Mutex::new(Some(handle)),
         }
     }
@@ -180,7 +310,7 @@ where
     }
 
     /// Queues a batch for the next commit group and blocks until it is
-    /// durable and applied (or the journal halted / failed). The batch
+    /// durable and applied (or the journal degraded / halted). The batch
     /// must already be validated — the log thread trusts it.
     pub(crate) fn submit(
         &self,
@@ -190,8 +320,10 @@ where
         let slot = Arc::new(Slot::new());
         {
             let mut queue = self.shared.queue.lock().unwrap();
-            if queue.halt.is_some() {
-                return Err(DurableError::Halted);
+            match &queue.state {
+                JournalState::Running => {}
+                JournalState::Degraded(msg) => return Err(DurableError::Degraded(msg.clone())),
+                JournalState::Halted(reason) => return Err(DurableError::Halted(*reason)),
             }
             queue.pending.push_back(Pending {
                 ops,
@@ -209,21 +341,94 @@ where
         result
     }
 
-    /// `true` once the journal stopped accepting batches.
+    /// A snapshot of the journal's lifecycle state.
+    pub(crate) fn state(&self) -> JournalState {
+        self.shared.queue.lock().unwrap().state.clone()
+    }
+
+    /// `true` once the journal stopped accepting batches for good.
     pub(crate) fn is_halted(&self) -> bool {
-        self.shared.queue.lock().unwrap().halt.is_some()
+        matches!(self.state(), JournalState::Halted(_))
+    }
+
+    /// `true` while the journal is in degraded read-only mode.
+    pub(crate) fn is_degraded(&self) -> bool {
+        matches!(self.state(), JournalState::Degraded(_))
+    }
+
+    /// Attempts to leave degraded mode: joins the dead log thread, probes
+    /// storage with a *genuine* write (tail rollback + rotation into a
+    /// fresh fsynced segment), and respawns the thread on success.
+    ///
+    /// Returns `Ok(true)` when the journal transitioned back to running,
+    /// `Ok(false)` when it was already running, `Err(Halted)` when it is
+    /// past saving, and `Err(Io)` when the probe found the storage still
+    /// dead (the journal stays degraded; call again later).
+    pub(crate) fn try_resume(&self) -> Result<bool, DurableError> {
+        // The thread-handle lock serialises concurrent resume attempts.
+        let mut thread = self.thread.lock().unwrap();
+        {
+            let queue = self.shared.queue.lock().unwrap();
+            match &queue.state {
+                JournalState::Running => return Ok(false),
+                JournalState::Halted(reason) => return Err(DurableError::Halted(*reason)),
+                JournalState::Degraded(_) => {}
+            }
+        }
+        if let Some(handle) = thread.take() {
+            let _ = handle.join();
+        }
+
+        // Probe with the same operations the flush path needs: erase any
+        // torn tail, then rotate — which syncs the old segment, creates a
+        // new one, and fsyncs the directory. If any of that still fails,
+        // stay degraded.
+        {
+            let mut wal = self.shared.wal.lock().unwrap();
+            wal.rollback_tail().map_err(DurableError::io)?;
+            wal.rotate().map_err(DurableError::io)?;
+        }
+        let instruments = &self.shared.instruments;
+        instruments.wal_rotations.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .live_wal_segments
+            .fetch_add(1, Ordering::Relaxed);
+
+        self.shared.queue.lock().unwrap().state = JournalState::Running;
+        let resumes = instruments.resumes.fetch_add(1, Ordering::Relaxed) + 1;
+        instruments.degraded.store(0, Ordering::Relaxed);
+        wft_obs::trace::emit(TraceKind::DegradedResume, (resumes & 0xFFFF) as u16);
+        *thread = Some(spawn_log_thread(&self.shared, &self.store));
+        Ok(true)
     }
 
     /// Stops the log thread and joins it. Idempotent; a `Crash` is never
-    /// downgraded to `Graceful` by a later call.
+    /// downgraded to `Graceful` by a later call. Halting a degraded
+    /// journal finalises it (the thread is already gone).
     pub(crate) fn halt(&self, mode: HaltMode) {
+        let reason = match mode {
+            HaltMode::Graceful => HaltReason::Shutdown,
+            HaltMode::Crash => HaltReason::Crash,
+        };
         {
             let mut queue = self.shared.queue.lock().unwrap();
-            match (queue.halt, mode) {
-                (None, _) | (Some(HaltMode::Graceful), HaltMode::Crash) => {
-                    queue.halt = Some(mode);
+            match (&queue.state, mode) {
+                (JournalState::Running, _) | (JournalState::Degraded(_), _) => {
+                    if matches!(queue.state, JournalState::Degraded(_)) {
+                        self.shared.instruments.degraded.store(0, Ordering::Relaxed);
+                        // The thread is dead; nothing will drain the queue
+                        // (degraded mode already failed everything, but a
+                        // submit racing the transition could be parked).
+                        for pending in queue.pending.drain(..) {
+                            pending.slot.fill(Err(DurableError::Halted(reason)));
+                        }
+                    }
+                    queue.state = JournalState::Halted(reason);
                 }
-                _ => {}
+                (JournalState::Halted(HaltReason::Shutdown), HaltMode::Crash) => {
+                    queue.state = JournalState::Halted(HaltReason::Crash);
+                }
+                (JournalState::Halted(_), _) => {}
             }
             self.shared.work.notify_one();
         }
@@ -233,12 +438,12 @@ where
     }
 }
 
-impl<K: Key, V: Value> Drop for Journal<K, V> {
+impl<K: Key, V: Value, A: Augmentation<K, V>> Drop for Journal<K, V, A> {
     fn drop(&mut self) {
         {
             let mut queue = self.shared.queue.lock().unwrap();
-            if queue.halt.is_none() {
-                queue.halt = Some(HaltMode::Graceful);
+            if matches!(queue.state, JournalState::Running) {
+                queue.state = JournalState::Halted(HaltReason::Shutdown);
             }
             self.shared.work.notify_one();
         }
@@ -248,7 +453,25 @@ impl<K: Key, V: Value> Drop for Journal<K, V> {
     }
 }
 
-/// The log thread body: wait for work, commit a group, apply it, repeat.
+fn spawn_log_thread<K, V, A>(
+    shared: &Arc<Shared<K, V>>,
+    store: &Arc<ShardedStore<K, V, A>>,
+) -> JoinHandle<()>
+where
+    K: Key + WalCodec,
+    V: Value + WalCodec,
+    A: Augmentation<K, V>,
+{
+    let shared = Arc::clone(shared);
+    let store = Arc::clone(store);
+    std::thread::Builder::new()
+        .name("wft-durable-log".into())
+        .spawn(move || run(shared, store))
+        .expect("spawning the durable log thread")
+}
+
+/// The log thread body: wait for work, commit a group (with retries),
+/// apply it, repeat — until halted or escalated.
 fn run<K, V, A>(shared: Arc<Shared<K, V>>, store: Arc<ShardedStore<K, V, A>>)
 where
     K: Key + WalCodec,
@@ -260,59 +483,38 @@ where
         let group: Vec<Pending<K, V>> = {
             let mut queue = shared.queue.lock().unwrap();
             loop {
-                match (queue.pending.is_empty(), queue.halt) {
-                    (_, Some(HaltMode::Crash)) => {
+                let empty = queue.pending.is_empty();
+                match (&queue.state, empty) {
+                    (JournalState::Halted(HaltReason::Shutdown), true) => return,
+                    // Graceful halt with work queued: drain it below.
+                    (JournalState::Halted(HaltReason::Shutdown), false) => break,
+                    (JournalState::Halted(reason), _) => {
+                        let reason = *reason;
                         for pending in queue.pending.drain(..) {
-                            pending.slot.fill(Err(DurableError::Halted));
+                            pending.slot.fill(Err(DurableError::Halted(reason)));
                         }
                         return;
                     }
-                    (true, Some(HaltMode::Graceful)) => return,
-                    (true, None) => queue = shared.work.wait(queue).unwrap(),
-                    (false, _) => break,
+                    // Degraded is set by this thread on its way out; a
+                    // fresh thread never observes it.
+                    (JournalState::Degraded(msg), _) => {
+                        let err = DurableError::Degraded(msg.clone());
+                        for pending in queue.pending.drain(..) {
+                            pending.slot.fill(Err(err.clone()));
+                        }
+                        return;
+                    }
+                    (JournalState::Running, true) => queue = shared.work.wait(queue).unwrap(),
+                    (JournalState::Running, false) => break,
                 }
             }
             queue.pending.drain(..).collect()
         };
 
-        // One write + one fsync for the whole group.
-        let flushed = {
-            let slices: Vec<&[StoreOp<K, V>]> =
-                group.iter().map(|pending| pending.ops.as_slice()).collect();
-            let mut wal = shared.wal.lock().unwrap();
-            wal.append_group(&slices)
-                .and_then(|out| {
-                    if shared.fsync {
-                        wal.sync()?;
-                    }
-                    Ok(out)
-                })
-                .and_then(|out| {
-                    if wal.wants_rotation() {
-                        wal.rotate()?;
-                        shared
-                            .instruments
-                            .wal_rotations
-                            .fetch_add(1, Ordering::Relaxed);
-                    }
-                    Ok(out)
-                })
-        };
-
-        let (first_seq, bytes) = match flushed {
+        let (first_seq, bytes) = match flush_group(&shared, &group) {
             Ok(out) => out,
             Err(err) => {
-                // A log that cannot persist must stop acknowledging:
-                // crash-halt, failing this group and everything queued.
-                let err = DurableError::Io(err.to_string());
-                for pending in group {
-                    pending.slot.fill(Err(err.clone()));
-                }
-                let mut queue = shared.queue.lock().unwrap();
-                queue.halt = Some(HaltMode::Crash);
-                for pending in queue.pending.drain(..) {
-                    pending.slot.fill(Err(DurableError::Halted));
-                }
+                escalate(&shared, group, &err);
                 return;
             }
         };
@@ -323,6 +525,7 @@ where
             .wal_appends
             .fetch_add(group_size, Ordering::Relaxed);
         instruments.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        shared.live_wal_bytes.fetch_add(bytes, Ordering::Relaxed);
         if shared.fsync {
             instruments.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
         }
@@ -350,5 +553,117 @@ where
                 .store(first_seq + i as u64, Ordering::Release);
             pending.slot.fill(outcome);
         }
+    }
+}
+
+/// Flushes one commit group durably, retrying transient I/O errors with
+/// capped exponential backoff. Every attempt starts by rolling the
+/// segment tail back to the durable watermark, so a torn previous attempt
+/// never leaves readable frames whose sequence numbers the retry reuses.
+fn flush_group<K, V>(shared: &Shared<K, V>, group: &[Pending<K, V>]) -> std::io::Result<(u64, u64)>
+where
+    K: Key + WalCodec,
+    V: Value + WalCodec,
+{
+    let slices: Vec<&[StoreOp<K, V>]> = group.iter().map(|p| p.ops.as_slice()).collect();
+    let mut attempt: u32 = 0;
+    loop {
+        let result = {
+            let mut wal = shared.wal.lock().unwrap();
+            wal.rollback_tail()
+                .and_then(|()| wal.append_group(&slices))
+                .and_then(|out| {
+                    if shared.fsync {
+                        wal.sync()?;
+                    } else {
+                        wal.commit_volatile();
+                    }
+                    Ok(out)
+                })
+        };
+        match result {
+            Ok(out) => {
+                // Rotation is best-effort: the group is already durable,
+                // so a failure here just postpones the segment break to
+                // the next group's flush.
+                let mut wal = shared.wal.lock().unwrap();
+                if wal.wants_rotation() {
+                    match wal.rotate() {
+                        Ok(()) => {
+                            shared
+                                .instruments
+                                .wal_rotations
+                                .fetch_add(1, Ordering::Relaxed);
+                            shared.live_wal_segments.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            shared
+                                .instruments
+                                .io_retries
+                                .fetch_add(1, Ordering::Relaxed);
+                            wft_obs::trace::emit(TraceKind::IoRetry, 0);
+                        }
+                    }
+                }
+                return Ok(out);
+            }
+            Err(err) if !is_fail_fast(&err) && attempt < shared.retry.attempts => {
+                shared
+                    .instruments
+                    .io_retries
+                    .fetch_add(1, Ordering::Relaxed);
+                wft_obs::trace::emit(TraceKind::IoRetry, (attempt & 0xFFFF) as u16);
+                std::thread::sleep(shared.retry.backoff_for(attempt));
+                attempt += 1;
+            }
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+/// The retry budget is spent (or the error was structural): fail the
+/// in-flight group and everything queued, then either degrade or halt per
+/// the configured [`Escalation`]. Runs on the log thread, which exits
+/// right after.
+fn escalate<K, V>(shared: &Shared<K, V>, group: Vec<Pending<K, V>>, err: &std::io::Error)
+where
+    K: Key + WalCodec,
+    V: Value + WalCodec,
+{
+    let msg = err.to_string();
+    let (group_err, state) = match shared.escalation {
+        Escalation::Degrade => (
+            DurableError::Degraded(msg.clone()),
+            JournalState::Degraded(msg),
+        ),
+        Escalation::Halt => (DurableError::Io(msg), JournalState::Halted(HaltReason::Io)),
+    };
+    // Publish the state *before* releasing any waiter: a writer that
+    // wakes up with a Degraded error must already observe
+    // `is_degraded()`.
+    {
+        let mut queue = shared.queue.lock().unwrap();
+        let queued_err = match &state {
+            JournalState::Degraded(m) => DurableError::Degraded(m.clone()),
+            _ => DurableError::Halted(HaltReason::Io),
+        };
+        for pending in queue.pending.drain(..) {
+            pending.slot.fill(Err(queued_err.clone()));
+        }
+        if matches!(state, JournalState::Degraded(_)) {
+            shared
+                .instruments
+                .degraded_entries
+                .fetch_add(1, Ordering::Relaxed);
+            shared.instruments.degraded.store(1, Ordering::Relaxed);
+            wft_obs::trace::emit(TraceKind::DegradedEnter, 0);
+        }
+        queue.state = state;
+    }
+    // Nothing in this group (or behind it) was applied: the in-memory
+    // store still equals the durable WAL prefix, which is what makes
+    // degraded *reads* trustworthy.
+    for pending in group {
+        pending.slot.fill(Err(group_err.clone()));
     }
 }

@@ -1,5 +1,6 @@
 //! Durability for the sharded wait-free store: write-ahead logging,
-//! snapshot-cursor checkpoints, and crash recovery.
+//! snapshot-cursor checkpoints, crash recovery, and a real I/O failure
+//! policy (retry, degrade, resume).
 //!
 //! The paper's data structure is an in-memory one; this crate makes the
 //! repo's sharded deployment of it ([`wft_store::ShardedStore`])
@@ -15,16 +16,29 @@
 //! - **Online checkpoints** (`checkpoint`): [`DurableStore::checkpoint`]
 //!   drains a snapshot-consistent [`wft_api::RangeScan`] cursor — writers
 //!   never pause — stamps the image with the WAL cut it covers, and
-//!   truncates the log behind it.
+//!   truncates the log behind it. A configurable background policy
+//!   ([`CheckpointPolicy`]) triggers the same path automatically when the
+//!   live WAL grows past byte or segment thresholds.
 //! - **Recovery** (`store`): opening a directory loads the newest valid
 //!   checkpoint, replays the WAL suffix tolerating torn tails (stop at
 //!   the first bad CRC or short frame; never replay across a sequence
 //!   gap), and resumes logging in a fresh segment.
+//! - **Fault policy** (`storage`, `journal`): all file I/O goes through
+//!   the [`Storage`] seam (real filesystem or the deterministic
+//!   [`FaultyStorage`] injector). The log thread retries transient I/O
+//!   errors with capped exponential backoff ([`RetryPolicy`]), rolling the
+//!   segment tail back before each attempt so retried records reuse their
+//!   sequence numbers. A persistent failure escalates — per
+//!   [`Escalation`] — into **degraded read-only mode**: acknowledged data
+//!   keeps serving from memory, writes fail fast with
+//!   [`DurableError::Degraded`], and [`DurableStore::try_resume`] re-probes
+//!   storage and re-arms the journal once the disk recovers.
 //!
 //! The write path is fully instrumented through `wft-obs`: appends,
-//! fsyncs, group sizes, commit latencies, checkpoint durations, and
-//! [`wft_obs::TraceKind::WalStall`] / `CheckpointBegin` / `CheckpointEnd`
-//! trace events.
+//! fsyncs, group sizes, commit latencies, checkpoint durations, retries,
+//! degraded-mode transitions, and [`wft_obs::TraceKind::WalStall`] /
+//! `CheckpointBegin` / `CheckpointEnd` / `IoRetry` / `DegradedEnter` /
+//! `DegradedResume` trace events.
 //!
 //! ```
 //! use wft_api::{PointMap, StoreOp};
@@ -51,20 +65,27 @@ pub mod codec;
 mod journal;
 mod scratch;
 mod stats;
+pub mod storage;
 mod store;
 mod wal;
 
 pub use codec::WalCodec;
+pub use journal::{Escalation, HaltReason, RetryPolicy};
 pub use scratch::ScratchDir;
 pub use stats::DurableStats;
-pub use store::{CheckpointReport, DurableConfig, DurableStore, RecoveryReport};
+pub use storage::{Fault, FaultKind, FaultOp, FaultyStorage, FsStorage, Storage, StorageFile};
+pub use store::{
+    CheckpointPolicy, CheckpointReport, CheckpointTrigger, DurableConfig, DurableStore,
+    RecoveryReport,
+};
 
 /// Why a durable operation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DurableError {
-    /// The underlying storage failed (message carries the OS error). The
-    /// journal crash-halts on the first I/O error: a log that cannot
-    /// persist must stop acknowledging.
+    /// The underlying storage failed (message carries the OS error) and
+    /// the failure was not absorbed by the retry/degrade policy — e.g. a
+    /// checkpoint's own I/O failed, or a resume probe found the disk still
+    /// dead.
     Io(String),
     /// On-disk state is inconsistent beyond what torn-tail tolerance
     /// covers (e.g. a sequence gap between a checkpoint and the log).
@@ -73,9 +94,16 @@ pub enum DurableError {
     /// so this type stays key-agnostic; the [`wft_api::BatchApply`] impl
     /// reports the typed error instead).
     Batch(String),
-    /// The journal has halted — graceful shutdown, simulated crash, or a
-    /// prior storage failure — and accepts no further writes.
-    Halted,
+    /// The journal has halted and accepts no further writes; the
+    /// [`HaltReason`] says whether that was a graceful shutdown, a
+    /// (simulated) crash, or an unrecoverable I/O escalation.
+    Halted(HaltReason),
+    /// The journal is in degraded read-only mode after a persistent
+    /// storage failure: reads keep serving from memory, writes fail fast
+    /// with this error, and [`DurableStore::try_resume`] can restore write
+    /// service once the fault clears. The message carries the escalating
+    /// I/O error.
+    Degraded(String),
 }
 
 impl DurableError {
@@ -90,7 +118,12 @@ impl std::fmt::Display for DurableError {
             DurableError::Io(msg) => write!(f, "durable storage I/O failed: {msg}"),
             DurableError::Corrupt(msg) => write!(f, "durable state is corrupt: {msg}"),
             DurableError::Batch(msg) => write!(f, "batch rejected: {msg}"),
-            DurableError::Halted => write!(f, "the durable journal has halted"),
+            DurableError::Halted(reason) => {
+                write!(f, "the durable journal has halted ({reason})")
+            }
+            DurableError::Degraded(msg) => {
+                write!(f, "the durable tier is degraded (read-only): {msg}")
+            }
         }
     }
 }

@@ -32,6 +32,18 @@ pub(crate) struct DurableInstruments {
     pub(crate) checkpoints: AtomicU64,
     /// WAL segments deleted by checkpoint truncation.
     pub(crate) segments_truncated: AtomicU64,
+    /// Flush attempts retried after a transient I/O error (backoff path).
+    pub(crate) io_retries: AtomicU64,
+    /// Times the journal escalated a persistent failure into degraded
+    /// read-only mode.
+    pub(crate) degraded_entries: AtomicU64,
+    /// Successful `try_resume` calls (degraded → running transitions).
+    pub(crate) resumes: AtomicU64,
+    /// Checkpoints triggered by the background policy rather than an
+    /// explicit call.
+    pub(crate) auto_checkpoints: AtomicU64,
+    /// Gauge: 1 while the journal is in degraded read-only mode, else 0.
+    pub(crate) degraded: AtomicU64,
     /// Per-batch commit latency: submit to durable-and-applied, in
     /// nanoseconds.
     pub(crate) commit_latency: LatencyHistogram,
@@ -59,6 +71,16 @@ pub struct DurableStats {
     pub checkpoints: u64,
     /// Segments deleted by truncation.
     pub segments_truncated: u64,
+    /// Flush attempts retried after a transient I/O error.
+    pub io_retries: u64,
+    /// Escalations into degraded read-only mode.
+    pub degraded_entries: u64,
+    /// Successful resumes out of degraded mode.
+    pub resumes: u64,
+    /// Checkpoints triggered by the background policy.
+    pub auto_checkpoints: u64,
+    /// 1 while the journal is degraded, else 0.
+    pub degraded: u64,
     /// Highest sequence number made durable (fsynced).
     pub durable_seq: u64,
     /// Highest sequence number applied to the in-memory store.
@@ -83,6 +105,11 @@ impl DurableInstruments {
             wal_rotations: self.wal_rotations.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             segments_truncated: self.segments_truncated.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            degraded_entries: self.degraded_entries.load(Ordering::Relaxed),
+            resumes: self.resumes.load(Ordering::Relaxed),
+            auto_checkpoints: self.auto_checkpoints.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
             durable_seq,
             applied_seq,
             commit_latency: self.commit_latency.snapshot(),

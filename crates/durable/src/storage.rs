@@ -1,0 +1,625 @@
+//! The storage boundary: every byte the durable tier reads or writes goes
+//! through the [`Storage`] trait, so the I/O failure surface is a seam
+//! rather than a scatter of `std::fs` calls.
+//!
+//! Two implementations ship:
+//!
+//! * [`FsStorage`] — the real filesystem, with the exact call pattern the
+//!   pre-trait code used (`O_APPEND` segment files, `sync_data`,
+//!   rename-into-place, directory fsyncs);
+//! * [`FaultyStorage`] — a deterministic fault injector wrapping any other
+//!   storage. A plan of [`Fault`]s schedules *transient* faults (fail one
+//!   operation with a chosen [`io::ErrorKind`], including genuine short
+//!   writes that tear bytes onto the backing store) and *persistent*
+//!   outages (every operation fails until [`FaultyStorage::heal`]), keyed
+//!   either by a global operation index or by the n-th occurrence of one
+//!   [`FaultOp`]. Because the wrapped storage is usually the real
+//!   filesystem, everything the injector lets through lands on disk — so
+//!   recovery code paths are exercised unmodified against genuinely torn
+//!   files.
+//!
+//! The trait is deliberately tiny and object-safe: the WAL and the
+//! checkpointer need append-only files, whole-file reads, atomic
+//! rename-into-place, unlink, and directory fsyncs — nothing else. Keeping
+//! it minimal is what makes the fault matrix in `tests/durable_faults.rs`
+//! exhaustive rather than aspirational.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One open file handle behind the [`Storage`] seam.
+///
+/// `append` has `write_all` semantics on success; on failure a *prefix* of
+/// the buffer may have reached the backing store (that is what a torn
+/// write is), and the caller is expected to [`truncate`](Self::truncate)
+/// back to its last known-durable length before retrying.
+pub trait StorageFile: Send {
+    /// Appends `buf` at the end of the file (all of it, on success).
+    fn append(&mut self, buf: &[u8]) -> io::Result<()>;
+
+    /// Forces written bytes to stable storage (`fdatasync`).
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Truncates the file to `len` bytes — the torn-tail rollback
+    /// primitive the retry path relies on.
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+}
+
+/// The file operations the durable tier performs, as an object-safe trait
+/// so fault injection is a wrapper, not a rebuild.
+pub trait Storage: Send + Sync {
+    /// Creates `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Opens `path` for appending, creating it if absent (WAL segments).
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+
+    /// Creates `path` empty (truncating any previous contents) for
+    /// writing (checkpoint temp images).
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+
+    /// Reads the whole file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Atomically renames `from` to `to` (the checkpoint commit point).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Unlinks `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Fsyncs `dir` so creates/renames/unlinks inside it are durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+
+    /// File names (not paths) of the entries in `dir`.
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>>;
+}
+
+// ---------------------------------------------------------------------------
+// Real filesystem
+// ---------------------------------------------------------------------------
+
+/// The real filesystem. Stateless; one global instance would do, but the
+/// type is trivially constructible so callers don't need a registry.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FsStorage;
+
+struct FsFile(File);
+
+impl StorageFile for FsFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+}
+
+impl Storage for FsStorage {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Box::new(FsFile(file)))
+    }
+
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(FsFile(file)))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_owned());
+            }
+        }
+        Ok(names)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// The operation classes a fault can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// [`Storage::open_append`] (WAL segment creation).
+    OpenAppend,
+    /// [`Storage::create_truncate`] (checkpoint temp file creation).
+    Create,
+    /// [`StorageFile::append`].
+    Append,
+    /// [`StorageFile::sync`] (file fsync).
+    Sync,
+    /// [`StorageFile::truncate`] (torn-tail rollback).
+    Truncate,
+    /// [`Storage::rename`] (checkpoint commit point).
+    Rename,
+    /// [`Storage::sync_dir`] (directory fsync).
+    DirSync,
+    /// [`Storage::read`] (recovery reads).
+    Read,
+    /// [`Storage::remove_file`] (WAL truncation / checkpoint GC).
+    Remove,
+}
+
+impl FaultOp {
+    const ALL: [FaultOp; 9] = [
+        FaultOp::OpenAppend,
+        FaultOp::Create,
+        FaultOp::Append,
+        FaultOp::Sync,
+        FaultOp::Truncate,
+        FaultOp::Rename,
+        FaultOp::DirSync,
+        FaultOp::Read,
+        FaultOp::Remove,
+    ];
+}
+
+/// What an injected fault does to the targeted operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails once with this error kind and is **not**
+    /// performed (the classic transient blip: `EINTR`, `ENOSPC`, a
+    /// one-off `EIO`).
+    Error(io::ErrorKind),
+    /// Appends only: half the buffer reaches the backing store, then the
+    /// call fails with [`io::ErrorKind::Interrupted`] — a genuinely torn
+    /// write the rollback path must clean up.
+    ShortWrite,
+    /// From this operation on, **every** operation fails with this error
+    /// kind until [`FaultyStorage::heal`] — a dead disk / pulled cable.
+    /// The triggering operation itself is not performed.
+    Outage(io::ErrorKind),
+}
+
+/// One scheduled fault: fires when its trigger matches, at most once.
+#[derive(Debug, Clone, Copy)]
+pub struct Fault {
+    trigger: Trigger,
+    kind: FaultKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Trigger {
+    /// The n-th faultable operation overall (0-based).
+    Nth(u64),
+    /// The n-th occurrence of one operation class (0-based).
+    NthOf(FaultOp, u64),
+}
+
+impl Fault {
+    /// Fault the `n`-th faultable operation overall (0-based).
+    pub fn nth(n: u64, kind: FaultKind) -> Fault {
+        Fault {
+            trigger: Trigger::Nth(n),
+            kind,
+        }
+    }
+
+    /// Fault the `n`-th occurrence of `op` (0-based).
+    pub fn nth_of(op: FaultOp, n: u64, kind: FaultKind) -> Fault {
+        Fault {
+            trigger: Trigger::NthOf(op, n),
+            kind,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct PlanState {
+    scheduled: Vec<Fault>,
+    /// Fail every operation with this kind until healed.
+    outage: Option<io::ErrorKind>,
+    /// `Some((period, kind))`: every `period`-th faultable op fails once
+    /// transiently — a background drizzle for soak-style harness runs.
+    periodic: Option<(u64, io::ErrorKind)>,
+    /// Per-class operation counts (indexed by position in `FaultOp::ALL`).
+    per_op: [u64; 9],
+}
+
+/// The plan state shared by a [`FaultyStorage`], its clones, and every
+/// file handle it has opened.
+#[derive(Debug, Default)]
+struct FaultShared {
+    ops: AtomicU64,
+    fired: AtomicU64,
+    state: Mutex<PlanState>,
+}
+
+/// Deterministic fault-injecting wrapper around another [`Storage`].
+///
+/// Cloning is cheap and every clone observes one plan, so a test can keep
+/// a handle, hand a clone to the store, and then [`heal`](Self::heal) an
+/// outage or [`schedule`](Self::schedule) more faults while the store
+/// runs.
+#[derive(Clone)]
+pub struct FaultyStorage {
+    inner: Arc<dyn Storage>,
+    shared: Arc<FaultShared>,
+}
+
+impl FaultyStorage {
+    /// Wraps `inner` with an empty fault plan (faults are added with
+    /// [`schedule`](Self::schedule) / [`outage_now`](Self::outage_now) /
+    /// [`every`](Self::every)).
+    pub fn new(inner: Arc<dyn Storage>) -> FaultyStorage {
+        FaultyStorage {
+            inner,
+            shared: Arc::new(FaultShared::default()),
+        }
+    }
+
+    /// Wraps the real filesystem.
+    pub fn over_fs() -> FaultyStorage {
+        FaultyStorage::new(Arc::new(FsStorage))
+    }
+
+    /// Adds one fault to the schedule.
+    pub fn schedule(&self, fault: Fault) {
+        self.shared.state.lock().unwrap().scheduled.push(fault);
+    }
+
+    /// Starts a persistent outage immediately: every subsequent operation
+    /// fails with `kind` until [`heal`](Self::heal).
+    pub fn outage_now(&self, kind: io::ErrorKind) {
+        self.shared.state.lock().unwrap().outage = Some(kind);
+    }
+
+    /// Makes every `period`-th faultable operation fail once with `kind`
+    /// (transient drizzle). `period == 0` disables.
+    pub fn every(&self, period: u64, kind: io::ErrorKind) {
+        self.shared.state.lock().unwrap().periodic = if period == 0 {
+            None
+        } else {
+            Some((period, kind))
+        };
+    }
+
+    /// Ends any outage and clears all not-yet-fired scheduled faults (the
+    /// disk came back; the planned misfortunes with it).
+    pub fn heal(&self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.outage = None;
+        state.scheduled.clear();
+    }
+
+    /// `true` while a persistent outage is active.
+    pub fn is_down(&self) -> bool {
+        self.shared.state.lock().unwrap().outage.is_some()
+    }
+
+    /// Total faultable operations observed so far.
+    pub fn ops(&self) -> u64 {
+        self.shared.ops.load(Ordering::Relaxed)
+    }
+
+    /// Faults that actually fired (scheduled, periodic, and every
+    /// operation failed by an outage).
+    pub fn faults_fired(&self) -> u64 {
+        self.shared.fired.load(Ordering::Relaxed)
+    }
+}
+
+impl FaultShared {
+    fn err(kind: io::ErrorKind, op: FaultOp) -> io::Error {
+        io::Error::new(kind, format!("injected fault on {op:?}"))
+    }
+
+    /// The single decision point: counts the operation, fires at most one
+    /// fault for it. `Ok(None)` = proceed; `Ok(Some(ShortWrite))` = the
+    /// append must tear; `Err` = the operation fails without running.
+    fn check(&self, op: FaultOp) -> io::Result<Option<FaultKind>> {
+        let n = self.ops.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.state.lock().unwrap();
+        let op_index = FaultOp::ALL.iter().position(|&o| o == op).unwrap();
+        let op_n = state.per_op[op_index];
+        state.per_op[op_index] += 1;
+
+        if let Some(kind) = state.outage {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+            return Err(Self::err(kind, op));
+        }
+
+        let hit = state
+            .scheduled
+            .iter()
+            .position(|fault| match fault.trigger {
+                Trigger::Nth(at) => at == n,
+                Trigger::NthOf(target, at) => target == op && at == op_n,
+            });
+        if let Some(i) = hit {
+            let fault = state.scheduled.swap_remove(i);
+            self.fired.fetch_add(1, Ordering::Relaxed);
+            return match fault.kind {
+                FaultKind::Error(kind) => Err(Self::err(kind, op)),
+                FaultKind::ShortWrite if op == FaultOp::Append => Ok(Some(FaultKind::ShortWrite)),
+                // A short write scheduled onto a non-append op degenerates
+                // to a transient error — the op has no bytes to tear.
+                FaultKind::ShortWrite => Err(Self::err(io::ErrorKind::Interrupted, op)),
+                FaultKind::Outage(kind) => {
+                    state.outage = Some(kind);
+                    Err(Self::err(kind, op))
+                }
+            };
+        }
+
+        if let Some((period, kind)) = state.periodic {
+            if n % period == period - 1 {
+                self.fired.fetch_add(1, Ordering::Relaxed);
+                return Err(Self::err(kind, op));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl std::fmt::Debug for FaultyStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyStorage")
+            .field("ops", &self.ops())
+            .field("fired", &self.faults_fired())
+            .field("down", &self.is_down())
+            .finish()
+    }
+}
+
+/// A file handle that keeps consulting the shared plan on every call.
+struct FaultyFile {
+    inner: Box<dyn StorageFile>,
+    shared: Arc<FaultShared>,
+}
+
+impl StorageFile for FaultyFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.shared.check(FaultOp::Append)? {
+            Some(FaultKind::ShortWrite) => {
+                // Tear the write for real: a prefix lands on the backing
+                // store, then the call fails.
+                self.inner.append(&buf[..buf.len() / 2])?;
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "injected short write",
+                ))
+            }
+            _ => self.inner.append(buf),
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.shared.check(FaultOp::Sync)?;
+        self.inner.sync()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.shared.check(FaultOp::Truncate)?;
+        self.inner.truncate(len)
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        // Directory creation happens once, before traffic; not a fault
+        // target (a store that never opens is not an interesting failure).
+        self.inner.create_dir_all(dir)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        self.shared.check(FaultOp::OpenAppend)?;
+        let inner = self.inner.open_append(path)?;
+        Ok(Box::new(FaultyFile {
+            inner,
+            shared: Arc::clone(&self.shared),
+        }))
+    }
+
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        self.shared.check(FaultOp::Create)?;
+        let inner = self.inner.create_truncate(path)?;
+        Ok(Box::new(FaultyFile {
+            inner,
+            shared: Arc::clone(&self.shared),
+        }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.shared.check(FaultOp::Read)?;
+        self.inner.read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.shared.check(FaultOp::Rename)?;
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.shared.check(FaultOp::Remove)?;
+        self.inner.remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.shared.check(FaultOp::DirSync)?;
+        self.inner.sync_dir(dir)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        // Listing is read-only metadata; recovery always pairs it with
+        // `read`, which is a fault target.
+        self.inner.list_dir(dir)
+    }
+}
+
+/// Transient-vs-fail-fast classification for the retry policy.
+///
+/// Kinds that indicate a *structural* problem — the path is gone, the
+/// process lacks permission, the arguments are nonsense — will not be
+/// cured by waiting, so the journal escalates immediately. Everything
+/// else (`EINTR`, `EAGAIN`, `ENOSPC`, `EIO`, timeouts, …) gets the retry
+/// budget: transient and persistent faults are distinguished by
+/// *duration*, not by errno, and exhausting the budget is what converts
+/// one into the other.
+pub fn is_fail_fast(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::NotFound
+            | io::ErrorKind::PermissionDenied
+            | io::ErrorKind::InvalidInput
+            | io::ErrorKind::Unsupported
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::ScratchDir;
+
+    #[test]
+    fn fs_storage_round_trips() {
+        let dir = ScratchDir::new("storage-fs");
+        let storage = FsStorage;
+        let path = dir.path().join("probe.bin");
+        let mut file = storage.open_append(&path).unwrap();
+        file.append(b"hello ").unwrap();
+        file.append(b"world").unwrap();
+        file.sync().unwrap();
+        assert_eq!(storage.read(&path).unwrap(), b"hello world");
+        file.truncate(5).unwrap();
+        assert_eq!(storage.read(&path).unwrap(), b"hello");
+        let renamed = dir.path().join("renamed.bin");
+        storage.rename(&path, &renamed).unwrap();
+        storage.sync_dir(dir.path()).unwrap();
+        assert!(storage
+            .list_dir(dir.path())
+            .unwrap()
+            .contains(&"renamed.bin".to_owned()));
+        storage.remove_file(&renamed).unwrap();
+        assert!(storage.list_dir(dir.path()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scheduled_fault_fires_once_and_op_is_skipped() {
+        let dir = ScratchDir::new("storage-once");
+        let faulty = FaultyStorage::over_fs();
+        faulty.schedule(Fault::nth_of(
+            FaultOp::Append,
+            1,
+            FaultKind::Error(io::ErrorKind::Interrupted),
+        ));
+        let path = dir.path().join("f.bin");
+        let mut file = faulty.open_append(&path).unwrap();
+        file.append(b"aa").unwrap();
+        let err = file.append(b"bb").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        file.append(b"cc").unwrap();
+        // The faulted append wrote nothing.
+        assert_eq!(faulty.read(&path).unwrap(), b"aacc");
+        assert_eq!(faulty.faults_fired(), 1);
+    }
+
+    #[test]
+    fn short_write_tears_real_bytes() {
+        let dir = ScratchDir::new("storage-short");
+        let faulty = FaultyStorage::over_fs();
+        faulty.schedule(Fault::nth_of(FaultOp::Append, 0, FaultKind::ShortWrite));
+        let path = dir.path().join("f.bin");
+        let mut file = faulty.open_append(&path).unwrap();
+        let err = file.append(b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(faulty.read(&path).unwrap(), b"01234", "half landed");
+        file.truncate(0).unwrap();
+        assert_eq!(faulty.read(&path).unwrap(), b"");
+    }
+
+    #[test]
+    fn outage_fails_everything_until_heal() {
+        let dir = ScratchDir::new("storage-outage");
+        let faulty = FaultyStorage::over_fs();
+        let path = dir.path().join("f.bin");
+        let mut file = faulty.open_append(&path).unwrap();
+        file.append(b"durable").unwrap();
+        faulty.outage_now(io::ErrorKind::Other);
+        assert!(file.append(b"lost").is_err());
+        assert!(file.sync().is_err());
+        assert!(faulty.read(&path).is_err());
+        assert!(faulty.sync_dir(dir.path()).is_err());
+        assert!(faulty.is_down());
+        faulty.heal();
+        file.append(b" again").unwrap();
+        assert_eq!(faulty.read(&path).unwrap(), b"durable again");
+    }
+
+    #[test]
+    fn periodic_drizzle_hits_every_period() {
+        let dir = ScratchDir::new("storage-periodic");
+        let faulty = FaultyStorage::over_fs();
+        faulty.every(3, io::ErrorKind::Interrupted);
+        let path = dir.path().join("f.bin");
+        let mut file = faulty.open_append(&path).unwrap(); // op 0
+        let mut failures = 0;
+        for _ in 0..8 {
+            if file.append(b"x").is_err() {
+                failures += 1;
+            }
+        }
+        // Ops 0..=8; ops 2, 5, 8 fail: open was op 0, so appends at
+        // global indexes 2, 5, 8 are the 2nd, 5th and 8th append.
+        assert_eq!(failures, 3);
+        assert_eq!(faulty.faults_fired(), 3);
+    }
+
+    #[test]
+    fn classification_separates_structural_from_transient() {
+        for kind in [
+            io::ErrorKind::NotFound,
+            io::ErrorKind::PermissionDenied,
+            io::ErrorKind::InvalidInput,
+            io::ErrorKind::Unsupported,
+        ] {
+            assert!(is_fail_fast(&io::Error::new(kind, "x")), "{kind:?}");
+        }
+        for kind in [
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::StorageFull,
+            io::ErrorKind::Other,
+        ] {
+            assert!(!is_fail_fast(&io::Error::new(kind, "x")), "{kind:?}");
+        }
+    }
+}

@@ -12,6 +12,11 @@
 //! durability overhead: point gets, stitched range reads, snapshot reads,
 //! and streaming scan cursors are all untouched.
 //!
+//! A transient I/O error on the flush path is retried with backoff; a
+//! persistent one degrades the store to read-only instead of killing it —
+//! see the [`crate::journal`] docs for the full failure policy and
+//! [`DurableStore::try_resume`] for the way back.
+//!
 //! # Checkpoints are scans
 //!
 //! [`DurableStore::checkpoint`] never pauses writers. It samples the
@@ -45,6 +50,13 @@
 //! After the image is durable (write-to-temp, fsync, rename, fsync dir),
 //! the WAL rotates and every segment fully covered by the cut is deleted.
 //!
+//! Checkpoints can also fire automatically: configure a
+//! [`CheckpointPolicy`] and either poll [`DurableStore::maybe_checkpoint`]
+//! yourself or spawn the built-in poller with
+//! [`DurableStore::spawn_auto_checkpointer`]. Policy-triggered runs are
+//! distinguishable from explicit calls by [`CheckpointReport::trigger`]
+//! and by the trigger bits in the `CheckpointBegin` trace arg.
+//!
 //! # Recovery
 //!
 //! Opening a directory loads the newest valid checkpoint into
@@ -56,8 +68,9 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use wft_api::{
     BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeScan, RangeSpec,
@@ -70,14 +83,59 @@ use wft_store::{ShardedStore, StoreConfig, StoreScanCursor};
 
 use crate::checkpoint::{load_newest_checkpoint, write_checkpoint};
 use crate::codec::WalCodec;
-use crate::journal::{HaltMode, Journal};
+use crate::journal::{Escalation, HaltMode, Journal, JournalState, RetryPolicy};
 use crate::stats::{DurableInstruments, DurableStats};
+use crate::storage::{FsStorage, Storage};
 use crate::wal::{read_wal, WalWriter};
 use crate::DurableError;
 
 /// Chunked snapshot-drain attempts before the checkpoint falls back to a
 /// single whole-range chunk (one validation window instead of many).
 const CHECKPOINT_DRAIN_ATTEMPTS: u32 = 16;
+
+/// When to auto-trigger a checkpoint (see
+/// [`DurableStore::maybe_checkpoint`]). Thresholds compare against
+/// *approximate* live-WAL counters: bytes appended since the last
+/// checkpoint plus what recovery found on disk, and the count of
+/// not-yet-truncated segments. `None` disables that axis.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointPolicy {
+    /// Checkpoint once the live WAL exceeds this many bytes.
+    pub max_wal_bytes: Option<u64>,
+    /// Checkpoint once the live WAL spans more than this many segments.
+    pub max_wal_segments: Option<u64>,
+}
+
+impl CheckpointPolicy {
+    /// `true` when neither axis is configured (the policy can never
+    /// fire).
+    pub fn is_disabled(&self) -> bool {
+        self.max_wal_bytes.is_none() && self.max_wal_segments.is_none()
+    }
+}
+
+/// What caused a checkpoint to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointTrigger {
+    /// An explicit [`DurableStore::checkpoint`] call.
+    Explicit,
+    /// The [`CheckpointPolicy::max_wal_bytes`] threshold.
+    WalBytes,
+    /// The [`CheckpointPolicy::max_wal_segments`] threshold.
+    WalSegments,
+}
+
+impl CheckpointTrigger {
+    /// The 2-bit code packed into the `CheckpointBegin` trace arg's high
+    /// bits: `arg = (code << 14) | (cut & 0x3FFF)`.
+    pub fn code(self) -> u16 {
+        match self {
+            CheckpointTrigger::Explicit => 0,
+            CheckpointTrigger::WalBytes => 1,
+            CheckpointTrigger::WalSegments => 2,
+        }
+    }
+}
 
 /// Configuration for a [`DurableStore`].
 #[derive(Debug, Clone)]
@@ -94,6 +152,15 @@ pub struct DurableConfig {
     /// trades the crash guarantee for throughput, useful in benches to
     /// isolate the logging cost from the disk cost).
     pub fsync: bool,
+    /// Retry budget for transient I/O errors on the flush path.
+    pub retry: RetryPolicy,
+    /// What a persistent flush failure escalates into (default:
+    /// [`Escalation::Degrade`] — read-only mode, resumable via
+    /// [`DurableStore::try_resume`]).
+    pub on_persistent: Escalation,
+    /// Background checkpoint thresholds; `None` means checkpoints run
+    /// only when explicitly called.
+    pub auto_checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Default for DurableConfig {
@@ -104,6 +171,9 @@ impl Default for DurableConfig {
             segment_bytes: 8 * 1024 * 1024,
             checkpoint_chunk: 1024,
             fsync: true,
+            retry: RetryPolicy::default(),
+            on_persistent: Escalation::default(),
+            auto_checkpoint: None,
         }
     }
 }
@@ -144,6 +214,8 @@ pub struct CheckpointReport {
     /// exhausting its online snapshot attempts (WAL appends and fsyncs
     /// kept running; application deferred for one drain).
     pub gated: bool,
+    /// What caused this checkpoint (explicit call or a policy axis).
+    pub trigger: CheckpointTrigger,
 }
 
 /// A crash-safe [`ShardedStore`]: WAL-backed writes, online checkpoints,
@@ -152,15 +224,16 @@ pub struct CheckpointReport {
 /// Reads ([`PointMap::get`], [`RangeRead`], [`SnapshotRead`],
 /// [`RangeScan`]) delegate to the inner store unchanged. Writes block
 /// until durable. The `wft-api` write traits panic if the journal has
-/// halted or storage failed — callers that need typed errors use
-/// [`DurableStore::apply_durable`].
+/// halted, degraded, or storage failed — callers that need typed errors
+/// (and degraded-mode awareness) use [`DurableStore::apply_durable`].
 pub struct DurableStore<K: Key, V: Value = (), A: Augmentation<K, V> = Size>
 where
     K: WalCodec,
     V: WalCodec,
 {
     inner: Arc<ShardedStore<K, V, A>>,
-    journal: Journal<K, V>,
+    journal: Journal<K, V, A>,
+    storage: Arc<dyn Storage>,
     dir: PathBuf,
     config: DurableConfig,
     instruments: Arc<DurableInstruments>,
@@ -179,17 +252,28 @@ where
         Self::open_with_config(dir, DurableConfig::default())
     }
 
-    /// Opens (or creates) the durable store in `dir`: loads the newest
-    /// valid checkpoint, replays the committed WAL suffix, and resumes
-    /// logging in a fresh segment.
+    /// Opens (or creates) the durable store in `dir` on the real
+    /// filesystem: loads the newest valid checkpoint, replays the
+    /// committed WAL suffix, and resumes logging in a fresh segment.
     pub fn open_with_config(
         dir: impl AsRef<Path>,
         config: DurableConfig,
     ) -> Result<Self, DurableError> {
-        let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir).map_err(DurableError::io)?;
+        Self::open_with_storage(dir, config, Arc::new(FsStorage))
+    }
 
-        let (cut, entries) = load_newest_checkpoint::<K, V>(&dir)
+    /// [`open_with_config`](Self::open_with_config) over an explicit
+    /// [`Storage`] implementation — the seam the fault-injection harness
+    /// uses to put a [`crate::storage::FaultyStorage`] under a real store.
+    pub fn open_with_storage(
+        dir: impl AsRef<Path>,
+        config: DurableConfig,
+        storage: Arc<dyn Storage>,
+    ) -> Result<Self, DurableError> {
+        let dir = dir.as_ref().to_path_buf();
+        storage.create_dir_all(&dir).map_err(DurableError::io)?;
+
+        let (cut, entries) = load_newest_checkpoint::<K, V>(storage.as_ref(), &dir)
             .map_err(DurableError::io)?
             .unwrap_or((0, Vec::new()));
         let mut recovery = RecoveryReport {
@@ -205,7 +289,7 @@ where
             config.store.clone(),
         ));
 
-        let replay = read_wal::<K, V>(&dir).map_err(DurableError::io)?;
+        let replay = read_wal::<K, V>(storage.as_ref(), &dir).map_err(DurableError::io)?;
         recovery.torn_tail = replay.torn_tail;
         let mut expected = cut + 1;
         for (seq, ops) in replay.records {
@@ -228,20 +312,31 @@ where
             expected = seq + 1;
         }
 
-        let wal = WalWriter::open(&dir, recovery.recovered_through + 1, config.segment_bytes)
-            .map_err(DurableError::io)?;
+        let wal = WalWriter::open(
+            Arc::clone(&storage),
+            &dir,
+            recovery.recovered_through + 1,
+            config.segment_bytes,
+        )
+        .map_err(DurableError::io)?;
         let instruments = Arc::new(DurableInstruments::default());
         let journal = Journal::start(
             Arc::clone(&inner),
             wal,
             Arc::clone(&instruments),
             recovery.recovered_through,
+            // Seed the checkpoint policy's live-WAL view with what is on
+            // disk: the replayed bytes plus the fresh segment just opened.
+            (replay.bytes_read, replay.segments + 1),
+            config.retry,
+            config.on_persistent,
             config.fsync,
         );
 
         Ok(DurableStore {
             inner,
             journal,
+            storage,
             dir,
             config,
             instruments,
@@ -254,8 +349,9 @@ where
     ///
     /// This is the write path every trait-level mutation funnels through;
     /// unlike the trait impls it reports journal failures as
-    /// [`DurableError`] instead of panicking. An empty batch is a durable
-    /// no-op that never touches the log.
+    /// [`DurableError`] instead of panicking — including
+    /// [`DurableError::Degraded`] while the store is in read-only mode.
+    /// An empty batch is a durable no-op that never touches the log.
     pub fn apply_durable(
         &self,
         batch: Vec<StoreOp<K, V>>,
@@ -296,10 +392,32 @@ where
         )
     }
 
-    /// `true` once the journal has halted (graceful shutdown, simulated
-    /// crash, or storage failure) and writes are refused.
+    /// `true` once the journal has halted for good (graceful shutdown,
+    /// simulated crash, or an I/O escalation under [`Escalation::Halt`])
+    /// and writes are refused.
     pub fn is_halted(&self) -> bool {
         self.journal.is_halted()
+    }
+
+    /// `true` while the store is in degraded read-only mode after a
+    /// persistent storage failure: reads serve from memory, writes fail
+    /// fast with [`DurableError::Degraded`], and
+    /// [`try_resume`](Self::try_resume) may restore write service.
+    pub fn is_degraded(&self) -> bool {
+        self.journal.is_degraded()
+    }
+
+    /// Attempts to leave degraded mode by re-probing storage with a
+    /// genuine write (torn-tail rollback plus rotation into a fresh,
+    /// fsynced segment) and re-arming the journal.
+    ///
+    /// Returns `Ok(true)` on a successful resume, `Ok(false)` when the
+    /// store was not degraded, [`DurableError::Halted`] when the journal
+    /// is past saving, and [`DurableError::Io`] when the probe found the
+    /// storage still failing (the store stays degraded; call again once
+    /// the disk recovers).
+    pub fn try_resume(&self) -> Result<bool, DurableError> {
+        self.journal.try_resume()
     }
 
     /// Stops logging as a crash would: queued unacknowledged batches fail
@@ -331,13 +449,85 @@ where
     /// rotates the WAL and deletes every segment the cut covers. Returns
     /// what it did. See the module docs for why the sampled cut is
     /// sound.
+    ///
+    /// A checkpoint's own I/O failure surfaces as [`DurableError::Io`]
+    /// but never degrades the journal: the WAL is intact and untruncated,
+    /// so nothing acknowledged is at risk — retry later.
     pub fn checkpoint(&self) -> Result<CheckpointReport, DurableError> {
-        if self.journal.is_halted() {
-            return Err(DurableError::Halted);
+        self.checkpoint_with_trigger(CheckpointTrigger::Explicit)
+    }
+
+    /// Runs the configured [`CheckpointPolicy`] once: checkpoints exactly
+    /// when a threshold is crossed, returning `Ok(None)` when no policy
+    /// is set, the store is not running (degraded/halted), or the live
+    /// WAL is under every threshold. This is the poll the background
+    /// checkpointer issues; it is public so callers with their own
+    /// scheduling can drive the same policy.
+    pub fn maybe_checkpoint(&self) -> Result<Option<CheckpointReport>, DurableError> {
+        let Some(policy) = self.config.auto_checkpoint else {
+            return Ok(None);
+        };
+        if !matches!(self.journal.state(), JournalState::Running) {
+            return Ok(None);
+        }
+        let shared = self.journal.shared();
+        let live_bytes = shared.live_wal_bytes.load(Ordering::Relaxed);
+        let live_segments = shared.live_wal_segments.load(Ordering::Relaxed);
+        let trigger = if policy.max_wal_bytes.is_some_and(|t| live_bytes >= t) {
+            CheckpointTrigger::WalBytes
+        } else if policy.max_wal_segments.is_some_and(|t| live_segments > t) {
+            CheckpointTrigger::WalSegments
+        } else {
+            return Ok(None);
+        };
+        self.checkpoint_with_trigger(trigger).map(Some)
+    }
+
+    /// Spawns a thread that polls [`maybe_checkpoint`](Self::maybe_checkpoint)
+    /// every `poll`. Policy I/O errors are swallowed (the next poll
+    /// retries; the WAL is never truncated by a failed checkpoint). The
+    /// returned guard stops and joins the thread on drop — keep it alive
+    /// for as long as the policy should run.
+    pub fn spawn_auto_checkpointer(store: &Arc<Self>, poll: Duration) -> AutoCheckpointer {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let thread_store = Arc::clone(store);
+        let handle = std::thread::Builder::new()
+            .name("wft-durable-ckpt".into())
+            .spawn(move || {
+                let (flag, wake) = &*thread_stop;
+                let mut stopped = flag.lock().unwrap();
+                while !*stopped {
+                    drop(stopped);
+                    let _ = thread_store.maybe_checkpoint();
+                    stopped = flag.lock().unwrap();
+                    if !*stopped {
+                        stopped = wake.wait_timeout(stopped, poll).unwrap().0;
+                    }
+                }
+            })
+            .expect("spawning the auto-checkpoint thread");
+        AutoCheckpointer {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    fn checkpoint_with_trigger(
+        &self,
+        trigger: CheckpointTrigger,
+    ) -> Result<CheckpointReport, DurableError> {
+        match self.journal.state() {
+            JournalState::Running => {}
+            JournalState::Degraded(msg) => return Err(DurableError::Degraded(msg)),
+            JournalState::Halted(reason) => return Err(DurableError::Halted(reason)),
         }
         let started = Instant::now();
         let cut = self.journal.shared().applied_seq.load(Ordering::Acquire);
-        wft_obs::trace::emit(TraceKind::CheckpointBegin, (cut & 0xFFFF) as u16);
+        wft_obs::trace::emit(
+            TraceKind::CheckpointBegin,
+            (trigger.code() << 14) | (cut & 0x3FFF) as u16,
+        );
 
         let mut snapshot_retries = 0u64;
         let mut gated = false;
@@ -371,7 +561,8 @@ where
             snapshot_retries += 1;
         };
 
-        let bytes = write_checkpoint(&self.dir, cut, &entries).map_err(DurableError::io)?;
+        let bytes = write_checkpoint(self.storage.as_ref(), &self.dir, cut, &entries)
+            .map_err(DurableError::io)?;
 
         let segments_truncated = {
             let mut wal = self.journal.shared().wal.lock().unwrap();
@@ -381,10 +572,22 @@ where
                 .fetch_add(1, Ordering::Relaxed);
             wal.truncate_through(cut).map_err(DurableError::io)?
         };
+        // Reset the policy's live-WAL view: the image supersedes the
+        // truncated prefix and the active segment is freshly rotated.
+        // Approximate by design — bytes appended between the cut sample
+        // and here are under-counted until the next checkpoint.
+        let shared = self.journal.shared();
+        shared.live_wal_bytes.store(0, Ordering::Relaxed);
+        shared.live_wal_segments.store(1, Ordering::Relaxed);
         self.instruments
             .segments_truncated
             .fetch_add(segments_truncated, Ordering::Relaxed);
         self.instruments.checkpoints.fetch_add(1, Ordering::Relaxed);
+        if trigger != CheckpointTrigger::Explicit {
+            self.instruments
+                .auto_checkpoints
+                .fetch_add(1, Ordering::Relaxed);
+        }
         self.instruments
             .checkpoint_duration
             .record(started.elapsed().as_nanos() as u64);
@@ -397,7 +600,27 @@ where
             segments_truncated,
             snapshot_retries,
             gated,
+            trigger,
         })
+    }
+}
+
+/// Guard for the background checkpoint thread spawned by
+/// [`DurableStore::spawn_auto_checkpointer`]; stops and joins it on drop.
+#[derive(Debug)]
+pub struct AutoCheckpointer {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for AutoCheckpointer {
+    fn drop(&mut self) {
+        let (flag, wake) = &*self.stop;
+        *flag.lock().unwrap() = true;
+        wake.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -406,8 +629,9 @@ where
 ///
 /// # Panics
 ///
-/// The mutating methods panic when the journal has halted or storage
-/// failed ([`DurableStore::apply_durable`] is the fallible spelling).
+/// The mutating methods panic when the journal has halted, degraded, or
+/// storage failed ([`DurableStore::apply_durable`] is the fallible
+/// spelling).
 ///
 /// One seam: a losing [`PointMap::insert`] reports
 /// `Unchanged { current }` by re-reading the key *after* the batch
@@ -471,7 +695,7 @@ where
 ///
 /// # Panics
 ///
-/// Panics when the journal has halted or storage failed (see
+/// Panics when the journal has halted, degraded, or storage failed (see
 /// [`DurableStore::apply_durable`] for the fallible spelling).
 impl<K, V, A> BatchApply<K, V> for DurableStore<K, V, A>
 where
@@ -592,11 +816,16 @@ where
         out.push_counter("durable_wal_rotations", stats.wal_rotations);
         out.push_counter("durable_checkpoints", stats.checkpoints);
         out.push_counter("durable_segments_truncated", stats.segments_truncated);
+        out.push_counter("durable_io_retries", stats.io_retries);
+        out.push_counter("durable_degraded_entries", stats.degraded_entries);
+        out.push_counter("durable_resumes", stats.resumes);
+        out.push_counter("durable_auto_checkpoints", stats.auto_checkpoints);
         out.push_counter(
             "durable_recovery_replayed_records",
             self.recovery.replayed_records,
         );
         out.push_counter("durable_recovery_replayed_ops", self.recovery.replayed_ops);
+        out.push_gauge("durable_degraded", stats.degraded as i64);
         out.push_gauge("durable_seq_durable", stats.durable_seq as i64);
         out.push_gauge("durable_seq_applied", stats.applied_seq as i64);
         out.push_gauge(
@@ -613,10 +842,25 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::journal::HaltReason;
     use crate::scratch::ScratchDir;
+    use crate::storage::FaultyStorage;
+    use std::io;
 
     fn reopen(dir: &Path) -> DurableStore<i64, i64> {
         DurableStore::open(dir).unwrap()
+    }
+
+    /// A config whose retry loop gives up fast, for fault tests.
+    fn snappy_config() -> DurableConfig {
+        DurableConfig {
+            retry: RetryPolicy {
+                attempts: 2,
+                base_backoff: Duration::from_micros(50),
+                max_backoff: Duration::from_micros(200),
+            },
+            ..DurableConfig::default()
+        }
     }
 
     #[test]
@@ -652,7 +896,7 @@ mod tests {
             assert!(store.is_halted());
             assert_eq!(
                 store.apply_durable(vec![StoreOp::Insert { key: 99, value: 0 }]),
-                Err(DurableError::Halted)
+                Err(DurableError::Halted(HaltReason::Crash))
             );
             // Reads keep working on the frozen state.
             assert_eq!(PointMap::len(&store), 50);
@@ -679,6 +923,7 @@ mod tests {
             let report = store.checkpoint().unwrap();
             assert_eq!(report.cut, 1);
             assert_eq!(report.entries, 100);
+            assert_eq!(report.trigger, CheckpointTrigger::Explicit);
             // Post-checkpoint writes land in the fresh segment.
             store
                 .apply_durable(vec![
@@ -735,6 +980,8 @@ mod tests {
         assert_eq!(stats.applied_seq, 10);
         assert_eq!(stats.commit_latency.count, 10);
         assert_eq!(stats.group_size.count, stats.wal_fsyncs);
+        assert_eq!(stats.io_retries, 0);
+        assert_eq!(stats.degraded, 0);
     }
 
     #[test]
@@ -755,5 +1002,194 @@ mod tests {
         let drained = cursor.drain(7);
         assert_eq!(drained.len(), 64);
         assert_eq!(cursor.consistency(), ScanConsistency::Snapshot);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_invisibly() {
+        let dir = ScratchDir::new("store-transient");
+        let faulty = FaultyStorage::over_fs();
+        // Fail every 7th storage operation once; the retry loop should
+        // absorb all of it.
+        faulty.every(7, io::ErrorKind::Interrupted);
+        let store: DurableStore<i64, i64> =
+            DurableStore::open_with_storage(dir.path(), snappy_config(), Arc::new(faulty.clone()))
+                .unwrap();
+        for k in 0..200 {
+            store
+                .apply_durable(vec![StoreOp::Insert { key: k, value: k }])
+                .unwrap();
+        }
+        assert!(!store.is_degraded());
+        assert!(store.stats().io_retries > 0, "the drizzle was really felt");
+        assert_eq!(PointMap::len(&store), 200);
+
+        // Stop the drizzle and reopen clean: everything acknowledged is
+        // on disk.
+        faulty.every(0, io::ErrorKind::Interrupted);
+        store.shutdown();
+        drop(store);
+        let store = reopen(dir.path());
+        assert_eq!(PointMap::len(&store), 200);
+    }
+
+    #[test]
+    fn persistent_outage_degrades_then_resumes() {
+        let dir = ScratchDir::new("store-degrade");
+        let faulty = FaultyStorage::over_fs();
+        let store: DurableStore<i64, i64> =
+            DurableStore::open_with_storage(dir.path(), snappy_config(), Arc::new(faulty.clone()))
+                .unwrap();
+        for k in 0..20 {
+            store
+                .apply_durable(vec![StoreOp::Insert { key: k, value: k }])
+                .unwrap();
+        }
+
+        faulty.outage_now(io::ErrorKind::Other);
+        let err = store
+            .apply_durable(vec![StoreOp::Insert { key: 99, value: 99 }])
+            .unwrap_err();
+        assert!(matches!(err, DurableError::Degraded(_)), "{err:?}");
+        assert!(store.is_degraded());
+        assert!(!store.is_halted());
+        // Reads keep serving the acknowledged prefix.
+        assert_eq!(PointMap::len(&store), 20);
+        assert_eq!(PointMap::get(&store, &7), Some(7));
+        assert_eq!(PointMap::get(&store, &99), None);
+        // Writes keep failing fast, typed.
+        assert!(matches!(
+            store.apply_durable(vec![StoreOp::Insert { key: 98, value: 98 }]),
+            Err(DurableError::Degraded(_))
+        ));
+        // Checkpoints refuse too.
+        assert!(matches!(store.checkpoint(), Err(DurableError::Degraded(_))));
+        let stats = store.stats();
+        assert_eq!(stats.degraded, 1);
+        assert_eq!(stats.degraded_entries, 1);
+
+        // A resume attempt while the disk is still dead fails and stays
+        // degraded.
+        assert!(matches!(store.try_resume(), Err(DurableError::Io(_))));
+        assert!(store.is_degraded());
+
+        // Heal, resume, and write again.
+        faulty.heal();
+        assert_eq!(store.try_resume(), Ok(true));
+        assert!(!store.is_degraded());
+        assert_eq!(store.try_resume(), Ok(false), "second resume is a no-op");
+        store
+            .apply_durable(vec![StoreOp::Insert { key: 99, value: 99 }])
+            .unwrap();
+        assert_eq!(store.stats().resumes, 1);
+        assert_eq!(store.stats().degraded, 0);
+
+        // Everything acknowledged (before and after the outage) survives
+        // a clean-storage reopen.
+        store.shutdown();
+        drop(store);
+        let store = reopen(dir.path());
+        assert_eq!(PointMap::len(&store), 21);
+        assert_eq!(PointMap::get(&store, &99), Some(99));
+    }
+
+    #[test]
+    fn escalation_halt_preserves_the_legacy_behaviour() {
+        let dir = ScratchDir::new("store-halt-io");
+        let faulty = FaultyStorage::over_fs();
+        let config = DurableConfig {
+            on_persistent: Escalation::Halt,
+            ..snappy_config()
+        };
+        let store: DurableStore<i64, i64> =
+            DurableStore::open_with_storage(dir.path(), config, Arc::new(faulty.clone())).unwrap();
+        store
+            .apply_durable(vec![StoreOp::Insert { key: 1, value: 1 }])
+            .unwrap();
+        faulty.outage_now(io::ErrorKind::Other);
+        let err = store
+            .apply_durable(vec![StoreOp::Insert { key: 2, value: 2 }])
+            .unwrap_err();
+        assert!(matches!(err, DurableError::Io(_)), "{err:?}");
+        assert!(store.is_halted());
+        assert!(!store.is_degraded());
+        // Halted-for-I/O is not resumable.
+        faulty.heal();
+        assert_eq!(
+            store.try_resume(),
+            Err(DurableError::Halted(HaltReason::Io))
+        );
+        assert_eq!(
+            store.apply_durable(vec![StoreOp::Insert { key: 3, value: 3 }]),
+            Err(DurableError::Halted(HaltReason::Io))
+        );
+    }
+
+    #[test]
+    fn checkpoint_policy_triggers_on_live_bytes() {
+        let dir = ScratchDir::new("store-policy");
+        let config = DurableConfig {
+            auto_checkpoint: Some(CheckpointPolicy {
+                max_wal_bytes: Some(512),
+                max_wal_segments: None,
+            }),
+            ..DurableConfig::default()
+        };
+        let store: DurableStore<i64, i64> =
+            DurableStore::open_with_config(dir.path(), config).unwrap();
+        assert!(
+            store.maybe_checkpoint().unwrap().is_none(),
+            "empty log is under threshold"
+        );
+        store
+            .apply_durable(
+                (0..100)
+                    .map(|k| StoreOp::Insert { key: k, value: k })
+                    .collect(),
+            )
+            .unwrap();
+        let report = store
+            .maybe_checkpoint()
+            .unwrap()
+            .expect("100 records cross 512 live bytes");
+        assert_eq!(report.trigger, CheckpointTrigger::WalBytes);
+        assert_eq!(report.entries, 100);
+        assert_eq!(store.stats().auto_checkpoints, 1);
+        assert!(
+            store.maybe_checkpoint().unwrap().is_none(),
+            "freshly truncated log is back under threshold"
+        );
+    }
+
+    #[test]
+    fn auto_checkpointer_thread_fires_and_stops() {
+        let dir = ScratchDir::new("store-auto");
+        let config = DurableConfig {
+            auto_checkpoint: Some(CheckpointPolicy {
+                max_wal_bytes: Some(256),
+                max_wal_segments: None,
+            }),
+            fsync: false,
+            ..DurableConfig::default()
+        };
+        let store: Arc<DurableStore<i64, i64>> =
+            Arc::new(DurableStore::open_with_config(dir.path(), config).unwrap());
+        let guard = DurableStore::spawn_auto_checkpointer(&store, Duration::from_millis(1));
+        store
+            .apply_durable(
+                (0..200)
+                    .map(|k| StoreOp::Insert { key: k, value: k })
+                    .collect(),
+            )
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while store.stats().auto_checkpoints == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            store.stats().auto_checkpoints >= 1,
+            "the poller took the policy checkpoint"
+        );
+        drop(guard); // joins the thread
+        store.shutdown();
     }
 }

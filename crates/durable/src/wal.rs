@@ -1,5 +1,6 @@
 //! The segmented write-ahead log: frame format, group append, rotation,
-//! truncation, and the torn-tail-tolerant recovery reader.
+//! truncation, torn-tail rollback, and the torn-tail-tolerant recovery
+//! reader.
 //!
 //! # On-disk layout
 //!
@@ -22,6 +23,9 @@
 //! are assigned contiguously across segments in append order, so the log
 //! as a whole is one totally ordered record stream.
 //!
+//! Every byte goes through the [`crate::storage::Storage`] seam, so the
+//! fault-injection harness exercises this exact code, not a test double.
+//!
 //! # Recovery rules
 //!
 //! The reader walks segments in `first_seq` order and frames in file order,
@@ -40,15 +44,29 @@
 //! 3. **Recovery never appends to an old segment.** The writer always
 //!    rotates to a fresh segment on open, so bytes after a torn tail are
 //!    never overwritten in place and re-running recovery is idempotent.
+//!
+//! # Retry safety: the durable watermark and `rollback_tail`
+//!
+//! The writer tracks, per segment, the byte length and next-sequence value
+//! covered by the **last successful sync**. When an append or fsync fails,
+//! bytes past that watermark are in an unknown state (a torn prefix of the
+//! group may be readable). [`WalWriter::rollback_tail`] truncates the
+//! segment back to the durable watermark, after which re-appending the
+//! same group — with the *same* sequence numbers — is safe: no readable
+//! frame with a reused sequence number can survive to confuse recovery.
+//! This is the primitive the journal's retry loop and the degraded-mode
+//! resume protocol are built on.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use wft_api::StoreOp;
 use wft_seq::{Key, Value};
 
 use crate::codec::{crc32, decode_op, encode_op, WalCodec};
+use crate::storage::Storage;
+use crate::storage::StorageFile;
 
 /// Payload kind for a batch record (the only record kind so far; checkpoint
 /// metadata lives in its own files).
@@ -71,12 +89,11 @@ fn parse_segment_name(name: &str) -> Option<u64> {
 }
 
 /// Segment files in the directory, sorted by `first_seq`.
-pub(crate) fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+pub(crate) fn list_segments(storage: &dyn Storage, dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut segments = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        if let Some(first) = entry.file_name().to_str().and_then(parse_segment_name) {
-            segments.push((first, entry.path()));
+    for name in storage.list_dir(dir)? {
+        if let Some(first) = parse_segment_name(&name) {
+            segments.push((first, dir.join(name)));
         }
     }
     segments.sort_unstable_by_key(|(first, _)| *first);
@@ -108,12 +125,24 @@ where
 /// checkpointing (rotation + truncation) — appends never interleave with
 /// segment surgery.
 pub(crate) struct WalWriter {
+    storage: Arc<dyn Storage>,
     dir: PathBuf,
-    file: File,
+    file: Box<dyn StorageFile>,
     /// Sequence number the next appended record will carry.
     next_seq: u64,
-    /// Bytes appended to the current segment so far.
+    /// Bytes appended to the current segment so far (including bytes not
+    /// yet fsynced).
     segment_len: u64,
+    /// `segment_len` as of the last successful sync: everything at or
+    /// below this offset is on stable storage and may have been
+    /// acknowledged. A rollback truncates to exactly here.
+    durable_len: u64,
+    /// `next_seq` as of the last successful sync; restored by a rollback
+    /// so retried groups reuse the rolled-back sequence numbers.
+    durable_next_seq: u64,
+    /// `true` when an append failed partway and the file may hold bytes
+    /// that `segment_len` does not account for.
+    dirty: bool,
     /// Rotate to a fresh segment once the current one exceeds this.
     segment_limit: u64,
 }
@@ -122,13 +151,22 @@ impl WalWriter {
     /// Opens a **fresh** segment starting at `next_seq`. Called once per
     /// store open (recovery never appends to an old segment) and again on
     /// every rotation.
-    pub(crate) fn open(dir: &Path, next_seq: u64, segment_limit: u64) -> io::Result<Self> {
-        let file = new_segment(dir, next_seq)?;
+    pub(crate) fn open(
+        storage: Arc<dyn Storage>,
+        dir: &Path,
+        next_seq: u64,
+        segment_limit: u64,
+    ) -> io::Result<Self> {
+        let file = new_segment(storage.as_ref(), dir, next_seq)?;
         Ok(WalWriter {
+            storage,
             dir: dir.to_path_buf(),
             file,
             next_seq,
             segment_len: 0,
+            durable_len: 0,
+            durable_next_seq: next_seq,
+            dirty: false,
             segment_limit,
         })
     }
@@ -137,6 +175,9 @@ impl WalWriter {
     /// contiguous sequence numbers. Returns `(first_seq, bytes_written)`;
     /// the records cover `first_seq .. first_seq + batches.len()`. Does
     /// **not** sync — the journal decides when the group hits the platter.
+    ///
+    /// On failure the segment may hold a torn prefix of the group;
+    /// [`rollback_tail`](Self::rollback_tail) before retrying.
     pub(crate) fn append_group<K, V, B>(&mut self, batches: &[B]) -> io::Result<(u64, u64)>
     where
         K: Key + WalCodec,
@@ -148,15 +189,51 @@ impl WalWriter {
         for (i, ops) in batches.iter().enumerate() {
             encode_frame(first + i as u64, ops.as_ref(), &mut buf);
         }
-        self.file.write_all(&buf)?;
+        self.dirty = true;
+        self.file.append(&buf)?;
+        self.dirty = false;
         self.next_seq = first + batches.len() as u64;
         self.segment_len += buf.len() as u64;
         Ok((first, buf.len() as u64))
     }
 
-    /// Forces the current segment's appended frames to stable storage.
+    /// Forces the current segment's appended frames to stable storage and
+    /// advances the durable watermark.
     pub(crate) fn sync(&mut self) -> io::Result<()> {
-        self.file.sync_data()
+        self.file.sync()?;
+        self.durable_len = self.segment_len;
+        self.durable_next_seq = self.next_seq;
+        Ok(())
+    }
+
+    /// Advances the durable watermark without an fsync. Used when the
+    /// store runs with fsync disabled (tests, benches): the rollback
+    /// baseline then tracks "fully appended" instead of "fsynced", so a
+    /// retry rollback only ever erases the failed group itself, never
+    /// previously acknowledged unsynced groups.
+    pub(crate) fn commit_volatile(&mut self) {
+        self.durable_len = self.segment_len;
+        self.durable_next_seq = self.next_seq;
+    }
+
+    /// `true` when bytes past the durable watermark may exist — a failed
+    /// append or fsync left the segment's tail in an unknown state.
+    pub(crate) fn has_torn_tail(&self) -> bool {
+        self.dirty || self.segment_len != self.durable_len
+    }
+
+    /// Truncates the segment back to the last durable watermark, undoing
+    /// any torn or unsynced tail so the failed group can be re-appended
+    /// with its original sequence numbers. No-op on a clean segment.
+    pub(crate) fn rollback_tail(&mut self) -> io::Result<()> {
+        if !self.has_torn_tail() {
+            return Ok(());
+        }
+        self.file.truncate(self.durable_len)?;
+        self.segment_len = self.durable_len;
+        self.next_seq = self.durable_next_seq;
+        self.dirty = false;
+        Ok(())
     }
 
     /// `true` once the current segment has outgrown its size limit — the
@@ -169,9 +246,12 @@ impl WalWriter {
     /// Closes the current segment (durably) and starts a fresh one at the
     /// current `next_seq`.
     pub(crate) fn rotate(&mut self) -> io::Result<()> {
-        self.file.sync_data()?;
-        self.file = new_segment(&self.dir, self.next_seq)?;
+        self.sync()?;
+        self.file = new_segment(self.storage.as_ref(), &self.dir, self.next_seq)?;
         self.segment_len = 0;
+        self.durable_len = 0;
+        self.durable_next_seq = self.next_seq;
+        self.dirty = false;
         Ok(())
     }
 
@@ -182,35 +262,34 @@ impl WalWriter {
     /// it. The active (last) segment is never deleted. Returns the number
     /// of segments removed.
     pub(crate) fn truncate_through(&mut self, cut: u64) -> io::Result<u64> {
-        let segments = list_segments(&self.dir)?;
+        let segments = list_segments(self.storage.as_ref(), &self.dir)?;
         let mut removed = 0;
         for pair in segments.windows(2) {
             let (_, ref path) = pair[0];
             let (successor_first, _) = pair[1];
             if successor_first <= cut + 1 {
-                fs::remove_file(path)?;
+                self.storage.remove_file(path)?;
                 removed += 1;
             }
         }
         if removed > 0 {
-            sync_dir(&self.dir)?;
+            self.storage.sync_dir(&self.dir)?;
         }
         Ok(removed)
     }
 }
 
-fn new_segment(dir: &Path, first_seq: u64) -> io::Result<File> {
+fn new_segment(
+    storage: &dyn Storage,
+    dir: &Path,
+    first_seq: u64,
+) -> io::Result<Box<dyn StorageFile>> {
     let path = dir.join(segment_name(first_seq));
-    let file = OpenOptions::new().create(true).append(true).open(&path)?;
+    let file = storage.open_append(&path)?;
     // Make the segment's directory entry durable before any record relies
     // on it existing.
-    sync_dir(dir)?;
+    storage.sync_dir(dir)?;
     Ok(file)
-}
-
-/// Fsyncs a directory so renames/creates/unlinks inside it are durable.
-pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
-    File::open(dir)?.sync_all()
 }
 
 /// What the recovery reader salvaged from the log directory.
@@ -230,7 +309,7 @@ pub(crate) struct WalReplay<K: Key, V: Value> {
 
 /// Reads every committed record out of the log directory under the
 /// recovery rules in the [module docs](self).
-pub(crate) fn read_wal<K, V>(dir: &Path) -> io::Result<WalReplay<K, V>>
+pub(crate) fn read_wal<K, V>(storage: &dyn Storage, dir: &Path) -> io::Result<WalReplay<K, V>>
 where
     K: Key + WalCodec,
     V: Value + WalCodec,
@@ -242,10 +321,9 @@ where
         bytes_read: 0,
     };
     let mut expected: Option<u64> = None;
-    'segments: for (_, path) in list_segments(dir)? {
+    'segments: for (_, path) in list_segments(storage, dir)? {
         replay.segments += 1;
-        let mut bytes = Vec::new();
-        File::open(&path)?.read_to_end(&mut bytes)?;
+        let bytes = storage.read(&path)?;
         let mut pos = 0;
         while pos < bytes.len() {
             let Some((seq, ops, frame_len)) = decode_frame::<K, V>(&bytes[pos..]) else {
@@ -310,6 +388,12 @@ where
 mod tests {
     use super::*;
     use crate::scratch::ScratchDir;
+    use crate::storage::{Fault, FaultKind, FaultOp, FaultyStorage, FsStorage};
+    use std::fs;
+
+    fn fs_storage() -> Arc<dyn Storage> {
+        Arc::new(FsStorage)
+    }
 
     fn batch(k: i64) -> Vec<StoreOp<i64, i64>> {
         vec![StoreOp::Insert { key: k, value: k }]
@@ -318,12 +402,12 @@ mod tests {
     #[test]
     fn append_sync_and_read_back() {
         let dir = ScratchDir::new("wal-roundtrip");
-        let mut w = WalWriter::open(dir.path(), 1, u64::MAX).unwrap();
+        let mut w = WalWriter::open(fs_storage(), dir.path(), 1, u64::MAX).unwrap();
         let (first, bytes) = w.append_group(&[batch(1), batch(2), batch(3)]).unwrap();
         assert_eq!(first, 1);
         assert!(bytes > 0);
         w.sync().unwrap();
-        let replay = read_wal::<i64, i64>(dir.path()).unwrap();
+        let replay = read_wal::<i64, i64>(&FsStorage, dir.path()).unwrap();
         assert!(!replay.torn_tail);
         assert_eq!(
             replay.records.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
@@ -336,14 +420,17 @@ mod tests {
     #[test]
     fn torn_tail_stops_at_first_bad_frame() {
         let dir = ScratchDir::new("wal-torn");
-        let mut w = WalWriter::open(dir.path(), 0, u64::MAX).unwrap();
+        let mut w = WalWriter::open(fs_storage(), dir.path(), 0, u64::MAX).unwrap();
         w.append_group(&[batch(1), batch(2)]).unwrap();
         w.sync().unwrap();
-        let (_, path) = list_segments(dir.path()).unwrap().pop().unwrap();
+        let (_, path) = list_segments(&FsStorage, dir.path())
+            .unwrap()
+            .pop()
+            .unwrap();
         let bytes = fs::read(&path).unwrap();
         // Chop the last record mid-payload.
         fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
-        let replay = read_wal::<i64, i64>(dir.path()).unwrap();
+        let replay = read_wal::<i64, i64>(&FsStorage, dir.path()).unwrap();
         assert!(replay.torn_tail);
         assert_eq!(replay.records.len(), 1);
         assert_eq!(replay.records[0].0, 0);
@@ -352,15 +439,18 @@ mod tests {
     #[test]
     fn corrupted_crc_drops_the_record() {
         let dir = ScratchDir::new("wal-crc");
-        let mut w = WalWriter::open(dir.path(), 0, u64::MAX).unwrap();
+        let mut w = WalWriter::open(fs_storage(), dir.path(), 0, u64::MAX).unwrap();
         w.append_group(&[batch(7)]).unwrap();
         w.sync().unwrap();
-        let (_, path) = list_segments(dir.path()).unwrap().pop().unwrap();
+        let (_, path) = list_segments(&FsStorage, dir.path())
+            .unwrap()
+            .pop()
+            .unwrap();
         let mut bytes = fs::read(&path).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         fs::write(&path, &bytes).unwrap();
-        let replay = read_wal::<i64, i64>(dir.path()).unwrap();
+        let replay = read_wal::<i64, i64>(&FsStorage, dir.path()).unwrap();
         assert!(replay.torn_tail);
         assert!(replay.records.is_empty());
     }
@@ -371,14 +461,14 @@ mod tests {
         // Segment A holds seq 0; segment B starts at seq 2 — seq 1 was
         // torn away with its whole segment. Nothing after the gap may
         // replay.
-        let mut a = WalWriter::open(dir.path(), 0, u64::MAX).unwrap();
+        let mut a = WalWriter::open(fs_storage(), dir.path(), 0, u64::MAX).unwrap();
         a.append_group(&[batch(10)]).unwrap();
         a.sync().unwrap();
         drop(a);
-        let mut b = WalWriter::open(dir.path(), 2, u64::MAX).unwrap();
+        let mut b = WalWriter::open(fs_storage(), dir.path(), 2, u64::MAX).unwrap();
         b.append_group(&[batch(30), batch(40)]).unwrap();
         b.sync().unwrap();
-        let replay = read_wal::<i64, i64>(dir.path()).unwrap();
+        let replay = read_wal::<i64, i64>(&FsStorage, dir.path()).unwrap();
         assert!(replay.torn_tail);
         assert_eq!(replay.records.len(), 1);
         assert_eq!(replay.records[0].0, 0);
@@ -387,18 +477,18 @@ mod tests {
     #[test]
     fn rotation_and_truncation_keep_the_suffix() {
         let dir = ScratchDir::new("wal-truncate");
-        let mut w = WalWriter::open(dir.path(), 0, u64::MAX).unwrap();
+        let mut w = WalWriter::open(fs_storage(), dir.path(), 0, u64::MAX).unwrap();
         w.append_group(&[batch(1), batch(2)]).unwrap(); // seqs 0, 1
         w.rotate().unwrap();
         w.append_group(&[batch(3)]).unwrap(); // seq 2
         w.rotate().unwrap();
         w.append_group(&[batch(4)]).unwrap(); // seq 3
         w.sync().unwrap();
-        assert_eq!(list_segments(dir.path()).unwrap().len(), 3);
+        assert_eq!(list_segments(&FsStorage, dir.path()).unwrap().len(), 3);
 
         // Checkpoint at cut = 1 covers exactly the first segment.
         assert_eq!(w.truncate_through(1).unwrap(), 1);
-        let replay = read_wal::<i64, i64>(dir.path()).unwrap();
+        let replay = read_wal::<i64, i64>(&FsStorage, dir.path()).unwrap();
         assert!(!replay.torn_tail, "suffix stays contiguous");
         assert_eq!(
             replay.records.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
@@ -407,17 +497,148 @@ mod tests {
 
         // A cut past everything still never deletes the active segment.
         assert_eq!(w.truncate_through(100).unwrap(), 1);
-        assert_eq!(list_segments(dir.path()).unwrap().len(), 1);
+        assert_eq!(list_segments(&FsStorage, dir.path()).unwrap().len(), 1);
     }
 
     #[test]
     fn empty_batches_are_representable() {
         let dir = ScratchDir::new("wal-empty");
-        let mut w = WalWriter::open(dir.path(), 5, u64::MAX).unwrap();
+        let mut w = WalWriter::open(fs_storage(), dir.path(), 5, u64::MAX).unwrap();
         let empty: Vec<StoreOp<i64, i64>> = Vec::new();
         w.append_group(&[empty]).unwrap();
         w.sync().unwrap();
-        let replay = read_wal::<i64, i64>(dir.path()).unwrap();
+        let replay = read_wal::<i64, i64>(&FsStorage, dir.path()).unwrap();
         assert_eq!(replay.records, vec![(5, vec![])]);
+    }
+
+    #[test]
+    fn rollback_after_short_write_restores_the_durable_prefix() {
+        let dir = ScratchDir::new("wal-rollback");
+        let faulty = FaultyStorage::over_fs();
+        let mut w = WalWriter::open(
+            Arc::new(faulty.clone()) as Arc<dyn Storage>,
+            dir.path(),
+            0,
+            u64::MAX,
+        )
+        .unwrap();
+        w.append_group(&[batch(1)]).unwrap(); // seq 0
+        w.sync().unwrap();
+
+        // The next append tears: half its bytes land, then it fails. The
+        // second frame is longer than the first so the cut point falls
+        // mid-frame and the tear is visible to the reader.
+        let fat = vec![
+            StoreOp::Insert { key: 3, value: 3 },
+            StoreOp::Insert { key: 4, value: 4 },
+            StoreOp::Insert { key: 5, value: 5 },
+        ];
+        faulty.schedule(Fault::nth_of(FaultOp::Append, 1, FaultKind::ShortWrite));
+        assert!(w.append_group(&[batch(2), fat.clone()]).is_err());
+        assert!(w.has_torn_tail());
+
+        // Before rollback the torn bytes are really on disk.
+        let replay = read_wal::<i64, i64>(&FsStorage, dir.path()).unwrap();
+        assert!(replay.torn_tail);
+
+        // Rollback, re-append the same group: the sequence numbers are
+        // reused and the log reads back clean.
+        w.rollback_tail().unwrap();
+        assert!(!w.has_torn_tail());
+        let (first, _) = w.append_group(&[batch(2), fat]).unwrap();
+        assert_eq!(first, 1, "rolled-back seqs are reused");
+        w.sync().unwrap();
+        let replay = read_wal::<i64, i64>(&FsStorage, dir.path()).unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(
+            replay.records.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn short_write_on_a_frame_boundary_leaves_an_unacked_record() {
+        // When the cut point of a torn group write lands exactly on a
+        // frame boundary, the reader sees an *intact* record that was
+        // never acknowledged — invisible as corruption, which is exactly
+        // why every retry starts with `rollback_tail`.
+        let dir = ScratchDir::new("wal-boundary");
+        let faulty = FaultyStorage::over_fs();
+        let mut w = WalWriter::open(
+            Arc::new(faulty.clone()) as Arc<dyn Storage>,
+            dir.path(),
+            0,
+            u64::MAX,
+        )
+        .unwrap();
+        w.append_group(&[batch(1)]).unwrap(); // seq 0, durable
+        w.sync().unwrap();
+
+        // Two equal-length frames: half the bytes = exactly the first.
+        faulty.schedule(Fault::nth_of(FaultOp::Append, 1, FaultKind::ShortWrite));
+        assert!(w.append_group(&[batch(2), batch(3)]).is_err());
+        assert!(w.has_torn_tail(), "the writer still knows");
+
+        let replay = read_wal::<i64, i64>(&FsStorage, dir.path()).unwrap();
+        assert!(!replay.torn_tail, "the reader cannot tell");
+        assert_eq!(
+            replay.records.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![0, 1],
+            "seq 1 is readable but was never acknowledged"
+        );
+
+        // Rollback erases it; the retry reuses seq 1 with different
+        // content and recovery stays unambiguous.
+        w.rollback_tail().unwrap();
+        let (first, _) = w.append_group(&[batch(9)]).unwrap();
+        assert_eq!(first, 1);
+        w.sync().unwrap();
+        let replay = read_wal::<i64, i64>(&FsStorage, dir.path()).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(
+            replay.records[1].1,
+            vec![StoreOp::Insert { key: 9, value: 9 }],
+            "the unacked record is gone, not resurrected"
+        );
+    }
+
+    #[test]
+    fn rollback_after_failed_fsync_discards_the_unsynced_group() {
+        let dir = ScratchDir::new("wal-fsync-fail");
+        let faulty = FaultyStorage::over_fs();
+        let mut w = WalWriter::open(
+            Arc::new(faulty.clone()) as Arc<dyn Storage>,
+            dir.path(),
+            0,
+            u64::MAX,
+        )
+        .unwrap();
+        w.append_group(&[batch(1)]).unwrap();
+        w.sync().unwrap();
+
+        // Append lands fully, but the fsync fails: the group is readable
+        // yet NOT durable — rollback must erase it so a retried group can
+        // reuse seq 1 without leaving a duplicate behind.
+        faulty.schedule(Fault::nth_of(
+            FaultOp::Sync,
+            1,
+            FaultKind::Error(io::ErrorKind::Other),
+        ));
+        w.append_group(&[batch(2)]).unwrap();
+        assert!(w.sync().is_err());
+        assert!(w.has_torn_tail());
+        w.rollback_tail().unwrap();
+
+        let replay = read_wal::<i64, i64>(&FsStorage, dir.path()).unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.records.len(), 1, "only the durable record stays");
+
+        // Retry with a different payload lands on the freed seq.
+        let (first, _) = w.append_group(&[batch(9)]).unwrap();
+        assert_eq!(first, 1);
+        w.sync().unwrap();
+        let replay = read_wal::<i64, i64>(&FsStorage, dir.path()).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[1].1, batch(9));
     }
 }

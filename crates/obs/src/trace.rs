@@ -51,12 +51,24 @@ pub enum TraceKind {
     /// that released it).
     WalStall = 6,
     /// An online checkpoint started draining the store through a snapshot
-    /// scan cursor (arg: low 16 bits of the checkpoint's cut sequence).
+    /// scan cursor (arg: `(trigger << 14) | (cut & 0x3FFF)` — trigger 0 =
+    /// explicit call, 1 = live-WAL-bytes policy threshold, 2 =
+    /// live-WAL-segments policy threshold; low 14 bits are the cut
+    /// sequence).
     CheckpointBegin = 7,
     /// An online checkpoint finished and the WAL prefix at-or-before its
     /// cut was truncated (arg: low 16 bits of the checkpoint's cut
     /// sequence).
     CheckpointEnd = 8,
+    /// The durable log thread hit a transient I/O error and is retrying
+    /// the flush after backoff (arg: the 0-based retry attempt index).
+    IoRetry = 9,
+    /// The durable journal escalated a persistent I/O failure into
+    /// degraded read-only mode — reads keep serving, writes fail fast.
+    DegradedEnter = 10,
+    /// `try_resume` re-probed storage successfully and the journal left
+    /// degraded mode (arg: low 16 bits of the resume count).
+    DegradedResume = 11,
 }
 
 impl TraceKind {
@@ -70,6 +82,9 @@ impl TraceKind {
             6 => Some(TraceKind::WalStall),
             7 => Some(TraceKind::CheckpointBegin),
             8 => Some(TraceKind::CheckpointEnd),
+            9 => Some(TraceKind::IoRetry),
+            10 => Some(TraceKind::DegradedEnter),
+            11 => Some(TraceKind::DegradedResume),
             _ => None,
         }
     }
@@ -85,6 +100,9 @@ impl TraceKind {
             TraceKind::WalStall => "wal-stall",
             TraceKind::CheckpointBegin => "checkpoint-begin",
             TraceKind::CheckpointEnd => "checkpoint-end",
+            TraceKind::IoRetry => "io-retry",
+            TraceKind::DegradedEnter => "degraded-enter",
+            TraceKind::DegradedResume => "degraded-resume",
         }
     }
 }
@@ -256,6 +274,9 @@ mod tests {
             TraceKind::WalStall,
             TraceKind::CheckpointBegin,
             TraceKind::CheckpointEnd,
+            TraceKind::IoRetry,
+            TraceKind::DegradedEnter,
+            TraceKind::DegradedResume,
         ] {
             let (m, k, a) = unpack(pack(123_456, kind, 7)).unwrap();
             assert_eq!((m, k, a), (123_456, kind, 7));

@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use wft_api::{PointMap, RangeRead, RangeScan, RangeSpec, ScanConsistency, SnapshotRead};
 use wft_core::{ReadPath, RootQueueKind, TreeConfig, WaitFreeTree};
-use wft_durable::{DurableStore, ScratchDir};
+use wft_durable::{DurableStore, FaultyStorage, ScratchDir};
 use wft_lockbased::LockedRangeTree;
 use wft_lockfree::LockFreeBst;
 use wft_persistent::PersistentRangeTree;
@@ -178,6 +178,11 @@ pub enum TreeImpl {
     /// is benchmarked by the dedicated durability bench rather than
     /// alongside the in-memory structures.
     Durable,
+    /// The crash-safe store over fault-injected storage: a
+    /// [`wft_durable::FaultyStorage`] drizzles transient I/O errors over
+    /// the WAL so harness runs exercise the retry/backoff path. Not part
+    /// of [`TreeImpl::ALL`] — used by the chaos bench and soak suites.
+    DurableFaulty,
 }
 
 impl TreeImpl {
@@ -209,6 +214,7 @@ impl TreeImpl {
             TreeImpl::TrieDescReads => "wait-free-trie(desc-reads)",
             TreeImpl::ShardedDescReads => "sharded-store(desc-reads)",
             TreeImpl::Durable => "durable-store",
+            TreeImpl::DurableFaulty => "durable-store(faulty)",
         }
     }
 
@@ -289,6 +295,36 @@ impl TreeImpl {
                             .collect(),
                     )
                     .expect("prefilling durable store");
+                Arc::new(DurableSet {
+                    store,
+                    _scratch: scratch,
+                })
+            }
+            TreeImpl::DurableFaulty => {
+                let scratch = ScratchDir::new("workload-faulty");
+                let config = wft_durable::DurableConfig {
+                    shards: max_threads.max(1),
+                    ..wft_durable::DurableConfig::default()
+                };
+                let faulty = FaultyStorage::over_fs();
+                let store = DurableStore::<i64>::open_with_storage(
+                    scratch.path(),
+                    config,
+                    Arc::new(faulty.clone()),
+                )
+                .expect("opening fault-injected durable store in scratch dir");
+                store
+                    .apply_durable(
+                        entries
+                            .iter()
+                            .map(|&k| wft_api::StoreOp::Insert { key: k, value: () })
+                            .collect(),
+                    )
+                    .expect("prefilling durable store");
+                // Drizzle starts only after the prefill, so setup never
+                // trips; from here every 64th storage op fails once
+                // transiently and the journal's retry path absorbs it.
+                faulty.every(64, std::io::ErrorKind::Interrupted);
                 Arc::new(DurableSet {
                     store,
                     _scratch: scratch,
@@ -390,6 +426,28 @@ mod tests {
             metrics.counter("durable_wal_appends").unwrap_or(0) > 0,
             "durable writes go through the log"
         );
+    }
+
+    #[test]
+    fn faulty_durable_store_absorbs_the_drizzle() {
+        let prefill: Vec<i64> = (0..100).collect();
+        let set = TreeImpl::DurableFaulty.build(&prefill, 2);
+        exercise(set.as_ref());
+        // Enough writes to guarantee several periodic faults fire.
+        for k in 2_000..2_400 {
+            assert!(set.insert(k));
+        }
+        let metrics = set.metrics_snapshot();
+        assert!(
+            metrics.counter("durable_io_retries").unwrap_or(0) > 0,
+            "the drizzle was really injected and retried"
+        );
+        assert_eq!(
+            metrics.gauge("durable_degraded"),
+            Some(0),
+            "transient faults never degrade the store"
+        );
+        assert_eq!(set.len(), 500);
     }
 
     #[test]

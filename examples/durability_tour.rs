@@ -154,6 +154,19 @@ fn main() {
         Some(stats.segments_truncated)
     );
     assert_eq!(
+        quiesced.counter("durable_io_retries"),
+        Some(stats.io_retries)
+    );
+    assert_eq!(
+        quiesced.counter("durable_degraded_entries"),
+        Some(stats.degraded_entries)
+    );
+    assert_eq!(quiesced.counter("durable_resumes"), Some(stats.resumes));
+    assert_eq!(
+        quiesced.counter("durable_auto_checkpoints"),
+        Some(stats.auto_checkpoints)
+    );
+    assert_eq!(
         quiesced.counter("durable_recovery_replayed_records"),
         Some(0)
     );
@@ -167,6 +180,11 @@ fn main() {
         Some(stats.applied_seq as i64)
     );
     assert_eq!(quiesced.gauge("durable_recovered_through"), Some(0));
+    assert_eq!(
+        quiesced.gauge("durable_degraded"),
+        Some(stats.degraded as i64),
+        "a healthy run never degrades"
+    );
     assert_eq!(
         quiesced.histogram("durable_commit_latency_ns"),
         Some(&stats.commit_latency)

@@ -30,7 +30,9 @@
 //!   independent wait-free tree shards;
 //! * [`durable`] — write-ahead logging with group commit, online
 //!   snapshot-cursor checkpoints and crash recovery layered under the
-//!   sharded store;
+//!   sharded store; storage faults are retried with capped backoff and
+//!   persistent failures degrade the store to read-only (resumable once
+//!   the disk heals) instead of killing it;
 //! * [`workload`] — workload generators and the timed
 //!   throughput harness behind the experiment suite;
 //! * [`obs`] — the unified observability layer: lock-free

@@ -205,6 +205,9 @@ fn trace_ring_wraps_to_most_recent_events() {
         TraceKind::WalStall,
         TraceKind::CheckpointBegin,
         TraceKind::CheckpointEnd,
+        TraceKind::IoRetry,
+        TraceKind::DegradedEnter,
+        TraceKind::DegradedResume,
     ];
     const EMITTED: u64 = 21;
     for i in 0..EMITTED {
