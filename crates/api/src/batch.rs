@@ -1,6 +1,6 @@
 //! The batched operation vocabulary, shared by single trees and the store.
 //!
-//! A [`StoreOp`] is one keyed mutation; a batch is a `Vec<StoreOp>`. The
+//! A [`StoreOp`] is one keyed operation; a batch is a `Vec<StoreOp>`. The
 //! vocabulary originated in the sharded store's two-phase `apply_batch`
 //! pipeline (phase one **validates** the whole batch without touching any
 //! tree, phase two **executes** it), and is promoted here so that *every*
@@ -11,6 +11,16 @@
 //! construction nothing has been mutated yet, which is the property
 //! GroveDB-style storage stacks rely on to keep multi-key commits
 //! all-or-nothing.
+//!
+//! Beyond the four *physical* ops (`Insert` / `InsertOrReplace` / `Remove`
+//! / `RemoveEntry`) the vocabulary is transactional: [`StoreOp::Patch`] is
+//! an atomic read-modify-write of the stored value, [`StoreOp::CompareAndSet`]
+//! a conditional overwrite, and [`StoreOp::Get`] a batch-internal read whose
+//! outcome observes the earlier same-key ops of its batch. The three are
+//! *logical* ops — their effect depends on the state they execute against —
+//! and [`resolve_op`] is the shared step that pins a logical op to the
+//! physical op with the same effect, which is how the durable WAL logs them
+//! (physical logging; see `wft-durable`).
 
 use std::collections::HashSet;
 use std::fmt;
@@ -22,8 +32,18 @@ use crate::point::PointMap;
 /// Batch size accepted when no explicit limit is configured.
 pub const UNBOUNDED_BATCH_OPS: usize = usize::MAX;
 
-/// One keyed mutation inside a batch.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A read-modify-write function applied to a key's stored value: receives
+/// the current value (`None` when absent) and returns the value to store
+/// (`None` removes the key).
+///
+/// A plain `fn` pointer on purpose: patches ride inside [`StoreOp`] batches
+/// that are cloned, compared, and routed across threads, and a capturing
+/// closure would drag allocation and unclonable state into the hot batch
+/// path. State a patch needs must come from the stored value itself.
+pub type PatchFn<V> = fn(Option<V>) -> Option<V>;
+
+/// One keyed operation inside a batch.
+#[derive(Debug, Clone)]
 pub enum StoreOp<K: Key, V: Value = ()> {
     /// Insert `key → value` if the key is absent; an existing key leaves the
     /// store unmodified (the paper tree's `insert` semantics).
@@ -53,7 +73,71 @@ pub enum StoreOp<K: Key, V: Value = ()> {
         /// Key to remove.
         key: K,
     },
+    /// Read-modify-write: replace the key's stored value with
+    /// `patch(current)` — returning `None` removes the key (or keeps it
+    /// absent), `Some(v)` stores `v`. The read and the write are one atomic
+    /// step on backends whose batch execution is atomic; see
+    /// [`PointMap::patch`] for the point-op flavour.
+    Patch {
+        /// Key to patch.
+        key: K,
+        /// The read-modify-write function.
+        patch: PatchFn<V>,
+    },
+    /// Store `value` iff the key's current value equals `expect`
+    /// (`None` = "the key is absent"). Reports whether it applied.
+    CompareAndSet {
+        /// Key to conditionally overwrite.
+        key: K,
+        /// The witness the current value must equal.
+        expect: Option<V>,
+        /// The value stored on a match.
+        value: V,
+    },
+    /// Batch-internal read: reports the key's value as of this operation's
+    /// position in the batch, observing every earlier same-key op of the
+    /// same batch and nothing later.
+    Get {
+        /// Key to read.
+        key: K,
+    },
 }
+
+impl<K: Key, V: Value> PartialEq for StoreOp<K, V> {
+    // Manual: the derived impl would compare `PatchFn` pointers directly
+    // and trip `unpredictable_function_pointer_comparisons`; `fn_addr_eq`
+    // states the (address-identity) semantics explicitly.
+    fn eq(&self, other: &Self) -> bool {
+        use StoreOp::*;
+        match (self, other) {
+            (Insert { key: a, value: x }, Insert { key: b, value: y })
+            | (InsertOrReplace { key: a, value: x }, InsertOrReplace { key: b, value: y }) => {
+                a == b && x == y
+            }
+            (Remove { key: a }, Remove { key: b })
+            | (RemoveEntry { key: a }, RemoveEntry { key: b })
+            | (Get { key: a }, Get { key: b }) => a == b,
+            (Patch { key: a, patch: f }, Patch { key: b, patch: g }) => {
+                a == b && std::ptr::fn_addr_eq(*f, *g)
+            }
+            (
+                CompareAndSet {
+                    key: a,
+                    expect: e1,
+                    value: x,
+                },
+                CompareAndSet {
+                    key: b,
+                    expect: e2,
+                    value: y,
+                },
+            ) => a == b && e1 == e2 && x == y,
+            _ => false,
+        }
+    }
+}
+
+impl<K: Key, V: Value + Eq> Eq for StoreOp<K, V> {}
 
 impl<K: Key, V: Value> StoreOp<K, V> {
     /// The key this operation routes by.
@@ -62,7 +146,10 @@ impl<K: Key, V: Value> StoreOp<K, V> {
             StoreOp::Insert { key, .. }
             | StoreOp::InsertOrReplace { key, .. }
             | StoreOp::Remove { key }
-            | StoreOp::RemoveEntry { key } => key,
+            | StoreOp::RemoveEntry { key }
+            | StoreOp::Patch { key, .. }
+            | StoreOp::CompareAndSet { key, .. }
+            | StoreOp::Get { key } => key,
         }
     }
 
@@ -70,7 +157,26 @@ impl<K: Key, V: Value> StoreOp<K, V> {
     pub fn is_insert(&self) -> bool {
         matches!(
             self,
-            StoreOp::Insert { .. } | StoreOp::InsertOrReplace { .. }
+            StoreOp::Insert { .. }
+                | StoreOp::InsertOrReplace { .. }
+                | StoreOp::Patch { .. }
+                | StoreOp::CompareAndSet { .. }
+        )
+    }
+
+    /// `true` for every operation that can modify the store —
+    /// everything except [`StoreOp::Get`].
+    pub fn is_mutation(&self) -> bool {
+        !matches!(self, StoreOp::Get { .. })
+    }
+
+    /// `true` for the four *physical* variants — the state-independent,
+    /// per-key-idempotent ops the WAL logs and recovery replays
+    /// (`Insert` / `InsertOrReplace` / `Remove` / `RemoveEntry`).
+    pub fn is_physical(&self) -> bool {
+        !matches!(
+            self,
+            StoreOp::Patch { .. } | StoreOp::CompareAndSet { .. } | StoreOp::Get { .. }
         )
     }
 }
@@ -87,18 +193,28 @@ pub enum OpOutcome<V: Value> {
     Removed(bool),
     /// Result of [`StoreOp::RemoveEntry`]: the removed value.
     RemovedEntry(Option<V>),
+    /// Result of [`StoreOp::Patch`]: the value stored *after* the patch
+    /// (`None` when the patch removed the key or kept it absent).
+    Patched(Option<V>),
+    /// Result of [`StoreOp::CompareAndSet`]: `true` when the current value
+    /// matched `expect` and the new value was stored.
+    CompareSet(bool),
+    /// Result of [`StoreOp::Get`]: the value observed at the operation's
+    /// position in the batch.
+    Got(Option<V>),
 }
 
 /// Why phase one rejected a batch. Nothing is mutated when any of these is
 /// returned.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BatchError<K: Key> {
-    /// Two operations in the batch address the same key. Within one batch
-    /// there is no defined order between them (a sharded backend executes
-    /// per-shard groups concurrently), so the batch is ambiguous and
-    /// refused.
+    /// Two *mutations* in the batch address the same key, so the batch's
+    /// net effect on that key would be an ambiguous composition and it is
+    /// refused. Reads are exempt: any number of [`StoreOp::Get`]s may share
+    /// a key with each other and with one mutation — a `Get` observes the
+    /// same-key ops that precede it in the batch.
     DuplicateKey {
-        /// The key that appears more than once.
+        /// The key that is mutated more than once.
         key: K,
     },
     /// The batch exceeds the backend's configured maximum.
@@ -170,7 +286,8 @@ pub trait BatchApply<K: Key, V: Value> {
 }
 
 /// The shared phase-one check: rejects batches larger than `max_ops` and
-/// batches addressing any key twice. Mutates nothing.
+/// batches *mutating* any key twice ([`StoreOp::Get`]s are free to repeat
+/// keys and to accompany a mutation of the same key). Mutates nothing.
 pub fn validate_batch<K: Key, V: Value>(
     batch: &[StoreOp<K, V>],
     max_ops: usize,
@@ -183,20 +300,123 @@ pub fn validate_batch<K: Key, V: Value>(
     }
     let mut seen = HashSet::with_capacity(batch.len());
     for op in batch {
-        if !seen.insert(*op.key()) {
+        if op.is_mutation() && !seen.insert(*op.key()) {
             return Err(BatchError::DuplicateKey { key: *op.key() });
         }
     }
     Ok(())
 }
 
+/// One [`StoreOp`] resolved against the value currently stored at its key:
+/// the outcome the submitter observes, the *physical* replacement op, and
+/// the key's value afterwards. Produced by [`resolve_op`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedOp<K: Key, V: Value> {
+    /// The outcome a sequential execution of the op at this state reports.
+    pub outcome: OpOutcome<V>,
+    /// The state-independent op with the same effect at this state —
+    /// always one of the four physical variants ([`StoreOp::is_physical`]);
+    /// `None` for pure reads and for mutations that did not apply. This is
+    /// what the durable WAL logs in place of `Patch`/`CompareAndSet`
+    /// (physical logging), keeping replay-over-image per-key idempotent.
+    pub physical: Option<StoreOp<K, V>>,
+    /// The key's value after the op.
+    pub after: Option<V>,
+}
+
+/// Resolves `op` against `current`, the value stored at `op.key()` at the
+/// op's position in its batch. The caller guarantees the state cannot
+/// change between the read that produced `current` and the application of
+/// the returned [`ResolvedOp::physical`] — a commit gate, a single
+/// sequencer thread, or plain single-threaded use.
+pub fn resolve_op<K: Key, V: Value>(op: &StoreOp<K, V>, current: Option<V>) -> ResolvedOp<K, V> {
+    match op {
+        // The four physical variants resolve to themselves (even when they
+        // do not apply — a failed `Insert` / absent-key `Remove` replays as
+        // a no-op), so a classic-op WAL stream is byte-identical whether or
+        // not it went through resolution.
+        StoreOp::Insert { key, value } => {
+            let applied = current.is_none();
+            ResolvedOp {
+                outcome: OpOutcome::Inserted(applied),
+                physical: Some(StoreOp::Insert {
+                    key: *key,
+                    value: value.clone(),
+                }),
+                after: if applied {
+                    Some(value.clone())
+                } else {
+                    current
+                },
+            }
+        }
+        StoreOp::InsertOrReplace { key, value } => ResolvedOp {
+            outcome: OpOutcome::Replaced(current),
+            physical: Some(StoreOp::InsertOrReplace {
+                key: *key,
+                value: value.clone(),
+            }),
+            after: Some(value.clone()),
+        },
+        StoreOp::Remove { key } => ResolvedOp {
+            outcome: OpOutcome::Removed(current.is_some()),
+            physical: Some(StoreOp::Remove { key: *key }),
+            after: None,
+        },
+        StoreOp::RemoveEntry { key } => ResolvedOp {
+            outcome: OpOutcome::RemovedEntry(current),
+            physical: Some(StoreOp::RemoveEntry { key: *key }),
+            after: None,
+        },
+        StoreOp::Patch { key, patch } => {
+            let after = patch(current.clone());
+            ResolvedOp {
+                outcome: OpOutcome::Patched(after.clone()),
+                physical: match &after {
+                    Some(v) => Some(StoreOp::InsertOrReplace {
+                        key: *key,
+                        value: v.clone(),
+                    }),
+                    None => current.is_some().then_some(StoreOp::Remove { key: *key }),
+                },
+                after,
+            }
+        }
+        StoreOp::CompareAndSet { key, expect, value } => {
+            let applied = current == *expect;
+            ResolvedOp {
+                outcome: OpOutcome::CompareSet(applied),
+                physical: applied.then(|| StoreOp::InsertOrReplace {
+                    key: *key,
+                    value: value.clone(),
+                }),
+                after: if applied {
+                    Some(value.clone())
+                } else {
+                    current
+                },
+            }
+        }
+        StoreOp::Get { .. } => ResolvedOp {
+            outcome: OpOutcome::Got(current.clone()),
+            physical: None,
+            after: current,
+        },
+    }
+}
+
 /// A ready-made [`BatchApply`] body for single-shard backends: validate,
 /// then apply each operation through the [`PointMap`] interface in
 /// submission order.
 ///
-/// Distinct keys make the per-op applications independent, so on a
-/// linearizable backend the serial order below is indistinguishable from
-/// any other execution order of the same batch.
+/// Serial submission order is the batch's sequential semantics: a
+/// [`StoreOp::Get`] (or a `Patch`/`CompareAndSet` read) observes every
+/// earlier same-key op of the same batch. Distinct-key mutations are
+/// independent, so on a linearizable backend the serial order below is
+/// indistinguishable from any other execution order of the same batch —
+/// but the per-op applications are *not* one atomic step against
+/// concurrent operations; backends with a commit protocol (the sharded
+/// store, the durable journal) layer that on top.
 pub fn apply_batch_point<K: Key, V: Value, M: PointMap<K, V> + ?Sized>(
     map: &M,
     batch: Vec<StoreOp<K, V>>,
@@ -213,6 +433,23 @@ pub fn apply_batch_point<K: Key, V: Value, M: PointMap<K, V> + ?Sized>(
             }
             StoreOp::Remove { key } => OpOutcome::Removed(map.remove(&key).is_applied()),
             StoreOp::RemoveEntry { key } => OpOutcome::RemovedEntry(map.remove(&key).into_prior()),
+            op => {
+                let resolved = resolve_op(&op, map.get(op.key()));
+                match resolved.physical {
+                    Some(StoreOp::Insert { key, value }) => {
+                        map.insert(key, value);
+                    }
+                    Some(StoreOp::InsertOrReplace { key, value }) => {
+                        map.replace(key, value);
+                    }
+                    Some(StoreOp::Remove { key }) | Some(StoreOp::RemoveEntry { key }) => {
+                        map.remove(&key);
+                    }
+                    Some(_) => unreachable!("resolve_op only emits physical ops"),
+                    None => {}
+                }
+                resolved.outcome
+            }
         })
         .collect())
 }
@@ -251,6 +488,127 @@ mod tests {
         let op: StoreOp<i64, i64> = StoreOp::RemoveEntry { key: 9 };
         assert_eq!(op.key(), &9);
         assert!(!op.is_insert());
+    }
+
+    fn bump(current: Option<i64>) -> Option<i64> {
+        Some(current.unwrap_or(0) + 1)
+    }
+
+    fn clear(_: Option<i64>) -> Option<i64> {
+        None
+    }
+
+    #[test]
+    fn validation_exempts_gets_from_duplicate_tracking() {
+        let batch: Vec<StoreOp<i64, ()>> = vec![
+            StoreOp::Get { key: 1 },
+            StoreOp::Insert { key: 1, value: () },
+            StoreOp::Get { key: 1 },
+            StoreOp::Get { key: 2 },
+        ];
+        assert_eq!(validate_batch(&batch, UNBOUNDED_BATCH_OPS), Ok(()));
+        let two_mutations: Vec<StoreOp<i64, ()>> = vec![
+            StoreOp::Get { key: 1 },
+            StoreOp::Insert { key: 1, value: () },
+            StoreOp::Remove { key: 1 },
+        ];
+        assert_eq!(
+            validate_batch(&two_mutations, UNBOUNDED_BATCH_OPS),
+            Err(BatchError::DuplicateKey { key: 1 })
+        );
+    }
+
+    #[test]
+    fn transactional_ops_compare_by_shape_and_patch_address() {
+        let a: StoreOp<i64, i64> = StoreOp::Patch {
+            key: 1,
+            patch: bump,
+        };
+        let b: StoreOp<i64, i64> = StoreOp::Patch {
+            key: 1,
+            patch: bump,
+        };
+        let c: StoreOp<i64, i64> = StoreOp::Patch {
+            key: 1,
+            patch: clear,
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.key(), &1);
+        assert!(a.is_mutation() && !a.is_physical());
+        let get: StoreOp<i64, i64> = StoreOp::Get { key: 7 };
+        assert!(!get.is_mutation() && !get.is_insert());
+        let cas: StoreOp<i64, i64> = StoreOp::CompareAndSet {
+            key: 2,
+            expect: None,
+            value: 20,
+        };
+        assert!(cas.is_mutation() && cas.is_insert() && !cas.is_physical());
+    }
+
+    #[test]
+    fn resolve_op_pins_logical_ops_to_physical_effects() {
+        // Patch over a present value → InsertOrReplace of the post-value.
+        let r = resolve_op(
+            &StoreOp::Patch {
+                key: 1,
+                patch: bump,
+            },
+            Some(4),
+        );
+        assert_eq!(r.outcome, OpOutcome::Patched(Some(5)));
+        assert_eq!(
+            r.physical,
+            Some(StoreOp::InsertOrReplace { key: 1, value: 5 })
+        );
+        assert_eq!(r.after, Some(5));
+
+        // Patch that clears a present key → Remove; over an absent key → no-op.
+        let r = resolve_op(
+            &StoreOp::Patch {
+                key: 1,
+                patch: clear,
+            },
+            Some(4),
+        );
+        assert_eq!(r.physical, Some(StoreOp::Remove { key: 1 }));
+        let r = resolve_op(
+            &StoreOp::Patch {
+                key: 1,
+                patch: clear,
+            },
+            None,
+        );
+        assert_eq!(r.physical, None);
+        assert_eq!(r.outcome, OpOutcome::Patched(None));
+
+        // CAS: only a matching witness produces a physical write.
+        let cas = StoreOp::CompareAndSet {
+            key: 2,
+            expect: Some(7),
+            value: 8,
+        };
+        let hit = resolve_op(&cas, Some(7));
+        assert_eq!(hit.outcome, OpOutcome::CompareSet(true));
+        assert_eq!(
+            hit.physical,
+            Some(StoreOp::InsertOrReplace { key: 2, value: 8 })
+        );
+        let miss = resolve_op(&cas, Some(9));
+        assert_eq!(miss.outcome, OpOutcome::CompareSet(false));
+        assert_eq!(miss.physical, None);
+        assert_eq!(miss.after, Some(9));
+
+        // Gets never produce a physical op.
+        let r = resolve_op(&StoreOp::Get { key: 3 }, Some(1));
+        assert_eq!(r.outcome, OpOutcome::Got(Some(1)));
+        assert_eq!(r.physical, None);
+
+        // Physical ops resolve to themselves even when they do not apply.
+        let r = resolve_op(&StoreOp::Insert { key: 4, value: 40 }, Some(1));
+        assert_eq!(r.outcome, OpOutcome::Inserted(false));
+        assert_eq!(r.physical, Some(StoreOp::Insert { key: 4, value: 40 }));
+        assert_eq!(r.after, Some(1));
     }
 
     #[test]

@@ -60,8 +60,8 @@ pub mod scan;
 pub mod snapshot;
 
 pub use batch::{
-    apply_batch_point, validate_batch, BatchApply, BatchError, OpOutcome, StoreOp,
-    UNBOUNDED_BATCH_OPS,
+    apply_batch_point, resolve_op, validate_batch, BatchApply, BatchError, OpOutcome, PatchFn,
+    ResolvedOp, StoreOp, UNBOUNDED_BATCH_OPS,
 };
 pub use outcome::UpdateOutcome;
 pub use point::PointMap;

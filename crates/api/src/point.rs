@@ -2,6 +2,7 @@
 
 use wft_seq::{Key, Value};
 
+use crate::batch::PatchFn;
 use crate::outcome::UpdateOutcome;
 
 /// A concurrent ordered map of point operations: keyed updates returning a
@@ -74,5 +75,40 @@ pub trait PointMap<K: Key, V: Value>: Send + Sync {
     /// `true` when no keys are stored.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Read-modify-write: stores `patch(current)` at `key` (`None` removes
+    /// the key) and returns the value after the patch.
+    ///
+    /// The default is a **non-atomic** `get`-then-write composition — a
+    /// concurrent writer can slip between the read and the write. Backends
+    /// with a commit protocol override it with an atomic implementation
+    /// (the sharded store routes it through its gated batch commit, the
+    /// durable store through its single-sequencer journal).
+    fn patch(&self, key: K, patch: PatchFn<V>) -> Option<V> {
+        let after = patch(self.get(&key));
+        match &after {
+            Some(v) => {
+                self.replace(key, v.clone());
+            }
+            None => {
+                self.remove(&key);
+            }
+        }
+        after
+    }
+
+    /// Stores `value` at `key` iff the current value equals `expect`
+    /// (`None` = "the key is absent"), reporting whether it applied.
+    ///
+    /// Same atomicity caveat as [`patch`](PointMap::patch): the default is
+    /// a non-atomic `get`-then-write; commit-gated backends override it.
+    fn compare_and_set(&self, key: K, expect: Option<V>, value: V) -> bool {
+        if self.get(&key) == expect {
+            self.replace(key, value);
+            true
+        } else {
+            false
+        }
     }
 }

@@ -60,6 +60,12 @@ fn bench_range_mix(c: &mut Criterion) {
                             wft_workload::spec::Op::ChunkedScan(lo, hi, chunk) => {
                                 std::hint::black_box(set.chunked_scan_count(lo, hi, chunk));
                             }
+                            wft_workload::spec::Op::Patch(k) => {
+                                std::hint::black_box(set.patch_toggle(k));
+                            }
+                            wft_workload::spec::Op::AtomicBatch(a, b) => {
+                                std::hint::black_box(set.batch_move(a, b));
+                            }
                         };
                     });
                 },

@@ -1,0 +1,304 @@
+//! Atomic batch-commit benchmark (`BENCH_batch.json`).
+//!
+//! Measures what the publish-at-front commit window costs (and buys) on
+//! `ShardedStore`'s cross-shard batches: the same striped-writer workload
+//! is run through the pre-gate **stitched** path
+//! (`stitched_apply_batch`: per-op gated application, no commit window —
+//! a concurrent cut reader may observe the batch half-applied) and the
+//! **atomic** path (`apply_batch`: validate, apply behind the commit
+//! gate, publish at the front in one step), at 1/4/8 writer threads over
+//! an 8-shard store. Concurrent cut readers keep re-reading the stripe
+//! and count torn observations — stripes whose keys carry more than one
+//! value inside a single validated read. Writer throughput, the commit
+//! counters, and the torn tallies land in `BENCH_batch.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin batch            # full run
+//! cargo run --release --bin batch -- --smoke # short CI run, hard asserts
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use wft_store::{ShardedStore, StoreOp};
+
+const SHARDS: usize = 8;
+/// Keys per stripe: two per shard, so the equi-depth split of the
+/// stripe-only prefill puts a shard boundary inside every batch.
+const STRIPE_KEYS: usize = SHARDS * 2;
+const READER_THREADS: usize = 2;
+
+/// One measured configuration point.
+#[derive(Debug, Serialize)]
+struct Point {
+    batch_mode: String,
+    writer_threads: usize,
+    batches_per_sec: f64,
+    /// `batches_per_sec × STRIPE_KEYS` — per-operation throughput.
+    ops_per_sec: f64,
+    reads_per_sec: f64,
+    /// Cut-validated reads that saw a half-applied stripe. The atomic
+    /// path must keep this at exactly zero; the stitched baseline is
+    /// *allowed* to tear (that is what the commit gate buys).
+    torn_reads: u64,
+    batch_commits: u64,
+    commit_gate_waits: u64,
+    /// Median sampled per-batch commit latency (ns; one in 8 is timed).
+    commit_p50_ns: u64,
+    /// 99th-percentile sampled per-batch commit latency (ns).
+    commit_p99_ns: u64,
+    /// The store's `wft-obs` metrics delta over the measurement window,
+    /// plus the writer latency histogram under `commit_latency_ns`.
+    window: wft_obs::MetricsSnapshot,
+}
+
+/// Atomic vs stitched ratio for one writer count.
+#[derive(Debug, Serialize)]
+struct Overhead {
+    writer_threads: usize,
+    stitched_batches_per_sec: f64,
+    atomic_batches_per_sec: f64,
+    /// `atomic / stitched`: 1.0 means the commit window costs nothing
+    /// over the tearing per-shard baseline.
+    relative_throughput: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    smoke: bool,
+    key_range: i64,
+    shards: usize,
+    stripe_keys: usize,
+    reader_threads: usize,
+    duration_ms: u64,
+    points: Vec<Point>,
+    overheads: Vec<Overhead>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum BatchMode {
+    Stitched,
+    Atomic,
+}
+
+impl BatchMode {
+    fn name(self) -> &'static str {
+        match self {
+            BatchMode::Stitched => "stitched",
+            BatchMode::Atomic => "atomic",
+        }
+    }
+}
+
+fn metrics_of(store: &ShardedStore<i64, i64>) -> wft_obs::MetricsSnapshot {
+    let mut out = wft_obs::MetricsSnapshot::new();
+    wft_obs::MetricsSource::collect_metrics(store, &mut out);
+    out
+}
+
+/// The stripe: `STRIPE_KEYS` keys spread uniformly over the key range.
+fn stripe(key_range: i64) -> Vec<i64> {
+    (0..STRIPE_KEYS as i64)
+        .map(|i| i * (key_range / STRIPE_KEYS as i64) + 1)
+        .collect()
+}
+
+/// One whole-stripe rewrite: every key set to `value` in a single batch.
+fn stripe_batch(keys: &[i64], value: i64) -> Vec<StoreOp<i64, i64>> {
+    keys.iter()
+        .map(|&key| StoreOp::InsertOrReplace { key, value })
+        .collect()
+}
+
+fn measure(mode: BatchMode, writer_threads: usize, key_range: i64, duration: Duration) -> Point {
+    let keys = stripe(key_range);
+    let store: Arc<ShardedStore<i64, i64>> = Arc::new(ShardedStore::from_entries(
+        keys.iter().map(|&k| (k, 0)),
+        SHARDS,
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(writer_threads + READER_THREADS + 1));
+    let torn = Arc::new(AtomicU64::new(0));
+    let latency = Arc::new(wft_obs::LatencyHistogram::new());
+    let before = metrics_of(&store);
+
+    let writers: Vec<_> = (0..writer_threads)
+        .map(|w| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let latency = Arc::clone(&latency);
+            let keys = keys.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut batches = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..16 {
+                        // Tag values by writer and batch index so any torn
+                        // read is attributable; the whole stripe is one
+                        // value per batch.
+                        let value = ((w as i64) << 40) | (batches as i64 + 1);
+                        let batch = stripe_batch(&keys, value);
+                        // One in 8 batches is timed (sampled by index, so
+                        // the sample cannot be biased toward slow commits).
+                        let timed_at = batches.is_multiple_of(8).then(Instant::now);
+                        match mode {
+                            BatchMode::Stitched => {
+                                std::hint::black_box(
+                                    store.stitched_apply_batch(batch).expect("stripe validates"),
+                                );
+                            }
+                            BatchMode::Atomic => {
+                                std::hint::black_box(
+                                    store.apply_batch(batch).expect("stripe validates"),
+                                );
+                            }
+                        }
+                        if let Some(at) = timed_at {
+                            latency.observe(at.elapsed());
+                        }
+                        batches += 1;
+                    }
+                }
+                batches
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..READER_THREADS)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let torn = Arc::clone(&torn);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..16 {
+                        let entries = store.collect_range(0, i64::MAX);
+                        let uniform = entries.len() == STRIPE_KEYS
+                            && entries.iter().all(|&(_, v)| v == entries[0].1);
+                        if !uniform {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                        reads += 1;
+                    }
+                }
+                reads
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let batches: u64 = writers.into_iter().map(|h| h.join().unwrap()).sum();
+    let reads: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = store.store_stats();
+    let commit_latency = latency.snapshot();
+    let mut window = metrics_of(&store).delta_since(&before);
+    window.push_histogram("commit_latency_ns", commit_latency.clone());
+    Point {
+        batch_mode: mode.name().to_string(),
+        writer_threads,
+        batches_per_sec: batches as f64 / elapsed,
+        ops_per_sec: (batches * STRIPE_KEYS as u64) as f64 / elapsed,
+        reads_per_sec: reads as f64 / elapsed,
+        torn_reads: torn.load(Ordering::Relaxed),
+        batch_commits: stats.batch_commits,
+        commit_gate_waits: stats.commit_gate_waits,
+        commit_p50_ns: commit_latency.quantile(0.50),
+        commit_p99_ns: commit_latency.quantile(0.99),
+        window,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let key_range: i64 = if smoke { 40_000 } else { 200_000 };
+    let duration = Duration::from_millis(if smoke { 120 } else { 400 });
+    let threads = [1usize, 4, 8];
+
+    let mut points = Vec::new();
+    let mut overheads = Vec::new();
+    for &t in &threads {
+        let stitched = measure(BatchMode::Stitched, t, key_range, duration);
+        let atomic = measure(BatchMode::Atomic, t, key_range, duration);
+        println!(
+            "writers={}  stitched {:>9.0} batches/s ({} torn reads)   atomic {:>9.0} batches/s ({} torn reads)   ratio {:>5.2}   (commits {} / gate waits {})",
+            t,
+            stitched.batches_per_sec,
+            stitched.torn_reads,
+            atomic.batches_per_sec,
+            atomic.torn_reads,
+            atomic.batches_per_sec / stitched.batches_per_sec,
+            atomic.batch_commits,
+            atomic.commit_gate_waits,
+        );
+        overheads.push(Overhead {
+            writer_threads: t,
+            stitched_batches_per_sec: stitched.batches_per_sec,
+            atomic_batches_per_sec: atomic.batches_per_sec,
+            relative_throughput: atomic.batches_per_sec / stitched.batches_per_sec,
+        });
+        points.push(stitched);
+        points.push(atomic);
+    }
+
+    if smoke {
+        // CI gate: the commit window's whole point is that cut readers
+        // never see a half-applied batch — and every atomic batch must
+        // have gone through the gate (the stitched baseline bypasses it).
+        for point in &points {
+            if point.batch_mode == "atomic" {
+                assert_eq!(
+                    point.torn_reads, 0,
+                    "writers={}: a cut reader saw a torn stripe on the atomic path",
+                    point.writer_threads
+                );
+                assert!(
+                    point.batch_commits > 0,
+                    "writers={}: atomic batches must commit through the gate",
+                    point.writer_threads
+                );
+            } else {
+                assert_eq!(
+                    point.batch_commits, 0,
+                    "writers={}: the stitched baseline must bypass the commit gate",
+                    point.writer_threads
+                );
+            }
+            let back = wft_obs::MetricsSnapshot::from_json(&point.window.to_json())
+                .expect("window metrics parse back");
+            assert_eq!(
+                back, point.window,
+                "MetricsSnapshot JSON round-trip must be lossless"
+            );
+        }
+        println!(
+            "smoke: zero torn atomic reads across {} points",
+            points.len()
+        );
+    }
+
+    let report = Report {
+        smoke,
+        key_range,
+        shards: SHARDS,
+        stripe_keys: STRIPE_KEYS,
+        reader_threads: READER_THREADS,
+        duration_ms: duration.as_millis() as u64,
+        points,
+        overheads,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
+    println!("wrote BENCH_batch.json");
+}

@@ -262,6 +262,20 @@ fn fold(op: &StoreOp<i64, i64>, oracle: &mut BTreeMap<i64, i64>) {
         StoreOp::Remove { key } | StoreOp::RemoveEntry { key } => {
             oracle.remove(&key);
         }
+        StoreOp::Patch { key, patch } => match patch(oracle.get(&key).copied()) {
+            Some(v) => {
+                oracle.insert(key, v);
+            }
+            None => {
+                oracle.remove(&key);
+            }
+        },
+        StoreOp::CompareAndSet { key, expect, value } => {
+            if oracle.get(&key).copied() == expect {
+                oracle.insert(key, value);
+            }
+        }
+        StoreOp::Get { .. } => {}
     }
 }
 

@@ -154,6 +154,15 @@ where
             out.push(TAG_REMOVE_ENTRY);
             key.encode_wal(out);
         }
+        // The WAL stores *physical* operations only: the journal's log
+        // thread resolves every logical `Patch` / `CompareAndSet` / `Get`
+        // into upserts and removes (or nothing) before any record is
+        // encoded, because replay-over-image idempotency rests on per-key
+        // constant effects and a `Patch`'s `fn` pointer has no stable
+        // serialisation anyway. See `crate::journal`'s resolution step.
+        StoreOp::Patch { .. } | StoreOp::CompareAndSet { .. } | StoreOp::Get { .. } => {
+            unreachable!("logical ops are resolved to physical ops before WAL encoding")
+        }
     }
 }
 

@@ -7,7 +7,10 @@
 //!
 //! Writers [`submit`](Journal::submit) a validated batch and block on a
 //! per-batch slot. The log thread drains the whole queue as one **commit
-//! group**, appends every record with one `write`, fsyncs once, then
+//! group**, **resolves** every logical operation (`Patch` /
+//! `CompareAndSet` / `Get`) into its physical effect against the store
+//! plus a group-spanning overlay (see [`resolve_group`] — physical
+//! logging), appends every record with one `write`, fsyncs once, then
 //! applies each batch to the in-memory store *in sequence order* and fills
 //! the slots with the typed outcomes. Two invariants fall out:
 //!
@@ -61,13 +64,13 @@
 //! disk, exactly the ambiguity a real crash leaves
 //! ([`HaltReason::Crash`]).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use wft_api::{OpOutcome, StoreOp};
+use wft_api::{resolve_op, OpOutcome, StoreOp};
 use wft_obs::TraceKind;
 use wft_seq::{Augmentation, Key, Value};
 use wft_store::ShardedStore;
@@ -163,6 +166,62 @@ pub enum Escalation {
 struct Pending<K: Key, V: Value> {
     ops: Vec<StoreOp<K, V>>,
     slot: Arc<Slot<V>>,
+}
+
+/// A batch after the log thread's resolution pass: the *physical* ops the
+/// WAL records and the store applies, plus the outcomes (one per submitted
+/// op, in submission order) the writer's slot is filled with once the
+/// group is durable and applied.
+struct Resolved<K: Key, V: Value> {
+    physical: Vec<StoreOp<K, V>>,
+    outcomes: Vec<OpOutcome<V>>,
+    slot: Arc<Slot<V>>,
+}
+
+/// Resolves a commit group's logical operations (`Patch`,
+/// `CompareAndSet`, `Get`) into their physical effects — **physical
+/// logging**. The log thread is the store's sole mutator (application
+/// happens only under `apply_gate`, checkpoints only read), so a
+/// shadow-resolution against the live store, layered with a group-wide
+/// overlay that carries each key's post-value from batch to batch, sees
+/// exactly the state each op will execute against. Classic ops resolve to
+/// themselves byte-for-byte, so a WAL stream without logical ops is
+/// unchanged by this pass; `Get`s and missed `CompareAndSet`s produce no
+/// physical op at all (an all-read batch still appends an *empty* record,
+/// keeping WAL sequence numbers contiguous with acknowledgements).
+fn resolve_group<K, V, A>(
+    store: &ShardedStore<K, V, A>,
+    group: Vec<Pending<K, V>>,
+) -> Vec<Resolved<K, V>>
+where
+    K: Key,
+    V: Value,
+    A: Augmentation<K, V>,
+{
+    let mut overlay: HashMap<K, Option<V>> = HashMap::new();
+    group
+        .into_iter()
+        .map(|pending| {
+            let mut physical = Vec::with_capacity(pending.ops.len());
+            let mut outcomes = Vec::with_capacity(pending.ops.len());
+            for op in &pending.ops {
+                let key = *op.key();
+                let current = match overlay.get(&key) {
+                    Some(shadowed) => shadowed.clone(),
+                    None => store.get(&key),
+                };
+                let resolved = resolve_op(op, current);
+                overlay.insert(key, resolved.after);
+                physical.extend(resolved.physical);
+                outcomes.push(resolved.outcome);
+            }
+            Resolved {
+                physical,
+                outcomes,
+                slot: pending.slot,
+            }
+        })
+        .collect()
 }
 
 /// The rendezvous a writer blocks on until its batch is durable and
@@ -511,6 +570,10 @@ where
             queue.pending.drain(..).collect()
         };
 
+        // Resolve logical ops to physical effects *before* any byte is
+        // encoded: the WAL stores physical ops only (see `resolve_group`).
+        let group = resolve_group(&store, group);
+
         let (first_seq, bytes) = match flush_group(&shared, &group) {
             Ok(out) => out,
             Err(err) => {
@@ -544,14 +607,24 @@ where
         // The gate is what a starved checkpoint grabs to quiesce the
         // store — nothing else ever mutates it.
         let _applying = shared.apply_gate.lock().unwrap();
-        for (i, pending) in group.into_iter().enumerate() {
-            let outcome = store
-                .apply_batch(pending.ops)
-                .map_err(|err| DurableError::Batch(err.to_string()));
+        for (i, resolved) in group.into_iter().enumerate() {
+            // Resolution already computed every outcome; the store only
+            // needs the physical effects (none at all for a pure-read or
+            // all-missed batch). The resolution is authoritative because
+            // nothing mutated the store since — this thread is the sole
+            // mutator.
+            let outcome = if resolved.physical.is_empty() {
+                Ok(resolved.outcomes)
+            } else {
+                store
+                    .apply_batch(resolved.physical)
+                    .map(|_| resolved.outcomes)
+                    .map_err(|err| DurableError::Batch(err.to_string()))
+            };
             shared
                 .applied_seq
                 .store(first_seq + i as u64, Ordering::Release);
-            pending.slot.fill(outcome);
+            resolved.slot.fill(outcome);
         }
     }
 }
@@ -560,12 +633,14 @@ where
 /// capped exponential backoff. Every attempt starts by rolling the
 /// segment tail back to the durable watermark, so a torn previous attempt
 /// never leaves readable frames whose sequence numbers the retry reuses.
-fn flush_group<K, V>(shared: &Shared<K, V>, group: &[Pending<K, V>]) -> std::io::Result<(u64, u64)>
+fn flush_group<K, V>(shared: &Shared<K, V>, group: &[Resolved<K, V>]) -> std::io::Result<(u64, u64)>
 where
     K: Key + WalCodec,
     V: Value + WalCodec,
 {
-    let slices: Vec<&[StoreOp<K, V>]> = group.iter().map(|p| p.ops.as_slice()).collect();
+    // Physical ops only — resolution already ran. An empty slice still
+    // appends a record so sequence numbers stay contiguous.
+    let slices: Vec<&[StoreOp<K, V>]> = group.iter().map(|r| r.physical.as_slice()).collect();
     let mut attempt: u32 = 0;
     loop {
         let result = {
@@ -625,7 +700,7 @@ where
 /// in-flight group and everything queued, then either degrade or halt per
 /// the configured [`Escalation`]. Runs on the log thread, which exits
 /// right after.
-fn escalate<K, V>(shared: &Shared<K, V>, group: Vec<Pending<K, V>>, err: &std::io::Error)
+fn escalate<K, V>(shared: &Shared<K, V>, group: Vec<Resolved<K, V>>, err: &std::io::Error)
 where
     K: Key + WalCodec,
     V: Value + WalCodec,
@@ -663,7 +738,7 @@ where
     // Nothing in this group (or behind it) was applied: the in-memory
     // store still equals the durable WAL prefix, which is what makes
     // degraded *reads* trustworthy.
-    for pending in group {
-        pending.slot.fill(Err(group_err.clone()));
+    for resolved in group {
+        resolved.slot.fill(Err(group_err.clone()));
     }
 }

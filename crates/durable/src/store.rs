@@ -12,6 +12,13 @@
 //! durability overhead: point gets, stitched range reads, snapshot reads,
 //! and streaming scan cursors are all untouched.
 //!
+//! Logical operations ([`StoreOp::Patch`], [`StoreOp::CompareAndSet`],
+//! [`StoreOp::Get`]) never reach the disk: the journal's log thread
+//! resolves them into the four *physical* variants before encoding
+//! (physical logging — see `crate::journal`'s resolution step), so the
+//! WAL format is unchanged and the replay arguments below keep holding
+//! verbatim.
+//!
 //! A transient I/O error on the flush path is retried with backoff; a
 //! persistent one degrades the store to read-only instead of killing it —
 //! see the [`crate::journal`] docs for the full failure policy and
@@ -689,6 +696,30 @@ where
     fn len(&self) -> u64 {
         self.inner.len()
     }
+
+    // The trait defaults are non-atomic get-then-write compositions; here
+    // they are single-op transactional batches resolved on the journal's
+    // sequencer thread, so the read-modify-write is atomic *and* the WAL
+    // records only its physical effect.
+    fn patch(&self, key: K, patch: wft_api::PatchFn<V>) -> Option<V> {
+        let outcomes = self
+            .apply_durable(vec![StoreOp::Patch { key, patch }])
+            .expect("durable patch");
+        match outcomes.into_iter().next() {
+            Some(OpOutcome::Patched(after)) => after,
+            _ => unreachable!("Patch yields Patched"),
+        }
+    }
+
+    fn compare_and_set(&self, key: K, expect: Option<V>, value: V) -> bool {
+        let outcomes = self
+            .apply_durable(vec![StoreOp::CompareAndSet { key, expect, value }])
+            .expect("durable compare-and-set");
+        match outcomes.into_iter().next() {
+            Some(OpOutcome::CompareSet(applied)) => applied,
+            _ => unreachable!("CompareAndSet yields CompareSet"),
+        }
+    }
 }
 
 /// Batches go through the log; validation errors stay typed.
@@ -941,6 +972,70 @@ mod tests {
         assert_eq!(PointMap::get(&store, &0), None);
         assert_eq!(PointMap::get(&store, &1), Some(-1));
         store.store().check_invariants();
+    }
+
+    #[test]
+    fn logical_ops_resolve_physically_and_survive_reopen() {
+        let dir = ScratchDir::new("store-logical");
+        {
+            let store = reopen(dir.path());
+            // Patch is an atomic RMW on the journal's sequencer thread.
+            assert_eq!(
+                PointMap::patch(&store, 1, |c| Some(c.unwrap_or(0) + 1)),
+                Some(1)
+            );
+            assert_eq!(
+                PointMap::patch(&store, 1, |c| Some(c.unwrap_or(0) + 1)),
+                Some(2)
+            );
+            // CAS with expect: None is insert-if-absent.
+            assert!(PointMap::compare_and_set(&store, 2, None, 5));
+            assert!(!PointMap::compare_and_set(&store, 2, Some(4), 9));
+            // A mixed transactional batch: the Get reads through the
+            // journal, the Patch clears, the CAS hits.
+            let outcomes = store
+                .apply_durable(vec![
+                    StoreOp::Get { key: 1 },
+                    StoreOp::Patch {
+                        key: 1,
+                        patch: |_| None,
+                    },
+                    StoreOp::CompareAndSet {
+                        key: 2,
+                        expect: Some(5),
+                        value: 6,
+                    },
+                ])
+                .unwrap();
+            assert_eq!(
+                outcomes,
+                vec![
+                    OpOutcome::Got(Some(2)),
+                    OpOutcome::Patched(None),
+                    OpOutcome::CompareSet(true),
+                ]
+            );
+            // A pure-read batch resolves to zero physical ops but still
+            // takes a WAL sequence number (an empty record).
+            let appends_before = store.stats().wal_appends;
+            assert_eq!(
+                store.apply_durable(vec![StoreOp::Get { key: 7 }]).unwrap(),
+                vec![OpOutcome::Got(None)]
+            );
+            assert_eq!(store.stats().wal_appends, appends_before + 1);
+            store.shutdown();
+        }
+        // The WAL holds only physical ops; replay reconstructs the exact
+        // acknowledged state, and reopening twice is idempotent.
+        for _ in 0..2 {
+            let store = reopen(dir.path());
+            assert_eq!(store.recovery().replayed_records, 6);
+            assert_eq!(PointMap::get(&store, &1), None);
+            assert_eq!(PointMap::get(&store, &2), Some(6));
+            assert_eq!(PointMap::len(&store), 1);
+            store.store().check_invariants();
+            store.shutdown();
+        }
     }
 
     #[test]

@@ -59,6 +59,23 @@ pub enum RangeSetOp {
     /// which is the snapshot-drain claim of the cursor API — the chunks,
     /// though read across many calls, concatenate to one atomic listing.
     ChunkedScan(i64, i64, usize),
+    /// `patch(key)` — an atomic read-modify-write (`StoreOp::Patch`) that
+    /// *toggles* membership: present → removed, absent → inserted. Returns
+    /// whether the key is present afterwards. On a set, toggling is the
+    /// strongest patch to check: its result is wrong under any lost-update
+    /// interleaving a non-atomic get-then-write would permit.
+    Patch(i64),
+    /// `compare_and_set(key)` — insert-if-absent
+    /// (`StoreOp::CompareAndSet { expect: None }`): succeeds iff the key
+    /// was absent at the linearization point, exactly `insert`'s result
+    /// but through the transactional conditional-write path.
+    CompareAndSet(i64),
+    /// `atomic_batch(a, b)` — one two-op cross-shard batch
+    /// (`remove(a)` + `insert(b)`, `a != b`) committed atomically:
+    /// sequentially both ops apply to one state, and a concurrent
+    /// execution must never expose the gap between them — the
+    /// publish-at-front claim of the store's batch commit.
+    AtomicBatch(i64, i64),
 }
 
 /// Results of [`RangeSetOp`] operations.
@@ -72,6 +89,9 @@ pub enum RangeSetRet {
     Keys(Vec<i64>),
     /// Result of `snapshot_counts`: the two counts of one snapshot.
     CountPair(u64, u64),
+    /// Result of `atomic_batch`: (`a` was removed, `b` was inserted), both
+    /// evaluated against the same pre-batch state.
+    Pair(bool, bool),
 }
 
 /// The sequential specification of the range-set interface: a sorted set of
@@ -132,6 +152,27 @@ impl SequentialSpec for RangeSetSpec {
                     state.range(min..=max).copied().collect()
                 };
                 (state.clone(), RangeSetRet::Keys(keys))
+            }
+            RangeSetOp::Patch(key) => {
+                let mut next = state.clone();
+                let present_after = if next.remove(&key) {
+                    false
+                } else {
+                    next.insert(key);
+                    true
+                };
+                (next, RangeSetRet::Bool(present_after))
+            }
+            RangeSetOp::CompareAndSet(key) => {
+                let mut next = state.clone();
+                let applied = next.insert(key);
+                (next, RangeSetRet::Bool(applied))
+            }
+            RangeSetOp::AtomicBatch(a, b) => {
+                let mut next = state.clone();
+                let removed = next.remove(&a);
+                let inserted = next.insert(b);
+                (next, RangeSetRet::Pair(removed, inserted))
             }
             RangeSetOp::SnapshotCounts(a_min, a_max, b_min, b_max) => {
                 let count = |min: i64, max: i64| {
@@ -216,6 +257,46 @@ mod tests {
             let (next, _) = RangeSetSpec::apply(&state, &op);
             assert_eq!(next, state);
         }
+    }
+
+    #[test]
+    fn patch_toggles_membership_and_reports_the_new_presence() {
+        let s0 = RangeSetSpec::initial();
+        let (s1, r1) = RangeSetSpec::apply(&s0, &RangeSetOp::Patch(5));
+        assert_eq!(r1, RangeSetRet::Bool(true), "absent key toggles in");
+        assert!(s1.contains(&5));
+        let (s2, r2) = RangeSetSpec::apply(&s1, &RangeSetOp::Patch(5));
+        assert_eq!(r2, RangeSetRet::Bool(false), "present key toggles out");
+        assert!(!s2.contains(&5));
+    }
+
+    #[test]
+    fn compare_and_set_is_insert_if_absent() {
+        let s0 = RangeSetSpec::initial();
+        let (s1, r1) = RangeSetSpec::apply(&s0, &RangeSetOp::CompareAndSet(3));
+        assert_eq!(r1, RangeSetRet::Bool(true));
+        let (s2, r2) = RangeSetSpec::apply(&s1, &RangeSetOp::CompareAndSet(3));
+        assert_eq!(
+            r2,
+            RangeSetRet::Bool(false),
+            "present key: expect None misses"
+        );
+        assert!(s2.contains(&3));
+    }
+
+    #[test]
+    fn atomic_batch_moves_in_one_step() {
+        let state = RangeSetSpec::prefilled([1, 2]);
+        let (next, ret) = RangeSetSpec::apply(&state, &RangeSetOp::AtomicBatch(1, 5));
+        assert_eq!(ret, RangeSetRet::Pair(true, true));
+        assert_eq!(next, RangeSetSpec::prefilled([2, 5]));
+        let (next2, ret2) = RangeSetSpec::apply(&next, &RangeSetOp::AtomicBatch(9, 5));
+        assert_eq!(
+            ret2,
+            RangeSetRet::Pair(false, false),
+            "absent remove, present insert"
+        );
+        assert_eq!(next2, next);
     }
 
     #[test]

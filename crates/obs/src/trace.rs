@@ -69,6 +69,14 @@ pub enum TraceKind {
     /// `try_resume` re-probed storage successfully and the journal left
     /// degraded mode (arg: low 16 bits of the resume count).
     DegradedResume = 11,
+    /// An atomic cross-shard batch commit completed through the store's
+    /// publish-at-front commit gate (arg: the number of shards the batch
+    /// touched).
+    BatchCommit = 12,
+    /// A point operation or cut acquisition found a commit window open on
+    /// a shard it touches and had to wait for its release (arg: the blocked
+    /// shard, or [`NO_SHARD`] for a whole-cut acquisition).
+    CommitGateWait = 13,
 }
 
 impl TraceKind {
@@ -85,6 +93,8 @@ impl TraceKind {
             9 => Some(TraceKind::IoRetry),
             10 => Some(TraceKind::DegradedEnter),
             11 => Some(TraceKind::DegradedResume),
+            12 => Some(TraceKind::BatchCommit),
+            13 => Some(TraceKind::CommitGateWait),
             _ => None,
         }
     }
@@ -103,6 +113,8 @@ impl TraceKind {
             TraceKind::IoRetry => "io-retry",
             TraceKind::DegradedEnter => "degraded-enter",
             TraceKind::DegradedResume => "degraded-resume",
+            TraceKind::BatchCommit => "batch-commit",
+            TraceKind::CommitGateWait => "commit-gate-wait",
         }
     }
 }
@@ -277,6 +289,8 @@ mod tests {
             TraceKind::IoRetry,
             TraceKind::DegradedEnter,
             TraceKind::DegradedResume,
+            TraceKind::BatchCommit,
+            TraceKind::CommitGateWait,
         ] {
             let (m, k, a) = unpack(pack(123_456, kind, 7)).unwrap();
             assert_eq!((m, k, a), (123_456, kind, 7));

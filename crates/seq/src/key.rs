@@ -31,11 +31,13 @@ impl<T> Key for T where T: Ord + Copy + Hash + Debug + Send + Sync + 'static {}
 /// Bound for values associated with keys.
 ///
 /// Values ride along with their key in leaves, descriptors and the presence
-/// index; they only need to be cloneable and shareable. Use `()` for plain
-/// sets (the paper's `insert`/`remove`/`contains`/`count` interface).
-pub trait Value: Clone + Debug + Send + Sync + 'static {}
+/// index; they need to be cloneable, shareable, and comparable for equality
+/// (`PartialEq` is what `StoreOp::CompareAndSet` tests its `expect` witness
+/// with). Use `()` for plain sets (the paper's
+/// `insert`/`remove`/`contains`/`count` interface).
+pub trait Value: Clone + Debug + PartialEq + Send + Sync + 'static {}
 
-impl<T> Value for T where T: Clone + Debug + Send + Sync + 'static {}
+impl<T> Value for T where T: Clone + Debug + PartialEq + Send + Sync + 'static {}
 
 #[cfg(test)]
 mod tests {

@@ -7,8 +7,8 @@
 //! fan-out) rather than the serial helper single trees use.
 
 use wft_api::{
-    BatchApply, BatchError, OpOutcome, PointMap, RangeKey, RangeRead, RangeSpec, SnapshotRead,
-    SnapshotToken, StoreOp, TimestampFront, UpdateOutcome,
+    BatchApply, BatchError, OpOutcome, PatchFn, PointMap, RangeKey, RangeRead, RangeSpec,
+    SnapshotRead, SnapshotToken, StoreOp, TimestampFront, UpdateOutcome,
 };
 use wft_seq::{Augmentation, Key, Value};
 
@@ -16,8 +16,10 @@ use crate::store::ShardedStore;
 
 impl<K: Key, V: Value, A: Augmentation<K, V>> PointMap<K, V> for ShardedStore<K, V, A> {
     fn insert(&self, key: K, value: V) -> UpdateOutcome<V> {
-        let shard = self.shard(&key);
-        PointMap::insert(shard, key, value)
+        let shard = self.shard_of(&key);
+        self.gated_write(shard, move || {
+            PointMap::insert(&self.shards[shard], key, value)
+        })
     }
 
     fn replace(&self, key: K, value: V) -> UpdateOutcome<V> {
@@ -27,7 +29,8 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> PointMap<K, V> for ShardedStore<K,
     }
 
     fn remove(&self, key: &K) -> UpdateOutcome<V> {
-        PointMap::remove(self.shard(key), key)
+        let shard = self.shard_of(key);
+        self.gated_write(shard, || PointMap::remove(&self.shards[shard], key))
     }
 
     fn get(&self, key: &K) -> Option<V> {
@@ -43,6 +46,17 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> PointMap<K, V> for ShardedStore<K,
 
     fn len(&self) -> u64 {
         ShardedStore::len(self)
+    }
+
+    // The trait defaults are non-atomic get-then-write compositions; the
+    // store owns a commit protocol, so it overrides both with the atomic
+    // single-op-transactional-batch path.
+    fn patch(&self, key: K, patch: PatchFn<V>) -> Option<V> {
+        ShardedStore::patch(self, key, patch)
+    }
+
+    fn compare_and_set(&self, key: K, expect: Option<V>, value: V) -> bool {
+        ShardedStore::compare_and_set(self, key, expect, value)
     }
 }
 
@@ -109,10 +123,17 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> TimestampFront for ShardedStore<K,
 }
 
 /// One scalar-sandwich snapshot read: entry validation (the summed front is
-/// settled at — and unchanged since — the token), the *stitched* cut-free
-/// read, exit validation. Counts a store snapshot retry when a performed
-/// read has to be discarded at the exit check (entry rejection reads
-/// nothing and counts nothing).
+/// settled at — and unchanged since — the token, and no batch commit is in
+/// flight), the *stitched* cut-free read, exit validation (sums unchanged
+/// **and** no commit window opened across the read). Counts a store
+/// snapshot retry when a performed read has to be discarded at the exit
+/// check (entry rejection reads nothing and counts nothing).
+///
+/// The commit stamp closes the one hole watermark sums leave open: a
+/// quiescent half-applied commit window (committer stalled between two
+/// shards) holds the sums still, so the sum sandwich alone could validate
+/// a read of a half-applied batch. No-commit-in-flight at entry plus
+/// no-commit-started across the read excludes exactly that.
 fn stitched_read_at<K, V, A, R>(
     store: &ShardedStore<K, V, A>,
     token: &SnapshotToken,
@@ -123,11 +144,12 @@ where
     V: Value,
     A: Augmentation<K, V>,
 {
+    let stamp = store.front.commit_stamp()?;
     if store.resolved_sum() != token.front() || store.advertised_sum() != token.front() {
         return None;
     }
     let out = read();
-    if store.advertised_sum() == token.front() {
+    if store.advertised_sum() == token.front() && store.front.commit_unchanged(stamp) {
         Some(out)
     } else {
         store.front.count_retry();
@@ -204,6 +226,8 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> wft_obs::MetricsSource for Sharded
         out.push_counter("store_snapshot_retries", stats.snapshot_retries);
         out.push_counter("store_scan_resumes", stats.scan_resumes);
         out.push_counter("store_len_fallbacks", stats.len_fallbacks);
+        out.push_counter("store_batch_commits", stats.batch_commits);
+        out.push_counter("store_commit_gate_waits", stats.commit_gate_waits);
         self.tree_stats().collect_into("store_tree", out);
         out.push_gauge("store_shards", self.num_shards() as i64);
         out.push_gauge("store_len", self.stitched_len() as i64);

@@ -46,6 +46,13 @@
 //! touched shard can starve a cross-shard reader. [`StoreStats`] exposes the
 //! retry pressure; the non-linearizable pre-PR-4 behaviour remains available
 //! as the explicitly named `stitched_*` reads for comparison and benchmarks.
+//!
+//! Atomic cross-shard **batch commits** add one more coupling on top of the
+//! cut: the per-shard commit gate documented on the crate-private
+//! `FrontTable`. While a
+//! commit window is open on a shard, point ops and cut acquisitions touching
+//! that shard wait for its release — so batch effects become visible all at
+//! once, never piecemeal (see `DESIGN.md`, "Publish-at-front batch commit").
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -106,31 +113,168 @@ pub struct StoreStats {
     /// answers under write pressure — point them at
     /// [`stitched_len()`](crate::ShardedStore::stitched_len) explicitly.
     pub len_fallbacks: u64,
+    /// Atomic cross-shard batch commits completed through the
+    /// publish-at-front commit gate
+    /// ([`apply_batch`](crate::ShardedStore::apply_batch) calls that took
+    /// the gated path; single-op physical batches bypass it).
+    pub batch_commits: u64,
+    /// Point operations or cut acquisitions that found a commit window
+    /// open on a shard they touch and had to wait for its release (counted
+    /// once per blocked call, not per spin). High values mean large batch
+    /// commits are stalling the point paths — shrink the batches or spread
+    /// them over more shards.
+    pub commit_gate_waits: u64,
 }
 
-/// The store-internal front bookkeeping: the monotone published front table
+/// The store-internal front bookkeeping: the monotone published front
+/// table, the per-shard **commit gate** behind atomic cross-shard batches,
 /// plus the counters behind [`StoreStats`].
+///
+/// # The commit gate
+///
+/// Each shard carries a seqlock-style `epoch` (even = open, odd = a batch
+/// commit window is in progress) and a `writers` count of in-flight point
+/// mutations. A gated commit acquires the epochs of every touched shard in
+/// **ascending shard order** (CAS even → odd; ordered acquisition makes
+/// concurrent commits deadlock-free), drains the touched shards' writers
+/// to zero, applies the batch, settles + publishes the touched fronts, and
+/// releases the epochs (odd → next even). Point mutations register in
+/// `writers` *before* checking the epoch; point reads and cut acquisitions
+/// sandwich their work between two matching even-epoch observations. Under
+/// `SeqCst` this gives exclusion both ways: a writer that saw an open
+/// epoch is visible to the committer's drain, and a committer that closed
+/// the epoch is visible to the writer's check — so no point op and no
+/// validated cut ever overlaps a commit window on a shard it touches.
+///
+/// The global `commits_started` / `commits_finished` pair is the scalar
+/// flavour of the same sandwich, used by the token-based snapshot reads
+/// that validate with watermark *sums* instead of per-shard cuts.
 pub(crate) struct FrontTable {
     /// The highest watermark ever *published* per shard. Written with
     /// `fetch_max` — the monotone front CAS: the published front can only
     /// move forward, so readers observing it see a lower bound on each
     /// shard's linearized prefix.
     published: Box<[AtomicU64]>,
+    /// Per-shard commit epoch: even = open, odd = commit window.
+    epochs: Box<[AtomicU64]>,
+    /// Per-shard count of in-flight point mutations.
+    writers: Box<[AtomicU64]>,
+    /// Commit windows ever opened (incremented before epoch acquisition).
+    commits_started: AtomicU64,
+    /// Commit windows fully released. `finished <= started` always;
+    /// equality means no commit is in flight.
+    commits_finished: AtomicU64,
     acquires: AtomicU64,
     retries: AtomicU64,
     scan_resumes: AtomicU64,
     len_fallbacks: AtomicU64,
+    gate_waits: AtomicU64,
+}
+
+/// Bounded-friendly wait: spin briefly, then yield the core — commit
+/// windows are short, but a preempted committer must not livelock the
+/// waiters on small machines.
+pub(crate) fn gate_backoff(spins: &mut u32) {
+    if *spins < 64 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+    *spins = spins.saturating_add(1);
 }
 
 impl FrontTable {
     pub(crate) fn new(shards: usize) -> Self {
         FrontTable {
             published: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            epochs: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            writers: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            commits_started: AtomicU64::new(0),
+            commits_finished: AtomicU64::new(0),
             acquires: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             scan_resumes: AtomicU64::new(0),
             len_fallbacks: AtomicU64::new(0),
+            gate_waits: AtomicU64::new(0),
         }
+    }
+
+    /// The shard's commit epoch if no commit window is open on it.
+    pub(crate) fn epoch_open(&self, shard: usize) -> Option<u64> {
+        let epoch = self.epochs[shard].load(Ordering::SeqCst);
+        epoch.is_multiple_of(2).then_some(epoch)
+    }
+
+    /// `true` when the shard's epoch still equals `epoch` — the closing
+    /// half of the read sandwich.
+    pub(crate) fn epoch_is(&self, shard: usize, epoch: u64) -> bool {
+        self.epochs[shard].load(Ordering::SeqCst) == epoch
+    }
+
+    /// Registers an in-flight point mutation on `shard`. Must happen
+    /// *before* the epoch check (see the commit-gate invariant above).
+    pub(crate) fn writer_enter(&self, shard: usize) {
+        self.writers[shard].fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Deregisters a point mutation (applied or backed off).
+    pub(crate) fn writer_exit(&self, shard: usize) {
+        self.writers[shard].fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Opens a commit window: acquires every touched shard's epoch
+    /// (ascending order — the caller passes `touched` sorted) and drains
+    /// the touched shards' in-flight point mutations.
+    pub(crate) fn begin_commit(&self, touched: &[usize]) {
+        debug_assert!(touched.windows(2).all(|w| w[0] < w[1]));
+        self.commits_started.fetch_add(1, Ordering::SeqCst);
+        for &shard in touched {
+            let mut spins = 0u32;
+            let mut waited = false;
+            loop {
+                let epoch = self.epochs[shard].load(Ordering::SeqCst);
+                if epoch.is_multiple_of(2)
+                    && self.epochs[shard]
+                        .compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    break;
+                }
+                if !waited {
+                    waited = true;
+                    self.count_gate_wait();
+                }
+                gate_backoff(&mut spins);
+            }
+        }
+        for &shard in touched {
+            let mut spins = 0u32;
+            while self.writers[shard].load(Ordering::SeqCst) != 0 {
+                gate_backoff(&mut spins);
+            }
+        }
+    }
+
+    /// Releases a commit window opened by [`begin_commit`](Self::begin_commit).
+    pub(crate) fn end_commit(&self, touched: &[usize]) {
+        for &shard in touched {
+            self.epochs[shard].fetch_add(1, Ordering::SeqCst);
+        }
+        self.commits_finished.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Entry half of the scalar commit sandwich: the commit counter when
+    /// no commit is in flight, `None` otherwise.
+    pub(crate) fn commit_stamp(&self) -> Option<u64> {
+        let started = self.commits_started.load(Ordering::SeqCst);
+        let finished = self.commits_finished.load(Ordering::SeqCst);
+        (started == finished).then_some(started)
+    }
+
+    /// Exit half of the scalar sandwich: no commit window opened since
+    /// `stamp` was taken.
+    pub(crate) fn commit_unchanged(&self, stamp: u64) -> bool {
+        self.commits_started.load(Ordering::SeqCst) == stamp
     }
 
     /// Publishes a freshly settled watermark for `shard` (monotone).
@@ -162,12 +306,18 @@ impl FrontTable {
         self.len_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn count_gate_wait(&self) {
+        self.gate_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn stats(&self) -> StoreStats {
         StoreStats {
             snapshot_acquires: self.acquires.load(Ordering::Relaxed),
             snapshot_retries: self.retries.load(Ordering::Relaxed),
             scan_resumes: self.scan_resumes.load(Ordering::Relaxed),
             len_fallbacks: self.len_fallbacks.load(Ordering::Relaxed),
+            batch_commits: self.commits_finished.load(Ordering::SeqCst),
+            commit_gate_waits: self.gate_waits.load(Ordering::Relaxed),
         }
     }
 }
@@ -193,6 +343,9 @@ mod tests {
         table.count_retry();
         table.count_scan_resume();
         table.count_len_fallback();
+        table.count_gate_wait();
+        table.begin_commit(&[0]);
+        table.end_commit(&[0]);
         assert_eq!(
             table.stats(),
             StoreStats {
@@ -200,8 +353,58 @@ mod tests {
                 snapshot_retries: 1,
                 scan_resumes: 1,
                 len_fallbacks: 1,
+                batch_commits: 1,
+                commit_gate_waits: 1,
             }
         );
+    }
+
+    #[test]
+    fn commit_gate_closes_and_reopens_epochs() {
+        let table = FrontTable::new(3);
+        let e0 = table.epoch_open(0).expect("shard 0 starts open");
+        table.begin_commit(&[0, 2]);
+        assert_eq!(table.epoch_open(0), None, "touched shard is closed");
+        assert_eq!(table.epoch_open(2), None);
+        let e1 = table.epoch_open(1).expect("untouched shard stays open");
+        assert!(table.epoch_is(1, e1));
+        assert_eq!(table.commit_stamp(), None, "a commit is in flight");
+        table.end_commit(&[0, 2]);
+        let e0_after = table.epoch_open(0).expect("released shard reopens");
+        assert_eq!(e0_after, e0 + 2, "each window advances the epoch by 2");
+        let stamp = table.commit_stamp().expect("quiescent after release");
+        assert!(table.commit_unchanged(stamp));
+        table.begin_commit(&[1]);
+        assert!(!table.commit_unchanged(stamp), "new window moves the stamp");
+        table.end_commit(&[1]);
+    }
+
+    #[test]
+    fn commit_waits_for_registered_writers() {
+        // A writer registered before the window opens must block the
+        // commit until it exits; one registered after sees a closed epoch.
+        let table = std::sync::Arc::new(FrontTable::new(1));
+        table.writer_enter(0);
+        let bg = {
+            let table = std::sync::Arc::clone(&table);
+            std::thread::spawn(move || {
+                table.begin_commit(&[0]);
+                table.end_commit(&[0]);
+            })
+        };
+        // Wait until the committer has closed the epoch; it must then park
+        // in the writer drain for as long as the writer stays registered.
+        while table.epoch_open(0).is_some() {
+            std::hint::spin_loop();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(
+            !bg.is_finished(),
+            "commit must not complete while a point writer is registered"
+        );
+        table.writer_exit(0);
+        bg.join().unwrap();
+        assert!(table.epoch_open(0).is_some());
     }
 
     #[test]

@@ -131,8 +131,9 @@ where
 {
     pub(crate) fn new(store: &'a ShardedStore<K, V, A>, range: RangeSpec<K>) -> Self {
         // Settle every shard exactly like `acquire_front` (publishing into
-        // the monotone front table); the scalar token is the cut's sum.
-        let cut = store.settle_all();
+        // the monotone front table, epoch-stable so the cut cannot split an
+        // atomic batch commit); the scalar token is the cut's sum.
+        let cut = store.settle_all_stable();
         let token = SnapshotToken::new(cut.iter().sum());
         let (resume, hi) = match range.to_closed() {
             Some((lo, hi)) => (Some(lo), hi),
@@ -206,7 +207,7 @@ where
                         // caller has accepted `Resumed` semantics, where
                         // one chunk may stitch per-shard reads taken at
                         // different cuts (documented in `wft_api::scan`).
-                        let fresh = self.store.settle_touched(shard, self.last_shard);
+                        let fresh = self.store.settle_touched_stable(shard, self.last_shard);
                         self.cut[shard..=self.last_shard].copy_from_slice(&fresh);
                         self.store.front.count_scan_resume();
                         wft_obs::trace::emit(
@@ -240,7 +241,7 @@ where
                         out.clear();
                         let restart = self.buffer.front().map(|(k, _)| *k).unwrap_or(lo);
                         self.buffer.clear();
-                        self.cut = self.store.settle_all();
+                        self.cut = self.store.settle_all_stable();
                         self.token = SnapshotToken::new(self.cut.iter().sum());
                         self.resume = Some(restart);
                         self.readahead = 0;

@@ -36,9 +36,24 @@
 //! [`ShardedStore::stitched_collect_range`] / [`ShardedStore::stitched_len`]).
 //! Streaming reads take the same discipline shard-by-shard: the store's
 //! [`wft_api::RangeScan`] cursor (see [`crate::scan`]) drains a range in
-//! chunks at one cut. Batches are atomic per shard and all-or-nothing with
-//! respect to validation, but a concurrent reader may observe a batch
-//! half-applied across two shards.
+//! chunks at one cut.
+//!
+//! # Atomic batch commit
+//!
+//! Batches are all-or-nothing with respect to validation, and any batch
+//! carrying more than one operation — or any transactional operation
+//! ([`StoreOp::Patch`] / [`StoreOp::CompareAndSet`] / [`StoreOp::Get`]) —
+//! commits **atomically**: [`ShardedStore::apply_batch`] applies it inside
+//! a per-shard *commit window* (the commit gate on [`crate::front`]) that
+//! excludes point operations and cut acquisitions on the touched shards,
+//! then settles and publishes every touched shard's front before the
+//! window is released. A validated cut reader therefore observes all of a
+//! batch or none of it, never a half-applied prefix across shards — the
+//! linearization argument lives in `DESIGN.md` ("Publish-at-front batch
+//! commit"). Single-operation *classic* batches bypass the gate entirely
+//! (one tree op is already atomic), and the old piecewise behaviour
+//! remains available as [`ShardedStore::stitched_apply_batch`], matching
+//! the other `stitched_*` baselines.
 
 use std::thread;
 
@@ -87,6 +102,34 @@ impl<K: Key, V: Value> BatchPlan<K, V> {
     /// Number of shards the batch touches.
     pub fn shards_touched(&self) -> usize {
         self.groups.iter().filter(|g| !g.is_empty()).count()
+    }
+
+    /// Whether executing this plan requires the atomic commit gate:
+    /// `true` for any multi-operation batch (cross-shard — or even
+    /// same-shard multi-op — visibility must be all-or-nothing) and for
+    /// any batch carrying a transactional operation (`Patch` /
+    /// `CompareAndSet` / `Get` read current state, so their read-decide-
+    /// write spans must exclude concurrent point writers). A single
+    /// classic operation is already atomic as one tree op and bypasses
+    /// the gate.
+    pub fn needs_commit_gate(&self) -> bool {
+        self.len > 1
+            || self
+                .groups
+                .iter()
+                .flatten()
+                .any(|(_, op)| !op.is_physical())
+    }
+
+    /// Ascending indices of the shards the plan touches (the commit gate's
+    /// required acquisition order).
+    fn touched_shards(&self) -> Vec<usize> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(i, _)| i)
+            .collect()
     }
 }
 
@@ -187,15 +230,12 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         &self.bounds
     }
 
-    pub(crate) fn shard(&self, key: &K) -> &WaitFreeTree<K, V, A> {
-        &self.shards[self.shard_of(key)]
-    }
-
     // -- point operations -------------------------------------------------
 
     /// Inserts `key → value`; returns `true` if the key was absent.
     pub fn insert(&self, key: K, value: V) -> bool {
-        self.shard(&key).insert(key, value)
+        let shard = self.shard_of(&key);
+        self.gated_write(shard, move || self.shards[shard].insert(key, value))
     }
 
     /// Inserts `key → value`, returning the value it replaced, if any.
@@ -205,27 +245,63 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
     /// `Replace` descriptor — there is no window in which a concurrent
     /// reader can observe the key absent.
     pub fn insert_or_replace(&self, key: K, value: V) -> Option<V> {
-        self.shard(&key).insert_or_replace(key, value)
+        let shard = self.shard_of(&key);
+        self.gated_write(shard, move || {
+            self.shards[shard].insert_or_replace(key, value)
+        })
     }
 
     /// Removes `key`; returns `true` if it was present.
     pub fn remove(&self, key: &K) -> bool {
-        self.shard(key).remove(key)
+        let shard = self.shard_of(key);
+        self.gated_write(shard, || self.shards[shard].remove(key))
     }
 
     /// Removes `key` and returns its value, if any.
     pub fn remove_entry(&self, key: &K) -> Option<V> {
-        self.shard(key).remove_entry(key)
+        let shard = self.shard_of(key);
+        self.gated_write(shard, || self.shards[shard].remove_entry(key))
     }
 
     /// Whether `key` is present.
     pub fn contains(&self, key: &K) -> bool {
-        self.shard(key).contains(key)
+        let shard = self.shard_of(key);
+        self.gated_read(shard, || self.shards[shard].contains(key))
     }
 
     /// The value stored under `key`, if any.
     pub fn get(&self, key: &K) -> Option<V> {
-        self.shard(key).get(key)
+        let shard = self.shard_of(key);
+        self.gated_read(shard, || self.shards[shard].get(key))
+    }
+
+    /// Atomic read-modify-write: stores `patch(current)` at `key` (`None`
+    /// removes the key) and returns the value after the patch. Routed
+    /// through the gated batch commit as a one-op transactional batch, so
+    /// no concurrent point writer can slip between the read and the write
+    /// (unlike the non-atomic [`wft_api::PointMap::patch`] default).
+    pub fn patch(&self, key: K, patch: wft_api::PatchFn<V>) -> Option<V> {
+        let outcomes = self
+            .apply_batch(vec![StoreOp::Patch { key, patch }])
+            .expect("a single-op batch always validates");
+        match outcomes.into_iter().next() {
+            Some(OpOutcome::Patched(after)) => after,
+            other => unreachable!("a Patch op reports Patched, got {other:?}"),
+        }
+    }
+
+    /// Atomically stores `value` at `key` iff the current value equals
+    /// `expect` (`None` = "the key is absent"), reporting whether it
+    /// applied. Routed through the gated batch commit like
+    /// [`ShardedStore::patch`].
+    pub fn compare_and_set(&self, key: K, expect: Option<V>, value: V) -> bool {
+        let outcomes = self
+            .apply_batch(vec![StoreOp::CompareAndSet { key, expect, value }])
+            .expect("a single-op batch always validates");
+        match outcomes.into_iter().next() {
+            Some(OpOutcome::CompareSet(applied)) => applied,
+            other => unreachable!("a CompareAndSet op reports CompareSet, got {other:?}"),
+        }
     }
 
     /// Total number of keys, read **at one global front** when the front
@@ -251,7 +327,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
             return self.shards[0].len();
         }
         for _ in 0..Self::LEN_CUT_ATTEMPTS {
-            let fronts = self.settle_all();
+            let fronts = self.settle_all_stable();
             let sum: u64 = self.shards.iter().map(WaitFreeTree::len).sum();
             match self
                 .shards
@@ -314,10 +390,13 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         let first = self.shard_of(&min);
         let last = self.shard_of(&max);
         if first == last {
-            return self.shards[first].range_agg(min, max);
+            // One shard's read is linearizable on its own, but it must not
+            // land inside a commit window (a multi-op batch group on this
+            // shard applies op by op) — the epoch sandwich excludes that.
+            return self.gated_read(first, || self.shards[first].range_agg(min, max));
         }
         loop {
-            let fronts = self.settle_touched(first, last);
+            let fronts = self.settle_touched_stable(first, last);
             match self.try_agg_at(first, last, min, max, &fronts) {
                 Ok(acc) => return acc,
                 Err(advanced) => self.note_snapshot_retry(advanced),
@@ -339,10 +418,12 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         let first = self.shard_of(&min);
         let last = self.shard_of(&max);
         if first == last {
-            return self.shards[first].collect_range(min, max);
+            // Epoch-sandwiched for the same reason as `range_agg`'s
+            // single-shard fast path.
+            return self.gated_read(first, || self.shards[first].collect_range(min, max));
         }
         loop {
-            let fronts = self.settle_touched(first, last);
+            let fronts = self.settle_touched_stable(first, last);
             match self.try_collect_at(first, last, min, max, &fronts) {
                 Ok(out) => return out,
                 Err(advanced) => self.note_snapshot_retry(advanced),
@@ -392,18 +473,11 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
     /// Acquires a [`GlobalFront`]: one settled watermark per shard (helping
     /// any mid-linearization update to completion — lock-free), published
     /// into the monotone front table. Reads against the front succeed while
-    /// [`ShardedStore::front_valid`] holds; see [`crate::front`].
+    /// [`ShardedStore::front_valid`] holds; see [`crate::front`]. The
+    /// acquisition is epoch-stable: it never lands inside a batch-commit
+    /// window, so the cut cannot split an atomic batch.
     pub fn acquire_front(&self) -> GlobalFront {
-        self.front.count_acquire();
-        GlobalFront::new(
-            (0..self.shards.len())
-                .map(|i| {
-                    let f = self.shards[i].settle_front().get();
-                    self.front.publish(i, f);
-                    f
-                })
-                .collect(),
-        )
+        GlobalFront::new(self.settle_all_stable())
     }
 
     /// `true` while no shard has begun linearizing an update past its
@@ -463,17 +537,9 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
     /// Sum of the per-shard settled fronts — the store's *scalar* front for
     /// the blanket [`wft_api::SnapshotRead`] (see the `TimestampFront` impl
     /// in `crate::api`). Monotone, and unchanged iff no shard advanced.
+    /// Epoch-stable, so a scalar token is never minted mid-commit-window.
     pub(crate) fn settled_front_sum(&self) -> u64 {
-        self.front.count_acquire();
-        self.shards
-            .iter()
-            .enumerate()
-            .map(|(i, shard)| {
-                let f = shard.settle_front().get();
-                self.front.publish(i, f);
-                f
-            })
-            .sum()
+        self.settle_all_stable().iter().sum()
     }
 
     /// Sum of the per-shard advertised watermarks.
@@ -486,16 +552,14 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         self.shards.iter().map(|s| s.stable_ts().get()).sum()
     }
 
-    /// Settles **every** shard's front (the acquire phase of a streaming
-    /// scan cursor, shaped like [`ShardedStore::acquire_front`]);
-    /// `result[i]` is shard `i`'s watermark.
-    pub(crate) fn settle_all(&self) -> Vec<u64> {
-        self.settle_touched(0, self.shards.len() - 1)
-    }
-
     /// Settles the fronts of shards `first..=last` (acquire phase of one
     /// cross-shard read attempt, and of a scan cursor's suffix resume);
     /// `result[i - first]` is shard `i`'s watermark.
+    ///
+    /// **Raw**: takes no notice of the commit gate, so it may observe a
+    /// batch-commit window in progress. Only the commit path itself (which
+    /// owns its window) and the `*_stable` wrappers below may call it;
+    /// every reader-facing acquisition goes through the stable variants.
     pub(crate) fn settle_touched(&self, first: usize, last: usize) -> Vec<u64> {
         self.front.count_acquire();
         (first..=last)
@@ -505,6 +569,103 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
                 f
             })
             .collect()
+    }
+
+    /// [`ShardedStore::settle_all`] sandwiched in even commit epochs (see
+    /// [`ShardedStore::settle_touched_stable`]).
+    pub(crate) fn settle_all_stable(&self) -> Vec<u64> {
+        self.settle_touched_stable(0, self.shards.len() - 1)
+    }
+
+    /// Settles the fronts of shards `first..=last` **outside any commit
+    /// window**: the raw settle is sandwiched between matching even-epoch
+    /// observations of every touched shard, so the returned cut can never
+    /// have been acquired while an atomic batch was half-applied. Together
+    /// with per-shard watermark validation this makes every cut read
+    /// all-or-nothing with respect to gated batches: a batch's every
+    /// mutation advances its shard's watermark inside the window, so a
+    /// validated read over a cut acquired entirely before (after) the
+    /// window sees none (all) of the batch — acquiring *during* the window
+    /// was the only way to straddle it, and the sandwich excludes exactly
+    /// that. Waits (bounded backoff) while a window is open on a touched
+    /// shard, counting one [`StoreStats::commit_gate_waits`] per blocked
+    /// call.
+    pub(crate) fn settle_touched_stable(&self, first: usize, last: usize) -> Vec<u64> {
+        let mut spins = 0u32;
+        let mut waited = false;
+        loop {
+            let epochs: Option<Vec<u64>> =
+                (first..=last).map(|i| self.front.epoch_open(i)).collect();
+            if let Some(epochs) = epochs {
+                let fronts = self.settle_touched(first, last);
+                if (first..=last)
+                    .zip(&epochs)
+                    .all(|(i, &e)| self.front.epoch_is(i, e))
+                {
+                    return fronts;
+                }
+            }
+            if !waited {
+                waited = true;
+                self.front.count_gate_wait();
+                wft_obs::trace::emit(wft_obs::TraceKind::CommitGateWait, wft_obs::NO_SHARD);
+            }
+            crate::front::gate_backoff(&mut spins);
+        }
+    }
+
+    // -- the commit gate (point-op side) ----------------------------------
+
+    /// Runs one point mutation on `shard` under the commit gate: registers
+    /// in the shard's writer count, verifies no commit window is open, and
+    /// applies. Registration happens *before* the epoch check — the order
+    /// that guarantees a committer's writer drain sees every writer that
+    /// saw an open epoch (see [`crate::front`]'s gate invariant). A call
+    /// that finds the window closed deregisters, backs off and retries,
+    /// counting one [`StoreStats::commit_gate_waits`].
+    pub(crate) fn gated_write<R>(&self, shard: usize, op: impl FnOnce() -> R) -> R {
+        let mut op = Some(op);
+        let mut spins = 0u32;
+        let mut waited = false;
+        loop {
+            self.front.writer_enter(shard);
+            if self.front.epoch_open(shard).is_some() {
+                let out = (op.take().expect("the op runs exactly once"))();
+                self.front.writer_exit(shard);
+                return out;
+            }
+            self.front.writer_exit(shard);
+            if !waited {
+                waited = true;
+                self.front.count_gate_wait();
+                wft_obs::trace::emit(wft_obs::TraceKind::CommitGateWait, shard_trace_arg(shard));
+            }
+            crate::front::gate_backoff(&mut spins);
+        }
+    }
+
+    /// Runs one point read on `shard` sandwiched in an even commit epoch:
+    /// the read's result is returned only if no commit window opened on the
+    /// shard across it, so a point read never observes a half-applied
+    /// batch. (The underlying tree read is linearizable on its own; the
+    /// sandwich only adds the batch-atomicity exclusion.)
+    pub(crate) fn gated_read<R>(&self, shard: usize, read: impl Fn() -> R) -> R {
+        let mut spins = 0u32;
+        let mut waited = false;
+        loop {
+            if let Some(epoch) = self.front.epoch_open(shard) {
+                let out = read();
+                if self.front.epoch_is(shard, epoch) {
+                    return out;
+                }
+            }
+            if !waited {
+                waited = true;
+                self.front.count_gate_wait();
+                wft_obs::trace::emit(wft_obs::TraceKind::CommitGateWait, shard_trace_arg(shard));
+            }
+            crate::front::gate_backoff(&mut spins);
+        }
     }
 
     /// One front-validated aggregate attempt over shards `first..=last`
@@ -582,13 +743,29 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
         Ok(BatchPlan { groups, len })
     }
 
-    /// Phase two: executes a validated plan, fanning the per-shard groups
-    /// out across worker threads when the batch is large enough to pay for
-    /// them ([`StoreConfig::parallel_threshold`]).
+    /// Phase two **without cross-shard atomicity**: executes a validated
+    /// plan op by op, fanning the per-shard groups out across worker
+    /// threads when the batch is large enough to pay for them
+    /// ([`StoreConfig::parallel_threshold`]). Each operation individually
+    /// respects the commit gate (so a piecewise execution can never
+    /// corrupt a concurrent atomic commit's read-decide-write spans), but
+    /// a concurrent reader may observe this batch half-applied —
+    /// [`ShardedStore::apply_batch`] wraps the same executor in a commit
+    /// window whenever the batch needs one.
     ///
     /// Returns one [`OpOutcome`] per submitted operation, in submission
-    /// order.
+    /// order. Transactional operations resolve against the state they find
+    /// (same-shard groups run in batch order, so a `Get` observes earlier
+    /// same-batch operations on its key — same key means same shard).
     pub fn execute_plan(&self, plan: BatchPlan<K, V>) -> Vec<OpOutcome<V>> {
+        self.run_plan(plan, false)
+    }
+
+    /// The shared phase-two executor. `in_window == true` means the caller
+    /// holds a commit window over every touched shard (the gated commit
+    /// path) and ops apply raw; `false` routes every op through
+    /// [`ShardedStore::gated_write`].
+    fn run_plan(&self, plan: BatchPlan<K, V>, in_window: bool) -> Vec<OpOutcome<V>> {
         let mut results: Vec<Option<OpOutcome<V>>> = (0..plan.len).map(|_| None).collect();
         let parallel = plan.len >= self.config.parallel_threshold
             && plan.shards_touched() >= 2
@@ -601,11 +778,12 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
                     .enumerate()
                     .filter(|(_, group)| !group.is_empty())
                     .map(|(shard_idx, group)| {
-                        let shard = &self.shards[shard_idx];
                         scope.spawn(move || {
                             group
                                 .into_iter()
-                                .map(|(index, op)| (index, apply_one(shard, op)))
+                                .map(|(index, op)| {
+                                    (index, self.apply_routed(shard_idx, op, in_window))
+                                })
                                 .collect::<Vec<_>>()
                         })
                     })
@@ -617,9 +795,8 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
             }
         } else {
             for (shard_idx, group) in plan.groups.into_iter().enumerate() {
-                let shard = &self.shards[shard_idx];
                 for (index, op) in group {
-                    results[index] = Some(apply_one(shard, op));
+                    results[index] = Some(self.apply_routed(shard_idx, op, in_window));
                 }
             }
         }
@@ -629,9 +806,74 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> ShardedStore<K, V, A> {
             .collect()
     }
 
-    /// Validates and executes `batch`: [`ShardedStore::plan_batch`] followed
-    /// by [`ShardedStore::execute_plan`]. On `Err` no shard was mutated.
+    /// Applies one planned op to its shard, raw inside a commit window and
+    /// through the point-write gate outside one.
+    fn apply_routed(&self, shard_idx: usize, op: StoreOp<K, V>, in_window: bool) -> OpOutcome<V> {
+        if in_window {
+            apply_one(&self.shards[shard_idx], op)
+        } else {
+            self.gated_write(shard_idx, move || apply_one(&self.shards[shard_idx], op))
+        }
+    }
+
+    /// Executes a plan inside one atomic commit window: closes the commit
+    /// gate over every touched shard (ascending order, waiting out
+    /// in-flight point writers), applies the per-shard groups, settles and
+    /// publishes the touched fronts, and releases the gate — at which
+    /// point the whole batch becomes visible to cut readers at once. The
+    /// guard releases the window even if an op panics, so waiters never
+    /// deadlock on a poisoned commit.
+    fn commit_plan(&self, plan: BatchPlan<K, V>) -> Vec<OpOutcome<V>> {
+        let touched = plan.touched_shards();
+        if touched.is_empty() {
+            return Vec::new();
+        }
+        let guard = CommitGuard::begin(&self.front, touched);
+        let outcomes = self.run_plan(plan, true);
+        // Settle + publish every touched front *inside* the window: the
+        // batch's effects sit below the published watermarks before any
+        // reader can acquire a cut again, so the first post-release cut
+        // already covers the whole batch.
+        for &shard in &guard.touched {
+            let f = self.shards[shard].settle_front().get();
+            self.front.publish(shard, f);
+        }
+        let shards_touched = guard.touched.len();
+        drop(guard);
+        wft_obs::trace::emit(
+            wft_obs::TraceKind::BatchCommit,
+            shard_trace_arg(shards_touched),
+        );
+        outcomes
+    }
+
+    /// Validates and executes `batch`: [`ShardedStore::plan_batch`]
+    /// followed by phase two. On `Err` no shard was mutated.
+    ///
+    /// A batch that needs atomicity ([`BatchPlan::needs_commit_gate`]:
+    /// more than one operation, or any `Patch` / `CompareAndSet` / `Get`)
+    /// commits through the publish-at-front commit window — concurrent
+    /// cut readers see all of it or none of it. A single classic operation
+    /// bypasses the gate (it is already atomic as one tree op), keeping
+    /// the point-write-shaped fast path free of commit traffic.
     pub fn apply_batch(
+        &self,
+        batch: Vec<StoreOp<K, V>>,
+    ) -> Result<Vec<OpOutcome<V>>, BatchError<K>> {
+        let plan = self.plan_batch(batch)?;
+        Ok(if plan.needs_commit_gate() {
+            self.commit_plan(plan)
+        } else {
+            self.execute_plan(plan)
+        })
+    }
+
+    /// Validates and executes `batch` the pre-gate way: per-op gated
+    /// application with **no** cross-shard commit window, so a concurrent
+    /// reader may observe the batch half-applied across shards. Kept as
+    /// the explicitly named baseline (like the other `stitched_*`
+    /// methods) for benchmarks comparing the cost of atomicity.
+    pub fn stitched_apply_batch(
         &self,
         batch: Vec<StoreOp<K, V>>,
     ) -> Result<Vec<OpOutcome<V>>, BatchError<K>> {
@@ -746,6 +988,27 @@ fn hardware_threads() -> usize {
     })
 }
 
+/// An open commit window over `touched` shards; dropping it releases the
+/// window (also on unwind, so a panicking op cannot leave the gate closed
+/// and deadlock every waiter).
+struct CommitGuard<'a> {
+    front: &'a FrontTable,
+    touched: Vec<usize>,
+}
+
+impl<'a> CommitGuard<'a> {
+    fn begin(front: &'a FrontTable, touched: Vec<usize>) -> Self {
+        front.begin_commit(&touched);
+        CommitGuard { front, touched }
+    }
+}
+
+impl Drop for CommitGuard<'_> {
+    fn drop(&mut self) {
+        self.front.end_commit(&self.touched);
+    }
+}
+
 fn apply_one<K: Key, V: Value, A: Augmentation<K, V>>(
     shard: &WaitFreeTree<K, V, A>,
     op: StoreOp<K, V>,
@@ -757,6 +1020,25 @@ fn apply_one<K: Key, V: Value, A: Augmentation<K, V>>(
         }
         StoreOp::Remove { key } => OpOutcome::Removed(shard.remove(&key)),
         StoreOp::RemoveEntry { key } => OpOutcome::RemovedEntry(shard.remove_entry(&key)),
+        // Transactional ops: resolve against the shard's current value,
+        // then apply the pinned physical effect. Inside a commit window the
+        // read-decide-write span is exclusive; outside one the per-op gate
+        // only excludes commit windows, which is exactly the piecewise
+        // (`stitched`) contract.
+        op => {
+            let resolved = wft_api::resolve_op(&op, shard.get(op.key()));
+            match resolved.physical {
+                Some(StoreOp::InsertOrReplace { key, value }) => {
+                    shard.insert_or_replace(key, value);
+                }
+                Some(StoreOp::Remove { key }) => {
+                    shard.remove(&key);
+                }
+                Some(other) => unreachable!("resolve_op pins to upserts/removes, got {other:?}"),
+                None => {}
+            }
+            resolved.outcome
+        }
     }
 }
 
@@ -1045,6 +1327,144 @@ mod tests {
             store.collect_range(10, 490)
         );
         assert_eq!(store.stitched_count(9, 3), 0);
+    }
+
+    #[test]
+    fn single_classic_ops_bypass_the_gate_and_batches_take_it() {
+        let store = store_with_shards(4, 100);
+        assert_eq!(store.store_stats().batch_commits, 0);
+        store
+            .apply_batch(vec![StoreOp::Insert {
+                key: 500,
+                value: (),
+            }])
+            .unwrap();
+        assert_eq!(
+            store.store_stats().batch_commits,
+            0,
+            "a lone classic op is already atomic and skips the commit gate"
+        );
+        store
+            .apply_batch(vec![
+                StoreOp::Insert {
+                    key: 501,
+                    value: (),
+                },
+                StoreOp::Remove { key: 3 },
+            ])
+            .unwrap();
+        assert_eq!(store.store_stats().batch_commits, 1);
+        // A lone transactional op also commits (its read-decide-write span
+        // needs the writer drain).
+        store.apply_batch(vec![StoreOp::Get { key: 501 }]).unwrap();
+        assert_eq!(store.store_stats().batch_commits, 2);
+    }
+
+    #[test]
+    fn transactional_batch_ops_resolve_against_batch_state() {
+        let store: ShardedStore<i64, i64> = ShardedStore::with_boundaries(vec![100]);
+        store.insert(5, 50);
+        fn double_or_one(current: Option<i64>) -> Option<i64> {
+            Some(current.map_or(1, |v| v * 2))
+        }
+        let outcomes = store
+            .apply_batch(vec![
+                StoreOp::Get { key: 5 },
+                StoreOp::Patch {
+                    key: 5,
+                    patch: double_or_one,
+                },
+                // Same key, later in the batch: observes the patch (same
+                // key means same shard, and same-shard groups run in
+                // batch order).
+                StoreOp::Get { key: 5 },
+                StoreOp::CompareAndSet {
+                    key: 200,
+                    expect: None,
+                    value: 7,
+                },
+                StoreOp::CompareAndSet {
+                    key: 201,
+                    expect: Some(9),
+                    value: 8,
+                },
+            ])
+            .unwrap();
+        assert_eq!(
+            outcomes,
+            vec![
+                OpOutcome::Got(Some(50)),
+                OpOutcome::Patched(Some(100)),
+                OpOutcome::Got(Some(100)),
+                OpOutcome::CompareSet(true),
+                OpOutcome::CompareSet(false),
+            ]
+        );
+        assert_eq!(store.get(&5), Some(100));
+        assert_eq!(store.get(&200), Some(7));
+        assert_eq!(store.get(&201), None);
+    }
+
+    #[test]
+    fn point_patch_and_compare_and_set_are_routed_through_the_gate() {
+        let store: ShardedStore<i64, i64> = ShardedStore::with_boundaries(vec![10]);
+        fn bump(current: Option<i64>) -> Option<i64> {
+            Some(current.unwrap_or(0) + 1)
+        }
+        fn clear(_: Option<i64>) -> Option<i64> {
+            None
+        }
+        assert_eq!(store.patch(5, bump), Some(1));
+        assert_eq!(store.patch(5, bump), Some(2));
+        assert!(store.compare_and_set(5, Some(2), 9));
+        assert!(!store.compare_and_set(5, Some(2), 10));
+        assert_eq!(store.get(&5), Some(9));
+        assert_eq!(store.patch(5, clear), None);
+        assert!(!store.contains(&5));
+        assert!(store.store_stats().batch_commits >= 5);
+    }
+
+    #[test]
+    fn gated_batches_are_atomic_under_a_concurrent_cut_reader() {
+        // Two keys on two shards, always rewritten together to the same
+        // round value by one atomic batch per round: a validated cut read
+        // must never see the keys disagree.
+        let store: ShardedStore<i64, i64> = ShardedStore::with_boundaries(vec![100]);
+        store
+            .apply_batch(vec![
+                StoreOp::InsertOrReplace { key: 10, value: 0 },
+                StoreOp::InsertOrReplace { key: 110, value: 0 },
+            ])
+            .unwrap();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        thread::scope(|scope| {
+            scope.spawn(|| {
+                for round in 1..=2000i64 {
+                    store
+                        .apply_batch(vec![
+                            StoreOp::InsertOrReplace {
+                                key: 10,
+                                value: round,
+                            },
+                            StoreOp::InsertOrReplace {
+                                key: 110,
+                                value: round,
+                            },
+                        ])
+                        .unwrap();
+                }
+                stop.store(true, std::sync::atomic::Ordering::Release);
+            });
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let entries = store.collect_range(0, 200);
+                assert_eq!(entries.len(), 2, "both keys always present");
+                assert_eq!(
+                    entries[0].1, entries[1].1,
+                    "a cut read observed a half-applied batch: {entries:?}"
+                );
+            }
+        });
+        assert!(store.store_stats().batch_commits >= 2001);
     }
 
     #[test]

@@ -23,6 +23,19 @@ enum Step {
     Get(i64),
 }
 
+/// Named patch functions (the `Patch` payload is a plain `fn` pointer).
+fn patch_increment(current: Option<i64>) -> Option<i64> {
+    Some(current.unwrap_or(0).wrapping_add(1))
+}
+
+fn patch_clear(_: Option<i64>) -> Option<i64> {
+    None
+}
+
+fn patch_negate_present(current: Option<i64>) -> Option<i64> {
+    current.map(|v| v.wrapping_neg())
+}
+
 fn step_strategy() -> impl Strategy<Value = Step> {
     let key = 0i64..UNIVERSE;
     prop_oneof![
@@ -34,6 +47,21 @@ fn step_strategy() -> impl Strategy<Value = Step> {
             .prop_map(|key| Step::Op(StoreOp::Remove { key })),
         key.clone()
             .prop_map(|key| Step::Op(StoreOp::RemoveEntry { key })),
+        (key.clone(), 0usize..3).prop_map(|(key, which)| {
+            let patch = [patch_increment, patch_clear, patch_negate_present][which];
+            Step::Op(StoreOp::Patch { key, patch })
+        }),
+        // `expect: None` hits often (insert-if-absent); an arbitrary
+        // expect mostly misses — both outcomes must match the oracle.
+        (
+            key.clone(),
+            prop_oneof![Just(None), any::<i64>().prop_map(Some)],
+            any::<i64>()
+        )
+            .prop_map(|(key, expect, value)| {
+                Step::Op(StoreOp::CompareAndSet { key, expect, value })
+            }),
+        key.clone().prop_map(|key| Step::Op(StoreOp::Get { key })),
         (key.clone(), key.clone()).prop_map(|(a, b)| Step::Count(a.min(b), a.max(b))),
         (key.clone(), key.clone()).prop_map(|(a, b)| Step::Collect(a.min(b), a.max(b))),
         key.clone().prop_map(Step::Contains),
@@ -56,6 +84,27 @@ fn oracle_apply(oracle: &mut BTreeMap<i64, i64>, op: &StoreOp<i64, i64>) -> OpOu
         StoreOp::InsertOrReplace { key, value } => OpOutcome::Replaced(oracle.insert(key, value)),
         StoreOp::Remove { key } => OpOutcome::Removed(oracle.remove(&key).is_some()),
         StoreOp::RemoveEntry { key } => OpOutcome::RemovedEntry(oracle.remove(&key)),
+        StoreOp::Patch { key, patch } => {
+            let after = patch(oracle.get(&key).copied());
+            match after {
+                Some(v) => {
+                    oracle.insert(key, v);
+                }
+                None => {
+                    oracle.remove(&key);
+                }
+            }
+            OpOutcome::Patched(after)
+        }
+        StoreOp::CompareAndSet { key, expect, value } => {
+            if oracle.get(&key).copied() == expect {
+                oracle.insert(key, value);
+                OpOutcome::CompareSet(true)
+            } else {
+                OpOutcome::CompareSet(false)
+            }
+        }
+        StoreOp::Get { key } => OpOutcome::Got(oracle.get(&key).copied()),
     }
 }
 
@@ -193,6 +242,11 @@ proptest! {
                 StoreOp::Remove { key } => OpOutcome::Removed(sequential.remove(&key)),
                 StoreOp::RemoveEntry { key } =>
                     OpOutcome::RemovedEntry(sequential.remove_entry(&key)),
+                StoreOp::Patch { key, patch } =>
+                    OpOutcome::Patched(sequential.patch(key, patch)),
+                StoreOp::CompareAndSet { key, expect, value } =>
+                    OpOutcome::CompareSet(sequential.compare_and_set(key, expect, value)),
+                StoreOp::Get { key } => OpOutcome::Got(sequential.get(&key)),
             })
             .collect();
 

@@ -65,6 +65,21 @@ pub trait ConcurrentSet: Send + Sync + 'static {
     /// paginated equivalent of one `collect_range`, which is exactly what
     /// the linearizability checker verifies it against.
     fn chunked_scan_snapshot(&self, min: i64, max: i64, chunk: usize) -> Vec<i64>;
+    /// Toggles `key`'s membership through one `StoreOp::Patch`
+    /// read-modify-write (present → removed, absent → inserted); returns
+    /// whether the key is present afterwards. Atomic only where
+    /// [`TreeImpl::patch_is_atomic`] says so.
+    fn patch_toggle(&self, key: i64) -> bool;
+    /// Insert-if-absent through `StoreOp::CompareAndSet { expect: None }`;
+    /// returns whether the conditional write applied. Atomic only where
+    /// [`TreeImpl::patch_is_atomic`] says so.
+    fn cas_insert(&self, key: i64) -> bool;
+    /// One two-op batch — `remove(a)` + `insert(b)` — through
+    /// [`wft_api::BatchApply`]; returns (`a` removed, `b` inserted).
+    /// Requires `a != b` (the validator rejects duplicate mutation keys).
+    /// All-or-nothing against concurrent readers only where
+    /// [`TreeImpl::batch_is_atomic`] says so.
+    fn batch_move(&self, a: i64, b: i64) -> (bool, bool);
     /// Number of keys currently stored.
     fn len(&self) -> u64;
     /// `true` when empty.
@@ -84,6 +99,7 @@ where
         + RangeRead<i64, ()>
         + SnapshotRead<i64, ()>
         + RangeScan<i64, ()>
+        + wft_api::BatchApply<i64, ()>
         + wft_obs::MetricsSource
         + 'static,
 {
@@ -128,6 +144,34 @@ where
             .into_iter()
             .map(|(k, ())| k)
             .collect()
+    }
+    fn patch_toggle(&self, key: i64) -> bool {
+        fn toggle(current: Option<()>) -> Option<()> {
+            match current {
+                Some(()) => None,
+                None => Some(()),
+            }
+        }
+        PointMap::patch(self, key, toggle).is_some()
+    }
+    fn cas_insert(&self, key: i64) -> bool {
+        PointMap::compare_and_set(self, key, None, ())
+    }
+    fn batch_move(&self, a: i64, b: i64) -> (bool, bool) {
+        let outcomes = wft_api::BatchApply::apply_batch(
+            self,
+            vec![
+                wft_api::StoreOp::Remove { key: a },
+                wft_api::StoreOp::Insert { key: b, value: () },
+            ],
+        )
+        .expect("a two-distinct-key batch validates");
+        match (&outcomes[0], &outcomes[1]) {
+            (wft_api::OpOutcome::Removed(removed), wft_api::OpOutcome::Inserted(inserted)) => {
+                (*removed, *inserted)
+            }
+            other => unreachable!("Remove/Insert yield Removed/Inserted, got {other:?}"),
+        }
     }
     fn len(&self) -> u64 {
         PointMap::len(self)
@@ -224,6 +268,33 @@ impl TreeImpl {
     /// mixing `replace` with concurrent reads are not checked against it.
     pub fn replace_is_atomic(&self) -> bool {
         !matches!(self, TreeImpl::LockFreeLinear)
+    }
+
+    /// `true` when `apply_batch` commits all-or-nothing with respect to
+    /// concurrent readers. The sharded store family publishes batches at
+    /// the front behind a commit gate; the durable stores sequence every
+    /// batch through the journal onto that same store. Single trees apply
+    /// batch ops serially — a concurrent range read can land between two
+    /// of them — so multi-key batch histories are only checked against the
+    /// store family.
+    pub fn batch_is_atomic(&self) -> bool {
+        matches!(
+            self,
+            TreeImpl::Sharded
+                | TreeImpl::ShardedDescReads
+                | TreeImpl::Durable
+                | TreeImpl::DurableFaulty
+        )
+    }
+
+    /// `true` when `patch` / `compare_and_set` are single linearizable
+    /// read-modify-writes. The store family routes both through its
+    /// transactional single-op batch path (resolved under the commit gate
+    /// or on the journal's sequencer thread); everything else inherits the
+    /// `wft-api` get-then-write defaults, which lose updates under
+    /// contention by design.
+    pub fn patch_is_atomic(&self) -> bool {
+        self.batch_is_atomic()
     }
 
     /// Instantiates the implementation pre-filled with `entries`.
@@ -370,6 +441,15 @@ impl ConcurrentSet for DurableSet {
     fn chunked_scan_snapshot(&self, min: i64, max: i64, chunk: usize) -> Vec<i64> {
         ConcurrentSet::chunked_scan_snapshot(&self.store, min, max, chunk)
     }
+    fn patch_toggle(&self, key: i64) -> bool {
+        ConcurrentSet::patch_toggle(&self.store, key)
+    }
+    fn cas_insert(&self, key: i64) -> bool {
+        ConcurrentSet::cas_insert(&self.store, key)
+    }
+    fn batch_move(&self, a: i64, b: i64) -> (bool, bool) {
+        ConcurrentSet::batch_move(&self.store, a, b)
+    }
     fn len(&self) -> u64 {
         ConcurrentSet::len(&self.store)
     }
@@ -404,6 +484,17 @@ mod tests {
             (10..=19).collect::<Vec<_>>()
         );
         assert!(set.chunked_scan_snapshot(9, 0, 4).is_empty());
+        // The transactional surface: cas-insert, toggle, atomic move.
+        assert!(set.cas_insert(1_000_003), "absent key cas-inserts");
+        assert!(!set.cas_insert(1_000_003), "present key misses expect=None");
+        assert!(!set.patch_toggle(1_000_003), "toggle removes a present key");
+        assert!(
+            set.patch_toggle(1_000_003),
+            "toggle re-inserts an absent key"
+        );
+        assert_eq!(set.batch_move(1_000_003, 1_000_004), (true, true));
+        assert_eq!(set.batch_move(1_000_003, 1_000_004), (false, false));
+        assert!(set.remove(1_000_004));
         assert_eq!(set.len(), 100);
     }
 

@@ -168,6 +168,12 @@ pub fn timed_run(
                         Op::ChunkedScan(lo, hi, chunk) => {
                             std::hint::black_box(set.chunked_scan_count(lo, hi, chunk));
                         }
+                        Op::Patch(k) => {
+                            std::hint::black_box(set.patch_toggle(k));
+                        }
+                        Op::AtomicBatch(a, b) => {
+                            std::hint::black_box(set.batch_move(a, b));
+                        }
                     }
                     if let Some(at) = timed_at {
                         latency.observe(at.elapsed());
@@ -280,6 +286,19 @@ mod tests {
                 imp.name()
             );
             assert!(result.ops_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn transactional_workload_reports_progress_for_every_implementation() {
+        let spec = WorkloadSpec::transactional_mix(50.0).scaled_down(2_000);
+        for imp in TreeImpl::ALL {
+            let result = run_once(imp, &spec, 2, Duration::from_millis(40), 2);
+            assert!(
+                result.total_ops > 0,
+                "{}: no operations completed",
+                imp.name()
+            );
         }
     }
 

@@ -64,6 +64,14 @@ pub struct OperationMix {
     /// Fraction of streaming scans: one cursor drained over the range in
     /// bounded chunks (`wft_api::RangeScan`).
     pub scan: f64,
+    /// Fraction of read-modify-write toggles: one `PointMap::patch` that
+    /// flips the key's membership in a single atomic step
+    /// (`ConcurrentSet::patch_toggle`).
+    pub patch: f64,
+    /// Fraction of two-key atomic batches: remove one key and insert
+    /// another in one all-or-nothing commit
+    /// (`ConcurrentSet::batch_move`).
+    pub batch: f64,
 }
 
 impl OperationMix {
@@ -75,6 +83,8 @@ impl OperationMix {
             + self.collect
             + self.snapshot
             + self.scan
+            + self.patch
+            + self.batch
     }
 }
 
@@ -115,6 +125,13 @@ pub enum Op {
     /// One streaming cursor drained over `[min, max]` in chunks of the
     /// given size (`wft_api::RangeScan`).
     ChunkedScan(i64, i64, usize),
+    /// One read-modify-write membership toggle, executed as a single
+    /// atomic `PointMap::patch` step.
+    Patch(i64),
+    /// One two-key atomic batch: remove the first key and insert the
+    /// second in one all-or-nothing commit. The keys are always distinct
+    /// (a batch refuses duplicate mutation keys).
+    AtomicBatch(i64, i64),
 }
 
 impl WorkloadSpec {
@@ -134,6 +151,8 @@ impl WorkloadSpec {
                 collect: 0.0,
                 snapshot: 0.0,
                 scan: 0.0,
+                patch: 0.0,
+                batch: 0.0,
             },
             range_fraction: 0.0,
         }
@@ -156,6 +175,8 @@ impl WorkloadSpec {
                 collect: 0.0,
                 snapshot: 0.0,
                 scan: 0.0,
+                patch: 0.0,
+                batch: 0.0,
             },
             range_fraction: 0.0,
         }
@@ -178,6 +199,8 @@ impl WorkloadSpec {
                 collect: 0.0,
                 snapshot: 0.0,
                 scan: 0.0,
+                patch: 0.0,
+                batch: 0.0,
             },
             range_fraction: 0.0,
         }
@@ -201,6 +224,8 @@ impl WorkloadSpec {
                 collect: 0.0,
                 snapshot: 0.0,
                 scan: 0.0,
+                patch: 0.0,
+                batch: 0.0,
             },
             range_fraction,
         }
@@ -226,6 +251,8 @@ impl WorkloadSpec {
                 collect: 0.0,
                 snapshot,
                 scan: 0.0,
+                patch: 0.0,
+                batch: 0.0,
             },
             range_fraction,
         }
@@ -251,8 +278,37 @@ impl WorkloadSpec {
                 collect: 0.0,
                 snapshot: 0.0,
                 scan,
+                patch: 0.0,
+                batch: 0.0,
             },
             range_fraction,
+        }
+    }
+
+    /// Transactional workload: a given percentage of logical ops — split
+    /// evenly between `patch` read-modify-write toggles and two-key atomic
+    /// batch moves — over an insert/remove/contains background; used by
+    /// the batch bench and smoke tests.
+    pub fn transactional_mix(transact_percent: f64) -> Self {
+        let transact = transact_percent / 100.0;
+        let rest = 1.0 - transact;
+        WorkloadSpec {
+            name: "transactional-mix",
+            key_range: 2_000_000,
+            prefill: Prefill::Bernoulli { probability: 0.5 },
+            distribution: KeyDistribution::UniformInRange,
+            mix: OperationMix {
+                contains: rest * 0.5,
+                insert: rest * 0.25,
+                remove: rest * 0.25,
+                count: 0.0,
+                collect: 0.0,
+                snapshot: 0.0,
+                scan: 0.0,
+                patch: transact * 0.5,
+                batch: transact * 0.5,
+            },
+            range_fraction: 0.0,
         }
     }
 
@@ -276,6 +332,8 @@ impl WorkloadSpec {
                 collect: if via_collect { 1.0 } else { 0.0 },
                 snapshot: 0.0,
                 scan: 0.0,
+                patch: 0.0,
+                batch: 0.0,
             },
             range_fraction,
         }
@@ -328,6 +386,23 @@ impl WorkloadSpec {
             return Op::Remove(key);
         }
         roll -= self.mix.remove;
+        if roll < self.mix.patch {
+            return Op::Patch(key);
+        }
+        roll -= self.mix.patch;
+        if roll < self.mix.batch {
+            // Atomic move: the drawn key out, an independently drawn one
+            // in; nudge collisions apart so the batch always validates.
+            let mut dst = match self.distribution {
+                KeyDistribution::UniformInRange => rng.gen_range(1..=self.key_range),
+                KeyDistribution::UniformFullRange => rng.gen::<i64>(),
+            };
+            if dst == key {
+                dst = dst.wrapping_add(1);
+            }
+            return Op::AtomicBatch(key, dst);
+        }
+        roll -= self.mix.batch;
         let width = ((self.key_range as f64) * self.range_fraction).max(1.0) as i64;
         let lo = rng.gen_range(1..=self.key_range.saturating_sub(width).max(1));
         let hi = lo.saturating_add(width);
@@ -399,7 +474,7 @@ mod tests {
     fn op_mix_respects_probabilities() {
         let spec = WorkloadSpec::range_mix(10.0, 0.01).scaled_down(10_000);
         let mut rng = StdRng::seed_from_u64(3);
-        let mut counts = [0usize; 7];
+        let mut counts = [0usize; 9];
         const N: usize = 20_000;
         for _ in 0..N {
             match spec.next_op(&mut rng) {
@@ -410,6 +485,8 @@ mod tests {
                 Op::Collect(_, _) => counts[4] += 1,
                 Op::SnapshotCounts(..) => counts[5] += 1,
                 Op::ChunkedScan(..) => counts[6] += 1,
+                Op::Patch(_) => counts[7] += 1,
+                Op::AtomicBatch(..) => counts[8] += 1,
             }
         }
         let frac = |i: usize| counts[i] as f64 / N as f64;
@@ -422,6 +499,40 @@ mod tests {
         assert_eq!(counts[4], 0);
         assert_eq!(counts[5], 0, "range_mix draws no snapshot ops");
         assert_eq!(counts[6], 0, "range_mix draws no scan ops");
+        assert_eq!(counts[7], 0, "range_mix draws no patch ops");
+        assert_eq!(counts[8], 0, "range_mix draws no batch ops");
+    }
+
+    #[test]
+    fn transactional_mix_draws_patch_and_batch_ops() {
+        let spec = WorkloadSpec::transactional_mix(40.0).scaled_down(10_000);
+        let mut rng = StdRng::seed_from_u64(23);
+        let (mut patches, mut batches) = (0usize, 0usize);
+        const N: usize = 20_000;
+        for _ in 0..N {
+            match spec.next_op(&mut rng) {
+                Op::Patch(k) => {
+                    patches += 1;
+                    assert!(k >= 1);
+                }
+                Op::AtomicBatch(a, b) => {
+                    batches += 1;
+                    assert_ne!(a, b, "batch keys must be distinct");
+                }
+                _ => {}
+            }
+        }
+        let frac = |n: usize| n as f64 / N as f64;
+        assert!(
+            (frac(patches) - 0.20).abs() < 0.02,
+            "patch fraction {}",
+            frac(patches)
+        );
+        assert!(
+            (frac(batches) - 0.20).abs() < 0.02,
+            "batch fraction {}",
+            frac(batches)
+        );
     }
 
     #[test]

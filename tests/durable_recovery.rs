@@ -21,6 +21,13 @@
 //! store and verifies the reopened state equals the quiescent survivor
 //! state — the "checkpoint never pauses writers, never loses or
 //! duplicates a committed op" acceptance criterion.
+//!
+//! The generated batches mix the four physical ops with the *logical*
+//! ones (`Patch`, `CompareAndSet`): the WAL never stores those — the
+//! journal resolves them to physical ops against the live state before
+//! encoding — so these tests double as proof that physical logging
+//! reproduces exactly the state the logical oracle predicts, across
+//! torn tails, crashed checkpoints, and concurrent traffic.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -34,6 +41,18 @@ use wait_free_range_trees::durable::{
 };
 use wait_free_range_trees::prelude::*;
 
+/// The deterministic read-modify-write every generated `Patch` carries.
+/// `PatchFn` is a plain fn pointer, so the whole behaviour lives here:
+/// absent keys join at 1, multiples of five leave, everything else
+/// counts up.
+fn bump(current: Option<i64>) -> Option<i64> {
+    match current {
+        None => Some(1),
+        Some(v) if v % 5 == 0 => None,
+        Some(v) => Some(v + 1),
+    }
+}
+
 /// One op inside a generated batch.
 #[derive(Debug, Clone)]
 enum GenOp {
@@ -41,6 +60,13 @@ enum GenOp {
     Upsert(i64, i64),
     Remove(i64),
     RemoveEntry(i64),
+    /// `StoreOp::Patch` with [`bump`].
+    Patch(i64),
+    /// `StoreOp::CompareAndSet` with a generated witness — `None`
+    /// witnesses hit whenever the key is absent, `Some` ones mostly miss,
+    /// so both the applied and the refused paths reach the WAL (a refused
+    /// CAS resolves to *no* physical op but still consumes a record).
+    Cas(i64, Option<i64>, i64),
 }
 
 impl GenOp {
@@ -49,7 +75,9 @@ impl GenOp {
             GenOp::Insert(k, _)
             | GenOp::Upsert(k, _)
             | GenOp::Remove(k)
-            | GenOp::RemoveEntry(k) => k,
+            | GenOp::RemoveEntry(k)
+            | GenOp::Patch(k)
+            | GenOp::Cas(k, _, _) => k,
         }
     }
 
@@ -59,6 +87,8 @@ impl GenOp {
             GenOp::Upsert(key, value) => StoreOp::InsertOrReplace { key, value },
             GenOp::Remove(key) => StoreOp::Remove { key },
             GenOp::RemoveEntry(key) => StoreOp::RemoveEntry { key },
+            GenOp::Patch(key) => StoreOp::Patch { key, patch: bump },
+            GenOp::Cas(key, expect, value) => StoreOp::CompareAndSet { key, expect, value },
         }
     }
 
@@ -73,17 +103,33 @@ impl GenOp {
             GenOp::Remove(k) | GenOp::RemoveEntry(k) => {
                 oracle.remove(&k);
             }
+            GenOp::Patch(k) => match bump(oracle.get(&k).copied()) {
+                Some(v) => {
+                    oracle.insert(k, v);
+                }
+                None => {
+                    oracle.remove(&k);
+                }
+            },
+            GenOp::Cas(k, expect, v) => {
+                if oracle.get(&k).copied() == expect {
+                    oracle.insert(k, v);
+                }
+            }
         }
     }
 }
 
 fn op_strategy() -> impl Strategy<Value = GenOp> {
     let key = -50i64..50;
+    let witness = prop_oneof![Just(None), (-1000i64..1000).prop_map(Some)];
     prop_oneof![
         (key.clone(), -1000i64..1000).prop_map(|(k, v)| GenOp::Insert(k, v)),
         (key.clone(), -1000i64..1000).prop_map(|(k, v)| GenOp::Upsert(k, v)),
         key.clone().prop_map(GenOp::Remove),
-        key.prop_map(GenOp::RemoveEntry),
+        key.clone().prop_map(GenOp::RemoveEntry),
+        key.clone().prop_map(GenOp::Patch),
+        (key, witness, -1000i64..1000).prop_map(|(k, e, v)| GenOp::Cas(k, e, v)),
     ]
 }
 
@@ -312,6 +358,266 @@ proptest! {
             "every committed batch is reflected, checkpoint or not"
         );
         store.store().check_invariants();
+    }
+}
+
+/// One logical op a concurrent writer issues against its private key
+/// stripe. Offsets are relative to the writer's stripe base, so writers
+/// never collide and each one can keep an exact local oracle.
+#[derive(Debug, Clone, Copy)]
+enum StripeOp {
+    /// `PointMap::patch` with [`bump`].
+    Patch(u8),
+    /// `PointMap::compare_and_set`, crafted at execution time to hit
+    /// (witness = the writer's own oracle value) or to miss (witness = a
+    /// sentinel no op ever stores).
+    Cas(u8, bool, i8),
+    /// Point remove.
+    Remove(u8),
+    /// A two-key atomic batch: patch one key, upsert the other.
+    Batch(u8, u8),
+}
+
+/// Keys per writer stripe.
+const STRIPE_KEYS: u8 = 12;
+/// Key distance between writer stripe bases.
+const STRIPE_SPAN: i64 = 1_000;
+
+fn stripe_op_strategy() -> impl Strategy<Value = StripeOp> {
+    let off = 0u8..STRIPE_KEYS;
+    prop_oneof![
+        off.clone().prop_map(StripeOp::Patch),
+        (off.clone(), any::<bool>(), -100i8..100).prop_map(|(o, hit, v)| StripeOp::Cas(o, hit, v)),
+        off.clone().prop_map(StripeOp::Remove),
+        (off.clone(), off).prop_map(|(a, b)| StripeOp::Batch(a, b)),
+    ]
+}
+
+/// Runs one writer's ops, asserting every acknowledged outcome against a
+/// thread-local oracle of its stripe, and returns the oracle *chain*:
+/// `chain[i]` is the stripe state after the first `i` acknowledged ops.
+/// Each `StripeOp` is exactly one committed batch, so after a crash the
+/// recovered stripe must equal some entry of the chain.
+fn run_stripe_writer(
+    store: &DurableStore<i64, i64>,
+    base: i64,
+    ops: &[StripeOp],
+) -> Vec<BTreeMap<i64, i64>> {
+    let mut chain = vec![BTreeMap::new()];
+    for (i, op) in ops.iter().enumerate() {
+        let mut next: BTreeMap<i64, i64> = chain.last().unwrap().clone();
+        match *op {
+            StripeOp::Patch(off) => {
+                let key = base + i64::from(off);
+                let predicted = bump(next.get(&key).copied());
+                let after = PointMap::patch(store, key, bump);
+                assert_eq!(
+                    after, predicted,
+                    "patch outcome disagrees with the stripe oracle"
+                );
+                match predicted {
+                    Some(v) => next.insert(key, v),
+                    None => next.remove(&key),
+                };
+            }
+            StripeOp::Cas(off, hit, v) => {
+                let key = base + i64::from(off);
+                let value = i64::from(v);
+                let expect = if hit {
+                    next.get(&key).copied()
+                } else {
+                    Some(i64::MIN)
+                };
+                let applied = PointMap::compare_and_set(store, key, expect, value);
+                assert_eq!(applied, hit, "CAS outcome disagrees with the stripe oracle");
+                if hit {
+                    next.insert(key, value);
+                }
+            }
+            StripeOp::Remove(off) => {
+                let key = base + i64::from(off);
+                let was_present = next.remove(&key).is_some();
+                let outcome = PointMap::remove(store, &key);
+                assert_eq!(
+                    outcome.is_applied(),
+                    was_present,
+                    "remove outcome disagrees with the stripe oracle"
+                );
+            }
+            StripeOp::Batch(a, b) => {
+                let ka = base + i64::from(a);
+                // Batches refuse duplicate mutation keys; nudge the second
+                // key off the first (STRIPE_KEYS > 1, so they stay apart).
+                let kb = if a == b {
+                    base + i64::from((b + 1) % STRIPE_KEYS)
+                } else {
+                    base + i64::from(b)
+                };
+                let upsert = i as i64;
+                let outcomes = store
+                    .apply_durable(vec![
+                        StoreOp::Patch {
+                            key: ka,
+                            patch: bump,
+                        },
+                        StoreOp::InsertOrReplace {
+                            key: kb,
+                            value: upsert,
+                        },
+                    ])
+                    .expect("a two-distinct-key batch validates");
+                let predicted = bump(next.get(&ka).copied());
+                match predicted {
+                    Some(v) => next.insert(ka, v),
+                    None => next.remove(&ka),
+                };
+                let replaced = next.insert(kb, upsert);
+                assert_eq!(outcomes[0], OpOutcome::Patched(predicted));
+                assert_eq!(outcomes[1], OpOutcome::Replaced(replaced));
+            }
+        }
+        chain.push(next);
+    }
+    chain
+}
+
+/// Splits a whole-store read back into per-writer stripes.
+fn split_stripes(entries: &[(i64, i64)], writers: usize) -> Vec<BTreeMap<i64, i64>> {
+    let mut stripes = vec![BTreeMap::new(); writers];
+    for &(k, v) in entries {
+        let w = (k / STRIPE_SPAN) as usize;
+        assert!(w < writers, "key {k} outside every writer stripe");
+        stripes[w].insert(k, v);
+    }
+    stripes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Crash a checkpoint **while Patch/CAS writers are running**, then
+    /// crash the store itself, and require the acknowledged-prefix
+    /// contract both times:
+    ///
+    /// * the injected checkpoint fault never degrades or halts the
+    ///   journal, and a clean shutdown afterwards loses nothing — the
+    ///   reopened state equals every writer's final local oracle;
+    /// * after a WAL truncation crash, each recovered stripe equals a
+    ///   *prefix* of that writer's acknowledged op sequence (each op is
+    ///   one committed batch, so the two-key batches must also be
+    ///   all-or-nothing across the crash);
+    /// * reopening twice yields identical state and recovery reports —
+    ///   replaying a checkpoint-overlapping suffix is idempotent.
+    #[test]
+    fn checkpoint_crashes_under_live_patch_cas_traffic(
+        seqs in proptest::collection::vec(
+            proptest::collection::vec(stripe_op_strategy(), 16..40), 2..4),
+        delta in 0u64..12,
+        retry_after in any::<bool>(),
+        damage_permille in 0..=1000u32,
+    ) {
+        let scratch = ScratchDir::new("recovery-live-logical");
+        let writers = seqs.len();
+        let faulty = FaultyStorage::over_fs();
+        let chains: Vec<Vec<BTreeMap<i64, i64>>>;
+        {
+            let store: DurableStore<i64, i64> = DurableStore::open_with_storage(
+                scratch.path(),
+                test_config(),
+                Arc::new(faulty.clone()),
+            )
+            .unwrap();
+
+            chains = std::thread::scope(|scope| {
+                let handles: Vec<_> = seqs
+                    .iter()
+                    .enumerate()
+                    .map(|(w, ops)| {
+                        let store = &store;
+                        scope.spawn(move || {
+                            run_stripe_writer(store, w as i64 * STRIPE_SPAN, ops)
+                        })
+                    })
+                    .collect();
+
+                // Crash the checkpoint mid-flight: one fault lands a few
+                // storage ops ahead — on the checkpoint's own path or on a
+                // concurrent WAL append, whichever gets there first. A hit
+                // append is absorbed by the journal's retry loop, so the
+                // writers above must never observe an error either way.
+                faulty.schedule(Fault::nth(
+                    faulty.ops() + delta,
+                    FaultKind::Error(std::io::ErrorKind::Other),
+                ));
+                let first = store.checkpoint();
+                faulty.heal();
+                assert!(!store.is_degraded());
+                assert!(!store.is_halted());
+                if first.is_err() && retry_after {
+                    // Healed storage: the retried checkpoint succeeds even
+                    // under live traffic.
+                    store.checkpoint().expect("retried checkpoint");
+                }
+
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("writer thread"))
+                    .collect()
+            });
+            store.shutdown();
+        }
+
+        // Clean shutdown first: every acknowledged op survives, fault or
+        // no fault, so the state is exactly the union of final oracles.
+        {
+            let store: DurableStore<i64, i64> =
+                DurableStore::open_with_config(scratch.path(), test_config()).unwrap();
+            let recovered = RangeRead::collect_range(&store, RangeSpec::all());
+            let stripes = split_stripes(&recovered, writers);
+            for (w, chain) in chains.iter().enumerate() {
+                prop_assert_eq!(
+                    &stripes[w],
+                    chain.last().unwrap(),
+                    "writer {}: an acknowledged op vanished across clean shutdown",
+                    w
+                );
+            }
+            store.store().check_invariants();
+            store.shutdown();
+        }
+
+        // Now the crash: truncate the newest WAL segment at a random byte
+        // offset and require every recovered stripe to be a prefix of its
+        // writer's acknowledged sequence — twice, identically.
+        let segments = wal_segments(scratch.path());
+        let segment = segments.last().unwrap();
+        let bytes = fs::read(segment).unwrap();
+        let offset = (bytes.len() as u64 * u64::from(damage_permille) / 1000) as usize;
+        fs::write(segment, &bytes[..offset]).unwrap();
+
+        let mut rounds = Vec::new();
+        for round in 0..2 {
+            let store: DurableStore<i64, i64> =
+                DurableStore::open_with_config(scratch.path(), test_config()).unwrap();
+            let recovered = RangeRead::collect_range(&store, RangeSpec::all());
+            let stripes = split_stripes(&recovered, writers);
+            for (w, chain) in chains.iter().enumerate() {
+                prop_assert!(
+                    chain.contains(&stripes[w]),
+                    "round {}, writer {}: recovered stripe {:?} is not a prefix state \
+                     of the acknowledged op sequence",
+                    round,
+                    w,
+                    stripes[w]
+                );
+            }
+            rounds.push((store.recovery().clone(), recovered));
+            store.store().check_invariants();
+            store.shutdown();
+        }
+        prop_assert_eq!(rounds[0].0.recovered_through, rounds[1].0.recovered_through);
+        prop_assert_eq!(rounds[0].0.checkpoint_cut, rounds[1].0.checkpoint_cut);
+        prop_assert_eq!(&rounds[0].1, &rounds[1].1, "reopen is not idempotent");
     }
 }
 

@@ -49,6 +49,13 @@ struct OpMix {
     /// 2 so nearly every drain spans several chunks); the checker verifies
     /// the concatenated pages against a single abstract state's listing.
     scans: bool,
+    /// Transactional operations: membership-toggling `Patch`,
+    /// insert-if-absent `CompareAndSet`, and the two-key `AtomicBatch`
+    /// (remove one key + insert another in one atomic commit). Enabled
+    /// only where the backend's batch commit and RMW path are atomic
+    /// (`TreeImpl::batch_is_atomic` / `patch_is_atomic`) — the `wft-api`
+    /// get-then-write defaults lose updates under contention by design.
+    transactions: bool,
 }
 
 /// Runs one recorded execution against `set` and returns the history.
@@ -79,6 +86,9 @@ fn record_round(
                     }
                     if mix.scans {
                         kinds.push(7);
+                    }
+                    if mix.transactions {
+                        kinds.extend([8, 9, 10]);
                     }
                     for _ in 0..OPS_PER_THREAD {
                         let key = rng.gen_range(0..KEY_RANGE);
@@ -129,7 +139,7 @@ fn record_round(
                                 let (a, b) = set.snapshot_count_pair(key, hi, 0, KEY_RANGE - 1);
                                 recorder.respond(token, RangeSetRet::CountPair(a, b));
                             }
-                            _ => {
+                            7 => {
                                 // A paginated drain (chunk size 2, so the
                                 // range spans several pages) completed as a
                                 // single snapshot: the concatenated pages
@@ -140,6 +150,32 @@ fn record_round(
                                 let keys = set.chunked_scan_snapshot(key, hi, 2);
                                 recorder.respond(token, RangeSetRet::Keys(keys));
                             }
+                            8 => {
+                                // The atomic RMW: toggle membership. Any
+                                // lost update under contention produces a
+                                // presence answer no sequential order
+                                // explains.
+                                let token = recorder.invoke(RangeSetOp::Patch(key));
+                                let present = set.patch_toggle(key);
+                                recorder.respond(token, RangeSetRet::Bool(present));
+                            }
+                            9 => {
+                                let token = recorder.invoke(RangeSetOp::CompareAndSet(key));
+                                let applied = set.cas_insert(key);
+                                recorder.respond(token, RangeSetRet::Bool(applied));
+                            }
+                            10 => {
+                                // A two-key atomic batch: move `key` to a
+                                // distinct `dst`. With per-thread shards in
+                                // the store builds this routinely crosses
+                                // shard boundaries, which is the case the
+                                // publish-at-front commit exists for.
+                                let dst = (key + rng.gen_range(1..KEY_RANGE)) % KEY_RANGE;
+                                let token = recorder.invoke(RangeSetOp::AtomicBatch(key, dst));
+                                let (removed, inserted) = set.batch_move(key, dst);
+                                recorder.respond(token, RangeSetRet::Pair(removed, inserted));
+                            }
+                            kind => unreachable!("unknown op kind {kind}"),
                         }
                     }
                 })
@@ -164,6 +200,10 @@ fn assert_linearizable(imp: TreeImpl, rounds: u64, with_range_queries: bool) {
         // Likewise `RangeScan`: single trees through the shared front
         // cursor, the store through its per-shard-cut merge cursor.
         scans: with_range_queries,
+        // Patch/CAS/AtomicBatch histories only where they are atomic:
+        // elsewhere they are documented get-then-write compositions whose
+        // lost updates the checker would rightly reject.
+        transactions: imp.batch_is_atomic() && imp.patch_is_atomic(),
     };
     for round in 0..rounds {
         // Alternate between an empty tree and a small prefill so both code
@@ -231,7 +271,22 @@ fn sharded_store_cross_shard_snapshots_linearize() {
     // The global timestamp front makes cross-shard `count` / snapshot pairs
     // single-snapshot: with THREADS shards over a KEY_RANGE of 8 keys,
     // nearly every range query and snapshot pair spans several shards.
+    // `batch_is_atomic` holds for the store, so these histories also mix
+    // the transactional ops: membership-toggling patches, cas-inserts, and
+    // two-key atomic batches whose keys routinely land on different shards
+    // — the publish-at-front commit is what keeps the gap between the two
+    // ops invisible to every concurrent count, collect, snapshot pair and
+    // chunked scan in the history.
     assert_linearizable(TreeImpl::Sharded, 25, true);
+}
+
+#[test]
+fn durable_store_transactional_batches_linearize() {
+    // The durable store sequences every batch through the journal's log
+    // thread (shadow-resolution + physical WAL logging) onto the gated
+    // sharded store; the same transactional histories must linearize
+    // through that extra layer. Few rounds — every write pays an fsync.
+    assert_linearizable(TreeImpl::Durable, 4, true);
 }
 
 #[test]
@@ -281,6 +336,15 @@ fn checker_rejects_a_broken_implementation() {
         }
         fn chunked_scan_snapshot(&self, _: i64, _: i64, _: usize) -> Vec<i64> {
             Vec::new()
+        }
+        fn patch_toggle(&self, _key: i64) -> bool {
+            false
+        }
+        fn cas_insert(&self, _key: i64) -> bool {
+            true
+        }
+        fn batch_move(&self, _a: i64, _b: i64) -> (bool, bool) {
+            (false, true)
         }
         fn len(&self) -> u64 {
             0
