@@ -97,6 +97,42 @@ pub enum StoreOp<K: Key, V: Value = ()> {
     /// Batch-internal read: reports the key's value as of this operation's
     /// position in the batch, observing every earlier same-key op of the
     /// same batch and nothing later.
+    ///
+    /// This closes the ROADMAP's document-or-change decision on batch
+    /// reads: the semantics is **sequential within the batch**, not
+    /// read-the-pre-batch-state. A `Get` placed *before* a same-key
+    /// mutation reads the pre-batch value; placed *after* it, the `Get`
+    /// observes that mutation. All three executors agree —
+    /// [`apply_batch_point`] applies serially, the sharded store runs
+    /// same-shard groups in batch order (same key ⇒ same shard), and the
+    /// durable journal's resolution pass threads each key's post-value
+    /// through an overlay.
+    ///
+    /// ```
+    /// use wft_api::{BatchApply, OpOutcome, StoreOp};
+    /// use wft_core::WaitFreeTree;
+    ///
+    /// let tree: WaitFreeTree<i64, i64> = WaitFreeTree::new();
+    /// tree.insert(7, 70);
+    ///
+    /// // One batch: read, overwrite, read again. The first `Get` sees
+    /// // the pre-batch value, the second sees the same-batch overwrite.
+    /// let outcomes = tree
+    ///     .apply_batch(vec![
+    ///         StoreOp::Get { key: 7 },
+    ///         StoreOp::InsertOrReplace { key: 7, value: 71 },
+    ///         StoreOp::Get { key: 7 },
+    ///     ])
+    ///     .unwrap();
+    /// assert_eq!(
+    ///     outcomes,
+    ///     vec![
+    ///         OpOutcome::Got(Some(70)),
+    ///         OpOutcome::Replaced(Some(70)),
+    ///         OpOutcome::Got(Some(71)),
+    ///     ]
+    /// );
+    /// ```
     Get {
         /// Key to read.
         key: K,

@@ -82,7 +82,8 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
             match op.traverse.peek() {
                 None => break,
                 Some(node_ptr) => {
-                    // Safety: initiator + guard pinned since before enqueue.
+                    // SAFETY: initiator + guard pinned since before enqueue; every pointer in
+                    // the traverse queue was epoch-protected when pushed.
                     let node = unsafe { node_ptr.deref(&guard) };
                     if let Node::Inner(inner) = node {
                         self.help_until(ParentRef::Inner(inner), ts, &guard);
@@ -248,6 +249,11 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         // update was observable inside its window (monotone max, so a
         // stalled helper re-advertising an old timestamp is a no-op).
         self.advertised_ts
+            // ORDERING: must be totally ordered against the SeqCst `advertised_ts` /
+            // `resolved_ts` reads of the snapshot-front validation in `read.rs`;
+            // Release alone would let a validator miss this update while also missing
+            // its effects.
+            // wft-lint: allow(seqcst) -- the snapshot-front proof needs the advertise, the update's effects and the validator's reads in one total order.
             .fetch_max(ts.get(), std::sync::atomic::Ordering::SeqCst);
         let (decision, first_application) =
             self.presence.resolve(key, ts, &update, &op.decision, guard);
@@ -284,6 +290,10 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         // bump before it can pop the descriptor from the root queue, so
         // "popped" implies "resolved watermark advanced".
         self.resolved_ts
+            // ORDERING: SeqCst for the same total-order reason as the advertise above —
+            // the validator's `resolved_ts` read must be ordered against every helper's
+            // bump, or "popped implies resolved" breaks.
+            // wft-lint: allow(seqcst) -- pairs with the SeqCst resolved_ts reads in the snapshot-front validation; a weaker order could reorder the bump after the pop.
             .fetch_max(ts.get(), std::sync::atomic::Ordering::SeqCst);
     }
 
@@ -354,7 +364,12 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                 } else {
                     // The whole right subtree is inside the range: take its
                     // aggregate from the child state, do not descend.
+                    // ORDERING: Acquire pairs with the AcqRel child-slot CASes, so the loaded
+                    // subtree (and its state record) is fully initialised.
+                    // SAFETY: `right` was loaded from an epoch-protected slot under `guard`;
+                    // nodes are retired only via `retire_subtree`/`defer_destroy`.
                     let right = inner.right.load(Acquire, guard);
+                    // SAFETY: as above.
                     let contribution = unsafe { right.deref() }.current_agg(guard);
                     merge_agg::<K, V, A>(partial, &contribution);
                     self.continue_into_child(
@@ -378,7 +393,11 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                         guard,
                     );
                 } else {
+                    // ORDERING: Acquire pairs with the AcqRel child-slot CASes (see the
+                    // symmetric right-border case above).
+                    // SAFETY: `left` is epoch-protected under `guard`.
                     let left = inner.left.load(Acquire, guard);
+                    // SAFETY: as above.
                     let contribution = unsafe { left.deref() }.current_agg(guard);
                     merge_agg::<K, V, A>(partial, &contribution);
                     self.continue_into_child(
@@ -419,7 +438,12 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         // immediately satisfies `mod_cnt + 1 > K · init_sz` again.
         let mut rebuild_checked = false;
         loop {
+            // ORDERING: Acquire pairs with the AcqRel child-slot CASes (split, remove,
+            // rebuild), so the observed node is fully initialised.
+            // SAFETY: `child` was loaded from an epoch-protected slot under `guard` and
+            // is only retired via `defer_destroy` after being unlinked.
             let child = slot.load(Acquire, guard);
+            // SAFETY: as above.
             match unsafe { child.deref() } {
                 Node::Inner(c) => {
                     if op.kind.is_update() && !rebuild_checked {
@@ -487,6 +511,9 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
             return;
         }
         let state_shared = child.load_state_shared(guard);
+        // SAFETY: the state record was loaded from an epoch-protected slot under
+        // `guard`; it is retired via `defer_destroy` only after the CAS below
+        // replaces it.
         let state = unsafe { state_shared.deref() };
         if state.ts_mod >= ts {
             // Already applied by another helper.
@@ -520,11 +547,18 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         });
         // Whatever the outcome, the state is now updated exactly once: either
         // by us (success) or by the helper that beat us (failure).
+        // ORDERING: success AcqRel — Release publishes the new state record's
+        // fields to the Acquire `load_state` calls, Acquire orders the swap after
+        // the `ts_mod` check above; failure Acquire reads the record a faster
+        // helper installed.
         if child
             .state
             .compare_exchange(state_shared, new_state, AcqRel, Acquire, guard)
             .is_ok()
         {
+            // SAFETY: our CAS unlinked `state_shared`; only one helper's CAS succeeds
+            // for a given predecessor, so the record is retired exactly once, and
+            // concurrent readers hold epoch guards.
             unsafe { guard.defer_destroy(state_shared) };
         }
     }
@@ -571,10 +605,17 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                         value: value.clone(),
                         created_ts: ts,
                     });
+                    // ORDERING: success AcqRel — Release publishes the new leaf, Acquire orders
+                    // the swap after the `created_ts`/key checks; failure Acquire is the
+                    // conservative mirror (the result is discarded).
                     match slot.compare_exchange(child, Owned::new(new_leaf), AcqRel, Acquire, guard)
                     {
+                        // SAFETY: our CAS unlinked the old leaf; single CAS winner per expected
+                        // pointer means it is retired exactly once, under `guard`.
                         Ok(_) => unsafe { guard.defer_destroy(child) },
                         Err(e) => {
+                            // SAFETY: the CAS failed, so `e.new` was never published and this thread
+                            // still owns it exclusively; freeing it immediately is sound.
                             free_subtree_now(
                                 e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }),
                             );
@@ -614,15 +655,22 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                     }),
                     queue: wft_queue::TsQueue::new(ts),
                 });
+                // ORDERING: success AcqRel — Release publishes the fully built split
+                // subtree to the Acquire child loads, Acquire orders it after the guard
+                // checks; failure Acquire mirrors the success ordering.
                 match slot.compare_exchange(child, Owned::new(split), AcqRel, Acquire, guard) {
                     Ok(_) => {
                         // The old leaf was replaced (its data was copied into
                         // the new subtree); retire it.
+                        // SAFETY: our CAS unlinked the old leaf (single winner per expected
+                        // pointer); readers are protected by their epoch guards.
                         unsafe { guard.defer_destroy(child) };
                     }
                     Err(e) => {
                         // Another helper already applied the change; discard
                         // our speculative subtree (never published).
+                        // SAFETY: the CAS failed, so the speculative subtree in `e.new` was never
+                        // published; this thread owns it exclusively.
                         free_subtree_now(
                             e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }),
                         );
@@ -638,6 +686,9 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                     // not be touched).
                     return;
                 }
+                // ORDERING: success AcqRel — Release publishes the Empty placeholder,
+                // Acquire orders it after the `created_ts` check; failure Acquire mirrors
+                // the success ordering.
                 match slot.compare_exchange(
                     child,
                     Owned::new(Node::empty(ts)),
@@ -645,8 +696,12 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                     Acquire,
                     guard,
                 ) {
+                    // SAFETY: our CAS unlinked the removed leaf (single winner per expected
+                    // pointer); readers hold epoch guards until `defer_destroy` fires.
                     Ok(_) => unsafe { guard.defer_destroy(child) },
                     Err(e) => {
+                        // SAFETY: the CAS failed, so the placeholder in `e.new` was never
+                        // published; this thread owns it exclusively.
                         free_subtree_now(
                             e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }),
                         );
@@ -707,9 +762,16 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                     value: value.clone(),
                     created_ts: ts,
                 });
+                // ORDERING: success AcqRel — Release publishes the new leaf to the Acquire
+                // child loads, Acquire orders it after the `created_ts` check; failure
+                // Acquire mirrors the success ordering.
                 match slot.compare_exchange(child, Owned::new(leaf), AcqRel, Acquire, guard) {
+                    // SAFETY: our CAS unlinked the Empty placeholder (single winner per
+                    // expected pointer); readers hold epoch guards.
                     Ok(_) => unsafe { guard.defer_destroy(child) },
                     Err(e) => {
+                        // SAFETY: the CAS failed, so the leaf in `e.new` was never published; this
+                        // thread owns it exclusively.
                         free_subtree_now(
                             e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }),
                         );
@@ -766,6 +828,10 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         let (new_node, _agg) = build_subtree::<K, V, A>(&entries, watermark, &self.ids);
 
         // 4. Swap it in.
+        // ORDERING: success AcqRel — Release publishes the fully built balanced
+        // subtree to the Acquire child loads, Acquire orders the swap after the
+        // drain/collect above (the replacement must reflect every settled entry);
+        // failure Acquire reads the subtree another helper installed.
         match slot.compare_exchange(old_child, Owned::new(new_node), AcqRel, Acquire, guard) {
             Ok(_) => {
                 retire_subtree(old_child, guard);
@@ -783,6 +849,8 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
             Err(e) => {
                 // Another helper replaced the subtree first; ours was never
                 // published and can be freed immediately.
+                // SAFETY: the CAS failed, so our replacement subtree was never published;
+                // this thread owns it exclusively and may free it in place.
                 free_subtree_now(e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }));
             }
         }
@@ -796,6 +864,9 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         if node.is_null() {
             return;
         }
+        // SAFETY: `node` is a child pointer loaded under `guard` (or the slot value
+        // passed in by `rebuild_subtree`, same guard); retirement goes through
+        // `retire_subtree`, so the deref is valid.
         if let Node::Inner(inner) = unsafe { node.deref() } {
             loop {
                 match inner.queue.peek(guard) {
@@ -806,7 +877,10 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
                     }
                 }
             }
+            // ORDERING: Acquire pairs with the AcqRel child-slot CASes, so the drain
+            // visits fully initialised children.
             self.drain_subtree(inner.left.load(Acquire, guard), guard);
+            // ORDERING: as above, for the right child.
             self.drain_subtree(inner.right.load(Acquire, guard), guard);
         }
     }

@@ -159,8 +159,13 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> Node<K, V, A> {
             Node::Empty(_) => A::identity(),
             Node::Leaf(leaf) => A::of_entry(&leaf.key, &leaf.value),
             Node::Inner(inner) => {
+                // ORDERING: Acquire pairs with the AcqRel state CAS in
+                // `apply_state_delta`, so the record's fields are visible.
                 let state = inner.state.load(Ordering::Acquire, guard);
                 // Inner nodes always carry a state record.
+                // SAFETY: inner nodes always carry a non-null state record (installed at
+                // construction, only ever swapped for a successor) and records are retired
+                // via `defer_destroy`, so the deref is valid under `guard`.
                 unsafe { state.deref() }.agg.clone()
             }
         }
@@ -170,13 +175,19 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> Node<K, V, A> {
 impl<K: Key, V: Value, A: Augmentation<K, V>> InnerNode<K, V, A> {
     /// Loads the current state record.
     pub fn load_state<'g>(&self, guard: &'g Guard) -> &'g NodeState<A::Agg> {
+        // ORDERING: Acquire pairs with the AcqRel state CAS in
+        // `apply_state_delta`.
         let state = self.state.load(Ordering::Acquire, guard);
+        // SAFETY: the state record is non-null by construction and
+        // epoch-protected under `guard`; see `current_agg`.
         unsafe { state.deref() }
     }
 
     /// Loads the current state record as a `Shared` pointer (needed as the
     /// expected value of a CAS).
     pub fn load_state_shared<'g>(&self, guard: &'g Guard) -> Shared<'g, NodeState<A::Agg>> {
+        // ORDERING: Acquire pairs with the AcqRel state CAS in
+        // `apply_state_delta`.
         self.state.load(Ordering::Acquire, guard)
     }
 }
@@ -198,7 +209,12 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> Clone for NodePtr<K, V, A> {
 }
 impl<K: Key, V: Value, A: Augmentation<K, V>> Copy for NodePtr<K, V, A> {}
 
+// SAFETY: see the type-level comment — the raw pointer is only
+// dereferenced by the initiator under its pre-enqueue epoch guard, so
+// sending the wrapper across threads is sound.
 unsafe impl<K: Key, V: Value, A: Augmentation<K, V>> Send for NodePtr<K, V, A> {}
+// SAFETY: same argument as `Send`; shared copies only ever read the
+// pointer value, the deref contract is enforced by `NodePtr::deref`.
 unsafe impl<K: Key, V: Value, A: Augmentation<K, V>> Sync for NodePtr<K, V, A> {}
 
 impl<K: Key, V: Value, A: Augmentation<K, V>> NodePtr<K, V, A> {
@@ -214,6 +230,9 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> NodePtr<K, V, A> {
     /// The caller must be the operation's initiator and must still hold the
     /// guard pinned before the operation was enqueued (see the type-level
     /// safety comment).
+    // SAFETY: the pointee stays alive because the initiator's guard predates
+    // every possible unlink of this node (see above); callers uphold the
+    // initiator+guard requirement.
     pub unsafe fn deref<'g>(&self, _guard: &'g Guard) -> &'g Node<K, V, A> {
         &*self.0
     }
@@ -277,11 +296,17 @@ pub(crate) fn collect_subtree<K: Key, V: Value, A: Augmentation<K, V>>(
     if node.is_null() {
         return;
     }
+    // SAFETY: the caller passes a child pointer loaded under `guard` from a
+    // drained, still-reachable subtree; nodes are retired only via
+    // `retire_subtree`/`defer_destroy`.
     match unsafe { node.deref() } {
         Node::Empty(_) => {}
         Node::Leaf(leaf) => out.push((leaf.key, leaf.value.clone())),
         Node::Inner(inner) => {
+            // ORDERING: Acquire pairs with the AcqRel child-slot CASes, so both
+            // subtrees are fully initialised when walked.
             collect_subtree(inner.left.load(Ordering::Acquire, guard), out, guard);
+            // ORDERING: as above.
             collect_subtree(inner.right.load(Ordering::Acquire, guard), out, guard);
         }
     }
@@ -299,14 +324,25 @@ pub(crate) fn retire_subtree<K: Key, V: Value, A: Augmentation<K, V>>(
     if node.is_null() {
         return;
     }
+    // SAFETY: the subtree was just unlinked by its replacer (single CAS
+    // winner), so no new references can form; existing readers hold epoch
+    // guards, which `defer_destroy` waits out.
     if let Node::Inner(inner) = unsafe { node.deref() } {
+        // ORDERING: Acquire pairs with the AcqRel child-slot CASes so the walk
+        // sees the subtree's final shape.
         retire_subtree(inner.left.load(Ordering::Acquire, guard), guard);
+        // ORDERING: as above.
         retire_subtree(inner.right.load(Ordering::Acquire, guard), guard);
+        // ORDERING: Acquire pairs with the AcqRel state CAS in `apply_state_delta`.
         let state = inner.state.load(Ordering::Acquire, guard);
         if !state.is_null() {
+            // SAFETY: the state record belongs to the unlinked subtree and is retired
+            // exactly once (this walk is the only retirement path for it).
             unsafe { guard.defer_destroy(state) };
         }
     }
+    // SAFETY: `node` is unlinked (see above); each node of the subtree is
+    // retired exactly once by this single post-order walk.
     unsafe { guard.defer_destroy(node) };
 }
 
@@ -318,6 +354,9 @@ pub(crate) fn free_subtree_now<K: Key, V: Value, A: Augmentation<K, V>>(
     if node.is_null() {
         return;
     }
+    // SAFETY: the caller guarantees exclusive access (tree `Drop` or a
+    // never-published speculative subtree), so freeing in place without epoch
+    // protection is sound and each node is freed exactly once.
     unsafe {
         let unprotected = crossbeam_epoch::unprotected();
         if let Node::Inner(inner) = node.deref() {
@@ -382,6 +421,7 @@ mod tests {
         }
         // Free the speculative subtree.
         let owned = into_owned_node(node);
+        // SAFETY: the subtree was never published; this test owns it exclusively.
         free_subtree_now(owned.into_shared(unsafe { epoch::unprotected() }));
     }
 
@@ -393,6 +433,7 @@ mod tests {
             let (node, agg) = build_subtree::<i64, (), Size>(&entries, Timestamp::ZERO, &ids);
             assert_eq!(agg, n as u64);
             let owned = into_owned_node(node);
+            // SAFETY: the subtree was never published; this test owns it exclusively.
             let shared = owned.into_shared(unsafe { epoch::unprotected() });
             let guard = epoch::pin();
             let mut out = Vec::new();

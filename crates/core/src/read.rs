@@ -151,6 +151,8 @@ impl<'g, K: Key, V: Value, A: Augmentation<K, V>> ReadLog<'g, K, V, A> {
             && self
                 .slots
                 .iter()
+                // ORDERING: Acquire pairs with the AcqRel child-slot CASes; an unchanged
+                // slot pointer proves no structural change was published in the window.
                 .all(|(slot, child)| slot.load(Acquire, guard) == *child)
     }
 }
@@ -258,7 +260,12 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         log: &mut ReadLog<'g, K, V, A>,
         guard: &'g Guard,
     ) -> Option<()> {
+        // ORDERING: Acquire pairs with the AcqRel child-slot CASes, so the loaded
+        // node is fully initialised.
+        // SAFETY: `child` is epoch-protected under `guard` (retired only via
+        // `defer_destroy` after being unlinked).
         let child = slot.load(Acquire, guard);
+        // SAFETY: as above.
         match unsafe { child.deref() } {
             Node::Inner(inner) => self.walk_agg_inner(inner, mode, acc, log, guard),
             Node::Leaf(leaf) => {
@@ -349,13 +356,18 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         log: &mut ReadLog<'g, K, V, A>,
         guard: &'g Guard,
     ) {
+        // ORDERING: Acquire pairs with the AcqRel child-slot CASes.
+        // SAFETY: `child` is epoch-protected under `guard`.
         let child = slot.load(Acquire, guard);
+        // SAFETY: as above.
         match unsafe { child.deref() } {
             Node::Inner(inner) => {
                 let state = inner.load_state_shared(guard);
                 // The stored aggregate is maintained eagerly top-down
                 // (§II-C): updates still propagating inside this subtree are
                 // already counted, so no queue check is needed here.
+                // SAFETY: the state record is non-null by construction and
+                // epoch-protected under `guard` (see `load_state`).
                 *acc = A::combine(acc, &unsafe { state.deref() }.agg);
                 log.absorbed.push((inner, state));
             }
@@ -391,7 +403,10 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
             *early_exit = true;
             return Some(());
         }
+        // ORDERING: Acquire pairs with the AcqRel child-slot CASes.
+        // SAFETY: `child` is epoch-protected under `guard`.
         let child = slot.load(Acquire, guard);
+        // SAFETY: as above.
         match unsafe { child.deref() } {
             Node::Inner(inner) => {
                 if !inner.queue.is_empty(guard) {

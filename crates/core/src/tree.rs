@@ -69,7 +69,12 @@ pub struct WaitFreeTree<K: Key, V: Value = (), A: Augmentation<K, V> = Size> {
     pub(crate) resolved_ts: AtomicU64,
 }
 
+// SAFETY: the tree owns its nodes, queues and presence index; all shared
+// mutation goes through atomics/epoch pointers, and the `Key`/`Value`
+// bounds require `Send + Sync + 'static` for the payload.
 unsafe impl<K: Key, V: Value, A: Augmentation<K, V>> Send for WaitFreeTree<K, V, A> {}
+// SAFETY: same argument as `Send` — shared access only follows
+// atomically-published, epoch-protected pointers.
 unsafe impl<K: Key, V: Value, A: Augmentation<K, V>> Sync for WaitFreeTree<K, V, A> {}
 
 impl<K: Key, V: Value, A: Augmentation<K, V>> Default for WaitFreeTree<K, V, A> {
@@ -130,6 +135,9 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         let (root, _agg) = build_subtree::<K, V, A>(&sorted, wft_queue::Timestamp::ZERO, &tree.ids);
         // The tree is still private to this thread: a plain store is fine and
         // the initial Empty placeholder can be freed immediately.
+        // ORDERING: AcqRel out of caution only — the tree is still private to this
+        // thread (see above), so the swap cannot race; Release publishes the
+        // prefilled subtree to whichever thread the tree is moved to.
         let old = tree
             .root_child
             .swap(crossbeam_epoch::Owned::new(root), Ordering::AcqRel, &guard);
@@ -349,6 +357,10 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
     /// resolved), so this single number is a complete description of the
     /// linearized prefix. Read descriptors never advance it.
     pub fn stable_ts(&self) -> wft_queue::Timestamp {
+        // ORDERING: pairs with the SeqCst `resolved_ts` fetch_max in
+        // `resolve_update`; the watermark read must be totally ordered against
+        // every helper's bump.
+        // wft-lint: allow(seqcst) -- the stable watermark is only meaningful in the single total order the SeqCst resolve bumps establish.
         wft_queue::Timestamp(self.resolved_ts.load(Ordering::SeqCst))
     }
 
@@ -358,6 +370,9 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
     /// unchanged across a window" mean "no update became visible inside the
     /// window" — the validation rule of the snapshot front.
     pub fn advertised_ts(&self) -> wft_queue::Timestamp {
+        // ORDERING: pairs with the SeqCst `advertised_ts` fetch_max in
+        // `resolve_update` (advertise-before-resolve).
+        // wft-lint: allow(seqcst) -- the snapshot-front proof needs the advertise bump, the update's effects and this read in one total order.
         wft_queue::Timestamp(self.advertised_ts.load(Ordering::SeqCst))
     }
 
@@ -374,10 +389,16 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
     pub fn settle_front(&self) -> wft_queue::Timestamp {
         let guard = crossbeam_epoch::pin();
         loop {
+            // ORDERING: pairs with the SeqCst advertise bump in `resolve_update`.
+            // wft-lint: allow(seqcst) -- the advertised/resolved double-read below is only meaningful in the gauge's single total order.
             let advertised = self.advertised_ts.load(Ordering::SeqCst);
+            // ORDERING: pairs with the SeqCst resolve bump in `resolve_update`.
+            // wft-lint: allow(seqcst) -- comparing the two watermarks cross-thread requires the single total order of their SeqCst bumps.
             if self.resolved_ts.load(Ordering::SeqCst) >= advertised {
                 // Quiescent instant — but only if nothing new was advertised
                 // while we looked at `resolved`.
+                // ORDERING: re-validates `advertised` in the same total order.
+                // wft-lint: allow(seqcst) -- an advertise between the two reads must be impossible to miss, which only the SeqCst total order guarantees.
                 if self.advertised_ts.load(Ordering::SeqCst) == advertised {
                     return wft_queue::Timestamp(advertised);
                 }
@@ -397,6 +418,9 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
     /// `true` while no update has begun linearizing past `front` — the
     /// validation half of the snapshot sandwich.
     pub fn front_unchanged(&self, front: wft_queue::Timestamp) -> bool {
+        // ORDERING: pairs with the SeqCst advertise bump in `resolve_update` — an
+        // unchanged advertised watermark proves no update began linearizing.
+        // wft-lint: allow(seqcst) -- the validation must observe every advertise bump that could have made an update visible inside the window; needs the total order.
         self.advertised_ts.load(Ordering::SeqCst) == front.get()
     }
 
@@ -425,6 +449,8 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         max: K,
         front: wft_queue::Timestamp,
     ) -> Option<A::Agg> {
+        // ORDERING: pairs with the SeqCst resolve bump in `resolve_update`.
+        // wft-lint: allow(seqcst) -- front anchoring compares both SeqCst watermarks; a weaker read could see a stale resolved value and accept an expired front.
         if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
             return None;
         }
@@ -458,6 +484,9 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         max: K,
         front: wft_queue::Timestamp,
     ) -> Option<Vec<(K, V)>> {
+        // ORDERING: pairs with the SeqCst resolve bump in `resolve_update`; see
+        // `range_agg_at_front`.
+        // wft-lint: allow(seqcst) -- same total-order argument as range_agg_at_front.
         if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
             return None;
         }
@@ -495,6 +524,9 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         limit: usize,
         front: wft_queue::Timestamp,
     ) -> Option<Vec<(K, V)>> {
+        // ORDERING: pairs with the SeqCst resolve bump in `resolve_update`; see
+        // `range_agg_at_front`.
+        // wft-lint: allow(seqcst) -- same total-order argument as range_agg_at_front.
         if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
             return None;
         }
@@ -532,6 +564,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
         let guard = crossbeam_epoch::pin();
         let mut out = Vec::new();
         collect_subtree(
+            // ORDERING: Acquire pairs with the AcqRel child-slot CASes; quiescent use.
             self.root_child.load(Ordering::Acquire, &guard),
             &mut out,
             &guard,
@@ -547,6 +580,7 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> WaitFreeTree<K, V, A> {
     /// **Quiescent only**; panics on violation. Intended for tests.
     pub fn check_invariants(&self) {
         let guard = crossbeam_epoch::pin();
+        // ORDERING: Acquire pairs with the AcqRel child-slot CASes; quiescent use.
         let root = self.root_child.load(Ordering::Acquire, &guard);
         let n = check_node::<K, V, A>(root, None, None, &guard);
         assert_eq!(
@@ -577,6 +611,8 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> Drop for WaitFreeTree<K, V, A> {
     fn drop(&mut self) {
         // Exclusive access: free the whole tree. Queues, the presence index
         // and the root queue free themselves through their own Drop impls.
+        // SAFETY: `drop` takes `&mut self`, so no other thread can reach the tree;
+        // the unprotected guard and immediate free are sound.
         let root = self
             .root_child
             .load(Ordering::Relaxed, unsafe { crossbeam_epoch::unprotected() });
@@ -594,6 +630,8 @@ fn check_node<K: Key, V: Value, A: Augmentation<K, V>>(
     if node.is_null() {
         return 0;
     }
+    // SAFETY: quiescent walk — `node` came from the root slot (or a child
+    // slot) under `guard` and nothing is being retired concurrently.
     match unsafe { node.deref() } {
         Node::Empty(_) => 0,
         Node::Leaf(leaf) => {
@@ -611,12 +649,14 @@ fn check_node<K: Key, V: Value, A: Augmentation<K, V>>(
                 "descriptor queue not empty in a quiescent tree"
             );
             let nl = check_node::<K, V, A>(
+                // ORDERING: Acquire pairs with the AcqRel child-slot CASes; quiescent use.
                 inner.left.load(Ordering::Acquire, guard),
                 lo,
                 Some(&inner.rsm),
                 guard,
             );
             let nr = check_node::<K, V, A>(
+                // ORDERING: as above, for the right child.
                 inner.right.load(Ordering::Acquire, guard),
                 Some(&inner.rsm),
                 hi,

@@ -525,6 +525,9 @@ where
     let store = Arc::clone(store);
     std::thread::Builder::new()
         .name("wft-durable-log".into())
+        // Startup-only: failing to spawn the log thread means the store cannot
+        // exist at all — propagating a StoreError has no caller to degrade to.
+        // wft-lint: allow(forbidden-api) -- not journal I/O; spawn failure at construction must fail fast.
         .spawn(move || run(shared, store))
         .expect("spawning the durable log thread")
 }
@@ -599,6 +602,8 @@ where
                 .fetch_add(group_size - 1, Ordering::Relaxed);
             wft_obs::trace::emit(TraceKind::WalStall, (group_size & 0xFFFF) as u16);
         }
+        // ORDERING: Release publishes the group's WAL durability (and the fsynced
+        // bytes behind it) to the Acquire `durable_seq` reads in stats.
         shared
             .durable_seq
             .store(first_seq + group_size - 1, Ordering::Release);
@@ -621,6 +626,8 @@ where
                     .map(|_| resolved.outcomes)
                     .map_err(|err| DurableError::Batch(err.to_string()))
             };
+            // ORDERING: Release publishes the applied effects to the Acquire
+            // `applied_seq` reads (checkpoint cut, stats).
             shared
                 .applied_seq
                 .store(first_seq + i as u64, Ordering::Release);

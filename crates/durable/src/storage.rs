@@ -347,6 +347,7 @@ impl FaultShared {
     fn check(&self, op: FaultOp) -> io::Result<Option<FaultKind>> {
         let n = self.ops.fetch_add(1, Ordering::Relaxed);
         let mut state = self.state.lock().unwrap();
+        // wft-lint: allow(forbidden-api) -- infallible: `op` is by construction a member of FaultOp::ALL.
         let op_index = FaultOp::ALL.iter().position(|&o| o == op).unwrap();
         let op_n = state.per_op[op_index];
         state.per_op[op_index] += 1;

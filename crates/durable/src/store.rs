@@ -393,6 +393,8 @@ where
     /// Point-in-time copy of the durable layer's instrumentation.
     pub fn stats(&self) -> DurableStats {
         let shared = self.journal.shared();
+        // ORDERING: Acquire pairs with the log thread's Release seq stores, so a
+        // stats reader sees the effects behind the reported seqs.
         self.instruments.stats(
             shared.durable_seq.load(Ordering::Acquire),
             shared.applied_seq.load(Ordering::Acquire),
@@ -530,6 +532,8 @@ where
             JournalState::Halted(reason) => return Err(DurableError::Halted(reason)),
         }
         let started = Instant::now();
+        // ORDERING: Acquire pairs with the log thread's Release `applied_seq`
+        // store — the checkpoint cut includes every applied effect.
         let cut = self.journal.shared().applied_seq.load(Ordering::Acquire);
         wft_obs::trace::emit(
             TraceKind::CheckpointBegin,

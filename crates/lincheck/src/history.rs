@@ -66,6 +66,8 @@ impl<Op: Clone, Ret: Clone> ThreadRecorder<Op, Ret> {
     /// Records the invocation of `op` and returns the token to use when it
     /// responds.
     pub fn invoke(&self, op: Op) -> OpToken {
+        // ORDERING: AcqRel — the shared clock totally orders this stamp against
+        // every other recorder's stamps, which is the order the checker replays.
         let stamp = self.clock.fetch_add(1, Ordering::AcqRel);
         let mut records = self.records.lock().expect("recorder mutex poisoned");
         records.push(Record {
@@ -83,6 +85,7 @@ impl<Op: Clone, Ret: Clone> ThreadRecorder<Op, Ret> {
     /// Panics if the token does not belong to this recorder or the operation
     /// already responded.
     pub fn respond(&self, token: OpToken, ret: Ret) {
+        // ORDERING: AcqRel — same global-clock argument as `invoke`.
         let stamp = self.clock.fetch_add(1, Ordering::AcqRel);
         let mut records = self.records.lock().expect("recorder mutex poisoned");
         let record = records

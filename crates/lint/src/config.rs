@@ -1,0 +1,207 @@
+//! `lint.toml` — the checked-in forbidden-API policy.
+//!
+//! The file is parsed by a deliberately minimal TOML-subset reader (the
+//! workspace vendors no TOML crate and the lint stays dependency-free):
+//! it understands `[[forbidden]]` array-of-tables headers, `key = "str"`
+//! and `key = ["a", "b"]` entries, and `#` comments. That subset is the
+//! whole schema; anything else is a hard configuration error so policy
+//! typos fail the build instead of silently relaxing it.
+
+/// One forbidden-API rule: a set of denied substrings scoped to paths.
+#[derive(Debug, Clone, Default)]
+pub struct ForbiddenRule {
+    /// Short policy name, shown in diagnostics (e.g. `no-blocking-sync`).
+    pub name: String,
+    /// Path prefixes (workspace-relative, `/`-separated) the rule covers.
+    pub paths: Vec<String>,
+    /// Denied substrings, matched against comment-stripped code lines.
+    pub deny: Vec<String>,
+    /// Substrings that exempt a line even when a deny pattern matches
+    /// (e.g. `lock().unwrap()` poisoning unwraps inside a no-unwrap zone).
+    pub allow_within_line: Vec<String>,
+    /// The policy's one-line rationale, echoed in diagnostics.
+    pub reason: String,
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Every `[[forbidden]]` table, in file order.
+    pub forbidden: Vec<ForbiddenRule>,
+}
+
+/// Parses the `lint.toml` subset. Returns `Err` with a line-numbered
+/// message on anything outside the schema.
+pub fn parse(src: &str) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut current: Option<ForbiddenRule> = None;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[forbidden]]" {
+            if let Some(rule) = current.take() {
+                cfg.forbidden.push(rule);
+            }
+            current = Some(ForbiddenRule::default());
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "lint.toml:{}: unknown table {line:?} (only [[forbidden]] is understood)",
+                idx + 1
+            ));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("lint.toml:{}: expected `key = value`", idx + 1))?;
+        let key = key.trim();
+        let value = value.trim();
+        let rule = current
+            .as_mut()
+            .ok_or_else(|| format!("lint.toml:{}: key outside a [[forbidden]] table", idx + 1))?;
+        match key {
+            "name" => rule.name = parse_string(value, idx)?,
+            "reason" => rule.reason = parse_string(value, idx)?,
+            "paths" => rule.paths = parse_string_array(value, idx)?,
+            "deny" => rule.deny = parse_string_array(value, idx)?,
+            "allow-within-line" => rule.allow_within_line = parse_string_array(value, idx)?,
+            other => {
+                return Err(format!("lint.toml:{}: unknown key {other:?}", idx + 1));
+            }
+        }
+    }
+    if let Some(rule) = current.take() {
+        cfg.forbidden.push(rule);
+    }
+    for rule in &cfg.forbidden {
+        if rule.name.is_empty() || rule.paths.is_empty() || rule.deny.is_empty() {
+            return Err(format!(
+                "lint.toml: [[forbidden]] rule {:?} needs non-empty name, paths and deny",
+                rule.name
+            ));
+        }
+    }
+    Ok(cfg)
+}
+
+/// Drops a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn parse_string(value: &str, idx: usize) -> Result<String, String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].replace("\\\"", "\""))
+    } else {
+        Err(format!(
+            "lint.toml:{}: expected a double-quoted string, got {v:?}",
+            idx + 1
+        ))
+    }
+}
+
+fn parse_string_array(value: &str, idx: usize) -> Result<Vec<String>, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|rest| rest.strip_suffix(']'))
+        .ok_or_else(|| format!("lint.toml:{}: expected [\"...\"] array, got {v:?}", idx + 1))?;
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for c in inner.chars() {
+        match c {
+            '"' if !prev_backslash => {
+                if in_str {
+                    out.push(std::mem::take(&mut cur));
+                }
+                in_str = !in_str;
+            }
+            ',' if !in_str => {}
+            _ if in_str => cur.push(c),
+            _ if c.is_whitespace() => {}
+            _ => {
+                return Err(format!(
+                    "lint.toml:{}: unexpected {c:?} in array (strings only)",
+                    idx + 1
+                ));
+            }
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    if in_str {
+        return Err(format!(
+            "lint.toml:{}: unterminated string in array",
+            idx + 1
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_forbidden_tables() {
+        let cfg = parse(
+            r#"
+# policy file
+[[forbidden]]
+name = "no-blocking-sync"
+paths = ["crates/queue/src", "crates/core/src"]
+deny = ["std::sync::Mutex", "std::sync::RwLock"]
+reason = "wait-free crates must never block"
+
+[[forbidden]]
+name = "no-panic-on-io"
+paths = ["crates/durable/src/journal.rs"]
+deny = [".unwrap()"]
+allow-within-line = ["lock().unwrap()"]
+reason = "I/O errors propagate as StoreError"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.forbidden.len(), 2);
+        assert_eq!(cfg.forbidden[0].name, "no-blocking-sync");
+        assert_eq!(cfg.forbidden[0].deny.len(), 2);
+        assert_eq!(cfg.forbidden[1].allow_within_line, vec!["lock().unwrap()"]);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_tables() {
+        assert!(parse("[[forbidden]]\nnom = \"x\"\n").is_err());
+        assert!(parse("[other]\n").is_err());
+        assert!(parse("name = \"orphan\"\n").is_err());
+    }
+
+    #[test]
+    fn rejects_incomplete_rules() {
+        assert!(parse("[[forbidden]]\nname = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = parse(
+            "[[forbidden]]\nname = \"x#y\"\npaths = [\"p\"]\ndeny = [\"q#r\"]\nreason = \"z\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.forbidden[0].name, "x#y");
+        assert_eq!(cfg.forbidden[0].deny[0], "q#r");
+    }
+}

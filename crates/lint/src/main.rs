@@ -1,0 +1,84 @@
+//! The `wft-lint` binary: audit the workspace, write `ANALYSIS.md`,
+//! exit nonzero on any violation.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p wft-lint --release            # audit + regenerate ANALYSIS.md
+//! cargo run -p wft-lint --release -- --check # audit only, leave ANALYSIS.md alone
+//! cargo run -p wft-lint --release -- --root <path>
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut check_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check_only = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("wft-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("wft-lint: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // `CARGO_MANIFEST_DIR` is crates/lint; the workspace root is two up.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .expect("crates/lint always sits two levels under the workspace root")
+            .to_path_buf()
+    });
+
+    let cfg = match wft_lint::load_config(&root) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("wft-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match wft_lint::run(&root, &cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("wft-lint: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if !check_only {
+        let analysis = wft_lint::report::render(&outcome);
+        let path = root.join("ANALYSIS.md");
+        if let Err(e) = std::fs::write(&path, analysis) {
+            eprintln!("wft-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for v in &outcome.violations {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+    }
+    println!(
+        "wft-lint: {} files, {} unsafe sites, {} ordering sites, {} waivers, {} violations",
+        outcome.files_scanned,
+        outcome.unsafe_sites.len(),
+        outcome.ordering_sites.len(),
+        outcome.waivers.len(),
+        outcome.violations.len(),
+    );
+    if outcome.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,57 @@
+//! A fully compliant fixture crate: every rule of the audit is
+//! exercised and satisfied. Never compiled — scanned only.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Good {
+    retries: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl Good {
+    // SAFETY comment attached from above.
+    pub fn documented_unsafe(ptr: *const u64) -> u64 {
+        // SAFETY: the caller guarantees `ptr` is valid and aligned.
+        unsafe { *ptr }
+    }
+
+    pub fn documented_unsafe_trailing(ptr: *const u64) -> u64 {
+        unsafe { *ptr } // SAFETY: caller contract, see `documented_unsafe`.
+    }
+
+    pub fn documented_acquire(&self) -> u64 {
+        // ORDERING: Acquire pairs with the Release bump in `record_hit`.
+        self.retries.load(Ordering::Acquire)
+    }
+
+    pub fn documented_seqcst(&self) -> u64 {
+        // ORDERING: total order with every other watermark observer.
+        // wft-lint: allow(seqcst) -- cross-observer agreement needs a total order.
+        self.retries.load(Ordering::SeqCst)
+    }
+
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        // ORDERING: Release publishes the hit to `documented_acquire`.
+        self.retries.fetch_add(1, Ordering::Release);
+    }
+
+    // A denied API survives through an individually reviewed waiver.
+    pub fn reviewed_sleep(&self) {
+        // wft-lint: allow(forbidden-api) -- fixture: test-only backoff, not an operation path.
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    // Decoys that must not confuse the scanner.
+    pub fn decoys(&self) -> &'static str {
+        /* unsafe { Ordering::SeqCst } thread::sleep */
+        r#"unsafe { louder } and Ordering::Acquire and thread::sleep"#
+    }
+}
+
+// `live_metric` is backed by `hits`, which `record_hit` bumps in-crate.
+impl MetricsSource for Good {
+    fn collect_metrics(&self, out: &mut MetricsSnapshot) {
+        out.push_counter("live_metric", self.hits.load(Ordering::Relaxed));
+    }
+}

@@ -1,0 +1,69 @@
+//! The audit over the real workspace: zero violations, no unsafe-rule
+//! waivers anywhere, and the committed `ANALYSIS.md` in sync with what
+//! the scanner would regenerate.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn audit() -> wft_lint::Outcome {
+    let root = workspace_root();
+    let cfg = wft_lint::load_config(&root).expect("lint.toml parses");
+    wft_lint::run(&root, &cfg).expect("workspace scans")
+}
+
+#[test]
+fn workspace_audits_clean() {
+    let outcome = audit();
+    assert!(
+        outcome.clean(),
+        "the workspace must audit clean; violations:\n{}",
+        outcome
+            .violations
+            .iter()
+            .map(|v| format!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_unsafe_site_is_argued_not_waived() {
+    // The acceptance bar for the SAFETY backfill: zero waivers for the
+    // undocumented-unsafe rule — every site carries a real argument.
+    let outcome = audit();
+    let unsafe_waivers: Vec<_> = outcome
+        .waivers
+        .iter()
+        .filter(|w| w.rule == "undocumented-unsafe")
+        .collect();
+    assert!(
+        unsafe_waivers.is_empty(),
+        "unsafe sites must be documented, never waived: {unsafe_waivers:#?}"
+    );
+    assert!(
+        !outcome.unsafe_sites.is_empty(),
+        "the inventory should list the workspace's unsafe sites"
+    );
+}
+
+#[test]
+fn committed_analysis_is_current() {
+    // Local twin of the CI regenerate-and-diff gate: a code change that
+    // shifts the concurrency surface must re-run
+    // `cargo run -p wft-lint --release` and commit the result.
+    let outcome = audit();
+    let rendered = wft_lint::report::render(&outcome);
+    let committed = std::fs::read_to_string(workspace_root().join("ANALYSIS.md"))
+        .expect("ANALYSIS.md is committed at the workspace root");
+    assert!(
+        rendered == committed,
+        "ANALYSIS.md is stale — regenerate it with `cargo run -p wft-lint --release`"
+    );
+}

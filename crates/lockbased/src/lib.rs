@@ -56,11 +56,17 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> LockedRangeTree<K, V, A> {
     /// The current write version (the snapshot front); see the `version`
     /// field docs.
     pub fn write_version(&self) -> u64 {
+        // ORDERING: SeqCst — the version sandwich compares observations taken
+        // without holding the lock.
+        // wft-lint: allow(seqcst) -- baseline keeps the cross-read comparison in one total order rather than reasoning about lock handoff.
         self.version.load(Ordering::SeqCst)
     }
 
     /// Bumps the write version; callers hold the lock.
     fn bump_version(&self) {
+        // ORDERING: SeqCst bump under the write lock, totally ordered with the
+        // sandwich reads above.
+        // wft-lint: allow(seqcst) -- same total-order argument as write_version.
         self.version.fetch_add(1, Ordering::SeqCst);
     }
 

@@ -195,6 +195,9 @@ pub(crate) fn free_subtree_now<K: Key, V: Value>(node: Shared<'_, Node<K, V>>) {
     if node.is_null() {
         return;
     }
+    // SAFETY: the caller guarantees exclusive access (tree `Drop`), so no
+    // other thread holds or can form a reference into this subtree; every
+    // node and record is freed exactly once by the post-order walk.
     unsafe {
         let owned = node.into_owned();
         if let Node::Internal {
@@ -254,20 +257,19 @@ mod tests {
         let left_child = internal
             .child_for(&RoutingKey::Finite(3))
             .load(Ordering::Acquire, &guard);
-        assert_eq!(
-            unsafe { left_child.deref() }.routing_key(),
-            &RoutingKey::Finite(5)
-        );
+        // SAFETY: the children were installed above and never retired in this test.
+        let left_child = unsafe { left_child.deref() };
+        assert_eq!(left_child.routing_key(), &RoutingKey::Finite(5));
         let right_child = internal
             .child_for(&RoutingKey::Finite(10))
             .load(Ordering::Acquire, &guard);
-        assert_eq!(
-            unsafe { right_child.deref() }.routing_key(),
-            &RoutingKey::Finite(10)
-        );
+        // SAFETY: as above.
+        let right_child = unsafe { right_child.deref() };
+        assert_eq!(right_child.routing_key(), &RoutingKey::Finite(10));
         // Dropping `internal` directly would leak its children; free it the
         // way the tree does.
         let owned = Owned::new(internal);
+        // SAFETY: the node was never published; this test owns it exclusively.
         free_subtree_now(owned.into_shared(unsafe { crossbeam_epoch::unprotected() }));
     }
 

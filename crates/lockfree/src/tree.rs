@@ -47,7 +47,12 @@ pub struct LockFreeBst<K: Key, V: Value = ()> {
     updates_finished: AtomicU64,
 }
 
+// SAFETY: the tree owns its nodes and all shared mutation goes through
+// atomics; `Key`/`Value` already require `Send + Sync + 'static`, so moving
+// the structure across threads cannot smuggle non-thread-safe data.
 unsafe impl<K: Key, V: Value> Send for LockFreeBst<K, V> {}
+// SAFETY: same argument as `Send` above — shared access only ever reads
+// through epoch-protected atomics; `Key: Sync` and `Value: Sync` hold by bound.
 unsafe impl<K: Key, V: Value> Sync for LockFreeBst<K, V> {}
 
 /// Result of the internal `search` routine: the last two internal nodes on
@@ -89,9 +94,15 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
     /// field docs): `started` is bumped before the closure can publish (and
     /// thereby make visible) any change, `finished` when it returns.
     fn gauged_update<R>(&self, update: impl FnOnce() -> R) -> R {
+        // ORDERING: the gauge halves form the baseline's snapshot front — a reader
+        // that observes `started == finished` must also observe every effect of the
+        // counted updates, and `settle_updates` compares both counters cross-thread.
+        // wft-lint: allow(seqcst) -- settle_updates needs the started bump, the update's effects and the finished bump in one total order; cold baseline path.
         self.updates_started
             .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         let result = update();
+        // ORDERING: second half of the gauge; see the `updates_started` bump above.
+        // wft-lint: allow(seqcst) -- same total-order argument as the started half.
         self.updates_finished
             .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         result
@@ -99,6 +110,8 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
 
     /// The gauge's "started" half — the advertised snapshot front.
     pub(crate) fn updates_started(&self) -> u64 {
+        // ORDERING: reads the snapshot front in the total order the gauge writes it.
+        // wft-lint: allow(seqcst) -- pairs with the SeqCst fetch_adds in gauged_update.
         self.updates_started
             .load(std::sync::atomic::Ordering::SeqCst)
     }
@@ -112,6 +125,9 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
     pub(crate) fn settle_updates(&self) -> u64 {
         loop {
             let started = self.updates_started();
+            // ORDERING: the finished/started double-read is only meaningful in the total
+            // order the SeqCst gauge bumps establish; see gauged_update.
+            // wft-lint: allow(seqcst) -- validating `started` unchanged across the finished read requires the single total order of the gauge.
             if self
                 .updates_finished
                 .load(std::sync::atomic::Ordering::SeqCst)
@@ -164,22 +180,36 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
     fn search<'g>(&self, key: &RoutingKey<K>, guard: &'g Guard) -> SearchResult<'g, K, V> {
         let mut grandparent = Shared::null();
         let mut grandparent_update = Shared::null();
+        // ORDERING: Acquire pairs with the Release half of the AcqRel child CASes
+        // (help_insert/help_marked) that publish initialised nodes; the root node
+        // itself is never replaced after construction.
         let mut parent = self.root.load(Ordering::Acquire, guard);
+        // SAFETY: `parent` was loaded from the root slot under `guard`; nodes are
+        // reclaimed only via `defer_destroy`, so the deref is valid while `guard` lives.
         let mut parent_update = unsafe { parent.deref() }
             .update()
+            // ORDERING: Acquire pairs with the Release half of the AcqRel flag CASes on
+            // this `update` word, so an observed record's fields are fully visible.
             .load(Ordering::Acquire, guard);
+        // SAFETY: as above — `parent` stays epoch-protected for the guard's lifetime.
         let mut leaf = unsafe { parent.deref() }
             .child_for(key)
+            // ORDERING: Acquire pairs with the AcqRel child CASes publishing this child.
             .load(Ordering::Acquire, guard);
+        // SAFETY: `leaf` was loaded from an epoch-protected child slot under `guard`.
         while !unsafe { leaf.deref() }.is_leaf() {
             grandparent = parent;
             grandparent_update = parent_update;
             parent = leaf;
+            // SAFETY: `parent` (the previous `leaf`) is epoch-protected under `guard`.
             parent_update = unsafe { parent.deref() }
                 .update()
+                // ORDERING: pairs with the Release half of the flag CASes; see above.
                 .load(Ordering::Acquire, guard);
+            // SAFETY: `parent` is epoch-protected under `guard`; see above.
             leaf = unsafe { parent.deref() }
                 .child_for(key)
+                // ORDERING: pairs with the AcqRel child CASes publishing this child.
                 .load(Ordering::Acquire, guard);
         }
         SearchResult {
@@ -201,6 +231,8 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
         let guard = pin();
         let target = RoutingKey::Finite(*key);
         let res = self.search(&target, &guard);
+        // SAFETY: `res.leaf` came from the search under the same `guard`; unlinked
+        // leaves are retired via `defer_destroy`, never freed in place.
         match unsafe { res.leaf.deref() } {
             Node::Leaf {
                 key: RoutingKey::Finite(found),
@@ -229,6 +261,7 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
         let target = RoutingKey::Finite(key);
         loop {
             let res = self.search(&target, &guard);
+            // SAFETY: `res.leaf` is epoch-protected by the `guard` used for the search.
             let leaf_node = unsafe { res.leaf.deref() };
             if leaf_node.routing_key() == &target {
                 if let Node::Leaf { value: current, .. } = leaf_node {
@@ -268,7 +301,13 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
                 leaf: leaf_atomic,
                 subtree: subtree_atomic,
             });
+            // SAFETY: `res.parent` is epoch-protected by `guard`. It may have been
+            // unlinked since the search — then it is still safe to read (retired, not
+            // freed) and the flag CAS below fails because its `update` word changed.
             let parent_node = unsafe { res.parent.deref() };
+            // ORDERING: success is AcqRel — Release publishes the record's fields (read
+            // by every helper through `help_insert`), Acquire orders the flag after the
+            // observed CLEAN state; failure Acquire lets us help the record we ran into.
             match parent_node.update().compare_exchange(
                 res.parent_update,
                 info.with_tag(state::IFLAG),
@@ -289,6 +328,9 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
                     // speculative subtree (but not the existing leaf it
                     // points to).
                     let owned_info = err.new;
+                    // SAFETY: the flag CAS failed, so `err.new` gives us back exclusive ownership
+                    // of the never-published record and its speculative subtree; we free both but
+                    // keep the pre-existing leaf, which remains reachable from the tree.
                     unsafe {
                         if let Info::Insert { subtree, .. } = &*owned_info {
                             let sub = subtree.load(Ordering::Relaxed, &guard);
@@ -344,6 +386,7 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
         let target = RoutingKey::Finite(*key);
         loop {
             let res = self.search(&target, &guard);
+            // SAFETY: `res.leaf` is epoch-protected by the `guard` used for the search.
             let leaf_node = unsafe { res.leaf.deref() };
             let prior = match leaf_node {
                 Node::Leaf {
@@ -374,7 +417,13 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
                 leaf: leaf_atomic,
                 expected_parent_update,
             });
+            // SAFETY: `res.grandparent` is non-null — a finite leaf always sits at depth
+            // >= 2 (the root's children are sentinels or internal nodes), and we only get
+            // here after matching a finite leaf — and is epoch-protected by `guard`.
             let grandparent_node = unsafe { res.grandparent.deref() };
+            // ORDERING: success is AcqRel — Release publishes the Delete record to
+            // helpers, Acquire orders the DFLAG after the observed CLEAN grandparent
+            // state; failure Acquire reads the conflicting record so we can help it.
             match grandparent_node.update().compare_exchange(
                 res.grandparent_update,
                 info.with_tag(state::DFLAG),
@@ -420,17 +469,29 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
             parent,
             leaf,
             subtree,
+            // SAFETY: `info` was read from a flagged `update` word under `guard`; records
+            // are retired via `defer_destroy` only after being replaced in their primary
+            // node, so the deref is valid for the guard's lifetime.
         } = (unsafe { info.deref() })
         else {
             return;
         };
+        // ORDERING: the record's fields were written before the Release flag CAS
+        // published `info`; these Acquire loads are conservative pairing with it.
         let parent_ptr = parent.load(Ordering::Acquire, guard);
-        let leaf_ptr = leaf.load(Ordering::Acquire, guard);
-        let subtree_ptr = subtree.load(Ordering::Acquire, guard);
+        let leaf_ptr = leaf.load(Ordering::Acquire, guard); // ORDERING: as above.
+        let subtree_ptr = subtree.load(Ordering::Acquire, guard); // ORDERING: as above.
+                                                                  // SAFETY: `parent_ptr` was stored in the record before publication and is
+                                                                  // epoch-protected; a parent is never retired while its insert record is live.
         let parent_node = unsafe { parent_ptr.deref() };
         // Replace the leaf with the new subtree (only one helper succeeds);
         // the slot is the one the leaf currently occupies.
+        // SAFETY: `leaf_ptr` is epoch-protected; even if another helper already
+        // swung the child pointer, the leaf is retired via `defer_destroy`, not freed.
         let slot = parent_node.child_for(unsafe { leaf_ptr.deref() }.routing_key());
+        // ORDERING: AcqRel — Release publishes the initialised subtree to Acquire
+        // traversals (search/collect), Acquire orders the splice after the record
+        // reads; failure means another helper already did it, which is fine.
         let _ = slot.compare_exchange(
             leaf_ptr,
             subtree_ptr,
@@ -439,6 +500,8 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
             guard,
         );
         // Unflag: IFLAG(info) -> CLEAN(info).
+        // ORDERING: AcqRel orders the unflag after the child splice above, so a
+        // helper that Acquire-loads the CLEAN tag also sees the completed splice.
         let _ = parent_node.update().compare_exchange(
             info.with_tag(state::IFLAG),
             info.with_tag(state::CLEAN),
@@ -457,13 +520,23 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
             parent,
             expected_parent_update,
             ..
+        // SAFETY: `info` came from a flagged `update` word under `guard`; see
+        // `help_insert` — records are only retired after being unlinked.
         } = (unsafe { info.deref() })
         else {
             return false;
         };
+        // ORDERING: record fields were Release-published by the DFLAG CAS; Acquire
+        // pairs with it.
         let parent_ptr = parent.load(Ordering::Acquire, guard);
+        // SAFETY: `parent_ptr` was captured in the record before publication and is
+        // epoch-protected for the guard's lifetime.
         let parent_node = unsafe { parent_ptr.deref() };
+        // ORDERING: pairs with the Release publication of the record; see above.
         let expected = expected_parent_update.load(Ordering::Acquire, guard);
+        // ORDERING: AcqRel — Release publishes the MARK (freezing the parent's
+        // children for help_marked), Acquire orders it after the expected CLEAN
+        // state; failure Acquire reads whichever record beat us to the parent.
         let result = parent_node.update().compare_exchange(
             expected,
             info.with_tag(state::MARK),
@@ -483,10 +556,18 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
         } else {
             // Help whoever beat us to the parent, then roll the DFLAG back so
             // the grandparent becomes available again.
+            // ORDERING: Acquire pairs with the flag CASes so the conflicting record's
+            // fields are visible before we help it.
             let current = parent_node.update().load(Ordering::Acquire, guard);
             self.help(current, guard);
+            // ORDERING: pairs with the Release publication of the Delete record.
             let grandparent_ptr = grandparent.load(Ordering::Acquire, guard);
+            // SAFETY: the Delete record always carries a non-null grandparent (checked
+            // at construction in remove_entry_inner) and it is epoch-protected.
             let grandparent_node = unsafe { grandparent_ptr.deref() };
+            // ORDERING: AcqRel rolls DFLAG back to CLEAN — Release so threads that
+            // acquire the grandparent afterwards see a consistent record, Acquire to
+            // order the rollback after the failed mark.
             let _ = grandparent_node.update().compare_exchange(
                 info.with_tag(state::DFLAG),
                 info.with_tag(state::CLEAN),
@@ -507,26 +588,42 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
             parent,
             leaf,
             ..
+        // SAFETY: `info` came from a flagged `update` word under `guard`; records
+        // are only retired after being unlinked from their primary node.
         } = (unsafe { info.deref() })
         else {
             return;
         };
+        // ORDERING: record fields were Release-published by the DFLAG CAS; these
+        // Acquire loads conservatively pair with it.
         let grandparent_ptr = grandparent.load(Ordering::Acquire, guard);
-        let parent_ptr = parent.load(Ordering::Acquire, guard);
-        let leaf_ptr = leaf.load(Ordering::Acquire, guard);
+        let parent_ptr = parent.load(Ordering::Acquire, guard); // ORDERING: as above.
+        let leaf_ptr = leaf.load(Ordering::Acquire, guard); // ORDERING: as above.
+                                                            // SAFETY: `parent_ptr` was captured in the record and is epoch-protected;
+                                                            // the parent is MARKed, so it cannot be concurrently retired before the
+                                                            // unlink CAS below decides a single winner.
         let parent_node = unsafe { parent_ptr.deref() };
         // The sibling of the deleted leaf: the parent is marked, so its
         // children can no longer change and this read is stable.
         let (left, right) = parent_node.children();
+        // ORDERING: the parent is MARKed, so its child slots are frozen; Acquire
+        // pairs with the child CASes that originally published these nodes.
         let left_ptr = left.load(Ordering::Acquire, guard);
-        let right_ptr = right.load(Ordering::Acquire, guard);
+        let right_ptr = right.load(Ordering::Acquire, guard); // ORDERING: as above.
         let sibling = if left_ptr == leaf_ptr {
             right_ptr
         } else {
             left_ptr
         };
+        // SAFETY: `grandparent_ptr` is non-null (invariant of the Delete record)
+        // and epoch-protected under `guard`.
         let grandparent_node = unsafe { grandparent_ptr.deref() };
+        // SAFETY: both pointers are epoch-protected; `parent_ptr` is the MARKed
+        // node whose routing key picks the child slot to swing.
         let slot = grandparent_node.child_for(unsafe { parent_ptr.deref() }.routing_key());
+        // ORDERING: AcqRel — Release keeps the (already published) sibling's
+        // initialisation visible through the new edge, Acquire orders the unlink
+        // after the frozen-children reads above; only one helper's CAS succeeds.
         if slot
             .compare_exchange(
                 parent_ptr,
@@ -540,12 +637,18 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
             // We unlinked the parent and the deleted leaf: retire both. The
             // node destructor does not touch children, so the surviving
             // sibling is unaffected.
+            // SAFETY: our CAS just unlinked `parent_ptr` (MARKed, children frozen) and
+            // `leaf_ptr` from the only path that reached them; exactly one helper wins
+            // the CAS, so each node is retired once, and `defer_destroy` waits out every
+            // current guard before freeing.
             unsafe {
                 guard.defer_destroy(parent_ptr);
                 guard.defer_destroy(leaf_ptr);
             }
         }
         // Unflag: DFLAG(info) -> CLEAN(info).
+        // ORDERING: AcqRel orders the unflag after the unlink, so an Acquire load
+        // of the CLEAN tag implies the physical deletion is complete.
         let _ = grandparent_node.update().compare_exchange(
             info.with_tag(state::DFLAG),
             info.with_tag(state::CLEAN),
@@ -559,6 +662,10 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
     /// the `update` word of its primary node.
     fn retire_info(&self, info: Shared<'_, Info<K, V>>, guard: &Guard) {
         if !info.is_null() {
+            // SAFETY: `info` was just replaced in the `update` word of its primary node —
+            // the only place a completed record stays reachable — and the replacing CAS
+            // has a single winner, so the record is retired exactly once; readers that
+            // still hold it are protected by their guards until the epoch advances.
             unsafe {
                 guard.defer_destroy(info);
             }
@@ -577,6 +684,8 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
             return out;
         }
         let guard = pin();
+        // ORDERING: Acquire pairs with the AcqRel child CASes, so every node the
+        // traversal reaches is fully initialised.
         let root = self.root.load(Ordering::Acquire, &guard);
         collect_in_range(root, &min, &max, &mut out, &guard);
         out.sort_by_key(|a| a.0);
@@ -596,6 +705,7 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
     pub fn entries_quiescent(&self) -> Vec<(K, V)> {
         let guard = pin();
         let mut out = Vec::new();
+        // ORDERING: Acquire pairs with the AcqRel child CASes; quiescent use only.
         let root = self.root.load(Ordering::Acquire, &guard);
         collect_all(root, &mut out, &guard);
         out.sort_by_key(|a| a.0);
@@ -606,6 +716,7 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
     /// pending flags. **Quiescent only**; panics on violation.
     pub fn check_invariants(&self) {
         let guard = pin();
+        // ORDERING: Acquire pairs with the AcqRel child CASes; quiescent use only.
         let root = self.root.load(Ordering::Acquire, &guard);
         let keys = check_node(root, None, None, &guard);
         assert_eq!(
@@ -618,6 +729,9 @@ impl<K: Key, V: Value> LockFreeBst<K, V> {
 
 impl<K: Key, V: Value> Drop for LockFreeBst<K, V> {
     fn drop(&mut self) {
+        // SAFETY: `drop` takes `&mut self`, so no other thread can hold a reference
+        // into the tree; skipping epoch protection and freeing the whole subtree
+        // immediately is therefore sound (records are freed by the node destructor).
         let root = self
             .root
             .load(Ordering::Relaxed, unsafe { crossbeam_epoch::unprotected() });
@@ -637,6 +751,7 @@ fn collect_in_range<K: Key, V: Value>(
     if node.is_null() {
         return;
     }
+    // SAFETY: `node` was reached from the epoch-protected root under `guard`.
     match unsafe { node.deref() } {
         Node::Leaf {
             key: RoutingKey::Finite(k),
@@ -663,9 +778,11 @@ fn collect_in_range<K: Key, V: Value>(
                 _ => true,
             };
             if descend_left {
+                // ORDERING: Acquire pairs with the AcqRel child CASes publishing this child.
                 collect_in_range(left.load(Ordering::Acquire, guard), min, max, out, guard);
             }
             if descend_right {
+                // ORDERING: Acquire pairs with the AcqRel child CASes publishing this child.
                 collect_in_range(right.load(Ordering::Acquire, guard), min, max, out, guard);
             }
         }
@@ -681,6 +798,7 @@ fn collect_all<K: Key, V: Value>(
     if node.is_null() {
         return;
     }
+    // SAFETY: `node` was reached from the epoch-protected root under `guard`.
     match unsafe { node.deref() } {
         Node::Leaf {
             key: RoutingKey::Finite(k),
@@ -691,7 +809,9 @@ fn collect_all<K: Key, V: Value>(
         )),
         Node::Leaf { .. } => {}
         Node::Internal { left, right, .. } => {
+            // ORDERING: Acquire pairs with the AcqRel child CASes publishing this child.
             collect_all(left.load(Ordering::Acquire, guard), out, guard);
+            // ORDERING: Acquire pairs with the AcqRel child CASes publishing this child.
             collect_all(right.load(Ordering::Acquire, guard), out, guard);
         }
     }
@@ -707,6 +827,7 @@ fn check_node<K: Key, V: Value>(
     if node.is_null() {
         return 0;
     }
+    // SAFETY: `node` was reached from the epoch-protected root under `guard`.
     match unsafe { node.deref() } {
         Node::Leaf { key, .. } => {
             if let Some(lo) = lo {
@@ -723,13 +844,16 @@ fn check_node<K: Key, V: Value>(
             left,
             right,
         } => {
+            // ORDERING: Acquire pairs with the flag CASes; quiescent check only.
             let pending = update.load(Ordering::Acquire, guard);
             assert_eq!(
                 pending.tag(),
                 state::CLEAN,
                 "pending flag left behind in a quiescent tree"
             );
+            // ORDERING: Acquire pairs with the AcqRel child CASes publishing the children.
             let nl = check_node(left.load(Ordering::Acquire, guard), lo, Some(key), guard);
+            // ORDERING: Acquire pairs with the AcqRel child CASes publishing the children.
             let nr = check_node(right.load(Ordering::Acquire, guard), Some(key), hi, guard);
             nl + nr
         }

@@ -189,6 +189,8 @@ impl TraceRing {
     pub fn emit(&self, kind: TraceKind, arg: u16) {
         let micros = u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
         let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        // ORDERING: Release publishes the packed event to the Acquire slot loads
+        // in `drain`.
         self.slots[(seq & self.mask) as usize].store(pack(micros, kind, arg), Ordering::Release);
     }
 
@@ -199,6 +201,8 @@ impl TraceRing {
 
     /// Total events ever emitted (including overwritten ones).
     pub fn total(&self) -> u64 {
+        // ORDERING: Acquire pairs with the Release slot stores in `emit` — events
+        // below the returned head are visible to a subsequent drain.
         self.head.load(Ordering::Acquire)
     }
 
@@ -210,10 +214,14 @@ impl TraceRing {
     /// The surviving timeline, oldest event first. Exact once emitters are
     /// quiescent; see the module docs for the racing-drain caveat.
     pub fn drain(&self) -> Vec<TraceEvent> {
+        // ORDERING: Acquire pairs with the Release slot stores in `emit`; slots
+        // below `head` are published.
         let head = self.head.load(Ordering::Acquire);
         let start = head.saturating_sub(self.mask + 1);
         let mut out = Vec::with_capacity((head - start) as usize);
         for seq in start..head {
+            // ORDERING: Acquire pairs with the Release store in `emit`, so the packed
+            // word is fully published.
             let word = self.slots[(seq & self.mask) as usize].load(Ordering::Acquire);
             if let Some((micros, kind, arg)) = unpack(word) {
                 out.push(TraceEvent {

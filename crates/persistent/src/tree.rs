@@ -50,7 +50,12 @@ pub struct PersistentRangeTree<K: Key, V: Value = (), A: Augmentation<K, V> = Si
     cas_retries: AtomicU64,
 }
 
+// SAFETY: the shared state is the epoch-managed version pointer plus
+// counters; `K`, `V` and the aggregate are `Send + Sync` by bound, so the
+// tree moves across threads soundly.
 unsafe impl<K: Key, V: Value, A: Augmentation<K, V>> Send for PersistentRangeTree<K, V, A> {}
+// SAFETY: same argument as `Send` — shared access goes through the atomic
+// version pointer and epoch guards only.
 unsafe impl<K: Key, V: Value, A: Augmentation<K, V>> Sync for PersistentRangeTree<K, V, A> {}
 
 impl<K: Key, V: Value, A: Augmentation<K, V>> Default for PersistentRangeTree<K, V, A> {
@@ -84,8 +89,12 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> PersistentRangeTree<K, V, A> {
 
     /// Loads the current version's root under `guard`.
     fn snapshot<'g>(&self, guard: &'g Guard) -> &'g Link<K, V, A> {
+        // ORDERING: Acquire pairs with the AcqRel version CAS in `update_loop`, so
+        // the cell's root is fully visible.
         let cell = self.version.load(Acquire, guard);
         // The version cell is never null.
+        // SAFETY: the cell is retired only via `defer_destroy` after being
+        // replaced, so the deref is valid under `guard`.
         &unsafe { cell.deref() }.root
     }
 
@@ -100,7 +109,12 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> PersistentRangeTree<K, V, A> {
         guard: &Guard,
     ) -> R {
         loop {
+            // ORDERING: Acquire pairs with the AcqRel version CAS below, so the
+            // predecessor cell is fully visible.
+            // SAFETY: the version cell is never null and is retired only via
+            // `defer_destroy`, so the deref is valid under `guard`.
             let current = self.version.load(Acquire, guard);
+            // SAFETY: as above.
             let current_cell = unsafe { current.deref() };
             let current_root = &current_cell.root;
             let (new_root, result) = update(current_root);
@@ -111,11 +125,17 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> PersistentRangeTree<K, V, A> {
                         root,
                         seq: current_cell.seq + 1,
                     });
+                    // ORDERING: success AcqRel — Release publishes the new version cell to the
+                    // Acquire snapshot loads, Acquire orders the install after reading the
+                    // predecessor; failure Acquire re-reads the cell a faster updater
+                    // installed.
                     match self
                         .version
                         .compare_exchange(current, new_cell, AcqRel, Acquire, guard)
                     {
                         Ok(_) => {
+                            // SAFETY: our CAS unlinked `current` (single winner per predecessor), so
+                            // it is retired exactly once; readers hold epoch guards.
                             unsafe { guard.defer_destroy(current) };
                             self.committed_updates.fetch_add(1, Relaxed);
                             return result;
@@ -234,7 +254,11 @@ impl<K: Key, V: Value, A: Augmentation<K, V>> PersistentRangeTree<K, V, A> {
     /// `version_seq()` observations ran against the same immutable version.
     pub fn version_seq(&self) -> u64 {
         let guard = crossbeam_epoch::pin();
+        // ORDERING: Acquire pairs with the AcqRel version CAS in `update_loop`.
+        // SAFETY: the version cell is never null and is retired only via
+        // `defer_destroy`.
         let cell = self.version.load(Acquire, &guard);
+        // SAFETY: as above.
         unsafe { cell.deref() }.seq
     }
 
@@ -264,6 +288,8 @@ impl<K: Key, V: Value> PersistentRangeTree<K, V, Size> {
 
 impl<K: Key, V: Value, A: Augmentation<K, V>> Drop for PersistentRangeTree<K, V, A> {
     fn drop(&mut self) {
+        // SAFETY: `drop` takes `&mut self`, so this thread has exclusive access;
+        // the final version cell is freed exactly once here.
         unsafe {
             let cell = self.version.load(Relaxed, crossbeam_epoch::unprotected());
             if !cell.is_null() {

@@ -35,7 +35,11 @@ pub struct FirstWriteMap<K, V> {
     mask: usize,
 }
 
+// SAFETY: the map owns its chain nodes and mutates the bucket heads only
+// through atomics; `K: Send`/`V: Send` let the payload move with the map.
 unsafe impl<K: Send, V: Send> Send for FirstWriteMap<K, V> {}
+// SAFETY: shared access only follows Release-published bucket chains and
+// reads `K`/`V` through `&`, which `Sync` on both makes thread-safe.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for FirstWriteMap<K, V> {}
 
 impl<K: Eq + Hash, V> Default for FirstWriteMap<K, V> {
@@ -85,21 +89,33 @@ impl<K: Eq + Hash, V> FirstWriteMap<K, V> {
             next: ptr::null_mut(),
         }));
         loop {
+            // ORDERING: Acquire pairs with the Release bucket CAS below, so every node
+            // in the observed chain is fully initialised.
             let head = bucket.load(Ordering::Acquire);
             // Scan the current chain: if the key is already present, some
             // earlier writer won; drop our node and report failure.
             let mut cur = head;
             while !cur.is_null() {
+                // SAFETY: `cur` came from a bucket head (or `next` link) published by the
+                // Release CAS below; nodes are never unlinked before `Drop`.
                 let cur_ref = unsafe { &*cur };
+                // SAFETY: `node` is still unpublished — this thread has exclusive access.
                 if &cur_ref.key == unsafe { &(*node).key } {
                     // Reclaim the speculative node (never published).
+                    // SAFETY: `node` was never published, so this thread still owns it and the
+                    // `Box::into_raw` above is reversed exactly once.
                     drop(unsafe { Box::from_raw(node) });
                     return false;
                 }
                 cur = cur_ref.next;
             }
+            // SAFETY: `node` is unpublished until the CAS below succeeds; exclusive
+            // access to its `next` field.
             unsafe { (*node).next = head };
             if bucket
+                // ORDERING: success Release publishes the initialised node (key, value,
+                // next) to the Acquire bucket loads; failure Acquire re-reads the chain a
+                // concurrent winner published so the rescan sees its key.
                 .compare_exchange(head, node, Ordering::Release, Ordering::Acquire)
                 .is_ok()
             {
@@ -115,8 +131,11 @@ impl<K: Eq + Hash, V> FirstWriteMap<K, V> {
     where
         V: Clone,
     {
+        // ORDERING: Acquire pairs with the Release bucket CAS in `try_insert`.
         let mut cur = self.bucket(key).load(Ordering::Acquire);
         while !cur.is_null() {
+            // SAFETY: `cur` was published by the Release CAS in `try_insert` and nodes
+            // are never unlinked before `Drop`.
             let cur_ref = unsafe { &*cur };
             if &cur_ref.key == key {
                 return Some(cur_ref.value.clone());
@@ -128,8 +147,11 @@ impl<K: Eq + Hash, V> FirstWriteMap<K, V> {
 
     /// `true` if a value has been recorded for `key`.
     pub fn contains_key(&self, key: &K) -> bool {
+        // ORDERING: Acquire pairs with the Release bucket CAS in `try_insert`.
         let mut cur = self.bucket(key).load(Ordering::Acquire);
         while !cur.is_null() {
+            // SAFETY: `cur` was published by the Release CAS in `try_insert` and nodes
+            // are never unlinked before `Drop`.
             let cur_ref = unsafe { &*cur };
             if &cur_ref.key == key {
                 return true;
@@ -148,9 +170,12 @@ impl<K: Eq + Hash, V> FirstWriteMap<K, V> {
     pub fn len(&self) -> usize {
         let mut n = 0;
         for bucket in self.buckets.iter() {
+            // ORDERING: Acquire pairs with the Release bucket CAS in `try_insert`.
             let mut cur = bucket.load(Ordering::Acquire);
             while !cur.is_null() {
                 n += 1;
+                // SAFETY: `cur` was published by the Release CAS in `try_insert` and stays
+                // linked until `Drop`.
                 cur = unsafe { (*cur).next };
             }
         }
@@ -161,6 +186,7 @@ impl<K: Eq + Hash, V> FirstWriteMap<K, V> {
     pub fn is_empty(&self) -> bool {
         self.buckets
             .iter()
+            // ORDERING: Acquire pairs with the Release bucket CAS in `try_insert`.
             .all(|bucket| bucket.load(Ordering::Acquire).is_null())
     }
 
@@ -172,8 +198,11 @@ impl<K: Eq + Hash, V> FirstWriteMap<K, V> {
     pub fn fold<B, F: FnMut(B, &K, &V) -> B>(&self, init: B, mut f: F) -> B {
         let mut acc = init;
         for bucket in self.buckets.iter() {
+            // ORDERING: Acquire pairs with the Release bucket CAS in `try_insert`.
             let mut cur = bucket.load(Ordering::Acquire);
             while !cur.is_null() {
+                // SAFETY: `cur` was published by the Release CAS in `try_insert` and stays
+                // linked until `Drop`.
                 let cur_ref = unsafe { &*cur };
                 acc = f(acc, &cur_ref.key, &cur_ref.value);
                 cur = cur_ref.next;
@@ -200,6 +229,9 @@ impl<K, V> Drop for FirstWriteMap<K, V> {
         for bucket in self.buckets.iter_mut() {
             let mut cur = *bucket.get_mut();
             while !cur.is_null() {
+                // SAFETY: `drop` takes `&mut self`, so no other thread can reach the
+                // chains; every node was allocated via `Box::into_raw` in `try_insert` and
+                // is reclaimed exactly once by this walk.
                 let node = unsafe { Box::from_raw(cur) };
                 cur = node.next;
             }

@@ -38,7 +38,11 @@ pub struct TraverseQueue<T> {
     first: *mut TNode<T>,
 }
 
+// SAFETY: the queue owns its heap nodes and mutates the links only through
+// atomics; `T: Send` lets the items move with the queue across threads.
 unsafe impl<T: Send> Send for TraverseQueue<T> {}
+// SAFETY: shared access is limited to atomic loads/CASes of the links plus
+// cloning items, which `T: Sync` makes sound from any thread.
 unsafe impl<T: Send + Sync> Sync for TraverseQueue<T> {}
 
 impl<T> Default for TraverseQueue<T> {
@@ -68,24 +72,36 @@ impl<T> TraverseQueue<T> {
             next: AtomicPtr::new(ptr::null_mut()),
         }));
         loop {
+            // ORDERING: Acquire pairs with the Release tail CASes below, so the node
+            // `tail` points at is fully initialised before we dereference it.
             let tail = self.tail.load(Ordering::Acquire);
-            // Safety: nodes are only freed in `Drop`, which requires
+            // SAFETY: nodes are only freed in `Drop`, which requires
             // exclusive access, so `tail` is always valid here.
+            // ORDERING: Acquire pairs with the Release link CAS below — a non-null
+            // `next` is always a fully initialised node.
             let next = unsafe { (*tail).next.load(Ordering::Acquire) };
             if !next.is_null() {
                 // Help the lagging tail.
-                let _ =
-                    self.tail
-                        .compare_exchange(tail, next, Ordering::Release, Ordering::Relaxed);
+                let _ = self
+                    .tail
+                    // ORDERING: Release keeps the helped tail publication consistent for other
+                    // producers' Acquire tail loads; failure only retries, so Relaxed suffices.
+                    .compare_exchange(tail, next, Ordering::Release, Ordering::Relaxed);
                 continue;
             }
+            // SAFETY: `tail` remains valid — nodes are only freed in `Drop`, which
+            // requires exclusive access.
+            // ORDERING: success Release publishes the initialised node to the Acquire
+            // `next`/tail loads above; failure only retries, so Relaxed suffices.
             if unsafe { &(*tail).next }
-                .compare_exchange(ptr::null_mut(), node, Ordering::Release, Ordering::Relaxed)
+                .compare_exchange(ptr::null_mut(), node, Ordering::Release, Ordering::Relaxed) // ORDERING: as above.
                 .is_ok()
             {
-                let _ =
-                    self.tail
-                        .compare_exchange(tail, node, Ordering::Release, Ordering::Relaxed);
+                let _ = self
+                    .tail
+                    // ORDERING: Release publishes the new tail node to producers' Acquire tail
+                    // loads; losing this race is fine, a peer already helped.
+                    .compare_exchange(tail, node, Ordering::Release, Ordering::Relaxed);
                 return;
             }
         }
@@ -97,11 +113,18 @@ impl<T> TraverseQueue<T> {
     where
         T: Clone,
     {
+        // ORDERING: Acquire pairs with the Release head store in `pop`, so the
+        // cursor node and everything behind it is visible.
         let head = self.head.load(Ordering::Acquire);
+        // SAFETY: the head cursor is always a valid node (freed only in `Drop`).
+        // ORDERING: Acquire pairs with the Release link CAS in `push` — a non-null
+        // `next` is a fully initialised node.
         let next = unsafe { (*head).next.load(Ordering::Acquire) };
         if next.is_null() {
             return None;
         }
+        // SAFETY: `next` is non-null, was published by the Release link CAS in
+        // `push`, and stays allocated until `Drop`.
         unsafe { (*next).item.clone() }
     }
 
@@ -110,28 +133,42 @@ impl<T> TraverseQueue<T> {
     where
         T: Clone,
     {
+        // ORDERING: Acquire pairs with the Release head store below (the single
+        // consumer re-reading its own cursor) and the constructor's publication.
         let head = self.head.load(Ordering::Acquire);
+        // SAFETY: the head cursor is always a valid node (freed only in `Drop`).
+        // ORDERING: Acquire pairs with the Release link CAS in `push`.
         let next = unsafe { (*head).next.load(Ordering::Acquire) };
         if next.is_null() {
             return None;
         }
         // Single consumer: a plain store is sufficient, nobody else advances
         // the head. The consumed node stays linked (it is freed in Drop).
+        // ORDERING: Release orders the item read above before the cursor advance,
+        // pairing with the Acquire head loads in `peek`/`is_empty`/`len`.
         self.head.store(next, Ordering::Release);
+        // SAFETY: `next` was published by the Release link CAS in `push` and stays
+        // linked until `Drop`.
         unsafe { (*next).item.clone() }
     }
 
     /// `true` if no unconsumed item remains.
     pub fn is_empty(&self) -> bool {
+        // ORDERING: Acquire pairs with the Release head store in `pop`.
         let head = self.head.load(Ordering::Acquire);
+        // SAFETY: the head cursor is always a valid node (freed only in `Drop`).
+        // ORDERING: Acquire pairs with the Release link CAS in `push`.
         unsafe { (*head).next.load(Ordering::Acquire).is_null() }
     }
 
     /// Number of unconsumed items (linear walk; debugging/tests only).
     pub fn len(&self) -> usize {
         let mut n = 0;
+        // ORDERING: Acquire pairs with the Release head store in `pop`.
         let mut cur = self.head.load(Ordering::Acquire);
         loop {
+            // SAFETY: every node in the chain stays allocated until `Drop`.
+            // ORDERING: Acquire pairs with the Release link CAS in `push`.
             let next = unsafe { (*cur).next.load(Ordering::Acquire) };
             if next.is_null() {
                 return n;
@@ -148,6 +185,8 @@ impl<T> Drop for TraverseQueue<T> {
         // first dummy, including consumed nodes.
         let mut cur = self.first;
         while !cur.is_null() {
+            // SAFETY: `drop` takes `&mut self`, so this thread has exclusive access;
+            // each node was allocated via `Box::into_raw` and is freed exactly once.
             let node = unsafe { Box::from_raw(cur) };
             cur = node.next.load(Ordering::Relaxed);
         }

@@ -124,7 +124,12 @@ pub struct PresenceIndex<K, V> {
     entries: AtomicUsize,
 }
 
+// SAFETY: the index owns its entries and state records; all shared access
+// goes through atomics, and the `K: Send + Sync`, `V: Send + Sync` bounds
+// keep the payload thread-safe, so the raw-pointer fields do not impede Send.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for PresenceIndex<K, V> {}
+// SAFETY: same argument as `Send` — shared readers only follow atomically
+// published pointers to immutable entries/records.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for PresenceIndex<K, V> {}
 
 impl<K, V> PresenceIndex<K, V>
@@ -162,6 +167,8 @@ where
     fn entry(&self, key: &K) -> &KeyEntry<K, V> {
         let bucket = self.bucket_of(key);
         // Fast path: the key is usually already in the chain.
+        // ORDERING: Acquire pairs with the Release bucket-head CAS in the insert
+        // loop below, so a found entry's fields (key, initial state) are visible.
         if let Some(found) = Self::find(bucket.load(Ordering::Acquire), key) {
             return found;
         }
@@ -175,10 +182,12 @@ where
             next: AtomicPtr::new(ptr::null_mut()),
         }));
         loop {
+            // ORDERING: Acquire pairs with the Release bucket-head CAS so the chain we
+            // re-walk includes every published entry.
             let head = bucket.load(Ordering::Acquire);
             if let Some(found) = Self::find(head, key) {
                 // Someone else inserted it; discard our speculative entry.
-                // Safety: `fresh` was never published.
+                // SAFETY: `fresh` was never published.
                 unsafe {
                     let boxed = Box::from_raw(fresh);
                     // The unpublished entry owns its initial state record.
@@ -192,12 +201,20 @@ where
                 }
                 return found;
             }
+            // SAFETY: `fresh` is still unpublished — this thread has exclusive access
+            // until the CAS below succeeds.
             unsafe { (*fresh).next.store(head, Ordering::Relaxed) };
             if bucket
+                // ORDERING: Release publishes the fully initialised entry (key, state
+                // record, next link) to the Acquire bucket loads above; failure re-reads the
+                // head with Acquire to re-walk the updated chain.
                 .compare_exchange(head, fresh, Ordering::Release, Ordering::Acquire)
                 .is_ok()
             {
                 self.entries.fetch_add(1, Ordering::Relaxed);
+                // SAFETY: the CAS published `fresh` into the bucket chain; entries are never
+                // unlinked before `Drop` takes `&mut self`, so the reference is valid for
+                // the index's (and hence the caller's borrow) lifetime.
                 return unsafe { &*fresh };
             }
         }
@@ -205,10 +222,15 @@ where
 
     fn find<'a>(mut cur: *mut KeyEntry<K, V>, key: &K) -> Option<&'a KeyEntry<K, V>> {
         while !cur.is_null() {
+            // SAFETY: `cur` came from a bucket head or `next` link published by the
+            // Release CAS in `entry`; entries are never unlinked before `Drop`.
             let entry = unsafe { &*cur };
             if &entry.key == key {
                 return Some(entry);
             }
+            // ORDERING: Acquire pairs with the Relaxed store + Release CAS publication
+            // ordering in `entry` — the `next` field is written before the entry is
+            // published, so a non-null next pointer is always a fully initialised entry.
             cur = entry.next.load(Ordering::Acquire);
         }
         None
@@ -224,8 +246,14 @@ where
             value: Some(value),
             ts: Timestamp::ZERO,
         });
+        // ORDERING: AcqRel — Release publishes the new state record, Acquire orders
+        // the swap after construction-time readers (prefill races no concurrent
+        // resolve by contract, but a torn record must still never be observable).
         let old = entry.state.swap(new, Ordering::AcqRel, guard);
         if !old.is_null() {
+            // SAFETY: `old` was the published state record; after the swap no new
+            // reader can reach it, and current readers hold guards, so `defer_destroy`
+            // is the unique retirement (swap returns the old pointer exactly once).
             unsafe { guard.defer_destroy(old) };
         }
     }
@@ -251,8 +279,13 @@ where
     ) -> (Decision<V>, bool) {
         let entry = self.entry(key);
         loop {
+            // ORDERING: Acquire pairs with the Release half of the state CAS below, so
+            // the record's fields are visible before we read them.
             let state = entry.state.load(Ordering::Acquire, guard);
             // The entry always carries a state record.
+            // SAFETY: a `KeyEntry` always carries a non-null state record (installed at
+            // construction, only ever swapped for another record) and records are
+            // retired via `defer_destroy`, so the deref is valid under `guard`.
             let state_ref = unsafe { state.deref() };
             if state_ref.ts >= ts {
                 // Already applied (possibly by a faster helper of this very
@@ -306,6 +339,10 @@ where
                     ts,
                 },
             };
+            // ORDERING: AcqRel — Release publishes the new record's fields to the
+            // Acquire load at the top of the loop (and to every reader), Acquire orders
+            // the advance after the decision publication in `decision_cell`; failure
+            // Acquire re-reads the state another helper installed.
             match entry.state.compare_exchange(
                 state,
                 Owned::new(new_state),
@@ -314,6 +351,9 @@ where
                 guard,
             ) {
                 Ok(_) => {
+                    // SAFETY: our CAS unlinked `state` from the entry; exactly one helper wins
+                    // the CAS for a given predecessor record, so it is retired exactly once,
+                    // and concurrent readers are protected by their guards.
                     unsafe { guard.defer_destroy(state) };
                     return (decision, true);
                 }
@@ -330,6 +370,7 @@ where
     /// false` with timestamp zero). Primarily for tests and diagnostics.
     pub fn snapshot(&self, key: &K, guard: &Guard) -> PresenceSnapshot<V> {
         let bucket = self.bucket_of(key);
+        // ORDERING: Acquire pairs with the Release bucket-head CAS in `entry`.
         match Self::find(bucket.load(Ordering::Acquire), key) {
             None => PresenceSnapshot {
                 present: false,
@@ -337,7 +378,10 @@ where
                 last_ts: Timestamp::ZERO,
             },
             Some(entry) => {
+                // ORDERING: Acquire pairs with the Release state CAS in `resolve`.
                 let state = entry.state.load(Ordering::Acquire, guard);
+                // SAFETY: state records are non-null by construction and epoch-protected
+                // under `guard`; see `resolve`.
                 let state_ref = unsafe { state.deref() };
                 PresenceSnapshot {
                     present: state_ref.present,
@@ -364,8 +408,10 @@ where
     /// update on `key`. This is the tree's `O(1)` read fast path.
     pub fn read_value(&self, key: &K, guard: &Guard) -> Option<V> {
         let bucket = self.bucket_of(key);
-        let entry = Self::find(bucket.load(Ordering::Acquire), key)?;
-        let state = entry.state.load(Ordering::Acquire, guard);
+        let entry = Self::find(bucket.load(Ordering::Acquire), key)?; // ORDERING: pairs with the Release bucket-head CAS in `entry`.
+        let state = entry.state.load(Ordering::Acquire, guard); // ORDERING: pairs with the Release state CAS in `resolve` — this load is the read's linearization point.
+                                                                // SAFETY: state records are non-null by construction and epoch-protected
+                                                                // under `guard`; see `resolve`.
         let state_ref = unsafe { state.deref() };
         if state_ref.present {
             state_ref.value.clone()
@@ -379,10 +425,13 @@ where
     /// field load. Backs the tree's allocation-free `contains`.
     pub fn contains_key(&self, key: &K, guard: &Guard) -> bool {
         let bucket = self.bucket_of(key);
+        // ORDERING: pairs with the Release bucket-head CAS in `entry`.
         match Self::find(bucket.load(Ordering::Acquire), key) {
             None => false,
             Some(entry) => {
-                let state = entry.state.load(Ordering::Acquire, guard);
+                let state = entry.state.load(Ordering::Acquire, guard); // ORDERING: pairs with the Release state CAS in `resolve` — the read's linearization point.
+                                                                        // SAFETY: state records are non-null by construction and epoch-protected
+                                                                        // under `guard`; see `resolve`.
                 unsafe { state.deref() }.present
             }
         }
@@ -416,7 +465,12 @@ impl<K, V> Drop for PresenceIndex<K, V> {
         for bucket in self.buckets.iter() {
             let mut cur = bucket.load(Ordering::Relaxed);
             while !cur.is_null() {
+                // SAFETY: `Drop` takes `&mut self`, so no other thread can reach the chain;
+                // each entry was allocated with `Box::into_raw` in `entry` and is reclaimed
+                // exactly once by this walk.
                 let entry = unsafe { Box::from_raw(cur) };
+                // SAFETY: exclusive access (see above); the entry's state record is always
+                // non-null and owned solely by the entry at this point.
                 unsafe {
                     let state = entry
                         .state

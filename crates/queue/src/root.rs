@@ -49,7 +49,11 @@ pub struct WaitFreeRootQueue<T> {
     queue: TsQueue<T>,
 }
 
+// SAFETY: the queue owns its announce records and the inner `TsQueue`; all
+// shared mutation is atomic and `T: Send + Sync` covers the payload.
 unsafe impl<T: Send + Sync> Send for WaitFreeRootQueue<T> {}
+// SAFETY: same argument as `Send` — shared access only follows
+// atomically-published records and clones `T` through `&` (`T: Sync`).
 unsafe impl<T: Send + Sync> Sync for WaitFreeRootQueue<T> {}
 
 /// A registered enqueuer slot. Obtained from
@@ -94,6 +98,9 @@ impl<T: Clone + Send + Sync> WaitFreeRootQueue<T> {
     /// to a larger queue or treat it as a configuration error.
     pub fn register(&self) -> Option<RootSlot> {
         for (i, taken) in self.slot_taken.iter().enumerate() {
+            // ORDERING: AcqRel — Release so the slot owner's later announce publication
+            // is ordered after the claim, Acquire so we see the previous owner's
+            // release; failure Acquire pairs with the Release store in `unregister`.
             if taken.compare_exchange(false, true, AcqRel, Acquire).is_ok() {
                 return Some(RootSlot { index: i });
             }
@@ -103,6 +110,9 @@ impl<T: Clone + Send + Sync> WaitFreeRootQueue<T> {
 
     /// Releases a slot claimed by [`WaitFreeRootQueue::register`].
     pub fn unregister(&self, slot: RootSlot) {
+        // ORDERING: Release orders everything the slot owner did (its final
+        // announce swap, retirements) before the slot becomes claimable by the
+        // Acquire CAS in `register`.
         self.slot_taken[slot.index].store(false, Release);
     }
 
@@ -116,32 +126,60 @@ impl<T: Clone + Send + Sync> WaitFreeRootQueue<T> {
             ts: AtomicU64::new(0),
         })
         .into_shared(guard);
+        // ORDERING: AcqRel — Release publishes the fully initialised record (item,
+        // zero ts) to the Acquire scan loads below, Acquire orders our publication
+        // after the previous record's completed enqueue.
         let previous = self.slots[slot.index].swap(record, AcqRel, guard);
         if !previous.is_null() {
             // The previous announce of this slot was already appended to the
             // queue (its enqueue completed); retire it.
+            // SAFETY: a slot's previous record is only replaced by its owner, and only
+            // after the previous enqueue completed, so nobody can announce-load it
+            // anymore; current readers hold epoch guards, and the swap returns the
+            // pointer exactly once, so it is retired exactly once.
             unsafe { guard.defer_destroy(previous) };
         }
+        // SAFETY: `record` was just allocated and swapped in under `guard`; it is
+        // only retired by a later swap in this same slot, never while we run.
         let record_ref = unsafe { record.deref() };
 
         // 2. Fetch a fresh version and try to claim it for our record.
+        // ORDERING: AcqRel makes every version allocation globally ordered after
+        // the announce swap above — the invariant (publish before fetch) that
+        // guarantees the helping scan cannot miss a smaller timestamp.
         let version = self.version.fetch_add(1, AcqRel) + 1;
+        // ORDERING: AcqRel — Release publishes the claimed timestamp to helper
+        // Acquire loads, Acquire (success and failure) orders our subsequent load
+        // after whichever CAS won.
         let _ = record_ref.ts.compare_exchange(0, version, AcqRel, Acquire);
+        // ORDERING: Acquire pairs with the AcqRel timestamp CAS (ours or a
+        // helper's) that assigned this record its version.
         let my_ts = Timestamp(record_ref.ts.load(Acquire));
 
         // 3. Help: make sure every announced record has a timestamp, collect
         //    everything with a timestamp not larger than ours.
         let mut pending: Vec<(Timestamp, T)> = Vec::with_capacity(self.slots.len());
         for s in self.slots.iter() {
+            // ORDERING: Acquire pairs with the AcqRel announce swap in step 1, so an
+            // observed record is fully initialised.
             let announced = s.load(Acquire, guard);
             if announced.is_null() {
                 continue;
             }
+            // SAFETY: `announced` was published by the AcqRel swap and is only retired
+            // via `defer_destroy` after being swapped out; `guard` protects it.
             let a = unsafe { announced.deref() };
+            // ORDERING: Acquire pairs with the AcqRel timestamp CAS that may have
+            // assigned this record a version.
             let mut ts = a.ts.load(Acquire);
             if ts == 0 {
+                // ORDERING: AcqRel keeps the helper's version allocation in the same total
+                // ordering chain as step 2 (fetch after publish).
                 let fresh = self.version.fetch_add(1, AcqRel) + 1;
+                // ORDERING: AcqRel — Release publishes the helped timestamp, Acquire
+                // orders the re-read below after the winning CAS.
                 let _ = a.ts.compare_exchange(0, fresh, AcqRel, Acquire);
+                // ORDERING: Acquire pairs with the AcqRel timestamp CAS above.
                 ts = a.ts.load(Acquire);
             }
             if ts <= my_ts.get() {
@@ -188,6 +226,8 @@ impl<T: Clone + Send + Sync> WaitFreeRootQueue<T> {
 impl<T> Drop for WaitFreeRootQueue<T> {
     fn drop(&mut self) {
         // Exclusive access: free any announce records still published.
+        // SAFETY: `drop` takes `&mut self`, so no enqueuer can touch the slots;
+        // reclaiming the still-published records in place is sound.
         unsafe {
             let guard = crossbeam_epoch::unprotected();
             for slot in self.slots.iter() {
@@ -320,6 +360,7 @@ mod tests {
         // record's timestamp ends up larger than the helper's own).
         let helper_ts = q.enqueue(&helper_slot, 1, &guard);
         let stalled = q.slots[stalled_slot.index()].load(Acquire, &guard);
+        // SAFETY: the record was stored above and never retired in this test.
         let stalled_ts = unsafe { stalled.deref() }.ts.load(Acquire);
         assert_ne!(stalled_ts, 0, "helper must have assigned a timestamp");
         assert!(Timestamp(stalled_ts) > helper_ts);

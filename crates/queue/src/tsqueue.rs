@@ -46,7 +46,12 @@ pub struct TsQueue<T> {
     tail: Atomic<QNode<T>>,
 }
 
+// SAFETY: the queue owns its nodes, all shared mutation goes through
+// epoch-protected atomics, and `T: Send + Sync` keeps the carried handles
+// thread-safe when the queue moves across threads.
 unsafe impl<T: Send + Sync> Send for TsQueue<T> {}
+// SAFETY: same argument as `Send` — concurrent access only follows
+// Release-published links and clones `T` through `&` (`T: Sync`).
 unsafe impl<T: Send + Sync> Sync for TsQueue<T> {}
 
 impl<T> TsQueue<T> {
@@ -64,6 +69,8 @@ impl<T> TsQueue<T> {
             item: None,
             next: Atomic::null(),
         })
+        // SAFETY: the queue is still being constructed, so no other thread can
+        // observe the dummy; `unprotected()` is fine for a single-threaded store.
         .into_shared(unsafe { crossbeam_epoch::unprotected() });
         TsQueue {
             head: Atomic::from(dummy),
@@ -82,24 +89,36 @@ impl<T> TsQueue<T> {
             next: Atomic::null(),
         });
         loop {
+            // ORDERING: Acquire pairs with the Release tail CASes below, so the node
+            // `tail` points at is fully initialised.
             let tail = self.tail.load(Acquire, guard);
             // Tail is never null: the queue always contains at least the dummy.
+            // SAFETY: `tail` was loaded from an epoch-protected slot under `guard`;
+            // nodes are retired only via `defer_destroy` in `pop_if`.
             let tail_ref = unsafe { tail.deref() };
+            // ORDERING: Acquire pairs with the Release link CAS below — a non-null
+            // `next` is a fully initialised node.
             let next = tail_ref.next.load(Acquire, guard);
             if !next.is_null() {
                 // Tail is lagging; help swing it forward and retry.
                 let _ = self
                     .tail
+                    // ORDERING: Release keeps the helped-forward tail publication consistent
+                    // with the enqueuer's own swing; failure only retries (Relaxed).
                     .compare_exchange(tail, next, Release, Relaxed, guard);
                 continue;
             }
             let ts = tail_ref.ts.next();
             new.ts = ts;
+            // ORDERING: success Release publishes the initialised node (ts, item) to
+            // the Acquire `next`/tail loads everywhere; failure only retries (Relaxed).
             match tail_ref
                 .next
                 .compare_exchange(Shared::null(), new, Release, Relaxed, guard)
             {
                 Ok(appended) => {
+                    // ORDERING: Release publishes the new tail; losing this race means a peer
+                    // already helped, so the result is ignored.
                     let _ = self
                         .tail
                         .compare_exchange(tail, appended, Release, Relaxed, guard);
@@ -131,7 +150,11 @@ impl<T> TsQueue<T> {
             next: Atomic::null(),
         });
         loop {
+            // ORDERING: Acquire pairs with the Release tail CASes, so `tail_ref.ts`
+            // below reads a fully initialised node.
             let tail = self.tail.load(Acquire, guard);
+            // SAFETY: `tail` came from an epoch-protected slot under `guard`; nodes
+            // are retired only via `defer_destroy`.
             let tail_ref = unsafe { tail.deref() };
             if tail_ref.ts >= ts {
                 // Already inserted by another helper (or pre-dates this
@@ -139,18 +162,23 @@ impl<T> TsQueue<T> {
                 // handle clone.
                 return false;
             }
+            // ORDERING: Acquire pairs with the Release link CAS below.
             let next = tail_ref.next.load(Acquire, guard);
             if !next.is_null() {
+                // ORDERING: Release keeps the helped tail consistent; failure retries.
                 let _ = self
                     .tail
                     .compare_exchange(tail, next, Release, Relaxed, guard);
                 continue;
             }
+            // ORDERING: success Release publishes the initialised node to every
+            // Acquire load of this link; failure only retries (Relaxed).
             match tail_ref
                 .next
                 .compare_exchange(Shared::null(), new, Release, Relaxed, guard)
             {
                 Ok(appended) => {
+                    // ORDERING: Release publishes the new tail; the race loser is ignored.
                     let _ = self
                         .tail
                         .compare_exchange(tail, appended, Release, Relaxed, guard);
@@ -169,11 +197,18 @@ impl<T> TsQueue<T> {
     where
         T: Clone,
     {
+        // ORDERING: Acquire pairs with the Release head CAS in `pop_if`.
         let head = self.head.load(Acquire, guard);
+        // SAFETY: `head` is epoch-protected under `guard` (retired only via
+        // `defer_destroy`).
+        // ORDERING: Acquire pairs with the Release link CAS in the enqueue paths —
+        // a non-null `next` is a fully initialised node.
         let next = unsafe { head.deref() }.next.load(Acquire, guard);
         if next.is_null() {
             return None;
         }
+        // SAFETY: `next` was published by the Release link CAS and is
+        // epoch-protected under `guard`.
         let node = unsafe { next.deref() };
         let item = node
             .item
@@ -192,27 +227,41 @@ impl<T> TsQueue<T> {
     /// removes from the middle.
     pub fn pop_if(&self, ts: Timestamp, guard: &Guard) -> bool {
         loop {
+            // ORDERING: Acquire pairs with the Release head CAS below, so the cursor
+            // node (and the unlink that published it) is visible.
             let head = self.head.load(Acquire, guard);
+            // SAFETY: `head` is epoch-protected under `guard`; `defer_destroy` waits
+            // out all current guards before freeing.
             let head_ref = unsafe { head.deref() };
+            // ORDERING: Acquire pairs with the Release link CAS in the enqueue paths.
             let next = head_ref.next.load(Acquire, guard);
             if next.is_null() {
                 // Queue drained: the descriptor was already removed.
                 return false;
             }
+            // ORDERING: Acquire pairs with the Release tail CASes, so the head == tail
+            // comparison below sees a tail at least as fresh as `head`.
             let tail = self.tail.load(Acquire, guard);
             if head == tail {
                 // Tail lags behind an in-progress enqueue; help it forward so
                 // we never unlink the node the tail still points to.
+                // ORDERING: Release keeps the helped tail consistent for enqueuers'
+                // Acquire loads; failure retries.
                 let _ = self
                     .tail
                     .compare_exchange(tail, next, Release, Relaxed, guard);
                 continue;
             }
+            // SAFETY: `next` was published by the Release link CAS and is
+            // epoch-protected under `guard`.
             if unsafe { next.deref() }.ts != ts {
                 // Timestamps are strictly increasing, so a different head
                 // timestamp means ours was already popped.
                 return false;
             }
+            // ORDERING: success Release publishes the head advance (making the item
+            // removal visible to `peek`'s Acquire head load) and orders it after the
+            // `ts` check above; failure re-derives everything, so Relaxed suffices.
             match self
                 .head
                 .compare_exchange(head, next, Release, Relaxed, guard)
@@ -220,6 +269,9 @@ impl<T> TsQueue<T> {
                 Ok(_) => {
                     // The old dummy is unreachable for new readers; readers
                     // that still hold it are protected by their epoch guard.
+                    // SAFETY: our CAS unlinked `head` — exactly one popper wins for a given
+                    // predecessor, so the node is retired exactly once, and readers still
+                    // holding it are protected by their epoch guards.
                     unsafe { guard.defer_destroy(head) };
                     return true;
                 }
@@ -238,13 +290,18 @@ impl<T> TsQueue<T> {
     /// enqueued. Monotonically non-decreasing over time.
     pub fn last_timestamp(&self, guard: &Guard) -> Timestamp {
         loop {
+            // ORDERING: Acquire pairs with the Release tail CASes, so `tail_ref.ts`
+            // is read from an initialised node.
             let tail = self.tail.load(Acquire, guard);
+            // SAFETY: `tail` is epoch-protected under `guard`.
             let tail_ref = unsafe { tail.deref() };
+            // ORDERING: Acquire pairs with the Release link CAS in the enqueue paths.
             let next = tail_ref.next.load(Acquire, guard);
             if next.is_null() {
                 return tail_ref.ts;
             }
             // Help the lagging tail so the answer reflects completed enqueues.
+            // ORDERING: Release keeps the helped tail consistent; failure retries.
             let _ = self
                 .tail
                 .compare_exchange(tail, next, Release, Relaxed, guard);
@@ -253,7 +310,10 @@ impl<T> TsQueue<T> {
 
     /// `true` if no descriptor is currently queued.
     pub fn is_empty(&self, guard: &Guard) -> bool {
+        // ORDERING: Acquire pairs with the Release head CAS in `pop_if`.
         let head = self.head.load(Acquire, guard);
+        // SAFETY: `head` is epoch-protected under `guard`.
+        // ORDERING: Acquire pairs with the Release link CAS in the enqueue paths.
         unsafe { head.deref() }.next.load(Acquire, guard).is_null()
     }
 
@@ -262,12 +322,18 @@ impl<T> TsQueue<T> {
     /// walking `next` pointers under the guard).
     pub fn timestamps(&self, guard: &Guard) -> Vec<Timestamp> {
         let mut out = Vec::new();
+        // ORDERING: Acquire pairs with the Release head CAS in `pop_if`.
         let mut cur = self.head.load(Acquire, guard);
         loop {
+            // SAFETY: `cur` is epoch-protected under `guard` (head or a published
+            // link).
+            // ORDERING: Acquire pairs with the Release link CAS in the enqueue paths.
             let next = unsafe { cur.deref() }.next.load(Acquire, guard);
             if next.is_null() {
                 return out;
             }
+            // SAFETY: `next` was published by the Release link CAS and is
+            // epoch-protected under `guard`.
             out.push(unsafe { next.deref() }.ts);
             cur = next;
         }
@@ -278,6 +344,9 @@ impl<T> Drop for TsQueue<T> {
     fn drop(&mut self) {
         // Exclusive access: walk the list and free every node, including the
         // dummy. Items (descriptor handles) are dropped with their nodes.
+        // SAFETY: `drop` takes `&mut self`, so no other thread can touch the
+        // queue; walking with the unprotected guard and freeing every node in
+        // place (via `into_owned`) is therefore sound.
         unsafe {
             let guard = crossbeam_epoch::unprotected();
             let mut cur = self.head.load(Relaxed, guard);

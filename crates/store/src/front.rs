@@ -201,6 +201,9 @@ impl FrontTable {
 
     /// The shard's commit epoch if no commit window is open on it.
     pub(crate) fn epoch_open(&self, shard: usize) -> Option<u64> {
+        // ORDERING: SeqCst epoch read — entry half of the read sandwich, ordered
+        // against the committer's SeqCst epoch bumps.
+        // wft-lint: allow(seqcst) -- the sandwich proof needs epoch reads and commit-window bumps in one total order.
         let epoch = self.epochs[shard].load(Ordering::SeqCst);
         epoch.is_multiple_of(2).then_some(epoch)
     }
@@ -208,17 +211,26 @@ impl FrontTable {
     /// `true` when the shard's epoch still equals `epoch` — the closing
     /// half of the read sandwich.
     pub(crate) fn epoch_is(&self, shard: usize, epoch: u64) -> bool {
+        // ORDERING: SeqCst re-read — unchanged means no commit window touched the
+        // shard during the read; exit half of the sandwich.
+        // wft-lint: allow(seqcst) -- same total-order argument as epoch_open.
         self.epochs[shard].load(Ordering::SeqCst) == epoch
     }
 
     /// Registers an in-flight point mutation on `shard`. Must happen
     /// *before* the epoch check (see the commit-gate invariant above).
     pub(crate) fn writer_enter(&self, shard: usize) {
+        // ORDERING: SeqCst store half of the writer/committer Dekker handshake —
+        // the register must be ordered before the epoch check that follows it.
+        // wft-lint: allow(seqcst) -- store-load ordering against begin_commit's writers drain needs the single total order.
         self.writers[shard].fetch_add(1, Ordering::SeqCst);
     }
 
     /// Deregisters a point mutation (applied or backed off).
     pub(crate) fn writer_exit(&self, shard: usize) {
+        // ORDERING: SeqCst keeps the deregister ordered after the shard mutation
+        // in the same total order the commit gate's drain scan reads.
+        // wft-lint: allow(seqcst) -- symmetric with writer_enter; the drain check relies on the single total order.
         self.writers[shard].fetch_sub(1, Ordering::SeqCst);
     }
 
@@ -227,12 +239,22 @@ impl FrontTable {
     /// the touched shards' in-flight point mutations.
     pub(crate) fn begin_commit(&self, touched: &[usize]) {
         debug_assert!(touched.windows(2).all(|w| w[0] < w[1]));
+        // ORDERING: SeqCst — `started` must be bumped before the epoch
+        // acquisitions so a scalar-stamp reader never sees `finished == started`
+        // mid-commit.
+        // wft-lint: allow(seqcst) -- the commit_stamp sandwich needs the counter bumps and epoch writes in one total order.
         self.commits_started.fetch_add(1, Ordering::SeqCst);
         for &shard in touched {
             let mut spins = 0u32;
             let mut waited = false;
             loop {
+                // ORDERING: SeqCst epoch read feeding the CAS below — part of the same
+                // Dekker handshake.
+                // wft-lint: allow(seqcst) -- the gate acquisition must see epoch bumps in the single total order.
                 let epoch = self.epochs[shard].load(Ordering::SeqCst);
+                // ORDERING: SeqCst CAS closes the commit window; the successful bump is
+                // the store half of the Dekker handshake against `writer_enter`.
+                // wft-lint: allow(seqcst) -- the epoch bump must be ordered before the writers drain scan below.
                 if epoch.is_multiple_of(2)
                     && self.epochs[shard]
                         .compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::SeqCst)
@@ -249,6 +271,9 @@ impl FrontTable {
         }
         for &shard in touched {
             let mut spins = 0u32;
+            // ORDERING: SeqCst load half of the Dekker handshake — pairs with
+            // `writer_enter`/`writer_exit`.
+            // wft-lint: allow(seqcst) -- a writer that missed our epoch bump must be visible to this drain scan.
             while self.writers[shard].load(Ordering::SeqCst) != 0 {
                 gate_backoff(&mut spins);
             }
@@ -258,15 +283,26 @@ impl FrontTable {
     /// Releases a commit window opened by [`begin_commit`](Self::begin_commit).
     pub(crate) fn end_commit(&self, touched: &[usize]) {
         for &shard in touched {
+            // ORDERING: SeqCst reopens the shard in the same total order the read
+            // sandwich uses.
+            // wft-lint: allow(seqcst) -- pairs with the SeqCst epoch reads in epoch_open/epoch_is.
             self.epochs[shard].fetch_add(1, Ordering::SeqCst);
         }
+        // ORDERING: SeqCst — `finished` is bumped after every epoch reopen, so a
+        // stamp reader seeing `started == finished` sees the reopened shards.
+        // wft-lint: allow(seqcst) -- commit_stamp sandwich argument.
         self.commits_finished.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Entry half of the scalar commit sandwich: the commit counter when
     /// no commit is in flight, `None` otherwise.
     pub(crate) fn commit_stamp(&self) -> Option<u64> {
+        // ORDERING: SeqCst — equality of the two counters proves no commit was in
+        // flight at one point of the total order.
+        // wft-lint: allow(seqcst) -- sandwich entry; needs the counter bumps in one total order.
         let started = self.commits_started.load(Ordering::SeqCst);
+        // ORDERING: as above — the second SeqCst read of the sandwich entry.
+        // wft-lint: allow(seqcst) -- same sandwich argument.
         let finished = self.commits_finished.load(Ordering::SeqCst);
         (started == finished).then_some(started)
     }
@@ -274,16 +310,24 @@ impl FrontTable {
     /// Exit half of the scalar sandwich: no commit window opened since
     /// `stamp` was taken.
     pub(crate) fn commit_unchanged(&self, stamp: u64) -> bool {
+        // ORDERING: SeqCst re-read — an unchanged `started` proves no commit
+        // window opened since the stamp; sandwich exit.
+        // wft-lint: allow(seqcst) -- same total-order argument as commit_stamp.
         self.commits_started.load(Ordering::SeqCst) == stamp
     }
 
     /// Publishes a freshly settled watermark for `shard` (monotone).
     pub(crate) fn publish(&self, shard: usize, front: u64) {
+        // ORDERING: SeqCst monotone publish, ordered against the commit-gate bumps
+        // that token validation also observes.
+        // wft-lint: allow(seqcst) -- token-sum validation compares fronts across shards in one total order.
         self.published[shard].fetch_max(front, Ordering::SeqCst);
     }
 
     /// The published (monotone) front vector.
     pub(crate) fn published(&self) -> Vec<u64> {
+        // ORDERING: SeqCst reads give a coherent lower bound across shards.
+        // wft-lint: allow(seqcst) -- same total-order argument as publish.
         self.published
             .iter()
             .map(|w| w.load(Ordering::SeqCst))
@@ -316,7 +360,7 @@ impl FrontTable {
             snapshot_retries: self.retries.load(Ordering::Relaxed),
             scan_resumes: self.scan_resumes.load(Ordering::Relaxed),
             len_fallbacks: self.len_fallbacks.load(Ordering::Relaxed),
-            batch_commits: self.commits_finished.load(Ordering::SeqCst),
+            batch_commits: self.commits_finished.load(Ordering::Relaxed),
             commit_gate_waits: self.gate_waits.load(Ordering::Relaxed),
         }
     }

@@ -59,7 +59,7 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
             match op.traverse.peek() {
                 None => break,
                 Some(node_ptr) => {
-                    // Safety: initiator, guard pinned since before enqueue.
+                    // SAFETY: initiator, guard pinned since before enqueue.
                     let node = unsafe { node_ptr.deref(&guard) };
                     if let Node::Inner(inner) = node {
                         self.help_until(ParentRef::Inner(inner), ts, &guard);
@@ -158,7 +158,12 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
                                 // take its aggregate from the child, do not
                                 // descend (this is what makes the query
                                 // logarithmic in the key width).
+                                // ORDERING: Acquire pairs with the AcqRel child-slot CASes, so the loaded
+                                // child (and its state record) is fully initialised.
+                                // SAFETY: `child` is epoch-protected under `guard` (retired only via
+                                // `defer_destroy`/`retire_subtrie`).
                                 let child = slot.load(Acquire, guard);
+                                // SAFETY: as above.
                                 let contribution = unsafe { child.deref() }.current_agg(guard);
                                 merge_agg::<K, V, A>(&mut partial, &contribution);
                             }
@@ -213,6 +218,9 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         // Advertise before the resolution can make the update visible — the
         // snapshot-front invariant shared with `wft-core` (monotone max, so
         // stalled helpers re-advertising old timestamps are no-ops).
+        // ORDERING: must be totally ordered against the SeqCst watermark reads of
+        // the snapshot-front validation in `tree.rs`/`read.rs`.
+        // wft-lint: allow(seqcst) -- the snapshot-front proof needs the advertise, the update's effects and the validator's reads in one total order.
         self.advertised_ts
             .fetch_max(ts.get(), std::sync::atomic::Ordering::SeqCst);
         let (decision, first_application) =
@@ -243,6 +251,10 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         }
         // Resolution complete: advance the resolved watermark (every helper
         // bumps it before it can pop the descriptor from the root queue).
+        // ORDERING: SeqCst for the same total-order reason as the advertise —
+        // "popped implies resolved" needs the bump ordered before the pop for
+        // every observer.
+        // wft-lint: allow(seqcst) -- pairs with the SeqCst resolved_ts reads of the snapshot-front validation.
         self.resolved_ts
             .fetch_max(ts.get(), std::sync::atomic::Ordering::SeqCst);
     }
@@ -258,7 +270,12 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         partial: &mut Partial<K, V, A::Agg>,
         guard: &Guard,
     ) {
+        // ORDERING: Acquire pairs with the AcqRel child-slot CASes (divergence
+        // chain install, remove, replace), so the observed node is initialised.
+        // SAFETY: `child` is epoch-protected under `guard` and only retired via
+        // `defer_destroy` after being unlinked.
         let child = slot.load(Acquire, guard);
+        // SAFETY: as above.
         match unsafe { child.deref() } {
             Node::Inner(c) => {
                 // Make the child reachable for the initiator before the
@@ -292,6 +309,9 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
             return;
         }
         let state_shared = child.load_state_shared(guard);
+        // SAFETY: the state record is non-null by construction, loaded under
+        // `guard`, and retired via `defer_destroy` only after the CAS below
+        // replaces it.
         let state = unsafe { state_shared.deref() };
         if state.ts_mod >= ts {
             return;
@@ -320,11 +340,16 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
             agg: new_agg,
             ts_mod: ts,
         });
+        // ORDERING: success AcqRel — Release publishes the new state record to the
+        // Acquire `load_state` reads, Acquire orders the swap after the `ts_mod`
+        // check; failure Acquire reads the record a faster helper installed.
         if child
             .state
             .compare_exchange(state_shared, new_state, AcqRel, Acquire, guard)
             .is_ok()
         {
+            // SAFETY: our CAS unlinked `state_shared` (single winner per predecessor),
+            // so the record is retired exactly once; readers hold epoch guards.
             unsafe { guard.defer_destroy(state_shared) };
         }
     }
@@ -364,10 +389,17 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
                         value: value.clone(),
                         created_ts: ts,
                     });
+                    // ORDERING: success AcqRel — Release publishes the new leaf, Acquire
+                    // orders the swap after the `created_ts`/key checks; failure Acquire is
+                    // the conservative mirror (the result is discarded).
                     match slot.compare_exchange(child, Owned::new(new_leaf), AcqRel, Acquire, guard)
                     {
+                        // SAFETY: our CAS unlinked the old leaf (single winner per expected
+                        // pointer); readers are protected by their epoch guards.
                         Ok(_) => unsafe { guard.defer_destroy(child) },
                         Err(e) => {
+                            // SAFETY: the CAS failed, so `e.new` was never published; this thread
+                            // still owns it exclusively and may free it in place.
                             free_subtrie_now(
                                 e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }),
                             );
@@ -382,9 +414,16 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
                     ts,
                     &self.ids,
                 );
+                // ORDERING: success AcqRel — Release publishes the fully built divergence
+                // chain to the Acquire child loads, Acquire orders it after the guard
+                // checks; failure Acquire mirrors the success ordering.
                 match slot.compare_exchange(child, Owned::new(chain), AcqRel, Acquire, guard) {
+                    // SAFETY: our CAS unlinked the old leaf (single winner per expected
+                    // pointer); readers hold epoch guards.
                     Ok(_) => unsafe { guard.defer_destroy(child) },
                     Err(e) => {
+                        // SAFETY: the CAS failed, so the speculative chain in `e.new` was never
+                        // published; this thread owns it exclusively.
                         free_subtrie_now(
                             e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }),
                         );
@@ -395,6 +434,9 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
                 if leaf.created_ts >= ts || &leaf.key != key {
                     return;
                 }
+                // ORDERING: success AcqRel — Release publishes the Empty placeholder,
+                // Acquire orders it after the `created_ts` check; failure Acquire mirrors
+                // the success ordering.
                 match slot.compare_exchange(
                     child,
                     Owned::new(Node::empty(ts)),
@@ -402,8 +444,12 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
                     Acquire,
                     guard,
                 ) {
+                    // SAFETY: our CAS unlinked the removed leaf (single winner per expected
+                    // pointer); readers hold epoch guards.
                     Ok(_) => unsafe { guard.defer_destroy(child) },
                     Err(e) => {
+                        // SAFETY: the CAS failed, so the placeholder in `e.new` was never
+                        // published; this thread owns it exclusively.
                         free_subtrie_now(
                             e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }),
                         );
@@ -460,9 +506,16 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
                     value: value.clone(),
                     created_ts: ts,
                 });
+                // ORDERING: success AcqRel — Release publishes the new leaf, Acquire
+                // orders it after the `created_ts` check; failure Acquire mirrors the
+                // success ordering.
                 match slot.compare_exchange(child, Owned::new(leaf), AcqRel, Acquire, guard) {
+                    // SAFETY: our CAS unlinked the Empty placeholder (single winner per
+                    // expected pointer); readers hold epoch guards.
                     Ok(_) => unsafe { guard.defer_destroy(child) },
                     Err(e) => {
+                        // SAFETY: the CAS failed, so the leaf in `e.new` was never published; this
+                        // thread owns it exclusively.
                         free_subtrie_now(
                             e.new.into_shared(unsafe { crossbeam_epoch::unprotected() }),
                         );

@@ -212,13 +212,21 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Node<K, V, A> {
 impl<K: TrieKey, V: Value, A: Augmentation<K, V>> InnerNode<K, V, A> {
     /// Loads the current state record.
     pub fn load_state<'g>(&self, guard: &'g Guard) -> &'g NodeState<A::Agg> {
+        // ORDERING: Acquire pairs with the AcqRel state CAS in
+        // `exec::apply_state_delta`, so the record's fields are visible.
+        // SAFETY: the state record is non-null by construction and retired only via
+        // `defer_destroy`, so the deref is valid under `guard`.
         let state = self.state.load(Ordering::Acquire, guard);
+        // SAFETY: as above.
         unsafe { state.deref() }
     }
 
     /// Loads the current state record as a `Shared` pointer (the expected
     /// value of the state CAS).
     pub fn load_state_shared<'g>(&self, guard: &'g Guard) -> Shared<'g, NodeState<A::Agg>> {
+        // ORDERING: Acquire pairs with the AcqRel state CAS in
+        // `exec::apply_state_delta`; the pointer serves as a CAS expected value and
+        // read-validation token.
         self.state.load(Ordering::Acquire, guard)
     }
 
@@ -248,7 +256,12 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Clone for NodePtr<K, V, A> {
 }
 impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Copy for NodePtr<K, V, A> {}
 
+// SAFETY: the pointer is only dereferenced through the unsafe `deref`,
+// whose contract (initiator + pre-enqueue guard) keeps the pointee alive,
+// so moving the raw pointer across threads is sound.
 unsafe impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Send for NodePtr<K, V, A> {}
+// SAFETY: same argument as `Send` — shared access is read-only and gated by
+// `deref`'s contract.
 unsafe impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Sync for NodePtr<K, V, A> {}
 
 impl<K: TrieKey, V: Value, A: Augmentation<K, V>> NodePtr<K, V, A> {
@@ -263,6 +276,9 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> NodePtr<K, V, A> {
     ///
     /// The caller must be the operation's initiator and must still hold the
     /// guard pinned before the operation was enqueued.
+    // SAFETY: the contract above guarantees the pointee outlives the guard —
+    // inner nodes are never retired while the trie is alive, and leaf/empty
+    // nodes recorded by an operation are only retired after it resolves.
     pub unsafe fn deref<'g>(&self, _guard: &'g Guard) -> &'g Node<K, V, A> {
         &*self.0
     }
@@ -412,11 +428,17 @@ pub(crate) fn collect_subtrie<K: TrieKey, V: Value, A: Augmentation<K, V>>(
     if node.is_null() {
         return;
     }
+    // SAFETY: the subtree is reachable from a slot read under the caller's
+    // guard; nodes are retired only via `defer_destroy`, so every deref in this
+    // walk is valid.
     match unsafe { node.deref() } {
         Node::Empty(_) => {}
         Node::Leaf(leaf) => out.push((leaf.key, leaf.value.clone())),
         Node::Inner(inner) => {
+            // ORDERING: Acquire pairs with the AcqRel child-slot CASes in `exec`, so
+            // the loaded children are fully initialised.
             collect_subtrie(inner.left.load(Ordering::Acquire, guard), out, guard);
+            // ORDERING: as above.
             collect_subtrie(inner.right.load(Ordering::Acquire, guard), out, guard);
         }
     }
@@ -430,6 +452,9 @@ pub(crate) fn free_subtrie_now<K: TrieKey, V: Value, A: Augmentation<K, V>>(
     if node.is_null() {
         return;
     }
+    // SAFETY: called from `Drop` (exclusive access) or on a speculative chain
+    // that was never published, so no other thread can reach these nodes and
+    // each is freed exactly once.
     unsafe {
         let unprotected = crossbeam_epoch::unprotected();
         if let Node::Inner(inner) = node.deref() {
@@ -488,6 +513,7 @@ mod tests {
         let entries: Vec<(u64, ())> = (0..200u64).map(|k| (k * 3, ())).collect();
         let (node, agg) = build_subtrie::<u64, (), Size>(&entries, Coverage::ROOT, &ids);
         assert_eq!(agg, 200);
+        // SAFETY: the subtrie was never published; this test owns it exclusively.
         let shared = crossbeam_epoch::Owned::new(node).into_shared(unsafe { epoch::unprotected() });
         let guard = epoch::pin();
         let mut out = Vec::new();
@@ -508,6 +534,7 @@ mod tests {
             Timestamp(5),
             &ids,
         );
+        // SAFETY: the chain was never published; this test owns it exclusively.
         let shared =
             crossbeam_epoch::Owned::new(chain).into_shared(unsafe { epoch::unprotected() });
         let mut out = Vec::new();
@@ -516,6 +543,7 @@ mod tests {
         // Every inner node on the chain covers both keys and carries the
         // operation's timestamp.
         fn walk(node: Shared<'_, N>, guard: &Guard) {
+            // SAFETY: every pointer on the chain is non-null and test-owned.
             if let Node::Inner(inner) = unsafe { node.deref() } {
                 assert!(inner.coverage.contains(1024) && inner.coverage.contains(1025));
                 assert_eq!(inner.load_state(guard).ts_mod, Timestamp(5));
@@ -540,9 +568,11 @@ mod tests {
             Timestamp(1),
             &ids,
         );
+        // SAFETY: the chain was never published; this test owns it exclusively.
         let shared =
             crossbeam_epoch::Owned::new(chain).into_shared(unsafe { epoch::unprotected() });
         fn depth_of(node: Shared<'_, N>, guard: &Guard) -> usize {
+            // SAFETY: every pointer on the chain is non-null and test-owned.
             match unsafe { node.deref() } {
                 Node::Inner(inner) => {
                     1 + depth_of(inner.left.load(Ordering::Acquire, guard), guard)

@@ -62,6 +62,8 @@ impl<'g, K: TrieKey, V: Value, A: Augmentation<K, V>> ReadLog<'g, K, V, A> {
             && self
                 .slots
                 .iter()
+                // ORDERING: Acquire pairs with the AcqRel child-slot CASes in `exec` — an
+                // unchanged pointer means the slot was not modified since it was logged.
                 .all(|(slot, child)| slot.load(Acquire, guard) == *child)
     }
 }
@@ -159,7 +161,12 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         log: &mut ReadLog<'g, K, V, A>,
         guard: &'g Guard,
     ) -> Option<()> {
+        // ORDERING: Acquire pairs with the AcqRel child-slot CASes in `exec`, so
+        // the loaded node is fully initialised.
+        // SAFETY: `child` is epoch-protected under `guard` and retired only via
+        // `defer_destroy` after being unlinked.
         let child = slot.load(Acquire, guard);
+        // SAFETY: as above.
         match unsafe { child.deref() } {
             Node::Inner(inner) => {
                 if !inner.queue.is_empty(guard) {
@@ -205,10 +212,18 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         log: &mut ReadLog<'g, K, V, A>,
         guard: &'g Guard,
     ) {
+        // ORDERING: Acquire pairs with the AcqRel child-slot CASes in `exec`, so
+        // the loaded node is fully initialised.
+        // SAFETY: `child` is epoch-protected under `guard` and retired only via
+        // `defer_destroy` after being unlinked.
         let child = slot.load(Acquire, guard);
+        // SAFETY: as above.
         match unsafe { child.deref() } {
             Node::Inner(inner) => {
                 let state = inner.load_state_shared(guard);
+                // SAFETY: state records are non-null by construction and epoch-protected
+                // under `guard`; the pointer was loaded with Acquire in
+                // `load_state_shared`.
                 *acc = A::combine(acc, &unsafe { state.deref() }.agg);
                 log.absorbed.push((inner, state));
             }
@@ -239,7 +254,12 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
             *early_exit = true;
             return Some(());
         }
+        // ORDERING: Acquire pairs with the AcqRel child-slot CASes in `exec`, so
+        // the loaded node is fully initialised.
+        // SAFETY: `child` is epoch-protected under `guard` and retired only via
+        // `defer_destroy` after being unlinked.
         let child = slot.load(Acquire, guard);
+        // SAFETY: as above.
         match unsafe { child.deref() } {
             Node::Inner(inner) => {
                 if !inner.queue.is_empty(guard) {

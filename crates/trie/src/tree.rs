@@ -108,7 +108,12 @@ pub struct WaitFreeTrie<K: TrieKey, V: Value = (), A: Augmentation<K, V> = Size>
     pub(crate) resolved_ts: AtomicU64,
 }
 
+// SAFETY: all shared mutation goes through atomics and epoch-protected
+// pointers; `K`, `V` and the augmentation are `Send + Sync` by bound, so
+// moving the structure across threads is sound.
 unsafe impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Send for WaitFreeTrie<K, V, A> {}
+// SAFETY: same argument as `Send` — concurrent access is mediated by
+// atomics and epoch guards throughout.
 unsafe impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Sync for WaitFreeTrie<K, V, A> {}
 
 impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Default for WaitFreeTrie<K, V, A> {
@@ -161,6 +166,8 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
             trie.presence.prefill(*key, value.clone(), &guard);
         }
         let (root, _agg) = build_subtrie::<K, V, A>(&sorted, Coverage::ROOT, &trie.ids);
+        // ORDERING: AcqRel out of caution only — the trie is still private to this
+        // thread during construction.
         let old = trie
             .root_child
             .swap(crossbeam_epoch::Owned::new(root), Ordering::AcqRel, &guard);
@@ -374,6 +381,9 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
     /// The stable watermark: the latest root-queue timestamp whose update
     /// effects are fully resolved (mirrors `wft_core::WaitFreeTree::stable_ts`).
     pub fn stable_ts(&self) -> Timestamp {
+        // ORDERING: must observe every SeqCst `resolved_ts` bump in the single
+        // total order.
+        // wft-lint: allow(seqcst) -- pairs with the SeqCst resolved_ts fetch_max in exec::resolve_update.
         Timestamp(self.resolved_ts.load(Ordering::SeqCst))
     }
 
@@ -381,6 +391,9 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
     /// linearization has begun — advanced before the update is visible to
     /// any read.
     pub fn advertised_ts(&self) -> Timestamp {
+        // ORDERING: must observe every SeqCst `advertised_ts` bump in the single
+        // total order.
+        // wft-lint: allow(seqcst) -- pairs with the SeqCst advertised_ts fetch_max in exec::resolve_update.
         Timestamp(self.advertised_ts.load(Ordering::SeqCst))
     }
 
@@ -390,8 +403,17 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
     pub fn settle_front(&self) -> Timestamp {
         let guard = crossbeam_epoch::pin();
         loop {
+            // ORDERING: SeqCst advertise read — the first half of the double-read
+            // validation below.
+            // wft-lint: allow(seqcst) -- the settle proof needs the advertise and resolve reads in the single total order.
             let advertised = self.advertised_ts.load(Ordering::SeqCst);
+            // ORDERING: SeqCst — "resolved caught up" must be ordered against both
+            // advertise reads.
+            // wft-lint: allow(seqcst) -- same total-order argument as the advertise read above.
             if self.resolved_ts.load(Ordering::SeqCst) >= advertised {
+                // ORDERING: SeqCst re-read — unchanged means no update advertised between
+                // the two reads, so the front is settled.
+                // wft-lint: allow(seqcst) -- same total-order argument as the advertise read above.
                 if self.advertised_ts.load(Ordering::SeqCst) == advertised {
                     return Timestamp(advertised);
                 }
@@ -407,6 +429,9 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
 
     /// `true` while no update has begun linearizing past `front`.
     pub fn front_unchanged(&self, front: Timestamp) -> bool {
+        // ORDERING: SeqCst pairs with the SeqCst `advertised_ts` fetch_max in
+        // `exec::resolve_update`.
+        // wft-lint: allow(seqcst) -- front validation must observe every advertise in the single total order.
         self.advertised_ts.load(Ordering::SeqCst) == front.get()
     }
 
@@ -420,6 +445,9 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
     /// expiring front would be helped (and so re-done) by every updater it
     /// blocks, only for its final front check to discard the answer.
     pub fn range_agg_at_front(&self, min: K, max: K, front: Timestamp) -> Option<A::Agg> {
+        // ORDERING: SeqCst — the front guard must be ordered against the SeqCst
+        // watermark bumps in `exec::resolve_update`.
+        // wft-lint: allow(seqcst) -- anchoring a read at a front needs the guard in the single total order.
         if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
             return None;
         }
@@ -452,6 +480,9 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
     /// with the same optimistic-only discipline as
     /// [`range_agg_at_front`](WaitFreeTrie::range_agg_at_front).
     pub fn collect_range_at_front(&self, min: K, max: K, front: Timestamp) -> Option<Vec<(K, V)>> {
+        // ORDERING: SeqCst — the front guard must be ordered against the SeqCst
+        // watermark bumps in `exec::resolve_update`.
+        // wft-lint: allow(seqcst) -- anchoring a read at a front needs the guard in the single total order.
         if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
             return None;
         }
@@ -491,6 +522,9 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
         limit: usize,
         front: Timestamp,
     ) -> Option<Vec<(K, V)>> {
+        // ORDERING: SeqCst — the front guard must be ordered against the SeqCst
+        // watermark bumps in `exec::resolve_update`.
+        // wft-lint: allow(seqcst) -- anchoring a read at a front needs the guard in the single total order.
         if self.resolved_ts.load(Ordering::SeqCst) != front.get() || !self.front_unchanged(front) {
             return None;
         }
@@ -530,6 +564,7 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
     pub fn entries_quiescent(&self) -> Vec<(K, V)> {
         let guard = crossbeam_epoch::pin();
         let mut out = Vec::new();
+        // ORDERING: Acquire pairs with the AcqRel child-slot CASes in `exec`.
         collect_subtrie(
             self.root_child.load(Ordering::Acquire, &guard),
             &mut out,
@@ -545,6 +580,7 @@ impl<K: TrieKey, V: Value, A: Augmentation<K, V>> WaitFreeTrie<K, V, A> {
     /// panics on violation.
     pub fn check_invariants(&self) {
         let guard = crossbeam_epoch::pin();
+        // ORDERING: Acquire pairs with the AcqRel child-slot CASes in `exec`.
         let root = self.root_child.load(Ordering::Acquire, &guard);
         let n = check_node::<K, V, A>(root, Coverage::ROOT, &guard);
         assert_eq!(
@@ -564,6 +600,8 @@ impl<K: TrieKey, V: Value> WaitFreeTrie<K, V, Size> {
 
 impl<K: TrieKey, V: Value, A: Augmentation<K, V>> Drop for WaitFreeTrie<K, V, A> {
     fn drop(&mut self) {
+        // SAFETY: `drop` takes `&mut self`, so no other thread can reach the trie
+        // and no epoch guard is needed.
         let root = self
             .root_child
             .load(Ordering::Relaxed, unsafe { crossbeam_epoch::unprotected() });
@@ -580,6 +618,8 @@ fn check_node<K: TrieKey, V: Value, A: Augmentation<K, V>>(
     if node.is_null() {
         return 0;
     }
+    // SAFETY: quiescent walk under `guard`; nodes are retired only via
+    // `defer_destroy`, so the deref is valid.
     match unsafe { node.deref() } {
         Node::Empty(_) => 0,
         Node::Leaf(leaf) => {
@@ -600,11 +640,13 @@ fn check_node<K: TrieKey, V: Value, A: Augmentation<K, V>>(
                 inner.queue.is_empty(guard),
                 "descriptor queue not empty in a quiescent trie"
             );
+            // ORDERING: Acquire pairs with the AcqRel child-slot CASes in `exec`.
             let nl = check_node::<K, V, A>(
                 inner.left.load(Ordering::Acquire, guard),
                 coverage.left(),
                 guard,
             );
+            // ORDERING: as above.
             let nr = check_node::<K, V, A>(
                 inner.right.load(Ordering::Acquire, guard),
                 coverage.right(),

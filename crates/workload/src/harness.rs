@@ -181,6 +181,8 @@ pub fn timed_run(
                     ops += 1;
                 }
             }
+            // ORDERING: Release orders the worker's final counter and latency writes
+            // before the watchdog's Acquire `done` reads.
             done.fetch_add(1, Ordering::Release);
             (ops, latency.snapshot())
         }));
@@ -195,9 +197,11 @@ pub fn timed_run(
     // Give them a grace period; past it, dump the backend's metrics and the
     // global trace timeline to stderr — the post-mortem a wedged run needs.
     let deadline = Instant::now() + WATCHDOG_GRACE;
+    // ORDERING: Acquire pairs with the workers' Release `done` bumps.
     while done.load(Ordering::Acquire) < threads && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(1));
     }
+    // ORDERING: as above.
     let stuck = threads - done.load(Ordering::Acquire).min(threads);
     if stuck > 0 {
         eprintln!(
